@@ -1,0 +1,65 @@
+//! Error type for the inference simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when an inference configuration cannot be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelSimError {
+    /// The model (plus KV cache) does not fit in the group's HBM under any
+    /// evaluated parallelism strategy.
+    OutOfMemory {
+        /// Bytes required by weights and KV cache.
+        required_bytes: f64,
+        /// Bytes available across the accelerator group.
+        available_bytes: f64,
+    },
+    /// The requested configuration is invalid (zero batch, zero tokens, …).
+    InvalidConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AccelSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelSimError::OutOfMemory {
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "model does not fit in accelerator memory: needs {:.2} GiB, group provides {:.2} GiB",
+                required_bytes / (1024.0 * 1024.0 * 1024.0),
+                available_bytes / (1024.0 * 1024.0 * 1024.0)
+            ),
+            AccelSimError::InvalidConfig { reason } => {
+                write!(f, "invalid inference configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AccelSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_sizes() {
+        let e = AccelSimError::OutOfMemory {
+            required_bytes: 2.0 * 1024.0 * 1024.0 * 1024.0,
+            available_bytes: 1024.0 * 1024.0 * 1024.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2.00 GiB"));
+        assert!(msg.contains("1.00 GiB"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelSimError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! Accelerator groups: the set of chips assigned to one pipeline stage.
+
+use crate::parallelism::ParallelismConfig;
+use rago_hardware::{InterconnectSpec, XpuSpec};
+use serde::{Deserialize, Serialize};
+
+/// A group of identical XPU chips serving one (or several collocated)
+/// inference stages, connected by the given interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use rago_accel_sim::AcceleratorGroup;
+/// use rago_hardware::XpuSpec;
+/// let group = AcceleratorGroup::new(XpuSpec::default(), 16);
+/// assert_eq!(group.num_chips, 16);
+/// assert!(group.total_hbm_bytes() > 1e12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorGroup {
+    /// Per-chip specification.
+    pub xpu: XpuSpec,
+    /// Number of chips in the group.
+    pub num_chips: u32,
+    /// Chip-to-chip interconnect within the group.
+    pub interconnect: InterconnectSpec,
+}
+
+impl AcceleratorGroup {
+    /// Creates a group of `num_chips` chips of the given spec connected by the
+    /// paper's default 3D-torus interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips` is zero.
+    pub fn new(xpu: XpuSpec, num_chips: u32) -> Self {
+        assert!(num_chips >= 1, "an accelerator group needs at least one chip");
+        Self {
+            xpu,
+            num_chips,
+            interconnect: InterconnectSpec::torus_3d(),
+        }
+    }
+
+    /// Replaces the interconnect.
+    pub fn with_interconnect(mut self, interconnect: InterconnectSpec) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Total HBM capacity of the group in bytes.
+    pub fn total_hbm_bytes(&self) -> f64 {
+        self.xpu.hbm_capacity_bytes() * f64::from(self.num_chips)
+    }
+
+    /// Parallelism strategies available on this group.
+    pub fn parallelism_options(&self) -> Vec<ParallelismConfig> {
+        ParallelismConfig::enumerate(self.num_chips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_capacity_scales_with_chips() {
+        let one = AcceleratorGroup::new(XpuSpec::default(), 1);
+        let eight = AcceleratorGroup::new(XpuSpec::default(), 8);
+        assert!((eight.total_hbm_bytes() / one.total_hbm_bytes() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallelism_options_match_chip_count() {
+        let group = AcceleratorGroup::new(XpuSpec::default(), 4);
+        let opts = group.parallelism_options();
+        assert!(opts.iter().all(|p| p.total_chips() == 4));
+        assert_eq!(opts.len(), 3); // (1,4), (2,2), (4,1)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_panics() {
+        let _ = AcceleratorGroup::new(XpuSpec::default(), 0);
+    }
+}

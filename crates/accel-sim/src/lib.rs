@@ -1,0 +1,56 @@
+//! Operator-level XPU inference performance simulator.
+//!
+//! This crate implements the inference half of the RAGO paper's analytical
+//! cost model (§4(a), Figure 4): a model's forward pass is abstracted as a
+//! sequence of operators, each costed with a roofline
+//! (`max(flops / peak_compute, bytes / memory_bandwidth)`), plus inter-chip
+//! communication costs (`size / network_bandwidth`) for tensor- and
+//! pipeline-parallel execution.
+//!
+//! The public entry point is [`InferenceSimulator`], which evaluates:
+//!
+//! * [`InferenceSimulator::prefix_cost`] — prompt processing (prefix phase),
+//! * [`InferenceSimulator::decode_cost`] — autoregressive token generation,
+//! * [`InferenceSimulator::encoder_cost`] — bidirectional encoders (document
+//!   encoder, reranker),
+//! * [`InferenceSimulator::long_context_prefix_cost`] — the long-context
+//!   LLM-only comparison point of §5.2,
+//!
+//! over a given [`AcceleratorGroup`] (XPU spec × chip count × parallelism).
+//! Memory feasibility (weights + KV cache vs HBM) is checked by
+//! [`memory::MemoryModel`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_accel_sim::{AcceleratorGroup, InferenceSimulator};
+//! use rago_hardware::XpuSpec;
+//! use rago_schema::ModelConfig;
+//!
+//! let sim = InferenceSimulator::default();
+//! let group = AcceleratorGroup::new(XpuSpec::default(), 8);
+//! let model = ModelConfig::llama3_8b();
+//! // 512-token prompt, batch of 4.
+//! let prefix = sim.best_prefix_cost(&model, 512, 4, &group)?;
+//! assert!(prefix.latency_s > 0.0);
+//! assert!(prefix.throughput_rps > 0.0);
+//! # Ok::<(), rago_accel_sim::AccelSimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod group;
+pub mod memory;
+pub mod ops;
+pub mod parallelism;
+pub mod phases;
+pub mod simulator;
+
+pub use error::AccelSimError;
+pub use group::AcceleratorGroup;
+pub use memory::MemoryModel;
+pub use parallelism::ParallelismConfig;
+pub use phases::{DecodeCost, InferencePhaseCost};
+pub use simulator::InferenceSimulator;

@@ -1,0 +1,148 @@
+//! Accelerator-memory feasibility checks.
+//!
+//! The paper's resource-allocation step requires every component to have
+//! enough accelerator memory for its weights (and, for decoders, the KV cache
+//! of its running batch). This module estimates those requirements and checks
+//! them against an [`AcceleratorGroup`]'s total HBM.
+
+use crate::group::AcceleratorGroup;
+use rago_schema::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Memory requirement estimator for serving a model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Fraction of HBM reserved for activations, scratch space, and the
+    /// runtime (not available to weights / KV cache).
+    pub overhead_fraction: f64,
+}
+
+impl MemoryModel {
+    /// Default memory model reserving 10 % of HBM for runtime overheads.
+    pub fn new() -> Self {
+        Self {
+            overhead_fraction: 0.10,
+        }
+    }
+
+    /// Bytes required to hold the model weights.
+    pub fn weight_bytes(&self, model: &ModelConfig) -> f64 {
+        model.weight_bytes()
+    }
+
+    /// Bytes required by the KV cache for `batch` sequences of up to
+    /// `max_seq_len` tokens (zero for encoder models).
+    pub fn kv_cache_bytes(&self, model: &ModelConfig, batch: u32, max_seq_len: u32) -> f64 {
+        model.kv_cache_bytes_per_token() * f64::from(batch) * f64::from(max_seq_len)
+    }
+
+    /// Total bytes required to serve the model with the given batch and
+    /// maximum sequence length.
+    pub fn required_bytes(&self, model: &ModelConfig, batch: u32, max_seq_len: u32) -> f64 {
+        self.weight_bytes(model) + self.kv_cache_bytes(model, batch, max_seq_len)
+    }
+
+    /// Usable HBM of a group after the overhead reservation.
+    pub fn usable_bytes(&self, group: &AcceleratorGroup) -> f64 {
+        group.total_hbm_bytes() * (1.0 - self.overhead_fraction)
+    }
+
+    /// Whether the model (weights + KV cache) fits on the group.
+    pub fn fits(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        max_seq_len: u32,
+        group: &AcceleratorGroup,
+    ) -> bool {
+        self.required_bytes(model, batch, max_seq_len) <= self.usable_bytes(group)
+    }
+
+    /// The largest batch size (power of two) that fits on the group for the
+    /// given maximum sequence length, or `None` if even batch 1 does not fit.
+    pub fn max_batch(
+        &self,
+        model: &ModelConfig,
+        max_seq_len: u32,
+        group: &AcceleratorGroup,
+    ) -> Option<u32> {
+        if !self.fits(model, 1, max_seq_len, group) {
+            return None;
+        }
+        let mut batch = 1u32;
+        while batch < u32::MAX / 2 && self.fits(model, batch * 2, max_seq_len, group) {
+            batch *= 2;
+        }
+        Some(batch)
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_hardware::XpuSpec;
+
+    #[test]
+    fn seventy_b_does_not_fit_on_one_chip_but_fits_on_two() {
+        // 70 GB of int8 weights vs 96 GiB per chip: fits on one chip without a
+        // KV cache, but a large decode batch pushes it over.
+        let mm = MemoryModel::new();
+        let model = rago_schema::ModelConfig::llama3_70b();
+        let one = AcceleratorGroup::new(XpuSpec::default(), 1);
+        let two = AcceleratorGroup::new(XpuSpec::default(), 2);
+        assert!(mm.fits(&model, 1, 768, &one));
+        // Batch 1024 at 768-token contexts needs ~1024*768*KV bytes on top.
+        assert!(!mm.fits(&model, 1024, 768, &one));
+        assert!(mm.max_batch(&model, 768, &two).unwrap() >= mm.max_batch(&model, 768, &one).unwrap());
+    }
+
+    #[test]
+    fn four_hundred_five_b_needs_many_chips() {
+        let mm = MemoryModel::new();
+        let model = rago_schema::ModelConfig::llama3_405b();
+        assert!(!mm.fits(&model, 1, 768, &AcceleratorGroup::new(XpuSpec::default(), 4)));
+        assert!(mm.fits(&model, 1, 768, &AcceleratorGroup::new(XpuSpec::default(), 8)));
+        assert!(mm
+            .max_batch(&model, 768, &AcceleratorGroup::new(XpuSpec::default(), 4))
+            .is_none());
+    }
+
+    #[test]
+    fn kv_cache_scales_with_batch_and_length() {
+        let mm = MemoryModel::new();
+        let model = rago_schema::ModelConfig::llama3_8b();
+        let a = mm.kv_cache_bytes(&model, 16, 512);
+        let b = mm.kv_cache_bytes(&model, 32, 512);
+        let c = mm.kv_cache_bytes(&model, 16, 1024);
+        assert!((b / a - 2.0).abs() < 1e-9);
+        assert!((c / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encoder_needs_no_kv_cache() {
+        let mm = MemoryModel::new();
+        let enc = rago_schema::ModelConfig::encoder_120m();
+        assert_eq!(mm.kv_cache_bytes(&enc, 128, 4096), 0.0);
+        assert!(mm.fits(&enc, 4096, 128, &AcceleratorGroup::new(XpuSpec::default(), 1)));
+    }
+
+    #[test]
+    fn max_batch_is_monotone_in_chip_count() {
+        let mm = MemoryModel::new();
+        let model = rago_schema::ModelConfig::llama3_8b();
+        let b1 = mm
+            .max_batch(&model, 768, &AcceleratorGroup::new(XpuSpec::default(), 1))
+            .unwrap();
+        let b4 = mm
+            .max_batch(&model, 768, &AcceleratorGroup::new(XpuSpec::default(), 4))
+            .unwrap();
+        assert!(b4 >= b1);
+        assert!(b1 >= 1);
+    }
+}

@@ -1,0 +1,363 @@
+//! Construction of the per-layer operator graphs of a transformer forward
+//! pass, costed under the roofline model.
+//!
+//! All functions build [`OperatorCost`] lists for **one transformer layer on
+//! one tensor-parallel shard** (work and weight bytes divided by the
+//! tensor-parallel degree), plus the all-reduce communication operators that
+//! tensor parallelism requires. The simulator assembles full phases from
+//! these building blocks.
+
+use rago_hardware::{InterconnectSpec, OperatorCost, OperatorKind, Roofline};
+use rago_schema::{LlmArchitecture, Quantization};
+
+/// Bytes per activation element (bf16).
+pub const ACTIVATION_BYTES: f64 = 2.0;
+
+/// Inputs describing how many tokens a layer processes.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenShape {
+    /// Number of sequences processed together.
+    pub batch: f64,
+    /// Tokens processed per sequence in this pass (the full prompt for
+    /// prefix/encoder, one for a decode step).
+    pub new_tokens: f64,
+    /// Tokens of context attended over (equals `new_tokens` for prefix and
+    /// encoders; prompt + generated-so-far for decode steps).
+    pub context_tokens: f64,
+}
+
+impl TokenShape {
+    /// Shape of a prefix or encoder pass: every token attends over the whole
+    /// (causal) prompt.
+    pub fn prefix(batch: u32, seq_len: u32) -> Self {
+        Self {
+            batch: f64::from(batch),
+            new_tokens: f64::from(seq_len),
+            context_tokens: f64::from(seq_len),
+        }
+    }
+
+    /// Shape of one decode step at the given context length.
+    pub fn decode_step(batch: u32, context_tokens: f64) -> Self {
+        Self {
+            batch: f64::from(batch),
+            new_tokens: 1.0,
+            context_tokens,
+        }
+    }
+}
+
+/// Weight bytes of one transformer layer (attention + FFN projections) under
+/// the given quantization.
+pub fn layer_weight_bytes(arch: &LlmArchitecture, quant: Quantization) -> f64 {
+    let h = f64::from(arch.hidden_dim);
+    let kv_dim = f64::from(arch.head_dim()) * f64::from(arch.num_kv_heads);
+    let ffn_mats = if arch.is_encoder { 2.0 } else { 3.0 };
+    let attn = h * h + 2.0 * h * kv_dim + h * h;
+    let ffn = ffn_mats * h * f64::from(arch.ffn_dim);
+    (attn + ffn) * quant.bytes_per_param()
+}
+
+/// Builds the operator costs of one transformer layer on one tensor-parallel
+/// shard of degree `tp`, evaluated on `roofline`. When `tp > 1`, the returned
+/// list ends with the all-reduce communication operators priced on
+/// `interconnect`.
+///
+/// `attention_context_override` allows the caller to cap the attended context
+/// (used by the sliding-window layers of the long-context comparison model);
+/// `None` attends over the full `shape.context_tokens`.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_ops(
+    arch: &LlmArchitecture,
+    quant: Quantization,
+    shape: TokenShape,
+    tp: u32,
+    roofline: &Roofline,
+    interconnect: &InterconnectSpec,
+    attention_context_override: Option<f64>,
+) -> Vec<OperatorCost> {
+    let tp_f = f64::from(tp.max(1));
+    let h = f64::from(arch.hidden_dim);
+    let head_dim = f64::from(arch.head_dim());
+    let kv_dim = head_dim * f64::from(arch.num_kv_heads);
+    let heads = f64::from(arch.num_heads);
+    let ffn = f64::from(arch.ffn_dim);
+    let ffn_mats = if arch.is_encoder { 2.0 } else { 3.0 };
+    let bpp = quant.bytes_per_param();
+    let b = shape.batch;
+    let t_new = shape.new_tokens;
+    let t_ctx = attention_context_override.unwrap_or(shape.context_tokens);
+    let tokens = b * t_new;
+
+    let mut ops = Vec::with_capacity(6);
+
+    // QKV projection: hidden -> (hidden + 2 * kv_dim).
+    let qkv_out = h + 2.0 * kv_dim;
+    ops.push(OperatorCost::from_roofline(
+        "qkv_proj",
+        OperatorKind::MatMul,
+        roofline,
+        2.0 * tokens * h * qkv_out / tp_f,
+        h * qkv_out * bpp / tp_f
+            + tokens * h * ACTIVATION_BYTES
+            + tokens * qkv_out * ACTIVATION_BYTES / tp_f,
+    ));
+
+    // Attention: scores (Q·K^T) and context (scores·V). Two matmuls, each
+    // 2 * b * heads * t_new * t_ctx * head_dim FLOPs, heads sharded by tp.
+    // Data: read the KV cache (decode) or K/V activations (prefix) plus Q.
+    let attn_flops = 2.0 * 2.0 * b * (heads / tp_f) * t_new * t_ctx * head_dim;
+    let kv_bytes = b * t_ctx * 2.0 * kv_dim * bpp / tp_f;
+    let q_bytes = tokens * h * ACTIVATION_BYTES / tp_f;
+    ops.push(OperatorCost::from_roofline(
+        "attention",
+        OperatorKind::Attention,
+        roofline,
+        attn_flops,
+        kv_bytes + q_bytes,
+    ));
+
+    // Output projection: hidden -> hidden.
+    ops.push(OperatorCost::from_roofline(
+        "out_proj",
+        OperatorKind::MatMul,
+        roofline,
+        2.0 * tokens * h * h / tp_f,
+        h * h * bpp / tp_f + 2.0 * tokens * h * ACTIVATION_BYTES / tp_f,
+    ));
+
+    // FFN: gate/up/down (decoder, 3 mats) or up/down (encoder, 2 mats).
+    ops.push(OperatorCost::from_roofline(
+        "ffn",
+        OperatorKind::MatMul,
+        roofline,
+        2.0 * tokens * h * ffn * ffn_mats / tp_f,
+        ffn_mats * h * ffn * bpp / tp_f
+            + tokens * (h + ffn) * ACTIVATION_BYTES / tp_f,
+    ));
+
+    // Norms, residuals, activation functions: elementwise over the tokens.
+    ops.push(OperatorCost::from_roofline(
+        "elementwise",
+        OperatorKind::Elementwise,
+        roofline,
+        8.0 * tokens * h,
+        4.0 * tokens * h * ACTIVATION_BYTES,
+    ));
+
+    // Tensor-parallel all-reduces: one after attention, one after the FFN,
+    // each over the layer's activation output.
+    if tp > 1 {
+        let act_bytes = tokens * h * ACTIVATION_BYTES;
+        let t_allreduce = interconnect.allreduce_time(act_bytes, tp);
+        ops.push(OperatorCost::fixed(
+            "tp_allreduce",
+            OperatorKind::Communication,
+            2.0 * t_allreduce,
+        ));
+    }
+
+    ops
+}
+
+/// Builds the final language-model head (logits projection) for the tokens
+/// that actually need logits (one per sequence in both prefix and decode).
+pub fn lm_head_ops(
+    arch: &LlmArchitecture,
+    quant: Quantization,
+    batch: f64,
+    tp: u32,
+    roofline: &Roofline,
+) -> OperatorCost {
+    let tp_f = f64::from(tp.max(1));
+    let h = f64::from(arch.hidden_dim);
+    let vocab = f64::from(arch.vocab_size);
+    OperatorCost::from_roofline(
+        "lm_head",
+        OperatorKind::MatMul,
+        roofline,
+        2.0 * batch * h * vocab / tp_f,
+        h * vocab * quant.bytes_per_param() / tp_f + batch * vocab * ACTIVATION_BYTES / tp_f,
+    )
+}
+
+/// Sums the FLOPs recorded in a list of operator costs.
+pub fn total_flops(ops: &[OperatorCost]) -> f64 {
+    ops.iter()
+        .filter(|o| o.kind != OperatorKind::Communication)
+        .map(|o| o.work)
+        .sum()
+}
+
+/// Fraction of the total operator time spent in memory-bound operators.
+pub fn memory_bound_fraction(ops: &[OperatorCost]) -> f64 {
+    let total = OperatorCost::total_seconds(ops);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mem: f64 = ops
+        .iter()
+        .filter(|o| o.is_memory_bound)
+        .map(|o| o.seconds)
+        .sum();
+    mem / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_schema::ModelConfig;
+
+    fn setup() -> (LlmArchitecture, Roofline, InterconnectSpec) {
+        let model = ModelConfig::llama3_8b();
+        let xpu = rago_hardware::XpuSpec::default();
+        (model.architecture, xpu.roofline(), InterconnectSpec::torus_3d())
+    }
+
+    #[test]
+    fn prefix_layer_flops_match_2mh_rule() {
+        // For a prefix over L tokens the per-layer matmul FLOPs should be
+        // close to 2 * (layer params) * L * batch.
+        let (arch, roofline, ici) = setup();
+        let shape = TokenShape::prefix(4, 512);
+        let ops = layer_ops(&arch, Quantization::Int8, shape, 1, &roofline, &ici, None);
+        let matmul_flops: f64 = ops
+            .iter()
+            .filter(|o| o.kind == OperatorKind::MatMul)
+            .map(|o| o.work)
+            .sum();
+        let layer_params = layer_weight_bytes(&arch, Quantization::Int8); // 1 byte per param
+        let expected = 2.0 * layer_params * 512.0 * 4.0;
+        let ratio = matmul_flops / expected;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn prefix_is_compute_bound_decode_is_memory_bound() {
+        let (arch, roofline, ici) = setup();
+        let prefix = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::prefix(1, 512),
+            1,
+            &roofline,
+            &ici,
+            None,
+        );
+        let decode = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::decode_step(1, 512.0),
+            1,
+            &roofline,
+            &ici,
+            None,
+        );
+        // The dominant matmul (FFN) should be compute bound in prefix and
+        // memory bound (weight streaming) in decode.
+        let prefix_ffn = prefix.iter().find(|o| o.name == "ffn").unwrap();
+        let decode_ffn = decode.iter().find(|o| o.name == "ffn").unwrap();
+        assert!(!prefix_ffn.is_memory_bound);
+        assert!(decode_ffn.is_memory_bound);
+        assert!(memory_bound_fraction(&decode) > memory_bound_fraction(&prefix));
+    }
+
+    #[test]
+    fn tensor_parallelism_reduces_compute_time_and_adds_communication() {
+        let (arch, roofline, ici) = setup();
+        let shape = TokenShape::prefix(8, 512);
+        let tp1 = layer_ops(&arch, Quantization::Int8, shape, 1, &roofline, &ici, None);
+        let tp4 = layer_ops(&arch, Quantization::Int8, shape, 4, &roofline, &ici, None);
+        assert!(tp1.iter().all(|o| o.kind != OperatorKind::Communication));
+        assert!(tp4.iter().any(|o| o.kind == OperatorKind::Communication));
+        let t1: f64 = tp1
+            .iter()
+            .filter(|o| o.kind != OperatorKind::Communication)
+            .map(|o| o.seconds)
+            .sum();
+        let t4: f64 = tp4
+            .iter()
+            .filter(|o| o.kind != OperatorKind::Communication)
+            .map(|o| o.seconds)
+            .sum();
+        assert!(t4 < t1);
+        assert!(t4 > t1 / 5.0); // elementwise work is not sharded, so less than 4x
+    }
+
+    #[test]
+    fn attention_cost_grows_with_context() {
+        let (arch, roofline, ici) = setup();
+        let short = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::decode_step(16, 128.0),
+            1,
+            &roofline,
+            &ici,
+            None,
+        );
+        let long = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::decode_step(16, 4096.0),
+            1,
+            &roofline,
+            &ici,
+            None,
+        );
+        let a_short = short.iter().find(|o| o.name == "attention").unwrap().seconds;
+        let a_long = long.iter().find(|o| o.name == "attention").unwrap().seconds;
+        assert!(a_long > a_short * 8.0);
+    }
+
+    #[test]
+    fn context_override_caps_attention() {
+        let (arch, roofline, ici) = setup();
+        let full = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::prefix(1, 10_000),
+            1,
+            &roofline,
+            &ici,
+            None,
+        );
+        let windowed = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::prefix(1, 10_000),
+            1,
+            &roofline,
+            &ici,
+            Some(128.0),
+        );
+        let a_full = full.iter().find(|o| o.name == "attention").unwrap().seconds;
+        let a_win = windowed.iter().find(|o| o.name == "attention").unwrap().seconds;
+        assert!(a_win < a_full);
+    }
+
+    #[test]
+    fn lm_head_scales_with_batch() {
+        let (arch, roofline, _) = setup();
+        let one = lm_head_ops(&arch, Quantization::Int8, 1.0, 1, &roofline);
+        let many = lm_head_ops(&arch, Quantization::Int8, 64.0, 1, &roofline);
+        assert!(many.work > one.work * 32.0);
+    }
+
+    #[test]
+    fn total_flops_excludes_communication() {
+        let (arch, roofline, ici) = setup();
+        let ops = layer_ops(
+            &arch,
+            Quantization::Int8,
+            TokenShape::prefix(2, 256),
+            4,
+            &roofline,
+            &ici,
+            None,
+        );
+        let with_comm: f64 = ops.iter().map(|o| o.work).sum();
+        assert_eq!(total_flops(&ops), with_comm); // comm ops carry zero work
+        assert!(total_flops(&ops) > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Parallelism strategies across the chips of an accelerator group.
+//!
+//! The paper's inference simulator evaluates a range of model-sharding
+//! strategies: tensor parallelism (each operator is split across chips and an
+//! all-reduce combines partial results), pipeline parallelism (layers are
+//! divided into stages connected by activation transfers), and hybrids of the
+//! two (Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A (tensor-parallel degree, pipeline-parallel degree) pair.
+///
+/// `tensor_parallel * pipeline_parallel` chips are used in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Number of chips each operator is sharded across.
+    pub tensor_parallel: u32,
+    /// Number of pipeline stages the layers are divided into.
+    pub pipeline_parallel: u32,
+}
+
+impl ParallelismConfig {
+    /// A single-chip (no parallelism) configuration.
+    pub fn single() -> Self {
+        Self {
+            tensor_parallel: 1,
+            pipeline_parallel: 1,
+        }
+    }
+
+    /// Creates a configuration; degrees must both be at least one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degree is zero.
+    pub fn new(tensor_parallel: u32, pipeline_parallel: u32) -> Self {
+        assert!(tensor_parallel >= 1, "tensor_parallel must be >= 1");
+        assert!(pipeline_parallel >= 1, "pipeline_parallel must be >= 1");
+        Self {
+            tensor_parallel,
+            pipeline_parallel,
+        }
+    }
+
+    /// Total number of chips used by this configuration.
+    pub fn total_chips(&self) -> u32 {
+        self.tensor_parallel * self.pipeline_parallel
+    }
+
+    /// Enumerates every (tp, pp) factorization of `num_chips` where both
+    /// factors divide the chip count — the strategy space the simulator
+    /// searches for each phase.
+    pub fn enumerate(num_chips: u32) -> Vec<ParallelismConfig> {
+        let mut configs = Vec::new();
+        if num_chips == 0 {
+            return configs;
+        }
+        for tp in 1..=num_chips {
+            if num_chips % tp == 0 {
+                configs.push(ParallelismConfig {
+                    tensor_parallel: tp,
+                    pipeline_parallel: num_chips / tp,
+                });
+            }
+        }
+        configs
+    }
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        ParallelismConfig::single()
+    }
+}
+
+impl std::fmt::Display for ParallelismConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tp{}-pp{}", self.tensor_parallel, self.pipeline_parallel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_covers_all_divisor_pairs() {
+        let configs = ParallelismConfig::enumerate(8);
+        assert_eq!(configs.len(), 4); // (1,8), (2,4), (4,2), (8,1)
+        assert!(configs.iter().all(|c| c.total_chips() == 8));
+        assert!(configs.contains(&ParallelismConfig::new(2, 4)));
+    }
+
+    #[test]
+    fn enumerate_handles_primes_and_zero() {
+        assert_eq!(ParallelismConfig::enumerate(7).len(), 2); // (1,7), (7,1)
+        assert!(ParallelismConfig::enumerate(0).is_empty());
+        assert_eq!(ParallelismConfig::enumerate(1), vec![ParallelismConfig::single()]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ParallelismConfig::new(4, 2).to_string(), "tp4-pp2");
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor_parallel")]
+    fn zero_degree_panics() {
+        let _ = ParallelismConfig::new(0, 1);
+    }
+}

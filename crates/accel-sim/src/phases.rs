@@ -1,0 +1,90 @@
+//! Result types of the per-phase inference cost evaluation.
+
+use crate::parallelism::ParallelismConfig;
+use rago_hardware::OperatorCost;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one batched execution of a non-autoregressive inference phase
+/// (prefix, encoder, reranker).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferencePhaseCost {
+    /// End-to-end latency of processing one batch, in seconds.
+    pub latency_s: f64,
+    /// Steady-state throughput in requests (sequences) per second when the
+    /// phase is executed back-to-back on its accelerator group.
+    pub throughput_rps: f64,
+    /// The parallelism strategy that produced this cost.
+    pub parallelism: ParallelismConfig,
+    /// Total floating-point operations per batch.
+    pub flops: f64,
+    /// Fraction of execution time spent in memory-bound operators.
+    pub memory_bound_fraction: f64,
+    /// Per-operator breakdown of one batch (one representative layer is
+    /// scaled to the full layer count).
+    pub operators: Vec<OperatorCost>,
+}
+
+impl InferencePhaseCost {
+    /// Throughput normalized by the number of chips in the serving group.
+    pub fn throughput_per_chip(&self, num_chips: u32) -> f64 {
+        self.throughput_rps / f64::from(num_chips.max(1))
+    }
+}
+
+/// Cost of the autoregressive decode phase of a generative model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeCost {
+    /// Worst-case latency of one decode step for the whole batch (the paper's
+    /// TPOT under continuous batching), in seconds.
+    pub step_latency_s: f64,
+    /// Latency to generate the full output sequence for a batch, in seconds.
+    pub total_latency_s: f64,
+    /// Steady-state throughput in sequences per second with continuous
+    /// batching keeping the batch full.
+    pub throughput_rps: f64,
+    /// Tokens generated per second across the whole batch.
+    pub tokens_per_second: f64,
+    /// The parallelism strategy that produced this cost.
+    pub parallelism: ParallelismConfig,
+    /// Fraction of step time spent in memory-bound operators.
+    pub memory_bound_fraction: f64,
+    /// Per-operator breakdown of one decode step (one representative layer is
+    /// scaled to the full layer count).
+    pub operators: Vec<OperatorCost>,
+}
+
+impl DecodeCost {
+    /// Throughput normalized by the number of chips in the serving group.
+    pub fn throughput_per_chip(&self, num_chips: u32) -> f64 {
+        self.throughput_rps / f64::from(num_chips.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_chip_normalization() {
+        let cost = InferencePhaseCost {
+            latency_s: 0.1,
+            throughput_rps: 40.0,
+            parallelism: ParallelismConfig::single(),
+            flops: 1e12,
+            memory_bound_fraction: 0.2,
+            operators: vec![],
+        };
+        assert_eq!(cost.throughput_per_chip(4), 10.0);
+        assert_eq!(cost.throughput_per_chip(0), 40.0); // clamped to 1
+        let d = DecodeCost {
+            step_latency_s: 0.01,
+            total_latency_s: 2.56,
+            throughput_rps: 100.0,
+            tokens_per_second: 25600.0,
+            parallelism: ParallelismConfig::single(),
+            memory_bound_fraction: 0.9,
+            operators: vec![],
+        };
+        assert_eq!(d.throughput_per_chip(10), 10.0);
+    }
+}

@@ -1,0 +1,688 @@
+//! The inference simulator: assembles per-phase costs from the operator
+//! graphs of [`crate::ops`] under a chosen parallelism strategy.
+
+use crate::error::AccelSimError;
+use crate::group::AcceleratorGroup;
+use crate::memory::MemoryModel;
+use crate::ops::{
+    layer_ops, lm_head_ops, memory_bound_fraction, total_flops, TokenShape, ACTIVATION_BYTES,
+};
+use crate::parallelism::ParallelismConfig;
+use crate::phases::{DecodeCost, InferencePhaseCost};
+use rago_hardware::{OperatorCost, OperatorKind};
+use rago_schema::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Evaluates inference phases (prefix, decode, encoder) on accelerator groups
+/// using the paper's operator-roofline cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceSimulator {
+    /// Memory feasibility model.
+    pub memory: MemoryModel,
+}
+
+impl InferenceSimulator {
+    /// Creates a simulator with the default memory model.
+    pub fn new() -> Self {
+        Self {
+            memory: MemoryModel::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix phase
+    // ------------------------------------------------------------------
+
+    /// Cost of processing a `seq_len`-token prompt for a batch of `batch`
+    /// requests under an explicit parallelism strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelSimError::InvalidConfig`] for zero batch/length or a
+    /// strategy that does not match the group size, and
+    /// [`AccelSimError::OutOfMemory`] when weights plus the produced KV cache
+    /// exceed the group's HBM.
+    pub fn prefix_cost(
+        &self,
+        model: &ModelConfig,
+        seq_len: u32,
+        batch: u32,
+        group: &AcceleratorGroup,
+        parallelism: ParallelismConfig,
+    ) -> Result<InferencePhaseCost, AccelSimError> {
+        validate_shape(seq_len, batch)?;
+        validate_parallelism(group, parallelism)?;
+        self.check_memory(model, batch, seq_len, group)?;
+        Ok(self.batched_phase_cost(
+            model,
+            TokenShape::prefix(batch, seq_len),
+            f64::from(batch),
+            group,
+            parallelism,
+            None,
+        ))
+    }
+
+    /// The lowest-latency prefix cost across all parallelism strategies of the
+    /// group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`InferenceSimulator::prefix_cost`].
+    pub fn best_prefix_cost(
+        &self,
+        model: &ModelConfig,
+        seq_len: u32,
+        batch: u32,
+        group: &AcceleratorGroup,
+    ) -> Result<InferencePhaseCost, AccelSimError> {
+        validate_shape(seq_len, batch)?;
+        self.check_memory(model, batch, seq_len, group)?;
+        let best = group
+            .parallelism_options()
+            .into_iter()
+            .map(|p| {
+                self.batched_phase_cost(
+                    model,
+                    TokenShape::prefix(batch, seq_len),
+                    f64::from(batch),
+                    group,
+                    p,
+                    None,
+                )
+            })
+            .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+            .expect("a group always has at least one parallelism option");
+        Ok(best)
+    }
+
+    // ------------------------------------------------------------------
+    // Encoder phase (document encoder / reranker)
+    // ------------------------------------------------------------------
+
+    /// Cost of encoding `tokens_per_request` tokens per request, processed in
+    /// independent chunks of `chunk_len` tokens (the paper chunks uploaded
+    /// long contexts every 128 tokens), for a batch of `batch` requests.
+    /// The best parallelism strategy is selected automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelSimError::InvalidConfig`] for zero-sized inputs and
+    /// [`AccelSimError::OutOfMemory`] when the encoder weights do not fit.
+    pub fn encoder_cost(
+        &self,
+        model: &ModelConfig,
+        tokens_per_request: u64,
+        chunk_len: u32,
+        batch: u32,
+        group: &AcceleratorGroup,
+    ) -> Result<InferencePhaseCost, AccelSimError> {
+        if tokens_per_request == 0 {
+            return Err(AccelSimError::InvalidConfig {
+                reason: "tokens_per_request must be at least 1".into(),
+            });
+        }
+        validate_shape(chunk_len, batch)?;
+        self.check_memory(model, batch, chunk_len, group)?;
+        let chunks_per_request =
+            (tokens_per_request as f64 / f64::from(chunk_len)).ceil().max(1.0);
+        let shape = TokenShape {
+            batch: f64::from(batch) * chunks_per_request,
+            new_tokens: f64::from(chunk_len),
+            context_tokens: f64::from(chunk_len),
+        };
+        let best = group
+            .parallelism_options()
+            .into_iter()
+            .map(|p| self.batched_phase_cost(model, shape, f64::from(batch), group, p, None))
+            .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+            .expect("a group always has at least one parallelism option");
+        Ok(best)
+    }
+
+    // ------------------------------------------------------------------
+    // Decode phase
+    // ------------------------------------------------------------------
+
+    /// Cost of generating `decode_len` tokens after a `prefix_len`-token
+    /// prompt for a batch of `batch` sequences under an explicit parallelism
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelSimError::InvalidConfig`] for zero-sized inputs or a
+    /// mismatched strategy, and [`AccelSimError::OutOfMemory`] when weights
+    /// plus the full-context KV cache exceed the group's HBM.
+    pub fn decode_cost(
+        &self,
+        model: &ModelConfig,
+        prefix_len: u32,
+        decode_len: u32,
+        batch: u32,
+        group: &AcceleratorGroup,
+        parallelism: ParallelismConfig,
+    ) -> Result<DecodeCost, AccelSimError> {
+        validate_shape(decode_len, batch)?;
+        validate_parallelism(group, parallelism)?;
+        self.check_memory(model, batch, prefix_len + decode_len, group)?;
+        Ok(self.decode_cost_unchecked(model, prefix_len, decode_len, batch, group, parallelism))
+    }
+
+    /// The highest-throughput decode cost across all parallelism strategies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`InferenceSimulator::decode_cost`].
+    pub fn best_decode_cost(
+        &self,
+        model: &ModelConfig,
+        prefix_len: u32,
+        decode_len: u32,
+        batch: u32,
+        group: &AcceleratorGroup,
+    ) -> Result<DecodeCost, AccelSimError> {
+        validate_shape(decode_len, batch)?;
+        self.check_memory(model, batch, prefix_len + decode_len, group)?;
+        let best = group
+            .parallelism_options()
+            .into_iter()
+            .map(|p| self.decode_cost_unchecked(model, prefix_len, decode_len, batch, group, p))
+            .max_by(|a, b| {
+                a.throughput_rps
+                    .total_cmp(&b.throughput_rps)
+                    .then(b.step_latency_s.total_cmp(&a.step_latency_s))
+            })
+            .expect("a group always has at least one parallelism option");
+        Ok(best)
+    }
+
+    // ------------------------------------------------------------------
+    // Long-context LLM-only comparison (§5.2)
+    // ------------------------------------------------------------------
+
+    /// Cost of feeding the entire long context of `context_tokens` tokens to
+    /// the generative model as a prompt (the "long-context LLM" alternative
+    /// the paper compares RAG against). Models an efficient hybrid-attention
+    /// design: one in every `global_every` layers applies global attention
+    /// over all tokens, the remaining layers attend over a sliding window of
+    /// `local_window` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelSimError::InvalidConfig`] for zero-sized inputs and
+    /// [`AccelSimError::OutOfMemory`] when the full-context KV cache exceeds
+    /// the group's HBM (which is precisely the paper's point about this
+    /// baseline — give it a large group).
+    pub fn long_context_prefix_cost(
+        &self,
+        model: &ModelConfig,
+        context_tokens: u64,
+        batch: u32,
+        group: &AcceleratorGroup,
+        global_every: u32,
+        local_window: u32,
+    ) -> Result<InferencePhaseCost, AccelSimError> {
+        if context_tokens == 0 || global_every == 0 || local_window == 0 {
+            return Err(AccelSimError::InvalidConfig {
+                reason: "context, global_every and local_window must be non-zero".into(),
+            });
+        }
+        validate_shape(1, batch)?;
+        let ctx = u32::try_from(context_tokens.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        self.check_memory(model, batch, ctx, group)?;
+
+        let roofline = group.xpu.roofline();
+        let arch = &model.architecture;
+        let quant = model.quantization;
+        // Pick the lowest-latency parallelism for this very large prefix.
+        let mut best: Option<InferencePhaseCost> = None;
+        for par in group.parallelism_options() {
+            let shape = TokenShape {
+                batch: f64::from(batch),
+                new_tokens: context_tokens as f64,
+                context_tokens: context_tokens as f64,
+            };
+            let global = layer_ops(
+                arch,
+                quant,
+                shape,
+                par.tensor_parallel,
+                &roofline,
+                &group.interconnect,
+                None,
+            );
+            let local = layer_ops(
+                arch,
+                quant,
+                shape,
+                par.tensor_parallel,
+                &roofline,
+                &group.interconnect,
+                Some(f64::from(local_window)),
+            );
+            let layers = f64::from(arch.num_layers);
+            let n_global = (layers / f64::from(global_every)).ceil();
+            let n_local = layers - n_global;
+            let mut operators = scale_ops(&global, n_global);
+            operators.extend(scale_ops(&local, n_local));
+            operators.push(lm_head_ops(
+                arch,
+                quant,
+                f64::from(batch),
+                par.tensor_parallel,
+                &roofline,
+            ));
+            add_pipeline_comm(&mut operators, &shape, arch, par, group);
+            let latency = OperatorCost::total_seconds(&operators);
+            let cost = InferencePhaseCost {
+                latency_s: latency,
+                throughput_rps: pipeline_throughput(
+                    f64::from(batch),
+                    latency,
+                    par,
+                    arch.num_layers,
+                ),
+                parallelism: par,
+                flops: total_flops(&operators) * f64::from(par.tensor_parallel),
+                memory_bound_fraction: memory_bound_fraction(&operators),
+                operators,
+            };
+            if best
+                .as_ref()
+                .map(|b| cost.latency_s < b.latency_s)
+                .unwrap_or(true)
+            {
+                best = Some(cost);
+            }
+        }
+        Ok(best.expect("at least one parallelism option exists"))
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_memory(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        max_seq_len: u32,
+        group: &AcceleratorGroup,
+    ) -> Result<(), AccelSimError> {
+        if !self.memory.fits(model, batch, max_seq_len, group) {
+            return Err(AccelSimError::OutOfMemory {
+                required_bytes: self.memory.required_bytes(model, batch, max_seq_len),
+                available_bytes: self.memory.usable_bytes(group),
+            });
+        }
+        Ok(())
+    }
+
+    /// Generic cost of one batched forward pass over `shape`, reporting
+    /// throughput in terms of `requests_per_batch` completed requests.
+    fn batched_phase_cost(
+        &self,
+        model: &ModelConfig,
+        shape: TokenShape,
+        requests_per_batch: f64,
+        group: &AcceleratorGroup,
+        parallelism: ParallelismConfig,
+        context_override: Option<f64>,
+    ) -> InferencePhaseCost {
+        let roofline = group.xpu.roofline();
+        let arch = &model.architecture;
+        let per_layer = layer_ops(
+            arch,
+            model.quantization,
+            shape,
+            parallelism.tensor_parallel,
+            &roofline,
+            &group.interconnect,
+            context_override,
+        );
+        let mut operators = scale_ops(&per_layer, f64::from(arch.num_layers));
+        if !arch.is_encoder {
+            operators.push(lm_head_ops(
+                arch,
+                model.quantization,
+                shape.batch,
+                parallelism.tensor_parallel,
+                &roofline,
+            ));
+        }
+        add_pipeline_comm(&mut operators, &shape, arch, parallelism, group);
+        let latency = OperatorCost::total_seconds(&operators);
+        InferencePhaseCost {
+            latency_s: latency,
+            throughput_rps: pipeline_throughput(
+                requests_per_batch,
+                latency,
+                parallelism,
+                arch.num_layers,
+            ),
+            parallelism,
+            // Per-shard work times the tensor-parallel degree approximates the
+            // whole-model FLOP count (elementwise work is slightly overcounted).
+            flops: total_flops(&operators) * f64::from(parallelism.tensor_parallel),
+            memory_bound_fraction: memory_bound_fraction(&operators),
+            operators,
+        }
+    }
+
+    fn decode_cost_unchecked(
+        &self,
+        model: &ModelConfig,
+        prefix_len: u32,
+        decode_len: u32,
+        batch: u32,
+        group: &AcceleratorGroup,
+        parallelism: ParallelismConfig,
+    ) -> DecodeCost {
+        let roofline = group.xpu.roofline();
+        let arch = &model.architecture;
+        // Continuous batching: sequences in the batch are at different
+        // positions; cost one step at the average context length, report the
+        // worst-case (full-length) TPOT per the paper's methodology.
+        let avg_context = f64::from(prefix_len) + f64::from(decode_len) / 2.0;
+        let shape = TokenShape::decode_step(batch, avg_context);
+        let per_layer = layer_ops(
+            arch,
+            model.quantization,
+            shape,
+            parallelism.tensor_parallel,
+            &roofline,
+            &group.interconnect,
+            None,
+        );
+        let mut operators = scale_ops(&per_layer, f64::from(arch.num_layers));
+        operators.push(lm_head_ops(
+            arch,
+            model.quantization,
+            f64::from(batch),
+            parallelism.tensor_parallel,
+            &roofline,
+        ));
+        add_pipeline_comm(&mut operators, &shape, arch, parallelism, group);
+        let step = OperatorCost::total_seconds(&operators);
+        let total = step * f64::from(decode_len);
+        DecodeCost {
+            step_latency_s: step,
+            total_latency_s: total,
+            throughput_rps: f64::from(batch) / total,
+            tokens_per_second: f64::from(batch) / step,
+            parallelism,
+            memory_bound_fraction: memory_bound_fraction(&operators),
+            operators,
+        }
+    }
+}
+
+impl Default for InferenceSimulator {
+    fn default() -> Self {
+        InferenceSimulator::new()
+    }
+}
+
+fn validate_shape(tokens: u32, batch: u32) -> Result<(), AccelSimError> {
+    if tokens == 0 {
+        return Err(AccelSimError::InvalidConfig {
+            reason: "sequence length must be at least 1 token".into(),
+        });
+    }
+    if batch == 0 {
+        return Err(AccelSimError::InvalidConfig {
+            reason: "batch size must be at least 1".into(),
+        });
+    }
+    Ok(())
+}
+
+fn validate_parallelism(
+    group: &AcceleratorGroup,
+    parallelism: ParallelismConfig,
+) -> Result<(), AccelSimError> {
+    if parallelism.total_chips() != group.num_chips {
+        return Err(AccelSimError::InvalidConfig {
+            reason: format!(
+                "parallelism {} uses {} chips but the group has {}",
+                parallelism,
+                parallelism.total_chips(),
+                group.num_chips
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Scales per-layer operators to `layers` layers (summing their time/work).
+fn scale_ops(per_layer: &[OperatorCost], layers: f64) -> Vec<OperatorCost> {
+    per_layer
+        .iter()
+        .map(|o| OperatorCost {
+            name: o.name.clone(),
+            kind: o.kind,
+            work: o.work * layers,
+            data_bytes: o.data_bytes * layers,
+            seconds: o.seconds * layers,
+            is_memory_bound: o.is_memory_bound,
+        })
+        .collect()
+}
+
+/// Adds the inter-stage activation transfers of pipeline parallelism.
+fn add_pipeline_comm(
+    operators: &mut Vec<OperatorCost>,
+    shape: &TokenShape,
+    arch: &rago_schema::LlmArchitecture,
+    parallelism: ParallelismConfig,
+    group: &AcceleratorGroup,
+) {
+    if parallelism.pipeline_parallel <= 1 {
+        return;
+    }
+    let boundaries = f64::from(parallelism.pipeline_parallel - 1);
+    let bytes = shape.batch * shape.new_tokens * f64::from(arch.hidden_dim) * ACTIVATION_BYTES
+        / f64::from(parallelism.tensor_parallel);
+    let per_boundary = group.interconnect.transfer_time(bytes);
+    operators.push(OperatorCost::fixed(
+        "pp_activation_transfer",
+        OperatorKind::Communication,
+        boundaries * per_boundary,
+    ));
+}
+
+/// Steady-state throughput of a (possibly pipelined) phase: with `pp` stages
+/// the pipeline overlaps batches, so the bottleneck interval is roughly the
+/// per-stage time (`latency / pp`); without pipelining it is the latency.
+fn pipeline_throughput(
+    requests_per_batch: f64,
+    latency_s: f64,
+    par: ParallelismConfig,
+    num_layers: u32,
+) -> f64 {
+    if latency_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    // With `pp` pipeline stages, successive batches overlap: at steady state a
+    // batch completes roughly every `latency / pp` seconds (the bottleneck
+    // stage interval). A stage holds at least one layer, so the overlap factor
+    // can never exceed the layer count. Without pipelining a batch completes
+    // every `latency`.
+    let stages = f64::from(par.pipeline_parallel.clamp(1, num_layers.max(1)));
+    requests_per_batch * stages / latency_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_hardware::{XpuGeneration, XpuSpec};
+    use rago_schema::ModelConfig;
+
+    fn sim() -> InferenceSimulator {
+        InferenceSimulator::new()
+    }
+
+    fn group(chips: u32) -> AcceleratorGroup {
+        AcceleratorGroup::new(XpuSpec::default(), chips)
+    }
+
+    #[test]
+    fn prefix_latency_scales_roughly_with_model_size() {
+        let s = sim();
+        let g = group(8);
+        let small = s
+            .best_prefix_cost(&ModelConfig::llama3_8b(), 512, 4, &g)
+            .unwrap();
+        let large = s
+            .best_prefix_cost(&ModelConfig::llama3_70b(), 512, 4, &g)
+            .unwrap();
+        let ratio = large.latency_s / small.latency_s;
+        assert!(
+            (4.0..=14.0).contains(&ratio),
+            "70B/8B prefix latency ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn prefix_flops_match_the_2ml_approximation() {
+        // The paper approximates FLOPs_inference ≈ 2 * M * L.
+        let s = sim();
+        let g = group(4);
+        let model = ModelConfig::llama3_8b();
+        let cost = s.best_prefix_cost(&model, 512, 1, &g).unwrap();
+        let expected = 2.0 * model.params * 512.0;
+        let ratio = cost.flops / expected;
+        assert!((0.7..=1.5).contains(&ratio), "flops ratio {ratio}");
+    }
+
+    #[test]
+    fn decode_step_is_memory_bound_at_small_batch() {
+        let s = sim();
+        // On a single chip the batch-1 decode step is dominated by streaming
+        // the weights: memory bound (§2 of the paper).
+        let d = s
+            .best_decode_cost(&ModelConfig::llama3_8b(), 512, 256, 1, &group(1))
+            .unwrap();
+        assert!(d.memory_bound_fraction > 0.5);
+        // And tokens/s improves dramatically with batch (continuous batching).
+        let d_big = s
+            .best_decode_cost(&ModelConfig::llama3_8b(), 512, 256, 256, &group(1))
+            .unwrap();
+        assert!(d_big.tokens_per_second > d.tokens_per_second * 16.0);
+    }
+
+    #[test]
+    fn decode_throughput_increases_with_batch_but_tpot_grows() {
+        let s = sim();
+        let g = group(8);
+        let m = ModelConfig::llama3_70b();
+        let small = s.best_decode_cost(&m, 512, 256, 4, &g).unwrap();
+        let large = s.best_decode_cost(&m, 512, 256, 128, &g).unwrap();
+        assert!(large.throughput_rps > small.throughput_rps);
+        assert!(large.step_latency_s >= small.step_latency_s);
+    }
+
+    #[test]
+    fn larger_groups_reduce_prefix_latency() {
+        let s = sim();
+        let m = ModelConfig::llama3_70b();
+        let l1 = s.best_prefix_cost(&m, 512, 8, &group(1)).unwrap().latency_s;
+        let l8 = s.best_prefix_cost(&m, 512, 8, &group(8)).unwrap().latency_s;
+        let l32 = s.best_prefix_cost(&m, 512, 8, &group(32)).unwrap().latency_s;
+        assert!(l8 < l1);
+        assert!(l32 < l8);
+    }
+
+    #[test]
+    fn qps_per_chip_has_diminishing_returns() {
+        // Throughput per chip should not increase when adding chips to a
+        // fixed-size problem (communication and unsharded work bite).
+        let s = sim();
+        let m = ModelConfig::llama3_8b();
+        let c2 = s.best_prefix_cost(&m, 512, 16, &group(2)).unwrap();
+        let c16 = s.best_prefix_cost(&m, 512, 16, &group(16)).unwrap();
+        assert!(c16.throughput_per_chip(16) <= c2.throughput_per_chip(2) * 1.05);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let s = sim();
+        let tiny = AcceleratorGroup::new(XpuSpec::generation(XpuGeneration::A), 1);
+        let err = s
+            .best_prefix_cost(&ModelConfig::llama3_70b(), 512, 1, &tiny)
+            .unwrap_err();
+        assert!(matches!(err, AccelSimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let s = sim();
+        let g = group(4);
+        let m = ModelConfig::llama3_8b();
+        assert!(matches!(
+            s.best_prefix_cost(&m, 0, 1, &g),
+            Err(AccelSimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            s.best_prefix_cost(&m, 512, 0, &g),
+            Err(AccelSimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            s.prefix_cost(&m, 512, 1, &g, ParallelismConfig::new(3, 1)),
+            Err(AccelSimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn encoder_cost_scales_with_context_length() {
+        let s = sim();
+        let g = group(8);
+        let enc = ModelConfig::encoder_120m();
+        let c100k = s.encoder_cost(&enc, 100_000, 128, 2, &g).unwrap();
+        let c1m = s.encoder_cost(&enc, 1_000_000, 128, 2, &g).unwrap();
+        let ratio = c1m.latency_s / c100k.latency_s;
+        assert!((5.0..=15.0).contains(&ratio), "encoder scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn encoder_dominates_generation_for_long_contexts() {
+        // §5.2: even a 120M encoder over 1M tokens costs more than a 70B
+        // prefix over 512 tokens.
+        let s = sim();
+        let g = group(16);
+        let enc = s
+            .encoder_cost(&ModelConfig::encoder_120m(), 1_000_000, 128, 1, &g)
+            .unwrap();
+        let prefix = s
+            .best_prefix_cost(&ModelConfig::llama3_70b(), 512, 1, &g)
+            .unwrap();
+        assert!(enc.latency_s > prefix.latency_s);
+    }
+
+    #[test]
+    fn rag_prefix_beats_long_context_llm_by_orders_of_magnitude() {
+        // §5.2: with a 1M-token context, RAG (512-token prefix) achieves a
+        // speedup of >100x in TTFT against even an efficient long-context LLM.
+        let s = sim();
+        let g = group(64);
+        let m = ModelConfig::llama3_70b();
+        let rag_prefix = s.best_prefix_cost(&m, 512, 1, &g).unwrap();
+        let long_ctx = s
+            .long_context_prefix_cost(&m, 1_000_000, 1, &g, 4, 128)
+            .unwrap();
+        let speedup = long_ctx.latency_s / rag_prefix.latency_s;
+        assert!(speedup > 100.0, "long-context speedup only {speedup}");
+    }
+
+    #[test]
+    fn explicit_parallelism_matches_enumerated_best() {
+        let s = sim();
+        let g = group(4);
+        let m = ModelConfig::llama3_8b();
+        let best = s.best_prefix_cost(&m, 512, 8, &g).unwrap();
+        let explicit = s
+            .prefix_cost(&m, 512, 8, &g, best.parallelism)
+            .unwrap();
+        assert!((explicit.latency_s - best.latency_s).abs() < 1e-9);
+    }
+}

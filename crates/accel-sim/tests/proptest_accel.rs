@@ -1,0 +1,103 @@
+//! Property-based tests for the inference cost model.
+
+use proptest::prelude::*;
+use rago_accel_sim::{AcceleratorGroup, InferenceSimulator, ParallelismConfig};
+use rago_hardware::XpuSpec;
+use rago_schema::ModelConfig;
+
+fn group(chips: u32) -> AcceleratorGroup {
+    AcceleratorGroup::new(XpuSpec::default(), chips)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prefix latency is monotone in sequence length and batch size, and
+    /// throughput never becomes negative.
+    #[test]
+    fn prefix_latency_is_monotone(
+        seq in 16u32..2048,
+        batch in 1u32..64,
+        chips_pow in 0u32..4,
+    ) {
+        let sim = InferenceSimulator::new();
+        let g = group(1 << chips_pow);
+        let model = ModelConfig::llama3_8b();
+        let base = sim.best_prefix_cost(&model, seq, batch, &g).unwrap();
+        let longer = sim.best_prefix_cost(&model, seq * 2, batch, &g).unwrap();
+        let bigger = sim.best_prefix_cost(&model, seq, batch + 1, &g).unwrap();
+        prop_assert!(base.latency_s > 0.0);
+        prop_assert!(base.throughput_rps > 0.0);
+        prop_assert!(longer.latency_s >= base.latency_s);
+        prop_assert!(bigger.latency_s >= base.latency_s);
+    }
+
+    /// Decode TPOT grows (weakly) with batch size while tokens/s grows too —
+    /// the fundamental throughput/latency trade-off of continuous batching.
+    #[test]
+    fn decode_batching_tradeoff(
+        batch_pow in 0u32..8,
+        prefix in 64u32..1024,
+    ) {
+        let sim = InferenceSimulator::new();
+        let g = group(8);
+        let model = ModelConfig::llama3_8b();
+        let small = sim.best_decode_cost(&model, prefix, 128, 1 << batch_pow, &g).unwrap();
+        let large = sim.best_decode_cost(&model, prefix, 128, 2 << batch_pow, &g).unwrap();
+        prop_assert!(large.step_latency_s >= small.step_latency_s * 0.999);
+        prop_assert!(large.tokens_per_second >= small.tokens_per_second * 0.999);
+    }
+
+    /// For any legal explicit parallelism, the enumerated best prefix cost is
+    /// never slower than that explicit choice.
+    #[test]
+    fn best_prefix_is_at_least_as_good_as_any_explicit_choice(
+        tp_pow in 0u32..3,
+        pp_pow in 0u32..3,
+        batch in 1u32..32,
+    ) {
+        let sim = InferenceSimulator::new();
+        let tp = 1u32 << tp_pow;
+        let pp = 1u32 << pp_pow;
+        let g = group(tp * pp);
+        let model = ModelConfig::llama3_8b();
+        let explicit = sim
+            .prefix_cost(&model, 512, batch, &g, ParallelismConfig::new(tp, pp))
+            .unwrap();
+        let best = sim.best_prefix_cost(&model, 512, batch, &g).unwrap();
+        prop_assert!(best.latency_s <= explicit.latency_s + 1e-12);
+    }
+
+    /// Encoder cost scales (at least) linearly with the number of tokens to
+    /// encode, for any chunk size.
+    #[test]
+    fn encoder_cost_scales_with_tokens(
+        tokens in 10_000u64..2_000_000,
+        chunk in 32u32..512,
+    ) {
+        let sim = InferenceSimulator::new();
+        let g = group(8);
+        let enc = ModelConfig::encoder_120m();
+        let one = sim.encoder_cost(&enc, tokens, chunk, 1, &g).unwrap();
+        let four = sim.encoder_cost(&enc, tokens * 4, chunk, 1, &g).unwrap();
+        prop_assert!(four.latency_s > one.latency_s * 3.0);
+        prop_assert!(four.latency_s < one.latency_s * 6.0);
+    }
+
+    /// Memory feasibility: whenever best_decode_cost succeeds, the memory
+    /// model agrees that weights plus KV cache fit on the group.
+    #[test]
+    fn successful_costs_fit_in_memory(
+        batch_pow in 0u32..9,
+        chips_pow in 0u32..4,
+    ) {
+        let sim = InferenceSimulator::new();
+        let g = group(1 << chips_pow);
+        let model = ModelConfig::llama3_70b();
+        let batch = 1u32 << batch_pow;
+        match sim.best_decode_cost(&model, 512, 256, batch, &g) {
+            Ok(_) => prop_assert!(sim.memory.fits(&model, batch, 768, &g)),
+            Err(_) => prop_assert!(!sim.memory.fits(&model, batch, 768, &g)),
+        }
+    }
+}

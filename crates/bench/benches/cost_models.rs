@@ -1,0 +1,50 @@
+//! Criterion benches of the analytical cost models (the inner loop of the
+//! optimizer's search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rago_accel_sim::{AcceleratorGroup, InferenceSimulator};
+use rago_hardware::XpuSpec;
+use rago_retrieval_sim::RetrievalSimulator;
+use rago_schema::{ModelConfig, RetrievalConfig};
+use std::hint::black_box;
+
+fn bench_inference_models(c: &mut Criterion) {
+    let sim = InferenceSimulator::new();
+    let group = AcceleratorGroup::new(XpuSpec::default(), 16);
+    let model = ModelConfig::llama3_70b();
+
+    c.bench_function("prefix_cost_70b_b8", |b| {
+        b.iter(|| {
+            sim.best_prefix_cost(black_box(&model), black_box(512), black_box(8), &group)
+                .unwrap()
+        })
+    });
+    c.bench_function("decode_cost_70b_b128", |b| {
+        b.iter(|| {
+            sim.best_decode_cost(black_box(&model), 512, 256, black_box(128), &group)
+                .unwrap()
+        })
+    });
+    let encoder = ModelConfig::encoder_120m();
+    c.bench_function("encoder_cost_1m_tokens", |b| {
+        b.iter(|| {
+            sim.encoder_cost(black_box(&encoder), 1_000_000, 128, 2, &group)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_retrieval_model(c: &mut Criterion) {
+    let sim = RetrievalSimulator::default();
+    let cfg = RetrievalConfig::hyperscale_64b();
+    c.bench_function("retrieval_cost_64b_batch16", |b| {
+        b.iter(|| sim.retrieval_cost(black_box(&cfg), 16, 32).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference_models, bench_retrieval_model
+}
+criterion_main!(benches);

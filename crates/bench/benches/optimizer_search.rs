@@ -1,0 +1,44 @@
+//! Criterion benches of the RAGO schedule search (Algorithm 1) at different
+//! grid granularities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rago_core::{Rago, SearchOptions};
+use rago_hardware::ClusterSpec;
+use rago_schema::presets::{self, LlmSize};
+
+fn bench_search(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_default();
+
+    let case1 = Rago::new(presets::case1_hyperscale(LlmSize::B8, 1), cluster.clone());
+    c.bench_function("optimize_case1_fast_grid", |b| {
+        b.iter(|| case1.optimize(&SearchOptions::fast()).unwrap())
+    });
+
+    let case4 = Rago::new(presets::case4_rewriter_reranker(LlmSize::B70), cluster.clone());
+    let medium = SearchOptions {
+        xpu_steps: vec![4, 16, 64],
+        server_steps: vec![32],
+        predecode_batch_steps: vec![1, 8, 64],
+        decode_batch_steps: vec![128, 512],
+        iterative_batch_steps: vec![8],
+        placements: None,
+    };
+    c.bench_function("optimize_case4_medium_grid", |b| {
+        b.iter(|| case4.optimize(&medium).unwrap())
+    });
+
+    let case2 = Rago::new(
+        presets::case2_long_context(LlmSize::B70, 1_000_000),
+        cluster,
+    );
+    c.bench_function("enumerate_schedules_case2", |b| {
+        b.iter(|| case2.enumerate_schedules(&medium))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search
+}
+criterion_main!(benches);

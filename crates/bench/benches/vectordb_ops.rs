@@ -1,0 +1,54 @@
+//! Criterion benches of the vector-search substrate (exact kNN, PQ scanning,
+//! IVF-PQ search) — the operations whose measured throughput calibrates the
+//! retrieval cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rago_vectordb::{FlatIndex, IvfPqIndex, IvfPqParams, ProductQuantizer, SyntheticDataset};
+use std::hint::black_box;
+
+fn bench_flat_search(c: &mut Criterion) {
+    let data = SyntheticDataset::clustered(20_000, 96, 32, 1);
+    let index = FlatIndex::build(96, data.vectors.clone()).unwrap();
+    let query = data.vectors[7].clone();
+    c.bench_function("flat_knn_20k_x96_top10", |b| {
+        b.iter(|| index.search(black_box(&query), 10))
+    });
+}
+
+fn bench_pq_scan(c: &mut Criterion) {
+    let data = SyntheticDataset::clustered(20_000, 96, 32, 2);
+    let pq = ProductQuantizer::train(96, 12, 4, &data.vectors[..2_000], 3).unwrap();
+    let codes = pq.encode_batch(&data.vectors);
+    let query = data.vectors[11].clone();
+    let table = pq.build_lookup_table(&query);
+    c.bench_function("pq_adc_scan_20k_codes", |b| {
+        b.iter(|| pq.scan(black_box(&table), black_box(&codes), None, 10))
+    });
+    c.bench_function("pq_encode_one_vector", |b| {
+        b.iter(|| pq.encode(black_box(&data.vectors[42])))
+    });
+}
+
+fn bench_ivf_search(c: &mut Criterion) {
+    let data = SyntheticDataset::clustered(20_000, 64, 64, 4);
+    let params = IvfPqParams {
+        num_lists: 128,
+        num_subspaces: 8,
+        bits_per_code: 4,
+        training_sample: 3_000,
+    };
+    let index = IvfPqIndex::train(64, &data.vectors, params, 5).unwrap();
+    let query = data.vectors[99].clone();
+    for nprobe in [4usize, 16] {
+        c.bench_function(&format!("ivfpq_search_20k_nprobe{nprobe}"), |b| {
+            b.iter(|| index.search(black_box(&query), 10, nprobe))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_flat_search, bench_pq_scan, bench_ivf_search
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 5: RAG with smaller models versus larger LLM-only systems
+//! (QPS/chip vs TTFT Pareto frontiers).
+//!
+//! Run with: `cargo run --release -p rago-bench --bin fig05`
+
+use rago_bench::{default_cluster, figure_search_options, fmt_f, print_header, print_row};
+use rago_core::Rago;
+use rago_schema::presets::{self, LlmSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = default_cluster();
+    let options = figure_search_options();
+
+    let systems = [
+        ("RAG 1B", presets::case1_hyperscale(LlmSize::B1, 1)),
+        ("RAG 8B", presets::case1_hyperscale(LlmSize::B8, 1)),
+        ("LLM-only 8B", presets::llm_only(LlmSize::B8)),
+        ("LLM-only 70B", presets::llm_only(LlmSize::B70)),
+    ];
+
+    println!("Figure 5: RAG vs LLM-only Pareto (QPS/chip vs TTFT)\n");
+    let mut best = Vec::new();
+    for (name, schema) in systems {
+        let rago = Rago::new(schema, cluster.clone());
+        let frontier = rago.optimize(&options)?;
+        println!("-- {name} ({} points) --", frontier.len());
+        print_header(&["TTFT (ms)", "QPS/chip"], 12);
+        for p in frontier.iter() {
+            print_row(
+                &[
+                    fmt_f(p.performance.ttft_s * 1e3, 1),
+                    fmt_f(p.performance.qps_per_chip, 3),
+                ],
+                12,
+            );
+        }
+        best.push((
+            name,
+            frontier.max_qps_per_chip().unwrap().performance.qps_per_chip,
+        ));
+        println!();
+    }
+
+    println!("max QPS/chip summary:");
+    for (name, qpc) in &best {
+        println!("  {name:<14} {qpc:.3}");
+    }
+    let rag8 = best.iter().find(|(n, _)| *n == "RAG 8B").unwrap().1;
+    let llm70 = best.iter().find(|(n, _)| *n == "LLM-only 70B").unwrap().1;
+    println!(
+        "\nRAG 8B vs LLM-only 70B QPS/chip: {:.2}x (paper reports ~1.5x)",
+        rag8 / llm70
+    );
+    Ok(())
+}

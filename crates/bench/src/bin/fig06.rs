@@ -1,0 +1,54 @@
+//! Figure 6: Case I performance and time breakdown for 8B / 70B generators
+//! and 1–8 query vectors per retrieval.
+//!
+//! Run with: `cargo run --release -p rago-bench --bin fig06`
+
+use rago_bench::{default_cluster, figure_search_options, fmt_f, print_header, print_row};
+use rago_core::{breakdown, Rago, StageProfiler};
+use rago_schema::presets::{self, LlmSize};
+use rago_schema::Stage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = default_cluster();
+    let options = figure_search_options();
+
+    for llm in [LlmSize::B8, LlmSize::B70] {
+        println!("== Figure 6 ({llm} generator) ==");
+        print_header(
+            &[
+                "queries",
+                "max QPS/chip",
+                "TTFT@max (ms)",
+                "retrieval%",
+                "prefix%",
+                "decode%",
+            ],
+            14,
+        );
+        for queries in [1u32, 2, 4, 8] {
+            let schema = presets::case1_hyperscale(llm, queries);
+            let rago = Rago::new(schema.clone(), cluster.clone());
+            let frontier = rago.optimize(&options)?;
+            let best = frontier.max_qps_per_chip().unwrap();
+
+            let profiler = StageProfiler::new(schema, cluster.clone());
+            let shares =
+                breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
+            print_row(
+                &[
+                    queries.to_string(),
+                    fmt_f(best.performance.qps_per_chip, 3),
+                    fmt_f(best.performance.ttft_s * 1e3, 1),
+                    fmt_f(breakdown::share_of(&shares, Stage::Retrieval) * 100.0, 1),
+                    fmt_f(breakdown::share_of(&shares, Stage::Prefix) * 100.0, 1),
+                    fmt_f(breakdown::share_of(&shares, Stage::Decode) * 100.0, 1),
+                ],
+                14,
+            );
+        }
+        println!();
+    }
+    println!("expected shape: QPS/chip roughly halves per query doubling for the 8B model;");
+    println!("the 70B model is inference bound until ~4-8 queries per retrieval.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Figure 8: Case II (long-context processing) performance and time
+//! breakdown across context lengths, plus the RAG vs long-context-LLM
+//! comparison of §5.2.
+//!
+//! Run with: `cargo run --release -p rago-bench --bin fig08`
+
+use rago_accel_sim::{AcceleratorGroup, InferenceSimulator};
+use rago_bench::{default_cluster, figure_search_options, fmt_f, print_header, print_row};
+use rago_core::{breakdown, Rago, StageProfiler};
+use rago_schema::presets::{self, LlmSize};
+use rago_schema::{ModelConfig, Stage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = default_cluster();
+    let options = figure_search_options();
+
+    println!("Figure 8: long-context RAG with a 70B generator\n");
+    print_header(
+        &[
+            "context",
+            "max QPS/chip",
+            "TTFT@max (s)",
+            "encode%",
+            "retrieval%",
+            "prefix%",
+            "decode%",
+        ],
+        13,
+    );
+    for ctx in [100_000u64, 1_000_000, 10_000_000] {
+        let schema = presets::case2_long_context(LlmSize::B70, ctx);
+        let rago = Rago::new(schema.clone(), cluster.clone());
+        let frontier = rago.optimize(&options)?;
+        let best = frontier.max_qps_per_chip().unwrap();
+        let profiler = StageProfiler::new(schema, cluster.clone());
+        let shares = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
+        print_row(
+            &[
+                format!("{}K", ctx / 1_000),
+                fmt_f(best.performance.qps_per_chip, 3),
+                fmt_f(best.performance.ttft_s, 2),
+                fmt_f(breakdown::share_of(&shares, Stage::DatabaseEncode) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::Retrieval) * 100.0, 2),
+                fmt_f(breakdown::share_of(&shares, Stage::Prefix) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::Decode) * 100.0, 1),
+            ],
+            13,
+        );
+    }
+
+    // "No long context" reference: plain Case-I style 512-token prefix RAG.
+    let reference = Rago::new(presets::case1_hyperscale(LlmSize::B70, 1), cluster.clone());
+    let ref_best = reference.optimize(&options)?;
+    println!(
+        "\n'no long context' reference (512-token prefix RAG): max QPS/chip = {}",
+        fmt_f(
+            ref_best.max_qps_per_chip().unwrap().performance.qps_per_chip,
+            3
+        )
+    );
+
+    // RAG vs feeding the whole context to an efficient long-context LLM.
+    println!("\nRAG vs long-context LLM (1M-token context, 70B):");
+    let sim = InferenceSimulator::new();
+    let group = AcceleratorGroup::new(cluster.xpu.clone(), 64);
+    let model = ModelConfig::llama3_70b();
+    let rag_prefix = sim.best_prefix_cost(&model, 512, 1, &group)?;
+    let long_ctx = sim.long_context_prefix_cost(&model, 1_000_000, 1, &group, 4, 128)?;
+    println!(
+        "  TTFT speedup of RAG over long-context LLM: {:.0}x (paper: 2852.6x on its testbed)",
+        long_ctx.latency_s / rag_prefix.latency_s
+    );
+    println!("\nexpected shape: encoding dominates and grows with context length;");
+    println!("retrieval stays <1% because the per-request database is tiny.");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Figure 11: Case IV — time breakdown with the query rewriter and reranker,
+//! and the TTFT cost of the rewriter's autoregressive decoding.
+//!
+//! Run with: `cargo run --release -p rago-bench --bin fig11`
+
+use rago_bench::{default_cluster, fmt_f, print_header, print_row};
+use rago_core::{breakdown, StageProfiler};
+use rago_schema::presets::{self, LlmSize};
+use rago_schema::Stage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = default_cluster();
+
+    println!("Figure 11: time x resource breakdown with rewriter + reranker\n");
+    print_header(
+        &[
+            "LLM",
+            "rw-prefix%",
+            "rw-decode%",
+            "retrieval%",
+            "rerank%",
+            "prefix%",
+            "decode%",
+        ],
+        12,
+    );
+    for llm in [LlmSize::B8, LlmSize::B70] {
+        let schema = presets::case4_rewriter_reranker(llm);
+        let profiler = StageProfiler::new(schema, cluster.clone());
+        let shares = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
+        print_row(
+            &[
+                llm.to_string(),
+                fmt_f(breakdown::share_of(&shares, Stage::RewritePrefix) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::RewriteDecode) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::Retrieval) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::Rerank) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::Prefix) * 100.0, 1),
+                fmt_f(breakdown::share_of(&shares, Stage::Decode) * 100.0, 1),
+            ],
+            12,
+        );
+    }
+
+    // TTFT impact of the rewriter (single request, generous resources).
+    println!("\nTTFT impact of the rewriter (batch 1):");
+    for llm in [LlmSize::B8, LlmSize::B70] {
+        let ttft = |schema: rago_schema::RagSchema| -> f64 {
+            let profiler = StageProfiler::new(schema, cluster.clone());
+            profiler
+                .schema()
+                .pipeline()
+                .into_iter()
+                .filter(|s| s.affects_ttft())
+                .map(|s| {
+                    let resources = if s == Stage::Retrieval { 32 } else { 16 };
+                    profiler.profile(s, resources, 1).unwrap().latency_s
+                })
+                .sum()
+        };
+        let with = ttft(presets::case4_rewriter_reranker(llm));
+        let without = ttft(presets::case1_hyperscale(llm, 1));
+        println!(
+            "  {llm}: TTFT {:.1} ms with rewriter+reranker vs {:.1} ms without ({:.1}x; paper: 2.4x)",
+            with * 1e3,
+            without * 1e3,
+            with / without
+        );
+    }
+    println!("\nexpected shape: rewriter and reranker contribute little to the");
+    println!("time x resource budget (QPS/chip), but the rewriter's autoregressive");
+    println!("decode inflates TTFT noticeably.");
+    Ok(())
+}

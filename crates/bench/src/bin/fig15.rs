@@ -1,0 +1,66 @@
+//! Figure 15: RAGO versus the LLM-system-extension baseline — QPS/chip vs
+//! TTFT Pareto frontiers for Case II and Case IV.
+//!
+//! Run with: `cargo run --release -p rago-bench --bin fig15`
+
+use rago_bench::{default_cluster, figure_search_options, fmt_f, print_header, print_row};
+use rago_core::{BaselineSystem, ParetoFrontier, Rago};
+use rago_schema::presets::{self, LlmSize};
+
+fn print_frontier(label: &str, frontier: &ParetoFrontier) {
+    println!("-- {label} ({} points) --", frontier.len());
+    print_header(&["TTFT (s)", "QPS/chip"], 12);
+    for p in frontier.iter() {
+        print_row(
+            &[
+                fmt_f(p.performance.ttft_s, 3),
+                fmt_f(p.performance.qps_per_chip, 3),
+            ],
+            12,
+        );
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = default_cluster();
+    let options = figure_search_options();
+
+    let cases = [
+        (
+            "Case II (1M-token context, 70B)",
+            presets::case2_long_context(LlmSize::B70, 1_000_000),
+            128u32,
+        ),
+        (
+            "Case IV (rewriter + reranker, 70B)",
+            presets::case4_rewriter_reranker(LlmSize::B70),
+            64u32,
+        ),
+    ];
+
+    for (name, schema, baseline_xpus) in cases {
+        println!("== Figure 15: {name} ==\n");
+        let rago = Rago::new(schema.clone(), cluster.clone());
+        let rago_frontier = rago.optimize(&options)?;
+        print_frontier("RAGO", &rago_frontier);
+
+        let baseline = BaselineSystem::new(schema, cluster.clone(), baseline_xpus);
+        let baseline_frontier =
+            baseline.optimize(&[1, 2, 4, 8, 16, 32, 64, 128], &[128, 256, 512, 1024])?;
+        print_frontier("baseline (LLM-system extension)", &baseline_frontier);
+
+        let speedup = rago_frontier
+            .max_qps_per_chip()
+            .unwrap()
+            .performance
+            .qps_per_chip
+            / baseline_frontier
+                .max_qps_per_chip()
+                .unwrap()
+                .performance
+                .qps_per_chip;
+        println!("RAGO max QPS/chip improvement: {speedup:.2}x (paper: 1.7x for C-II, 1.5x for C-IV)\n");
+    }
+    Ok(())
+}

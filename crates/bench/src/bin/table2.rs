@@ -1,0 +1,37 @@
+//! Table 2: performance specifications of the three XPU generations.
+//!
+//! Run with: `cargo run --release -p rago-bench --bin table2`
+
+use rago_bench::{print_header, print_row};
+use rago_hardware::{XpuGeneration, XpuSpec};
+
+fn main() {
+    println!("Table 2: XPU performance specifications\n");
+    print_header(
+        &["spec", "XPU-A", "XPU-B", "XPU-C"],
+        16,
+    );
+    let specs: Vec<XpuSpec> = XpuGeneration::ALL
+        .iter()
+        .map(|g| XpuSpec::generation(*g))
+        .collect();
+    let rows: Vec<(&str, Box<dyn Fn(&XpuSpec) -> String>)> = vec![
+        ("TFLOPS", Box::new(|s: &XpuSpec| format!("{:.0}", s.peak_tflops))),
+        ("HBM (GB)", Box::new(|s: &XpuSpec| format!("{:.0}", s.hbm_capacity_gib))),
+        (
+            "Mem BW (GB/s)",
+            Box::new(|s: &XpuSpec| format!("{:.0}", s.hbm_bandwidth_gbps)),
+        ),
+        (
+            "ICI BW (GB/s)",
+            Box::new(|s: &XpuSpec| format!("{:.0}", s.interchip_bandwidth_gbps)),
+        ),
+    ];
+    for (name, f) in rows {
+        let cells: Vec<String> = std::iter::once(name.to_string())
+            .chain(specs.iter().map(|s| f(s)))
+            .collect();
+        print_row(&cells, 16);
+    }
+    println!("\n(XPU-C is the default accelerator used throughout the evaluation.)");
+}

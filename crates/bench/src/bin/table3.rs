@@ -1,0 +1,73 @@
+//! Table 3: RAGSchema of the workloads used in the four case studies.
+//!
+//! Run with: `cargo run --release -p rago-bench --bin table3`
+
+use rago_bench::{print_header, print_row};
+use rago_workloads::{case_study_sweeps, CaseStudy};
+
+fn main() {
+    println!("Table 3: RAGSchema of the case-study workloads\n");
+    print_header(
+        &["component", "Case 1", "Case 2", "Case 3", "Case 4"],
+        22,
+    );
+    let defaults: Vec<_> = CaseStudy::ALL.iter().map(|c| c.default_schema()).collect();
+
+    let row = |name: &str, f: &dyn Fn(&rago_schema::RagSchema) -> String| {
+        let cells: Vec<String> = std::iter::once(name.to_string())
+            .chain(defaults.iter().map(f))
+            .collect();
+        print_row(&cells, 22);
+    };
+
+    row("document encoder", &|s| {
+        s.document_encoder
+            .as_ref()
+            .map(|m| format!("{:.0}M ({}-d)", m.params / 1e6, m.architecture.hidden_dim))
+            .unwrap_or_else(|| "N/A".into())
+    });
+    row("database vectors", &|s| {
+        s.retrieval
+            .as_ref()
+            .map(|r| {
+                if r.num_vectors >= 1_000_000_000 {
+                    format!("{}B", r.num_vectors / 1_000_000_000)
+                } else {
+                    format!("{}K", r.num_vectors / 1_000)
+                }
+            })
+            .unwrap_or_else(|| "N/A".into())
+    });
+    row("retrieval frequency", &|s| {
+        s.retrieval
+            .as_ref()
+            .map(|r| r.retrievals_per_sequence.to_string())
+            .unwrap_or_else(|| "N/A".into())
+    });
+    row("queries per retrieval", &|s| {
+        s.retrieval
+            .as_ref()
+            .map(|r| r.queries_per_retrieval.to_string())
+            .unwrap_or_else(|| "N/A".into())
+    });
+    row("query rewriter", &|s| {
+        s.query_rewriter
+            .as_ref()
+            .map(|m| format!("{:.0}B", m.params / 1e9))
+            .unwrap_or_else(|| "N/A".into())
+    });
+    row("query reranker", &|s| {
+        s.reranker
+            .as_ref()
+            .map(|m| format!("{:.0}M", m.params / 1e6))
+            .unwrap_or_else(|| "N/A".into())
+    });
+    row("generative LLM", &|s| {
+        format!("{:.0}B", s.generative_llm.params / 1e9)
+    });
+
+    println!("\nfull parameter sweeps per case:");
+    for case in CaseStudy::ALL {
+        println!("  {case}: {} workload variants", case_study_sweeps(case).len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 4: RAGO versus the baseline system schedules in Case II
+//! (placement, allocation, batching, and the resulting TTFT / QPS per chip).
+//!
+//! Run with: `cargo run --release -p rago-bench --bin table4`
+
+use rago_bench::{default_cluster, figure_search_options, fmt_f, print_header, print_row};
+use rago_core::{BaselineSystem, ParetoPoint, Rago};
+use rago_schema::presets::{self, LlmSize};
+
+fn row_for(label: &str, point: &ParetoPoint) {
+    let perf = &point.performance;
+    let sched = &point.schedule;
+    print_row(
+        &[
+            label.to_string(),
+            fmt_f(perf.ttft_s, 2),
+            fmt_f(perf.qps_per_chip, 2),
+            sched.batching.predecode_batch.to_string(),
+            sched.batching.decode_batch.to_string(),
+            format!("{:?}", sched.allocation.group_xpus),
+            sched.allocation.decode_xpus.to_string(),
+            perf.total_xpus.to_string(),
+        ],
+        14,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = default_cluster();
+    let schema = presets::case2_long_context(LlmSize::B70, 1_000_000);
+
+    let rago = Rago::new(schema.clone(), cluster.clone());
+    let frontier = rago.optimize(&figure_search_options())?;
+
+    let baseline = BaselineSystem::new(schema, cluster, 128);
+    let baseline_frontier = baseline.optimize(&[1, 2, 4, 8, 16, 32, 64, 128], &[128, 256, 512, 1024])?;
+
+    println!("Table 4: RAGO vs baseline schedules in Case II (1M-token context, 70B)\n");
+    print_header(
+        &[
+            "schedule",
+            "TTFT (s)",
+            "QPS/chip",
+            "pre batch",
+            "dec batch",
+            "group XPUs",
+            "dec XPUs",
+            "total XPUs",
+        ],
+        14,
+    );
+    row_for("RAGO maxQPS", frontier.max_qps_per_chip().unwrap());
+    row_for("RAGO minTTFT", frontier.min_ttft().unwrap());
+    row_for(
+        "base maxQPS",
+        baseline_frontier.max_qps_per_chip().unwrap(),
+    );
+    row_for("base minTTFT", baseline_frontier.min_ttft().unwrap());
+
+    let speedup = frontier
+        .max_qps_per_chip()
+        .unwrap()
+        .performance
+        .qps_per_chip
+        / baseline_frontier
+            .max_qps_per_chip()
+            .unwrap()
+            .performance
+            .qps_per_chip;
+    println!(
+        "\nRAGO max-QPS/chip improvement over the baseline: {speedup:.2}x (paper: 1.7x)"
+    );
+    println!("RAGO placement for max QPS/chip: {}", frontier.max_qps_per_chip().unwrap().schedule.placement.describe());
+    Ok(())
+}

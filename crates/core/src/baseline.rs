@@ -1,0 +1,143 @@
+//! The LLM-system-extension baseline (§7.1).
+//!
+//! The paper's baseline treats a RAG pipeline as a simple extension of an
+//! LLM-only serving system: every auxiliary component (encoder, rewriter,
+//! reranker) is collocated with the main LLM's prefix partition, the prefix
+//! and decode partitions receive an equal number of chips (a 1:1 ratio tuned
+//! to their similar time consumption), and all stages before decode share one
+//! batch size. Only the batch sizes are swept to build its Pareto frontier.
+
+use crate::error::RagoError;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::placement::PlacementPlan;
+use crate::profiler::StageProfiler;
+use crate::schedule::{BatchingPolicy, ResourceAllocation, Schedule};
+use rago_hardware::ClusterSpec;
+use rago_schema::RagSchema;
+
+/// The baseline serving system built as an extension of an LLM-only system.
+#[derive(Debug, Clone)]
+pub struct BaselineSystem {
+    profiler: StageProfiler,
+    total_xpus: u32,
+    retrieval_servers: u32,
+}
+
+impl BaselineSystem {
+    /// Creates the baseline for `schema` on `cluster`, using `total_xpus`
+    /// accelerators split 1:1 between the prefix-side partition (which also
+    /// hosts all auxiliary components) and the decode partition. Retrieval
+    /// gets the minimum number of servers that holds the database.
+    pub fn new(schema: RagSchema, cluster: ClusterSpec, total_xpus: u32) -> Self {
+        let profiler = StageProfiler::new(schema, cluster);
+        let retrieval_servers = profiler.min_retrieval_servers();
+        Self {
+            profiler,
+            total_xpus,
+            retrieval_servers,
+        }
+    }
+
+    /// The underlying profiler.
+    pub fn profiler(&self) -> &StageProfiler {
+        &self.profiler
+    }
+
+    /// The baseline schedule for a given pre-decode batch size and decode
+    /// batch size.
+    pub fn schedule(&self, predecode_batch: u32, decode_batch: u32) -> Schedule {
+        let schema = self.profiler.schema();
+        let placement = PlacementPlan::fully_collocated(schema);
+        let prefix_side = (self.total_xpus / 2).max(1);
+        let decode_side = (self.total_xpus - prefix_side).max(1);
+        let mut batching = BatchingPolicy::new(predecode_batch, decode_batch);
+        if schema.is_iterative() {
+            batching = batching.with_iterative_batch(predecode_batch);
+        }
+        Schedule {
+            placement,
+            allocation: ResourceAllocation {
+                group_xpus: vec![prefix_side],
+                decode_xpus: decode_side,
+                retrieval_servers: self.retrieval_servers,
+            },
+            batching,
+        }
+    }
+
+    /// Evaluates the baseline over a sweep of batch sizes and returns its
+    /// Pareto frontier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::NoFeasibleSchedule`] if no batch size is feasible
+    /// (e.g. the model does not fit in half the chips).
+    pub fn optimize(
+        &self,
+        predecode_batches: &[u32],
+        decode_batches: &[u32],
+    ) -> Result<ParetoFrontier, RagoError> {
+        let mut points = Vec::new();
+        for &pb in predecode_batches {
+            for &db in decode_batches {
+                let schedule = self.schedule(pb, db);
+                if let Ok(performance) = schedule.evaluate(&self.profiler) {
+                    points.push(ParetoPoint {
+                        schedule,
+                        performance,
+                    });
+                }
+            }
+        }
+        if points.is_empty() {
+            return Err(RagoError::NoFeasibleSchedule {
+                reason: format!(
+                    "the baseline cannot serve `{}` with {} XPUs",
+                    self.profiler.schema().name,
+                    self.total_xpus
+                ),
+            });
+        }
+        Ok(ParetoFrontier::from_points(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_schema::presets::{self, LlmSize};
+    use rago_schema::Stage;
+
+    #[test]
+    fn baseline_collocates_everything_with_prefix() {
+        let schema = presets::case4_rewriter_reranker(LlmSize::B70);
+        let baseline = BaselineSystem::new(schema, ClusterSpec::paper_default(), 64);
+        let schedule = baseline.schedule(8, 256);
+        assert_eq!(schedule.placement.num_groups(), 1);
+        assert!(schedule.placement.predecode_groups[0].contains(&Stage::RewritePrefix));
+        assert!(schedule.placement.predecode_groups[0].contains(&Stage::Prefix));
+        // 1:1 chip split.
+        assert_eq!(schedule.allocation.group_xpus[0], 32);
+        assert_eq!(schedule.allocation.decode_xpus, 32);
+    }
+
+    #[test]
+    fn baseline_produces_a_frontier() {
+        let schema = presets::case1_hyperscale(LlmSize::B8, 1);
+        let baseline = BaselineSystem::new(schema, ClusterSpec::paper_default(), 32);
+        let frontier = baseline.optimize(&[1, 8, 32], &[64, 256]).unwrap();
+        assert!(!frontier.is_empty());
+        assert!(frontier.max_qps_per_chip().unwrap().performance.qps_per_chip > 0.0);
+    }
+
+    #[test]
+    fn infeasible_baseline_is_reported() {
+        // A 405B model cannot fit in 2 chips (1 per partition).
+        let schema = presets::case1_hyperscale(LlmSize::B405, 1);
+        let baseline = BaselineSystem::new(schema, ClusterSpec::paper_default(), 2);
+        assert!(matches!(
+            baseline.optimize(&[1], &[16]),
+            Err(RagoError::NoFeasibleSchedule { .. })
+        ));
+    }
+}

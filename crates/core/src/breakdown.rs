@@ -1,0 +1,187 @@
+//! Resource-normalized time breakdowns (Figures 6–8 and 11 of the paper).
+//!
+//! The paper's breakdown plots show, for each stage, its share of
+//! *time × resource* consumption when every component runs at its own maximum
+//! QPS/chip: a stage that needs many chip-seconds per request takes a large
+//! share. Retrieval servers are converted to chip equivalents via the
+//! cluster's XPUs-per-server ratio (four in the paper's setup), so "retrieval
+//! dominates" means the CPU hosts are the bottleneck while XPUs idle.
+
+use crate::error::RagoError;
+use crate::profiler::StageProfiler;
+use rago_schema::Stage;
+use serde::{Deserialize, Serialize};
+
+/// The resource-normalized time share of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageShare {
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Chip-seconds (XPU-equivalents × seconds) consumed per request when the
+    /// stage runs at its best QPS/chip.
+    pub chip_seconds_per_request: f64,
+    /// The stage's fraction of the pipeline's total chip-seconds (0–1).
+    pub share: f64,
+}
+
+/// Computes the resource-normalized time share of every stage in the
+/// workload.
+///
+/// For every stage the profiler is evaluated over `batch_candidates` batch
+/// sizes and `resource_candidates` resource counts; the best (lowest)
+/// chip-seconds-per-request point is kept, and shares are normalized over the
+/// pipeline. CPU retrieval servers count as `xpus_per_server` chip
+/// equivalents.
+///
+/// # Errors
+///
+/// Returns [`RagoError::NoFeasibleSchedule`] if some stage has no feasible
+/// configuration among the candidates.
+pub fn stage_breakdown(
+    profiler: &StageProfiler,
+    resource_candidates: &[u32],
+    batch_candidates: &[u32],
+) -> Result<Vec<StageShare>, RagoError> {
+    let schema = profiler.schema();
+    let xpus_per_server = f64::from(profiler.cluster().xpus_per_server.max(1));
+    let min_servers = profiler.min_retrieval_servers();
+
+    let mut rows = Vec::new();
+    for stage in schema.pipeline() {
+        let mut best: Option<f64> = None;
+        let candidates: Vec<u32> = if stage == Stage::Retrieval {
+            // Retrieval must at least hold the database.
+            resource_candidates
+                .iter()
+                .copied()
+                .map(|r| r.max(min_servers))
+                .collect()
+        } else {
+            resource_candidates.to_vec()
+        };
+        for &resources in &candidates {
+            for &batch in batch_candidates {
+                let Ok(perf) = profiler.profile(stage, resources, batch) else {
+                    continue;
+                };
+                if perf.throughput_rps <= 0.0 {
+                    continue;
+                }
+                let chip_equivalents = if stage == Stage::Retrieval {
+                    f64::from(resources) * xpus_per_server
+                } else {
+                    f64::from(resources)
+                };
+                let chip_seconds = chip_equivalents / perf.throughput_rps;
+                if best.map(|b| chip_seconds < b).unwrap_or(true) {
+                    best = Some(chip_seconds);
+                }
+            }
+        }
+        let chip_seconds = best.ok_or_else(|| RagoError::NoFeasibleSchedule {
+            reason: format!("no feasible configuration for stage `{stage}` in the breakdown"),
+        })?;
+        rows.push(StageShare {
+            stage,
+            chip_seconds_per_request: chip_seconds,
+            share: 0.0,
+        });
+    }
+    let total: f64 = rows.iter().map(|r| r.chip_seconds_per_request).sum();
+    for row in &mut rows {
+        row.share = if total > 0.0 {
+            row.chip_seconds_per_request / total
+        } else {
+            0.0
+        };
+    }
+    Ok(rows)
+}
+
+/// Convenience: the share of a specific stage within a breakdown (0 when the
+/// stage is absent).
+pub fn share_of(breakdown: &[StageShare], stage: Stage) -> f64 {
+    breakdown
+        .iter()
+        .find(|s| s.stage == stage)
+        .map(|s| s.share)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_hardware::ClusterSpec;
+    use rago_schema::presets::{self, LlmSize};
+
+    fn breakdown_for(schema: rago_schema::RagSchema) -> Vec<StageShare> {
+        let profiler = StageProfiler::new(schema, ClusterSpec::paper_default());
+        stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64]).unwrap()
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = breakdown_for(presets::case1_hyperscale(LlmSize::B8, 1));
+        let total: f64 = b.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(b.iter().all(|s| s.share >= 0.0 && s.share <= 1.0));
+    }
+
+    #[test]
+    fn retrieval_share_grows_with_query_count_case1() {
+        // Figure 6: doubling the query vectors per retrieval increases the
+        // retrieval share of the pipeline.
+        let one = share_of(
+            &breakdown_for(presets::case1_hyperscale(LlmSize::B8, 1)),
+            Stage::Retrieval,
+        );
+        let eight = share_of(
+            &breakdown_for(presets::case1_hyperscale(LlmSize::B8, 8)),
+            Stage::Retrieval,
+        );
+        assert!(eight > one, "retrieval share {eight} !> {one}");
+        assert!(one > 0.2, "retrieval share for 8B should be substantial: {one}");
+    }
+
+    #[test]
+    fn retrieval_share_shrinks_with_model_size_case1() {
+        // Figure 7a: larger generative models shift the bottleneck to inference.
+        let small = share_of(
+            &breakdown_for(presets::case1_hyperscale(LlmSize::B1, 1)),
+            Stage::Retrieval,
+        );
+        let large = share_of(
+            &breakdown_for(presets::case1_hyperscale(LlmSize::B405, 1)),
+            Stage::Retrieval,
+        );
+        assert!(small > large);
+        assert!(large < 0.5, "405B should be inference bound, got {large}");
+    }
+
+    #[test]
+    fn encoder_dominates_long_context_case2() {
+        // §5.2: the database encoder is the bottleneck despite being 100x
+        // smaller than the generative LLM, and retrieval is negligible.
+        let b = breakdown_for(presets::case2_long_context(LlmSize::B70, 1_000_000));
+        let encode = share_of(&b, Stage::DatabaseEncode);
+        let retrieval = share_of(&b, Stage::Retrieval);
+        assert!(encode > 0.4, "encode share {encode}");
+        assert!(retrieval < 0.05, "retrieval share {retrieval}");
+    }
+
+    #[test]
+    fn rewriter_and_reranker_are_small_case4() {
+        // Figure 11: the rewriter and reranker consume little of the pipeline.
+        let b = breakdown_for(presets::case4_rewriter_reranker(LlmSize::B70));
+        let rerank = share_of(&b, Stage::Rerank);
+        assert!(rerank < 0.15, "rerank share {rerank}");
+        let rewrite = share_of(&b, Stage::RewritePrefix) + share_of(&b, Stage::RewriteDecode);
+        assert!(rewrite < 0.4, "rewrite share {rewrite}");
+    }
+
+    #[test]
+    fn share_of_missing_stage_is_zero() {
+        let b = breakdown_for(presets::case1_hyperscale(LlmSize::B8, 1));
+        assert_eq!(share_of(&b, Stage::Rerank), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type of the RAGO optimizer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by schedule construction, evaluation, or search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RagoError {
+    /// The workload or search configuration is invalid.
+    InvalidConfig {
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// No feasible schedule exists within the resource budget (e.g. the model
+    /// does not fit in the available accelerator memory).
+    NoFeasibleSchedule {
+        /// Explanation of what made every candidate infeasible.
+        reason: String,
+    },
+    /// An underlying cost-model evaluation failed.
+    CostModel {
+        /// The stage being evaluated.
+        stage: String,
+        /// The underlying error message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RagoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RagoError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            RagoError::NoFeasibleSchedule { reason } => {
+                write!(f, "no feasible schedule: {reason}")
+            }
+            RagoError::CostModel { stage, reason } => {
+                write!(f, "cost model failed for stage `{stage}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for RagoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RagoError::NoFeasibleSchedule {
+            reason: "405B model needs more than 128 chips".into(),
+        };
+        assert!(e.to_string().contains("no feasible schedule"));
+        let e = RagoError::CostModel {
+            stage: "prefix".into(),
+            reason: "out of memory".into(),
+        };
+        assert!(e.to_string().contains("prefix"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RagoError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! End-to-end RAG serving performance metrics (§4 "Performance metrics").
+
+use serde::{Deserialize, Serialize};
+
+/// The performance of one RAG serving schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RagPerformance {
+    /// Time-to-first-token: latency from request reception to the first
+    /// output token (all stages up to and including the main LLM prefix).
+    pub ttft_s: f64,
+    /// Time-per-output-token during decoding (worst case under continuous
+    /// batching, as reported by the paper).
+    pub tpot_s: f64,
+    /// Maximum end-to-end request throughput (requests per second).
+    pub qps: f64,
+    /// Throughput normalized by the system's chip count: the inference XPUs
+    /// plus the (idle) XPUs of the retrieval host servers, reflecting
+    /// whole-system cost efficiency as in the paper.
+    pub qps_per_chip: f64,
+    /// Total XPU chips allocated across all inference components.
+    pub total_xpus: u32,
+    /// CPU servers allocated to retrieval.
+    pub retrieval_servers: u32,
+}
+
+impl RagPerformance {
+    /// Average end-to-end latency of a full request: TTFT plus the decode time
+    /// for `decode_tokens` output tokens.
+    pub fn request_latency_s(&self, decode_tokens: u32) -> f64 {
+        self.ttft_s + self.tpot_s * f64::from(decode_tokens)
+    }
+
+    /// Returns `true` if `self` dominates `other` in the (minimize TTFT,
+    /// maximize QPS/chip) sense: at least as good in both objectives and
+    /// strictly better in one.
+    pub fn dominates(&self, other: &RagPerformance) -> bool {
+        let no_worse = self.ttft_s <= other.ttft_s && self.qps_per_chip >= other.qps_per_chip;
+        let strictly_better =
+            self.ttft_s < other.ttft_s || self.qps_per_chip > other.qps_per_chip;
+        no_worse && strictly_better
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(ttft: f64, qps_per_chip: f64) -> RagPerformance {
+        RagPerformance {
+            ttft_s: ttft,
+            tpot_s: 0.01,
+            qps: qps_per_chip * 64.0,
+            qps_per_chip,
+            total_xpus: 64,
+            retrieval_servers: 16,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(perf(0.1, 10.0).dominates(&perf(0.2, 5.0)));
+        assert!(perf(0.1, 10.0).dominates(&perf(0.1, 5.0)));
+        assert!(!perf(0.1, 10.0).dominates(&perf(0.1, 10.0))); // equal: no strict edge
+        assert!(!perf(0.2, 10.0).dominates(&perf(0.1, 5.0))); // trade-off: incomparable
+    }
+
+    #[test]
+    fn request_latency_combines_ttft_and_tpot() {
+        let p = perf(0.5, 1.0);
+        assert!((p.request_latency_s(256) - (0.5 + 2.56)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,417 @@
+//! The RAGO optimizer: exhaustive search over placement × allocation ×
+//! batching (Algorithm 1).
+
+use crate::error::RagoError;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::placement::PlacementPlan;
+use crate::profiler::StageProfiler;
+use crate::schedule::{BatchingPolicy, ResourceAllocation, Schedule};
+use rago_hardware::{power_of_two_steps, ClusterSpec, ResourceBudget};
+use rago_schema::RagSchema;
+use serde::{Deserialize, Serialize};
+
+/// Granularity of the schedule search. The paper searches powers of two for
+/// accelerator counts and batch sizes; these options let callers trade search
+/// time for schedule quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Candidate XPU counts per accelerator group (pre-decode groups and the
+    /// decode partition).
+    pub xpu_steps: Vec<u32>,
+    /// Candidate CPU-server counts for retrieval. When empty, the smallest
+    /// power-of-two count that holds the database (and every power of two up
+    /// to the budget) is used.
+    pub server_steps: Vec<u32>,
+    /// Candidate batch sizes for the stages before decoding (shared
+    /// micro-batch, including retrieval).
+    pub predecode_batch_steps: Vec<u32>,
+    /// Candidate batch sizes for the decode stage (continuous batching).
+    pub decode_batch_steps: Vec<u32>,
+    /// Candidate batch sizes for decoder-initiated iterative retrievals;
+    /// only used for iterative workloads.
+    pub iterative_batch_steps: Vec<u32>,
+    /// Restrict the search to these placements (all legal placements when
+    /// `None`).
+    pub placements: Option<Vec<PlacementPlan>>,
+}
+
+impl SearchOptions {
+    /// A coarse grid suitable for unit tests and quick exploration.
+    pub fn fast() -> Self {
+        Self {
+            xpu_steps: vec![4, 16, 64],
+            server_steps: Vec::new(),
+            predecode_batch_steps: vec![1, 8, 32],
+            decode_batch_steps: vec![64, 256],
+            iterative_batch_steps: vec![4, 16],
+            placements: None,
+        }
+    }
+
+    /// The paper's default powers-of-two grid (heavier; intended for release
+    /// builds and the benchmark harness).
+    pub fn paper_default() -> Self {
+        Self {
+            xpu_steps: vec![1, 2, 4, 8, 16, 32, 64],
+            server_steps: Vec::new(),
+            predecode_batch_steps: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            decode_batch_steps: vec![16, 32, 64, 128, 256, 512, 1024],
+            iterative_batch_steps: vec![1, 2, 4, 8, 16, 32, 64],
+            placements: None,
+        }
+    }
+
+    /// Restricts the search to the given placements.
+    pub fn with_placements(mut self, placements: Vec<PlacementPlan>) -> Self {
+        self.placements = Some(placements);
+        self
+    }
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions::fast()
+    }
+}
+
+/// The RAGO optimizer (Figure 2): holds the workload, the cluster, and the
+/// per-stage profiler, and searches the scheduling space for the performance
+/// Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct Rago {
+    profiler: StageProfiler,
+    budget: ResourceBudget,
+}
+
+impl Rago {
+    /// Creates an optimizer for `schema` on `cluster`, using the cluster's
+    /// full capacity as the resource budget.
+    pub fn new(schema: RagSchema, cluster: ClusterSpec) -> Self {
+        let budget = cluster.budget();
+        Self {
+            profiler: StageProfiler::new(schema, cluster),
+            budget,
+        }
+    }
+
+    /// Overrides the resource budget (e.g. to study smaller deployments).
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The per-stage profiler (useful for breakdowns and custom studies).
+    pub fn profiler(&self) -> &StageProfiler {
+        &self.profiler
+    }
+
+    /// The resource budget constraining the search.
+    pub fn budget(&self) -> ResourceBudget {
+        self.budget
+    }
+
+    /// Evaluates one explicit schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Schedule::evaluate`] errors.
+    pub fn evaluate(&self, schedule: &Schedule) -> Result<crate::metrics::RagPerformance, RagoError> {
+        schedule.evaluate(&self.profiler)
+    }
+
+    /// Enumerates the candidate schedules implied by `options` (Step 2 of
+    /// Algorithm 1): every legal placement × allocation within the budget ×
+    /// batching policy.
+    pub fn enumerate_schedules(&self, options: &SearchOptions) -> Vec<Schedule> {
+        let schema = self.profiler.schema();
+        let placements = options
+            .placements
+            .clone()
+            .unwrap_or_else(|| PlacementPlan::enumerate(schema));
+        let server_steps = self.server_steps(options);
+        let iterative = schema.is_iterative();
+
+        let mut schedules = Vec::new();
+        for placement in &placements {
+            let groups = placement.num_groups();
+            let mut group_alloc = vec![0usize; groups];
+            // Odometer over group allocations.
+            loop {
+                let group_xpus: Vec<u32> = group_alloc
+                    .iter()
+                    .map(|&i| options.xpu_steps[i])
+                    .collect();
+                for &decode_xpus in &options.xpu_steps {
+                    let total: u32 = group_xpus.iter().sum::<u32>() + decode_xpus;
+                    if total > self.budget.max_xpus {
+                        continue;
+                    }
+                    for &servers in &server_steps {
+                        if servers > self.budget.max_cpu_servers {
+                            continue;
+                        }
+                        for &pre_batch in &options.predecode_batch_steps {
+                            for &dec_batch in &options.decode_batch_steps {
+                                let iter_batches: Vec<Option<u32>> = if iterative {
+                                    options
+                                        .iterative_batch_steps
+                                        .iter()
+                                        .map(|&b| Some(b))
+                                        .collect()
+                                } else {
+                                    vec![None]
+                                };
+                                for iter_batch in iter_batches {
+                                    let mut batching = BatchingPolicy::new(pre_batch, dec_batch);
+                                    batching.iterative_batch = iter_batch;
+                                    schedules.push(Schedule {
+                                        placement: placement.clone(),
+                                        allocation: ResourceAllocation {
+                                            group_xpus: group_xpus.clone(),
+                                            decode_xpus,
+                                            retrieval_servers: servers,
+                                        },
+                                        batching,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                // Advance the odometer.
+                if groups == 0 {
+                    break;
+                }
+                let mut pos = 0;
+                loop {
+                    group_alloc[pos] += 1;
+                    if group_alloc[pos] < options.xpu_steps.len() {
+                        break;
+                    }
+                    group_alloc[pos] = 0;
+                    pos += 1;
+                    if pos == groups {
+                        break;
+                    }
+                }
+                if pos == groups {
+                    break;
+                }
+            }
+            if groups == 0 {
+                // Placement with no pre-decode groups (LLM-only decode-only
+                // pipelines never occur, but guard against infinite loops).
+                continue;
+            }
+        }
+        schedules
+    }
+
+    /// Evaluates every candidate schedule and returns all feasible points
+    /// (infeasible ones — e.g. out-of-memory allocations — are skipped).
+    pub fn evaluate_all(&self, options: &SearchOptions) -> Vec<ParetoPoint> {
+        self.enumerate_schedules(options)
+            .into_iter()
+            .filter_map(|schedule| {
+                schedule
+                    .evaluate(&self.profiler)
+                    .ok()
+                    .map(|performance| ParetoPoint {
+                        schedule,
+                        performance,
+                    })
+            })
+            .collect()
+    }
+
+    /// Runs the full search (Algorithm 1) and returns the performance Pareto
+    /// frontier over (TTFT, QPS/chip) with the schedules achieving it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::NoFeasibleSchedule`] when no candidate schedule is
+    /// feasible within the budget.
+    pub fn optimize(&self, options: &SearchOptions) -> Result<ParetoFrontier, RagoError> {
+        let points = self.evaluate_all(options);
+        if points.is_empty() {
+            return Err(RagoError::NoFeasibleSchedule {
+                reason: format!(
+                    "no feasible schedule for workload `{}` within {} XPUs / {} servers",
+                    self.profiler.schema().name,
+                    self.budget.max_xpus,
+                    self.budget.max_cpu_servers
+                ),
+            });
+        }
+        Ok(ParetoFrontier::from_points(points))
+    }
+
+    /// Groups all evaluated points by (placement, allocation) and returns the
+    /// per-plan Pareto frontiers (each point on a per-plan frontier is a
+    /// batching policy), as plotted in Figures 16 and 18 of the paper.
+    pub fn frontiers_by_plan(
+        &self,
+        options: &SearchOptions,
+    ) -> Vec<(PlacementPlan, ResourceAllocation, ParetoFrontier)> {
+        use std::collections::HashMap;
+        let mut by_plan: HashMap<(PlacementPlan, ResourceAllocation), Vec<ParetoPoint>> =
+            HashMap::new();
+        for point in self.evaluate_all(options) {
+            by_plan
+                .entry((
+                    point.schedule.placement.clone(),
+                    point.schedule.allocation.clone(),
+                ))
+                .or_default()
+                .push(point);
+        }
+        let mut out: Vec<(PlacementPlan, ResourceAllocation, ParetoFrontier)> = by_plan
+            .into_iter()
+            .map(|((placement, allocation), points)| {
+                (placement, allocation, ParetoFrontier::from_points(points))
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            let qa = a.2.max_qps_per_chip().map(|p| p.performance.qps_per_chip);
+            let qb = b.2.max_qps_per_chip().map(|p| p.performance.qps_per_chip);
+            qb.partial_cmp(&qa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    fn server_steps(&self, options: &SearchOptions) -> Vec<u32> {
+        if !options.server_steps.is_empty() {
+            return options.server_steps.clone();
+        }
+        if !self.profiler.schema().has_retrieval() {
+            return vec![1];
+        }
+        let min = self.profiler.min_retrieval_servers();
+        power_of_two_steps(self.budget.max_cpu_servers)
+            .into_iter()
+            .filter(|&s| s >= min)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .chain(std::iter::once(min))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_schema::presets::{self, LlmSize};
+
+    fn tiny_options() -> SearchOptions {
+        SearchOptions {
+            xpu_steps: vec![8, 32],
+            server_steps: vec![32],
+            predecode_batch_steps: vec![1, 16],
+            decode_batch_steps: vec![128],
+            iterative_batch_steps: vec![8],
+            placements: None,
+        }
+    }
+
+    #[test]
+    fn case1_search_finds_a_frontier() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let frontier = rago.optimize(&tiny_options()).unwrap();
+        assert!(!frontier.is_empty());
+        assert!(frontier.evaluated_schedules >= frontier.len());
+        // Frontier extremes behave as expected.
+        let min_ttft = frontier.min_ttft().unwrap();
+        let max_qps = frontier.max_qps_per_chip().unwrap();
+        assert!(min_ttft.performance.ttft_s <= max_qps.performance.ttft_s);
+        assert!(min_ttft.performance.qps_per_chip <= max_qps.performance.qps_per_chip);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        for schedule in rago.enumerate_schedules(&tiny_options()) {
+            assert!(schedule.allocation.total_xpus() <= 128);
+            assert!(schedule.allocation.retrieval_servers <= 32);
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_reports_no_schedule() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B405, 1),
+            ClusterSpec::paper_default(),
+        )
+        .with_budget(ResourceBudget::new(2, 32));
+        // A 405B model cannot fit on 2 chips, and the budget excludes more.
+        let err = rago
+            .optimize(&SearchOptions {
+                xpu_steps: vec![1],
+                ..tiny_options()
+            })
+            .unwrap_err();
+        assert!(matches!(err, RagoError::NoFeasibleSchedule { .. }));
+    }
+
+    #[test]
+    fn case4_search_covers_multiple_placements() {
+        let rago = Rago::new(
+            presets::case4_rewriter_reranker(LlmSize::B8),
+            ClusterSpec::paper_default(),
+        );
+        let opts = SearchOptions {
+            xpu_steps: vec![4, 16],
+            server_steps: vec![32],
+            predecode_batch_steps: vec![4],
+            decode_batch_steps: vec![128],
+            iterative_batch_steps: vec![8],
+            placements: None,
+        };
+        let schedules = rago.enumerate_schedules(&opts);
+        let placements: std::collections::HashSet<String> = schedules
+            .iter()
+            .map(|s| s.placement.describe())
+            .collect();
+        assert_eq!(placements.len(), 8, "expected all 8 case-IV placements");
+        let frontier = rago.optimize(&opts).unwrap();
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn frontiers_by_plan_partition_the_search() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let plans = rago.frontiers_by_plan(&tiny_options());
+        assert!(!plans.is_empty());
+        let total: usize = plans.iter().map(|(_, _, f)| f.evaluated_schedules).sum();
+        assert_eq!(total, rago.evaluate_all(&tiny_options()).len());
+        // Plans are sorted by best QPS/chip, descending.
+        let best: Vec<f64> = plans
+            .iter()
+            .filter_map(|(_, _, f)| f.max_qps_per_chip().map(|p| p.performance.qps_per_chip))
+            .collect();
+        for w in best.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn placement_restriction_is_honoured() {
+        let schema = presets::case2_long_context(LlmSize::B70, 1_000_000);
+        let rago = Rago::new(schema.clone(), ClusterSpec::paper_default());
+        let collocated = PlacementPlan::fully_collocated(&schema);
+        let opts = tiny_options().with_placements(vec![collocated.clone()]);
+        for schedule in rago.enumerate_schedules(&opts) {
+            assert_eq!(schedule.placement, collocated);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Pareto-frontier extraction over (TTFT, QPS/chip).
+
+use crate::metrics::RagPerformance;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// One point of the performance Pareto frontier: a schedule and the
+/// performance it achieves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The schedule (placement, allocation, batching) achieving this point.
+    pub schedule: Schedule,
+    /// The end-to-end performance of that schedule.
+    pub performance: RagPerformance,
+}
+
+/// The Pareto frontier of evaluated schedules, sorted by increasing TTFT.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    /// Non-dominated points, sorted by increasing TTFT (and therefore
+    /// increasing QPS/chip).
+    pub points: Vec<ParetoPoint>,
+    /// Total number of schedules that were evaluated to produce the frontier.
+    pub evaluated_schedules: usize,
+}
+
+impl ParetoFrontier {
+    /// Builds the frontier from an arbitrary collection of evaluated points.
+    pub fn from_points(mut candidates: Vec<ParetoPoint>) -> Self {
+        let evaluated = candidates.len();
+        // Sort by TTFT ascending, then QPS/chip descending so a single sweep
+        // keeps exactly the non-dominated points.
+        candidates.sort_by(|a, b| {
+            a.performance
+                .ttft_s
+                .total_cmp(&b.performance.ttft_s)
+                .then(b.performance.qps_per_chip.total_cmp(&a.performance.qps_per_chip))
+        });
+        let mut points: Vec<ParetoPoint> = Vec::new();
+        let mut best_qps = f64::NEG_INFINITY;
+        for cand in candidates {
+            if cand.performance.qps_per_chip > best_qps {
+                best_qps = cand.performance.qps_per_chip;
+                points.push(cand);
+            }
+        }
+        Self {
+            points,
+            evaluated_schedules: evaluated,
+        }
+    }
+
+    /// The point with the highest QPS/chip (throughput-optimal schedule).
+    pub fn max_qps_per_chip(&self) -> Option<&ParetoPoint> {
+        self.points.last()
+    }
+
+    /// The point with the lowest TTFT (latency-optimal schedule).
+    pub fn min_ttft(&self) -> Option<&ParetoPoint> {
+        self.points.first()
+    }
+
+    /// Number of points on the frontier.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the frontier points in increasing-TTFT order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ParetoPoint> {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    fn point(ttft: f64, qpc: f64) -> ParetoPoint {
+        ParetoPoint {
+            schedule: Schedule::test_dummy(),
+            performance: RagPerformance {
+                ttft_s: ttft,
+                tpot_s: 0.01,
+                qps: qpc * 10.0,
+                qps_per_chip: qpc,
+                total_xpus: 10,
+                retrieval_servers: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_only_non_dominated_points() {
+        let frontier = ParetoFrontier::from_points(vec![
+            point(0.1, 1.0),
+            point(0.2, 2.0),
+            point(0.15, 0.5), // dominated by (0.1, 1.0)
+            point(0.3, 1.5),  // dominated by (0.2, 2.0)
+            point(0.4, 3.0),
+        ]);
+        assert_eq!(frontier.len(), 3);
+        assert_eq!(frontier.evaluated_schedules, 5);
+        assert!((frontier.min_ttft().unwrap().performance.ttft_s - 0.1).abs() < 1e-12);
+        assert!(
+            (frontier.max_qps_per_chip().unwrap().performance.qps_per_chip - 3.0).abs() < 1e-12
+        );
+        // Sorted by increasing TTFT and increasing QPS/chip.
+        for w in frontier.points.windows(2) {
+            assert!(w[0].performance.ttft_s <= w[1].performance.ttft_s);
+            assert!(w[0].performance.qps_per_chip <= w[1].performance.qps_per_chip);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_collapse() {
+        let frontier = ParetoFrontier::from_points(vec![point(0.1, 1.0), point(0.1, 1.0)]);
+        assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        let frontier = ParetoFrontier::from_points(vec![]);
+        assert!(frontier.is_empty());
+        assert!(frontier.min_ttft().is_none());
+        assert!(frontier.max_qps_per_chip().is_none());
+        assert_eq!(frontier.iter().count(), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Step 1 of Algorithm 1: per-stage performance profiling.
+//!
+//! The profiler maps every stage of a RAGSchema onto the appropriate cost
+//! model — the XPU inference simulator for model stages, the CPU retrieval
+//! simulator for the retrieval stage — and evaluates it for a given resource
+//! count and batch size. The optimizer calls this for every (stage, resource,
+//! batch) combination in its search grid and assembles end-to-end schedules
+//! from the results.
+
+use crate::error::RagoError;
+use rago_accel_sim::{AcceleratorGroup, InferenceSimulator};
+use rago_hardware::ClusterSpec;
+use rago_retrieval_sim::RetrievalSimulator;
+use rago_schema::{RagSchema, Stage};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The profiled performance of one stage under a specific resource count and
+/// batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagePerf {
+    /// The stage that was profiled.
+    pub stage: Stage,
+    /// Resources assigned: XPU chips for inference stages, CPU servers for
+    /// retrieval.
+    pub resources: u32,
+    /// Requests per batch.
+    pub batch: u32,
+    /// Latency of pushing one batch through the stage, in seconds.
+    pub latency_s: f64,
+    /// Requests per second the stage sustains at this batch size and resource
+    /// count (including pipeline overlap within the stage where applicable).
+    pub throughput_rps: f64,
+    /// Per-output-token step latency — populated only for decode stages.
+    pub step_latency_s: Option<f64>,
+}
+
+/// Profiles individual RAG stages using the analytical cost models.
+#[derive(Debug, Clone)]
+pub struct StageProfiler {
+    schema: RagSchema,
+    cluster: ClusterSpec,
+    inference: InferenceSimulator,
+    retrieval: RetrievalSimulator,
+    cache: std::cell::RefCell<HashMap<(Stage, u32, u32), StagePerf>>,
+}
+
+impl StageProfiler {
+    /// Creates a profiler for one workload on one cluster.
+    pub fn new(schema: RagSchema, cluster: ClusterSpec) -> Self {
+        let retrieval = RetrievalSimulator::new(cluster.cpu.clone());
+        Self {
+            schema,
+            cluster,
+            inference: InferenceSimulator::new(),
+            retrieval,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The workload being profiled.
+    pub fn schema(&self) -> &RagSchema {
+        &self.schema
+    }
+
+    /// The cluster being profiled against.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The minimum number of CPU servers able to hold the retrieval database
+    /// (1 when the workload has no retrieval).
+    pub fn min_retrieval_servers(&self) -> u32 {
+        self.schema
+            .retrieval
+            .as_ref()
+            .map(|cfg| self.retrieval.min_servers(cfg))
+            .unwrap_or(1)
+    }
+
+    /// Profiles `stage` with `resources` XPU chips (or CPU servers for
+    /// retrieval) at the given request `batch` size. Results are memoized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::InvalidConfig`] if the stage is not part of the
+    /// workload, and [`RagoError::CostModel`] when the underlying cost model
+    /// rejects the configuration (for example, the model does not fit in the
+    /// group's memory).
+    pub fn profile(&self, stage: Stage, resources: u32, batch: u32) -> Result<StagePerf, RagoError> {
+        if let Some(hit) = self.cache.borrow().get(&(stage, resources, batch)) {
+            return Ok(*hit);
+        }
+        let perf = self.profile_uncached(stage, resources, batch)?;
+        self.cache
+            .borrow_mut()
+            .insert((stage, resources, batch), perf);
+        Ok(perf)
+    }
+
+    fn profile_uncached(
+        &self,
+        stage: Stage,
+        resources: u32,
+        batch: u32,
+    ) -> Result<StagePerf, RagoError> {
+        if !self.schema.pipeline().contains(&stage) {
+            return Err(RagoError::InvalidConfig {
+                reason: format!("stage `{stage}` is not part of workload `{}`", self.schema.name),
+            });
+        }
+        if resources == 0 || batch == 0 {
+            return Err(RagoError::InvalidConfig {
+                reason: "resources and batch must be at least 1".into(),
+            });
+        }
+        let seq = &self.schema.sequence;
+        let group = AcceleratorGroup::new(self.cluster.xpu.clone(), resources)
+            .with_interconnect(self.cluster.interconnect.clone());
+        let map_accel = |e: rago_accel_sim::AccelSimError| RagoError::CostModel {
+            stage: stage.to_string(),
+            reason: e.to_string(),
+        };
+        let map_retr = |e: rago_retrieval_sim::RetrievalSimError| RagoError::CostModel {
+            stage: stage.to_string(),
+            reason: e.to_string(),
+        };
+
+        let perf = match stage {
+            Stage::DatabaseEncode => {
+                let model = self.schema.document_encoder.as_ref().expect("stage present");
+                let cost = self
+                    .inference
+                    .encoder_cost(model, seq.encoder_tokens(), seq.chunk_tokens.max(1), batch, &group)
+                    .map_err(map_accel)?;
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.latency_s,
+                    throughput_rps: cost.throughput_rps,
+                    step_latency_s: None,
+                }
+            }
+            Stage::RewritePrefix => {
+                let model = self.schema.query_rewriter.as_ref().expect("stage present");
+                let cost = self
+                    .inference
+                    .best_prefix_cost(model, seq.question_tokens, batch, &group)
+                    .map_err(map_accel)?;
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.latency_s,
+                    throughput_rps: cost.throughput_rps,
+                    step_latency_s: None,
+                }
+            }
+            Stage::RewriteDecode => {
+                let model = self.schema.query_rewriter.as_ref().expect("stage present");
+                let cost = self
+                    .inference
+                    .best_decode_cost(
+                        model,
+                        seq.question_tokens,
+                        self.schema.rewriter_output_tokens.max(1),
+                        batch,
+                        &group,
+                    )
+                    .map_err(map_accel)?;
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.total_latency_s,
+                    throughput_rps: cost.throughput_rps,
+                    step_latency_s: Some(cost.step_latency_s),
+                }
+            }
+            Stage::Retrieval => {
+                let cfg = self.schema.retrieval.as_ref().expect("stage present");
+                let query_batch = batch.saturating_mul(cfg.queries_per_retrieval).max(1);
+                let cost = self
+                    .retrieval
+                    .retrieval_cost(cfg, query_batch, resources)
+                    .map_err(map_retr)?;
+                let retrievals_per_request = f64::from(cfg.retrievals_per_sequence.max(1));
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.latency_s,
+                    throughput_rps: cost.retrievals_per_second(cfg.queries_per_retrieval)
+                        / retrievals_per_request,
+                    step_latency_s: None,
+                }
+            }
+            Stage::Rerank => {
+                let model = self.schema.reranker.as_ref().expect("stage present");
+                let candidate_tokens =
+                    u64::from(self.schema.rerank_candidates.max(1)) * u64::from(seq.chunk_tokens + seq.question_tokens);
+                let cost = self
+                    .inference
+                    .encoder_cost(
+                        model,
+                        candidate_tokens,
+                        seq.chunk_tokens + seq.question_tokens,
+                        batch,
+                        &group,
+                    )
+                    .map_err(map_accel)?;
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.latency_s,
+                    throughput_rps: cost.throughput_rps,
+                    step_latency_s: None,
+                }
+            }
+            Stage::Prefix => {
+                let model = &self.schema.generative_llm;
+                let cost = self
+                    .inference
+                    .best_prefix_cost(model, self.schema.main_prefix_tokens(), batch, &group)
+                    .map_err(map_accel)?;
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.latency_s,
+                    throughput_rps: cost.throughput_rps,
+                    step_latency_s: None,
+                }
+            }
+            Stage::Decode => {
+                let model = &self.schema.generative_llm;
+                let cost = self
+                    .inference
+                    .best_decode_cost(
+                        model,
+                        self.schema.main_prefix_tokens(),
+                        seq.decode_tokens,
+                        batch,
+                        &group,
+                    )
+                    .map_err(map_accel)?;
+                StagePerf {
+                    stage,
+                    resources,
+                    batch,
+                    latency_s: cost.total_latency_s,
+                    throughput_rps: cost.throughput_rps,
+                    step_latency_s: Some(cost.step_latency_s),
+                }
+            }
+        };
+        Ok(perf)
+    }
+
+    /// Profiles every stage of the workload at the given resource and batch
+    /// grids, returning all feasible results (infeasible combinations, e.g.
+    /// out-of-memory ones, are skipped).
+    pub fn profile_grid(
+        &self,
+        xpu_steps: &[u32],
+        server_steps: &[u32],
+        batch_steps: &[u32],
+    ) -> Vec<StagePerf> {
+        let mut out = Vec::new();
+        for stage in self.schema.pipeline() {
+            let resource_steps: &[u32] = if stage == Stage::Retrieval {
+                server_steps
+            } else {
+                xpu_steps
+            };
+            for &r in resource_steps {
+                for &b in batch_steps {
+                    if let Ok(perf) = self.profile(stage, r, b) {
+                        out.push(perf);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_schema::presets::{self, LlmSize};
+
+    fn profiler_case1() -> StageProfiler {
+        StageProfiler::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        )
+    }
+
+    #[test]
+    fn profiles_all_stages_of_case1() {
+        let p = profiler_case1();
+        for stage in [Stage::Retrieval, Stage::Prefix, Stage::Decode] {
+            let servers = if stage == Stage::Retrieval { 32 } else { 8 };
+            let perf = p.profile(stage, servers, 4).unwrap();
+            assert!(perf.latency_s > 0.0, "{stage} latency");
+            assert!(perf.throughput_rps > 0.0, "{stage} throughput");
+        }
+    }
+
+    #[test]
+    fn decode_reports_step_latency() {
+        let p = profiler_case1();
+        let perf = p.profile(Stage::Decode, 8, 32).unwrap();
+        assert!(perf.step_latency_s.unwrap() > 0.0);
+        assert!(perf.step_latency_s.unwrap() < perf.latency_s);
+        let prefix = p.profile(Stage::Prefix, 8, 32).unwrap();
+        assert!(prefix.step_latency_s.is_none());
+    }
+
+    #[test]
+    fn stages_not_in_the_workload_are_rejected() {
+        let p = profiler_case1();
+        assert!(matches!(
+            p.profile(Stage::DatabaseEncode, 8, 4),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            p.profile(Stage::Prefix, 0, 4),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn retrieval_needs_enough_servers() {
+        let p = profiler_case1();
+        assert!(p.min_retrieval_servers() >= 16);
+        assert!(matches!(
+            p.profile(Stage::Retrieval, 2, 4),
+            Err(RagoError::CostModel { .. })
+        ));
+        assert!(p.profile(Stage::Retrieval, 32, 4).is_ok());
+    }
+
+    #[test]
+    fn memoization_returns_identical_results() {
+        let p = profiler_case1();
+        let a = p.profile(Stage::Prefix, 4, 8).unwrap();
+        let b = p.profile(Stage::Prefix, 4, 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case2_encoder_profile_scales_with_context() {
+        let p100k = StageProfiler::new(
+            presets::case2_long_context(LlmSize::B70, 100_000),
+            ClusterSpec::paper_default(),
+        );
+        let p1m = StageProfiler::new(
+            presets::case2_long_context(LlmSize::B70, 1_000_000),
+            ClusterSpec::paper_default(),
+        );
+        let e100k = p100k.profile(Stage::DatabaseEncode, 16, 2).unwrap();
+        let e1m = p1m.profile(Stage::DatabaseEncode, 16, 2).unwrap();
+        assert!(e1m.latency_s > e100k.latency_s * 5.0);
+    }
+
+    #[test]
+    fn case4_profiles_rewriter_and_reranker() {
+        let p = StageProfiler::new(
+            presets::case4_rewriter_reranker(LlmSize::B70),
+            ClusterSpec::paper_default(),
+        );
+        let rw_prefix = p.profile(Stage::RewritePrefix, 4, 4).unwrap();
+        let rw_decode = p.profile(Stage::RewriteDecode, 4, 4).unwrap();
+        let rerank = p.profile(Stage::Rerank, 4, 4).unwrap();
+        // The autoregressive rewrite-decode is far slower than the rewrite
+        // prefix over the same short question (§5.4).
+        assert!(rw_decode.latency_s > rw_prefix.latency_s * 3.0);
+        assert!(rerank.latency_s > 0.0);
+    }
+
+    #[test]
+    fn profile_grid_skips_infeasible_points() {
+        let p = StageProfiler::new(
+            presets::case1_hyperscale(LlmSize::B70, 1),
+            ClusterSpec::paper_default(),
+        );
+        let grid = p.profile_grid(&[1, 8], &[4, 32], &[1, 16]);
+        // 70B does not fit on 1 chip with any KV cache for batch 16 contexts,
+        // and retrieval on 4 servers is infeasible; both are skipped silently.
+        assert!(!grid.is_empty());
+        assert!(grid.iter().all(|s| s.latency_s > 0.0));
+        assert!(grid
+            .iter()
+            .any(|s| s.stage == Stage::Retrieval && s.resources == 32));
+        assert!(!grid.iter().any(|s| s.stage == Stage::Retrieval && s.resources == 4));
+    }
+}

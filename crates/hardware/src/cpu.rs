@@ -1,0 +1,229 @@
+//! CPU host-server specification used for retrieval.
+//!
+//! The RAGO paper models retrieval hosts after AMD EPYC Milan servers with
+//! 96 cores, 384 GB of DRAM and 460 GB/s of memory bandwidth, and calibrates
+//! ScaNN's PQ-code scanning throughput at 18 GB/s per core with roughly 80 %
+//! memory-bandwidth utilization (§4(b)).
+
+use crate::error::HardwareError;
+use crate::roofline::Roofline;
+use crate::units::{gb, gbps};
+use serde::{Deserialize, Serialize};
+
+/// Specification of one retrieval host server (CPU-only from the point of view
+/// of the retrieval cost model; the same physical server also hosts XPUs).
+///
+/// # Examples
+///
+/// ```
+/// use rago_hardware::CpuServerSpec;
+/// let s = CpuServerSpec::epyc_milan();
+/// assert_eq!(s.cores, 96);
+/// // Aggregate scan rate is memory-bandwidth limited, not core limited.
+/// assert!(s.scan_roofline().compute > s.scan_roofline().memory_bandwidth);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuServerSpec {
+    /// Human-readable name (e.g. `"EPYC-Milan-96c"`).
+    pub name: String,
+    /// Number of physical cores available for query processing.
+    pub cores: u32,
+    /// DRAM capacity in GB (decimal, matching the paper's "384 GB").
+    pub dram_capacity_gb: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Calibrated PQ-code scanning throughput per core, in GB/s.
+    pub scan_throughput_per_core_gbps: f64,
+    /// Fraction of DRAM bandwidth achievable during scans (the paper measures
+    /// roughly 0.8 for ScaNN).
+    pub memory_efficiency: f64,
+}
+
+impl CpuServerSpec {
+    /// The paper's retrieval host: AMD EPYC Milan, 96 cores, 384 GB DRAM,
+    /// 460 GB/s memory bandwidth, 18 GB/s per-core PQ scan throughput, 80 %
+    /// memory-bandwidth utilization.
+    pub fn epyc_milan() -> Self {
+        Self {
+            name: "EPYC-Milan-96c".to_string(),
+            cores: 96,
+            dram_capacity_gb: 384.0,
+            dram_bandwidth_gbps: 460.0,
+            scan_throughput_per_core_gbps: 18.0,
+            memory_efficiency: 0.8,
+        }
+    }
+
+    /// The smaller calibration host used to benchmark open-source ScaNN in the
+    /// paper (AMD EPYC 7R13, 24 cores).
+    pub fn epyc_7r13_24c() -> Self {
+        Self {
+            name: "EPYC-7R13-24c".to_string(),
+            cores: 24,
+            dram_capacity_gb: 192.0,
+            dram_bandwidth_gbps: 300.0,
+            scan_throughput_per_core_gbps: 18.0,
+            memory_efficiency: 0.8,
+        }
+    }
+
+    /// Creates a custom CPU server specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] if any capacity or rate is not
+    /// strictly positive, the core count is zero, or the memory efficiency is
+    /// outside `(0, 1]`.
+    pub fn custom(
+        name: impl Into<String>,
+        cores: u32,
+        dram_capacity_gb: f64,
+        dram_bandwidth_gbps: f64,
+        scan_throughput_per_core_gbps: f64,
+    ) -> Result<Self, HardwareError> {
+        let spec = Self {
+            name: name.into(),
+            cores,
+            dram_capacity_gb,
+            dram_bandwidth_gbps,
+            scan_throughput_per_core_gbps,
+            memory_efficiency: 0.8,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), HardwareError> {
+        if self.cores == 0 {
+            return Err(HardwareError::InvalidSpec {
+                field: "cores",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        for (field, v) in [
+            ("dram_capacity_gb", self.dram_capacity_gb),
+            ("dram_bandwidth_gbps", self.dram_bandwidth_gbps),
+            (
+                "scan_throughput_per_core_gbps",
+                self.scan_throughput_per_core_gbps,
+            ),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(HardwareError::InvalidSpec {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                });
+            }
+        }
+        if !(self.memory_efficiency > 0.0 && self.memory_efficiency <= 1.0) {
+            return Err(HardwareError::InvalidSpec {
+                field: "memory_efficiency",
+                reason: format!("must be in (0, 1], got {}", self.memory_efficiency),
+            });
+        }
+        Ok(())
+    }
+
+    /// DRAM capacity in bytes.
+    pub fn dram_capacity_bytes(&self) -> f64 {
+        gb(self.dram_capacity_gb)
+    }
+
+    /// Effective DRAM bandwidth in bytes/s (after the efficiency derating).
+    pub fn effective_dram_bandwidth(&self) -> f64 {
+        gbps(self.dram_bandwidth_gbps) * self.memory_efficiency
+    }
+
+    /// Aggregate per-server PQ-scan compute rate in bytes/s if every core ran
+    /// at its calibrated per-core throughput (before the memory ceiling).
+    pub fn aggregate_scan_rate(&self) -> f64 {
+        gbps(self.scan_throughput_per_core_gbps) * f64::from(self.cores)
+    }
+
+    /// The scan roofline for this server: "compute" is the aggregate per-core
+    /// scan rate and "memory" is the effective DRAM bandwidth. Both are in
+    /// bytes/s because PQ scanning work is measured in scanned bytes.
+    pub fn scan_roofline(&self) -> Roofline {
+        Roofline::new(self.aggregate_scan_rate(), self.effective_dram_bandwidth())
+    }
+
+    /// Scan roofline restricted to `cores_used` cores (ScaNN parallelizes a
+    /// batch of queries with one thread per query, so small batches cannot use
+    /// the whole socket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_used` is zero.
+    pub fn scan_roofline_with_cores(&self, cores_used: u32) -> Roofline {
+        assert!(cores_used > 0, "cores_used must be at least 1");
+        let cores = cores_used.min(self.cores);
+        Roofline::new(
+            gbps(self.scan_throughput_per_core_gbps) * f64::from(cores),
+            self.effective_dram_bandwidth(),
+        )
+    }
+}
+
+impl Default for CpuServerSpec {
+    fn default() -> Self {
+        CpuServerSpec::epyc_milan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epyc_milan_matches_paper_constants() {
+        let s = CpuServerSpec::epyc_milan();
+        assert_eq!(s.cores, 96);
+        assert_eq!(s.dram_capacity_gb, 384.0);
+        assert_eq!(s.dram_bandwidth_gbps, 460.0);
+        assert_eq!(s.scan_throughput_per_core_gbps, 18.0);
+    }
+
+    #[test]
+    fn full_socket_scan_is_memory_bound() {
+        // 96 cores x 18 GB/s = 1728 GB/s of scan capability vs 368 GB/s of
+        // effective DRAM bandwidth: the scan is memory-bandwidth limited.
+        let s = CpuServerSpec::epyc_milan();
+        let r = s.scan_roofline();
+        assert!(r.is_memory_bound(1e9, 1e9));
+        assert!((r.memory_bandwidth - 460e9 * 0.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_batches_are_core_bound() {
+        // With only 4 threads, 4 x 18 = 72 GB/s < 368 GB/s: core bound.
+        let s = CpuServerSpec::epyc_milan();
+        let r = s.scan_roofline_with_cores(4);
+        assert!(!r.is_memory_bound(1e9, 1e9));
+        assert!((r.compute - 72e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cores_used_is_clamped_to_available() {
+        let s = CpuServerSpec::epyc_7r13_24c();
+        let r = s.scan_roofline_with_cores(1000);
+        assert!((r.compute - 24.0 * 18e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(CpuServerSpec::custom("x", 0, 384.0, 460.0, 18.0).is_err());
+        assert!(CpuServerSpec::custom("x", 8, -1.0, 460.0, 18.0).is_err());
+        assert!(CpuServerSpec::custom("x", 8, 384.0, 460.0, 18.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cores_used")]
+    fn zero_cores_used_panics() {
+        let _ = CpuServerSpec::epyc_milan().scan_roofline_with_cores(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for hardware specification and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a hardware specification or resource request is invalid.
+///
+/// ```
+/// use rago_hardware::HardwareError;
+/// let err = HardwareError::InvalidSpec { field: "tflops", reason: "must be positive".into() };
+/// assert!(err.to_string().contains("tflops"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum HardwareError {
+    /// A specification field holds a physically meaningless value.
+    InvalidSpec {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable reason the value was rejected.
+        reason: String,
+    },
+    /// A resource request exceeds what the cluster provides.
+    InsufficientResources {
+        /// What was requested (e.g. "128 XPUs").
+        requested: String,
+        /// What is available (e.g. "96 XPUs").
+        available: String,
+    },
+}
+
+impl fmt::Display for HardwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardwareError::InvalidSpec { field, reason } => {
+                write!(f, "invalid hardware spec field `{field}`: {reason}")
+            }
+            HardwareError::InsufficientResources {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "insufficient resources: requested {requested}, available {available}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for HardwareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = HardwareError::InsufficientResources {
+            requested: "128 XPUs".into(),
+            available: "96 XPUs".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("insufficient"));
+        assert!(msg.contains("128 XPUs"));
+        assert!(msg.contains("96 XPUs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HardwareError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Interconnect models: XPU-to-XPU links and host-to-XPU transfers.
+//!
+//! The paper assumes XPUs connected in a 3D-torus topology with six 100 GB/s
+//! links per chip (600 GB/s aggregate), and PCIe-class bandwidth between the
+//! retrieval hosts and the accelerators. Communication latency between two
+//! operators is `S / B_net` where `S` is the transferred size (§4(a)), plus a
+//! small fixed per-message latency.
+
+use crate::error::HardwareError;
+use crate::units::gbps;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency description of the links connecting devices.
+///
+/// # Examples
+///
+/// ```
+/// use rago_hardware::InterconnectSpec;
+/// let ici = InterconnectSpec::torus_3d();
+/// // Transferring 1 MB over a 100 GB/s link takes ~10 µs plus base latency.
+/// let t = ici.transfer_time(1e6);
+/// assert!(t > 9e-6 && t < 5e-5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Human-readable name (e.g. `"3D-torus"`).
+    pub name: String,
+    /// Per-link bandwidth in GB/s.
+    pub link_bandwidth_gbps: f64,
+    /// Number of links per chip (aggregate bandwidth = links × per-link BW).
+    pub links_per_chip: u32,
+    /// Fixed per-message latency in seconds (software + switching overhead).
+    pub base_latency_s: f64,
+}
+
+impl InterconnectSpec {
+    /// The paper's XPU interconnect: 3D torus, six 100 GB/s links per chip.
+    pub fn torus_3d() -> Self {
+        Self {
+            name: "3D-torus".to_string(),
+            link_bandwidth_gbps: 100.0,
+            links_per_chip: 6,
+            base_latency_s: 5e-6,
+        }
+    }
+
+    /// PCIe-class host-to-accelerator link used for shipping retrieved
+    /// documents from CPU servers to XPUs (tens of GB/s; the paper notes this
+    /// transfer is negligible).
+    pub fn host_to_xpu_pcie() -> Self {
+        Self {
+            name: "PCIe-gen4-x16".to_string(),
+            link_bandwidth_gbps: 32.0,
+            links_per_chip: 1,
+            base_latency_s: 10e-6,
+        }
+    }
+
+    /// Datacenter network between retrieval servers (used for broadcast /
+    /// gather in distributed search; the paper treats this as negligible).
+    pub fn datacenter_network() -> Self {
+        Self {
+            name: "DCN-200Gb".to_string(),
+            link_bandwidth_gbps: 25.0,
+            links_per_chip: 1,
+            base_latency_s: 20e-6,
+        }
+    }
+
+    /// Creates a custom interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] if the bandwidth is not positive,
+    /// the link count is zero, or the base latency is negative.
+    pub fn custom(
+        name: impl Into<String>,
+        link_bandwidth_gbps: f64,
+        links_per_chip: u32,
+        base_latency_s: f64,
+    ) -> Result<Self, HardwareError> {
+        let spec = Self {
+            name: name.into(),
+            link_bandwidth_gbps,
+            links_per_chip,
+            base_latency_s,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), HardwareError> {
+        if !(self.link_bandwidth_gbps > 0.0 && self.link_bandwidth_gbps.is_finite()) {
+            return Err(HardwareError::InvalidSpec {
+                field: "link_bandwidth_gbps",
+                reason: format!("must be positive, got {}", self.link_bandwidth_gbps),
+            });
+        }
+        if self.links_per_chip == 0 {
+            return Err(HardwareError::InvalidSpec {
+                field: "links_per_chip",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if !(self.base_latency_s >= 0.0 && self.base_latency_s.is_finite()) {
+            return Err(HardwareError::InvalidSpec {
+                field: "base_latency_s",
+                reason: format!("must be non-negative, got {}", self.base_latency_s),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-link bandwidth in bytes/s.
+    pub fn link_bandwidth(&self) -> f64 {
+        gbps(self.link_bandwidth_gbps)
+    }
+
+    /// Aggregate per-chip bandwidth in bytes/s (all links used concurrently).
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        self.link_bandwidth() * f64::from(self.links_per_chip)
+    }
+
+    /// Time to move `bytes` over a single link, including the base latency.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.base_latency_s + bytes / self.link_bandwidth()
+    }
+
+    /// Time to move `bytes` using every link on the chip concurrently (e.g. a
+    /// sharded all-gather where traffic is spread over the torus dimensions).
+    pub fn transfer_time_aggregate(&self, bytes: f64) -> f64 {
+        self.base_latency_s + bytes / self.aggregate_bandwidth()
+    }
+
+    /// Approximate time for a ring all-reduce of `bytes` across `n` chips.
+    ///
+    /// Uses the standard `2 (n-1) / n` traffic factor of ring all-reduce over
+    /// the per-link bandwidth; returns zero for a single chip.
+    pub fn allreduce_time(&self, bytes: f64, n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let n_f = f64::from(n);
+        let traffic = 2.0 * (n_f - 1.0) / n_f * bytes;
+        self.base_latency_s * f64::from(n - 1) + traffic / self.link_bandwidth()
+    }
+}
+
+impl Default for InterconnectSpec {
+    fn default() -> Self {
+        InterconnectSpec::torus_3d()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_matches_paper() {
+        let ici = InterconnectSpec::torus_3d();
+        assert_eq!(ici.links_per_chip, 6);
+        assert_eq!(ici.link_bandwidth_gbps, 100.0);
+        assert!((ici.aggregate_bandwidth() - 600e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly_beyond_base_latency() {
+        let ici = InterconnectSpec::torus_3d();
+        let t1 = ici.transfer_time(1e9);
+        let t2 = ici.transfer_time(2e9);
+        assert!(t2 > t1);
+        assert!(((t2 - ici.base_latency_s) / (t1 - ici.base_latency_s) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_zero_for_single_chip() {
+        let ici = InterconnectSpec::torus_3d();
+        assert_eq!(ici.allreduce_time(1e9, 1), 0.0);
+        assert!(ici.allreduce_time(1e9, 2) > 0.0);
+    }
+
+    #[test]
+    fn allreduce_traffic_factor_approaches_two() {
+        let ici = InterconnectSpec::torus_3d();
+        let t8 = ici.allreduce_time(1e9, 8);
+        let t64 = ici.allreduce_time(1e9, 64);
+        // Larger groups move asymptotically 2x the data per link but never more.
+        assert!(t64 > t8);
+        assert!(t64 < ici.base_latency_s * 63.0 + 2.0 * 1e9 / ici.link_bandwidth() + 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(InterconnectSpec::custom("x", 0.0, 1, 0.0).is_err());
+        assert!(InterconnectSpec::custom("x", 10.0, 0, 0.0).is_err());
+        assert!(InterconnectSpec::custom("x", 10.0, 1, -1.0).is_err());
+        assert!(InterconnectSpec::custom("x", 10.0, 1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn aggregate_transfer_faster_than_single_link() {
+        let ici = InterconnectSpec::torus_3d();
+        assert!(ici.transfer_time_aggregate(6e9) < ici.transfer_time(6e9));
+    }
+}

@@ -1,0 +1,41 @@
+//! Hardware models for the RAGO reproduction.
+//!
+//! This crate describes the hardware substrate assumed by the RAGO paper
+//! (ISCA 2025): generic systolic-array ML accelerators ("XPUs", Table 2 of the
+//! paper), CPU host servers used for retrieval (modeled after AMD EPYC Milan),
+//! the inter-chip interconnect, and the cluster-level resource budget. It also
+//! provides the roofline primitives shared by the inference and retrieval cost
+//! models.
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_hardware::{XpuSpec, XpuGeneration, CpuServerSpec, ClusterSpec};
+//!
+//! let xpu = XpuSpec::generation(XpuGeneration::C);
+//! assert_eq!(xpu.hbm_capacity_gib, 96.0);
+//!
+//! let cluster = ClusterSpec::paper_default();
+//! assert_eq!(cluster.xpus_per_server, 4);
+//! assert!(cluster.total_xpus() >= 64);
+//! let _cpu = CpuServerSpec::epyc_milan();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod cpu;
+pub mod error;
+pub mod interconnect;
+pub mod roofline;
+pub mod units;
+pub mod xpu;
+
+pub use cluster::{power_of_two_steps, ClusterSpec, ResourceBudget};
+pub use cpu::CpuServerSpec;
+pub use error::HardwareError;
+pub use interconnect::InterconnectSpec;
+pub use roofline::{OperatorCost, OperatorKind, Roofline};
+pub use units::{gb, gbps, gib, mib, tbps, tflops, tib, BYTES_PER_GB, BYTES_PER_GIB};
+pub use xpu::{XpuGeneration, XpuSpec};

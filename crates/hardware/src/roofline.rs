@@ -1,0 +1,289 @@
+//! Roofline cost primitives shared by the inference and retrieval models.
+//!
+//! The RAGO paper (§4) costs every operator — whether an XPU matrix multiply
+//! or a CPU product-quantization scan — with the same roofline expression:
+//!
+//! ```text
+//! T_op = max( work / peak_compute , data / memory_bandwidth )
+//! ```
+//!
+//! This module provides [`Roofline`], a small value type bundling a peak
+//! compute rate and a memory bandwidth, and [`OperatorCost`], the per-operator
+//! record produced by the simulators (useful for breakdowns and debugging).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of work an operator performs, used for reporting breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Dense matrix multiplication (projections, FFN layers, logits).
+    MatMul,
+    /// Attention score/context computation over the KV cache.
+    Attention,
+    /// Element-wise or normalization work (activations, layer norm).
+    Elementwise,
+    /// Vector-database scan (centroid or PQ-code scan).
+    Scan,
+    /// Inter-device communication (all-reduce, point-to-point activation send).
+    Communication,
+    /// Anything else (embedding lookups, sampling, etc.).
+    Other,
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperatorKind::MatMul => "matmul",
+            OperatorKind::Attention => "attention",
+            OperatorKind::Elementwise => "elementwise",
+            OperatorKind::Scan => "scan",
+            OperatorKind::Communication => "communication",
+            OperatorKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A peak-compute / memory-bandwidth pair used to evaluate the roofline model.
+///
+/// `compute` is expressed in work units per second (FLOP/s for XPU operators,
+/// bytes/s of PQ-code scanning for retrieval operators) and `memory_bandwidth`
+/// in bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use rago_hardware::Roofline;
+/// // 459 TFLOPS, 2.765 TB/s (XPU-C).
+/// let r = Roofline::new(4.59e14, 2.765e12);
+/// // A 1 GFLOP operator touching 1 MB of memory is compute bound.
+/// let t = r.time(1e9, 1e6);
+/// assert!((t - 1e9 / 4.59e14).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute rate in work units per second.
+    pub compute: f64,
+    /// Peak memory bandwidth in bytes per second.
+    pub memory_bandwidth: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline from a peak compute rate (work/s) and a memory
+    /// bandwidth (bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not strictly positive and finite.
+    pub fn new(compute: f64, memory_bandwidth: f64) -> Self {
+        assert!(
+            compute > 0.0 && compute.is_finite(),
+            "compute rate must be positive and finite"
+        );
+        assert!(
+            memory_bandwidth > 0.0 && memory_bandwidth.is_finite(),
+            "memory bandwidth must be positive and finite"
+        );
+        Self {
+            compute,
+            memory_bandwidth,
+        }
+    }
+
+    /// Time (seconds) to execute an operator with `work` units of compute that
+    /// moves `data_bytes` bytes through memory: the maximum of the compute
+    /// time and the memory time.
+    pub fn time(&self, work: f64, data_bytes: f64) -> f64 {
+        let t_comp = work / self.compute;
+        let t_mem = data_bytes / self.memory_bandwidth;
+        t_comp.max(t_mem)
+    }
+
+    /// Returns `true` when the operator is limited by memory bandwidth rather
+    /// than compute.
+    pub fn is_memory_bound(&self, work: f64, data_bytes: f64) -> bool {
+        data_bytes / self.memory_bandwidth > work / self.compute
+    }
+
+    /// The arithmetic intensity (work units per byte) at which compute and
+    /// memory time are equal — the "ridge point" of the roofline.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.compute / self.memory_bandwidth
+    }
+
+    /// Returns a roofline scaled to `n` identical devices operating in
+    /// parallel with perfect efficiency (used for tensor-parallel shards and
+    /// multi-core CPU scans before applying efficiency factors).
+    pub fn scaled(&self, n: f64) -> Self {
+        assert!(n > 0.0, "scale factor must be positive");
+        Self {
+            compute: self.compute * n,
+            memory_bandwidth: self.memory_bandwidth * n,
+        }
+    }
+
+    /// Returns a roofline with both rates derated by a utilization factor in
+    /// `(0, 1]` — e.g. 0.8 for the ~80 % memory-bandwidth utilization the
+    /// paper measures for ScaNN PQ scans.
+    pub fn derated(&self, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        Self {
+            compute: self.compute * utilization,
+            memory_bandwidth: self.memory_bandwidth * utilization,
+        }
+    }
+}
+
+/// The cost record of a single simulated operator.
+///
+/// Simulators accumulate these to provide per-stage and per-kind breakdowns.
+///
+/// ```
+/// use rago_hardware::{OperatorCost, OperatorKind, Roofline};
+/// let r = Roofline::new(1e12, 1e11);
+/// let cost = OperatorCost::from_roofline("ffn_up", OperatorKind::MatMul, &r, 2e9, 4e8);
+/// assert!(cost.is_memory_bound);
+/// assert!(cost.seconds > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorCost {
+    /// Human-readable operator name (e.g. `"qkv_proj"`, `"leaf_scan"`).
+    pub name: String,
+    /// The category of work this operator performs.
+    pub kind: OperatorKind,
+    /// Work units (FLOPs or scanned bytes) executed by the operator.
+    pub work: f64,
+    /// Bytes moved through memory by the operator.
+    pub data_bytes: f64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Whether the memory term of the roofline dominated.
+    pub is_memory_bound: bool,
+}
+
+impl OperatorCost {
+    /// Costs an operator under `roofline` and records the inputs.
+    pub fn from_roofline(
+        name: impl Into<String>,
+        kind: OperatorKind,
+        roofline: &Roofline,
+        work: f64,
+        data_bytes: f64,
+    ) -> Self {
+        let seconds = roofline.time(work, data_bytes);
+        Self {
+            name: name.into(),
+            kind,
+            work,
+            data_bytes,
+            seconds,
+            is_memory_bound: roofline.is_memory_bound(work, data_bytes),
+        }
+    }
+
+    /// Creates a pure-latency cost entry (e.g. a fixed communication or
+    /// dispatch overhead) that involves no roofline evaluation.
+    pub fn fixed(name: impl Into<String>, kind: OperatorKind, seconds: f64) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            work: 0.0,
+            data_bytes: 0.0,
+            seconds,
+            is_memory_bound: false,
+        }
+    }
+
+    /// Sums the execution time of a slice of operator costs.
+    pub fn total_seconds(costs: &[OperatorCost]) -> f64 {
+        costs.iter().map(|c| c.seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roofline() -> Roofline {
+        Roofline::new(4.59e14, 2.765e12)
+    }
+
+    #[test]
+    fn compute_bound_operator() {
+        let r = roofline();
+        // Huge FLOPs, tiny data: compute bound.
+        let t = r.time(1e15, 1e6);
+        assert!((t - 1e15 / 4.59e14).abs() < 1e-9);
+        assert!(!r.is_memory_bound(1e15, 1e6));
+    }
+
+    #[test]
+    fn memory_bound_operator() {
+        let r = roofline();
+        // Tiny FLOPs, huge data: memory bound.
+        let t = r.time(1e6, 1e13);
+        assert!((t - 1e13 / 2.765e12).abs() < 1e-9);
+        assert!(r.is_memory_bound(1e6, 1e13));
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let r = roofline();
+        let ridge = r.ridge_intensity();
+        let data = 1e9;
+        // Just above the ridge intensity: compute bound.
+        assert!(!r.is_memory_bound(data * ridge * 1.01, data));
+        // Just below: memory bound.
+        assert!(r.is_memory_bound(data * ridge * 0.99, data));
+    }
+
+    #[test]
+    fn scaling_preserves_ridge_intensity() {
+        let r = roofline();
+        let s = r.scaled(8.0);
+        assert!((s.ridge_intensity() - r.ridge_intensity()).abs() < 1e-9);
+        assert_eq!(s.compute, r.compute * 8.0);
+    }
+
+    #[test]
+    fn derating_reduces_both_rates() {
+        let r = roofline().derated(0.8);
+        assert!((r.compute - 4.59e14 * 0.8).abs() < 1.0);
+        assert!((r.memory_bandwidth - 2.765e12 * 0.8).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn derating_rejects_zero() {
+        let _ = roofline().derated(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn new_rejects_nonpositive_compute() {
+        let _ = Roofline::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn operator_cost_totals() {
+        let r = roofline();
+        let costs = vec![
+            OperatorCost::from_roofline("a", OperatorKind::MatMul, &r, 1e12, 1e9),
+            OperatorCost::from_roofline("b", OperatorKind::Attention, &r, 1e11, 1e10),
+            OperatorCost::fixed("link", OperatorKind::Communication, 1e-4),
+        ];
+        let total = OperatorCost::total_seconds(&costs);
+        assert!(total > 0.0);
+        assert!((total - costs.iter().map(|c| c.seconds).sum::<f64>()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn operator_kind_display() {
+        assert_eq!(OperatorKind::MatMul.to_string(), "matmul");
+        assert_eq!(OperatorKind::Scan.to_string(), "scan");
+        assert_eq!(OperatorKind::Communication.to_string(), "communication");
+    }
+}

@@ -1,0 +1,171 @@
+//! Unit helpers and conversion constants.
+//!
+//! All cost models in this workspace operate on plain `f64` quantities in SI
+//! base units: bytes, seconds, FLOPs (floating-point operations), and
+//! operations per second. These helpers make the construction of such values
+//! readable at call sites (`tflops(459.0)`, `gib(96.0)`) and centralize the
+//! decimal-vs-binary prefix conventions used by the paper:
+//!
+//! * memory **capacities** are quoted with binary prefixes (GiB, TiB), e.g.
+//!   "96 GB of HBM" on TPU v5p is treated as 96 GiB;
+//! * **bandwidths** and **compute rates** are quoted with decimal prefixes
+//!   (GB/s, TFLOPS), matching vendor datasheets.
+
+/// Number of bytes in one decimal gigabyte (10^9 bytes).
+pub const BYTES_PER_GB: f64 = 1e9;
+
+/// Number of bytes in one binary gibibyte (2^30 bytes).
+pub const BYTES_PER_GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Number of bytes in one binary tebibyte (2^40 bytes).
+pub const BYTES_PER_TIB: f64 = BYTES_PER_GIB * 1024.0;
+
+/// Number of bytes in one binary mebibyte (2^20 bytes).
+pub const BYTES_PER_MIB: f64 = 1024.0 * 1024.0;
+
+/// Converts a quantity expressed in mebibytes (MiB) to bytes.
+///
+/// ```
+/// assert_eq!(rago_hardware::mib(1.0), 1_048_576.0);
+/// ```
+pub fn mib(x: f64) -> f64 {
+    x * BYTES_PER_MIB
+}
+
+/// Converts a quantity expressed in gibibytes (GiB) to bytes.
+///
+/// ```
+/// assert_eq!(rago_hardware::gib(2.0), 2.0 * 1024.0 * 1024.0 * 1024.0);
+/// ```
+pub fn gib(x: f64) -> f64 {
+    x * BYTES_PER_GIB
+}
+
+/// Converts a quantity expressed in tebibytes (TiB) to bytes.
+///
+/// ```
+/// assert!(rago_hardware::tib(5.6) > 6.1e12);
+/// ```
+pub fn tib(x: f64) -> f64 {
+    x * BYTES_PER_TIB
+}
+
+/// Converts a quantity expressed in decimal gigabytes (GB) to bytes.
+///
+/// ```
+/// assert_eq!(rago_hardware::gb(1.5), 1.5e9);
+/// ```
+pub fn gb(x: f64) -> f64 {
+    x * BYTES_PER_GB
+}
+
+/// Converts a bandwidth expressed in GB/s to bytes per second.
+///
+/// ```
+/// assert_eq!(rago_hardware::gbps(2765.0), 2.765e12);
+/// ```
+pub fn gbps(x: f64) -> f64 {
+    x * 1e9
+}
+
+/// Converts a bandwidth expressed in TB/s to bytes per second.
+///
+/// ```
+/// assert_eq!(rago_hardware::tbps(2.765), 2.765e12);
+/// ```
+pub fn tbps(x: f64) -> f64 {
+    x * 1e12
+}
+
+/// Converts a compute rate expressed in TFLOPS to FLOP/s.
+///
+/// ```
+/// assert_eq!(rago_hardware::tflops(459.0), 4.59e14);
+/// ```
+pub fn tflops(x: f64) -> f64 {
+    x * 1e12
+}
+
+/// Converts a compute rate expressed in GFLOPS to FLOP/s.
+///
+/// ```
+/// assert_eq!(rago_hardware::units::gflops(1.0), 1e9);
+/// ```
+pub fn gflops(x: f64) -> f64 {
+    x * 1e9
+}
+
+/// Formats a byte count with a human-readable binary prefix.
+///
+/// ```
+/// assert_eq!(rago_hardware::units::format_bytes(1536.0 * 1024.0 * 1024.0), "1.50 GiB");
+/// ```
+pub fn format_bytes(bytes: f64) -> String {
+    if bytes >= BYTES_PER_TIB {
+        format!("{:.2} TiB", bytes / BYTES_PER_TIB)
+    } else if bytes >= BYTES_PER_GIB {
+        format!("{:.2} GiB", bytes / BYTES_PER_GIB)
+    } else if bytes >= BYTES_PER_MIB {
+        format!("{:.2} MiB", bytes / BYTES_PER_MIB)
+    } else if bytes >= 1024.0 {
+        format!("{:.2} KiB", bytes / 1024.0)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit (s / ms / µs).
+///
+/// ```
+/// assert_eq!(rago_hardware::units::format_seconds(0.0025), "2.500 ms");
+/// ```
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_and_decimal_prefixes_differ() {
+        assert!(gib(1.0) > gb(1.0));
+        assert!((gib(1.0) / gb(1.0) - 1.073_741_824).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tib_is_1024_gib() {
+        assert_eq!(tib(1.0), gib(1024.0));
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(gbps(1000.0), tbps(1.0));
+        assert_eq!(tflops(1.0), gflops(1000.0));
+    }
+
+    #[test]
+    fn format_bytes_covers_all_ranges() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(2048.0), "2.00 KiB");
+        assert!(format_bytes(mib(3.0)).contains("MiB"));
+        assert!(format_bytes(gib(3.0)).contains("GiB"));
+        assert!(format_bytes(tib(3.0)).contains("TiB"));
+    }
+
+    #[test]
+    fn format_seconds_covers_all_ranges() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" us"));
+        assert!(format_seconds(2e-10).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,264 @@
+//! XPU accelerator specifications (Table 2 of the RAGO paper).
+//!
+//! An "XPU" is the paper's generic systolic-array ML accelerator. Three
+//! generations are defined, resembling TPU v5e / v4 / v5p; XPU-C is the
+//! default used throughout the evaluation.
+
+use crate::error::HardwareError;
+use crate::roofline::Roofline;
+use crate::units::{gbps, gib, tflops};
+use serde::{Deserialize, Serialize};
+
+/// The three XPU generations evaluated in the paper (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum XpuGeneration {
+    /// XPU-A: 197 TFLOPS, 16 GB HBM, 819 GB/s, 200 GB/s ICI (resembles TPU v5e).
+    A,
+    /// XPU-B: 275 TFLOPS, 32 GB HBM, 1200 GB/s, 300 GB/s ICI (resembles TPU v4).
+    B,
+    /// XPU-C: 459 TFLOPS, 96 GB HBM, 2765 GB/s, 600 GB/s ICI (resembles TPU v5p).
+    /// This is the default generation used in the evaluation.
+    C,
+}
+
+impl XpuGeneration {
+    /// All generations, in ascending capability order.
+    pub const ALL: [XpuGeneration; 3] = [XpuGeneration::A, XpuGeneration::B, XpuGeneration::C];
+}
+
+impl std::fmt::Display for XpuGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XpuGeneration::A => f.write_str("XPU-A"),
+            XpuGeneration::B => f.write_str("XPU-B"),
+            XpuGeneration::C => f.write_str("XPU-C"),
+        }
+    }
+}
+
+/// Performance specification of one XPU accelerator chip.
+///
+/// # Examples
+///
+/// ```
+/// use rago_hardware::{XpuSpec, XpuGeneration};
+///
+/// let c = XpuSpec::generation(XpuGeneration::C);
+/// assert_eq!(c.peak_tflops, 459.0);
+/// assert!(c.roofline().ridge_intensity() > 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XpuSpec {
+    /// Human-readable name of the accelerator (e.g. `"XPU-C"`).
+    pub name: String,
+    /// Peak dense compute throughput in TFLOPS (int8/bf16 systolic array).
+    pub peak_tflops: f64,
+    /// HBM capacity in GiB.
+    pub hbm_capacity_gib: f64,
+    /// HBM bandwidth in GB/s (decimal).
+    pub hbm_bandwidth_gbps: f64,
+    /// Aggregate inter-chip interconnect bandwidth per chip in GB/s.
+    pub interchip_bandwidth_gbps: f64,
+    /// Fraction of peak compute achievable on real workloads (MFU-style
+    /// derating applied uniformly to all operators).
+    pub compute_efficiency: f64,
+    /// Fraction of peak HBM bandwidth achievable on real workloads.
+    pub memory_efficiency: f64,
+}
+
+impl XpuSpec {
+    /// Returns the specification of one of the paper's three XPU generations
+    /// (Table 2), with default efficiency deratings of 0.6 for compute and
+    /// 0.8 for memory bandwidth.
+    pub fn generation(gen: XpuGeneration) -> Self {
+        let (name, peak_tflops, hbm, bw, ici) = match gen {
+            XpuGeneration::A => ("XPU-A", 197.0, 16.0, 819.0, 200.0),
+            XpuGeneration::B => ("XPU-B", 275.0, 32.0, 1200.0, 300.0),
+            XpuGeneration::C => ("XPU-C", 459.0, 96.0, 2765.0, 600.0),
+        };
+        Self {
+            name: name.to_string(),
+            peak_tflops,
+            hbm_capacity_gib: hbm,
+            hbm_bandwidth_gbps: bw,
+            interchip_bandwidth_gbps: ici,
+            compute_efficiency: 0.6,
+            memory_efficiency: 0.8,
+        }
+    }
+
+    /// Creates a custom XPU specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] if any rate or capacity is not
+    /// strictly positive, or an efficiency is outside `(0, 1]`.
+    pub fn custom(
+        name: impl Into<String>,
+        peak_tflops: f64,
+        hbm_capacity_gib: f64,
+        hbm_bandwidth_gbps: f64,
+        interchip_bandwidth_gbps: f64,
+    ) -> Result<Self, HardwareError> {
+        let spec = Self {
+            name: name.into(),
+            peak_tflops,
+            hbm_capacity_gib,
+            hbm_bandwidth_gbps,
+            interchip_bandwidth_gbps,
+            compute_efficiency: 0.6,
+            memory_efficiency: 0.8,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Overrides the compute/memory efficiency deratings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] if either efficiency is outside
+    /// `(0, 1]`.
+    pub fn with_efficiency(
+        mut self,
+        compute_efficiency: f64,
+        memory_efficiency: f64,
+    ) -> Result<Self, HardwareError> {
+        self.compute_efficiency = compute_efficiency;
+        self.memory_efficiency = memory_efficiency;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidSpec`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), HardwareError> {
+        fn positive(field: &'static str, v: f64) -> Result<(), HardwareError> {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(HardwareError::InvalidSpec {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                })
+            }
+        }
+        positive("peak_tflops", self.peak_tflops)?;
+        positive("hbm_capacity_gib", self.hbm_capacity_gib)?;
+        positive("hbm_bandwidth_gbps", self.hbm_bandwidth_gbps)?;
+        positive("interchip_bandwidth_gbps", self.interchip_bandwidth_gbps)?;
+        for (field, v) in [
+            ("compute_efficiency", self.compute_efficiency),
+            ("memory_efficiency", self.memory_efficiency),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(HardwareError::InvalidSpec {
+                    field,
+                    reason: format!("must be in (0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Peak compute rate in FLOP/s (before efficiency derating).
+    pub fn peak_flops(&self) -> f64 {
+        tflops(self.peak_tflops)
+    }
+
+    /// HBM capacity in bytes.
+    pub fn hbm_capacity_bytes(&self) -> f64 {
+        gib(self.hbm_capacity_gib)
+    }
+
+    /// HBM bandwidth in bytes/s (before efficiency derating).
+    pub fn hbm_bandwidth(&self) -> f64 {
+        gbps(self.hbm_bandwidth_gbps)
+    }
+
+    /// Inter-chip bandwidth in bytes/s.
+    pub fn interchip_bandwidth(&self) -> f64 {
+        gbps(self.interchip_bandwidth_gbps)
+    }
+
+    /// The effective single-chip roofline: peak rates derated by the
+    /// configured compute and memory efficiencies.
+    pub fn roofline(&self) -> Roofline {
+        Roofline::new(
+            self.peak_flops() * self.compute_efficiency,
+            self.hbm_bandwidth() * self.memory_efficiency,
+        )
+    }
+}
+
+impl Default for XpuSpec {
+    /// The paper's default accelerator: XPU-C.
+    fn default() -> Self {
+        XpuSpec::generation(XpuGeneration::C)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let a = XpuSpec::generation(XpuGeneration::A);
+        let b = XpuSpec::generation(XpuGeneration::B);
+        let c = XpuSpec::generation(XpuGeneration::C);
+        assert_eq!((a.peak_tflops, a.hbm_capacity_gib), (197.0, 16.0));
+        assert_eq!(a.hbm_bandwidth_gbps, 819.0);
+        assert_eq!(a.interchip_bandwidth_gbps, 200.0);
+        assert_eq!((b.peak_tflops, b.hbm_capacity_gib), (275.0, 32.0));
+        assert_eq!(b.hbm_bandwidth_gbps, 1200.0);
+        assert_eq!((c.peak_tflops, c.hbm_capacity_gib), (459.0, 96.0));
+        assert_eq!(c.hbm_bandwidth_gbps, 2765.0);
+        assert_eq!(c.interchip_bandwidth_gbps, 600.0);
+    }
+
+    #[test]
+    fn generations_are_monotonically_more_capable() {
+        let specs: Vec<_> = XpuGeneration::ALL
+            .iter()
+            .map(|g| XpuSpec::generation(*g))
+            .collect();
+        for w in specs.windows(2) {
+            assert!(w[1].peak_tflops > w[0].peak_tflops);
+            assert!(w[1].hbm_bandwidth_gbps > w[0].hbm_bandwidth_gbps);
+            assert!(w[1].hbm_capacity_gib > w[0].hbm_capacity_gib);
+        }
+    }
+
+    #[test]
+    fn default_is_xpu_c() {
+        assert_eq!(XpuSpec::default().name, "XPU-C");
+    }
+
+    #[test]
+    fn custom_spec_validation() {
+        assert!(XpuSpec::custom("bad", -1.0, 16.0, 819.0, 200.0).is_err());
+        assert!(XpuSpec::custom("ok", 100.0, 16.0, 819.0, 200.0).is_ok());
+        let err = XpuSpec::generation(XpuGeneration::C)
+            .with_efficiency(1.5, 0.8)
+            .unwrap_err();
+        assert!(matches!(err, HardwareError::InvalidSpec { field, .. } if field == "compute_efficiency"));
+    }
+
+    #[test]
+    fn roofline_applies_efficiencies() {
+        let c = XpuSpec::generation(XpuGeneration::C);
+        let r = c.roofline();
+        assert!((r.compute - 459e12 * 0.6).abs() < 1.0);
+        assert!((r.memory_bandwidth - 2765e9 * 0.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(XpuGeneration::A.to_string(), "XPU-A");
+        assert_eq!(XpuGeneration::C.to_string(), "XPU-C");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the roofline primitives and hardware specs.
+
+use proptest::prelude::*;
+use rago_hardware::{power_of_two_steps, Roofline, XpuGeneration, XpuSpec};
+
+proptest! {
+    /// Roofline time is always at least the compute time and at least the
+    /// memory time, and equals one of them.
+    #[test]
+    fn roofline_time_is_max_of_terms(
+        compute in 1e9f64..1e16,
+        bw in 1e8f64..1e13,
+        work in 1e3f64..1e16,
+        data in 1e3f64..1e14,
+    ) {
+        let r = Roofline::new(compute, bw);
+        let t = r.time(work, data);
+        let t_comp = work / compute;
+        let t_mem = data / bw;
+        prop_assert!(t >= t_comp - 1e-18);
+        prop_assert!(t >= t_mem - 1e-18);
+        prop_assert!((t - t_comp).abs() < 1e-12 * t.max(1.0) || (t - t_mem).abs() < 1e-12 * t.max(1.0));
+    }
+
+    /// Scaling the roofline by n divides the time of any operator by exactly n.
+    #[test]
+    fn roofline_scaling_divides_time(
+        compute in 1e9f64..1e15,
+        bw in 1e8f64..1e13,
+        work in 1e6f64..1e15,
+        data in 1e6f64..1e13,
+        n in 1u32..256,
+    ) {
+        let r = Roofline::new(compute, bw);
+        let scaled = r.scaled(f64::from(n));
+        let ratio = r.time(work, data) / scaled.time(work, data);
+        prop_assert!((ratio - f64::from(n)).abs() < 1e-6 * f64::from(n));
+    }
+
+    /// Roofline time is monotone in both work and data.
+    #[test]
+    fn roofline_time_is_monotone(
+        compute in 1e9f64..1e15,
+        bw in 1e8f64..1e13,
+        work in 1e6f64..1e15,
+        data in 1e6f64..1e13,
+        extra in 1.0f64..1e12,
+    ) {
+        let r = Roofline::new(compute, bw);
+        let base = r.time(work, data);
+        prop_assert!(r.time(work + extra, data) >= base);
+        prop_assert!(r.time(work, data + extra) >= base);
+    }
+
+    /// power_of_two_steps always starts at 1, ends at the budget, and is
+    /// strictly increasing.
+    #[test]
+    fn power_of_two_steps_invariants(max in 1u32..100_000) {
+        let steps = power_of_two_steps(max);
+        prop_assert_eq!(steps[0], 1);
+        prop_assert_eq!(*steps.last().unwrap(), max);
+        for w in steps.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        // Every step except possibly the last is a power of two.
+        for &s in &steps[..steps.len() - 1] {
+            prop_assert!(s.is_power_of_two());
+        }
+    }
+
+    /// Custom XPU specs with positive parameters always validate, and their
+    /// roofline never exceeds the undereated peak.
+    #[test]
+    fn custom_xpu_roofline_below_peak(
+        tf in 1.0f64..2000.0,
+        hbm in 1.0f64..1024.0,
+        bw in 10.0f64..10000.0,
+        ici in 10.0f64..2000.0,
+    ) {
+        let spec = XpuSpec::custom("prop", tf, hbm, bw, ici).unwrap();
+        let r = spec.roofline();
+        prop_assert!(r.compute <= spec.peak_flops() + 1.0);
+        prop_assert!(r.memory_bandwidth <= spec.hbm_bandwidth() + 1.0);
+    }
+}
+
+#[test]
+fn all_generations_validate() {
+    for gen in XpuGeneration::ALL {
+        assert!(XpuSpec::generation(gen).validate().is_ok());
+    }
+}

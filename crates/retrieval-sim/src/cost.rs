@@ -1,0 +1,58 @@
+//! Result type of the retrieval cost evaluation.
+
+use rago_hardware::OperatorCost;
+use serde::{Deserialize, Serialize};
+
+/// Cost of executing one batch of retrieval query vectors against the
+/// (possibly sharded) database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalCost {
+    /// Latency of completing the whole query batch, in seconds.
+    pub latency_s: f64,
+    /// Steady-state throughput in query vectors per second across the
+    /// allocated servers when batches are issued back to back.
+    pub throughput_qps: f64,
+    /// Bytes of database content scanned per query vector (across all
+    /// shards and all tree levels).
+    pub scanned_bytes_per_query: f64,
+    /// Number of CPU servers the database is sharded across.
+    pub num_servers: u32,
+    /// Number of query vectors in the batch that was costed.
+    pub query_batch: u32,
+    /// Per-level scan operator breakdown for one query on one shard.
+    pub operators: Vec<OperatorCost>,
+}
+
+impl RetrievalCost {
+    /// Throughput expressed in *retrievals* per second, where one retrieval
+    /// issues `queries_per_retrieval` query vectors.
+    pub fn retrievals_per_second(&self, queries_per_retrieval: u32) -> f64 {
+        self.throughput_qps / f64::from(queries_per_retrieval.max(1))
+    }
+
+    /// Latency of one retrieval (the batch latency — all query vectors of the
+    /// batch complete together).
+    pub fn retrieval_latency_s(&self) -> f64 {
+        self.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrievals_per_second_divides_by_query_count() {
+        let c = RetrievalCost {
+            latency_s: 0.01,
+            throughput_qps: 100.0,
+            scanned_bytes_per_query: 1e9,
+            num_servers: 4,
+            query_batch: 8,
+            operators: vec![],
+        };
+        assert_eq!(c.retrievals_per_second(4), 25.0);
+        assert_eq!(c.retrievals_per_second(0), 100.0); // clamped to 1
+        assert_eq!(c.retrieval_latency_s(), 0.01);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the retrieval cost model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a retrieval configuration cannot be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrievalSimError {
+    /// The requested configuration is invalid (zero batch, zero servers, …).
+    InvalidConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+    /// The sharded database does not fit in the allocated servers' DRAM.
+    OutOfMemory {
+        /// Bytes required by the quantized database.
+        required_bytes: f64,
+        /// Bytes of DRAM available across the allocated servers.
+        available_bytes: f64,
+    },
+}
+
+impl fmt::Display for RetrievalSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalSimError::InvalidConfig { reason } => {
+                write!(f, "invalid retrieval configuration: {reason}")
+            }
+            RetrievalSimError::OutOfMemory {
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "database does not fit in host memory: needs {:.2} GB, servers provide {:.2} GB",
+                required_bytes / 1e9,
+                available_bytes / 1e9
+            ),
+        }
+    }
+}
+
+impl Error for RetrievalSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RetrievalSimError::OutOfMemory {
+            required_bytes: 6.1e12,
+            available_bytes: 3.0e12,
+        };
+        assert!(e.to_string().contains("6100.00 GB"));
+        let e = RetrievalSimError::InvalidConfig {
+            reason: "zero servers".into(),
+        };
+        assert!(e.to_string().contains("zero servers"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RetrievalSimError>();
+    }
+}

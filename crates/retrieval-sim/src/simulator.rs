@@ -1,0 +1,324 @@
+//! The retrieval cost simulator.
+
+use crate::cost::RetrievalCost;
+use crate::error::RetrievalSimError;
+use rago_hardware::{CpuServerSpec, OperatorCost, OperatorKind};
+use rago_schema::{RetrievalConfig, SearchMode};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per full-precision vector element (f32), used to cost centroid scans
+/// and brute-force search.
+const FLOAT_BYTES: f64 = 4.0;
+
+/// Fixed per-query software overhead (request handling, priority-queue
+/// maintenance, result aggregation), in seconds.
+const PER_QUERY_OVERHEAD_S: f64 = 2e-4;
+
+/// Evaluates the cost of vector-search retrievals on CPU host servers using
+/// the ScaNN performance model of the paper (§4(b)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalSimulator {
+    /// Host server specification (cores, DRAM bandwidth, per-core scan rate).
+    pub cpu: CpuServerSpec,
+}
+
+impl RetrievalSimulator {
+    /// Creates a simulator over the paper's default EPYC-Milan host.
+    pub fn new(cpu: CpuServerSpec) -> Self {
+        Self { cpu }
+    }
+
+    /// Checks that the quantized database fits in the DRAM of `num_servers`
+    /// hosts (leaving 20 % headroom for the index and the OS).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalSimError::OutOfMemory`] when it does not fit.
+    pub fn check_capacity(
+        &self,
+        config: &RetrievalConfig,
+        num_servers: u32,
+    ) -> Result<(), RetrievalSimError> {
+        let available = self.cpu.dram_capacity_bytes() * f64::from(num_servers) * 0.8;
+        let required = config.database_bytes();
+        if required > available {
+            return Err(RetrievalSimError::OutOfMemory {
+                required_bytes: required,
+                available_bytes: available,
+            });
+        }
+        Ok(())
+    }
+
+    /// Minimum number of servers (power of two) able to hold the database.
+    pub fn min_servers(&self, config: &RetrievalConfig) -> u32 {
+        let per_server = self.cpu.dram_capacity_bytes() * 0.8;
+        let mut servers = 1u32;
+        while f64::from(servers) * per_server < config.database_bytes() && servers < u32::MAX / 2 {
+            servers *= 2;
+        }
+        servers
+    }
+
+    /// Costs one batch of `query_batch` query vectors against the database
+    /// sharded over `num_servers` servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalSimError::InvalidConfig`] for a zero batch or zero
+    /// servers, and [`RetrievalSimError::OutOfMemory`] when the database does
+    /// not fit on the allocated servers.
+    pub fn retrieval_cost(
+        &self,
+        config: &RetrievalConfig,
+        query_batch: u32,
+        num_servers: u32,
+    ) -> Result<RetrievalCost, RetrievalSimError> {
+        if query_batch == 0 {
+            return Err(RetrievalSimError::InvalidConfig {
+                reason: "query batch must be at least 1".into(),
+            });
+        }
+        if num_servers == 0 {
+            return Err(RetrievalSimError::InvalidConfig {
+                reason: "at least one retrieval server is required".into(),
+            });
+        }
+        config
+            .validate()
+            .map_err(|e| RetrievalSimError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
+        self.check_capacity(config, num_servers)?;
+
+        // Per-level bytes scanned by ONE query on ONE shard.
+        let per_level_bytes = self.per_level_scan_bytes(config, num_servers);
+        let scanned_bytes_per_query_total: f64 =
+            per_level_bytes.iter().sum::<f64>() * f64::from(num_servers);
+
+        // ScaNN parallelizes a batch with one thread per query; a shard
+        // processes the whole batch at the roofline of min(batch, cores)
+        // threads, capped by DRAM bandwidth.
+        let cores_used = query_batch.min(self.cpu.cores);
+        let roofline = self.cpu.scan_roofline_with_cores(cores_used);
+        let batch = f64::from(query_batch);
+
+        let mut operators = Vec::with_capacity(per_level_bytes.len() + 1);
+        for (level, &bytes) in per_level_bytes.iter().enumerate() {
+            let batch_bytes = bytes * batch;
+            operators.push(OperatorCost::from_roofline(
+                format!("level{}_scan", level + 1),
+                OperatorKind::Scan,
+                &roofline,
+                batch_bytes,
+                batch_bytes,
+            ));
+        }
+        operators.push(OperatorCost::fixed(
+            "query_overhead",
+            OperatorKind::Other,
+            PER_QUERY_OVERHEAD_S * (batch / f64::from(cores_used)).ceil(),
+        ));
+
+        // All shards work in parallel on the same queries; the batch latency
+        // is the per-shard latency (shards are balanced).
+        let latency = OperatorCost::total_seconds(&operators);
+
+        // Steady-state throughput at this batch size: batches are issued back
+        // to back, and every shard must process every query, so the system
+        // throughput equals the per-shard batch rate (never exceeding the
+        // full-socket roofline captured by `max_throughput_qps`).
+        let throughput_qps = batch / latency.max(1e-12);
+
+        Ok(RetrievalCost {
+            latency_s: latency,
+            throughput_qps,
+            scanned_bytes_per_query: scanned_bytes_per_query_total,
+            num_servers,
+            query_batch,
+            operators,
+        })
+    }
+
+    /// The highest steady-state query throughput achievable on `num_servers`
+    /// (queries per second), independent of batch size.
+    pub fn max_throughput_qps(&self, config: &RetrievalConfig, num_servers: u32) -> f64 {
+        let per_level = self.per_level_scan_bytes(config, num_servers);
+        let per_query_shard_bytes: f64 = per_level.iter().sum();
+        if per_query_shard_bytes <= 0.0 {
+            return f64::INFINITY;
+        }
+        let r = self.cpu.scan_roofline();
+        r.compute.min(r.memory_bandwidth) / per_query_shard_bytes
+    }
+
+    /// Bytes scanned per query on one shard, by tree level (leaf last).
+    fn per_level_scan_bytes(&self, config: &RetrievalConfig, num_servers: u32) -> Vec<f64> {
+        let shard = f64::from(num_servers.max(1));
+        match config.mode {
+            SearchMode::BruteForce => {
+                // Full-precision exhaustive scan of the shard.
+                vec![config.num_vectors as f64 * f64::from(config.dim) * FLOAT_BYTES / shard]
+            }
+            SearchMode::IvfPq { tree_levels } => {
+                let levels = tree_levels.max(1);
+                let n = config.num_vectors as f64 / shard;
+                let fanout = config.tree_fanout().unwrap_or(1.0);
+                let mut bytes = Vec::with_capacity(levels as usize);
+                // Intermediate levels store full-precision centroids; the
+                // query scans every node of level 1 and a narrowing subset of
+                // deeper levels, ending with `scan_fraction` of the leaves.
+                for level in 1..=levels {
+                    let nodes_at_level = (n / fanout.powi((levels - level) as i32)).max(1.0);
+                    let is_leaf = level == levels;
+                    let scanned_nodes = if is_leaf {
+                        n * config.scan_fraction
+                    } else if level == 1 {
+                        nodes_at_level
+                    } else {
+                        // Deeper internal levels: scan the children of the
+                        // selected parents, at least one fanout's worth and at
+                        // most the scan fraction of that level.
+                        (nodes_at_level * config.scan_fraction).max(fanout)
+                    };
+                    let bytes_per_node = if is_leaf {
+                        f64::from(config.bytes_per_vector)
+                    } else {
+                        f64::from(config.dim) * FLOAT_BYTES
+                    };
+                    bytes.push(scanned_nodes.min(nodes_at_level) * bytes_per_node);
+                }
+                bytes
+            }
+        }
+    }
+}
+
+impl Default for RetrievalSimulator {
+    fn default() -> Self {
+        RetrievalSimulator::new(CpuServerSpec::epyc_milan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> RetrievalSimulator {
+        RetrievalSimulator::default()
+    }
+
+    #[test]
+    fn hyperscale_database_needs_many_servers() {
+        let s = sim();
+        let cfg = RetrievalConfig::hyperscale_64b();
+        // 6.1 TB over 384 GB/server with 20% headroom → 16+ servers, power of 2 → 32.
+        let min = s.min_servers(&cfg);
+        assert!(min >= 16, "min_servers = {min}");
+        assert!(s.check_capacity(&cfg, min).is_ok());
+        assert!(s.check_capacity(&cfg, 4).is_err());
+    }
+
+    #[test]
+    fn leaf_scan_dominates_hyperscale_retrieval() {
+        let s = sim();
+        let cfg = RetrievalConfig::hyperscale_64b();
+        let cost = s.retrieval_cost(&cfg, 1, 32).unwrap();
+        let leaf = cost
+            .operators
+            .iter()
+            .find(|o| o.name == "level3_scan")
+            .expect("three-level tree has a leaf scan");
+        let total_scan: f64 = cost
+            .operators
+            .iter()
+            .filter(|o| o.kind == OperatorKind::Scan)
+            .map(|o| o.seconds)
+            .sum();
+        assert!(leaf.seconds / total_scan > 0.9);
+        // The leaf level scans ~0.1% of the 6.1 TB database across shards.
+        assert!(
+            (cost.scanned_bytes_per_query - 6.32e9).abs() < 0.5e9,
+            "scanned {:.3e}",
+            cost.scanned_bytes_per_query
+        );
+    }
+
+    #[test]
+    fn latency_is_flat_below_core_count_then_grows() {
+        // ScaNN uses one thread per query: below ~16 queries the batch latency
+        // stays near the single-query latency (Fig. 19a observation), and at
+        // very large batches it grows roughly linearly.
+        let s = sim();
+        let cfg = RetrievalConfig::hyperscale_64b();
+        let l1 = s.retrieval_cost(&cfg, 1, 32).unwrap().latency_s;
+        let l8 = s.retrieval_cost(&cfg, 8, 32).unwrap().latency_s;
+        let l256 = s.retrieval_cost(&cfg, 256, 32).unwrap().latency_s;
+        assert!((l8 / l1) < 1.5, "l8/l1 = {}", l8 / l1);
+        assert!(l256 > l8 * 4.0, "l256/l8 = {}", l256 / l8);
+    }
+
+    #[test]
+    fn throughput_saturates_at_memory_bandwidth() {
+        let s = sim();
+        let cfg = RetrievalConfig::hyperscale_64b();
+        let max = s.max_throughput_qps(&cfg, 32);
+        // 368 GB/s effective per server / (6.144 GB / 32 shards) ≈ 1.9K QPS.
+        assert!((1_000.0..4_000.0).contains(&max), "max qps {max}");
+        // Larger shard counts reduce per-shard bytes and raise throughput.
+        assert!(s.max_throughput_qps(&cfg, 64) > max);
+    }
+
+    #[test]
+    fn scan_fraction_controls_cost_linearly() {
+        let s = sim();
+        let base = RetrievalConfig::hyperscale_64b();
+        let heavy = base.clone().with_scan_fraction(0.01);
+        let light = base.clone().with_scan_fraction(0.0001);
+        let c_base = s.retrieval_cost(&base, 16, 32).unwrap();
+        let c_heavy = s.retrieval_cost(&heavy, 16, 32).unwrap();
+        let c_light = s.retrieval_cost(&light, 16, 32).unwrap();
+        assert!(c_heavy.latency_s > c_base.latency_s * 5.0);
+        assert!(c_light.latency_s < c_base.latency_s * 0.5);
+    }
+
+    #[test]
+    fn brute_force_small_database_is_cheap() {
+        // Case II: 1M-token context → ~7.8K vectors of 768 f32 dims ≈ 24 MB.
+        let s = sim();
+        let cfg = RetrievalConfig::long_context(1_000_000, 128, 768);
+        let cost = s.retrieval_cost(&cfg, 1, 1).unwrap();
+        assert!(cost.latency_s < 5e-3, "latency {}", cost.latency_s);
+        let hyper = s
+            .retrieval_cost(&RetrievalConfig::hyperscale_64b(), 1, 32)
+            .unwrap();
+        assert!(cost.latency_s < hyper.latency_s / 5.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let s = sim();
+        let cfg = RetrievalConfig::hyperscale_64b();
+        assert!(matches!(
+            s.retrieval_cost(&cfg, 0, 32),
+            Err(RetrievalSimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            s.retrieval_cost(&cfg, 1, 0),
+            Err(RetrievalSimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            s.retrieval_cost(&cfg, 1, 2),
+            Err(RetrievalSimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn more_servers_reduce_latency() {
+        let s = sim();
+        let cfg = RetrievalConfig::hyperscale_64b();
+        let l32 = s.retrieval_cost(&cfg, 64, 32).unwrap().latency_s;
+        let l64 = s.retrieval_cost(&cfg, 64, 64).unwrap().latency_s;
+        assert!(l64 < l32);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for RAGSchema construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a RAGSchema (or one of its components) is inconsistent.
+///
+/// ```
+/// use rago_schema::SchemaError;
+/// let err = SchemaError::Invalid { field: "queries_per_retrieval", reason: "must be >= 1".into() };
+/// assert!(err.to_string().contains("queries_per_retrieval"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A configuration field holds a meaningless value.
+    Invalid {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// Two parts of the schema contradict each other (e.g. iterative
+    /// retrieval requested but retrieval disabled).
+    Inconsistent {
+        /// Description of the contradiction.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Invalid { field, reason } => {
+                write!(f, "invalid RAGSchema field `{field}`: {reason}")
+            }
+            SchemaError::Inconsistent { reason } => {
+                write!(f, "inconsistent RAGSchema: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SchemaError::Inconsistent {
+            reason: "iterative retrieval without a retrieval stage".into(),
+        };
+        assert!(e.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchemaError>();
+    }
+}

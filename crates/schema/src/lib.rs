@@ -1,0 +1,41 @@
+//! `RAGSchema`: the structured workload abstraction of the RAGO paper (§3).
+//!
+//! A [`RagSchema`] captures the performance-relevant attributes of a RAG
+//! serving workload: which pipeline components are present (document encoder,
+//! query rewriter, retrieval, reranker, generative LLM), how large each model
+//! is, and how the retrieval is configured (database size, vector
+//! dimensionality, queries per retrieval, iterative-retrieval frequency). The
+//! four representative paradigms of the paper (Table 3) are provided as
+//! presets.
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_schema::{presets, Stage};
+//!
+//! // Case I: hyperscale retrieval in front of an 8B generative LLM.
+//! let schema = presets::case1_hyperscale(presets::LlmSize::B8, 1);
+//! let stages = schema.pipeline();
+//! assert_eq!(stages.first(), Some(&Stage::Retrieval));
+//! assert_eq!(stages.last(), Some(&Stage::Decode));
+//! assert!(schema.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod model;
+pub mod presets;
+pub mod retrieval;
+pub mod schema;
+pub mod sequence;
+pub mod stage;
+
+pub use error::SchemaError;
+pub use model::{LlmArchitecture, ModelConfig, Quantization};
+pub use presets::LlmSize;
+pub use retrieval::{RetrievalConfig, SearchMode};
+pub use schema::{RagSchema, RagSchemaBuilder};
+pub use sequence::SequenceProfile;
+pub use stage::{Stage, StageClass};

@@ -1,0 +1,390 @@
+//! Model configurations: parameter counts, transformer architecture shapes,
+//! and quantization.
+//!
+//! The RAGO cost model only needs parameter counts and layer shapes — no
+//! weights. We ship architecture descriptors for the Llama-3 model family
+//! (1B/8B/70B/405B) used by the paper, the 120M sentence-transformer style
+//! encoder used as document encoder and reranker, and a generic constructor
+//! that derives a plausible architecture from an arbitrary parameter count.
+
+use crate::error::SchemaError;
+use serde::{Deserialize, Serialize};
+
+/// Weight quantization assumed for serving.
+///
+/// The paper quantizes all models to 8-bit integers, so accelerator memory in
+/// bytes equals the parameter count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quantization {
+    /// 8-bit integer weights (1 byte per parameter) — the paper's default.
+    Int8,
+    /// 16-bit brain-float weights (2 bytes per parameter).
+    Bf16,
+    /// 32-bit float weights (4 bytes per parameter).
+    Fp32,
+}
+
+impl Quantization {
+    /// Bytes of accelerator memory per model parameter.
+    pub fn bytes_per_param(self) -> f64 {
+        match self {
+            Quantization::Int8 => 1.0,
+            Quantization::Bf16 => 2.0,
+            Quantization::Fp32 => 4.0,
+        }
+    }
+}
+
+impl Default for Quantization {
+    fn default() -> Self {
+        Quantization::Int8
+    }
+}
+
+/// Transformer layer shape used to build the operator graph of the inference
+/// cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LlmArchitecture {
+    /// Hidden (model) dimension.
+    pub hidden_dim: u32,
+    /// Number of transformer layers.
+    pub num_layers: u32,
+    /// Number of attention heads.
+    pub num_heads: u32,
+    /// Number of key/value heads (grouped-query attention); equals
+    /// `num_heads` for multi-head attention.
+    pub num_kv_heads: u32,
+    /// FFN intermediate dimension.
+    pub ffn_dim: u32,
+    /// Vocabulary size.
+    pub vocab_size: u32,
+    /// Whether the model is a bidirectional encoder (no KV cache, no
+    /// autoregressive decode) rather than a causal decoder.
+    pub is_encoder: bool,
+}
+
+impl LlmArchitecture {
+    /// Dimension of each attention head.
+    pub fn head_dim(&self) -> u32 {
+        self.hidden_dim / self.num_heads
+    }
+
+    /// Bytes of KV cache per token per sequence under the given quantization
+    /// (keys + values across all layers, using the KV-head dimensionality).
+    pub fn kv_cache_bytes_per_token(&self, quant: Quantization) -> f64 {
+        if self.is_encoder {
+            return 0.0;
+        }
+        let kv_dim = f64::from(self.head_dim()) * f64::from(self.num_kv_heads);
+        2.0 * kv_dim * f64::from(self.num_layers) * quant.bytes_per_param()
+    }
+
+    /// Approximate parameter count implied by the architecture (attention +
+    /// FFN + embeddings).
+    pub fn implied_params(&self) -> f64 {
+        let h = f64::from(self.hidden_dim);
+        let kv_dim = f64::from(self.head_dim()) * f64::from(self.num_kv_heads);
+        let attn = h * h + 2.0 * h * kv_dim + h * h; // q, k, v, o projections
+        // Llama-style gated FFN has three matrices; encoders have two.
+        let ffn_mats = if self.is_encoder { 2.0 } else { 3.0 };
+        let ffn = ffn_mats * h * f64::from(self.ffn_dim);
+        let per_layer = attn + ffn;
+        per_layer * f64::from(self.num_layers) + h * f64::from(self.vocab_size)
+    }
+}
+
+/// A model in the RAG pipeline: a name, a parameter count, an architecture
+/// shape, and a serving quantization.
+///
+/// # Examples
+///
+/// ```
+/// use rago_schema::ModelConfig;
+/// let m = ModelConfig::llama3_8b();
+/// assert_eq!(m.params, 8.0e9);
+/// assert!(m.weight_bytes() >= 8.0e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name (e.g. `"Llama3-8B"`).
+    pub name: String,
+    /// Parameter count.
+    pub params: f64,
+    /// Layer shape used by the operator-level cost model.
+    pub architecture: LlmArchitecture,
+    /// Serving quantization.
+    pub quantization: Quantization,
+}
+
+impl ModelConfig {
+    /// Llama-3 1B class model.
+    pub fn llama3_1b() -> Self {
+        Self {
+            name: "Llama3-1B".into(),
+            params: 1.0e9,
+            architecture: LlmArchitecture {
+                hidden_dim: 2048,
+                num_layers: 16,
+                num_heads: 32,
+                num_kv_heads: 8,
+                ffn_dim: 8192,
+                vocab_size: 128_256,
+                is_encoder: false,
+            },
+            quantization: Quantization::Int8,
+        }
+    }
+
+    /// Llama-3 8B class model.
+    pub fn llama3_8b() -> Self {
+        Self {
+            name: "Llama3-8B".into(),
+            params: 8.0e9,
+            architecture: LlmArchitecture {
+                hidden_dim: 4096,
+                num_layers: 32,
+                num_heads: 32,
+                num_kv_heads: 8,
+                ffn_dim: 14336,
+                vocab_size: 128_256,
+                is_encoder: false,
+            },
+            quantization: Quantization::Int8,
+        }
+    }
+
+    /// Llama-3 70B class model.
+    pub fn llama3_70b() -> Self {
+        Self {
+            name: "Llama3-70B".into(),
+            params: 70.0e9,
+            architecture: LlmArchitecture {
+                hidden_dim: 8192,
+                num_layers: 80,
+                num_heads: 64,
+                num_kv_heads: 8,
+                ffn_dim: 28672,
+                vocab_size: 128_256,
+                is_encoder: false,
+            },
+            quantization: Quantization::Int8,
+        }
+    }
+
+    /// Llama-3 405B class model.
+    pub fn llama3_405b() -> Self {
+        Self {
+            name: "Llama3-405B".into(),
+            params: 405.0e9,
+            architecture: LlmArchitecture {
+                hidden_dim: 16384,
+                num_layers: 126,
+                num_heads: 128,
+                num_kv_heads: 8,
+                ffn_dim: 53248,
+                vocab_size: 128_256,
+                is_encoder: false,
+            },
+            quantization: Quantization::Int8,
+        }
+    }
+
+    /// The 120M-parameter sentence-transformer style bidirectional encoder
+    /// used by the paper as document encoder and retrieval reranker
+    /// (768-dimensional embeddings).
+    pub fn encoder_120m() -> Self {
+        Self {
+            name: "Encoder-120M".into(),
+            params: 120.0e6,
+            architecture: LlmArchitecture {
+                hidden_dim: 768,
+                num_layers: 12,
+                num_heads: 12,
+                num_kv_heads: 12,
+                ffn_dim: 3072,
+                vocab_size: 30_522,
+                is_encoder: true,
+            },
+            quantization: Quantization::Int8,
+        }
+    }
+
+    /// Derives a plausible decoder-only architecture for an arbitrary
+    /// parameter count by interpolating within the Llama-3 family. Useful for
+    /// sensitivity sweeps over model size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] if `params` is not strictly positive.
+    pub fn decoder_with_params(name: impl Into<String>, params: f64) -> Result<Self, SchemaError> {
+        if !(params > 0.0 && params.is_finite()) {
+            return Err(SchemaError::Invalid {
+                field: "params",
+                reason: format!("parameter count must be positive, got {params}"),
+            });
+        }
+        // Scale hidden dim ~ params^(1/3), layers ~ params^(1/3), keeping
+        // Llama-like aspect ratios; snap to multiples of 128 / whole layers.
+        let anchor = Self::llama3_8b();
+        let ratio = (params / anchor.params).powf(1.0 / 3.0);
+        let hidden = ((f64::from(anchor.architecture.hidden_dim) * ratio) / 128.0).round() * 128.0;
+        let hidden = hidden.clamp(256.0, 32768.0) as u32;
+        let layers = (f64::from(anchor.architecture.num_layers) * ratio)
+            .round()
+            .clamp(2.0, 256.0) as u32;
+        let heads = (hidden / 128).max(1);
+        let arch = LlmArchitecture {
+            hidden_dim: hidden,
+            num_layers: layers,
+            num_heads: heads,
+            num_kv_heads: heads.min(8).max(1),
+            ffn_dim: hidden * 7 / 2,
+            vocab_size: anchor.architecture.vocab_size,
+            is_encoder: false,
+        };
+        Ok(Self {
+            name: name.into(),
+            params,
+            architecture: arch,
+            quantization: Quantization::Int8,
+        })
+    }
+
+    /// Overrides the quantization.
+    pub fn with_quantization(mut self, quantization: Quantization) -> Self {
+        self.quantization = quantization;
+        self
+    }
+
+    /// Total weight bytes under the configured quantization.
+    pub fn weight_bytes(&self) -> f64 {
+        self.params * self.quantization.bytes_per_param()
+    }
+
+    /// KV-cache bytes per token per sequence (zero for encoders).
+    pub fn kv_cache_bytes_per_token(&self) -> f64 {
+        self.architecture
+            .kv_cache_bytes_per_token(self.quantization)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] when the parameter count is not
+    /// positive or the architecture has zero-sized dimensions or a head count
+    /// that does not divide the hidden dimension.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if !(self.params > 0.0 && self.params.is_finite()) {
+            return Err(SchemaError::Invalid {
+                field: "params",
+                reason: format!("must be positive, got {}", self.params),
+            });
+        }
+        let a = &self.architecture;
+        if a.hidden_dim == 0 || a.num_layers == 0 || a.num_heads == 0 || a.ffn_dim == 0 {
+            return Err(SchemaError::Invalid {
+                field: "architecture",
+                reason: "dimensions must be non-zero".to_string(),
+            });
+        }
+        if a.hidden_dim % a.num_heads != 0 {
+            return Err(SchemaError::Invalid {
+                field: "architecture",
+                reason: format!(
+                    "hidden_dim {} must be divisible by num_heads {}",
+                    a.hidden_dim, a.num_heads
+                ),
+            });
+        }
+        if a.num_kv_heads == 0 || a.num_kv_heads > a.num_heads {
+            return Err(SchemaError::Invalid {
+                field: "architecture",
+                reason: "num_kv_heads must be in [1, num_heads]".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama_family_presets_validate() {
+        for m in [
+            ModelConfig::llama3_1b(),
+            ModelConfig::llama3_8b(),
+            ModelConfig::llama3_70b(),
+            ModelConfig::llama3_405b(),
+            ModelConfig::encoder_120m(),
+        ] {
+            assert!(m.validate().is_ok(), "{} failed validation", m.name);
+        }
+    }
+
+    #[test]
+    fn implied_params_are_in_the_right_ballpark() {
+        // The architecture-implied parameter count should be within ~40% of
+        // the nominal size for every preset (embeddings/layer-norms ignored).
+        for m in [
+            ModelConfig::llama3_1b(),
+            ModelConfig::llama3_8b(),
+            ModelConfig::llama3_70b(),
+            ModelConfig::llama3_405b(),
+        ] {
+            let implied = m.architecture.implied_params();
+            let ratio = implied / m.params;
+            assert!(
+                (0.6..=1.6).contains(&ratio),
+                "{}: implied {:.2e} vs nominal {:.2e}",
+                m.name,
+                implied,
+                m.params
+            );
+        }
+    }
+
+    #[test]
+    fn int8_weight_bytes_equal_params() {
+        let m = ModelConfig::llama3_70b();
+        assert_eq!(m.weight_bytes(), 70.0e9);
+        let bf16 = m.with_quantization(Quantization::Bf16);
+        assert_eq!(bf16.weight_bytes(), 140.0e9);
+    }
+
+    #[test]
+    fn kv_cache_per_token_is_reasonable_for_8b() {
+        // 8B with GQA (8 KV heads x 128 dim x 32 layers x 2 (K and V) x 1 byte).
+        let m = ModelConfig::llama3_8b();
+        let expected = 2.0 * 8.0 * 128.0 * 32.0;
+        assert!((m.kv_cache_bytes_per_token() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encoder_has_no_kv_cache() {
+        assert_eq!(ModelConfig::encoder_120m().kv_cache_bytes_per_token(), 0.0);
+    }
+
+    #[test]
+    fn derived_decoder_scales_with_params() {
+        let small = ModelConfig::decoder_with_params("S", 3.0e9).unwrap();
+        let big = ModelConfig::decoder_with_params("B", 100.0e9).unwrap();
+        assert!(big.architecture.hidden_dim > small.architecture.hidden_dim);
+        assert!(big.architecture.num_layers > small.architecture.num_layers);
+        assert!(small.validate().is_ok());
+        assert!(big.validate().is_ok());
+        assert!(ModelConfig::decoder_with_params("bad", -1.0).is_err());
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_architecture() {
+        let mut m = ModelConfig::llama3_8b();
+        m.architecture.num_heads = 33; // does not divide 4096
+        assert!(m.validate().is_err());
+        let mut m = ModelConfig::llama3_8b();
+        m.architecture.num_kv_heads = 0;
+        assert!(m.validate().is_err());
+    }
+}

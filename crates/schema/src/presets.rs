@@ -1,0 +1,202 @@
+//! Preset RAGSchema instances for the paper's four case studies (Table 3).
+//!
+//! | Component | Case 1 | Case 2 | Case 3 | Case 4 |
+//! |---|---|---|---|---|
+//! | Document encoder | — | 120M (768-d) | — | — |
+//! | Database vectors | 64 B | 1/10/100 K | 64 B | 64 B |
+//! | Retrieval frequency | 1 | 1 | 2/4/8 | 1 |
+//! | Queries per retrieval | 1/2/4/8 | 1 | 1 | 1 |
+//! | Query rewriter | — | — | — | 8B |
+//! | Query reranker | — | — | — | 120M |
+//! | Generative LLM | 1/8/70/405B | 8/70B | 8/70B | 8/70B |
+
+use crate::model::ModelConfig;
+use crate::retrieval::RetrievalConfig;
+use crate::schema::RagSchema;
+use crate::sequence::SequenceProfile;
+use serde::{Deserialize, Serialize};
+
+/// The generative-LLM sizes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LlmSize {
+    /// Llama-3 1B.
+    B1,
+    /// Llama-3 8B.
+    B8,
+    /// Llama-3 70B.
+    B70,
+    /// Llama-3 405B.
+    B405,
+}
+
+impl LlmSize {
+    /// All sizes, smallest first.
+    pub const ALL: [LlmSize; 4] = [LlmSize::B1, LlmSize::B8, LlmSize::B70, LlmSize::B405];
+
+    /// The model configuration for this size.
+    pub fn model(self) -> ModelConfig {
+        match self {
+            LlmSize::B1 => ModelConfig::llama3_1b(),
+            LlmSize::B8 => ModelConfig::llama3_8b(),
+            LlmSize::B70 => ModelConfig::llama3_70b(),
+            LlmSize::B405 => ModelConfig::llama3_405b(),
+        }
+    }
+
+    /// Nominal parameter count.
+    pub fn params(self) -> f64 {
+        self.model().params
+    }
+}
+
+impl std::fmt::Display for LlmSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmSize::B1 => f.write_str("1B"),
+            LlmSize::B8 => f.write_str("8B"),
+            LlmSize::B70 => f.write_str("70B"),
+            LlmSize::B405 => f.write_str("405B"),
+        }
+    }
+}
+
+/// Case I — hyperscale retrieval (RETRO-style): a 64-billion-vector database,
+/// one retrieval per sequence with `queries_per_retrieval` query vectors, and
+/// a generative LLM of the given size.
+pub fn case1_hyperscale(llm: LlmSize, queries_per_retrieval: u32) -> RagSchema {
+    RagSchema::builder(format!("case1-hyperscale-{llm}-q{queries_per_retrieval}"))
+        .generative_llm(llm.model())
+        .retrieval(
+            RetrievalConfig::hyperscale_64b().with_queries_per_retrieval(queries_per_retrieval),
+        )
+        .sequence(SequenceProfile::paper_default())
+        .build()
+        .expect("case 1 preset is always valid")
+}
+
+/// Case II — long-context sequence processing: the user uploads
+/// `context_tokens` of text, a 120M encoder builds a small per-request
+/// database (128-token chunks, 768-d full-precision vectors, brute-force
+/// search), and the generative LLM answers from the retrieved chunks.
+pub fn case2_long_context(llm: LlmSize, context_tokens: u64) -> RagSchema {
+    RagSchema::builder(format!("case2-longctx-{llm}-{context_tokens}tok"))
+        .document_encoder(ModelConfig::encoder_120m())
+        .generative_llm(llm.model())
+        .retrieval(RetrievalConfig::long_context(context_tokens, 128, 768))
+        .sequence(SequenceProfile::long_context(context_tokens))
+        .build()
+        .expect("case 2 preset is always valid")
+}
+
+/// Case III — iterative retrievals: hyperscale retrieval as in Case I, but
+/// with `retrievals_per_sequence` retrievals triggered during the 256-token
+/// decode.
+pub fn case3_iterative(llm: LlmSize, retrievals_per_sequence: u32) -> RagSchema {
+    RagSchema::builder(format!(
+        "case3-iterative-{llm}-r{retrievals_per_sequence}"
+    ))
+    .generative_llm(llm.model())
+    .retrieval(
+        RetrievalConfig::hyperscale_64b().with_retrievals_per_sequence(retrievals_per_sequence),
+    )
+    .sequence(SequenceProfile::paper_default())
+    .build()
+    .expect("case 3 preset is always valid")
+}
+
+/// Case IV — query rewriter and reranker: Case I extended with an 8B
+/// generative query rewriter (32-token question → 32-token rewrite) and a
+/// 120M reranker scoring 16 candidate passages down to the top 5.
+pub fn case4_rewriter_reranker(llm: LlmSize) -> RagSchema {
+    RagSchema::builder(format!("case4-rewrite-rerank-{llm}"))
+        .query_rewriter(ModelConfig::llama3_8b(), 32)
+        .reranker(ModelConfig::encoder_120m(), 16)
+        .generative_llm(llm.model())
+        .retrieval(RetrievalConfig::hyperscale_64b().with_top_k(5))
+        .sequence(SequenceProfile::paper_default())
+        .build()
+        .expect("case 4 preset is always valid")
+}
+
+/// The LLM-only comparison system of Figure 5: no retrieval, the prompt is
+/// just the 32-token question, generation is 256 tokens.
+pub fn llm_only(llm: LlmSize) -> RagSchema {
+    RagSchema::llm_only(
+        format!("llm-only-{llm}"),
+        llm.model(),
+        SequenceProfile::paper_default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+
+    #[test]
+    fn all_presets_validate() {
+        for llm in LlmSize::ALL {
+            assert!(case1_hyperscale(llm, 1).validate().is_ok());
+            assert!(case3_iterative(llm, 4).validate().is_ok());
+            assert!(case4_rewriter_reranker(llm).validate().is_ok());
+            assert!(llm_only(llm).validate().is_ok());
+        }
+        for ctx in [100_000u64, 1_000_000, 10_000_000] {
+            assert!(case2_long_context(LlmSize::B70, ctx).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn case1_matches_table3() {
+        let s = case1_hyperscale(LlmSize::B8, 4);
+        let r = s.retrieval.as_ref().unwrap();
+        assert_eq!(r.num_vectors, 64_000_000_000);
+        assert_eq!(r.queries_per_retrieval, 4);
+        assert_eq!(r.retrievals_per_sequence, 1);
+        assert!(s.document_encoder.is_none());
+        assert!(s.query_rewriter.is_none());
+        assert!(s.reranker.is_none());
+    }
+
+    #[test]
+    fn case2_matches_table3() {
+        let s = case2_long_context(LlmSize::B70, 1_000_000);
+        assert_eq!(s.document_encoder.as_ref().unwrap().params, 120.0e6);
+        let r = s.retrieval.as_ref().unwrap();
+        assert!(r.num_vectors >= 1_000 && r.num_vectors <= 10_000);
+        assert!(s.pipeline().contains(&Stage::DatabaseEncode));
+    }
+
+    #[test]
+    fn case3_matches_table3() {
+        for freq in [2u32, 4, 8] {
+            let s = case3_iterative(LlmSize::B70, freq);
+            assert!(s.is_iterative());
+            assert_eq!(
+                s.retrieval.as_ref().unwrap().retrievals_per_sequence,
+                freq
+            );
+        }
+    }
+
+    #[test]
+    fn case4_matches_table3() {
+        let s = case4_rewriter_reranker(LlmSize::B70);
+        assert_eq!(s.query_rewriter.as_ref().unwrap().params, 8.0e9);
+        assert_eq!(s.reranker.as_ref().unwrap().params, 120.0e6);
+        assert_eq!(s.rerank_candidates, 16);
+        assert_eq!(s.retrieval.as_ref().unwrap().top_k, 5);
+        let p = s.pipeline();
+        assert_eq!(p[0], Stage::RewritePrefix);
+        assert!(p.contains(&Stage::Rerank));
+    }
+
+    #[test]
+    fn llm_sizes_are_ordered() {
+        let params: Vec<f64> = LlmSize::ALL.iter().map(|s| s.params()).collect();
+        for w in params.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(LlmSize::B70.to_string(), "70B");
+    }
+}

@@ -1,0 +1,293 @@
+//! Retrieval configuration: database size, quantization, scan fraction,
+//! queries per retrieval, and iterative-retrieval frequency.
+
+use crate::error::SchemaError;
+use serde::{Deserialize, Serialize};
+
+/// How the nearest-neighbour search is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// ScaNN/Faiss-style approximate search: a multi-level tree (IVF) index
+    /// over product-quantized codes. `tree_levels` is the depth of the tree
+    /// (the paper uses 3 levels with a balanced fanout of ~4K for the
+    /// 64-billion-vector database).
+    IvfPq {
+        /// Number of levels in the balanced search tree.
+        tree_levels: u32,
+    },
+    /// Exact brute-force kNN over full-precision vectors — what the paper uses
+    /// for the tiny per-request databases of the long-context paradigm
+    /// (Case II), where building an ANN index would cost more than it saves.
+    BruteForce,
+}
+
+/// Configuration of the retrieval component of a RAG pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use rago_schema::RetrievalConfig;
+/// let r = RetrievalConfig::hyperscale_64b();
+/// assert_eq!(r.num_vectors, 64e9 as u64);
+/// // 64B x 96B = 6.1 TB of PQ codes; a 0.1% scan touches ~6.1 GB per query.
+/// assert!(r.scanned_bytes_per_query() > 6.0e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Number of database vectors.
+    pub num_vectors: u64,
+    /// Dimensionality of each database vector.
+    pub dim: u32,
+    /// Bytes per stored vector after quantization (96 for the paper's PQ
+    /// setting of one byte per eight dimensions at 768 dims; `dim * 4` for
+    /// full-precision float storage).
+    pub bytes_per_vector: u32,
+    /// Fraction of database vectors scanned per query (the paper's default is
+    /// 0.001, i.e. 0.1%). For brute-force search this is 1.0.
+    pub scan_fraction: f64,
+    /// Number of query vectors issued per retrieval (multi-query RAG uses >1).
+    pub queries_per_retrieval: u32,
+    /// Number of retrievals per generated sequence. One means a single
+    /// retrieval before generation; larger values model iterative retrieval
+    /// during decoding (Case III).
+    pub retrievals_per_sequence: u32,
+    /// Number of nearest neighbours returned (top-K documents).
+    pub top_k: u32,
+    /// Search algorithm.
+    pub mode: SearchMode,
+}
+
+impl RetrievalConfig {
+    /// The paper's hyperscale database: 64 billion 768-dimensional passages,
+    /// product-quantized to 96 bytes per vector, 0.1 % scanned per query,
+    /// three-level tree, one query per retrieval, a single retrieval per
+    /// sequence, top-5 neighbours.
+    pub fn hyperscale_64b() -> Self {
+        Self {
+            num_vectors: 64_000_000_000,
+            dim: 768,
+            bytes_per_vector: 96,
+            scan_fraction: 0.001,
+            queries_per_retrieval: 1,
+            retrievals_per_sequence: 1,
+            top_k: 5,
+            mode: SearchMode::IvfPq { tree_levels: 3 },
+        }
+    }
+
+    /// A small per-request database built from a long context of
+    /// `context_tokens` tokens chunked every `chunk_tokens` tokens, searched
+    /// by brute force over full-precision vectors (Case II).
+    pub fn long_context(context_tokens: u64, chunk_tokens: u32, dim: u32) -> Self {
+        let num_vectors = (context_tokens / u64::from(chunk_tokens.max(1))).max(1);
+        Self {
+            num_vectors,
+            dim,
+            bytes_per_vector: dim * 4,
+            scan_fraction: 1.0,
+            queries_per_retrieval: 1,
+            retrievals_per_sequence: 1,
+            top_k: 5,
+            mode: SearchMode::BruteForce,
+        }
+    }
+
+    /// Sets the number of query vectors per retrieval.
+    pub fn with_queries_per_retrieval(mut self, q: u32) -> Self {
+        self.queries_per_retrieval = q;
+        self
+    }
+
+    /// Sets the number of retrievals per sequence (iterative retrieval).
+    pub fn with_retrievals_per_sequence(mut self, r: u32) -> Self {
+        self.retrievals_per_sequence = r;
+        self
+    }
+
+    /// Sets the scanned database fraction.
+    pub fn with_scan_fraction(mut self, f: f64) -> Self {
+        self.scan_fraction = f;
+        self
+    }
+
+    /// Sets the returned neighbour count.
+    pub fn with_top_k(mut self, k: u32) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] if any count is zero or the scan
+    /// fraction is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.num_vectors == 0 {
+            return Err(SchemaError::Invalid {
+                field: "num_vectors",
+                reason: "database must contain at least one vector".into(),
+            });
+        }
+        if self.dim == 0 {
+            return Err(SchemaError::Invalid {
+                field: "dim",
+                reason: "vector dimensionality must be non-zero".into(),
+            });
+        }
+        if self.bytes_per_vector == 0 {
+            return Err(SchemaError::Invalid {
+                field: "bytes_per_vector",
+                reason: "stored vector size must be non-zero".into(),
+            });
+        }
+        if !(self.scan_fraction > 0.0 && self.scan_fraction <= 1.0) {
+            return Err(SchemaError::Invalid {
+                field: "scan_fraction",
+                reason: format!("must be in (0, 1], got {}", self.scan_fraction),
+            });
+        }
+        if self.queries_per_retrieval == 0 {
+            return Err(SchemaError::Invalid {
+                field: "queries_per_retrieval",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.retrievals_per_sequence == 0 {
+            return Err(SchemaError::Invalid {
+                field: "retrievals_per_sequence",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.top_k == 0 {
+            return Err(SchemaError::Invalid {
+                field: "top_k",
+                reason: "must return at least one neighbour".into(),
+            });
+        }
+        if let SearchMode::IvfPq { tree_levels } = self.mode {
+            if tree_levels == 0 {
+                return Err(SchemaError::Invalid {
+                    field: "tree_levels",
+                    reason: "IVF-PQ tree must have at least one level".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total size of the stored (quantized) database in bytes.
+    pub fn database_bytes(&self) -> f64 {
+        self.num_vectors as f64 * f64::from(self.bytes_per_vector)
+    }
+
+    /// Bytes of database vectors scanned by one query vector: the paper's
+    /// `B_retrieval ≈ N_dbvec · B_vec · P_scan` (§3.3).
+    pub fn scanned_bytes_per_query(&self) -> f64 {
+        self.database_bytes() * self.scan_fraction
+    }
+
+    /// Bytes scanned per retrieval (all query vectors of that retrieval).
+    pub fn scanned_bytes_per_retrieval(&self) -> f64 {
+        self.scanned_bytes_per_query() * f64::from(self.queries_per_retrieval)
+    }
+
+    /// Whether the workload performs iterative retrievals during decoding.
+    pub fn is_iterative(&self) -> bool {
+        self.retrievals_per_sequence > 1
+    }
+
+    /// Balanced per-level fanout of the IVF tree (the paper uses
+    /// `(64e9)^(1/3) ≈ 4000` for its 3-level tree). Returns `None` for
+    /// brute-force search.
+    pub fn tree_fanout(&self) -> Option<f64> {
+        match self.mode {
+            SearchMode::IvfPq { tree_levels } => Some(
+                (self.num_vectors as f64)
+                    .powf(1.0 / f64::from(tree_levels))
+                    .max(1.0),
+            ),
+            SearchMode::BruteForce => None,
+        }
+    }
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig::hyperscale_64b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperscale_matches_paper_numbers() {
+        let r = RetrievalConfig::hyperscale_64b();
+        assert!(r.validate().is_ok());
+        // 64B x 96 bytes = 6.144e12 bytes ~ 5.6 TiB.
+        assert!((r.database_bytes() - 6.144e12).abs() < 1e6);
+        let tib = r.database_bytes() / (1024.0f64.powi(4));
+        assert!((tib - 5.59).abs() < 0.02);
+        // 0.1% scan = ~6.1 GB per query.
+        assert!((r.scanned_bytes_per_query() - 6.144e9).abs() < 1e3);
+        // Three-level balanced fanout ~ 4000.
+        let fanout = r.tree_fanout().unwrap();
+        assert!((fanout - 4000.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn long_context_database_sizes() {
+        // 100K tokens / 128-token chunks ~ 781 vectors; 1M ~ 7.8K; 10M ~ 78K.
+        let small = RetrievalConfig::long_context(100_000, 128, 768);
+        let medium = RetrievalConfig::long_context(1_000_000, 128, 768);
+        let large = RetrievalConfig::long_context(10_000_000, 128, 768);
+        assert_eq!(small.num_vectors, 781);
+        assert_eq!(medium.num_vectors, 7812);
+        assert_eq!(large.num_vectors, 78125);
+        assert_eq!(small.mode, SearchMode::BruteForce);
+        assert!(small.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let r = RetrievalConfig::hyperscale_64b()
+            .with_queries_per_retrieval(4)
+            .with_retrievals_per_sequence(8)
+            .with_scan_fraction(0.01)
+            .with_top_k(16);
+        assert_eq!(r.queries_per_retrieval, 4);
+        assert!(r.is_iterative());
+        assert_eq!(r.top_k, 16);
+        assert!(
+            (r.scanned_bytes_per_retrieval() - r.database_bytes() * 0.01 * 4.0).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut r = RetrievalConfig::hyperscale_64b();
+        r.scan_fraction = 0.0;
+        assert!(r.validate().is_err());
+        let mut r = RetrievalConfig::hyperscale_64b();
+        r.scan_fraction = 1.5;
+        assert!(r.validate().is_err());
+        let mut r = RetrievalConfig::hyperscale_64b();
+        r.queries_per_retrieval = 0;
+        assert!(r.validate().is_err());
+        let mut r = RetrievalConfig::hyperscale_64b();
+        r.num_vectors = 0;
+        assert!(r.validate().is_err());
+        let mut r = RetrievalConfig::hyperscale_64b();
+        r.mode = SearchMode::IvfPq { tree_levels: 0 };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn brute_force_has_no_fanout() {
+        assert!(RetrievalConfig::long_context(100_000, 128, 768)
+            .tree_fanout()
+            .is_none());
+    }
+}

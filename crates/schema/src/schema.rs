@@ -1,0 +1,426 @@
+//! The [`RagSchema`] type: a complete description of one RAG serving workload.
+
+use crate::error::SchemaError;
+use crate::model::ModelConfig;
+use crate::retrieval::RetrievalConfig;
+use crate::sequence::SequenceProfile;
+use crate::stage::Stage;
+use serde::{Deserialize, Serialize};
+
+/// A complete RAGSchema (Table 1 / Figure 3 of the paper): the set of pipeline
+/// components present, their model configurations, the retrieval
+/// configuration, and the sequence-length profile.
+///
+/// Optional components (`document_encoder`, `query_rewriter`, `reranker`) are
+/// `None` when the paradigm omits them; `retrieval` is `None` only for
+/// LLM-only baselines.
+///
+/// # Examples
+///
+/// ```
+/// use rago_schema::{RagSchema, ModelConfig, RetrievalConfig, SequenceProfile, Stage};
+///
+/// let schema = RagSchema::builder("my-rag")
+///     .generative_llm(ModelConfig::llama3_8b())
+///     .retrieval(RetrievalConfig::hyperscale_64b())
+///     .sequence(SequenceProfile::paper_default())
+///     .build()?;
+/// assert_eq!(schema.pipeline(), vec![Stage::Retrieval, Stage::Prefix, Stage::Decode]);
+/// # Ok::<(), rago_schema::SchemaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RagSchema {
+    /// Workload name used in reports.
+    pub name: String,
+    /// Database/document encoder (present in long-context paradigms).
+    pub document_encoder: Option<ModelConfig>,
+    /// Generative query rewriter (pre-processing), if applied.
+    pub query_rewriter: Option<ModelConfig>,
+    /// Retrieval-result reranker (post-processing), if applied.
+    pub reranker: Option<ModelConfig>,
+    /// The main generative LLM producing the answer.
+    pub generative_llm: ModelConfig,
+    /// Retrieval configuration, or `None` for an LLM-only system.
+    pub retrieval: Option<RetrievalConfig>,
+    /// Sequence-length profile of requests.
+    pub sequence: SequenceProfile,
+    /// Number of tokens produced by the query rewriter's decode phase (the
+    /// paper rewrites a 32-token question into another 32-token question).
+    pub rewriter_output_tokens: u32,
+    /// Number of candidate passages scored by the reranker per request (the
+    /// paper reranks 16 candidates down to the top 5).
+    pub rerank_candidates: u32,
+}
+
+impl RagSchema {
+    /// Starts building a schema with the given name.
+    pub fn builder(name: impl Into<String>) -> RagSchemaBuilder {
+        RagSchemaBuilder::new(name)
+    }
+
+    /// An LLM-only workload (no retrieval, no auxiliary models) answering the
+    /// same questions — the comparison system of Figure 5.
+    pub fn llm_only(name: impl Into<String>, llm: ModelConfig, sequence: SequenceProfile) -> Self {
+        Self {
+            name: name.into(),
+            document_encoder: None,
+            query_rewriter: None,
+            reranker: None,
+            generative_llm: llm,
+            retrieval: None,
+            sequence,
+            rewriter_output_tokens: 0,
+            rerank_candidates: 0,
+        }
+    }
+
+    /// The ordered list of stages this workload executes (Figure 3), derived
+    /// from which components are present.
+    pub fn pipeline(&self) -> Vec<Stage> {
+        let mut stages = Vec::with_capacity(7);
+        if self.document_encoder.is_some() {
+            stages.push(Stage::DatabaseEncode);
+        }
+        if self.query_rewriter.is_some() {
+            stages.push(Stage::RewritePrefix);
+            stages.push(Stage::RewriteDecode);
+        }
+        if self.retrieval.is_some() {
+            stages.push(Stage::Retrieval);
+        }
+        if self.reranker.is_some() {
+            stages.push(Stage::Rerank);
+        }
+        stages.push(Stage::Prefix);
+        stages.push(Stage::Decode);
+        stages
+    }
+
+    /// The model serving a given stage, if that stage is an inference stage
+    /// present in this schema.
+    pub fn model_for_stage(&self, stage: Stage) -> Option<&ModelConfig> {
+        match stage {
+            Stage::DatabaseEncode => self.document_encoder.as_ref(),
+            Stage::RewritePrefix | Stage::RewriteDecode => self.query_rewriter.as_ref(),
+            Stage::Rerank => self.reranker.as_ref(),
+            Stage::Prefix | Stage::Decode => Some(&self.generative_llm),
+            Stage::Retrieval => None,
+        }
+    }
+
+    /// Whether the workload performs retrieval at all.
+    pub fn has_retrieval(&self) -> bool {
+        self.retrieval.is_some()
+    }
+
+    /// Whether the workload performs iterative retrieval during decoding.
+    pub fn is_iterative(&self) -> bool {
+        self.retrieval
+            .as_ref()
+            .map(RetrievalConfig::is_iterative)
+            .unwrap_or(false)
+    }
+
+    /// The prompt length of the main LLM's prefix phase: with retrieval the
+    /// question plus retrieved passages, without retrieval just the question.
+    pub fn main_prefix_tokens(&self) -> u32 {
+        if self.has_retrieval() {
+            self.sequence.prefix_tokens()
+        } else {
+            self.sequence.llm_only_prefix_tokens()
+        }
+    }
+
+    /// Validates the schema and all nested configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] if any component configuration is invalid or
+    /// the combination is inconsistent (e.g. a reranker without retrieval, or
+    /// a document encoder without a long context to encode).
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        self.generative_llm.validate()?;
+        self.sequence.validate()?;
+        if let Some(enc) = &self.document_encoder {
+            enc.validate()?;
+            if self.sequence.long_context_tokens == 0 {
+                return Err(SchemaError::Inconsistent {
+                    reason: "a document encoder is configured but the sequence profile has no \
+                             long context to encode"
+                        .into(),
+                });
+            }
+            if self.retrieval.is_none() {
+                return Err(SchemaError::Inconsistent {
+                    reason: "a document encoder is configured but retrieval is disabled".into(),
+                });
+            }
+        }
+        if let Some(rw) = &self.query_rewriter {
+            rw.validate()?;
+            if rw.architecture.is_encoder {
+                return Err(SchemaError::Inconsistent {
+                    reason: "the query rewriter must be a generative (decoder) model".into(),
+                });
+            }
+            if self.rewriter_output_tokens == 0 {
+                return Err(SchemaError::Invalid {
+                    field: "rewriter_output_tokens",
+                    reason: "must be at least 1 when a query rewriter is present".into(),
+                });
+            }
+        }
+        if let Some(rr) = &self.reranker {
+            rr.validate()?;
+            if self.retrieval.is_none() {
+                return Err(SchemaError::Inconsistent {
+                    reason: "a reranker is configured but retrieval is disabled".into(),
+                });
+            }
+            if self.rerank_candidates == 0 {
+                return Err(SchemaError::Invalid {
+                    field: "rerank_candidates",
+                    reason: "must be at least 1 when a reranker is present".into(),
+                });
+            }
+        }
+        if let Some(r) = &self.retrieval {
+            r.validate()?;
+            if let Some(rr) = r.top_k.checked_mul(1) {
+                if self.reranker.is_some() && self.rerank_candidates < rr {
+                    return Err(SchemaError::Inconsistent {
+                        reason: format!(
+                            "the reranker scores {} candidates but retrieval returns top-{}",
+                            self.rerank_candidates, r.top_k
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RagSchema`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct RagSchemaBuilder {
+    name: String,
+    document_encoder: Option<ModelConfig>,
+    query_rewriter: Option<ModelConfig>,
+    reranker: Option<ModelConfig>,
+    generative_llm: Option<ModelConfig>,
+    retrieval: Option<RetrievalConfig>,
+    sequence: SequenceProfile,
+    rewriter_output_tokens: u32,
+    rerank_candidates: u32,
+}
+
+impl RagSchemaBuilder {
+    /// Creates a new builder for a workload called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            document_encoder: None,
+            query_rewriter: None,
+            reranker: None,
+            generative_llm: None,
+            retrieval: None,
+            sequence: SequenceProfile::paper_default(),
+            rewriter_output_tokens: 32,
+            rerank_candidates: 16,
+        }
+    }
+
+    /// Sets the main generative LLM (required).
+    pub fn generative_llm(mut self, model: ModelConfig) -> Self {
+        self.generative_llm = Some(model);
+        self
+    }
+
+    /// Adds a database/document encoder.
+    pub fn document_encoder(mut self, model: ModelConfig) -> Self {
+        self.document_encoder = Some(model);
+        self
+    }
+
+    /// Adds a generative query rewriter producing `output_tokens` tokens.
+    pub fn query_rewriter(mut self, model: ModelConfig, output_tokens: u32) -> Self {
+        self.query_rewriter = Some(model);
+        self.rewriter_output_tokens = output_tokens;
+        self
+    }
+
+    /// Adds a retrieval-result reranker scoring `candidates` passages.
+    pub fn reranker(mut self, model: ModelConfig, candidates: u32) -> Self {
+        self.reranker = Some(model);
+        self.rerank_candidates = candidates;
+        self
+    }
+
+    /// Sets the retrieval configuration.
+    pub fn retrieval(mut self, retrieval: RetrievalConfig) -> Self {
+        self.retrieval = Some(retrieval);
+        self
+    }
+
+    /// Sets the sequence-length profile.
+    pub fn sequence(mut self, sequence: SequenceProfile) -> Self {
+        self.sequence = sequence;
+        self
+    }
+
+    /// Builds and validates the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] if the generative LLM was never set,
+    /// or any validation error from [`RagSchema::validate`].
+    pub fn build(self) -> Result<RagSchema, SchemaError> {
+        let generative_llm = self.generative_llm.ok_or(SchemaError::Invalid {
+            field: "generative_llm",
+            reason: "a RAGSchema requires a main generative LLM".into(),
+        })?;
+        let schema = RagSchema {
+            name: self.name,
+            document_encoder: self.document_encoder,
+            query_rewriter: self.query_rewriter,
+            reranker: self.reranker,
+            generative_llm,
+            retrieval: self.retrieval,
+            sequence: self.sequence,
+            rewriter_output_tokens: self.rewriter_output_tokens,
+            rerank_candidates: self.rerank_candidates,
+        };
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    fn basic() -> RagSchema {
+        RagSchema::builder("basic")
+            .generative_llm(ModelConfig::llama3_8b())
+            .retrieval(RetrievalConfig::hyperscale_64b())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn minimal_pipeline_is_retrieval_prefix_decode() {
+        assert_eq!(
+            basic().pipeline(),
+            vec![Stage::Retrieval, Stage::Prefix, Stage::Decode]
+        );
+    }
+
+    #[test]
+    fn llm_only_pipeline_has_no_retrieval() {
+        let s = RagSchema::llm_only(
+            "llm-only",
+            ModelConfig::llama3_70b(),
+            SequenceProfile::paper_default(),
+        );
+        assert_eq!(s.pipeline(), vec![Stage::Prefix, Stage::Decode]);
+        assert!(!s.has_retrieval());
+        assert_eq!(s.main_prefix_tokens(), 32);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn full_pipeline_order_matches_figure3() {
+        let s = RagSchema::builder("full")
+            .document_encoder(ModelConfig::encoder_120m())
+            .query_rewriter(ModelConfig::llama3_8b(), 32)
+            .reranker(ModelConfig::encoder_120m(), 16)
+            .generative_llm(ModelConfig::llama3_70b())
+            .retrieval(RetrievalConfig::long_context(1_000_000, 128, 768))
+            .sequence(SequenceProfile::long_context(1_000_000))
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.pipeline(),
+            vec![
+                Stage::DatabaseEncode,
+                Stage::RewritePrefix,
+                Stage::RewriteDecode,
+                Stage::Retrieval,
+                Stage::Rerank,
+                Stage::Prefix,
+                Stage::Decode
+            ]
+        );
+    }
+
+    #[test]
+    fn model_for_stage_resolution() {
+        let s = basic();
+        assert!(s.model_for_stage(Stage::Prefix).is_some());
+        assert!(s.model_for_stage(Stage::Retrieval).is_none());
+        assert!(s.model_for_stage(Stage::Rerank).is_none());
+        assert_eq!(
+            s.model_for_stage(Stage::Decode).unwrap().name,
+            "Llama3-8B"
+        );
+    }
+
+    #[test]
+    fn builder_requires_generative_llm() {
+        let err = RagSchema::builder("x")
+            .retrieval(RetrievalConfig::hyperscale_64b())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Invalid { field, .. } if field == "generative_llm"));
+    }
+
+    #[test]
+    fn encoder_without_long_context_is_inconsistent() {
+        let err = RagSchema::builder("x")
+            .document_encoder(ModelConfig::encoder_120m())
+            .generative_llm(ModelConfig::llama3_8b())
+            .retrieval(RetrievalConfig::hyperscale_64b())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn reranker_without_retrieval_is_inconsistent() {
+        let err = RagSchema::builder("x")
+            .reranker(ModelConfig::encoder_120m(), 16)
+            .generative_llm(ModelConfig::llama3_8b())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn reranker_candidate_count_must_cover_top_k() {
+        let err = RagSchema::builder("x")
+            .reranker(ModelConfig::encoder_120m(), 2)
+            .generative_llm(ModelConfig::llama3_8b())
+            .retrieval(RetrievalConfig::hyperscale_64b()) // top_k = 5 > 2
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn iterative_flag_follows_retrieval_config() {
+        let s = RagSchema::builder("iter")
+            .generative_llm(ModelConfig::llama3_70b())
+            .retrieval(RetrievalConfig::hyperscale_64b().with_retrievals_per_sequence(4))
+            .build()
+            .unwrap();
+        assert!(s.is_iterative());
+        assert!(!basic().is_iterative());
+    }
+
+    #[test]
+    fn main_prefix_tokens_with_retrieval() {
+        assert_eq!(basic().main_prefix_tokens(), 532);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sequence-length profile of a RAG workload (§4 "LLM sequence lengths").
+//!
+//! The paper derives representative lengths from QA and chatbot datasets:
+//! 32-token questions, five retrieved passages of ~100 tokens each (so a
+//! ~512-token prefix for the main LLM), and 256-token generations. Case II
+//! additionally has a long user-provided context that must be encoded into
+//! the per-request database.
+
+use crate::error::SchemaError;
+use serde::{Deserialize, Serialize};
+
+/// Token-length profile of a single request.
+///
+/// # Examples
+///
+/// ```
+/// use rago_schema::SequenceProfile;
+/// let s = SequenceProfile::paper_default();
+/// assert_eq!(s.prefix_tokens(), 532); // 32-token question + 5 x 100-token passages
+/// assert_eq!(s.decode_tokens, 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequenceProfile {
+    /// Length of the user question in tokens.
+    pub question_tokens: u32,
+    /// Length of each retrieved passage in tokens.
+    pub chunk_tokens: u32,
+    /// Number of retrieved passages appended to the prompt.
+    pub num_neighbors: u32,
+    /// Number of generated output tokens (decode length).
+    pub decode_tokens: u32,
+    /// Length of the user-provided long context (Case II) that the database
+    /// encoder must process, in tokens; zero when there is no such context.
+    pub long_context_tokens: u64,
+    /// Bytes per token when shipping retrieved text from CPU hosts to XPUs.
+    pub bytes_per_token: u32,
+}
+
+impl SequenceProfile {
+    /// The paper's default profile: 32-token question, five 100-token
+    /// neighbours, 256-token generation, no long context, 2 bytes per token.
+    pub fn paper_default() -> Self {
+        Self {
+            question_tokens: 32,
+            chunk_tokens: 100,
+            num_neighbors: 5,
+            decode_tokens: 256,
+            long_context_tokens: 0,
+            bytes_per_token: 2,
+        }
+    }
+
+    /// Profile for the long-context paradigm (Case II): the user uploads
+    /// `long_context_tokens` of text which is chunked into 128-token passages.
+    pub fn long_context(long_context_tokens: u64) -> Self {
+        Self {
+            chunk_tokens: 128,
+            long_context_tokens,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Sets the question length.
+    pub fn with_question_tokens(mut self, t: u32) -> Self {
+        self.question_tokens = t;
+        self
+    }
+
+    /// Sets the decode (generation) length.
+    pub fn with_decode_tokens(mut self, t: u32) -> Self {
+        self.decode_tokens = t;
+        self
+    }
+
+    /// Sets the number of retrieved neighbours in the prompt.
+    pub fn with_num_neighbors(mut self, n: u32) -> Self {
+        self.num_neighbors = n;
+        self
+    }
+
+    /// Overrides the total prefix length by adjusting the neighbour count and
+    /// question so that `prefix_tokens()` equals `total` (used for the
+    /// sequence-length sensitivity sweeps of Figure 7c). The question length
+    /// is preserved; the retrieved content absorbs the difference.
+    pub fn with_prefix_tokens(mut self, total: u32) -> Self {
+        let retrieved = total.saturating_sub(self.question_tokens);
+        // Represent the retrieved content as a single pseudo-chunk so that
+        // arbitrary totals are expressible.
+        self.num_neighbors = 1;
+        self.chunk_tokens = retrieved;
+        self
+    }
+
+    /// Total prompt length seen by the main generative LLM's prefix phase:
+    /// the question plus all retrieved passages.
+    pub fn prefix_tokens(&self) -> u32 {
+        self.question_tokens + self.chunk_tokens * self.num_neighbors
+    }
+
+    /// Prompt length of an LLM-only system answering the same question
+    /// without retrieval (just the question).
+    pub fn llm_only_prefix_tokens(&self) -> u32 {
+        self.question_tokens
+    }
+
+    /// Number of tokens the database encoder must process for one request
+    /// (zero when there is no long context).
+    pub fn encoder_tokens(&self) -> u64 {
+        self.long_context_tokens
+    }
+
+    /// Bytes transferred from the retrieval hosts to the XPUs per retrieval
+    /// (retrieved passages only).
+    pub fn retrieved_bytes(&self) -> f64 {
+        f64::from(self.chunk_tokens) * f64::from(self.num_neighbors) * f64::from(self.bytes_per_token)
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] when the question or decode length is
+    /// zero.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.question_tokens == 0 {
+            return Err(SchemaError::Invalid {
+                field: "question_tokens",
+                reason: "question must contain at least one token".into(),
+            });
+        }
+        if self.decode_tokens == 0 {
+            return Err(SchemaError::Invalid {
+                field: "decode_tokens",
+                reason: "generation must produce at least one token".into(),
+            });
+        }
+        if self.bytes_per_token == 0 {
+            return Err(SchemaError::Invalid {
+                field: "bytes_per_token",
+                reason: "token encoding must occupy at least one byte".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SequenceProfile {
+    fn default() -> Self {
+        SequenceProfile::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_prefix_is_about_512() {
+        let s = SequenceProfile::paper_default();
+        // The paper approximates 32 + 5*100 as "512 tokens".
+        assert!((500..=540).contains(&s.prefix_tokens()));
+        assert_eq!(s.llm_only_prefix_tokens(), 32);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn long_context_profile() {
+        let s = SequenceProfile::long_context(1_000_000);
+        assert_eq!(s.encoder_tokens(), 1_000_000);
+        assert_eq!(s.chunk_tokens, 128);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn with_prefix_tokens_hits_exact_totals() {
+        for total in [128u32, 256, 512, 1024, 2048] {
+            let s = SequenceProfile::paper_default().with_prefix_tokens(total);
+            assert_eq!(s.prefix_tokens(), total);
+            assert_eq!(s.question_tokens, 32);
+        }
+    }
+
+    #[test]
+    fn retrieved_bytes_match_paper_example() {
+        // Five 100-token documents at 2 bytes per token = 1 KB per retrieval.
+        let s = SequenceProfile::paper_default();
+        assert_eq!(s.retrieved_bytes(), 1000.0);
+    }
+
+    #[test]
+    fn validation_rejects_zero_lengths() {
+        assert!(SequenceProfile::paper_default()
+            .with_question_tokens(0)
+            .validate()
+            .is_err());
+        assert!(SequenceProfile::paper_default()
+            .with_decode_tokens(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let s = SequenceProfile::paper_default()
+            .with_decode_tokens(512)
+            .with_num_neighbors(10);
+        assert_eq!(s.decode_tokens, 512);
+        assert_eq!(s.prefix_tokens(), 32 + 10 * 100);
+    }
+}

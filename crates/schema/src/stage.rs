@@ -1,0 +1,167 @@
+//! RAG pipeline stages (Figure 3 of the paper).
+//!
+//! A "stage" is the execution of one RAG pipeline component. The general
+//! pipeline is:
+//!
+//! ```text
+//! Database Encode → Rewrite(prefix) → Rewrite(decode) → Retrieval → Rerank → Prefix → Decode
+//! ```
+//!
+//! where every stage except the main LLM's `Prefix` and `Decode` is optional.
+//! Iterative retrieval re-enters `Retrieval` + `Prefix` during `Decode`.
+
+use serde::{Deserialize, Serialize};
+
+/// One component execution in the RAG pipeline, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Encoding of a user-provided document collection into database vectors
+    /// (present in long-context paradigms, Case II).
+    DatabaseEncode,
+    /// Prefix (prompt-processing) phase of the query rewriter LLM.
+    RewritePrefix,
+    /// Autoregressive decode phase of the query rewriter LLM.
+    RewriteDecode,
+    /// Vector-search retrieval over the knowledge database (runs on CPUs).
+    Retrieval,
+    /// Scoring of retrieved candidates by the reranker model.
+    Rerank,
+    /// Prefix (prompt-processing) phase of the main generative LLM.
+    Prefix,
+    /// Token-generation (decode) phase of the main generative LLM.
+    Decode,
+}
+
+impl Stage {
+    /// All stages in canonical pipeline order.
+    pub const PIPELINE_ORDER: [Stage; 7] = [
+        Stage::DatabaseEncode,
+        Stage::RewritePrefix,
+        Stage::RewriteDecode,
+        Stage::Retrieval,
+        Stage::Rerank,
+        Stage::Prefix,
+        Stage::Decode,
+    ];
+
+    /// The broad class of the stage, which determines which cost model and
+    /// which hardware pool (XPU vs CPU) serves it.
+    pub fn class(self) -> StageClass {
+        match self {
+            Stage::Retrieval => StageClass::Retrieval,
+            Stage::RewriteDecode | Stage::Decode => StageClass::AutoregressiveInference,
+            Stage::DatabaseEncode | Stage::RewritePrefix | Stage::Rerank | Stage::Prefix => {
+                StageClass::BatchInference
+            }
+        }
+    }
+
+    /// Whether this stage runs on XPU accelerators (retrieval runs on CPUs).
+    pub fn runs_on_xpu(self) -> bool {
+        self.class() != StageClass::Retrieval
+    }
+
+    /// Whether the stage contributes to time-to-first-token (all stages up to
+    /// and including the main LLM prefix do; decode does not).
+    pub fn affects_ttft(self) -> bool {
+        self != Stage::Decode
+    }
+
+    /// Whether the paper's placement rule allows this stage to be collocated
+    /// with neighbouring stages: every XPU stage up to and including the main
+    /// LLM prefix may be collocated; the main decode is always disaggregated
+    /// and retrieval always runs on CPU servers (Figure 13).
+    pub fn collocatable(self) -> bool {
+        self.runs_on_xpu() && self != Stage::Decode
+    }
+
+    /// A short lowercase identifier used in reports and schedules.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Stage::DatabaseEncode => "encode",
+            Stage::RewritePrefix => "rewrite-prefix",
+            Stage::RewriteDecode => "rewrite-decode",
+            Stage::Retrieval => "retrieval",
+            Stage::Rerank => "rerank",
+            Stage::Prefix => "prefix",
+            Stage::Decode => "decode",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Broad workload class of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageClass {
+    /// Compute-intensive batch inference over full sequences (encoder, prefix,
+    /// reranker) — runs on XPUs and benefits from large batches.
+    BatchInference,
+    /// Memory-bound autoregressive token generation — runs on XPUs with
+    /// continuous batching.
+    AutoregressiveInference,
+    /// Vector-search retrieval — runs on CPU host servers.
+    Retrieval,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_order_is_sorted() {
+        let mut sorted = Stage::PIPELINE_ORDER.to_vec();
+        sorted.sort();
+        assert_eq!(sorted.as_slice(), &Stage::PIPELINE_ORDER);
+    }
+
+    #[test]
+    fn retrieval_runs_on_cpu_everything_else_on_xpu() {
+        for s in Stage::PIPELINE_ORDER {
+            assert_eq!(s.runs_on_xpu(), s != Stage::Retrieval);
+        }
+    }
+
+    #[test]
+    fn only_decode_does_not_affect_ttft() {
+        let non_ttft: Vec<_> = Stage::PIPELINE_ORDER
+            .into_iter()
+            .filter(|s| !s.affects_ttft())
+            .collect();
+        assert_eq!(non_ttft, vec![Stage::Decode]);
+    }
+
+    #[test]
+    fn decode_and_retrieval_are_not_collocatable() {
+        assert!(!Stage::Decode.collocatable());
+        assert!(!Stage::Retrieval.collocatable());
+        assert!(Stage::Prefix.collocatable());
+        assert!(Stage::RewriteDecode.collocatable());
+        assert!(Stage::DatabaseEncode.collocatable());
+    }
+
+    #[test]
+    fn classes_match_the_paper_description() {
+        assert_eq!(Stage::Prefix.class(), StageClass::BatchInference);
+        assert_eq!(Stage::Rerank.class(), StageClass::BatchInference);
+        assert_eq!(
+            Stage::Decode.class(),
+            StageClass::AutoregressiveInference
+        );
+        assert_eq!(
+            Stage::RewriteDecode.class(),
+            StageClass::AutoregressiveInference
+        );
+        assert_eq!(Stage::Retrieval.class(), StageClass::Retrieval);
+    }
+
+    #[test]
+    fn display_uses_short_names() {
+        assert_eq!(Stage::RewritePrefix.to_string(), "rewrite-prefix");
+        assert_eq!(Stage::DatabaseEncode.to_string(), "encode");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for RAGSchema invariants.
+
+use proptest::prelude::*;
+use rago_schema::{
+    presets, LlmSize, ModelConfig, RagSchema, RetrievalConfig, SequenceProfile, Stage,
+};
+
+fn llm_size_strategy() -> impl Strategy<Value = LlmSize> {
+    prop_oneof![
+        Just(LlmSize::B1),
+        Just(LlmSize::B8),
+        Just(LlmSize::B70),
+        Just(LlmSize::B405),
+    ]
+}
+
+proptest! {
+    /// Every buildable schema has a pipeline that ends with prefix, decode and
+    /// respects the canonical stage order.
+    #[test]
+    fn pipeline_order_is_canonical(
+        llm in llm_size_strategy(),
+        queries in 1u32..16,
+        retrievals in 1u32..16,
+        use_rewriter in any::<bool>(),
+        use_reranker in any::<bool>(),
+    ) {
+        let mut builder = RagSchema::builder("prop")
+            .generative_llm(llm.model())
+            .retrieval(
+                RetrievalConfig::hyperscale_64b()
+                    .with_queries_per_retrieval(queries)
+                    .with_retrievals_per_sequence(retrievals),
+            );
+        if use_rewriter {
+            builder = builder.query_rewriter(ModelConfig::llama3_8b(), 32);
+        }
+        if use_reranker {
+            builder = builder.reranker(ModelConfig::encoder_120m(), 16);
+        }
+        let schema = builder.build().unwrap();
+        let pipeline = schema.pipeline();
+        // Last two stages are always prefix then decode.
+        prop_assert_eq!(pipeline[pipeline.len() - 2], Stage::Prefix);
+        prop_assert_eq!(pipeline[pipeline.len() - 1], Stage::Decode);
+        // Pipeline is strictly increasing in canonical order.
+        for w in pipeline.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        // Every stage present has a serving model unless it is retrieval.
+        for stage in &pipeline {
+            if *stage != Stage::Retrieval {
+                prop_assert!(schema.model_for_stage(*stage).is_some());
+            }
+        }
+    }
+
+    /// Scanned bytes scale linearly with the scan fraction and query count.
+    #[test]
+    fn scanned_bytes_scale_linearly(
+        frac in 1e-4f64..1.0,
+        queries in 1u32..32,
+    ) {
+        let base = RetrievalConfig::hyperscale_64b();
+        let cfg = base.clone().with_scan_fraction(frac).with_queries_per_retrieval(queries);
+        let expected = base.database_bytes() * frac * f64::from(queries);
+        prop_assert!((cfg.scanned_bytes_per_retrieval() - expected).abs() < expected * 1e-12);
+    }
+
+    /// Sequence profiles with arbitrary positive lengths always validate and
+    /// report consistent prefix totals.
+    #[test]
+    fn sequence_profile_prefix_total(
+        question in 1u32..512,
+        chunk in 1u32..1024,
+        neighbors in 0u32..32,
+        decode in 1u32..4096,
+    ) {
+        let s = SequenceProfile::paper_default()
+            .with_question_tokens(question)
+            .with_decode_tokens(decode)
+            .with_num_neighbors(neighbors);
+        let s = SequenceProfile { chunk_tokens: chunk, ..s };
+        prop_assert!(s.validate().is_ok());
+        prop_assert_eq!(s.prefix_tokens(), question + chunk * neighbors);
+        prop_assert_eq!(s.llm_only_prefix_tokens(), question);
+    }
+
+    /// Long-context retrieval configs always have at least one vector and a
+    /// database proportional to the context length.
+    #[test]
+    fn long_context_database_grows_with_context(
+        ctx in 1_000u64..100_000_000,
+    ) {
+        let small = RetrievalConfig::long_context(ctx, 128, 768);
+        let large = RetrievalConfig::long_context(ctx * 2, 128, 768);
+        prop_assert!(small.num_vectors >= 1);
+        prop_assert!(large.num_vectors >= small.num_vectors);
+        prop_assert!(small.validate().is_ok());
+    }
+
+    /// Derived decoder architectures validate across a wide parameter range
+    /// and their implied parameter count grows monotonically.
+    #[test]
+    fn derived_decoders_validate(params_log in 8.0f64..12.0) {
+        let params = 10f64.powf(params_log);
+        let m = ModelConfig::decoder_with_params("prop", params).unwrap();
+        prop_assert!(m.validate().is_ok());
+        prop_assert!(m.architecture.implied_params() > 0.0);
+    }
+}
+
+#[test]
+fn presets_cover_all_llm_sizes() {
+    for llm in LlmSize::ALL {
+        let schema = presets::case1_hyperscale(llm, 2);
+        assert!(schema.validate().is_ok());
+        assert_eq!(schema.generative_llm.params, llm.params());
+    }
+}

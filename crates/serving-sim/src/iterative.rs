@@ -1,0 +1,426 @@
+//! Simulation of decoding with iterative mid-generation retrievals (§5.3).
+//!
+//! A batch of sequences decodes token by token. Each sequence triggers a
+//! number of retrievals at random token positions; when it hits one, the
+//! sequence pauses and its retrieval request joins a queue. The queue is
+//! dispatched as a batch of `iterative_batch` requests (or earlier, when no
+//! sequence can make progress otherwise), and after the retrieval + prefix
+//! latency elapses the paused sequences resume decoding. The simulation
+//! reports the achieved time-per-output-token and the slowdown relative to
+//! uninterrupted decoding — the quantities plotted in Figures 9 and 10 of the
+//! paper.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one iterative-decode simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterativeDecodeParams {
+    /// Number of sequences decoding concurrently (the decode batch size).
+    pub decode_batch: u32,
+    /// Number of retrieval requests batched together for the iterative
+    /// retrieval + prefix pass.
+    pub iterative_batch: u32,
+    /// Tokens generated per sequence.
+    pub decode_len: u32,
+    /// Retrievals issued by each sequence during its generation (beyond the
+    /// initial pre-decode retrieval). One retrieval per sequence means one
+    /// mid-generation pause; zero means plain decoding.
+    pub retrievals_per_sequence: u32,
+    /// Latency of one decode step for the full batch, in seconds.
+    pub step_latency_s: f64,
+    /// Latency of one iterative retrieval + prefix pass (for a batch of
+    /// `iterative_batch` requests), in seconds. Set to zero to isolate the
+    /// batching-induced idleness as in Figure 10.
+    pub retrieval_prefix_latency_s: f64,
+    /// RNG seed controlling the retrieval trigger positions.
+    pub seed: u64,
+}
+
+/// Result of an iterative-decode simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterativeDecodeResult {
+    /// Wall-clock time until every sequence finished its generation.
+    pub total_time_s: f64,
+    /// Mean time-per-output-token across sequences.
+    pub tpot_mean_s: f64,
+    /// Worst-case (slowest-sequence) time-per-output-token.
+    pub tpot_worst_s: f64,
+    /// Completion time divided by the no-retrieval decode time
+    /// (`decode_len * step_latency_s`) — the normalized decoding latency of
+    /// Figure 10.
+    pub normalized_decode_latency: f64,
+    /// Number of retrieval + prefix batches dispatched.
+    pub retrieval_batches: u32,
+    /// Mean number of requests in each dispatched retrieval batch.
+    pub mean_retrieval_batch_fill: f64,
+    /// Fraction of sequence-steps lost to waiting (paused while the decoder
+    /// was stepping other sequences or idle).
+    pub idle_fraction: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Sequence {
+    /// Token positions (1-based) at which this sequence issues a retrieval.
+    retrieval_positions: Vec<u32>,
+    /// Tokens generated so far.
+    generated: u32,
+    /// Index of the next retrieval position to trigger.
+    next_retrieval: usize,
+    /// Whether the sequence is waiting for a retrieval to complete.
+    paused: bool,
+    /// Wall-clock time at which the sequence finished (if it has).
+    finish_time: Option<f64>,
+    /// Steps this sequence spent neither decoding nor finished.
+    waited_steps: f64,
+}
+
+/// The iterative-decode simulator. See the module documentation.
+#[derive(Debug, Clone)]
+pub struct IterativeDecodeSim {
+    params: IterativeDecodeParams,
+}
+
+impl IterativeDecodeSim {
+    /// Creates a simulator for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decode batch, decode length, or step latency is zero, or
+    /// if the iterative batch is zero while retrievals are requested.
+    pub fn new(params: IterativeDecodeParams) -> Self {
+        assert!(params.decode_batch > 0, "decode_batch must be at least 1");
+        assert!(params.decode_len > 0, "decode_len must be at least 1");
+        assert!(
+            params.step_latency_s > 0.0,
+            "step_latency_s must be positive"
+        );
+        assert!(
+            params.retrievals_per_sequence == 0 || params.iterative_batch > 0,
+            "iterative_batch must be at least 1 when retrievals are issued"
+        );
+        Self { params }
+    }
+
+    /// Runs the simulation to completion and returns the aggregate metrics.
+    pub fn run(&self) -> IterativeDecodeResult {
+        let p = self.params;
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut sequences: Vec<Sequence> = (0..p.decode_batch)
+            .map(|_| Sequence {
+                retrieval_positions: sample_positions(
+                    &mut rng,
+                    p.decode_len,
+                    p.retrievals_per_sequence,
+                ),
+                generated: 0,
+                next_retrieval: 0,
+                paused: false,
+                finish_time: None,
+                waited_steps: 0.0,
+            })
+            .collect();
+
+        let mut now = 0.0f64;
+        let mut retrieval_queue: Vec<usize> = Vec::new();
+        // (completion_time, sequence indices) of in-flight retrieval batches.
+        let mut in_flight: Vec<(f64, Vec<usize>)> = Vec::new();
+        let mut retrieval_batches = 0u32;
+        let mut total_fill = 0u64;
+
+        loop {
+            // Resume sequences whose retrieval has completed by `now`.
+            let mut resumed = Vec::new();
+            in_flight.retain(|(done_at, seqs)| {
+                if *done_at <= now + 1e-12 {
+                    resumed.extend(seqs.iter().copied());
+                    false
+                } else {
+                    true
+                }
+            });
+            for idx in resumed {
+                sequences[idx].paused = false;
+            }
+
+            let unfinished: Vec<usize> = sequences
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.finish_time.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if unfinished.is_empty() {
+                break;
+            }
+            let active: Vec<usize> = unfinished
+                .iter()
+                .copied()
+                .filter(|&i| !sequences[i].paused)
+                .collect();
+
+            // Dispatch the retrieval queue when it is full, or when nothing
+            // can make progress otherwise (avoids deadlock at the tail).
+            let should_dispatch = !retrieval_queue.is_empty()
+                && (retrieval_queue.len() >= p.iterative_batch as usize
+                    || (active.is_empty() && in_flight.is_empty()));
+            if should_dispatch {
+                let batch: Vec<usize> = retrieval_queue
+                    .drain(..retrieval_queue.len().min(p.iterative_batch as usize))
+                    .collect();
+                retrieval_batches += 1;
+                total_fill += batch.len() as u64;
+                in_flight.push((now + p.retrieval_prefix_latency_s, batch));
+                continue;
+            }
+
+            if active.is_empty() {
+                // Jump to the next retrieval completion.
+                if let Some(next) = in_flight
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .min_by(|a, b| a.total_cmp(b))
+                {
+                    // Everything unfinished is waiting on retrievals.
+                    let waiting = unfinished.len() as f64;
+                    let skipped_steps = (next - now) / p.step_latency_s;
+                    for &i in &unfinished {
+                        sequences[i].waited_steps += skipped_steps / waiting.max(1.0) * waiting
+                            / unfinished.len() as f64;
+                    }
+                    now = next;
+                    continue;
+                }
+                // No active sequences, nothing in flight, queue empty: done.
+                break;
+            }
+
+            // Execute one decode step for the active sequences.
+            now += p.step_latency_s;
+            for &i in &unfinished {
+                if sequences[i].paused {
+                    sequences[i].waited_steps += 1.0;
+                }
+            }
+            for &i in &active {
+                let seq = &mut sequences[i];
+                seq.generated += 1;
+                // Trigger a retrieval when the sequence reaches its next
+                // retrieval position (and has not finished).
+                if seq.next_retrieval < seq.retrieval_positions.len()
+                    && seq.generated == seq.retrieval_positions[seq.next_retrieval]
+                    && seq.generated < p.decode_len
+                {
+                    seq.next_retrieval += 1;
+                    seq.paused = true;
+                    retrieval_queue.push(i);
+                }
+                if seq.generated >= p.decode_len {
+                    seq.finish_time = Some(now);
+                }
+            }
+        }
+
+        let total_time = sequences
+            .iter()
+            .map(|s| s.finish_time.unwrap_or(now))
+            .fold(0.0f64, f64::max);
+        let tpots: Vec<f64> = sequences
+            .iter()
+            .map(|s| s.finish_time.unwrap_or(now) / f64::from(p.decode_len))
+            .collect();
+        let tpot_mean = tpots.iter().sum::<f64>() / tpots.len() as f64;
+        let tpot_worst = tpots.iter().fold(0.0f64, |a, &b| a.max(b));
+        let baseline = f64::from(p.decode_len) * p.step_latency_s;
+        let total_possible_steps =
+            f64::from(p.decode_batch) * (total_time / p.step_latency_s).max(1.0);
+        let waited: f64 = sequences.iter().map(|s| s.waited_steps).sum();
+
+        IterativeDecodeResult {
+            total_time_s: total_time,
+            tpot_mean_s: tpot_mean,
+            tpot_worst_s: tpot_worst,
+            normalized_decode_latency: total_time / baseline,
+            retrieval_batches,
+            mean_retrieval_batch_fill: if retrieval_batches == 0 {
+                0.0
+            } else {
+                total_fill as f64 / f64::from(retrieval_batches)
+            },
+            idle_fraction: (waited / total_possible_steps).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Samples `count` distinct retrieval positions uniformly from
+/// `[1, decode_len - 1]`, sorted ascending (retrievals never trigger on the
+/// final token — there is nothing left to generate).
+fn sample_positions(rng: &mut StdRng, decode_len: u32, count: u32) -> Vec<u32> {
+    if count == 0 || decode_len <= 1 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<u32> = (1..decode_len).collect();
+    candidates.shuffle(rng);
+    let take = (count as usize).min(candidates.len());
+    let mut positions = candidates[..take].to_vec();
+    positions.sort_unstable();
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_params() -> IterativeDecodeParams {
+        IterativeDecodeParams {
+            decode_batch: 64,
+            iterative_batch: 16,
+            decode_len: 256,
+            retrievals_per_sequence: 4,
+            step_latency_s: 5e-3,
+            retrieval_prefix_latency_s: 0.05,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn no_retrievals_means_no_slowdown() {
+        let params = IterativeDecodeParams {
+            retrievals_per_sequence: 0,
+            ..base_params()
+        };
+        let r = IterativeDecodeSim::new(params).run();
+        assert!((r.normalized_decode_latency - 1.0).abs() < 1e-9);
+        assert_eq!(r.retrieval_batches, 0);
+        assert!((r.total_time_s - 256.0 * 5e-3).abs() < 1e-9);
+        assert!(r.idle_fraction < 1e-9);
+    }
+
+    #[test]
+    fn zero_latency_retrievals_still_cost_time_through_batching() {
+        // Figure 10: even with instantaneous retrieval + prefix, waiting for
+        // the iterative batch to fill slows decoding down.
+        let params = IterativeDecodeParams {
+            retrieval_prefix_latency_s: 0.0,
+            iterative_batch: 64,
+            ..base_params()
+        };
+        let r = IterativeDecodeSim::new(params).run();
+        assert!(
+            r.normalized_decode_latency > 1.5,
+            "expected substantial idleness, got {}",
+            r.normalized_decode_latency
+        );
+        // With a tiny iterative batch the slowdown (idleness only) vanishes.
+        let fast = IterativeDecodeSim::new(IterativeDecodeParams {
+            retrieval_prefix_latency_s: 0.0,
+            iterative_batch: 1,
+            ..base_params()
+        })
+        .run();
+        assert!(fast.normalized_decode_latency < 1.05);
+        assert!(fast.normalized_decode_latency < r.normalized_decode_latency);
+    }
+
+    #[test]
+    fn tpot_grows_with_retrieval_frequency() {
+        let mut last = 0.0;
+        for freq in [1u32, 2, 4, 8] {
+            let r = IterativeDecodeSim::new(IterativeDecodeParams {
+                retrievals_per_sequence: freq,
+                iterative_batch: 16,
+                ..base_params()
+            })
+            .run();
+            assert!(
+                r.tpot_worst_s >= last,
+                "TPOT not monotone in retrieval frequency at {freq}"
+            );
+            last = r.tpot_worst_s;
+        }
+    }
+
+    #[test]
+    fn every_sequence_finishes_and_every_retrieval_is_served() {
+        let params = base_params();
+        let r = IterativeDecodeSim::new(params).run();
+        // 64 sequences x 4 retrievals = 256 requests; with a batch of 16 that
+        // is at least 16 dispatches (more if partially filled at the tail).
+        assert!(r.retrieval_batches >= 16);
+        assert!(r.mean_retrieval_batch_fill <= 16.0);
+        assert!(r.mean_retrieval_batch_fill > 0.0);
+        assert!(r.total_time_s >= 256.0 * 5e-3);
+        assert!(r.tpot_worst_s >= r.tpot_mean_s);
+    }
+
+    #[test]
+    fn matching_decode_and_iterative_batch_is_pathological() {
+        // Figure 10b's diagonal: when the iterative batch equals the decode
+        // batch, almost every sequence must pause before any retrieval is
+        // dispatched, inflating latency well beyond a small-batch policy.
+        let equal = IterativeDecodeSim::new(IterativeDecodeParams {
+            iterative_batch: 64,
+            retrieval_prefix_latency_s: 0.0,
+            ..base_params()
+        })
+        .run();
+        let small = IterativeDecodeSim::new(IterativeDecodeParams {
+            iterative_batch: 4,
+            retrieval_prefix_latency_s: 0.0,
+            ..base_params()
+        })
+        .run();
+        assert!(equal.normalized_decode_latency > small.normalized_decode_latency * 1.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = IterativeDecodeSim::new(base_params()).run();
+        let b = IterativeDecodeSim::new(base_params()).run();
+        assert_eq!(a, b);
+        let c = IterativeDecodeSim::new(IterativeDecodeParams {
+            seed: 43,
+            ..base_params()
+        })
+        .run();
+        assert!((a.total_time_s - c.total_time_s).abs() > 0.0 || a == c);
+    }
+
+    #[test]
+    fn retrieval_latency_adds_to_tpot_at_large_batches() {
+        let slow = IterativeDecodeSim::new(IterativeDecodeParams {
+            retrieval_prefix_latency_s: 0.2,
+            ..base_params()
+        })
+        .run();
+        let fast = IterativeDecodeSim::new(IterativeDecodeParams {
+            retrieval_prefix_latency_s: 0.01,
+            ..base_params()
+        })
+        .run();
+        assert!(slow.tpot_worst_s > fast.tpot_worst_s);
+    }
+
+    #[test]
+    fn sample_positions_are_sorted_unique_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pos = sample_positions(&mut rng, 256, 8);
+        assert_eq!(pos.len(), 8);
+        for w in pos.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(pos.iter().all(|&p| (1..256).contains(&p)));
+        assert!(sample_positions(&mut rng, 1, 5).is_empty());
+        assert!(sample_positions(&mut rng, 256, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decode_batch")]
+    fn zero_batch_panics() {
+        let _ = IterativeDecodeSim::new(IterativeDecodeParams {
+            decode_batch: 0,
+            ..base_params()
+        });
+    }
+}

@@ -1,0 +1,48 @@
+//! Discrete-event simulation of RAG serving pipelines.
+//!
+//! The analytical cost models (`rago-accel-sim`, `rago-retrieval-sim`) give
+//! the steady-state cost of each stage in isolation. Two effects studied by
+//! the RAGO paper are inherently *dynamic* and need simulation on top of
+//! those per-batch costs:
+//!
+//! * **Iterative-retrieval stalls** (§5.3, Figures 9 and 10): when decoding
+//!   pauses to issue mid-generation retrievals, the achieved TPOT depends on
+//!   how retrieval requests are batched against the set of actively decoding
+//!   sequences. [`iterative::IterativeDecodeSim`] reproduces that behaviour,
+//!   including the pure batching-idleness study of Figure 10 (zero-latency
+//!   retrieval + prefix).
+//! * **Micro-batched execution of the pre-decode stages** (§6.1, Figures 14
+//!   and 19): a burst of requests can be split into micro-batches that flow
+//!   through the encoder/rewriter/retrieval/rerank/prefix stages either on
+//!   disaggregated resources (pipelined) or on one collocated resource
+//!   (time-multiplexed with an execution-order policy).
+//!   [`microbatch`] computes per-request completion times for both policies.
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_serving_sim::iterative::{IterativeDecodeParams, IterativeDecodeSim};
+//!
+//! // 64 decoding sequences, 4 retrievals each, retrieval batch of 16.
+//! let params = IterativeDecodeParams {
+//!     decode_batch: 64,
+//!     iterative_batch: 16,
+//!     decode_len: 256,
+//!     retrievals_per_sequence: 4,
+//!     step_latency_s: 5e-3,
+//!     retrieval_prefix_latency_s: 0.05,
+//!     seed: 7,
+//! };
+//! let result = IterativeDecodeSim::new(params).run();
+//! assert!(result.tpot_worst_s >= result.tpot_mean_s);
+//! assert!(result.normalized_decode_latency >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iterative;
+pub mod microbatch;
+
+pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
+pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};

@@ -1,0 +1,113 @@
+//! Property-based tests for the discrete-event serving simulators.
+
+use proptest::prelude::*;
+use rago_serving_sim::iterative::{IterativeDecodeParams, IterativeDecodeSim};
+use rago_serving_sim::microbatch::{simulate_collocated_burst, simulate_pipelined_burst};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The iterative decode simulation always finishes, its normalized latency
+    /// is at least 1, and the worst TPOT bounds the mean.
+    #[test]
+    fn iterative_sim_basic_invariants(
+        decode_batch in 1u32..128,
+        iterative_batch in 1u32..128,
+        retrievals in 0u32..8,
+        decode_len in 8u32..256,
+        retrieval_latency in 0.0f64..0.2,
+        seed in 0u64..500,
+    ) {
+        let params = IterativeDecodeParams {
+            decode_batch,
+            iterative_batch,
+            decode_len,
+            retrievals_per_sequence: retrievals,
+            step_latency_s: 2e-3,
+            retrieval_prefix_latency_s: retrieval_latency,
+            seed,
+        };
+        let r = IterativeDecodeSim::new(params).run();
+        prop_assert!(r.total_time_s >= f64::from(decode_len) * 2e-3 - 1e-12);
+        prop_assert!(r.normalized_decode_latency >= 1.0 - 1e-9);
+        prop_assert!(r.tpot_worst_s >= r.tpot_mean_s - 1e-12);
+        prop_assert!(r.idle_fraction >= 0.0 && r.idle_fraction <= 1.0);
+        if retrievals == 0 {
+            prop_assert_eq!(r.retrieval_batches, 0);
+            prop_assert!((r.normalized_decode_latency - 1.0).abs() < 1e-9);
+        } else {
+            // Every retrieval is eventually dispatched.
+            prop_assert!(r.retrieval_batches >= 1);
+            prop_assert!(r.mean_retrieval_batch_fill <= f64::from(iterative_batch) + 1e-9);
+        }
+    }
+
+    /// Higher retrieval latency never speeds up the iterative simulation.
+    #[test]
+    fn iterative_sim_monotone_in_retrieval_latency(
+        decode_batch in 2u32..64,
+        seed in 0u64..200,
+    ) {
+        let base = IterativeDecodeParams {
+            decode_batch,
+            iterative_batch: (decode_batch / 2).max(1),
+            decode_len: 64,
+            retrievals_per_sequence: 2,
+            step_latency_s: 1e-3,
+            retrieval_prefix_latency_s: 0.0,
+            seed,
+        };
+        let fast = IterativeDecodeSim::new(base).run();
+        let slow = IterativeDecodeSim::new(IterativeDecodeParams {
+            retrieval_prefix_latency_s: 0.05,
+            ..base
+        })
+        .run();
+        prop_assert!(slow.total_time_s >= fast.total_time_s - 1e-12);
+    }
+
+    /// Pipelined execution never loses to collocated execution on the same
+    /// stage costs, and both preserve basic ordering invariants.
+    #[test]
+    fn pipelined_never_loses_to_collocated(
+        burst in 1u32..64,
+        microbatch in 1u32..64,
+        base1 in 1e-4f64..0.05,
+        per1 in 1e-5f64..0.01,
+        base2 in 1e-4f64..0.05,
+        per2 in 1e-5f64..0.01,
+    ) {
+        let s1 = move |b: u32| base1 + per1 * f64::from(b);
+        let s2 = move |b: u32| base2 + per2 * f64::from(b);
+        let stages: Vec<&dyn Fn(u32) -> f64> = vec![&s1, &s2];
+        let pipe = simulate_pipelined_burst(&stages, burst, microbatch);
+        let col = simulate_collocated_burst(&stages, burst, microbatch);
+        prop_assert!(pipe.makespan_s <= col.makespan_s + 1e-9);
+        prop_assert!(pipe.first_completion_s <= pipe.mean_completion_s + 1e-9);
+        prop_assert!(pipe.mean_completion_s <= pipe.makespan_s + 1e-9);
+        prop_assert!(col.first_completion_s <= col.mean_completion_s + 1e-9);
+        prop_assert_eq!(pipe.num_microbatches, col.num_microbatches);
+        // Number of micro-batches is ceil(burst / microbatch).
+        prop_assert_eq!(pipe.num_microbatches, burst.div_ceil(microbatch));
+    }
+
+    /// The makespan of a pipelined burst is at least the bottleneck stage's
+    /// total work and at most the fully serial execution.
+    #[test]
+    fn pipelined_makespan_bounds(
+        burst in 1u32..48,
+        microbatch in 1u32..48,
+        per1 in 1e-5f64..0.01,
+        per2 in 1e-5f64..0.01,
+    ) {
+        let s1 = move |b: u32| per1 * f64::from(b);
+        let s2 = move |b: u32| per2 * f64::from(b);
+        let stages: Vec<&dyn Fn(u32) -> f64> = vec![&s1, &s2];
+        let r = simulate_pipelined_burst(&stages, burst, microbatch);
+        let total1 = per1 * f64::from(burst);
+        let total2 = per2 * f64::from(burst);
+        let serial = total1 + total2;
+        prop_assert!(r.makespan_s >= total1.max(total2) - 1e-12);
+        prop_assert!(r.makespan_s <= serial + 1e-9);
+    }
+}

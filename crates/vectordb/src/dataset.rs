@@ -1,0 +1,153 @@
+//! Synthetic vector datasets.
+//!
+//! The paper's hyperscale corpus is proprietary; for substrate testing and
+//! cost-model calibration we generate clustered Gaussian data, which has the
+//! multi-modal structure that IVF indexes exploit (uniform random data would
+//! make every inverted list equally likely and understate recall).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic collection of `f32` vectors with known generation parameters.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// The generated vectors, row-major (`vectors.len()` rows).
+    pub vectors: Vec<Vec<f32>>,
+    /// The cluster id each vector was drawn from (useful for sanity checks).
+    pub labels: Vec<usize>,
+}
+
+impl SyntheticDataset {
+    /// Generates `n` vectors of dimensionality `dim` drawn from `num_clusters`
+    /// Gaussian clusters with unit intra-cluster standard deviation and
+    /// cluster centres spread over `[-10, 10]^dim`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `num_clusters` is zero.
+    pub fn clustered(n: usize, dim: usize, num_clusters: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimensionality must be non-zero");
+        assert!(num_clusters > 0, "cluster count must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..num_clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let mut vectors = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = rng.gen_range(0..num_clusters);
+            let center = &centers[c];
+            let v: Vec<f32> = center
+                .iter()
+                .map(|&m| m + gaussian(&mut rng) as f32)
+                .collect();
+            vectors.push(v);
+            labels.push(c);
+        }
+        Self {
+            dim,
+            vectors,
+            labels,
+        }
+    }
+
+    /// Generates `n` vectors uniformly distributed in `[0, 1)^dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn uniform(n: usize, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimensionality must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        Self {
+            dim,
+            vectors,
+            labels: vec![0; n],
+        }
+    }
+
+    /// Number of vectors in the dataset.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+/// Samples a standard normal variate using the Box–Muller transform.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_dataset_has_requested_shape() {
+        let d = SyntheticDataset::clustered(100, 16, 4, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.dim, 16);
+        assert!(d.vectors.iter().all(|v| v.len() == 16));
+        assert!(d.labels.iter().all(|&l| l < 4));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = SyntheticDataset::clustered(50, 8, 4, 99);
+        let b = SyntheticDataset::clustered(50, 8, 4, 99);
+        let c = SyntheticDataset::clustered(50, 8, 4, 100);
+        assert_eq!(a.vectors, b.vectors);
+        assert_ne!(a.vectors, c.vectors);
+    }
+
+    #[test]
+    fn uniform_dataset_is_in_unit_cube() {
+        let d = SyntheticDataset::uniform(200, 4, 3);
+        assert!(d
+            .vectors
+            .iter()
+            .flatten()
+            .all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn clusters_are_separated_on_average() {
+        // Vectors from the same cluster should on average be closer than
+        // vectors from different clusters.
+        let d = SyntheticDataset::clustered(300, 8, 3, 7);
+        let mut same = (0.0f64, 0usize);
+        let mut diff = (0.0f64, 0usize);
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len().min(i + 40) {
+                let dist =
+                    f64::from(crate::distance::l2_distance(&d.vectors[i], &d.vectors[j]));
+                if d.labels[i] == d.labels[j] {
+                    same = (same.0 + dist, same.1 + 1);
+                } else {
+                    diff = (diff.0 + dist, diff.1 + 1);
+                }
+            }
+        }
+        let avg_same = same.0 / same.1 as f64;
+        let avg_diff = diff.0 / diff.1 as f64;
+        assert!(avg_same < avg_diff);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn zero_dim_panics() {
+        let _ = SyntheticDataset::uniform(10, 0, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Distance and similarity kernels.
+//!
+//! All kernels operate on `f32` slices of equal length. They are written as
+//! straightforward scalar loops: the goal of this substrate is functional
+//! correctness and calibration of *relative* costs, not peak SIMD throughput.
+
+/// Squared Euclidean (L2) distance between two vectors.
+///
+/// Squared distance preserves ordering and avoids the square root, so all
+/// internal ranking uses this kernel.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// let d = rago_vectordb::l2_distance_squared(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 25.0);
+/// ```
+pub fn l2_distance_squared(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean (L2) distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    l2_distance_squared(a, b).sqrt()
+}
+
+/// Inner product (dot product) of two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine distance (`1 - cosine similarity`) of two vectors.
+///
+/// Returns `1.0` when either vector has zero norm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let dot = inner_product(a, b);
+    let na = inner_product(a, a).sqrt();
+    let nb = inner_product(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_of_identical_vectors_is_zero() {
+        let v = vec![1.5f32, -2.0, 3.25];
+        assert_eq!(l2_distance_squared(&v, &v), 0.0);
+        assert_eq!(l2_distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        assert_eq!(l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn inner_product_matches_hand_computation() {
+        assert_eq!(inner_product(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn cosine_distance_of_parallel_vectors_is_zero() {
+        let d = cosine_distance(&[1.0, 2.0], &[2.0, 4.0]);
+        assert!(d.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_distance_of_orthogonal_vectors_is_one() {
+        let d = cosine_distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_distance_of_zero_vector_is_one() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn mismatched_dims_panic() {
+        let _ = l2_distance_squared(&[1.0], &[1.0, 2.0]);
+    }
+}

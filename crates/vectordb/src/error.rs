@@ -1,0 +1,61 @@
+//! Error type for the vector-search substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by index construction or search.
+///
+/// ```
+/// use rago_vectordb::VectorDbError;
+/// let e = VectorDbError::DimensionMismatch { expected: 128, got: 64 };
+/// assert!(e.to_string().contains("128"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorDbError {
+    /// A vector's dimensionality does not match the index's.
+    DimensionMismatch {
+        /// Dimensionality the index was built with.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        got: usize,
+    },
+    /// The operation needs data that was not provided (e.g. training on an
+    /// empty set, or building an index with zero dimensions).
+    InvalidInput {
+        /// Why the input was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VectorDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorDbError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: index expects {expected}, vector has {got}")
+            }
+            VectorDbError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl Error for VectorDbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VectorDbError::InvalidInput {
+            reason: "empty training set".into()
+        }
+        .to_string()
+        .contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VectorDbError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact brute-force k-nearest-neighbour search.
+//!
+//! This is the retrieval mode the paper uses for the long-context paradigm
+//! (Case II), where the per-request database holds only 1K–100K vectors and
+//! building an ANN index is not worth the cost. It also serves as the ground
+//! truth for recall evaluation of the approximate index.
+
+use crate::distance::l2_distance_squared;
+use crate::error::VectorDbError;
+use serde::{Deserialize, Serialize};
+
+/// One search result: a database vector id and its (squared L2) distance to
+/// the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Index of the matching vector in the database.
+    pub id: usize,
+    /// Squared L2 distance between the query and the matching vector.
+    pub distance: f32,
+}
+
+/// An exact (brute-force) kNN index over L2 distance.
+///
+/// # Examples
+///
+/// ```
+/// use rago_vectordb::FlatIndex;
+/// let index = FlatIndex::build(2, vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]])?;
+/// let hits = index.search(&[0.9, 1.1], 2);
+/// assert_eq!(hits[0].id, 1);
+/// # Ok::<(), rago_vectordb::VectorDbError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dim: usize,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl FlatIndex {
+    /// Builds an index over `vectors`, all of dimensionality `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VectorDbError::InvalidInput`] if `dim` is zero, or
+    /// [`VectorDbError::DimensionMismatch`] if any vector has a different
+    /// dimensionality.
+    pub fn build(dim: usize, vectors: Vec<Vec<f32>>) -> Result<Self, VectorDbError> {
+        if dim == 0 {
+            return Err(VectorDbError::InvalidInput {
+                reason: "dimensionality must be non-zero".into(),
+            });
+        }
+        if let Some(bad) = vectors.iter().find(|v| v.len() != dim) {
+            return Err(VectorDbError::DimensionMismatch {
+                expected: dim,
+                got: bad.len(),
+            });
+        }
+        Ok(Self { dim, vectors })
+    }
+
+    /// Vector dimensionality of the index.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Appends a vector to the index and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VectorDbError::DimensionMismatch`] if the vector has the
+    /// wrong dimensionality.
+    pub fn add(&mut self, vector: Vec<f32>) -> Result<usize, VectorDbError> {
+        if vector.len() != self.dim {
+            return Err(VectorDbError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        self.vectors.push(vector);
+        Ok(self.vectors.len() - 1)
+    }
+
+    /// Returns the `k` nearest neighbours of `query` by exact L2 search,
+    /// ordered by increasing distance. Returns fewer than `k` results when
+    /// the index holds fewer vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(
+            query.len(),
+            self.dim,
+            "query dimensionality must match the index"
+        );
+        let mut hits: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(id, v)| Neighbor {
+                id,
+                distance: l2_distance_squared(query, v),
+            })
+            .collect();
+        partial_sort_by_distance(&mut hits, k);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Searches a batch of queries, returning one result list per query.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
+
+    /// Read access to the stored vectors (used by the IVF trainer).
+    pub fn vectors(&self) -> &[Vec<f32>] {
+        &self.vectors
+    }
+}
+
+/// Sorts `hits` so the `k` smallest distances come first (ties broken by id
+/// for determinism), then fully orders that prefix.
+pub(crate) fn partial_sort_by_distance(hits: &mut [Neighbor], k: usize) {
+    let k = k.min(hits.len());
+    if k == 0 {
+        return;
+    }
+    hits.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    hits[..k].sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+
+    #[test]
+    fn finds_exact_nearest_neighbor() {
+        let index = FlatIndex::build(
+            2,
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0], vec![1.2, 0.9]],
+        )
+        .unwrap();
+        let hits = index.search(&[1.0, 1.0], 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(hits[1].id, 3);
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let data = SyntheticDataset::uniform(500, 8, 11);
+        let index = FlatIndex::build(8, data.vectors).unwrap();
+        let hits = index.search(&vec![0.5; 8], 20);
+        assert_eq!(hits.len(), 20);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_everything() {
+        let index = FlatIndex::build(2, vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let hits = index.search(&[0.0, 0.0], 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn add_appends_and_returns_id() {
+        let mut index = FlatIndex::build(2, vec![]).unwrap();
+        assert!(index.is_empty());
+        assert_eq!(index.add(vec![1.0, 2.0]).unwrap(), 0);
+        assert_eq!(index.add(vec![3.0, 4.0]).unwrap(), 1);
+        assert_eq!(index.len(), 2);
+        assert!(index.add(vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        assert!(FlatIndex::build(0, vec![]).is_err());
+        assert!(FlatIndex::build(2, vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality")]
+    fn search_rejects_wrong_query_dim() {
+        let index = FlatIndex::build(2, vec![vec![0.0, 0.0]]).unwrap();
+        let _ = index.search(&[1.0], 1);
+    }
+
+    #[test]
+    fn batch_search_matches_single_search() {
+        let data = SyntheticDataset::clustered(200, 8, 4, 5);
+        let index = FlatIndex::build(8, data.vectors.clone()).unwrap();
+        let queries = vec![data.vectors[0].clone(), data.vectors[100].clone()];
+        let batch = index.search_batch(&queries, 5);
+        assert_eq!(batch[0], index.search(&queries[0], 5));
+        assert_eq!(batch[1], index.search(&queries[1], 5));
+    }
+}

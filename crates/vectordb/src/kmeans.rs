@@ -1,0 +1,263 @@
+//! Lloyd's k-means clustering.
+//!
+//! Used to train the coarse quantizer (inverted-list centroids) of the IVF
+//! index and the per-subspace codebooks of the product quantizer.
+
+use crate::distance::l2_distance_squared;
+use crate::error::VectorDbError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Parameters of a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansParams {
+    /// Number of clusters to fit.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Stop early when the relative improvement of the objective between two
+    /// iterations falls below this threshold.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iterations: 25,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// The fitted centroids (`k` rows of the training dimensionality).
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment of each training vector.
+    pub assignments: Vec<usize>,
+    /// Final value of the k-means objective (sum of squared distances).
+    pub inertia: f64,
+    /// Number of iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd's k-means on `data` with the given parameters and RNG seed.
+///
+/// Centroids are initialized by sampling `k` distinct training vectors
+/// (Forgy initialization). Empty clusters are re-seeded from the point
+/// furthest from its centroid.
+///
+/// # Errors
+///
+/// Returns [`VectorDbError::InvalidInput`] if the training set is empty,
+/// `k` is zero, or `k` exceeds the number of training vectors.
+///
+/// # Examples
+///
+/// ```
+/// use rago_vectordb::{kmeans, KMeansParams, SyntheticDataset};
+/// let data = SyntheticDataset::clustered(300, 8, 3, 1).vectors;
+/// let result = kmeans(&data, KMeansParams { k: 3, ..Default::default() }, 42)?;
+/// assert_eq!(result.centroids.len(), 3);
+/// # Ok::<(), rago_vectordb::VectorDbError>(())
+/// ```
+pub fn kmeans(
+    data: &[Vec<f32>],
+    params: KMeansParams,
+    seed: u64,
+) -> Result<KMeansResult, VectorDbError> {
+    if data.is_empty() {
+        return Err(VectorDbError::InvalidInput {
+            reason: "cannot run k-means on an empty training set".into(),
+        });
+    }
+    if params.k == 0 {
+        return Err(VectorDbError::InvalidInput {
+            reason: "k must be at least 1".into(),
+        });
+    }
+    if params.k > data.len() {
+        return Err(VectorDbError::InvalidInput {
+            reason: format!(
+                "k ({}) exceeds the number of training vectors ({})",
+                params.k,
+                data.len()
+            ),
+        });
+    }
+    let dim = data[0].len();
+    if let Some(bad) = data.iter().find(|v| v.len() != dim) {
+        return Err(VectorDbError::DimensionMismatch {
+            expected: dim,
+            got: bad.len(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f32>> = indices[..params.k]
+        .iter()
+        .map(|&i| data[i].clone())
+        .collect();
+
+    let mut assignments = vec![0usize; data.len()];
+    let mut prev_inertia = f64::INFINITY;
+    let mut inertia = 0.0;
+    let mut iterations = 0;
+
+    for iter in 0..params.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        inertia = 0.0;
+        for (i, v) in data.iter().enumerate() {
+            let (best, dist) = nearest_centroid(v, &centroids);
+            assignments[i] = best;
+            inertia += f64::from(dist);
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dim]; params.k];
+        let mut counts = vec![0usize; params.k];
+        for (i, v) in data.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(v.iter()) {
+                *s += f64::from(x);
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from the point furthest from its
+                // assigned centroid.
+                if let Some((far_idx, _)) = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (i, l2_distance_squared(v, &centroid[..])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                {
+                    *centroid = data[far_idx].clone();
+                }
+                continue;
+            }
+            for (d, s) in centroid.iter_mut().zip(sums[c].iter()) {
+                *d = (*s / counts[c] as f64) as f32;
+            }
+        }
+        // Convergence check.
+        if prev_inertia.is_finite() {
+            let improvement = (prev_inertia - inertia) / prev_inertia.max(f64::MIN_POSITIVE);
+            if improvement.abs() < params.tolerance {
+                break;
+            }
+        }
+        prev_inertia = inertia;
+    }
+
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// Returns the index of the nearest centroid and the squared distance to it.
+pub(crate) fn nearest_centroid(v: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_dist = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = l2_distance_squared(v, c);
+        if d < best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    (best, best_dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let data = SyntheticDataset::clustered(600, 8, 4, 3);
+        let result = kmeans(
+            &data.vectors,
+            KMeansParams {
+                k: 4,
+                max_iterations: 50,
+                tolerance: 1e-6,
+            },
+            7,
+        )
+        .unwrap();
+        assert_eq!(result.centroids.len(), 4);
+        // Each found cluster should be dominated by a single true label.
+        let mut purity_sum = 0.0;
+        for c in 0..4 {
+            let members: Vec<usize> = result
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == c)
+                .map(|(i, _)| data.labels[i])
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut counts = std::collections::HashMap::new();
+            for l in &members {
+                *counts.entry(*l).or_insert(0usize) += 1;
+            }
+            let max = *counts.values().max().unwrap();
+            purity_sum += max as f64 / members.len() as f64;
+        }
+        assert!(purity_sum / 4.0 > 0.8, "purity too low: {purity_sum}");
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = SyntheticDataset::clustered(400, 8, 8, 5).vectors;
+        let few = kmeans(&data, KMeansParams { k: 2, ..Default::default() }, 1).unwrap();
+        let many = kmeans(&data, KMeansParams { k: 16, ..Default::default() }, 1).unwrap();
+        assert!(many.inertia < few.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = SyntheticDataset::clustered(200, 4, 4, 9).vectors;
+        let a = kmeans(&data, KMeansParams::default(), 33).unwrap();
+        let b = kmeans(&data, KMeansParams::default(), 33).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let data = SyntheticDataset::uniform(10, 4, 0).vectors;
+        assert!(kmeans(&[], KMeansParams::default(), 0).is_err());
+        assert!(kmeans(&data, KMeansParams { k: 0, ..Default::default() }, 0).is_err());
+        assert!(kmeans(&data, KMeansParams { k: 11, ..Default::default() }, 0).is_err());
+    }
+
+    #[test]
+    fn k_equal_to_n_gives_zero_inertia() {
+        let data = SyntheticDataset::uniform(8, 4, 2).vectors;
+        let result = kmeans(
+            &data,
+            KMeansParams {
+                k: 8,
+                max_iterations: 50,
+                tolerance: 1e-9,
+            },
+            0,
+        )
+        .unwrap();
+        assert!(result.inertia < 1e-6);
+    }
+}

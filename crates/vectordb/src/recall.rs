@@ -1,0 +1,100 @@
+//! Retrieval-quality evaluation.
+
+use crate::flat::Neighbor;
+
+/// Computes recall@k of `approximate` results against `exact` ground truth:
+/// the fraction of true top-`k` neighbours that appear anywhere in the
+/// approximate top-`k`, averaged over queries.
+///
+/// Both slices must contain one result list per query, in the same query
+/// order. Queries whose ground-truth list is empty are skipped.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use rago_vectordb::{recall_at_k, Neighbor};
+/// let exact = vec![vec![Neighbor { id: 1, distance: 0.0 }, Neighbor { id: 2, distance: 1.0 }]];
+/// let approx = vec![vec![Neighbor { id: 2, distance: 1.0 }, Neighbor { id: 9, distance: 2.0 }]];
+/// assert_eq!(recall_at_k(&exact, &approx, 2), 0.5);
+/// ```
+pub fn recall_at_k(exact: &[Vec<Neighbor>], approximate: &[Vec<Neighbor>], k: usize) -> f64 {
+    assert_eq!(
+        exact.len(),
+        approximate.len(),
+        "exact and approximate result sets must cover the same queries"
+    );
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for (truth, approx) in exact.iter().zip(approximate.iter()) {
+        let truth_ids: Vec<usize> = truth.iter().take(k).map(|n| n.id).collect();
+        if truth_ids.is_empty() {
+            continue;
+        }
+        let approx_ids: Vec<usize> = approx.iter().take(k).map(|n| n.id).collect();
+        total += truth_ids.len();
+        found += truth_ids.iter().filter(|id| approx_ids.contains(id)).count();
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    found as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize) -> Neighbor {
+        Neighbor {
+            id,
+            distance: id as f32,
+        }
+    }
+
+    #[test]
+    fn perfect_recall() {
+        let exact = vec![vec![n(1), n(2), n(3)]];
+        assert_eq!(recall_at_k(&exact, &exact, 3), 1.0);
+    }
+
+    #[test]
+    fn zero_recall() {
+        let exact = vec![vec![n(1), n(2)]];
+        let approx = vec![vec![n(7), n(8)]];
+        assert_eq!(recall_at_k(&exact, &approx, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_recall_across_queries() {
+        let exact = vec![vec![n(1), n(2)], vec![n(3), n(4)]];
+        let approx = vec![vec![n(1), n(9)], vec![n(4), n(3)]];
+        // Query 1: 1/2 found; query 2: 2/2 found (order does not matter).
+        assert_eq!(recall_at_k(&exact, &approx, 2), 0.75);
+    }
+
+    #[test]
+    fn empty_ground_truth_is_skipped() {
+        let exact = vec![vec![], vec![n(1)]];
+        let approx = vec![vec![n(5)], vec![n(1)]];
+        assert_eq!(recall_at_k(&exact, &approx, 1), 1.0);
+        assert_eq!(recall_at_k(&[], &[], 5), 0.0);
+    }
+
+    #[test]
+    fn k_truncates_both_sides() {
+        let exact = vec![vec![n(1), n(2), n(3), n(4)]];
+        let approx = vec![vec![n(1), n(9), n(2), n(3)]];
+        // At k=2 only {1,2} matter from ground truth and {1,9} from approx.
+        assert_eq!(recall_at_k(&exact, &approx, 2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "same queries")]
+    fn mismatched_query_counts_panic() {
+        let _ = recall_at_k(&[vec![n(1)]], &[], 1);
+    }
+}

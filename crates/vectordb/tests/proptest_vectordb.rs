@@ -1,0 +1,113 @@
+//! Property-based tests for the vector-search substrate.
+
+use proptest::prelude::*;
+use rago_vectordb::{
+    kmeans, FlatIndex, IvfPqIndex, IvfPqParams, KMeansParams, ProductQuantizer, SyntheticDataset,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flat search always returns results ordered by non-decreasing distance
+    /// and never more than min(k, n) of them.
+    #[test]
+    fn flat_search_is_sorted_and_bounded(
+        n in 1usize..400,
+        dim in 1usize..24,
+        k in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let data = SyntheticDataset::uniform(n, dim, seed);
+        let index = FlatIndex::build(dim, data.vectors.clone()).unwrap();
+        let query = vec![0.5f32; dim];
+        let hits = index.search(&query, k);
+        prop_assert_eq!(hits.len(), k.min(n));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        // Every returned id is a valid database id and ids are unique.
+        let mut ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        prop_assert!(ids.iter().all(|&i| i < n));
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len());
+    }
+
+    /// The top-1 result of flat search is never farther than any other
+    /// database vector (true exactness).
+    #[test]
+    fn flat_top1_is_globally_nearest(
+        n in 2usize..200,
+        dim in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let data = SyntheticDataset::uniform(n, dim, seed);
+        let index = FlatIndex::build(dim, data.vectors.clone()).unwrap();
+        let query = vec![0.25f32; dim];
+        let best = index.search(&query, 1)[0];
+        for v in &data.vectors {
+            let d = rago_vectordb::l2_distance_squared(&query, v);
+            prop_assert!(best.distance <= d + 1e-5);
+        }
+    }
+
+    /// K-means never increases the number of distinct assignments beyond k and
+    /// its inertia is non-negative.
+    #[test]
+    fn kmeans_assignments_are_within_k(
+        n in 10usize..300,
+        k in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(k <= n);
+        let data = SyntheticDataset::clustered(n, 8, 4, seed).vectors;
+        let result = kmeans(&data, KMeansParams { k, max_iterations: 10, tolerance: 1e-4 }, seed).unwrap();
+        prop_assert_eq!(result.assignments.len(), n);
+        prop_assert!(result.assignments.iter().all(|&a| a < k));
+        prop_assert!(result.inertia >= 0.0);
+        prop_assert_eq!(result.centroids.len(), k);
+    }
+
+    /// PQ encode/decode round-trips produce vectors of the right shape, and
+    /// the ADC distance of a vector to itself is no larger than to a far-away
+    /// point (sanity of the lookup-table machinery).
+    #[test]
+    fn pq_roundtrip_shapes(
+        seed in 0u64..200,
+        subspaces in 1usize..5,
+    ) {
+        let dim = subspaces * 4;
+        let data = SyntheticDataset::clustered(200, dim, 4, seed).vectors;
+        let pq = ProductQuantizer::train(dim, subspaces, 4, &data, seed).unwrap();
+        let code = pq.encode(&data[0]);
+        prop_assert_eq!(code.len(), subspaces);
+        prop_assert_eq!(pq.decode(&code).len(), dim);
+        let table = pq.build_lookup_table(&data[0]);
+        let d_self = pq.adc_distance(&table, &code);
+        let far: Vec<f32> = data[0].iter().map(|x| x + 100.0).collect();
+        let d_far = pq.adc_distance(&table, &pq.encode(&far));
+        prop_assert!(d_self <= d_far);
+    }
+
+    /// IVF-PQ search returns at most k unique ids, all valid.
+    #[test]
+    fn ivf_search_returns_valid_ids(
+        seed in 0u64..100,
+        nprobe in 1usize..40,
+        k in 1usize..20,
+    ) {
+        let data = SyntheticDataset::clustered(600, 16, 8, seed).vectors;
+        let params = IvfPqParams { num_lists: 16, num_subspaces: 4, bits_per_code: 4, training_sample: 600 };
+        let index = IvfPqIndex::train(16, &data, params, seed).unwrap();
+        let hits = index.search(&data[0], k, nprobe);
+        prop_assert!(hits.len() <= k);
+        let mut ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        prop_assert!(ids.iter().all(|&i| i < data.len()));
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len());
+        // Scan fraction is within (0, 1].
+        let f = index.scan_fraction(nprobe);
+        prop_assert!(f > 0.0 && f <= 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Request arrival processes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How requests arrive at the serving system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_rps` requests per second (exponential
+    /// inter-arrival times).
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Bursts of `burst_size` simultaneous requests every `period_s` seconds —
+    /// the regime of the paper's micro-batching study (Figure 19).
+    Bursts {
+        /// Requests arriving together in each burst.
+        burst_size: u32,
+        /// Time between bursts, in seconds.
+        period_s: f64,
+    },
+    /// All requests arrive at time zero (offline / batch evaluation).
+    Instantaneous,
+}
+
+impl ArrivalProcess {
+    /// Generates `n` arrival timestamps (seconds, non-decreasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Poisson rate or burst period is not positive, or a burst
+    /// size is zero.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(rate_rps > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -u.ln() / rate_rps;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursts {
+                burst_size,
+                period_s,
+            } => {
+                assert!(burst_size > 0, "burst size must be at least 1");
+                assert!(period_s > 0.0, "burst period must be positive");
+                (0..n)
+                    .map(|i| (i as u64 / u64::from(burst_size)) as f64 * period_s)
+                    .collect()
+            }
+            ArrivalProcess::Instantaneous => vec![0.0; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn poisson_rate_matches_mean_interarrival() {
+        let times = ArrivalProcess::Poisson { rate_rps: 50.0 }.sample(5_000, &mut rng());
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!((mean_gap - 0.02).abs() < 0.003, "mean gap {mean_gap}");
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn bursts_arrive_in_groups() {
+        let times = ArrivalProcess::Bursts {
+            burst_size: 8,
+            period_s: 1.0,
+        }
+        .sample(20, &mut rng());
+        assert_eq!(times.iter().filter(|&&t| t == 0.0).count(), 8);
+        assert_eq!(times.iter().filter(|&&t| t == 1.0).count(), 8);
+        assert_eq!(times.iter().filter(|&&t| t == 2.0).count(), 4);
+    }
+
+    #[test]
+    fn instantaneous_is_all_zero() {
+        let times = ArrivalProcess::Instantaneous.sample(5, &mut rng());
+        assert_eq!(times, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalProcess::Poisson { rate_rps: 0.0 }.sample(1, &mut rng());
+    }
+}

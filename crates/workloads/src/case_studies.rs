@@ -1,0 +1,131 @@
+//! The paper's four case studies (Table 3) and their evaluation sweeps.
+
+use rago_schema::{presets, LlmSize, RagSchema};
+use serde::{Deserialize, Serialize};
+
+/// The four representative RAG paradigms characterized in §5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseStudy {
+    /// Case I: hyperscale retrieval (RETRO-style).
+    HyperscaleRetrieval,
+    /// Case II: long-context sequence processing.
+    LongContext,
+    /// Case III: iterative retrievals during decoding.
+    IterativeRetrieval,
+    /// Case IV: query rewriter and reranker.
+    RewriterReranker,
+}
+
+impl CaseStudy {
+    /// All case studies in paper order.
+    pub const ALL: [CaseStudy; 4] = [
+        CaseStudy::HyperscaleRetrieval,
+        CaseStudy::LongContext,
+        CaseStudy::IterativeRetrieval,
+        CaseStudy::RewriterReranker,
+    ];
+
+    /// The default instantiation used in the paper's figures for this case.
+    pub fn default_schema(self) -> RagSchema {
+        match self {
+            CaseStudy::HyperscaleRetrieval => presets::case1_hyperscale(LlmSize::B8, 1),
+            CaseStudy::LongContext => presets::case2_long_context(LlmSize::B70, 1_000_000),
+            CaseStudy::IterativeRetrieval => presets::case3_iterative(LlmSize::B70, 4),
+            CaseStudy::RewriterReranker => presets::case4_rewriter_reranker(LlmSize::B70),
+        }
+    }
+
+    /// Human-readable name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseStudy::HyperscaleRetrieval => "Case I: hyperscale retrieval",
+            CaseStudy::LongContext => "Case II: long-context processing",
+            CaseStudy::IterativeRetrieval => "Case III: iterative retrievals",
+            CaseStudy::RewriterReranker => "Case IV: rewriter and reranker",
+        }
+    }
+}
+
+impl std::fmt::Display for CaseStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The parameter sweep of one case study, as listed in Table 3: every schema
+/// variation the paper's characterization figures evaluate for that case.
+pub fn case_study_sweeps(case: CaseStudy) -> Vec<RagSchema> {
+    match case {
+        CaseStudy::HyperscaleRetrieval => {
+            let mut out = Vec::new();
+            for llm in LlmSize::ALL {
+                for queries in [1u32, 2, 4, 8] {
+                    out.push(presets::case1_hyperscale(llm, queries));
+                }
+            }
+            out
+        }
+        CaseStudy::LongContext => {
+            let mut out = Vec::new();
+            for llm in [LlmSize::B8, LlmSize::B70] {
+                for ctx in [100_000u64, 1_000_000, 10_000_000] {
+                    out.push(presets::case2_long_context(llm, ctx));
+                }
+            }
+            out
+        }
+        CaseStudy::IterativeRetrieval => {
+            let mut out = Vec::new();
+            for llm in [LlmSize::B8, LlmSize::B70] {
+                for freq in [2u32, 4, 8] {
+                    out.push(presets::case3_iterative(llm, freq));
+                }
+            }
+            out
+        }
+        CaseStudy::RewriterReranker => [LlmSize::B8, LlmSize::B70]
+            .into_iter()
+            .map(presets::case4_rewriter_reranker)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schemas_validate() {
+        for case in CaseStudy::ALL {
+            assert!(case.default_schema().validate().is_ok(), "{case}");
+            assert!(!case.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sweeps_match_table3_cardinality() {
+        assert_eq!(
+            case_study_sweeps(CaseStudy::HyperscaleRetrieval).len(),
+            16 // 4 model sizes x 4 query counts
+        );
+        assert_eq!(case_study_sweeps(CaseStudy::LongContext).len(), 6);
+        assert_eq!(case_study_sweeps(CaseStudy::IterativeRetrieval).len(), 6);
+        assert_eq!(case_study_sweeps(CaseStudy::RewriterReranker).len(), 2);
+    }
+
+    #[test]
+    fn every_sweep_schema_validates() {
+        for case in CaseStudy::ALL {
+            for schema in case_study_sweeps(case) {
+                assert!(schema.validate().is_ok(), "{}", schema.name);
+            }
+        }
+    }
+
+    #[test]
+    fn iterative_sweep_is_actually_iterative() {
+        assert!(case_study_sweeps(CaseStudy::IterativeRetrieval)
+            .iter()
+            .all(|s| s.is_iterative()));
+    }
+}

@@ -1,0 +1,42 @@
+//! Workload generation for the RAGO reproduction.
+//!
+//! The paper characterizes serving behaviour with aggregate request
+//! statistics (question/prefix/decode lengths, queries per retrieval, burst
+//! sizes) drawn from QA and chatbot datasets. This crate turns those
+//! statistics into concrete request streams:
+//!
+//! * [`RequestGenerator`] samples per-request token lengths around a
+//!   [`rago_schema::SequenceProfile`];
+//! * [`ArrivalProcess`] produces arrival timestamps (Poisson or bursty);
+//! * [`TraceSpec`] bundles both into a reproducible request trace;
+//! * [`case_studies`] re-exports the paper's Table 3 presets together with
+//!   the parameter sweeps used in the evaluation figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_workloads::{ArrivalProcess, TraceSpec};
+//! use rago_schema::SequenceProfile;
+//!
+//! let spec = TraceSpec {
+//!     num_requests: 100,
+//!     profile: SequenceProfile::paper_default(),
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 20.0 },
+//!     length_jitter: 0.2,
+//!     seed: 7,
+//! };
+//! let trace = spec.generate();
+//! assert_eq!(trace.requests.len(), 100);
+//! assert!(trace.requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod case_studies;
+pub mod request;
+
+pub use arrival::ArrivalProcess;
+pub use case_studies::{case_study_sweeps, CaseStudy};
+pub use request::{Request, RequestGenerator, Trace, TraceSpec};

@@ -1,0 +1,222 @@
+//! Request and trace generation.
+
+use crate::arrival::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rago_schema::SequenceProfile;
+use serde::{Deserialize, Serialize};
+
+/// One synthetic serving request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request identifier (position in the trace).
+    pub id: u64,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_s: f64,
+    /// Question length in tokens.
+    pub question_tokens: u32,
+    /// Prompt length of the main LLM prefix (question + retrieved content).
+    pub prefix_tokens: u32,
+    /// Output (decode) length in tokens.
+    pub decode_tokens: u32,
+}
+
+/// A generated request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The requests, sorted by arrival time.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Mean prefix length of the trace.
+    pub fn mean_prefix_tokens(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| f64::from(r.prefix_tokens)).sum::<f64>()
+            / self.requests.len() as f64
+    }
+
+    /// Mean decode length of the trace.
+    pub fn mean_decode_tokens(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| f64::from(r.decode_tokens)).sum::<f64>()
+            / self.requests.len() as f64
+    }
+
+    /// Offered load in requests per second (requests divided by the span of
+    /// arrival times; infinite for instantaneous traces).
+    pub fn offered_load_rps(&self) -> f64 {
+        let span = self
+            .requests
+            .last()
+            .map(|r| r.arrival_s)
+            .unwrap_or(0.0);
+        if span <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.requests.len() as f64 / span
+    }
+}
+
+/// Generates per-request token lengths around a [`SequenceProfile`].
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    profile: SequenceProfile,
+    /// Relative jitter applied to every length (0.0 = deterministic lengths,
+    /// 0.2 = lengths uniform in ±20 % of the profile value).
+    length_jitter: f64,
+    rng: StdRng,
+}
+
+impl RequestGenerator {
+    /// Creates a generator with the given jitter and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_jitter` is not in `[0, 1)`.
+    pub fn new(profile: SequenceProfile, length_jitter: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&length_jitter),
+            "length_jitter must be in [0, 1)"
+        );
+        Self {
+            profile,
+            length_jitter,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples one request with the given id and arrival time.
+    pub fn sample(&mut self, id: u64, arrival_s: f64) -> Request {
+        let question = self.jitter(self.profile.question_tokens);
+        let prefix = self.jitter(self.profile.prefix_tokens());
+        let decode = self.jitter(self.profile.decode_tokens);
+        Request {
+            id,
+            arrival_s,
+            question_tokens: question,
+            prefix_tokens: prefix.max(question),
+            decode_tokens: decode.max(1),
+        }
+    }
+
+    fn jitter(&mut self, value: u32) -> u32 {
+        if self.length_jitter == 0.0 || value == 0 {
+            return value.max(1);
+        }
+        let v = f64::from(value);
+        let low = v * (1.0 - self.length_jitter);
+        let high = v * (1.0 + self.length_jitter);
+        self.rng.gen_range(low..=high).round().max(1.0) as u32
+    }
+}
+
+/// A reproducible trace specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Number of requests to generate.
+    pub num_requests: usize,
+    /// Length profile requests are sampled around.
+    pub profile: SequenceProfile,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Relative length jitter in `[0, 1)`.
+    pub length_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        let mut arrival_rng = StdRng::seed_from_u64(self.seed);
+        let arrivals = self.arrival.sample(self.num_requests, &mut arrival_rng);
+        let mut generator =
+            RequestGenerator::new(self.profile, self.length_jitter, self.seed.wrapping_add(1));
+        let requests = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| generator.sample(i as u64, t))
+            .collect();
+        Trace { requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TraceSpec {
+        TraceSpec {
+            num_requests: 500,
+            profile: SequenceProfile::paper_default(),
+            arrival: ArrivalProcess::Poisson { rate_rps: 100.0 },
+            length_jitter: 0.2,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn trace_has_requested_size_and_sorted_arrivals() {
+        let trace = spec().generate();
+        assert_eq!(trace.requests.len(), 500);
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(trace.offered_load_rps() > 50.0);
+    }
+
+    #[test]
+    fn mean_lengths_track_the_profile() {
+        let trace = spec().generate();
+        let profile = SequenceProfile::paper_default();
+        let mean_prefix = trace.mean_prefix_tokens();
+        let mean_decode = trace.mean_decode_tokens();
+        assert!((mean_prefix - f64::from(profile.prefix_tokens())).abs() < 30.0);
+        assert!((mean_decode - 256.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let spec = TraceSpec {
+            length_jitter: 0.0,
+            ..spec()
+        };
+        let trace = spec.generate();
+        assert!(trace
+            .requests
+            .iter()
+            .all(|r| r.prefix_tokens == SequenceProfile::paper_default().prefix_tokens()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        assert_eq!(spec().generate(), spec().generate());
+        let other = TraceSpec { seed: 4, ..spec() }.generate();
+        assert_ne!(spec().generate(), other);
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let trace = TraceSpec {
+            num_requests: 0,
+            ..spec()
+        }
+        .generate();
+        assert!(trace.requests.is_empty());
+        assert_eq!(trace.mean_prefix_tokens(), 0.0);
+        assert_eq!(trace.mean_decode_tokens(), 0.0);
+        assert!(trace.offered_load_rps().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length_jitter")]
+    fn invalid_jitter_panics() {
+        let _ = RequestGenerator::new(SequenceProfile::paper_default(), 1.5, 0);
+    }
+}

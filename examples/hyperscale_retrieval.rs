@@ -1,0 +1,56 @@
+//! Case I walk-through: hyperscale retrieval bottleneck analysis.
+//!
+//! Reproduces the §5.1 characterization on a small scale: for several
+//! generative-LLM sizes and query counts, print where the time × resource
+//! budget goes (retrieval vs prefix vs decode) and how RAG compares with an
+//! LLM-only system serving the same questions.
+//!
+//! Run with: `cargo run --release --example hyperscale_retrieval`
+
+use rago::core::{breakdown, BaselineSystem, StageProfiler};
+use rago::hardware::ClusterSpec;
+use rago::schema::presets::{self, LlmSize};
+use rago::schema::Stage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterSpec::paper_default();
+
+    println!("== time x resource breakdown (Case I) ==");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>10}",
+        "LLM", "queries", "retrieval%", "prefix%", "decode%"
+    );
+    for llm in [LlmSize::B1, LlmSize::B8, LlmSize::B70, LlmSize::B405] {
+        for queries in [1u32, 4] {
+            let schema = presets::case1_hyperscale(llm, queries);
+            let profiler = StageProfiler::new(schema, cluster.clone());
+            let shares =
+                breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
+            println!(
+                "{:<10} {:>8} {:>11.1}% {:>9.1}% {:>9.1}%",
+                llm.to_string(),
+                queries,
+                breakdown::share_of(&shares, Stage::Retrieval) * 100.0,
+                breakdown::share_of(&shares, Stage::Prefix) * 100.0,
+                breakdown::share_of(&shares, Stage::Decode) * 100.0,
+            );
+        }
+    }
+
+    println!("\n== RAG vs LLM-only (max QPS/chip on 32 XPUs) ==");
+    for (name, schema) in [
+        ("RAG 8B", presets::case1_hyperscale(LlmSize::B8, 1)),
+        ("LLM-only 70B", presets::llm_only(LlmSize::B70)),
+    ] {
+        let baseline = BaselineSystem::new(schema, cluster.clone(), 32);
+        let frontier = baseline.optimize(&[1, 8, 32], &[64, 256])?;
+        let best = frontier.max_qps_per_chip().expect("non-empty frontier");
+        println!(
+            "{:<14} QPS/chip = {:.3}, TTFT = {:.1} ms",
+            name,
+            best.performance.qps_per_chip,
+            best.performance.ttft_s * 1e3
+        );
+    }
+    Ok(())
+}

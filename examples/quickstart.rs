@@ -1,0 +1,59 @@
+//! Quickstart: optimize the serving schedule of a basic RAG workload.
+//!
+//! Builds the paper's Case-I workload (hyperscale retrieval in front of an
+//! 8B generative LLM), runs the RAGO optimizer against the default 128-XPU
+//! cluster, and prints the Pareto frontier of TTFT versus QPS/chip together
+//! with the schedules that achieve its extremes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rago::core::{Rago, SearchOptions};
+use rago::hardware::ClusterSpec;
+use rago::schema::presets::{self, LlmSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = presets::case1_hyperscale(LlmSize::B8, 1);
+    let cluster = ClusterSpec::paper_default();
+    println!(
+        "workload: {} | cluster: {} XPUs ({}), {} CPU servers",
+        schema.name,
+        cluster.total_xpus(),
+        cluster.xpu.name,
+        cluster.num_servers
+    );
+
+    let rago = Rago::new(schema, cluster);
+    let frontier = rago.optimize(&SearchOptions::fast())?;
+
+    println!(
+        "\nevaluated {} schedules, {} on the Pareto frontier:",
+        frontier.evaluated_schedules,
+        frontier.len()
+    );
+    println!(
+        "{:>10} {:>12} {:>10} {:>8}  schedule",
+        "TTFT (ms)", "QPS/chip", "QPS", "XPUs"
+    );
+    for point in frontier.iter() {
+        println!(
+            "{:>10.1} {:>12.3} {:>10.1} {:>8}  {}",
+            point.performance.ttft_s * 1e3,
+            point.performance.qps_per_chip,
+            point.performance.qps,
+            point.performance.total_xpus,
+            point.schedule.describe()
+        );
+    }
+
+    let latency_opt = frontier.min_ttft().expect("non-empty frontier");
+    let throughput_opt = frontier.max_qps_per_chip().expect("non-empty frontier");
+    println!(
+        "\nlatency-optimal schedule:    {}",
+        latency_opt.schedule.describe()
+    );
+    println!(
+        "throughput-optimal schedule: {}",
+        throughput_opt.schedule.describe()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Vector-search substrate demo: build, quantize, index, search, calibrate.
+//!
+//! Exercises the `rago-vectordb` crate end to end — exact kNN, product
+//! quantization, and the IVF-PQ index — and shows how its measured PQ-scan
+//! throughput calibrates the retrieval cost model, mirroring how the paper
+//! calibrates its ScaNN model on real hardware.
+//!
+//! Run with: `cargo run --release --example vector_search`
+
+use rago::hardware::CpuServerSpec;
+use rago::retrieval_sim::{calibrate_scan_throughput, RetrievalSimulator};
+use rago::schema::RetrievalConfig;
+use rago::vectordb::{recall_at_k, FlatIndex, IvfPqIndex, IvfPqParams, SyntheticDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a small clustered corpus and hold out queries from it.
+    let dim = 96;
+    let corpus = SyntheticDataset::clustered(20_000, dim, 64, 7);
+    let queries: Vec<Vec<f32>> = corpus.vectors.iter().step_by(1_000).cloned().collect();
+
+    let flat = FlatIndex::build(dim, corpus.vectors.clone())?;
+    let exact: Vec<_> = queries.iter().map(|q| flat.search(q, 10)).collect();
+
+    let params = IvfPqParams {
+        num_lists: 128,
+        num_subspaces: 12,
+        bits_per_code: 8,
+        training_sample: 4_000,
+    };
+    let ivf = IvfPqIndex::train(dim, &corpus.vectors, params, 3)?;
+
+    println!("== IVF-PQ recall/cost trade-off (20K vectors, 96-d) ==");
+    println!("{:>8} {:>14} {:>10}", "nprobe", "scan fraction", "recall@10");
+    for nprobe in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let approx: Vec<_> = queries.iter().map(|q| ivf.search(q, 10, nprobe)).collect();
+        let recall = recall_at_k(&exact, &approx, 10);
+        println!(
+            "{:>8} {:>13.1}% {:>10.3}",
+            nprobe,
+            ivf.scan_fraction(nprobe) * 100.0,
+            recall
+        );
+    }
+
+    // Calibrate the retrieval cost model from this machine's PQ scanner.
+    let report = calibrate_scan_throughput(4_096, 0.2);
+    println!(
+        "\nmeasured single-thread PQ scan throughput: {:.2} GB/s",
+        report.scan_throughput_per_core_gbps
+    );
+    let calibrated_cpu = report.apply_to(&CpuServerSpec::epyc_milan());
+    let sim = RetrievalSimulator::new(calibrated_cpu);
+    let cost = sim.retrieval_cost(&RetrievalConfig::hyperscale_64b(), 16, 32)?;
+    println!(
+        "with that calibration, a 16-query batch over the paper's 64B-vector corpus \
+         (32 servers) takes {:.1} ms and sustains {:.0} queries/s",
+        cost.latency_s * 1e3,
+        cost.throughput_qps
+    );
+    Ok(())
+}

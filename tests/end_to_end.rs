@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: schema → cost models → optimizer.
+
+use rago::core::{breakdown, BaselineSystem, Rago, SearchOptions, StageProfiler};
+use rago::hardware::{ClusterSpec, XpuGeneration, XpuSpec};
+use rago::schema::presets::{self, LlmSize};
+use rago::schema::Stage;
+
+fn fast() -> SearchOptions {
+    SearchOptions {
+        xpu_steps: vec![8, 32],
+        server_steps: vec![32],
+        predecode_batch_steps: vec![1, 16],
+        decode_batch_steps: vec![128],
+        iterative_batch_steps: vec![8],
+        placements: None,
+    }
+}
+
+#[test]
+fn rago_beats_or_matches_the_baseline_in_case2() {
+    // Headline claim: RAGO improves max QPS/chip over the LLM-extension
+    // baseline for the long-context workload (the paper reports 1.7x).
+    let cluster = ClusterSpec::paper_default();
+    let schema = presets::case2_long_context(LlmSize::B70, 1_000_000);
+
+    let baseline = BaselineSystem::new(schema.clone(), cluster.clone(), 128);
+    let baseline_best = baseline
+        .optimize(&[1, 2, 4, 8, 16, 32, 64, 128], &[128, 256, 512, 1024])
+        .unwrap()
+        .max_qps_per_chip()
+        .unwrap()
+        .performance;
+
+    let rago = Rago::new(schema, cluster);
+    let opts = SearchOptions {
+        xpu_steps: vec![8, 16, 32, 64, 96],
+        server_steps: vec![32],
+        predecode_batch_steps: vec![1, 2, 8, 32, 128],
+        decode_batch_steps: vec![256, 1024],
+        iterative_batch_steps: vec![8],
+        placements: None,
+    };
+    let rago_best = rago
+        .optimize(&opts)
+        .unwrap()
+        .max_qps_per_chip()
+        .unwrap()
+        .performance;
+
+    let speedup = rago_best.qps_per_chip / baseline_best.qps_per_chip;
+    assert!(
+        speedup >= 1.0,
+        "RAGO ({:.4} QPS/chip) should not lose to the baseline ({:.4})",
+        rago_best.qps_per_chip,
+        baseline_best.qps_per_chip
+    );
+}
+
+#[test]
+fn rago_beats_or_matches_the_baseline_in_case4() {
+    let cluster = ClusterSpec::paper_default();
+    let schema = presets::case4_rewriter_reranker(LlmSize::B70);
+
+    let baseline = BaselineSystem::new(schema.clone(), cluster.clone(), 64);
+    let baseline_best = baseline
+        .optimize(&[1, 4, 16, 64], &[128, 512])
+        .unwrap()
+        .max_qps_per_chip()
+        .unwrap()
+        .performance;
+
+    let rago = Rago::new(schema, cluster);
+    let opts = SearchOptions {
+        xpu_steps: vec![1, 4, 16, 32],
+        server_steps: vec![32],
+        predecode_batch_steps: vec![1, 4, 16, 64],
+        decode_batch_steps: vec![128, 512],
+        iterative_batch_steps: vec![8],
+        placements: None,
+    };
+    let rago_best = rago
+        .optimize(&opts)
+        .unwrap()
+        .max_qps_per_chip()
+        .unwrap()
+        .performance;
+
+    assert!(
+        rago_best.qps_per_chip >= baseline_best.qps_per_chip,
+        "RAGO {:.4} < baseline {:.4}",
+        rago_best.qps_per_chip,
+        baseline_best.qps_per_chip
+    );
+}
+
+#[test]
+fn bottleneck_shifts_from_retrieval_to_inference_with_model_size() {
+    // §5.1 / Figure 7a: retrieval dominates small-model RAG and fades for the
+    // 405B model.
+    let cluster = ClusterSpec::paper_default();
+    let mut shares = Vec::new();
+    for llm in [LlmSize::B1, LlmSize::B8, LlmSize::B70, LlmSize::B405] {
+        let profiler = StageProfiler::new(presets::case1_hyperscale(llm, 1), cluster.clone());
+        let b = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64]).unwrap();
+        shares.push(breakdown::share_of(&b, Stage::Retrieval));
+    }
+    for w in shares.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "retrieval share should shrink with model size: {shares:?}"
+        );
+    }
+    assert!(shares[0] > 0.5, "1B RAG should be retrieval bound: {shares:?}");
+    assert!(shares[3] < 0.3, "405B RAG should be inference bound: {shares:?}");
+}
+
+#[test]
+fn newer_xpus_increase_the_retrieval_share() {
+    // Figure 7a: moving from XPU-A to XPU-C shifts more of the pipeline's
+    // time x resource budget onto retrieval.
+    let schema = presets::case1_hyperscale(LlmSize::B8, 1);
+    let mut shares = Vec::new();
+    for gen in [XpuGeneration::A, XpuGeneration::C] {
+        let cluster = ClusterSpec::paper_default().with_xpu(XpuSpec::generation(gen));
+        let profiler = StageProfiler::new(schema.clone(), cluster);
+        let b = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64]).unwrap();
+        shares.push(breakdown::share_of(&b, Stage::Retrieval));
+    }
+    assert!(
+        shares[1] > shares[0],
+        "XPU-C retrieval share {} should exceed XPU-A {}",
+        shares[1],
+        shares[0]
+    );
+}
+
+#[test]
+fn optimizer_works_for_every_default_case_study() {
+    let cluster = ClusterSpec::paper_default();
+    for case in rago::workloads::CaseStudy::ALL {
+        let schema = case.default_schema();
+        let rago = Rago::new(schema, cluster.clone());
+        let frontier = rago.optimize(&fast()).unwrap();
+        assert!(!frontier.is_empty(), "{case}: empty frontier");
+        let best = frontier.max_qps_per_chip().unwrap();
+        assert!(best.performance.qps > 0.0, "{case}: zero QPS");
+        assert!(best.performance.ttft_s.is_finite(), "{case}: bad TTFT");
+    }
+}
+
+#[test]
+fn workload_trace_statistics_match_the_schema_profile() {
+    // The workload generator and the schema must agree on sequence lengths,
+    // since the cost models consume the latter.
+    use rago::workloads::{ArrivalProcess, TraceSpec};
+    let schema = presets::case1_hyperscale(LlmSize::B8, 1);
+    let trace = TraceSpec {
+        num_requests: 200,
+        profile: schema.sequence,
+        arrival: ArrivalProcess::Bursts {
+            burst_size: 16,
+            period_s: 0.5,
+        },
+        length_jitter: 0.1,
+        seed: 5,
+    }
+    .generate();
+    let mean_prefix = trace.mean_prefix_tokens();
+    assert!((mean_prefix - f64::from(schema.main_prefix_tokens())).abs() < 40.0);
+}
+
+#[test]
+fn retrieval_cost_model_and_substrate_agree_on_scan_volume() {
+    // The analytic model prices N * bytes * scan_fraction per query; the
+    // IVF-PQ substrate reports the same quantity from its own index.
+    use rago::retrieval_sim::RetrievalSimulator;
+    use rago::schema::RetrievalConfig;
+    use rago::vectordb::{IvfPqIndex, IvfPqParams, SyntheticDataset};
+
+    let data = SyntheticDataset::clustered(4_096, 32, 16, 9).vectors;
+    let params = IvfPqParams {
+        num_lists: 64,
+        num_subspaces: 8,
+        bits_per_code: 4,
+        training_sample: 1_000,
+    };
+    let index = IvfPqIndex::train(32, &data, params, 1).unwrap();
+    let nprobe = 8;
+    let substrate_bytes = index.scanned_bytes_per_query(nprobe);
+
+    let cfg = RetrievalConfig {
+        num_vectors: 4_096,
+        dim: 32,
+        bytes_per_vector: 8,
+        scan_fraction: index.scan_fraction(nprobe),
+        queries_per_retrieval: 1,
+        retrievals_per_sequence: 1,
+        top_k: 10,
+        mode: rago::schema::SearchMode::IvfPq { tree_levels: 2 },
+    };
+    let sim = RetrievalSimulator::default();
+    let cost = sim.retrieval_cost(&cfg, 1, 1).unwrap();
+    // The model additionally scans intermediate-level centroids, so it should
+    // be within 2x of the leaf-only substrate number but never below it.
+    assert!(cost.scanned_bytes_per_query >= substrate_bytes * 0.99);
+    assert!(cost.scanned_bytes_per_query < substrate_bytes * 3.0 + 1e5);
+}

@@ -34,7 +34,10 @@ impl AcceleratorGroup {
     ///
     /// Panics if `num_chips` is zero.
     pub fn new(xpu: XpuSpec, num_chips: u32) -> Self {
-        assert!(num_chips >= 1, "an accelerator group needs at least one chip");
+        assert!(
+            num_chips >= 1,
+            "an accelerator group needs at least one chip"
+        );
         Self {
             xpu,
             num_chips,

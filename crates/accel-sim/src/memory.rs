@@ -99,15 +99,27 @@ mod tests {
         assert!(mm.fits(&model, 1, 768, &one));
         // Batch 1024 at 768-token contexts needs ~1024*768*KV bytes on top.
         assert!(!mm.fits(&model, 1024, 768, &one));
-        assert!(mm.max_batch(&model, 768, &two).unwrap() >= mm.max_batch(&model, 768, &one).unwrap());
+        assert!(
+            mm.max_batch(&model, 768, &two).unwrap() >= mm.max_batch(&model, 768, &one).unwrap()
+        );
     }
 
     #[test]
     fn four_hundred_five_b_needs_many_chips() {
         let mm = MemoryModel::new();
         let model = rago_schema::ModelConfig::llama3_405b();
-        assert!(!mm.fits(&model, 1, 768, &AcceleratorGroup::new(XpuSpec::default(), 4)));
-        assert!(mm.fits(&model, 1, 768, &AcceleratorGroup::new(XpuSpec::default(), 8)));
+        assert!(!mm.fits(
+            &model,
+            1,
+            768,
+            &AcceleratorGroup::new(XpuSpec::default(), 4)
+        ));
+        assert!(mm.fits(
+            &model,
+            1,
+            768,
+            &AcceleratorGroup::new(XpuSpec::default(), 8)
+        ));
         assert!(mm
             .max_batch(&model, 768, &AcceleratorGroup::new(XpuSpec::default(), 4))
             .is_none());
@@ -129,7 +141,12 @@ mod tests {
         let mm = MemoryModel::new();
         let enc = rago_schema::ModelConfig::encoder_120m();
         assert_eq!(mm.kv_cache_bytes(&enc, 128, 4096), 0.0);
-        assert!(mm.fits(&enc, 4096, 128, &AcceleratorGroup::new(XpuSpec::default(), 1)));
+        assert!(mm.fits(
+            &enc,
+            4096,
+            128,
+            &AcceleratorGroup::new(XpuSpec::default(), 1)
+        ));
     }
 
     #[test]

@@ -132,8 +132,7 @@ pub fn layer_ops(
         OperatorKind::MatMul,
         roofline,
         2.0 * tokens * h * ffn * ffn_mats / tp_f,
-        ffn_mats * h * ffn * bpp / tp_f
-            + tokens * (h + ffn) * ACTIVATION_BYTES / tp_f,
+        ffn_mats * h * ffn * bpp / tp_f + tokens * (h + ffn) * ACTIVATION_BYTES / tp_f,
     ));
 
     // Norms, residuals, activation functions: elementwise over the tokens.
@@ -211,7 +210,11 @@ mod tests {
     fn setup() -> (LlmArchitecture, Roofline, InterconnectSpec) {
         let model = ModelConfig::llama3_8b();
         let xpu = rago_hardware::XpuSpec::default();
-        (model.architecture, xpu.roofline(), InterconnectSpec::torus_3d())
+        (
+            model.architecture,
+            xpu.roofline(),
+            InterconnectSpec::torus_3d(),
+        )
     }
 
     #[test]
@@ -305,7 +308,11 @@ mod tests {
             &ici,
             None,
         );
-        let a_short = short.iter().find(|o| o.name == "attention").unwrap().seconds;
+        let a_short = short
+            .iter()
+            .find(|o| o.name == "attention")
+            .unwrap()
+            .seconds;
         let a_long = long.iter().find(|o| o.name == "attention").unwrap().seconds;
         assert!(a_long > a_short * 8.0);
     }
@@ -332,7 +339,11 @@ mod tests {
             Some(128.0),
         );
         let a_full = full.iter().find(|o| o.name == "attention").unwrap().seconds;
-        let a_win = windowed.iter().find(|o| o.name == "attention").unwrap().seconds;
+        let a_win = windowed
+            .iter()
+            .find(|o| o.name == "attention")
+            .unwrap()
+            .seconds;
         assert!(a_win < a_full);
     }
 

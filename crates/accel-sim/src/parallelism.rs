@@ -95,7 +95,10 @@ mod tests {
     fn enumerate_handles_primes_and_zero() {
         assert_eq!(ParallelismConfig::enumerate(7).len(), 2); // (1,7), (7,1)
         assert!(ParallelismConfig::enumerate(0).is_empty());
-        assert_eq!(ParallelismConfig::enumerate(1), vec![ParallelismConfig::single()]);
+        assert_eq!(
+            ParallelismConfig::enumerate(1),
+            vec![ParallelismConfig::single()]
+        );
     }
 
     #[test]

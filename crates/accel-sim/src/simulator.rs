@@ -124,8 +124,9 @@ impl InferenceSimulator {
         }
         validate_shape(chunk_len, batch)?;
         self.check_memory(model, batch, chunk_len, group)?;
-        let chunks_per_request =
-            (tokens_per_request as f64 / f64::from(chunk_len)).ceil().max(1.0);
+        let chunks_per_request = (tokens_per_request as f64 / f64::from(chunk_len))
+            .ceil()
+            .max(1.0);
         let shape = TokenShape {
             batch: f64::from(batch) * chunks_per_request,
             new_tokens: f64::from(chunk_len),
@@ -588,7 +589,10 @@ mod tests {
         let m = ModelConfig::llama3_70b();
         let l1 = s.best_prefix_cost(&m, 512, 8, &group(1)).unwrap().latency_s;
         let l8 = s.best_prefix_cost(&m, 512, 8, &group(8)).unwrap().latency_s;
-        let l32 = s.best_prefix_cost(&m, 512, 8, &group(32)).unwrap().latency_s;
+        let l32 = s
+            .best_prefix_cost(&m, 512, 8, &group(32))
+            .unwrap()
+            .latency_s;
         assert!(l8 < l1);
         assert!(l32 < l8);
     }
@@ -641,7 +645,10 @@ mod tests {
         let c100k = s.encoder_cost(&enc, 100_000, 128, 2, &g).unwrap();
         let c1m = s.encoder_cost(&enc, 1_000_000, 128, 2, &g).unwrap();
         let ratio = c1m.latency_s / c100k.latency_s;
-        assert!((5.0..=15.0).contains(&ratio), "encoder scaling ratio {ratio}");
+        assert!(
+            (5.0..=15.0).contains(&ratio),
+            "encoder scaling ratio {ratio}"
+        );
     }
 
     #[test]
@@ -680,9 +687,7 @@ mod tests {
         let g = group(4);
         let m = ModelConfig::llama3_8b();
         let best = s.best_prefix_cost(&m, 512, 8, &g).unwrap();
-        let explicit = s
-            .prefix_cost(&m, 512, 8, &g, best.parallelism)
-            .unwrap();
+        let explicit = s.prefix_cost(&m, 512, 8, &g, best.parallelism).unwrap();
         assert!((explicit.latency_s - best.latency_s).abs() < 1e-9);
     }
 }

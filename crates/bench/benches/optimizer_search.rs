@@ -1,10 +1,19 @@
-//! Criterion benches of the RAGO schedule search (Algorithm 1) at different
-//! grid granularities.
+//! Benches of the RAGO schedule search (Algorithm 1) at different grid
+//! granularities, plus the headline comparison of the streaming / parallel /
+//! memoized search against the serial unmemoized reference on the paper's
+//! default grid.
+//!
+//! The headline comparison also writes `BENCH_optimizer.json` at the
+//! workspace root (schedules/sec for each path and the speedup), so future
+//! changes can track the search-throughput trajectory. Set
+//! `RAGO_BENCH_QUICK=1` for a CI-friendly quick mode (fewer samples, same
+//! JSON).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rago_core::{Rago, SearchOptions};
 use rago_hardware::ClusterSpec;
 use rago_schema::presets::{self, LlmSize};
+use std::time::Instant;
 
 fn bench_search(c: &mut Criterion) {
     let cluster = ClusterSpec::paper_default();
@@ -14,7 +23,10 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| case1.optimize(&SearchOptions::fast()).unwrap())
     });
 
-    let case4 = Rago::new(presets::case4_rewriter_reranker(LlmSize::B70), cluster.clone());
+    let case4 = Rago::new(
+        presets::case4_rewriter_reranker(LlmSize::B70),
+        cluster.clone(),
+    );
     let medium = SearchOptions {
         xpu_steps: vec![4, 16, 64],
         server_steps: vec![32],
@@ -36,9 +48,105 @@ fn bench_search(c: &mut Criterion) {
     });
 }
 
+/// One timed run of a search path: wall-clock seconds and candidate
+/// throughput over the full enumerated grid.
+struct PathTiming {
+    seconds: f64,
+    schedules_per_sec: f64,
+    evaluated_schedules: usize,
+    frontier_len: usize,
+}
+
+fn time_path<F: Fn() -> rago_core::ParetoFrontier>(
+    grid_candidates: usize,
+    runs: usize,
+    run: F,
+) -> PathTiming {
+    let mut best = f64::INFINITY;
+    let mut frontier = run(); // warm-up (also primes any memo cache)
+    for _ in 0..runs {
+        let start = Instant::now();
+        frontier = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    PathTiming {
+        seconds: best,
+        schedules_per_sec: grid_candidates as f64 / best,
+        evaluated_schedules: frontier.evaluated_schedules,
+        frontier_len: frontier.len(),
+    }
+}
+
+fn json_path_entry(name: &str, t: &PathTiming) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"seconds\": {:.6},\n    \"schedules_per_sec\": {:.1},\n    \"evaluated_schedules\": {},\n    \"frontier_len\": {}\n  }}",
+        t.seconds, t.schedules_per_sec, t.evaluated_schedules, t.frontier_len
+    )
+}
+
+/// The acceptance benchmark: `optimize(paper_default)` on the case-1
+/// hyperscale preset — streaming + parallel + memoized — against the serial
+/// unmemoized path the optimizer used to be.
+fn bench_paper_grid_speedup(c: &mut Criterion) {
+    let options = SearchOptions::paper_default();
+    let cluster = ClusterSpec::paper_default();
+    let schema = presets::case1_hyperscale(LlmSize::B8, 1);
+
+    let optimized = Rago::new(schema.clone(), cluster.clone());
+    let baseline = Rago::new(schema, cluster).with_memoization(false);
+    let grid_candidates = optimized.schedule_iter(&options).count();
+    let runs = if rago_bench::quick_mode() { 1 } else { 3 };
+
+    let parallel_memoized = time_path(grid_candidates, runs, || {
+        optimized.optimize(&options).expect("case1 search succeeds")
+    });
+    let serial_memoized = time_path(grid_candidates, runs, || {
+        optimized
+            .optimize_serial(&options)
+            .expect("case1 search succeeds")
+    });
+    let serial_unmemoized = time_path(grid_candidates, runs, || {
+        baseline
+            .optimize_serial(&options)
+            .expect("case1 search succeeds")
+    });
+
+    let speedup = serial_unmemoized.seconds / parallel_memoized.seconds;
+    let json = format!(
+        "{{\n  \"bench\": \"optimizer_search/paper_grid_case1_hyperscale\",\n  \"grid_candidates\": {grid_candidates},\n  \"threads\": {},\n  \"distinct_stage_profiles\": {},\n{},\n{},\n{},\n  \"speedup_vs_serial_unmemoized\": {:.2}\n}}\n",
+        rayon::current_num_threads(),
+        optimized.profiler().cached_profiles(),
+        json_path_entry("parallel_memoized", &parallel_memoized),
+        json_path_entry("serial_memoized", &serial_memoized),
+        json_path_entry("serial_unmemoized", &serial_unmemoized),
+        speedup,
+    );
+    // The bench runs with the package as CWD; the JSON belongs at the
+    // workspace root next to the other tracked reports.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_optimizer.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+    println!(
+        "paper grid case1: {grid_candidates} candidates; parallel+memoized {:.1} sched/s vs serial unmemoized {:.1} sched/s => {speedup:.1}x",
+        parallel_memoized.schedules_per_sec, serial_unmemoized.schedules_per_sec
+    );
+
+    // Also expose both paths as regular bench entries.
+    c.bench_function("optimize_case1_paper_grid_parallel_memoized", |b| {
+        b.iter(|| optimized.optimize(&options).unwrap())
+    });
+    c.bench_function("optimize_case1_paper_grid_serial_unmemoized", |b| {
+        b.iter(|| baseline.optimize_serial(&options).unwrap())
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_search
+    targets = bench_search, bench_paper_grid_speedup
 }
 criterion_main!(benches);

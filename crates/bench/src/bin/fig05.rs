@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         best.push((
             name,
-            frontier.max_qps_per_chip().unwrap().performance.qps_per_chip,
+            frontier
+                .max_qps_per_chip()
+                .unwrap()
+                .performance
+                .qps_per_chip,
         ));
         println!();
     }

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let best = frontier.max_qps_per_chip().unwrap();
 
             let profiler = StageProfiler::new(schema, cluster.clone());
-            let shares =
-                breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
+            let shares = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
             print_row(
                 &[
                     queries.to_string(),

@@ -39,10 +39,7 @@ fn main() {
         for scan in [0.0001f64, 0.001, 0.01] {
             let mut schema = presets::case1_hyperscale(llm, 1);
             schema.retrieval = schema.retrieval.map(|r| r.with_scan_fraction(scan));
-            cells.push(fmt_f(
-                retrieval_share(schema, default_cluster()) * 100.0,
-                1,
-            ));
+            cells.push(fmt_f(retrieval_share(schema, default_cluster()) * 100.0, 1));
         }
         print_row(&cells, 12);
     }
@@ -63,10 +60,7 @@ fn main() {
                 .sequence
                 .with_prefix_tokens(prefix)
                 .with_decode_tokens(decode);
-            cells.push(fmt_f(
-                retrieval_share(schema, default_cluster()) * 100.0,
-                1,
-            ));
+            cells.push(fmt_f(retrieval_share(schema, default_cluster()) * 100.0, 1));
         }
         print_row(&cells, 9);
     }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{}K", ctx / 1_000),
                 fmt_f(best.performance.qps_per_chip, 3),
                 fmt_f(best.performance.ttft_s, 2),
-                fmt_f(breakdown::share_of(&shares, Stage::DatabaseEncode) * 100.0, 1),
+                fmt_f(
+                    breakdown::share_of(&shares, Stage::DatabaseEncode) * 100.0,
+                    1,
+                ),
                 fmt_f(breakdown::share_of(&shares, Stage::Retrieval) * 100.0, 2),
                 fmt_f(breakdown::share_of(&shares, Stage::Prefix) * 100.0, 1),
                 fmt_f(breakdown::share_of(&shares, Stage::Decode) * 100.0, 1),
@@ -54,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n'no long context' reference (512-token prefix RAG): max QPS/chip = {}",
         fmt_f(
-            ref_best.max_qps_per_chip().unwrap().performance.qps_per_chip,
+            ref_best
+                .max_qps_per_chip()
+                .unwrap()
+                .performance
+                .qps_per_chip,
             3
         )
     );

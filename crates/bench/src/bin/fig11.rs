@@ -31,8 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print_row(
             &[
                 llm.to_string(),
-                fmt_f(breakdown::share_of(&shares, Stage::RewritePrefix) * 100.0, 1),
-                fmt_f(breakdown::share_of(&shares, Stage::RewriteDecode) * 100.0, 1),
+                fmt_f(
+                    breakdown::share_of(&shares, Stage::RewritePrefix) * 100.0,
+                    1,
+                ),
+                fmt_f(
+                    breakdown::share_of(&shares, Stage::RewriteDecode) * 100.0,
+                    1,
+                ),
                 fmt_f(breakdown::share_of(&shares, Stage::Retrieval) * 100.0, 1),
                 fmt_f(breakdown::share_of(&shares, Stage::Rerank) * 100.0, 1),
                 fmt_f(breakdown::share_of(&shares, Stage::Prefix) * 100.0, 1),

@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unwrap()
                 .performance
                 .qps_per_chip;
-        println!("RAGO max QPS/chip improvement: {speedup:.2}x (paper: 1.7x for C-II, 1.5x for C-IV)\n");
+        println!(
+            "RAGO max QPS/chip improvement: {speedup:.2}x (paper: 1.7x for C-II, 1.5x for C-IV)\n"
+        );
     }
     Ok(())
 }

@@ -47,11 +47,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             per_plan.len()
         );
         print_header(
-            &["placement", "group XPUs", "dec XPUs", "best QPS/chip", "TTFT@best (s)"],
+            &[
+                "placement",
+                "group XPUs",
+                "dec XPUs",
+                "best QPS/chip",
+                "TTFT@best (s)",
+            ],
             22,
         );
         for (placement, allocation, frontier) in per_plan.iter().take(10) {
-            let best = frontier.max_qps_per_chip().expect("non-empty plan frontier");
+            let best = frontier
+                .max_qps_per_chip()
+                .expect("non-empty plan frontier");
             print_row(
                 &[
                     placement.describe(),

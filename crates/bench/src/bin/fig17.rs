@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policies.push(("hybrid", hybrid));
         }
 
-        print_header(&["policy", "max QPS/chip", "TTFT@max (s)", "min TTFT (s)"], 16);
+        print_header(
+            &["policy", "max QPS/chip", "TTFT@max (s)", "min TTFT (s)"],
+            16,
+        );
         for (label, placements) in policies {
             let opts = base_options.clone().with_placements(placements);
             let frontier = rago.optimize(&opts)?;

@@ -69,7 +69,12 @@ fn main() {
         "Figure 19a: TTFT reduction (%) — Case I (70B), queries per retrieval",
         [1u32, 2, 4, 8]
             .into_iter()
-            .map(|q| (format!("{q} queries"), presets::case1_hyperscale(LlmSize::B70, q)))
+            .map(|q| {
+                (
+                    format!("{q} queries"),
+                    presets::case1_hyperscale(LlmSize::B70, q),
+                )
+            })
             .collect(),
         &bursts,
         &cluster,

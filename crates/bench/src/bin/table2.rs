@@ -7,17 +7,21 @@ use rago_hardware::{XpuGeneration, XpuSpec};
 
 fn main() {
     println!("Table 2: XPU performance specifications\n");
-    print_header(
-        &["spec", "XPU-A", "XPU-B", "XPU-C"],
-        16,
-    );
+    print_header(&["spec", "XPU-A", "XPU-B", "XPU-C"], 16);
     let specs: Vec<XpuSpec> = XpuGeneration::ALL
         .iter()
         .map(|g| XpuSpec::generation(*g))
         .collect();
-    let rows: Vec<(&str, Box<dyn Fn(&XpuSpec) -> String>)> = vec![
-        ("TFLOPS", Box::new(|s: &XpuSpec| format!("{:.0}", s.peak_tflops))),
-        ("HBM (GB)", Box::new(|s: &XpuSpec| format!("{:.0}", s.hbm_capacity_gib))),
+    type SpecColumn = Box<dyn Fn(&XpuSpec) -> String>;
+    let rows: Vec<(&str, SpecColumn)> = vec![
+        (
+            "TFLOPS",
+            Box::new(|s: &XpuSpec| format!("{:.0}", s.peak_tflops)),
+        ),
+        (
+            "HBM (GB)",
+            Box::new(|s: &XpuSpec| format!("{:.0}", s.hbm_capacity_gib)),
+        ),
         (
             "Mem BW (GB/s)",
             Box::new(|s: &XpuSpec| format!("{:.0}", s.hbm_bandwidth_gbps)),
@@ -29,7 +33,7 @@ fn main() {
     ];
     for (name, f) in rows {
         let cells: Vec<String> = std::iter::once(name.to_string())
-            .chain(specs.iter().map(|s| f(s)))
+            .chain(specs.iter().map(&f))
             .collect();
         print_row(&cells, 16);
     }

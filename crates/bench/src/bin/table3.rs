@@ -7,10 +7,7 @@ use rago_workloads::{case_study_sweeps, CaseStudy};
 
 fn main() {
     println!("Table 3: RAGSchema of the case-study workloads\n");
-    print_header(
-        &["component", "Case 1", "Case 2", "Case 3", "Case 4"],
-        22,
-    );
+    print_header(&["component", "Case 1", "Case 2", "Case 3", "Case 4"], 22);
     let defaults: Vec<_> = CaseStudy::ALL.iter().map(|c| c.default_schema()).collect();
 
     let row = |name: &str, f: &dyn Fn(&rago_schema::RagSchema) -> String| {
@@ -68,6 +65,9 @@ fn main() {
 
     println!("\nfull parameter sweeps per case:");
     for case in CaseStudy::ALL {
-        println!("  {case}: {} workload variants", case_study_sweeps(case).len());
+        println!(
+            "  {case}: {} workload variants",
+            case_study_sweeps(case).len()
+        );
     }
 }

@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontier = rago.optimize(&figure_search_options())?;
 
     let baseline = BaselineSystem::new(schema, cluster, 128);
-    let baseline_frontier = baseline.optimize(&[1, 2, 4, 8, 16, 32, 64, 128], &[128, 256, 512, 1024])?;
+    let baseline_frontier =
+        baseline.optimize(&[1, 2, 4, 8, 16, 32, 64, 128], &[128, 256, 512, 1024])?;
 
     println!("Table 4: RAGO vs baseline schedules in Case II (1M-token context, 70B)\n");
     print_header(
@@ -51,10 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     row_for("RAGO maxQPS", frontier.max_qps_per_chip().unwrap());
     row_for("RAGO minTTFT", frontier.min_ttft().unwrap());
-    row_for(
-        "base maxQPS",
-        baseline_frontier.max_qps_per_chip().unwrap(),
-    );
+    row_for("base maxQPS", baseline_frontier.max_qps_per_chip().unwrap());
     row_for("base minTTFT", baseline_frontier.min_ttft().unwrap());
 
     let speedup = frontier
@@ -67,9 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap()
             .performance
             .qps_per_chip;
+    println!("\nRAGO max-QPS/chip improvement over the baseline: {speedup:.2}x (paper: 1.7x)");
     println!(
-        "\nRAGO max-QPS/chip improvement over the baseline: {speedup:.2}x (paper: 1.7x)"
+        "RAGO placement for max QPS/chip: {}",
+        frontier
+            .max_qps_per_chip()
+            .unwrap()
+            .schedule
+            .placement
+            .describe()
     );
-    println!("RAGO placement for max QPS/chip: {}", frontier.max_qps_per_chip().unwrap().schedule.placement.describe());
     Ok(())
 }

@@ -37,9 +37,10 @@ pub fn figure_search_options() -> SearchOptions {
     }
 }
 
-/// Whether quick (coarse-grid) mode is enabled via `RAGO_BENCH_QUICK`.
+/// Whether quick (coarse-grid) mode is enabled via `RAGO_BENCH_QUICK`
+/// (set to anything except empty or `0`).
 pub fn quick_mode() -> bool {
-    std::env::var("RAGO_BENCH_QUICK").is_ok()
+    std::env::var("RAGO_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Prints a header row followed by a separator, with every column

@@ -127,7 +127,14 @@ mod tests {
         let baseline = BaselineSystem::new(schema, ClusterSpec::paper_default(), 32);
         let frontier = baseline.optimize(&[1, 8, 32], &[64, 256]).unwrap();
         assert!(!frontier.is_empty());
-        assert!(frontier.max_qps_per_chip().unwrap().performance.qps_per_chip > 0.0);
+        assert!(
+            frontier
+                .max_qps_per_chip()
+                .unwrap()
+                .performance
+                .qps_per_chip
+                > 0.0
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
             Stage::Retrieval,
         );
         assert!(eight > one, "retrieval share {eight} !> {one}");
-        assert!(one > 0.2, "retrieval share for 8B should be substantial: {one}");
+        assert!(
+            one > 0.2,
+            "retrieval share for 8B should be substantial: {one}"
+        );
     }
 
     #[test]

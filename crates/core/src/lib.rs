@@ -47,8 +47,8 @@ pub use baseline::BaselineSystem;
 pub use breakdown::{stage_breakdown, StageShare};
 pub use error::RagoError;
 pub use metrics::RagPerformance;
-pub use optimizer::{Rago, SearchOptions};
-pub use pareto::{ParetoFrontier, ParetoPoint};
+pub use optimizer::{Rago, ScheduleIter, SearchOptions};
+pub use pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};
 pub use placement::PlacementPlan;
 pub use profiler::{StagePerf, StageProfiler};
 pub use schedule::{BatchingPolicy, ResourceAllocation, Schedule};

@@ -35,8 +35,7 @@ impl RagPerformance {
     /// strictly better in one.
     pub fn dominates(&self, other: &RagPerformance) -> bool {
         let no_worse = self.ttft_s <= other.ttft_s && self.qps_per_chip >= other.qps_per_chip;
-        let strictly_better =
-            self.ttft_s < other.ttft_s || self.qps_per_chip > other.qps_per_chip;
+        let strictly_better = self.ttft_s < other.ttft_s || self.qps_per_chip > other.qps_per_chip;
         no_worse && strictly_better
     }
 }

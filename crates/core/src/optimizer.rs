@@ -1,14 +1,55 @@
 //! The RAGO optimizer: exhaustive search over placement × allocation ×
 //! batching (Algorithm 1).
+//!
+//! # Search space and complexity
+//!
+//! For a workload with `k` collocatable pre-decode stages the search visits
+//!
+//! ```text
+//! Σ_placements |xpu_steps|^groups(p)            (per-group allocations)
+//!   × |xpu_steps|                               (decode allocation)
+//!   × |server_steps|                            (retrieval allocation)
+//!   × |predecode_batch| × |decode_batch|        (batching policy)
+//!   × |iterative_batch|                         (iterative workloads only)
+//! ```
+//!
+//! candidates — `Σ_p |xpu_steps|^groups(p)` is `Σ_{g=1..k} C(k-1, g-1) ·
+//! |xpu_steps|^g` over the `2^(k-1)` contiguous-partition placements. At the
+//! paper's grid ([`SearchOptions::paper_default`]) this reaches millions of
+//! schedules for Case IV, so the implementation is built not to touch memory
+//! proportionally:
+//!
+//! * **Streaming** — [`Rago::schedule_iter`] yields candidates from an
+//!   odometer state machine ([`ScheduleIter`]); nothing is materialized.
+//!   [`Rago::enumerate_schedules`] survives as a `Vec`-collecting wrapper
+//!   for callers that want the list.
+//! * **Memoized** — candidate evaluation decomposes into per-stage profiles
+//!   keyed by `(stage, resources, batch)`; the grid being a cross product,
+//!   the same profile is shared by thousands of schedules, and
+//!   [`StageProfiler`] computes each exactly once behind an `RwLock` (see
+//!   the profiler module docs).
+//! * **Parallel** — [`Rago::optimize`] bridges the candidate stream across
+//!   rayon worker threads; each folds into a thread-local incremental
+//!   [`ParetoAccumulator`] (online dominance pruning), and the per-thread
+//!   frontiers merge at the end. Peak candidate storage is
+//!   O(frontier + threads), never O(grid).
+//!
+//! The parallel path is frontier-identical to the serial reference
+//! ([`Rago::optimize_serial`]): performance ties between schedules are
+//! broken by enumeration index, making the result independent of thread
+//! scheduling. This is covered by the `streaming_matches_serial_reference`
+//! tests in `tests/determinism.rs`.
 
 use crate::error::RagoError;
-use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};
 use crate::placement::PlacementPlan;
 use crate::profiler::StageProfiler;
 use crate::schedule::{BatchingPolicy, ResourceAllocation, Schedule};
 use rago_hardware::{power_of_two_steps, ClusterSpec, ResourceBudget};
 use rago_schema::RagSchema;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Granularity of the schedule search. The paper searches powers of two for
 /// accelerator counts and batch sizes; these options let callers trade search
@@ -74,6 +115,203 @@ impl Default for SearchOptions {
     }
 }
 
+/// Lazy enumeration of the candidate schedules implied by a search grid: an
+/// odometer over placement × per-group allocation × decode allocation ×
+/// server count × batching policy, yielding [`Schedule`]s on demand.
+///
+/// The iteration order matches the eager enumeration the optimizer
+/// historically produced (placement outermost; within a placement the first
+/// group's step advances fastest; the iterative batch innermost), so
+/// enumeration indices are stable and usable as deterministic tie-breaks.
+///
+/// A placement with **zero** pre-decode groups contributes the decode ×
+/// server × batching cross product exactly once (there is no group odometer
+/// to spin).
+///
+/// Allocations whose XPU total exceeds the budget are skipped without
+/// touching the inner batching axes. Individual steps that can never fit
+/// (zero, duplicate, or above budget) are dropped up front via
+/// [`ResourceBudget::admissible_xpu_steps`] /
+/// [`ResourceBudget::admissible_server_steps`], keeping the odometer as
+/// small as the budget allows.
+#[derive(Debug, Clone)]
+pub struct ScheduleIter {
+    placements: Vec<PlacementPlan>,
+    xpu_steps: Vec<u32>,
+    server_steps: Vec<u32>,
+    predecode_batches: Vec<u32>,
+    decode_batches: Vec<u32>,
+    iterative_batches: Vec<Option<u32>>,
+    max_total_xpus: u32,
+    // Odometer state.
+    placement_idx: usize,
+    group_alloc: Vec<usize>,
+    decode_idx: usize,
+    server_idx: usize,
+    predecode_idx: usize,
+    decode_batch_idx: usize,
+    iterative_idx: usize,
+    done: bool,
+}
+
+impl ScheduleIter {
+    fn new(
+        placements: Vec<PlacementPlan>,
+        xpu_steps: Vec<u32>,
+        server_steps: Vec<u32>,
+        predecode_batches: Vec<u32>,
+        decode_batches: Vec<u32>,
+        iterative_batches: Vec<Option<u32>>,
+        max_total_xpus: u32,
+    ) -> Self {
+        let done = placements.is_empty()
+            || xpu_steps.is_empty()
+            || server_steps.is_empty()
+            || predecode_batches.is_empty()
+            || decode_batches.is_empty()
+            || iterative_batches.is_empty();
+        let group_alloc = placements
+            .first()
+            .map(|p| vec![0usize; p.num_groups()])
+            .unwrap_or_default();
+        Self {
+            placements,
+            xpu_steps,
+            server_steps,
+            predecode_batches,
+            decode_batches,
+            iterative_batches,
+            max_total_xpus,
+            placement_idx: 0,
+            group_alloc,
+            decode_idx: 0,
+            server_idx: 0,
+            predecode_idx: 0,
+            decode_batch_idx: 0,
+            iterative_idx: 0,
+            done,
+        }
+    }
+
+    /// Total XPUs of the current (group allocation, decode) digit setting.
+    fn current_total_xpus(&self) -> u32 {
+        let groups: u32 = self.group_alloc.iter().map(|&i| self.xpu_steps[i]).sum();
+        groups + self.xpu_steps[self.decode_idx]
+    }
+
+    fn build_schedule(&self) -> Schedule {
+        let placement = self.placements[self.placement_idx].clone();
+        let group_xpus: Vec<u32> = self
+            .group_alloc
+            .iter()
+            .map(|&i| self.xpu_steps[i])
+            .collect();
+        let mut batching = BatchingPolicy::new(
+            self.predecode_batches[self.predecode_idx],
+            self.decode_batches[self.decode_batch_idx],
+        );
+        batching.iterative_batch = self.iterative_batches[self.iterative_idx];
+        Schedule {
+            placement,
+            allocation: ResourceAllocation {
+                group_xpus,
+                decode_xpus: self.xpu_steps[self.decode_idx],
+                retrieval_servers: self.server_steps[self.server_idx],
+            },
+            batching,
+        }
+    }
+
+    /// Advances the innermost digits (batching and server axes); cascades
+    /// into the allocation odometer when they wrap. Returns `false` when the
+    /// whole space is exhausted.
+    fn advance_inner(&mut self) -> bool {
+        self.iterative_idx += 1;
+        if self.iterative_idx < self.iterative_batches.len() {
+            return true;
+        }
+        self.iterative_idx = 0;
+        self.decode_batch_idx += 1;
+        if self.decode_batch_idx < self.decode_batches.len() {
+            return true;
+        }
+        self.decode_batch_idx = 0;
+        self.predecode_idx += 1;
+        if self.predecode_idx < self.predecode_batches.len() {
+            return true;
+        }
+        self.predecode_idx = 0;
+        self.server_idx += 1;
+        if self.server_idx < self.server_steps.len() {
+            return true;
+        }
+        self.server_idx = 0;
+        self.advance_decode()
+    }
+
+    /// Advances the decode-allocation digit (resetting everything inside
+    /// it); cascades into the group odometer when it wraps.
+    fn advance_decode(&mut self) -> bool {
+        self.server_idx = 0;
+        self.predecode_idx = 0;
+        self.decode_batch_idx = 0;
+        self.iterative_idx = 0;
+        self.decode_idx += 1;
+        if self.decode_idx < self.xpu_steps.len() {
+            return true;
+        }
+        self.decode_idx = 0;
+        self.advance_group()
+    }
+
+    /// Advances the per-group allocation odometer (first group fastest); a
+    /// zero-group placement has nothing to advance and moves straight to the
+    /// next placement.
+    fn advance_group(&mut self) -> bool {
+        let groups = self.group_alloc.len();
+        let mut pos = 0;
+        while pos < groups {
+            self.group_alloc[pos] += 1;
+            if self.group_alloc[pos] < self.xpu_steps.len() {
+                return true;
+            }
+            self.group_alloc[pos] = 0;
+            pos += 1;
+        }
+        self.advance_placement()
+    }
+
+    fn advance_placement(&mut self) -> bool {
+        self.placement_idx += 1;
+        if self.placement_idx < self.placements.len() {
+            self.group_alloc = vec![0usize; self.placements[self.placement_idx].num_groups()];
+            true
+        } else {
+            self.done = true;
+            false
+        }
+    }
+}
+
+impl Iterator for ScheduleIter {
+    type Item = Schedule;
+
+    fn next(&mut self) -> Option<Schedule> {
+        while !self.done {
+            if self.current_total_xpus() > self.max_total_xpus {
+                // The whole batching sub-space of this allocation is
+                // infeasible; skip it without spinning the inner digits.
+                self.advance_decode();
+                continue;
+            }
+            let schedule = self.build_schedule();
+            self.advance_inner();
+            return Some(schedule);
+        }
+        None
+    }
+}
+
 /// The RAGO optimizer (Figure 2): holds the workload, the cluster, and the
 /// per-stage profiler, and searches the scheduling space for the performance
 /// Pareto frontier.
@@ -100,6 +338,13 @@ impl Rago {
         self
     }
 
+    /// Enables or disables stage-profile memoization (enabled by default;
+    /// disabling exists to benchmark the unmemoized search).
+    pub fn with_memoization(mut self, enabled: bool) -> Self {
+        self.profiler = self.profiler.with_memoization(enabled);
+        self
+    }
+
     /// The per-stage profiler (useful for breakdowns and custom studies).
     pub fn profiler(&self) -> &StageProfiler {
         &self.profiler
@@ -115,166 +360,218 @@ impl Rago {
     /// # Errors
     ///
     /// Propagates [`Schedule::evaluate`] errors.
-    pub fn evaluate(&self, schedule: &Schedule) -> Result<crate::metrics::RagPerformance, RagoError> {
+    pub fn evaluate(
+        &self,
+        schedule: &Schedule,
+    ) -> Result<crate::metrics::RagPerformance, RagoError> {
         schedule.evaluate(&self.profiler)
     }
 
-    /// Enumerates the candidate schedules implied by `options` (Step 2 of
+    /// Streams the candidate schedules implied by `options` (Step 2 of
     /// Algorithm 1): every legal placement × allocation within the budget ×
-    /// batching policy.
-    pub fn enumerate_schedules(&self, options: &SearchOptions) -> Vec<Schedule> {
+    /// batching policy, yielded lazily in a stable enumeration order.
+    pub fn schedule_iter(&self, options: &SearchOptions) -> ScheduleIter {
         let schema = self.profiler.schema();
         let placements = options
             .placements
             .clone()
             .unwrap_or_else(|| PlacementPlan::enumerate(schema));
-        let server_steps = self.server_steps(options);
-        let iterative = schema.is_iterative();
+        let iterative_batches: Vec<Option<u32>> = if schema.is_iterative() {
+            options
+                .iterative_batch_steps
+                .iter()
+                .map(|&b| Some(b))
+                .collect()
+        } else {
+            vec![None]
+        };
+        ScheduleIter::new(
+            placements,
+            self.budget.admissible_xpu_steps(&options.xpu_steps),
+            self.budget
+                .admissible_server_steps(&self.server_steps(options)),
+            options.predecode_batch_steps.clone(),
+            options.decode_batch_steps.clone(),
+            iterative_batches,
+            self.budget.max_xpus,
+        )
+    }
 
-        let mut schedules = Vec::new();
-        for placement in &placements {
-            let groups = placement.num_groups();
-            let mut group_alloc = vec![0usize; groups];
-            // Odometer over group allocations.
-            loop {
-                let group_xpus: Vec<u32> = group_alloc
-                    .iter()
-                    .map(|&i| options.xpu_steps[i])
-                    .collect();
-                for &decode_xpus in &options.xpu_steps {
-                    let total: u32 = group_xpus.iter().sum::<u32>() + decode_xpus;
-                    if total > self.budget.max_xpus {
-                        continue;
-                    }
-                    for &servers in &server_steps {
-                        if servers > self.budget.max_cpu_servers {
-                            continue;
-                        }
-                        for &pre_batch in &options.predecode_batch_steps {
-                            for &dec_batch in &options.decode_batch_steps {
-                                let iter_batches: Vec<Option<u32>> = if iterative {
-                                    options
-                                        .iterative_batch_steps
-                                        .iter()
-                                        .map(|&b| Some(b))
-                                        .collect()
-                                } else {
-                                    vec![None]
-                                };
-                                for iter_batch in iter_batches {
-                                    let mut batching = BatchingPolicy::new(pre_batch, dec_batch);
-                                    batching.iterative_batch = iter_batch;
-                                    schedules.push(Schedule {
-                                        placement: placement.clone(),
-                                        allocation: ResourceAllocation {
-                                            group_xpus: group_xpus.clone(),
-                                            decode_xpus,
-                                            retrieval_servers: servers,
-                                        },
-                                        batching,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-                // Advance the odometer.
-                if groups == 0 {
-                    break;
-                }
-                let mut pos = 0;
-                loop {
-                    group_alloc[pos] += 1;
-                    if group_alloc[pos] < options.xpu_steps.len() {
-                        break;
-                    }
-                    group_alloc[pos] = 0;
-                    pos += 1;
-                    if pos == groups {
-                        break;
-                    }
-                }
-                if pos == groups {
-                    break;
-                }
-            }
-            if groups == 0 {
-                // Placement with no pre-decode groups (LLM-only decode-only
-                // pipelines never occur, but guard against infinite loops).
-                continue;
-            }
-        }
-        schedules
+    /// Collects the candidate stream of [`Rago::schedule_iter`] into a
+    /// `Vec`. Prefer the iterator for large grids — this materializes the
+    /// full cross product.
+    pub fn enumerate_schedules(&self, options: &SearchOptions) -> Vec<Schedule> {
+        self.schedule_iter(options).collect()
     }
 
     /// Evaluates every candidate schedule and returns all feasible points
-    /// (infeasible ones — e.g. out-of-memory allocations — are skipped).
+    /// (infeasible ones — e.g. out-of-memory allocations — are skipped), in
+    /// enumeration order.
     pub fn evaluate_all(&self, options: &SearchOptions) -> Vec<ParetoPoint> {
-        self.enumerate_schedules(options)
-            .into_iter()
-            .filter_map(|schedule| {
-                schedule
-                    .evaluate(&self.profiler)
-                    .ok()
-                    .map(|performance| ParetoPoint {
-                        schedule,
-                        performance,
-                    })
+        self.evaluated_points(options).map(|(_, p)| p).collect()
+    }
+
+    /// The streaming evaluation pipeline: candidates tagged with their
+    /// enumeration index, evaluated against the (memoized) profiler,
+    /// infeasible ones dropped.
+    fn evaluated_points<'a>(
+        &'a self,
+        options: &SearchOptions,
+    ) -> impl Iterator<Item = (usize, ParetoPoint)> + 'a {
+        self.schedule_iter(options)
+            .enumerate()
+            .filter_map(move |(index, schedule)| {
+                schedule.evaluate(&self.profiler).ok().map(|performance| {
+                    (
+                        index,
+                        ParetoPoint {
+                            schedule,
+                            performance,
+                        },
+                    )
+                })
             })
-            .collect()
     }
 
     /// Runs the full search (Algorithm 1) and returns the performance Pareto
     /// frontier over (TTFT, QPS/chip) with the schedules achieving it.
+    ///
+    /// Candidates are streamed across rayon worker threads, each folding
+    /// into an incremental [`ParetoAccumulator`]; the per-thread frontiers
+    /// merge at the end. The result is bit-identical to
+    /// [`Rago::optimize_serial`] — see the module docs.
     ///
     /// # Errors
     ///
     /// Returns [`RagoError::NoFeasibleSchedule`] when no candidate schedule is
     /// feasible within the budget.
     pub fn optimize(&self, options: &SearchOptions) -> Result<ParetoFrontier, RagoError> {
+        let accumulator = self
+            .schedule_iter(options)
+            .enumerate()
+            .par_bridge()
+            .fold(ParetoAccumulator::new, |mut acc, (index, schedule)| {
+                if let Ok(performance) = schedule.evaluate(&self.profiler) {
+                    acc.push(
+                        index,
+                        ParetoPoint {
+                            schedule,
+                            performance,
+                        },
+                    );
+                }
+                acc
+            })
+            .reduce(ParetoAccumulator::new, ParetoAccumulator::merge);
+        if accumulator.is_empty() {
+            return Err(self.no_feasible_schedule());
+        }
+        Ok(accumulator.into_frontier())
+    }
+
+    /// The serial reference implementation of [`Rago::optimize`]: evaluate
+    /// every candidate on the calling thread, then extract the frontier in
+    /// one batch. Kept as the ground truth the streaming/parallel path is
+    /// tested against (and benchmarked against; it materializes every
+    /// feasible point, so it is also the memory-hungry path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::NoFeasibleSchedule`] when no candidate schedule is
+    /// feasible within the budget.
+    pub fn optimize_serial(&self, options: &SearchOptions) -> Result<ParetoFrontier, RagoError> {
         let points = self.evaluate_all(options);
         if points.is_empty() {
-            return Err(RagoError::NoFeasibleSchedule {
-                reason: format!(
-                    "no feasible schedule for workload `{}` within {} XPUs / {} servers",
-                    self.profiler.schema().name,
-                    self.budget.max_xpus,
-                    self.budget.max_cpu_servers
-                ),
-            });
+            return Err(self.no_feasible_schedule());
         }
         Ok(ParetoFrontier::from_points(points))
+    }
+
+    fn no_feasible_schedule(&self) -> RagoError {
+        RagoError::NoFeasibleSchedule {
+            reason: format!(
+                "no feasible schedule for workload `{}` within {} XPUs / {} servers",
+                self.profiler.schema().name,
+                self.budget.max_xpus,
+                self.budget.max_cpu_servers
+            ),
+        }
     }
 
     /// Groups all evaluated points by (placement, allocation) and returns the
     /// per-plan Pareto frontiers (each point on a per-plan frontier is a
     /// batching policy), as plotted in Figures 16 and 18 of the paper.
+    ///
+    /// Uses the same streaming/parallel pipeline as [`Rago::optimize`], with
+    /// one incremental accumulator per plan: memory is proportional to the
+    /// number of plans and their frontiers, not to the grid.
     pub fn frontiers_by_plan(
         &self,
         options: &SearchOptions,
     ) -> Vec<(PlacementPlan, ResourceAllocation, ParetoFrontier)> {
-        use std::collections::HashMap;
-        let mut by_plan: HashMap<(PlacementPlan, ResourceAllocation), Vec<ParetoPoint>> =
-            HashMap::new();
-        for point in self.evaluate_all(options) {
-            by_plan
-                .entry((
-                    point.schedule.placement.clone(),
-                    point.schedule.allocation.clone(),
-                ))
-                .or_default()
-                .push(point);
-        }
+        type PlanKey = (PlacementPlan, ResourceAllocation);
+        let by_plan: HashMap<PlanKey, ParetoAccumulator> = self
+            .schedule_iter(options)
+            .enumerate()
+            .par_bridge()
+            .fold(
+                HashMap::new,
+                |mut map: HashMap<PlanKey, ParetoAccumulator>, (index, schedule)| {
+                    if let Ok(performance) = schedule.evaluate(&self.profiler) {
+                        map.entry((schedule.placement.clone(), schedule.allocation.clone()))
+                            .or_default()
+                            .push(
+                                index,
+                                ParetoPoint {
+                                    schedule,
+                                    performance,
+                                },
+                            );
+                    }
+                    map
+                },
+            )
+            .reduce(HashMap::new, |mut merged, map| {
+                for (key, acc) in map {
+                    match merged.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut existing) => {
+                            let prior = std::mem::take(existing.get_mut());
+                            *existing.get_mut() = prior.merge(acc);
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(acc);
+                        }
+                    }
+                }
+                merged
+            });
+
         let mut out: Vec<(PlacementPlan, ResourceAllocation, ParetoFrontier)> = by_plan
             .into_iter()
-            .map(|((placement, allocation), points)| {
-                (placement, allocation, ParetoFrontier::from_points(points))
-            })
+            .map(|((placement, allocation), acc)| (placement, allocation, acc.into_frontier()))
             .collect();
+        // Best QPS/chip first; exact ties fall back to the plan identity so
+        // the order never depends on hash-map iteration.
         out.sort_by(|a, b| {
-            let qa = a.2.max_qps_per_chip().map(|p| p.performance.qps_per_chip);
-            let qb = b.2.max_qps_per_chip().map(|p| p.performance.qps_per_chip);
-            qb.partial_cmp(&qa).unwrap_or(std::cmp::Ordering::Equal)
+            let qps = |f: &ParetoFrontier| {
+                f.max_qps_per_chip()
+                    .map(|p| p.performance.qps_per_chip)
+                    .unwrap_or(f64::NEG_INFINITY)
+            };
+            qps(&b.2).total_cmp(&qps(&a.2)).then_with(|| {
+                (
+                    a.0.describe(),
+                    &a.1.group_xpus,
+                    a.1.decode_xpus,
+                    a.1.retrieval_servers,
+                )
+                    .cmp(&(
+                        b.0.describe(),
+                        &b.1.group_xpus,
+                        b.1.decode_xpus,
+                        b.1.retrieval_servers,
+                    ))
+            })
         });
         out
     }
@@ -303,6 +600,7 @@ impl Rago {
 mod tests {
     use super::*;
     use rago_schema::presets::{self, LlmSize};
+    use rago_schema::Stage;
 
     fn tiny_options() -> SearchOptions {
         SearchOptions {
@@ -375,10 +673,8 @@ mod tests {
             placements: None,
         };
         let schedules = rago.enumerate_schedules(&opts);
-        let placements: std::collections::HashSet<String> = schedules
-            .iter()
-            .map(|s| s.placement.describe())
-            .collect();
+        let placements: std::collections::HashSet<String> =
+            schedules.iter().map(|s| s.placement.describe()).collect();
         assert_eq!(placements.len(), 8, "expected all 8 case-IV placements");
         let frontier = rago.optimize(&opts).unwrap();
         assert!(!frontier.is_empty());
@@ -413,5 +709,149 @@ mod tests {
         for schedule in rago.enumerate_schedules(&opts) {
             assert_eq!(schedule.placement, collocated);
         }
+    }
+
+    #[test]
+    fn schedule_iter_is_lazy_and_matches_enumerate() {
+        let rago = Rago::new(
+            presets::case4_rewriter_reranker(LlmSize::B8),
+            ClusterSpec::paper_default(),
+        );
+        let opts = tiny_options();
+        let eager = rago.enumerate_schedules(&opts);
+        let streamed: Vec<Schedule> = rago.schedule_iter(&opts).collect();
+        assert_eq!(eager, streamed);
+        // Pulling a prefix does not require enumerating the rest.
+        let first_three: Vec<Schedule> = rago.schedule_iter(&opts).take(3).collect();
+        assert_eq!(&eager[..3], &first_three[..]);
+    }
+
+    #[test]
+    fn zero_group_placement_yields_cross_product_exactly_once() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let empty_placement = PlacementPlan {
+            predecode_groups: Vec::new(),
+        };
+        let opts = SearchOptions {
+            xpu_steps: vec![8, 32],
+            server_steps: vec![16, 32],
+            predecode_batch_steps: vec![1, 16],
+            decode_batch_steps: vec![128, 256],
+            iterative_batch_steps: vec![8],
+            placements: Some(vec![empty_placement.clone()]),
+        };
+        let schedules = rago.enumerate_schedules(&opts);
+        // decode(2) × servers(2) × pre-batch(2) × decode-batch(2) = 16, once.
+        assert_eq!(schedules.len(), 16);
+        for s in &schedules {
+            assert_eq!(s.placement, empty_placement);
+            assert!(s.allocation.group_xpus.is_empty());
+        }
+        let distinct: std::collections::HashSet<String> =
+            schedules.iter().map(Schedule::describe).collect();
+        assert_eq!(distinct.len(), 16, "no duplicate candidates");
+    }
+
+    #[test]
+    fn budget_prunes_steps_before_enumeration() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        )
+        .with_budget(ResourceBudget::new(16, 32));
+        let opts = SearchOptions {
+            // 64 and the duplicate 8 can never appear: the iterator's axes
+            // are budget-filtered up front.
+            xpu_steps: vec![8, 8, 64, 4],
+            ..tiny_options()
+        };
+        let schedules = rago.enumerate_schedules(&opts);
+        assert!(!schedules.is_empty());
+        for s in &schedules {
+            assert!(s.allocation.total_xpus() <= 16);
+            assert!(s.allocation.group_xpus.iter().all(|&x| x == 8 || x == 4));
+        }
+    }
+
+    #[test]
+    fn iterative_axis_only_spins_for_iterative_workloads() {
+        let cluster = ClusterSpec::paper_default();
+        let single = Rago::new(presets::case1_hyperscale(LlmSize::B8, 1), cluster.clone());
+        let iterative = Rago::new(presets::case3_iterative(LlmSize::B8, 4), cluster);
+        let opts = SearchOptions {
+            iterative_batch_steps: vec![4, 8, 16],
+            ..tiny_options()
+        };
+        let n_single = single.enumerate_schedules(&opts).len();
+        let n_iter = iterative.enumerate_schedules(&opts).len();
+        assert_eq!(n_iter, n_single * 3);
+        assert!(single
+            .schedule_iter(&opts)
+            .all(|s| s.batching.iterative_batch.is_none()));
+        assert!(iterative
+            .schedule_iter(&opts)
+            .all(|s| s.batching.iterative_batch.is_some()));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_case1() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let parallel = rago.optimize(&tiny_options()).unwrap();
+        let serial = rago.optimize_serial(&tiny_options()).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn memoization_shares_profiles_across_candidates() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let opts = SearchOptions::fast();
+        let frontier = rago.optimize(&opts).unwrap();
+        let profiles = rago.profiler().cached_profiles();
+        assert!(
+            profiles * 2 < frontier.evaluated_schedules,
+            "expected profile reuse: {} profiles for {} schedules",
+            profiles,
+            frontier.evaluated_schedules
+        );
+        // Case 1 has three profiled stages (retrieval, prefix, decode); the
+        // distinct profile count is bounded by the per-stage grids.
+        let bound = 3
+            * (opts.xpu_steps.len() + 8)
+            * (opts.predecode_batch_steps.len()
+                + opts.decode_batch_steps.len()
+                + opts.iterative_batch_steps.len());
+        assert!(profiles <= bound, "{profiles} > {bound}");
+    }
+
+    #[test]
+    fn zero_collocatable_stage_guard_terminates() {
+        // A schema whose placement list contains only zero-group plans must
+        // terminate and still cover decode-only schedules (regression guard
+        // for the old odometer, which special-cased `groups == 0` after the
+        // fact).
+        let rago = Rago::new(presets::llm_only(LlmSize::B8), ClusterSpec::paper_default());
+        let opts = SearchOptions {
+            placements: Some(vec![PlacementPlan {
+                predecode_groups: Vec::new(),
+            }]),
+            ..tiny_options()
+        };
+        let schedules = rago.enumerate_schedules(&opts);
+        assert!(!schedules.is_empty());
+        assert!(schedules.iter().all(|s| s.placement.num_groups() == 0));
+        // And the normal pipeline still carries the prefix stage.
+        let normal = rago.enumerate_schedules(&tiny_options());
+        assert!(normal
+            .iter()
+            .all(|s| s.placement.group_of(Stage::Prefix).is_some()));
     }
 }

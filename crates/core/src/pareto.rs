@@ -1,4 +1,21 @@
 //! Pareto-frontier extraction over (TTFT, QPS/chip).
+//!
+//! Two construction paths produce identical frontiers:
+//!
+//! * [`ParetoFrontier::from_points`] — the batch path: sort every evaluated
+//!   point, then sweep. Simple, but requires holding all points in memory.
+//! * [`ParetoAccumulator`] — the streaming path: points are folded in one at
+//!   a time with online dominance pruning, so memory stays proportional to
+//!   the frontier itself. Accumulators merge associatively, which is what
+//!   lets the optimizer fold per-thread frontiers and combine them at the
+//!   end.
+//!
+//! Ties (two schedules with bit-identical TTFT *and* QPS/chip) are broken by
+//! the candidate's enumeration index — the earliest-enumerated schedule
+//! wins. This mirrors the batch path, where the stable sort keeps the first
+//! occurrence, and is what makes the parallel search deterministic: the
+//! result depends only on the *set* of evaluated points, not on thread
+//! interleaving.
 
 use crate::metrics::RagPerformance;
 use crate::schedule::Schedule;
@@ -31,10 +48,11 @@ impl ParetoFrontier {
         // Sort by TTFT ascending, then QPS/chip descending so a single sweep
         // keeps exactly the non-dominated points.
         candidates.sort_by(|a, b| {
-            a.performance
-                .ttft_s
-                .total_cmp(&b.performance.ttft_s)
-                .then(b.performance.qps_per_chip.total_cmp(&a.performance.qps_per_chip))
+            a.performance.ttft_s.total_cmp(&b.performance.ttft_s).then(
+                b.performance
+                    .qps_per_chip
+                    .total_cmp(&a.performance.qps_per_chip),
+            )
         });
         let mut points: Vec<ParetoPoint> = Vec::new();
         let mut best_qps = f64::NEG_INFINITY;
@@ -76,6 +94,124 @@ impl ParetoFrontier {
     }
 }
 
+/// Streaming Pareto-frontier builder with online dominance pruning.
+///
+/// Feed evaluated points in with [`ParetoAccumulator::push`]; only the
+/// current non-dominated set is retained (a dominated point is dropped on
+/// arrival, and an arriving point evicts every point it dominates).
+/// Accumulators built on different threads over disjoint slices of the
+/// candidate stream [`merge`](ParetoAccumulator::merge) into the same
+/// frontier [`ParetoFrontier::from_points`] would produce over the union —
+/// including `evaluated_schedules` — regardless of how the stream was split.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoAccumulator {
+    /// Non-dominated `(enumeration index, point)` entries, sorted by
+    /// strictly increasing TTFT and (equivalently) strictly increasing
+    /// QPS/chip.
+    entries: Vec<(usize, ParetoPoint)>,
+    /// Number of points pushed (the `evaluated_schedules` of the result).
+    evaluated: usize,
+}
+
+impl ParetoAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of non-dominated points currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no point has survived pruning (true before any push).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of points pushed so far (across merges).
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    /// Folds one evaluated candidate into the frontier. `index` is the
+    /// candidate's position in the enumeration stream; it only matters for
+    /// breaking exact performance ties deterministically.
+    pub fn push(&mut self, index: usize, point: ParetoPoint) {
+        self.evaluated += 1;
+        self.insert(index, point);
+    }
+
+    /// Merges two accumulators (associative and — thanks to the index
+    /// tie-break — order-insensitive).
+    pub fn merge(mut self, other: Self) -> Self {
+        self.evaluated += other.evaluated;
+        for (index, point) in other.entries {
+            self.insert(index, point);
+        }
+        self
+    }
+
+    /// Finalizes into a [`ParetoFrontier`].
+    pub fn into_frontier(self) -> ParetoFrontier {
+        ParetoFrontier {
+            points: self.entries.into_iter().map(|(_, p)| p).collect(),
+            evaluated_schedules: self.evaluated,
+        }
+    }
+
+    fn insert(&mut self, index: usize, point: ParetoPoint) {
+        use std::cmp::Ordering;
+
+        let ttft = point.performance.ttft_s;
+        let qps = point.performance.qps_per_chip;
+        // First entry whose TTFT is not below the candidate's.
+        let pos = self
+            .entries
+            .partition_point(|(_, e)| e.performance.ttft_s.total_cmp(&ttft) == Ordering::Less);
+
+        // A strictly-faster predecessor with at-least-equal QPS/chip
+        // dominates the candidate.
+        if pos > 0
+            && self.entries[pos - 1]
+                .1
+                .performance
+                .qps_per_chip
+                .total_cmp(&qps)
+                != Ordering::Less
+        {
+            return;
+        }
+
+        // An entry with exactly the candidate's TTFT: resolve by QPS/chip,
+        // then by enumeration index.
+        if let Some((existing_index, existing)) = self.entries.get_mut(pos) {
+            if existing.performance.ttft_s.total_cmp(&ttft) == Ordering::Equal {
+                match existing.performance.qps_per_chip.total_cmp(&qps) {
+                    Ordering::Greater => return,
+                    Ordering::Equal => {
+                        if index < *existing_index {
+                            *existing_index = index;
+                            *existing = point;
+                        }
+                        return;
+                    }
+                    Ordering::Less => {}
+                }
+            }
+        }
+
+        // The candidate survives: evict the contiguous run of now-dominated
+        // entries (TTFT at or above the candidate's, QPS/chip at or below).
+        let end = pos
+            + self.entries[pos..].partition_point(|(_, e)| {
+                e.performance.qps_per_chip.total_cmp(&qps) != Ordering::Greater
+            });
+        self.entries
+            .splice(pos..end, std::iter::once((index, point)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,7 +244,14 @@ mod tests {
         assert_eq!(frontier.evaluated_schedules, 5);
         assert!((frontier.min_ttft().unwrap().performance.ttft_s - 0.1).abs() < 1e-12);
         assert!(
-            (frontier.max_qps_per_chip().unwrap().performance.qps_per_chip - 3.0).abs() < 1e-12
+            (frontier
+                .max_qps_per_chip()
+                .unwrap()
+                .performance
+                .qps_per_chip
+                - 3.0)
+                .abs()
+                < 1e-12
         );
         // Sorted by increasing TTFT and increasing QPS/chip.
         for w in frontier.points.windows(2) {
@@ -130,5 +273,86 @@ mod tests {
         assert!(frontier.min_ttft().is_none());
         assert!(frontier.max_qps_per_chip().is_none());
         assert_eq!(frontier.iter().count(), 0);
+    }
+
+    fn accumulate(points: &[ParetoPoint]) -> ParetoFrontier {
+        let mut acc = ParetoAccumulator::new();
+        for (i, p) in points.iter().enumerate() {
+            acc.push(i, p.clone());
+        }
+        acc.into_frontier()
+    }
+
+    #[test]
+    fn accumulator_matches_batch_extraction() {
+        let points = vec![
+            point(0.1, 1.0),
+            point(0.2, 2.0),
+            point(0.15, 0.5),
+            point(0.3, 1.5),
+            point(0.4, 3.0),
+            point(0.1, 1.0), // exact duplicate
+            point(0.4, 3.0),
+        ];
+        let batch = ParetoFrontier::from_points(points.clone());
+        let streamed = accumulate(&points);
+        assert_eq!(batch, streamed);
+        assert_eq!(streamed.evaluated_schedules, points.len());
+    }
+
+    #[test]
+    fn accumulator_merge_is_split_invariant() {
+        let points: Vec<ParetoPoint> = (0..40)
+            .map(|i| {
+                point(
+                    0.05 * f64::from((i * 7) % 13),
+                    0.3 * f64::from((i * 11) % 17),
+                )
+            })
+            .collect();
+        let whole = accumulate(&points);
+        for split in [1usize, 7, 20, 39] {
+            let mut left = ParetoAccumulator::new();
+            let mut right = ParetoAccumulator::new();
+            for (i, p) in points.iter().enumerate() {
+                if i < split {
+                    left.push(i, p.clone());
+                } else {
+                    right.push(i, p.clone());
+                }
+            }
+            // Merge in both orders: the index tie-break makes the result
+            // independent of which thread's accumulator comes first.
+            let ab = left.clone().merge(right.clone()).into_frontier();
+            let ba = right.merge(left).into_frontier();
+            assert_eq!(whole, ab, "split at {split}");
+            assert_eq!(whole, ba, "split at {split} (reversed)");
+        }
+    }
+
+    #[test]
+    fn accumulator_prunes_dominated_points_online() {
+        let mut acc = ParetoAccumulator::new();
+        acc.push(0, point(0.2, 1.0));
+        acc.push(1, point(0.3, 0.5)); // dominated on arrival
+        assert_eq!(acc.len(), 1);
+        acc.push(2, point(0.1, 2.0)); // dominates the survivor
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc.evaluated(), 3);
+        let frontier = acc.into_frontier();
+        assert_eq!(frontier.len(), 1);
+        assert!((frontier.points[0].performance.qps_per_chip - 2.0).abs() < 1e-12);
+        assert_eq!(frontier.evaluated_schedules, 3);
+    }
+
+    #[test]
+    fn accumulator_tie_break_keeps_earliest_index() {
+        let mut late_first = ParetoAccumulator::new();
+        late_first.push(5, point(0.1, 1.0));
+        late_first.push(2, point(0.1, 1.0));
+        let mut early_first = ParetoAccumulator::new();
+        early_first.push(2, point(0.1, 1.0));
+        early_first.push(5, point(0.1, 1.0));
+        assert_eq!(late_first.into_frontier(), early_first.into_frontier());
     }
 }

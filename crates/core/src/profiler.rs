@@ -6,6 +6,17 @@
 //! count and batch size. The optimizer calls this for every (stage, resource,
 //! batch) combination in its search grid and assembles end-to-end schedules
 //! from the results.
+//!
+//! # Memoization
+//!
+//! Stage profiles are pure functions of `(stage, resource count, batch
+//! size)` — for XPU stages the resource count is the group's chip count, for
+//! retrieval it is the CPU-server count. The search grid is a cross product,
+//! so millions of candidate schedules share a few thousand distinct stage
+//! profiles; the profiler memoizes them behind an [`std::sync::RwLock`] so
+//! concurrent search threads share one cache (reads in parallel, a write
+//! only on first computation). [`StageProfiler::with_memoization`] disables
+//! the cache, which exists solely to benchmark the unmemoized search.
 
 use crate::error::RagoError;
 use rago_accel_sim::{AcceleratorGroup, InferenceSimulator};
@@ -14,6 +25,7 @@ use rago_retrieval_sim::RetrievalSimulator;
 use rago_schema::{RagSchema, Stage};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// The profiled performance of one stage under a specific resource count and
 /// batch size.
@@ -35,14 +47,37 @@ pub struct StagePerf {
     pub step_latency_s: Option<f64>,
 }
 
+/// Memoization key: `(stage, resource count, batch size)` — the full input
+/// domain of a stage profile.
+type ProfileKey = (Stage, u32, u32);
+/// The shared profile cache (outcomes are memoized whether feasible or not).
+type ProfileCache = RwLock<HashMap<ProfileKey, Result<StagePerf, RagoError>>>;
+
 /// Profiles individual RAG stages using the analytical cost models.
-#[derive(Debug, Clone)]
+///
+/// The profiler is `Sync`: its memoization cache sits behind an `RwLock`, so
+/// one profiler can serve every thread of the parallel schedule search.
+#[derive(Debug)]
 pub struct StageProfiler {
     schema: RagSchema,
     cluster: ClusterSpec,
     inference: InferenceSimulator,
     retrieval: RetrievalSimulator,
-    cache: std::cell::RefCell<HashMap<(Stage, u32, u32), StagePerf>>,
+    cache: ProfileCache,
+    memoize: bool,
+}
+
+impl Clone for StageProfiler {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            cluster: self.cluster.clone(),
+            inference: self.inference,
+            retrieval: self.retrieval.clone(),
+            cache: RwLock::new(self.cache.read().expect("profiler cache poisoned").clone()),
+            memoize: self.memoize,
+        }
+    }
 }
 
 impl StageProfiler {
@@ -54,8 +89,26 @@ impl StageProfiler {
             cluster,
             inference: InferenceSimulator::new(),
             retrieval,
-            cache: std::cell::RefCell::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
+            memoize: true,
         }
+    }
+
+    /// Enables or disables profile memoization (enabled by default).
+    /// Disabling exists to measure the unmemoized search; there is no reason
+    /// to turn the cache off in production use.
+    pub fn with_memoization(mut self, enabled: bool) -> Self {
+        self.memoize = enabled;
+        self
+    }
+
+    /// Number of distinct `(stage, resources, batch)` points evaluated
+    /// against the cost models so far — infeasible outcomes are memoized
+    /// alongside feasible ones, so repeat rejections are also free. Compare
+    /// against the number of schedules evaluated to see the memoization
+    /// leverage.
+    pub fn cached_profiles(&self) -> usize {
+        self.cache.read().expect("profiler cache poisoned").len()
     }
 
     /// The workload being profiled.
@@ -87,15 +140,29 @@ impl StageProfiler {
     /// workload, and [`RagoError::CostModel`] when the underlying cost model
     /// rejects the configuration (for example, the model does not fit in the
     /// group's memory).
-    pub fn profile(&self, stage: Stage, resources: u32, batch: u32) -> Result<StagePerf, RagoError> {
-        if let Some(hit) = self.cache.borrow().get(&(stage, resources, batch)) {
-            return Ok(*hit);
+    pub fn profile(
+        &self,
+        stage: Stage,
+        resources: u32,
+        batch: u32,
+    ) -> Result<StagePerf, RagoError> {
+        if !self.memoize {
+            return self.profile_uncached(stage, resources, batch);
         }
-        let perf = self.profile_uncached(stage, resources, batch)?;
+        if let Some(hit) = self
+            .cache
+            .read()
+            .expect("profiler cache poisoned")
+            .get(&(stage, resources, batch))
+        {
+            return hit.clone();
+        }
+        let result = self.profile_uncached(stage, resources, batch);
         self.cache
-            .borrow_mut()
-            .insert((stage, resources, batch), perf);
-        Ok(perf)
+            .write()
+            .expect("profiler cache poisoned")
+            .insert((stage, resources, batch), result.clone());
+        result
     }
 
     fn profile_uncached(
@@ -106,7 +173,10 @@ impl StageProfiler {
     ) -> Result<StagePerf, RagoError> {
         if !self.schema.pipeline().contains(&stage) {
             return Err(RagoError::InvalidConfig {
-                reason: format!("stage `{stage}` is not part of workload `{}`", self.schema.name),
+                reason: format!(
+                    "stage `{stage}` is not part of workload `{}`",
+                    self.schema.name
+                ),
             });
         }
         if resources == 0 || batch == 0 {
@@ -128,10 +198,20 @@ impl StageProfiler {
 
         let perf = match stage {
             Stage::DatabaseEncode => {
-                let model = self.schema.document_encoder.as_ref().expect("stage present");
+                let model = self
+                    .schema
+                    .document_encoder
+                    .as_ref()
+                    .expect("stage present");
                 let cost = self
                     .inference
-                    .encoder_cost(model, seq.encoder_tokens(), seq.chunk_tokens.max(1), batch, &group)
+                    .encoder_cost(
+                        model,
+                        seq.encoder_tokens(),
+                        seq.chunk_tokens.max(1),
+                        batch,
+                        &group,
+                    )
                     .map_err(map_accel)?;
                 StagePerf {
                     stage,
@@ -198,8 +278,8 @@ impl StageProfiler {
             }
             Stage::Rerank => {
                 let model = self.schema.reranker.as_ref().expect("stage present");
-                let candidate_tokens =
-                    u64::from(self.schema.rerank_candidates.max(1)) * u64::from(seq.chunk_tokens + seq.question_tokens);
+                let candidate_tokens = u64::from(self.schema.rerank_candidates.max(1))
+                    * u64::from(seq.chunk_tokens + seq.question_tokens);
                 let cost = self
                     .inference
                     .encoder_cost(
@@ -396,6 +476,8 @@ mod tests {
         assert!(grid
             .iter()
             .any(|s| s.stage == Stage::Retrieval && s.resources == 32));
-        assert!(!grid.iter().any(|s| s.stage == Stage::Retrieval && s.resources == 4));
+        assert!(!grid
+            .iter()
+            .any(|s| s.stage == Stage::Retrieval && s.resources == 4));
     }
 }

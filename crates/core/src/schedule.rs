@@ -89,7 +89,7 @@ impl Schedule {
                 ),
             });
         }
-        if self.allocation.group_xpus.iter().any(|&x| x == 0) {
+        if self.allocation.group_xpus.contains(&0) {
             return Err(RagoError::InvalidConfig {
                 reason: "every accelerator group needs at least one XPU".into(),
             });
@@ -152,11 +152,8 @@ impl Schedule {
         // Retrieval (CPU servers).
         let mut retrieval_latency_at_iter_batch = 0.0;
         if schema.has_retrieval() {
-            let perf = profiler.profile(
-                Stage::Retrieval,
-                self.allocation.retrieval_servers,
-                batch,
-            )?;
+            let perf =
+                profiler.profile(Stage::Retrieval, self.allocation.retrieval_servers, batch)?;
             ttft += perf.latency_s;
             throughputs.push(perf.throughput_rps);
             if schema.is_iterative() {
@@ -182,7 +179,10 @@ impl Schedule {
         // Iterative retrieval (Case III): decoding stalls while batched
         // retrieval + prefix passes complete; simulate the resulting slowdown.
         if schema.is_iterative() {
-            let retrieval_cfg = schema.retrieval.as_ref().expect("iterative implies retrieval");
+            let retrieval_cfg = schema
+                .retrieval
+                .as_ref()
+                .expect("iterative implies retrieval");
             let iter_batch = self.batching.iterative_batch.unwrap_or(batch).max(1);
             // The re-prefix of newly retrieved content runs on the last
             // pre-decode group (the one containing the main prefix).
@@ -304,7 +304,11 @@ mod tests {
     fn case1_schedule_evaluates_to_sensible_metrics() {
         let profiler = case1_profiler();
         let perf = case1_schedule().evaluate(&profiler).unwrap();
-        assert!(perf.ttft_s > 0.0 && perf.ttft_s < 1.0, "ttft {}", perf.ttft_s);
+        assert!(
+            perf.ttft_s > 0.0 && perf.ttft_s < 1.0,
+            "ttft {}",
+            perf.ttft_s
+        );
         assert!(perf.tpot_s > 0.0 && perf.tpot_s < 0.2);
         assert!(perf.qps > 0.0);
         assert_eq!(perf.total_xpus, 16);
@@ -339,10 +343,7 @@ mod tests {
     fn validation_catches_mismatched_allocations() {
         let mut s = case1_schedule();
         s.allocation.group_xpus = vec![8, 8];
-        assert!(matches!(
-            s.validate(),
-            Err(RagoError::InvalidConfig { .. })
-        ));
+        assert!(matches!(s.validate(), Err(RagoError::InvalidConfig { .. })));
         let mut s = case1_schedule();
         s.allocation.decode_xpus = 0;
         assert!(s.validate().is_err());
@@ -355,14 +356,8 @@ mod tests {
     #[test]
     fn iterative_workload_has_higher_tpot_than_single_retrieval() {
         let cluster = ClusterSpec::paper_default();
-        let single = StageProfiler::new(
-            presets::case1_hyperscale(LlmSize::B8, 1),
-            cluster.clone(),
-        );
-        let iterative = StageProfiler::new(
-            presets::case3_iterative(LlmSize::B8, 4),
-            cluster,
-        );
+        let single = StageProfiler::new(presets::case1_hyperscale(LlmSize::B8, 1), cluster.clone());
+        let iterative = StageProfiler::new(presets::case3_iterative(LlmSize::B8, 4), cluster);
         let schedule = Schedule {
             batching: BatchingPolicy::new(8, 64).with_iterative_batch(16),
             ..case1_schedule()

@@ -1,0 +1,77 @@
+//! The streaming, parallel, memoized search must be *frontier-identical* to
+//! the serial batch reference: same points (schedules included), same order,
+//! same `evaluated_schedules` count — independent of thread interleaving.
+
+use rago_core::{Rago, SearchOptions};
+use rago_hardware::ClusterSpec;
+use rago_schema::presets::{self, LlmSize};
+
+fn assert_parallel_matches_serial(rago: &Rago, options: &SearchOptions, label: &str) {
+    let serial = rago
+        .optimize_serial(options)
+        .unwrap_or_else(|e| panic!("{label}: serial search failed: {e}"));
+    // Run the parallel path several times: a race in the fold/merge would
+    // show up as run-to-run variation.
+    for run in 0..3 {
+        let parallel = rago
+            .optimize(options)
+            .unwrap_or_else(|e| panic!("{label}: parallel search failed: {e}"));
+        assert_eq!(
+            parallel.evaluated_schedules, serial.evaluated_schedules,
+            "{label} run {run}: evaluated_schedules diverged"
+        );
+        assert_eq!(
+            parallel, serial,
+            "{label} run {run}: frontier diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn streaming_matches_serial_reference_case1() {
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    assert_parallel_matches_serial(&rago, &SearchOptions::fast(), "case1/fast");
+}
+
+#[test]
+fn streaming_matches_serial_reference_case4() {
+    // Case IV exercises multiple placements and multi-group allocations.
+    let rago = Rago::new(
+        presets::case4_rewriter_reranker(LlmSize::B8),
+        ClusterSpec::paper_default(),
+    );
+    assert_parallel_matches_serial(&rago, &SearchOptions::fast(), "case4/fast");
+}
+
+#[test]
+fn streaming_matches_serial_reference_case3_iterative() {
+    // Iterative workloads spin the extra batching axis and the decode-stall
+    // simulator.
+    let rago = Rago::new(
+        presets::case3_iterative(LlmSize::B8, 4),
+        ClusterSpec::paper_default(),
+    );
+    assert_parallel_matches_serial(&rago, &SearchOptions::fast(), "case3/fast");
+}
+
+#[test]
+fn memoization_does_not_change_the_frontier() {
+    let options = SearchOptions::fast();
+    let memoized = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    let unmemoized = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    )
+    .with_memoization(false);
+    assert_eq!(
+        memoized.optimize(&options).unwrap(),
+        unmemoized.optimize_serial(&options).unwrap(),
+    );
+    assert_eq!(unmemoized.profiler().cached_profiles(), 0);
+}

@@ -1,0 +1,94 @@
+//! Property test: the incremental frontier fold ([`ParetoAccumulator`])
+//! equals the batch extraction ([`ParetoFrontier::from_points`]) on random
+//! point sets — including exact performance ties — for any split of the
+//! stream across accumulators and any merge order.
+
+use proptest::prelude::*;
+use rago_core::{ParetoAccumulator, ParetoFrontier, ParetoPoint, RagPerformance, Schedule};
+
+fn point(ttft_grid: u32, qps_grid: u32) -> ParetoPoint {
+    // A coarse grid makes exact ties common, which is precisely the case the
+    // index tie-break must get right. Values stay NaN-free and finite.
+    let ttft_s = 0.01 * f64::from(ttft_grid);
+    let qps_per_chip = 0.5 * f64::from(qps_grid);
+    ParetoPoint {
+        schedule: Schedule::test_dummy(),
+        performance: RagPerformance {
+            ttft_s,
+            tpot_s: 0.01,
+            qps: qps_per_chip * 64.0,
+            qps_per_chip,
+            total_xpus: 64,
+            retrieval_servers: 16,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_fold_equals_batch_extraction(
+        grid in prop::collection::vec((0u32..12, 0u32..12), 0..120),
+        split_at in 0usize..120,
+        merge_reversed in any::<bool>(),
+    ) {
+        let points: Vec<ParetoPoint> =
+            grid.iter().map(|&(t, q)| point(t, q)).collect();
+        let batch = ParetoFrontier::from_points(points.clone());
+
+        // Single accumulator, stream order.
+        let mut whole = ParetoAccumulator::new();
+        for (i, p) in points.iter().enumerate() {
+            whole.push(i, p.clone());
+        }
+        let whole = whole.into_frontier();
+        prop_assert_eq!(&whole, &batch);
+        prop_assert_eq!(whole.evaluated_schedules, points.len());
+
+        // Two accumulators over an arbitrary split of the same stream,
+        // merged in either order — models the per-thread fold + reduce.
+        let split = split_at.min(points.len());
+        let mut left = ParetoAccumulator::new();
+        let mut right = ParetoAccumulator::new();
+        for (i, p) in points.iter().enumerate() {
+            if i < split {
+                left.push(i, p.clone());
+            } else {
+                right.push(i, p.clone());
+            }
+        }
+        let merged = if merge_reversed {
+            right.merge(left)
+        } else {
+            left.merge(right)
+        };
+        prop_assert_eq!(merged.into_frontier(), batch);
+    }
+
+    #[test]
+    fn frontier_points_are_strictly_improving(
+        grid in prop::collection::vec((0u32..40, 0u32..40), 1..150),
+    ) {
+        let points: Vec<ParetoPoint> =
+            grid.iter().map(|&(t, q)| point(t, q)).collect();
+        let mut acc = ParetoAccumulator::new();
+        for (i, p) in points.iter().enumerate() {
+            acc.push(i, p.clone());
+        }
+        let frontier = acc.into_frontier();
+        prop_assert!(!frontier.is_empty());
+        for w in frontier.points.windows(2) {
+            // Strictly increasing in both objectives: any tie would mean one
+            // point dominates (or duplicates) the other.
+            prop_assert!(w[0].performance.ttft_s < w[1].performance.ttft_s);
+            prop_assert!(w[0].performance.qps_per_chip < w[1].performance.qps_per_chip);
+        }
+        // No retained point is dominated by any evaluated point.
+        for kept in frontier.iter() {
+            for p in &points {
+                prop_assert!(!p.performance.dominates(&kept.performance));
+            }
+        }
+    }
+}

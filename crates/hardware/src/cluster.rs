@@ -182,6 +182,32 @@ impl ResourceBudget {
     pub fn cpu_server_steps(&self) -> Vec<u32> {
         power_of_two_steps(self.max_cpu_servers)
     }
+
+    /// Filters candidate per-group XPU counts down to the steps that can
+    /// appear in *some* feasible allocation: positive, unique, and within
+    /// `max_xpus`. The optimizer applies this before building its search
+    /// odometer, so over-budget steps never inflate the enumerated grid.
+    pub fn admissible_xpu_steps(&self, candidates: &[u32]) -> Vec<u32> {
+        admissible_steps(candidates, self.max_xpus)
+    }
+
+    /// Filters candidate CPU-server counts to positive, unique steps within
+    /// `max_cpu_servers` (see [`ResourceBudget::admissible_xpu_steps`]).
+    pub fn admissible_server_steps(&self, candidates: &[u32]) -> Vec<u32> {
+        admissible_steps(candidates, self.max_cpu_servers)
+    }
+}
+
+/// Keeps the candidates in `0 < step <= max`, preserving the caller's order
+/// and dropping duplicates.
+fn admissible_steps(candidates: &[u32], max: u32) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::with_capacity(candidates.len());
+    for &step in candidates {
+        if step >= 1 && step <= max && !out.contains(&step) {
+            out.push(step);
+        }
+    }
+    out
 }
 
 impl Default for ResourceBudget {
@@ -251,6 +277,19 @@ mod tests {
         let b = ClusterSpec::paper_default().budget();
         assert_eq!(b.max_xpus, 128);
         assert_eq!(b.max_cpu_servers, 32);
+    }
+
+    #[test]
+    fn admissible_steps_filter_zero_overbudget_and_duplicates() {
+        let b = ResourceBudget::new(16, 8);
+        assert_eq!(
+            b.admissible_xpu_steps(&[0, 1, 4, 4, 16, 32, 64]),
+            vec![1, 4, 16]
+        );
+        assert_eq!(b.admissible_server_steps(&[2, 8, 9]), vec![2, 8]);
+        // Order is the caller's, not sorted.
+        assert_eq!(b.admissible_xpu_steps(&[8, 2, 8]), vec![8, 2]);
+        assert!(b.admissible_xpu_steps(&[32, 64]).is_empty());
     }
 
     #[test]

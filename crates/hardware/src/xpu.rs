@@ -245,7 +245,9 @@ mod tests {
         let err = XpuSpec::generation(XpuGeneration::C)
             .with_efficiency(1.5, 0.8)
             .unwrap_err();
-        assert!(matches!(err, HardwareError::InvalidSpec { field, .. } if field == "compute_efficiency"));
+        assert!(
+            matches!(err, HardwareError::InvalidSpec { field, .. } if field == "compute_efficiency")
+        );
     }
 
     #[test]

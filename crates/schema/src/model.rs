@@ -14,9 +14,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper quantizes all models to 8-bit integers, so accelerator memory in
 /// bytes equals the parameter count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Quantization {
     /// 8-bit integer weights (1 byte per parameter) — the paper's default.
+    #[default]
     Int8,
     /// 16-bit brain-float weights (2 bytes per parameter).
     Bf16,
@@ -32,12 +33,6 @@ impl Quantization {
             Quantization::Bf16 => 2.0,
             Quantization::Fp32 => 4.0,
         }
-    }
-}
-
-impl Default for Quantization {
-    fn default() -> Self {
-        Quantization::Int8
     }
 }
 
@@ -85,7 +80,7 @@ impl LlmArchitecture {
         let h = f64::from(self.hidden_dim);
         let kv_dim = f64::from(self.head_dim()) * f64::from(self.num_kv_heads);
         let attn = h * h + 2.0 * h * kv_dim + h * h; // q, k, v, o projections
-        // Llama-style gated FFN has three matrices; encoders have two.
+                                                     // Llama-style gated FFN has three matrices; encoders have two.
         let ffn_mats = if self.is_encoder { 2.0 } else { 3.0 };
         let ffn = ffn_mats * h * f64::from(self.ffn_dim);
         let per_layer = attn + ffn;
@@ -237,7 +232,7 @@ impl ModelConfig {
             hidden_dim: hidden,
             num_layers: layers,
             num_heads: heads,
-            num_kv_heads: heads.min(8).max(1),
+            num_kv_heads: heads.clamp(1, 8),
             ffn_dim: hidden * 7 / 2,
             vocab_size: anchor.architecture.vocab_size,
             is_encoder: false,

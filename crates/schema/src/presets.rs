@@ -92,16 +92,14 @@ pub fn case2_long_context(llm: LlmSize, context_tokens: u64) -> RagSchema {
 /// with `retrievals_per_sequence` retrievals triggered during the 256-token
 /// decode.
 pub fn case3_iterative(llm: LlmSize, retrievals_per_sequence: u32) -> RagSchema {
-    RagSchema::builder(format!(
-        "case3-iterative-{llm}-r{retrievals_per_sequence}"
-    ))
-    .generative_llm(llm.model())
-    .retrieval(
-        RetrievalConfig::hyperscale_64b().with_retrievals_per_sequence(retrievals_per_sequence),
-    )
-    .sequence(SequenceProfile::paper_default())
-    .build()
-    .expect("case 3 preset is always valid")
+    RagSchema::builder(format!("case3-iterative-{llm}-r{retrievals_per_sequence}"))
+        .generative_llm(llm.model())
+        .retrieval(
+            RetrievalConfig::hyperscale_64b().with_retrievals_per_sequence(retrievals_per_sequence),
+        )
+        .sequence(SequenceProfile::paper_default())
+        .build()
+        .expect("case 3 preset is always valid")
 }
 
 /// Case IV — query rewriter and reranker: Case I extended with an 8B
@@ -172,10 +170,7 @@ mod tests {
         for freq in [2u32, 4, 8] {
             let s = case3_iterative(LlmSize::B70, freq);
             assert!(s.is_iterative());
-            assert_eq!(
-                s.retrieval.as_ref().unwrap().retrievals_per_sequence,
-                freq
-            );
+            assert_eq!(s.retrieval.as_ref().unwrap().retrievals_per_sequence, freq);
         }
     }
 

@@ -260,9 +260,7 @@ mod tests {
         assert_eq!(r.queries_per_retrieval, 4);
         assert!(r.is_iterative());
         assert_eq!(r.top_k, 16);
-        assert!(
-            (r.scanned_bytes_per_retrieval() - r.database_bytes() * 0.01 * 4.0).abs() < 1.0
-        );
+        assert!((r.scanned_bytes_per_retrieval() - r.database_bytes() * 0.01 * 4.0).abs() < 1.0);
     }
 
     #[test]

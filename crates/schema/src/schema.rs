@@ -361,10 +361,7 @@ mod tests {
         assert!(s.model_for_stage(Stage::Prefix).is_some());
         assert!(s.model_for_stage(Stage::Retrieval).is_none());
         assert!(s.model_for_stage(Stage::Rerank).is_none());
-        assert_eq!(
-            s.model_for_stage(Stage::Decode).unwrap().name,
-            "Llama3-8B"
-        );
+        assert_eq!(s.model_for_stage(Stage::Decode).unwrap().name, "Llama3-8B");
     }
 
     #[test]

@@ -112,7 +112,9 @@ impl SequenceProfile {
     /// Bytes transferred from the retrieval hosts to the XPUs per retrieval
     /// (retrieved passages only).
     pub fn retrieved_bytes(&self) -> f64 {
-        f64::from(self.chunk_tokens) * f64::from(self.num_neighbors) * f64::from(self.bytes_per_token)
+        f64::from(self.chunk_tokens)
+            * f64::from(self.num_neighbors)
+            * f64::from(self.bytes_per_token)
     }
 
     /// Validates the profile.

@@ -148,10 +148,7 @@ mod tests {
     fn classes_match_the_paper_description() {
         assert_eq!(Stage::Prefix.class(), StageClass::BatchInference);
         assert_eq!(Stage::Rerank.class(), StageClass::BatchInference);
-        assert_eq!(
-            Stage::Decode.class(),
-            StageClass::AutoregressiveInference
-        );
+        assert_eq!(Stage::Decode.class(), StageClass::AutoregressiveInference);
         assert_eq!(
             Stage::RewriteDecode.class(),
             StageClass::AutoregressiveInference

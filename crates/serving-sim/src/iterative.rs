@@ -186,8 +186,8 @@ impl IterativeDecodeSim {
                     let waiting = unfinished.len() as f64;
                     let skipped_steps = (next - now) / p.step_latency_s;
                     for &i in &unfinished {
-                        sequences[i].waited_steps += skipped_steps / waiting.max(1.0) * waiting
-                            / unfinished.len() as f64;
+                        sequences[i].waited_steps +=
+                            skipped_steps / waiting.max(1.0) * waiting / unfinished.len() as f64;
                     }
                     now = next;
                     continue;

@@ -255,7 +255,11 @@ mod tests {
         let s2 = affine(0.0, 0.01);
         let stages: Vec<&dyn Fn(u32) -> f64> = vec![&s1, &s2];
         let r = simulate_collocated_burst(&stages, 8, 4);
-        assert!((r.first_completion_s - 0.08).abs() < 1e-9, "{}", r.first_completion_s);
+        assert!(
+            (r.first_completion_s - 0.08).abs() < 1e-9,
+            "{}",
+            r.first_completion_s
+        );
         // And the makespan is all four jobs back to back.
         assert!((r.makespan_s - 0.16).abs() < 1e-9);
     }

@@ -115,11 +115,7 @@ mod tests {
     #[test]
     fn uniform_dataset_is_in_unit_cube() {
         let d = SyntheticDataset::uniform(200, 4, 3);
-        assert!(d
-            .vectors
-            .iter()
-            .flatten()
-            .all(|&x| (0.0..1.0).contains(&x)));
+        assert!(d.vectors.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]
@@ -131,8 +127,7 @@ mod tests {
         let mut diff = (0.0f64, 0usize);
         for i in 0..d.len() {
             for j in (i + 1)..d.len().min(i + 40) {
-                let dist =
-                    f64::from(crate::distance::l2_distance(&d.vectors[i], &d.vectors[j]));
+                let dist = f64::from(crate::distance::l2_distance(&d.vectors[i], &d.vectors[j]));
                 if d.labels[i] == d.labels[j] {
                     same = (same.0 + dist, same.1 + 1);
                 } else {

@@ -1,8 +1,29 @@
 //! Distance and similarity kernels.
 //!
-//! All kernels operate on `f32` slices of equal length. They are written as
-//! straightforward scalar loops: the goal of this substrate is functional
-//! correctness and calibration of *relative* costs, not peak SIMD throughput.
+//! All kernels operate on `f32` slices of equal length. The hot loops are
+//! written with eight independent accumulator lanes over exact 8-element
+//! chunks, converted to fixed-size arrays: with no cross-lane dependency per
+//! iteration and statically known bounds, the SLP vectorizer packs the lane
+//! loop into SIMD registers without any `unsafe` (verify on the *final*
+//! binary — e.g. `objdump -d target/release/examples/vector_search | grep
+//! mulps` — since the workspace uses thin LTO and per-crate `--emit asm`
+//! shows pre-LTO code). Plain multiply-adds are used rather than
+//! `f32::mul_add`: without the `fma` target feature the latter lowers to a
+//! scalar `fmaf` libcall per element, which defeats vectorization entirely
+//! on baseline x86-64. The lanes are reduced pairwise at the end, so results
+//! are deterministic for a given input — though they may differ from a
+//! strictly sequential sum in the last bits, which is why the scalar
+//! reference forms survive as `#[cfg(test)]` oracles.
+
+const LANES: usize = 8;
+
+/// Pairwise horizontal reduction of the eight accumulator lanes (balanced
+/// tree, deterministic).
+#[inline]
+fn reduce_lanes(lanes: [f32; LANES]) -> f32 {
+    ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
+}
 
 /// Squared Euclidean (L2) distance between two vectors.
 ///
@@ -19,8 +40,22 @@
 /// ```
 pub fn l2_distance_squared(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b.iter()) {
+    let mut lanes = [0.0f32; LANES];
+    let a_chunks = a.chunks_exact(LANES);
+    let b_chunks = b.chunks_exact(LANES);
+    let (a_rem, b_rem) = (a_chunks.remainder(), b_chunks.remainder());
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        // Fixed-size arrays (infallible for exact chunks) are what lets the
+        // SLP vectorizer pack the lane loop into SIMD registers.
+        let ca: [f32; LANES] = ca.try_into().expect("exact chunk");
+        let cb: [f32; LANES] = cb.try_into().expect("exact chunk");
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut acc = reduce_lanes(lanes);
+    for (x, y) in a_rem.iter().zip(b_rem.iter()) {
         let d = x - y;
         acc += d * d;
     }
@@ -43,24 +78,92 @@ pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f32; LANES];
+    let a_chunks = a.chunks_exact(LANES);
+    let b_chunks = b.chunks_exact(LANES);
+    let (a_rem, b_rem) = (a_chunks.remainder(), b_chunks.remainder());
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        let ca: [f32; LANES] = ca.try_into().expect("exact chunk");
+        let cb: [f32; LANES] = cb.try_into().expect("exact chunk");
+        for l in 0..LANES {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut acc = reduce_lanes(lanes);
+    for (x, y) in a_rem.iter().zip(b_rem.iter()) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Cosine distance (`1 - cosine similarity`) of two vectors.
 ///
 /// Returns `1.0` when either vector has zero norm.
 ///
+/// Single pass over the pair: the dot product and both squared norms are
+/// accumulated together, reading each input once instead of three times.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
-    let dot = inner_product(a, b);
-    let na = inner_product(a, a).sqrt();
-    let nb = inner_product(b, b).sqrt();
-    if na == 0.0 || nb == 0.0 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
+    let mut dot = [0.0f32; LANES];
+    let mut na = [0.0f32; LANES];
+    let mut nb = [0.0f32; LANES];
+    let a_chunks = a.chunks_exact(LANES);
+    let b_chunks = b.chunks_exact(LANES);
+    let (a_rem, b_rem) = (a_chunks.remainder(), b_chunks.remainder());
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        let ca: [f32; LANES] = ca.try_into().expect("exact chunk");
+        let cb: [f32; LANES] = cb.try_into().expect("exact chunk");
+        for l in 0..LANES {
+            dot[l] += ca[l] * cb[l];
+            na[l] += ca[l] * ca[l];
+            nb[l] += cb[l] * cb[l];
+        }
+    }
+    let mut dot_acc = reduce_lanes(dot);
+    let mut na_acc = reduce_lanes(na);
+    let mut nb_acc = reduce_lanes(nb);
+    for (x, y) in a_rem.iter().zip(b_rem.iter()) {
+        dot_acc += x * y;
+        na_acc += x * x;
+        nb_acc += y * y;
+    }
+    if na_acc == 0.0 || nb_acc == 0.0 {
         return 1.0;
     }
-    1.0 - dot / (na * nb)
+    1.0 - dot_acc / (na_acc.sqrt() * nb_acc.sqrt())
+}
+
+#[cfg(test)]
+mod scalar_oracles {
+    //! Straightforward sequential reference implementations the chunked
+    //! kernels are validated against.
+
+    pub fn l2_distance_squared(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc
+    }
+
+    pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+        let dot = inner_product(a, b);
+        let na = inner_product(a, a).sqrt();
+        let nb = inner_product(b, b).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        1.0 - dot / (na * nb)
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +208,55 @@ mod tests {
     #[should_panic(expected = "equal dimensionality")]
     fn mismatched_dims_panic() {
         let _ = l2_distance_squared(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Deterministic pseudo-random test vectors of every length around the
+    /// chunk boundary (0..=33 covers empty, sub-chunk, exact multiples, and
+    /// remainders).
+    fn test_vectors(len: usize, salt: u32) -> (Vec<f32>, Vec<f32>) {
+        let gen = |i: u32, s: u32| -> f32 {
+            let x = (i.wrapping_mul(2_654_435_761).wrapping_add(s)) >> 8;
+            (x % 2000) as f32 / 100.0 - 10.0
+        };
+        let a = (0..len as u32).map(|i| gen(i, salt)).collect();
+        let b = (0..len as u32)
+            .map(|i| gen(i, salt.wrapping_add(77)))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn chunked_kernels_match_scalar_oracles() {
+        for len in 0..=33 {
+            for salt in [1u32, 42, 1234] {
+                let (a, b) = test_vectors(len, salt);
+                let l2 = l2_distance_squared(&a, &b);
+                let l2_ref = scalar_oracles::l2_distance_squared(&a, &b);
+                assert!(
+                    (l2 - l2_ref).abs() <= l2_ref.abs().max(1.0) * 1e-5,
+                    "l2 len={len}: {l2} vs {l2_ref}"
+                );
+                let ip = inner_product(&a, &b);
+                let ip_ref = scalar_oracles::inner_product(&a, &b);
+                assert!(
+                    (ip - ip_ref).abs() <= ip_ref.abs().max(1.0) * 1e-5,
+                    "ip len={len}: {ip} vs {ip_ref}"
+                );
+                let cos = cosine_distance(&a, &b);
+                let cos_ref = scalar_oracles::cosine_distance(&a, &b);
+                assert!(
+                    (cos - cos_ref).abs() <= 1e-5,
+                    "cos len={len}: {cos} vs {cos_ref}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vectors_have_zero_norm_semantics() {
+        let e: [f32; 0] = [];
+        assert_eq!(l2_distance_squared(&e, &e), 0.0);
+        assert_eq!(inner_product(&e, &e), 0.0);
+        assert_eq!(cosine_distance(&e, &e), 1.0);
     }
 }

@@ -31,7 +31,10 @@ impl fmt::Display for VectorDbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VectorDbError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: index expects {expected}, vector has {got}")
+                write!(
+                    f,
+                    "dimension mismatch: index expects {expected}, vector has {got}"
+                )
             }
             VectorDbError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
         }

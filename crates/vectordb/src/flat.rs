@@ -159,7 +159,12 @@ mod tests {
     fn finds_exact_nearest_neighbor() {
         let index = FlatIndex::build(
             2,
-            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0], vec![1.2, 0.9]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![5.0, 5.0],
+                vec![1.2, 0.9],
+            ],
         )
         .unwrap();
         let hits = index.search(&[1.0, 1.0], 2);
@@ -172,7 +177,7 @@ mod tests {
     fn results_are_sorted_by_distance() {
         let data = SyntheticDataset::uniform(500, 8, 11);
         let index = FlatIndex::build(8, data.vectors).unwrap();
-        let hits = index.search(&vec![0.5; 8], 20);
+        let hits = index.search(&[0.5; 8], 20);
         assert_eq!(hits.len(), 20);
         for w in hits.windows(2) {
             assert!(w[0].distance <= w[1].distance);

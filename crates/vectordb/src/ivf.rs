@@ -234,7 +234,12 @@ impl IvfPqIndex {
     }
 
     /// Searches a batch of queries with the same `k` and `nprobe`.
-    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize, nprobe: usize) -> Vec<Vec<Neighbor>> {
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<Neighbor>> {
         queries.iter().map(|q| self.search(q, k, nprobe)).collect()
     }
 
@@ -289,7 +294,10 @@ mod tests {
         let exact: Vec<_> = queries.iter().map(|q| flat.search(q, 10)).collect();
         let r1 = recall_at_k(
             &exact,
-            &queries.iter().map(|q| ivf.search(q, 10, 1)).collect::<Vec<_>>(),
+            &queries
+                .iter()
+                .map(|q| ivf.search(q, 10, 1))
+                .collect::<Vec<_>>(),
             10,
         );
         let r32 = recall_at_k(
@@ -316,9 +324,7 @@ mod tests {
         assert!((ivf.scan_fraction(32) - 1.0).abs() < 1e-9);
         assert!((ivf.scan_fraction(64) - 1.0).abs() < 1e-9); // clamped
         assert!(ivf.scanned_bytes_per_query(8) > 0.0);
-        assert!(
-            ivf.scanned_bytes_per_query(32) > ivf.scanned_bytes_per_query(8)
-        );
+        assert!(ivf.scanned_bytes_per_query(32) > ivf.scanned_bytes_per_query(8));
     }
 
     #[test]
@@ -363,6 +369,6 @@ mod tests {
     fn add_with_id_rejects_wrong_dim() {
         let mut ivf = build_index().0.clone();
         assert!(ivf.add_with_id(123456, &[0.0; 8]).is_err());
-        assert!(ivf.add_with_id(123456, &vec![0.0; 24]).is_ok());
+        assert!(ivf.add_with_id(123456, &[0.0; 24]).is_ok());
     }
 }

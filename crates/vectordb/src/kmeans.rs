@@ -223,8 +223,24 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let data = SyntheticDataset::clustered(400, 8, 8, 5).vectors;
-        let few = kmeans(&data, KMeansParams { k: 2, ..Default::default() }, 1).unwrap();
-        let many = kmeans(&data, KMeansParams { k: 16, ..Default::default() }, 1).unwrap();
+        let few = kmeans(
+            &data,
+            KMeansParams {
+                k: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let many = kmeans(
+            &data,
+            KMeansParams {
+                k: 16,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
         assert!(many.inertia < few.inertia);
     }
 
@@ -241,8 +257,24 @@ mod tests {
     fn rejects_invalid_inputs() {
         let data = SyntheticDataset::uniform(10, 4, 0).vectors;
         assert!(kmeans(&[], KMeansParams::default(), 0).is_err());
-        assert!(kmeans(&data, KMeansParams { k: 0, ..Default::default() }, 0).is_err());
-        assert!(kmeans(&data, KMeansParams { k: 11, ..Default::default() }, 0).is_err());
+        assert!(kmeans(
+            &data,
+            KMeansParams {
+                k: 0,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(kmeans(
+            &data,
+            KMeansParams {
+                k: 11,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
     }
 
     #[test]

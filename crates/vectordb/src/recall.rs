@@ -36,7 +36,10 @@ pub fn recall_at_k(exact: &[Vec<Neighbor>], approximate: &[Vec<Neighbor>], k: us
         }
         let approx_ids: Vec<usize> = approx.iter().take(k).map(|n| n.id).collect();
         total += truth_ids.len();
-        found += truth_ids.iter().filter(|id| approx_ids.contains(id)).count();
+        found += truth_ids
+            .iter()
+            .filter(|id| approx_ids.contains(id))
+            .count();
     }
     if total == 0 {
         return 0.0;

@@ -1,9 +1,9 @@
 //! Request and trace generation.
 
 use crate::arrival::ArrivalProcess;
+use rago_schema::SequenceProfile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rago_schema::SequenceProfile;
 use serde::{Deserialize, Serialize};
 
 /// One synthetic serving request.
@@ -34,7 +34,10 @@ impl Trace {
         if self.requests.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| f64::from(r.prefix_tokens)).sum::<f64>()
+        self.requests
+            .iter()
+            .map(|r| f64::from(r.prefix_tokens))
+            .sum::<f64>()
             / self.requests.len() as f64
     }
 
@@ -43,18 +46,17 @@ impl Trace {
         if self.requests.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| f64::from(r.decode_tokens)).sum::<f64>()
+        self.requests
+            .iter()
+            .map(|r| f64::from(r.decode_tokens))
+            .sum::<f64>()
             / self.requests.len() as f64
     }
 
     /// Offered load in requests per second (requests divided by the span of
     /// arrival times; infinite for instantaneous traces).
     pub fn offered_load_rps(&self) -> f64 {
-        let span = self
-            .requests
-            .last()
-            .map(|r| r.arrival_s)
-            .unwrap_or(0.0);
+        let span = self.requests.last().map(|r| r.arrival_s).unwrap_or(0.0);
         if span <= 0.0 {
             return f64::INFINITY;
         }

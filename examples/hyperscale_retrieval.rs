@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for queries in [1u32, 4] {
             let schema = presets::case1_hyperscale(llm, queries);
             let profiler = StageProfiler::new(schema, cluster.clone());
-            let shares =
-                breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
+            let shares = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64])?;
             println!(
                 "{:<10} {:>8} {:>11.1}% {:>9.1}% {:>9.1}%",
                 llm.to_string(),

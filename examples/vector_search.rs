@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ivf = IvfPqIndex::train(dim, &corpus.vectors, params, 3)?;
 
     println!("== IVF-PQ recall/cost trade-off (20K vectors, 96-d) ==");
-    println!("{:>8} {:>14} {:>10}", "nprobe", "scan fraction", "recall@10");
+    println!(
+        "{:>8} {:>14} {:>10}",
+        "nprobe", "scan fraction", "recall@10"
+    );
     for nprobe in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let approx: Vec<_> = queries.iter().map(|q| ivf.search(q, 10, nprobe)).collect();
         let recall = recall_at_k(&exact, &approx, 10);

@@ -1,0 +1,447 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so the workspace ships this
+//! minimal property-testing harness with the same surface syntax as the real
+//! crate: the [`proptest!`] macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! range/`any`/`Just`/`prop_oneof!`/tuple/`prop::collection::vec` strategies,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` assertion
+//! macros.
+//!
+//! Differences from the real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs and panics; it does
+//!   not search for a minimal counterexample.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of its
+//!   module path and name, so runs are reproducible without a persistence
+//!   file.
+//! * **Rejection budget.** `prop_assume!` rejections retry up to 10× the
+//!   configured case count before the test stops early (never a failure).
+
+pub mod test_runner {
+    //! Test-case plumbing: configuration, RNG, and case outcomes.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's run configuration: the number of passing cases
+    /// required.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// The RNG driving strategy sampling (xoshiro256++ from the workspace
+    /// `rand` shim).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates an RNG seeded deterministically from `name` (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Outcome of one generated case's body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions did not hold; try another input.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection (from `prop_assume!`).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+
+        /// A failure (from `prop_assert!`-family macros).
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Samples one value.
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy producing a constant.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A boxed sampler: one arm of a [`Union`].
+    pub type Sampler<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Uniform choice between boxed alternatives (backs [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        options: Vec<Sampler<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given samplers (at least one).
+        pub fn new(options: Vec<Sampler<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            (self.options[i])(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample_value(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` strategy family.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<bool>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// A `Vec` strategy with length in `len` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            element,
+            min_len: len.start,
+            max_len: len.end - 1,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.min_len..=self.max_len);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works from the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` caller needs.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(10).max(10);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample_value(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed after {} cases: {}\ninputs:{}",
+                            stringify!($name),
+                            accepted,
+                            msg,
+                            ::std::string::String::new()
+                                $(+ &format!(" {} = {:?};", stringify!($arg), $arg))*,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                $crate::strategy::Strategy::sample_value(&($strat), rng)
+            }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, not the
+/// process, so inputs can be reported).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case when its assumptions do not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_work(
+            x in 1u32..100,
+            pair in (0u32..10, 0u32..10),
+            flag in any::<bool>(),
+            v in prop::collection::vec(0u64..5, 0..20),
+        ) {
+            let (a, b) = pair;
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(a < 10 && b < 10);
+            let _exercised: bool = flag;
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn oneof_and_assume_work(
+            pick in prop_oneof![Just(1u32), Just(2u32), Just(3u32)],
+            n in 0u32..50,
+        ) {
+            prop_assume!(n != 13);
+            prop_assert!((1u32..=3).contains(&pick));
+            prop_assert_eq!(n + pick - pick, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn failures_report_inputs() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

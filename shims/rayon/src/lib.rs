@@ -1,0 +1,193 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so the workspace ships this
+//! minimal data-parallelism shim exposing the rayon calling convention the
+//! optimizer uses:
+//!
+//! ```text
+//! iterator.par_bridge()
+//!     .fold(make_accumulator, |acc, item| ...)
+//!     .reduce(make_accumulator, |a, b| ...)
+//! ```
+//!
+//! Work distribution is a chunked pull over a mutex-guarded source iterator:
+//! each worker thread locks the iterator, takes a small chunk of items,
+//! folds them into its thread-local accumulator, and repeats until the
+//! source is exhausted; `reduce` then merges the per-thread accumulators on
+//! the calling thread. Peak memory is `O(threads × chunk)` items plus the
+//! accumulators — the source is never materialized.
+//!
+//! Unlike real rayon there is no work stealing, no global thread pool
+//! (threads are scoped per call), and `fold(..)` is not itself a lazy
+//! parallel iterator: it must be finished with `reduce(..)`. The subset is
+//! call-compatible with real rayon so the real crate can be swapped back in
+//! from the workspace manifest.
+
+use std::sync::Mutex;
+
+/// Items pulled from the shared iterator per lock acquisition. Large enough
+/// to amortize lock traffic for microsecond-scale work items, small enough
+/// to keep the tail balanced across workers.
+const CHUNK: usize = 64;
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+pub mod iter {
+    //! Parallel iterator adapters.
+
+    use super::{current_num_threads, Mutex, CHUNK};
+
+    /// Bridges a sequential iterator into the parallel API, mirroring
+    /// `rayon::iter::ParallelBridge`.
+    pub trait ParallelBridge: Iterator + Sized {
+        /// Wraps the iterator for parallel consumption.
+        fn par_bridge(self) -> IterBridge<Self>;
+    }
+
+    impl<I: Iterator + Send> ParallelBridge for I
+    where
+        I::Item: Send,
+    {
+        fn par_bridge(self) -> IterBridge<Self> {
+            IterBridge { iter: self }
+        }
+    }
+
+    /// A sequential iterator scheduled for parallel consumption.
+    pub struct IterBridge<I> {
+        iter: I,
+    }
+
+    impl<I: Iterator + Send> IterBridge<I>
+    where
+        I::Item: Send,
+    {
+        /// Folds items into per-thread accumulators created by `identity`.
+        /// Finish with [`Fold::reduce`].
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<I, ID, F>
+        where
+            T: Send,
+            ID: Fn() -> T + Sync,
+            F: Fn(T, I::Item) -> T + Sync,
+        {
+            Fold {
+                iter: self.iter,
+                identity,
+                fold_op,
+            }
+        }
+    }
+
+    /// A pending parallel fold; consumed by [`Fold::reduce`].
+    pub struct Fold<I, ID, F> {
+        iter: I,
+        identity: ID,
+        fold_op: F,
+    }
+
+    impl<I, ID, F> Fold<I, ID, F> {
+        /// Runs the fold across worker threads and merges the per-thread
+        /// accumulators with `reduce_op`.
+        pub fn reduce<T, ID2, R>(self, identity: ID2, reduce_op: R) -> T
+        where
+            I: Iterator + Send,
+            I::Item: Send,
+            T: Send,
+            ID: Fn() -> T + Sync,
+            F: Fn(T, I::Item) -> T + Sync,
+            ID2: Fn() -> T,
+            R: Fn(T, T) -> T,
+        {
+            let threads = current_num_threads();
+            let source = Mutex::new(self.iter);
+            let fold_op = &self.fold_op;
+            let make_acc = &self.identity;
+
+            let accumulators: Vec<T> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut acc = make_acc();
+                            let mut chunk: Vec<I::Item> = Vec::with_capacity(CHUNK);
+                            loop {
+                                {
+                                    let mut it = source.lock().expect("source iterator poisoned");
+                                    chunk.extend(it.by_ref().take(CHUNK));
+                                }
+                                if chunk.is_empty() {
+                                    return acc;
+                                }
+                                for item in chunk.drain(..) {
+                                    acc = fold_op(acc, item);
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel fold worker panicked"))
+                    .collect()
+            });
+
+            accumulators.into_iter().fold(identity(), reduce_op)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+
+    pub use crate::iter::ParallelBridge;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn fold_reduce_sums_like_sequential() {
+        let total: u64 = (0u64..10_000)
+            .par_bridge()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn empty_source_yields_identity() {
+        let total: u64 = std::iter::empty::<u64>()
+            .par_bridge()
+            .fold(|| 7u64, |acc, _| acc)
+            .reduce(|| 7, |a, b| a.min(b));
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn every_item_is_consumed_exactly_once() {
+        let n = 100_000u64;
+        let seen: Vec<u64> = (0..n)
+            .par_bridge()
+            .fold(Vec::new, |mut acc, x| {
+                acc.push(x);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        let mut seen = seen;
+        seen.sort_unstable();
+        assert_eq!(seen.len() as u64, n);
+        assert!(seen.iter().enumerate().all(|(i, &x)| i as u64 == x));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace provides
+//! this minimal local substitute. It exposes the two names the codebase
+//! imports — the `Serialize` / `Deserialize` traits and the derive macros of
+//! the same names — with the derives expanding to nothing. Nothing in the
+//! workspace performs actual serialization; the annotations are kept so the
+//! type definitions stay source-compatible with the real serde, which can be
+//! swapped back in by pointing the workspace dependency at crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods, no lifetime
+/// parameter in the shim — the workspace never bounds on it).
+pub trait Deserialize {}

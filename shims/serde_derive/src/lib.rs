@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal local substitute. The derives accept the same attribute grammar
+//! as the real crate (`#[serde(...)]` helper attributes are declared so they
+//! parse) but expand to nothing: the workspace never serializes through serde
+//! — the derives exist so type definitions can keep the upstream-compatible
+//! `#[derive(Serialize, Deserialize)]` annotations. Swapping in the real
+//! serde is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -110,8 +110,14 @@ fn bottleneck_shifts_from_retrieval_to_inference_with_model_size() {
             "retrieval share should shrink with model size: {shares:?}"
         );
     }
-    assert!(shares[0] > 0.5, "1B RAG should be retrieval bound: {shares:?}");
-    assert!(shares[3] < 0.3, "405B RAG should be inference bound: {shares:?}");
+    assert!(
+        shares[0] > 0.5,
+        "1B RAG should be retrieval bound: {shares:?}"
+    );
+    assert!(
+        shares[3] < 0.3,
+        "405B RAG should be inference bound: {shares:?}"
+    );
 }
 
 #[test]

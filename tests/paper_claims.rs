@@ -16,9 +16,7 @@ fn claim_5_1_retrieval_share_grows_with_scan_fraction() {
     let mut shares = Vec::new();
     for scan in [0.0001, 0.001, 0.01] {
         let mut schema = presets::case1_hyperscale(LlmSize::B8, 1);
-        schema.retrieval = schema
-            .retrieval
-            .map(|r| r.with_scan_fraction(scan));
+        schema.retrieval = schema.retrieval.map(|r| r.with_scan_fraction(scan));
         let profiler = StageProfiler::new(schema, cluster.clone());
         let b = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64]).unwrap();
         shares.push(breakdown::share_of(&b, Stage::Retrieval));
@@ -50,7 +48,10 @@ fn claim_5_1_retrieval_share_shrinks_with_longer_sequences() {
     // The paper reports 86% at 128/128 on its calibration; our substrate puts
     // the same point above 50% — the shape (retrieval-dominant and shrinking
     // with sequence length) is what we assert.
-    assert!(short > 0.5, "short sequences should be retrieval bound: {short}");
+    assert!(
+        short > 0.5,
+        "short sequences should be retrieval bound: {short}"
+    );
 }
 
 #[test]

@@ -35,6 +35,7 @@
 
 pub mod baseline;
 pub mod breakdown;
+pub mod dynamic;
 pub mod error;
 pub mod metrics;
 pub mod optimizer;
@@ -45,6 +46,7 @@ pub mod schedule;
 
 pub use baseline::BaselineSystem;
 pub use breakdown::{stage_breakdown, StageShare};
+pub use dynamic::{evaluate_schedule_dynamic, rank_frontier_by_goodput, DynamicEvaluation};
 pub use error::RagoError;
 pub use metrics::RagPerformance;
 pub use optimizer::{Rago, ScheduleIter, SearchOptions};

@@ -367,6 +367,66 @@ impl Rago {
         schedule.evaluate(&self.profiler)
     }
 
+    /// Evaluates one schedule dynamically: drives a request trace through
+    /// the discrete-event serving engine and scores TTFT/TPOT distributions,
+    /// queueing, and SLO attainment. See
+    /// [`crate::dynamic::evaluate_schedule_dynamic`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_core::{Rago, SearchOptions};
+    /// use rago_hardware::ClusterSpec;
+    /// use rago_schema::{presets, SequenceProfile, SloTarget};
+    /// use rago_workloads::{ArrivalProcess, TraceSpec};
+    ///
+    /// let rago = Rago::new(
+    ///     presets::case1_hyperscale(presets::LlmSize::B8, 1),
+    ///     ClusterSpec::paper_default(),
+    /// );
+    /// let frontier = rago.optimize(&SearchOptions::fast())?;
+    /// let trace = TraceSpec {
+    ///     num_requests: 40,
+    ///     profile: SequenceProfile::paper_default().with_decode_tokens(32),
+    ///     arrival: ArrivalProcess::Poisson { rate_rps: 10.0 },
+    ///     length_jitter: 0.1,
+    ///     seed: 7,
+    /// }
+    /// .generate();
+    /// let slo = SloTarget::paper_default();
+    /// let best = frontier.max_qps_per_chip().unwrap();
+    /// let eval = rago.evaluate_dynamic(&best.schedule, &trace, &slo)?;
+    /// assert_eq!(eval.report.metrics.completed, 40);
+    /// # Ok::<(), rago_core::RagoError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::dynamic::evaluate_schedule_dynamic`] errors.
+    pub fn evaluate_dynamic(
+        &self,
+        schedule: &Schedule,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+    ) -> Result<crate::dynamic::DynamicEvaluation, RagoError> {
+        crate::dynamic::evaluate_schedule_dynamic(&self.profiler, schedule, trace, slo)
+    }
+
+    /// Re-scores a Pareto frontier under a request trace and ranks its
+    /// schedules by SLO goodput, best first. See
+    /// [`crate::dynamic::rank_frontier_by_goodput`].
+    pub fn rank_frontier_by_goodput(
+        &self,
+        frontier: &ParetoFrontier,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+    ) -> Vec<(
+        crate::pareto::ParetoPoint,
+        crate::dynamic::DynamicEvaluation,
+    )> {
+        crate::dynamic::rank_frontier_by_goodput(&self.profiler, frontier, trace, slo)
+    }
+
     /// Streams the candidate schedules implied by `options` (Step 2 of
     /// Algorithm 1): every legal placement × allocation within the budget ×
     /// batching policy, yielded lazily in a stable enumeration order.

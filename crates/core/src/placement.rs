@@ -1,4 +1,4 @@
-//! Task placement plans (§6.1 [I]).
+//! Task placement plans (§6.1 \[I\]).
 //!
 //! RAGO's placement rule (Figure 13): the main LLM's prefix and decode stay
 //! disaggregated, retrieval always runs on CPU servers, and any run of

@@ -9,7 +9,7 @@ use rago_schema::Stage;
 use rago_serving_sim::iterative::{IterativeDecodeParams, IterativeDecodeSim};
 use serde::{Deserialize, Serialize};
 
-/// Resource allocation of one schedule (§6.1 [II]).
+/// Resource allocation of one schedule (§6.1 \[II\]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ResourceAllocation {
     /// XPU chips assigned to each pre-decode accelerator group (same order as
@@ -28,7 +28,7 @@ impl ResourceAllocation {
     }
 }
 
-/// Batching policy of one schedule (§6.1 [III]).
+/// Batching policy of one schedule (§6.1 \[III\]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BatchingPolicy {
     /// Micro-batch size shared by all stages up to (and including) the main

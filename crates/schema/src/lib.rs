@@ -30,6 +30,7 @@ pub mod presets;
 pub mod retrieval;
 pub mod schema;
 pub mod sequence;
+pub mod slo;
 pub mod stage;
 
 pub use error::SchemaError;
@@ -38,4 +39,5 @@ pub use presets::LlmSize;
 pub use retrieval::{RetrievalConfig, SearchMode};
 pub use schema::{RagSchema, RagSchemaBuilder};
 pub use sequence::SequenceProfile;
+pub use slo::SloTarget;
 pub use stage::{Stage, StageClass};

@@ -1,0 +1,143 @@
+//! Service-level objectives for RAG serving.
+//!
+//! The paper's evaluation reports TTFT and TPOT as continuous trade-off
+//! curves; a production deployment instead fixes *targets* for both and asks
+//! what fraction of requests meets them (SLO attainment) and how much
+//! traffic the system sustains while still meeting them (goodput). An
+//! [`SloTarget`] captures those targets so the dynamic serving simulation in
+//! `rago-serving-sim` and the SLO-aware ranking in `rago-core` can score
+//! schedules by goodput instead of steady-state throughput alone.
+
+use crate::error::SchemaError;
+use serde::{Deserialize, Serialize};
+
+/// A latency service-level objective for one serving deployment.
+///
+/// A request *meets* the SLO when both its time-to-first-token and its
+/// time-per-output-token are within the targets; a deployment meets the SLO
+/// when the fraction of requests meeting it is at least
+/// [`attainment`](Self::attainment).
+///
+/// # Examples
+///
+/// ```
+/// use rago_schema::SloTarget;
+///
+/// let slo = SloTarget::new(2.0, 0.05);
+/// assert!(slo.meets(0.5, 0.02));
+/// assert!(!slo.meets(2.5, 0.02)); // TTFT blown
+/// assert!(!slo.meets(0.5, 0.08)); // TPOT blown
+/// assert!(slo.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Maximum acceptable time-to-first-token, in seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time-per-output-token, in seconds.
+    pub tpot_s: f64,
+    /// Required fraction of requests meeting both targets, in `(0, 1]`.
+    pub attainment: f64,
+}
+
+impl SloTarget {
+    /// An SLO with the given TTFT and TPOT targets and the default 90 %
+    /// attainment requirement.
+    pub fn new(ttft_s: f64, tpot_s: f64) -> Self {
+        Self {
+            ttft_s,
+            tpot_s,
+            attainment: 0.9,
+        }
+    }
+
+    /// A chatbot-style default: first token within 2 s, then at least
+    /// 20 tokens/s, for 90 % of requests — the regime the paper's QA/chatbot
+    /// workload characterization targets.
+    pub fn paper_default() -> Self {
+        Self::new(2.0, 0.05)
+    }
+
+    /// Sets the required attainment fraction.
+    pub fn with_attainment(mut self, attainment: f64) -> Self {
+        self.attainment = attainment;
+        self
+    }
+
+    /// Whether a request with the given TTFT and TPOT meets both targets.
+    pub fn meets(&self, ttft_s: f64, tpot_s: f64) -> bool {
+        ttft_s <= self.ttft_s && tpot_s <= self.tpot_s
+    }
+
+    /// Validates the targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] when a latency target is not positive
+    /// and finite, or the attainment fraction is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if !(self.ttft_s > 0.0 && self.ttft_s.is_finite()) {
+            return Err(SchemaError::Invalid {
+                field: "ttft_s",
+                reason: "the TTFT target must be positive and finite".into(),
+            });
+        }
+        if !(self.tpot_s > 0.0 && self.tpot_s.is_finite()) {
+            return Err(SchemaError::Invalid {
+                field: "tpot_s",
+                reason: "the TPOT target must be positive and finite".into(),
+            });
+        }
+        if !(self.attainment > 0.0 && self.attainment <= 1.0) {
+            return Err(SchemaError::Invalid {
+                field: "attainment",
+                reason: "the attainment fraction must be in (0, 1]".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SloTarget {
+    fn default() -> Self {
+        SloTarget::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        let slo = SloTarget::paper_default();
+        assert!(slo.validate().is_ok());
+        assert!((slo.attainment - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meets_is_a_conjunction() {
+        let slo = SloTarget::new(1.0, 0.01);
+        assert!(slo.meets(1.0, 0.01)); // boundary counts as meeting
+        assert!(!slo.meets(1.0 + 1e-9, 0.01));
+        assert!(!slo.meets(1.0, 0.01 + 1e-9));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_targets() {
+        assert!(SloTarget::new(0.0, 0.05).validate().is_err());
+        assert!(SloTarget::new(2.0, -1.0).validate().is_err());
+        assert!(SloTarget::new(f64::INFINITY, 0.05).validate().is_err());
+        assert!(SloTarget::new(2.0, 0.05)
+            .with_attainment(0.0)
+            .validate()
+            .is_err());
+        assert!(SloTarget::new(2.0, 0.05)
+            .with_attainment(1.5)
+            .validate()
+            .is_err());
+        assert!(SloTarget::new(2.0, 0.05)
+            .with_attainment(1.0)
+            .validate()
+            .is_ok());
+    }
+}

@@ -1,0 +1,1257 @@
+//! A request-level discrete-event serving engine for the full RAG pipeline.
+//!
+//! The two special-case simulators in this crate answer narrow questions:
+//! [`crate::iterative`] models one decode batch with mid-generation
+//! retrievals, and [`crate::microbatch`] pushes one burst through the
+//! pre-decode stages. This module generalizes both into a single engine that
+//! drives **whole requests** — encode → rewrite → retrieve → rerank → prefix
+//! → decode, with optional iterative retrieval — from their arrival
+//! timestamps to their last generated token, under any arrival process from
+//! `rago-workloads`:
+//!
+//! * **Per-resource queues.** Every pipeline stage is mapped to a resource
+//!   (an accelerator group or the retrieval CPU pool). A resource executes
+//!   one micro-batch at a time; stages collocated on the same resource
+//!   compete for it, and the dispatcher prefers the *latest* stage (the
+//!   optimal collocation execution order of Figure 14). Dispatch is
+//!   work-conserving: a free resource immediately takes up to
+//!   [`StageSpec::batch`] queued requests rather than waiting for a full
+//!   batch.
+//! * **Continuous batching for decode.** Requests join the decode batch as
+//!   soon as a slot frees up and leave on their final token; membership
+//!   changes at step boundaries, and the step latency follows the current
+//!   batch fill through a [`LatencyTable`].
+//! * **Iterative retrieval.** With an [`IterativeSpec`], sequences pause at
+//!   sampled token positions and their retrievals dispatch in batches,
+//!   exactly as in [`crate::iterative::IterativeDecodeSim`] — the engine
+//!   reproduces that simulator's numbers when configured as its degenerate
+//!   case (see `tests/engine_equivalence.rs`).
+//!
+//! The result is a [`ServingReport`]: a per-request [`RequestTimeline`] and
+//! aggregate [`ServingMetrics`] — TTFT/TPOT distributions (p50/p95/p99),
+//! queueing-versus-service breakdown, and throughput — plus SLO attainment
+//! and goodput against a [`rago_schema::SloTarget`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_serving_sim::engine::{
+//!     DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec,
+//! };
+//! use rago_schema::SloTarget;
+//! use rago_workloads::{ArrivalProcess, TraceSpec};
+//! use rago_schema::SequenceProfile;
+//!
+//! // Retrieval on its own CPU pool, then prefix on an XPU group.
+//! let spec = PipelineSpec::new(
+//!     vec![
+//!         StageSpec::new("retrieval", 0, 16, LatencyTable::from_fn(16, |b| 0.02 + 1e-4 * f64::from(b))),
+//!         StageSpec::new("prefix", 1, 8, LatencyTable::from_fn(8, |b| 0.01 * f64::from(b))),
+//!     ],
+//!     DecodeSpec::new(64, LatencyTable::constant(64, 5e-3)),
+//! );
+//! let trace = TraceSpec {
+//!     num_requests: 50,
+//!     profile: SequenceProfile::paper_default().with_decode_tokens(32),
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 20.0 },
+//!     length_jitter: 0.0,
+//!     seed: 7,
+//! }
+//! .generate();
+//! let report = ServingEngine::from_trace(spec, &trace).run();
+//! assert_eq!(report.metrics.completed, 50);
+//! assert!(report.metrics.ttft.p99_s >= report.metrics.ttft.p50_s);
+//! let slo = SloTarget::new(1.0, 0.05);
+//! assert!(report.attainment(&slo) > 0.0);
+//! ```
+
+use crate::iterative::sample_positions;
+use rago_schema::SloTarget;
+use rago_workloads::{Request, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Tolerance used when comparing event timestamps, matching the resume
+/// tolerance of [`crate::iterative::IterativeDecodeSim`].
+const TIME_EPS: f64 = 1e-12;
+
+/// A latency model as a table indexed by batch fill (1-based), saturating at
+/// the largest entry.
+///
+/// Tables keep the engine configuration concrete and cheap to evaluate: the
+/// caller (typically `rago-core`) samples its analytical cost models once per
+/// fill level instead of handing the engine a closure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyTable {
+    per_fill: Vec<f64>,
+}
+
+impl LatencyTable {
+    /// Builds a table from per-fill latencies (`per_fill[b - 1]` is the
+    /// latency of a batch of `b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or any entry is negative or non-finite.
+    pub fn from_table(per_fill: Vec<f64>) -> Self {
+        assert!(
+            !per_fill.is_empty(),
+            "a latency table needs at least one entry"
+        );
+        assert!(
+            per_fill.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "latencies must be finite and non-negative"
+        );
+        Self { per_fill }
+    }
+
+    /// Samples `f` at every fill in `1..=max_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or `f` produces a negative or non-finite
+    /// latency.
+    pub fn from_fn(max_batch: u32, f: impl Fn(u32) -> f64) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        Self::from_table((1..=max_batch).map(f).collect())
+    }
+
+    /// A fill-independent latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or the latency is negative or
+    /// non-finite.
+    pub fn constant(max_batch: u32, latency_s: f64) -> Self {
+        Self::from_fn(max_batch, |_| latency_s)
+    }
+
+    /// The latency of a batch of `fill` requests (saturating above the
+    /// table).
+    pub fn latency(&self, fill: u32) -> f64 {
+        let idx = (fill.max(1) as usize - 1).min(self.per_fill.len() - 1);
+        self.per_fill[idx]
+    }
+
+    /// The largest fill the table distinguishes.
+    pub fn max_fill(&self) -> u32 {
+        self.per_fill.len() as u32
+    }
+}
+
+/// One pre-decode pipeline stage: its resource, micro-batch cap, and latency
+/// model.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    /// Stage name used in reports (e.g. `"retrieval"`, `"prefix"`).
+    pub name: String,
+    /// Index of the resource executing this stage. Stages sharing an index
+    /// are collocated (time-multiplexed with latest-stage-first priority);
+    /// distinct indices run disaggregated (pipelined).
+    pub resource: usize,
+    /// Maximum micro-batch size dispatched to this stage at once.
+    pub batch: u32,
+    /// Latency of one micro-batch as a function of its fill.
+    pub latency: LatencyTable,
+}
+
+impl StageSpec {
+    /// Creates a stage spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch cap is zero.
+    pub fn new(
+        name: impl Into<String>,
+        resource: usize,
+        batch: u32,
+        latency: LatencyTable,
+    ) -> Self {
+        assert!(batch > 0, "stage micro-batch must be at least 1");
+        Self {
+            name: name.into(),
+            resource,
+            batch,
+            latency,
+        }
+    }
+}
+
+/// The decode stage under continuous batching.
+#[derive(Debug, Clone)]
+pub struct DecodeSpec {
+    /// Maximum number of resident sequences (active or paused) in the decode
+    /// batch — paused sequences keep their slot because their KV cache stays
+    /// on the accelerator.
+    pub max_batch: u32,
+    /// Latency of one decode step as a function of the number of sequences
+    /// actively stepping.
+    pub step_latency: LatencyTable,
+}
+
+impl DecodeSpec {
+    /// Creates a decode spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch cap is zero or any step latency is not strictly
+    /// positive (a zero-latency decode step would let simulated time stall).
+    pub fn new(max_batch: u32, step_latency: LatencyTable) -> Self {
+        assert!(max_batch > 0, "decode batch must be at least 1");
+        assert!(
+            (1..=step_latency.max_fill()).all(|f| step_latency.latency(f) > 0.0),
+            "decode step latency must be strictly positive"
+        );
+        Self {
+            max_batch,
+            step_latency,
+        }
+    }
+}
+
+/// Iterative mid-generation retrieval configuration (Case III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterativeSpec {
+    /// Retrievals each sequence issues *during* generation (beyond the
+    /// pre-decode retrieval). Zero disables pausing.
+    pub retrievals_per_sequence: u32,
+    /// Batch size of the iterative retrieval + re-prefix pass.
+    pub iterative_batch: u32,
+    /// Latency of one iterative retrieval + re-prefix pass, in seconds.
+    pub retrieval_prefix_latency_s: f64,
+    /// RNG seed controlling the per-sequence trigger positions (same scheme
+    /// as [`crate::iterative::IterativeDecodeParams::seed`]).
+    pub seed: u64,
+}
+
+/// A complete serving pipeline: the ordered pre-decode stages, the decode
+/// stage, and optional iterative retrieval.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// Pre-decode stages in pipeline order (may be empty for decode-only
+    /// studies).
+    pub stages: Vec<StageSpec>,
+    /// The decode stage.
+    pub decode: DecodeSpec,
+    /// Iterative retrieval, or `None` when decoding never pauses.
+    pub iterative: Option<IterativeSpec>,
+}
+
+impl PipelineSpec {
+    /// Creates a pipeline without iterative retrieval.
+    pub fn new(stages: Vec<StageSpec>, decode: DecodeSpec) -> Self {
+        Self {
+            stages,
+            decode,
+            iterative: None,
+        }
+    }
+
+    /// Adds iterative mid-generation retrieval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterative batch is zero while retrievals are requested,
+    /// or the retrieval latency is negative or non-finite.
+    pub fn with_iterative(mut self, iterative: IterativeSpec) -> Self {
+        assert!(
+            iterative.retrievals_per_sequence == 0 || iterative.iterative_batch > 0,
+            "iterative_batch must be at least 1 when retrievals are issued"
+        );
+        assert!(
+            iterative.retrieval_prefix_latency_s.is_finite()
+                && iterative.retrieval_prefix_latency_s >= 0.0,
+            "retrieval latency must be finite and non-negative"
+        );
+        self.iterative = Some(iterative);
+        self
+    }
+
+    /// Number of distinct resources referenced by the pre-decode stages.
+    pub fn num_resources(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.resource + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One request entering the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineRequest {
+    /// Request identifier carried through to the timeline.
+    pub id: u64,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Output tokens to generate.
+    pub decode_tokens: u32,
+}
+
+impl From<&Request> for EngineRequest {
+    fn from(r: &Request) -> Self {
+        Self {
+            id: r.id,
+            arrival_s: r.arrival_s,
+            decode_tokens: r.decode_tokens.max(1),
+        }
+    }
+}
+
+/// The per-request record of a simulated lifetime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTimeline {
+    /// Request identifier.
+    pub id: u64,
+    /// Arrival time, in seconds.
+    pub arrival_s: f64,
+    /// Start of service at each pre-decode stage (pipeline order).
+    pub stage_starts_s: Vec<f64>,
+    /// Completion of each pre-decode stage (pipeline order).
+    pub stage_ends_s: Vec<f64>,
+    /// Time the request joined the decode batch.
+    pub decode_join_s: f64,
+    /// Time the first output token was emitted (end of the main prefix, or
+    /// of the first decode step when the pipeline has no pre-decode stages).
+    pub first_token_s: f64,
+    /// Time the final token was emitted.
+    pub completion_s: f64,
+    /// Total time spent waiting in queues (stage queues and decode
+    /// admission).
+    pub queueing_s: f64,
+    /// Output tokens generated.
+    pub decode_tokens: u32,
+}
+
+impl RequestTimeline {
+    /// Time-to-first-token of this request.
+    pub fn ttft_s(&self) -> f64 {
+        self.first_token_s - self.arrival_s
+    }
+
+    /// Achieved time-per-output-token: decode residency divided by tokens
+    /// generated (the quantity [`crate::iterative::IterativeDecodeSim`]
+    /// reports).
+    pub fn tpot_s(&self) -> f64 {
+        (self.completion_s - self.decode_join_s) / f64::from(self.decode_tokens.max(1))
+    }
+
+    /// End-to-end latency from arrival to final token.
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+
+    /// Time in service (everything not spent queueing).
+    pub fn service_s(&self) -> f64 {
+        (self.latency_s() - self.queueing_s).max(0.0)
+    }
+}
+
+/// Summary statistics of one latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Arithmetic mean, in seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank), in seconds.
+    pub p50_s: f64,
+    /// 95th percentile (nearest-rank), in seconds.
+    pub p95_s: f64,
+    /// 99th percentile (nearest-rank), in seconds.
+    pub p99_s: f64,
+    /// Maximum, in seconds.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes the stats of `samples` (order irrelevant; empty input yields
+    /// all-zero stats).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            mean_s: mean,
+            p50_s: percentile(&sorted, 50.0),
+            p95_s: percentile(&sorted, 95.0),
+            p99_s: percentile(&sorted, 99.0),
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate metrics of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests that finished generation (the engine always runs to
+    /// completion, so this equals `requests`).
+    pub completed: usize,
+    /// Time of the last completion, in seconds.
+    pub makespan_s: f64,
+    /// Completed requests divided by the makespan.
+    pub throughput_rps: f64,
+    /// Time-to-first-token distribution.
+    pub ttft: LatencyStats,
+    /// Time-per-output-token distribution.
+    pub tpot: LatencyStats,
+    /// End-to-end request latency distribution.
+    pub latency: LatencyStats,
+    /// Mean per-request time spent waiting in queues.
+    pub queueing_mean_s: f64,
+    /// Mean per-request time in service.
+    pub service_mean_s: f64,
+    /// Time-weighted mean number of actively stepping decode sequences.
+    pub mean_decode_fill: f64,
+    /// Iterative retrieval batches dispatched.
+    pub retrieval_batches: u32,
+    /// Mean fill of dispatched iterative retrieval batches.
+    pub mean_retrieval_batch_fill: f64,
+}
+
+/// The full result of one engine run: per-request timelines plus aggregate
+/// metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Per-request lifetimes, in arrival order.
+    pub timelines: Vec<RequestTimeline>,
+    /// Aggregate distributions and throughput.
+    pub metrics: ServingMetrics,
+}
+
+impl ServingReport {
+    /// Fraction of requests meeting both latency targets of `slo`.
+    pub fn attainment(&self, slo: &SloTarget) -> f64 {
+        if self.timelines.is_empty() {
+            return 1.0;
+        }
+        let met = self
+            .timelines
+            .iter()
+            .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
+            .count();
+        met as f64 / self.timelines.len() as f64
+    }
+
+    /// SLO goodput: requests meeting the latency targets divided by the
+    /// makespan, in requests per second.
+    pub fn goodput_rps(&self, slo: &SloTarget) -> f64 {
+        if self.metrics.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        let met = self
+            .timelines
+            .iter()
+            .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
+            .count();
+        met as f64 / self.metrics.makespan_s
+    }
+
+    /// Whether the run meets `slo` including its attainment requirement.
+    pub fn meets_slo(&self, slo: &SloTarget) -> bool {
+        self.attainment(slo) >= slo.attainment
+    }
+}
+
+/// Finds the sustained-throughput knee of a rate sweep: the largest offered
+/// rate whose attainment still meets `slo.attainment`.
+///
+/// `points` are `(offered_rate_rps, attainment)` pairs from independent
+/// engine runs (any order). Returns `None` when no rate meets the target.
+///
+/// # Examples
+///
+/// ```
+/// use rago_serving_sim::engine::sustained_throughput_knee;
+/// use rago_schema::SloTarget;
+///
+/// let slo = SloTarget::new(2.0, 0.05); // 90 % attainment required
+/// let sweep = [(10.0, 1.0), (20.0, 0.97), (40.0, 0.91), (80.0, 0.4)];
+/// assert_eq!(sustained_throughput_knee(&sweep, &slo), Some(40.0));
+/// assert_eq!(sustained_throughput_knee(&[(10.0, 0.1)], &slo), None);
+/// ```
+pub fn sustained_throughput_knee(points: &[(f64, f64)], slo: &SloTarget) -> Option<f64> {
+    points
+        .iter()
+        .filter(|(_, attainment)| *attainment >= slo.attainment)
+        .map(|(rate, _)| *rate)
+        .max_by(f64::total_cmp)
+}
+
+/// The request-level discrete-event serving engine. See the module
+/// documentation for the model.
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    spec: PipelineSpec,
+    requests: Vec<EngineRequest>,
+}
+
+impl ServingEngine {
+    /// Creates an engine for the given pipeline and requests (sorted by
+    /// arrival time internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arrival time is negative or non-finite, or any request
+    /// generates zero tokens.
+    pub fn new(spec: PipelineSpec, mut requests: Vec<EngineRequest>) -> Self {
+        assert!(
+            requests
+                .iter()
+                .all(|r| r.arrival_s.is_finite() && r.arrival_s >= 0.0),
+            "arrival times must be finite and non-negative"
+        );
+        assert!(
+            requests.iter().all(|r| r.decode_tokens > 0),
+            "every request must generate at least one token"
+        );
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        Self { spec, requests }
+    }
+
+    /// Creates an engine driving every request of a generated trace.
+    pub fn from_trace(spec: PipelineSpec, trace: &Trace) -> Self {
+        Self::new(
+            spec,
+            trace.requests.iter().map(EngineRequest::from).collect(),
+        )
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(&self) -> ServingReport {
+        Sim::new(&self.spec, &self.requests).run()
+    }
+}
+
+/// Discrete events. Same-timestamp events are applied together (state first,
+/// then one dispatch pass), so a retrieval completing exactly at a step
+/// boundary resumes before the next step forms — mirroring the loop order of
+/// [`crate::iterative::IterativeDecodeSim`].
+#[derive(Debug)]
+enum Ev {
+    /// Request `r` arrives and joins the first stage queue (or decode
+    /// admission when the pipeline has no pre-decode stages).
+    Arrival(usize),
+    /// A micro-batch finishes stage `stage` on resource `resource`.
+    StageDone {
+        resource: usize,
+        stage: usize,
+        members: Vec<usize>,
+    },
+    /// One decode step ends for `members`.
+    StepDone(Vec<usize>),
+    /// An iterative retrieval batch completes; `members` resume decoding.
+    RetrievalDone(Vec<usize>),
+}
+
+struct EventEntry {
+    t: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-request simulation state.
+#[derive(Debug, Clone)]
+struct ReqState {
+    queue_entry_s: f64,
+    stage_starts_s: Vec<f64>,
+    stage_ends_s: Vec<f64>,
+    prefix_end_s: f64,
+    decode_join_s: f64,
+    first_token_s: Option<f64>,
+    completion_s: Option<f64>,
+    queueing_s: f64,
+    generated: u32,
+    retrieval_positions: Vec<u32>,
+    next_retrieval: usize,
+    paused: bool,
+}
+
+struct Sim<'a> {
+    spec: &'a PipelineSpec,
+    requests: &'a [EngineRequest],
+    state: Vec<ReqState>,
+    stage_queues: Vec<VecDeque<usize>>,
+    resource_busy: Vec<bool>,
+    /// Requests resident in the decode batch (active or paused).
+    resident: BTreeSet<usize>,
+    admission: VecDeque<usize>,
+    stepping: bool,
+    retrieval_queue: VecDeque<usize>,
+    in_flight_retrievals: usize,
+    retrieval_batches: u32,
+    retrieval_fill: u64,
+    fill_weighted_time: f64,
+    stepping_time: f64,
+    heap: BinaryHeap<Reverse<EventEntry>>,
+    seq: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(spec: &'a PipelineSpec, requests: &'a [EngineRequest]) -> Self {
+        let num_stages = spec.stages.len();
+        // Iterative trigger positions are sampled per request in arrival
+        // order from one RNG — the exact scheme of `IterativeDecodeSim`.
+        let mut rng = spec
+            .iterative
+            .as_ref()
+            .map(|it| StdRng::seed_from_u64(it.seed));
+        let state = requests
+            .iter()
+            .map(|r| {
+                let positions = match (&spec.iterative, &mut rng) {
+                    (Some(it), Some(rng)) => {
+                        sample_positions(rng, r.decode_tokens, it.retrievals_per_sequence)
+                    }
+                    _ => Vec::new(),
+                };
+                ReqState {
+                    queue_entry_s: 0.0,
+                    stage_starts_s: Vec::with_capacity(num_stages),
+                    stage_ends_s: Vec::with_capacity(num_stages),
+                    prefix_end_s: 0.0,
+                    decode_join_s: 0.0,
+                    first_token_s: None,
+                    completion_s: None,
+                    queueing_s: 0.0,
+                    generated: 0,
+                    retrieval_positions: positions,
+                    next_retrieval: 0,
+                    paused: false,
+                }
+            })
+            .collect();
+        let mut sim = Self {
+            spec,
+            requests,
+            state,
+            stage_queues: vec![VecDeque::new(); num_stages],
+            resource_busy: vec![false; spec.num_resources()],
+            resident: BTreeSet::new(),
+            admission: VecDeque::new(),
+            stepping: false,
+            retrieval_queue: VecDeque::new(),
+            in_flight_retrievals: 0,
+            retrieval_batches: 0,
+            retrieval_fill: 0,
+            fill_weighted_time: 0.0,
+            stepping_time: 0.0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        for (idx, r) in requests.iter().enumerate() {
+            sim.push_event(r.arrival_s, Ev::Arrival(idx));
+        }
+        sim
+    }
+
+    fn push_event(&mut self, t: f64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(EventEntry { t, seq, ev }));
+    }
+
+    fn run(mut self) -> ServingReport {
+        while let Some(Reverse(head)) = self.heap.pop() {
+            let mut now = head.t;
+            self.apply(head.t, head.ev);
+            // Apply every event within the timestamp tolerance before
+            // dispatching, so state changes (resumes, arrivals, routing) at
+            // one instant are all visible to the single dispatch pass.
+            while let Some(Reverse(next)) = self.heap.peek() {
+                if next.t <= now + TIME_EPS {
+                    let Reverse(e) = self.heap.pop().expect("peeked");
+                    now = now.max(e.t);
+                    self.apply(e.t, e.ev);
+                } else {
+                    break;
+                }
+            }
+            self.dispatch_stages(now);
+            self.decode_tick(now);
+        }
+        self.report()
+    }
+
+    /// Pure state mutation for one event; no dispatching.
+    fn apply(&mut self, t: f64, ev: Ev) {
+        match ev {
+            Ev::Arrival(r) => {
+                if self.spec.stages.is_empty() {
+                    self.state[r].prefix_end_s = t;
+                    self.state[r].queue_entry_s = t;
+                    self.admission.push_back(r);
+                } else {
+                    self.state[r].queue_entry_s = t;
+                    self.stage_queues[0].push_back(r);
+                }
+            }
+            Ev::StageDone {
+                resource,
+                stage,
+                members,
+            } => {
+                self.resource_busy[resource] = false;
+                let last_stage = stage + 1 == self.spec.stages.len();
+                for r in members {
+                    self.state[r].stage_ends_s.push(t);
+                    self.state[r].queue_entry_s = t;
+                    if last_stage {
+                        // The main prefix emits the first output token.
+                        self.state[r].prefix_end_s = t;
+                        self.state[r].first_token_s = Some(t);
+                        self.admission.push_back(r);
+                    } else {
+                        self.stage_queues[stage + 1].push_back(r);
+                    }
+                }
+            }
+            Ev::StepDone(members) => {
+                self.stepping = false;
+                for r in members {
+                    let tokens = self.requests[r].decode_tokens;
+                    let st = &mut self.state[r];
+                    st.generated += 1;
+                    if st.first_token_s.is_none() {
+                        st.first_token_s = Some(t);
+                    }
+                    if st.next_retrieval < st.retrieval_positions.len()
+                        && st.generated == st.retrieval_positions[st.next_retrieval]
+                        && st.generated < tokens
+                    {
+                        st.next_retrieval += 1;
+                        st.paused = true;
+                        self.retrieval_queue.push_back(r);
+                    }
+                    if st.generated >= tokens {
+                        st.completion_s = Some(t);
+                        self.resident.remove(&r);
+                    }
+                }
+            }
+            Ev::RetrievalDone(members) => {
+                self.in_flight_retrievals -= 1;
+                for r in members {
+                    self.state[r].paused = false;
+                }
+            }
+        }
+    }
+
+    /// Work-conserving micro-batch dispatch: every free resource takes up to
+    /// `batch` requests from its latest non-empty stage queue.
+    fn dispatch_stages(&mut self, now: f64) {
+        for resource in 0..self.resource_busy.len() {
+            if self.resource_busy[resource] {
+                continue;
+            }
+            // Latest stage first (the optimal collocation order); FIFO
+            // within a stage.
+            let Some(stage) = (0..self.spec.stages.len()).rev().find(|&s| {
+                self.spec.stages[s].resource == resource && !self.stage_queues[s].is_empty()
+            }) else {
+                continue;
+            };
+            let cap = self.spec.stages[stage].batch as usize;
+            let take = self.stage_queues[stage].len().min(cap);
+            let members: Vec<usize> = self.stage_queues[stage].drain(..take).collect();
+            for &r in &members {
+                self.state[r].stage_starts_s.push(now);
+                self.state[r].queueing_s += now - self.state[r].queue_entry_s;
+            }
+            let latency = self.spec.stages[stage].latency.latency(take as u32);
+            self.resource_busy[resource] = true;
+            self.push_event(
+                now + latency,
+                Ev::StageDone {
+                    resource,
+                    stage,
+                    members,
+                },
+            );
+        }
+    }
+
+    /// Decode bookkeeping at one instant: admit, dispatch iterative
+    /// retrievals, and start the next step.
+    fn decode_tick(&mut self, now: f64) {
+        // Admit waiting requests into free decode slots (continuous
+        // batching join).
+        while self.resident.len() < self.spec.decode.max_batch as usize {
+            let Some(r) = self.admission.pop_front() else {
+                break;
+            };
+            self.state[r].decode_join_s = now;
+            self.state[r].queueing_s += now - self.state[r].queue_entry_s;
+            self.resident.insert(r);
+        }
+
+        // Dispatch the iterative retrieval queue: when full, or when decode
+        // is stalled (nothing active, nothing in flight) and waiting would
+        // deadlock the tail.
+        if let Some(it) = self.spec.iterative {
+            loop {
+                let queued = self.retrieval_queue.len();
+                if queued == 0 {
+                    break;
+                }
+                let active_empty = !self.stepping && self.active_count() == 0;
+                let full = queued >= it.iterative_batch as usize;
+                let stalled = active_empty && self.in_flight_retrievals == 0;
+                if !(full || stalled) {
+                    break;
+                }
+                let take = queued.min(it.iterative_batch as usize);
+                let members: Vec<usize> = self.retrieval_queue.drain(..take).collect();
+                self.retrieval_batches += 1;
+                self.retrieval_fill += take as u64;
+                if it.retrieval_prefix_latency_s <= TIME_EPS {
+                    // A zero-latency batch completes within this instant:
+                    // resume inline so the members join the very next step,
+                    // exactly as the reference simulator's loop does.
+                    for r in members {
+                        self.state[r].paused = false;
+                    }
+                } else {
+                    self.in_flight_retrievals += 1;
+                    self.push_event(
+                        now + it.retrieval_prefix_latency_s,
+                        Ev::RetrievalDone(members),
+                    );
+                }
+            }
+        }
+
+        // Start the next decode step over the currently active sequences.
+        if !self.stepping {
+            let members: Vec<usize> = self
+                .resident
+                .iter()
+                .copied()
+                .filter(|&r| !self.state[r].paused)
+                .collect();
+            if !members.is_empty() {
+                let fill = members.len() as u32;
+                let dur = self.spec.decode.step_latency.latency(fill);
+                self.fill_weighted_time += f64::from(fill) * dur;
+                self.stepping_time += dur;
+                self.stepping = true;
+                self.push_event(now + dur, Ev::StepDone(members));
+            }
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.resident
+            .iter()
+            .filter(|&&r| !self.state[r].paused)
+            .count()
+    }
+
+    fn report(self) -> ServingReport {
+        let timelines: Vec<RequestTimeline> = self
+            .requests
+            .iter()
+            .zip(self.state.iter())
+            .map(|(req, st)| RequestTimeline {
+                id: req.id,
+                arrival_s: req.arrival_s,
+                stage_starts_s: st.stage_starts_s.clone(),
+                stage_ends_s: st.stage_ends_s.clone(),
+                decode_join_s: st.decode_join_s,
+                // The event loop drains the heap only after every request
+                // has generated its final token; a request without a first
+                // token or completion would be an engine bug, so fail loudly
+                // rather than emit a silently wrong report.
+                first_token_s: st
+                    .first_token_s
+                    .expect("every request emits a first token before the engine finishes"),
+                completion_s: st
+                    .completion_s
+                    .expect("every request completes before the engine finishes"),
+                queueing_s: st.queueing_s,
+                decode_tokens: req.decode_tokens,
+            })
+            .collect();
+
+        let ttfts: Vec<f64> = timelines.iter().map(RequestTimeline::ttft_s).collect();
+        let tpots: Vec<f64> = timelines.iter().map(RequestTimeline::tpot_s).collect();
+        let latencies: Vec<f64> = timelines.iter().map(RequestTimeline::latency_s).collect();
+        let makespan = timelines
+            .iter()
+            .map(|t| t.completion_s)
+            .fold(0.0f64, f64::max);
+        let n = timelines.len();
+        let queueing_mean = if n == 0 {
+            0.0
+        } else {
+            timelines.iter().map(|t| t.queueing_s).sum::<f64>() / n as f64
+        };
+        let service_mean = if n == 0 {
+            0.0
+        } else {
+            timelines
+                .iter()
+                .map(RequestTimeline::service_s)
+                .sum::<f64>()
+                / n as f64
+        };
+        let metrics = ServingMetrics {
+            requests: n,
+            completed: n,
+            makespan_s: makespan,
+            throughput_rps: if makespan > 0.0 {
+                n as f64 / makespan
+            } else {
+                0.0
+            },
+            ttft: LatencyStats::from_samples(&ttfts),
+            tpot: LatencyStats::from_samples(&tpots),
+            latency: LatencyStats::from_samples(&latencies),
+            queueing_mean_s: queueing_mean,
+            service_mean_s: service_mean,
+            mean_decode_fill: if self.stepping_time > 0.0 {
+                self.fill_weighted_time / self.stepping_time
+            } else {
+                0.0
+            },
+            retrieval_batches: self.retrieval_batches,
+            mean_retrieval_batch_fill: if self.retrieval_batches == 0 {
+                0.0
+            } else {
+                self.retrieval_fill as f64 / f64::from(self.retrieval_batches)
+            },
+        };
+        ServingReport { timelines, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rago_schema::SequenceProfile;
+    use rago_workloads::{ArrivalProcess, TraceSpec};
+
+    fn one_stage_spec(
+        stage_latency: f64,
+        batch: u32,
+        decode_step: f64,
+        decode_batch: u32,
+    ) -> PipelineSpec {
+        PipelineSpec::new(
+            vec![StageSpec::new(
+                "prefix",
+                0,
+                batch,
+                LatencyTable::constant(batch, stage_latency),
+            )],
+            DecodeSpec::new(
+                decode_batch,
+                LatencyTable::constant(decode_batch, decode_step),
+            ),
+        )
+    }
+
+    fn req(id: u64, arrival: f64, tokens: u32) -> EngineRequest {
+        EngineRequest {
+            id,
+            arrival_s: arrival,
+            decode_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn single_request_passes_through_cleanly() {
+        let spec = one_stage_spec(0.1, 8, 0.01, 4);
+        let report = ServingEngine::new(spec, vec![req(0, 0.0, 10)]).run();
+        let t = &report.timelines[0];
+        assert!((t.ttft_s() - 0.1).abs() < 1e-12);
+        assert!((t.completion_s - (0.1 + 10.0 * 0.01)).abs() < 1e-12);
+        assert!((t.tpot_s() - 0.01).abs() < 1e-12);
+        assert!(t.queueing_s.abs() < 1e-12);
+        assert_eq!(report.metrics.completed, 1);
+    }
+
+    #[test]
+    fn queueing_builds_when_the_stage_is_saturated() {
+        // Stage takes 1 s per batch of 1; three simultaneous arrivals queue.
+        let spec = one_stage_spec(1.0, 1, 0.01, 8);
+        let report =
+            ServingEngine::new(spec, vec![req(0, 0.0, 1), req(1, 0.0, 1), req(2, 0.0, 1)]).run();
+        let ttfts: Vec<f64> = report
+            .timelines
+            .iter()
+            .map(RequestTimeline::ttft_s)
+            .collect();
+        assert!((ttfts[0] - 1.0).abs() < 1e-12);
+        assert!((ttfts[1] - 2.0).abs() < 1e-12);
+        assert!((ttfts[2] - 3.0).abs() < 1e-12);
+        assert!((report.timelines[2].queueing_s - 2.0).abs() < 1e-12);
+        assert!(report.metrics.queueing_mean_s > 0.9);
+    }
+
+    #[test]
+    fn microbatching_bounds_the_dispatch_size() {
+        let spec = one_stage_spec(0.5, 2, 0.01, 16);
+        let report = ServingEngine::new(spec, (0..6).map(|i| req(i, 0.0, 1)).collect()).run();
+        // Three sequential micro-batches of 2: TTFTs 0.5, 0.5, 1.0, 1.0, 1.5, 1.5.
+        let mut ttfts: Vec<f64> = report
+            .timelines
+            .iter()
+            .map(RequestTimeline::ttft_s)
+            .collect();
+        ttfts.sort_by(f64::total_cmp);
+        assert!((ttfts[1] - 0.5).abs() < 1e-12);
+        assert!((ttfts[3] - 1.0).abs() < 1e-12);
+        assert!((ttfts[5] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_batching_joins_mid_flight_and_respects_slots() {
+        // Decode slot cap of 1: the second request must wait for the first
+        // to finish decoding before joining.
+        let spec = one_stage_spec(0.1, 8, 0.1, 1);
+        let report = ServingEngine::new(spec, vec![req(0, 0.0, 5), req(1, 0.0, 5)]).run();
+        let a = &report.timelines[0];
+        let b = &report.timelines[1];
+        // Both prefix together (batch 8 holds both), but decode serializes.
+        assert!((a.ttft_s() - 0.1).abs() < 1e-12);
+        assert!((b.ttft_s() - 0.1).abs() < 1e-12);
+        assert!((a.completion_s - 0.6).abs() < 1e-12);
+        assert!((b.completion_s - 1.1).abs() < 1e-12);
+        assert!((b.decode_join_s - 0.6).abs() < 1e-12);
+        assert!(b.queueing_s > 0.49); // admission wait
+    }
+
+    #[test]
+    fn late_arrival_joins_the_running_decode_batch() {
+        // First request decodes alone; second arrives mid-decode and joins
+        // at the next step boundary (continuous batching).
+        let spec = PipelineSpec::new(
+            Vec::new(),
+            DecodeSpec::new(4, LatencyTable::constant(4, 0.1)),
+        );
+        let report = ServingEngine::new(spec, vec![req(0, 0.0, 10), req(1, 0.25, 3)]).run();
+        let b = &report.timelines[1];
+        // Arrives at 0.25 during the step ending 0.3; first own step ends 0.4.
+        assert!((b.first_token_s - 0.4).abs() < 1e-12);
+        assert!((b.completion_s - 0.6).abs() < 1e-12);
+        assert!(report.metrics.mean_decode_fill > 1.0);
+    }
+
+    #[test]
+    fn collocated_stages_prefer_the_latest_stage() {
+        // Two stages share one resource; micro-batch of 1, two requests.
+        // Latest-stage-first finishes request 0 entirely before starting
+        // request 1's first stage.
+        let spec = PipelineSpec::new(
+            vec![
+                StageSpec::new("s1", 0, 1, LatencyTable::constant(1, 0.1)),
+                StageSpec::new("s2", 0, 1, LatencyTable::constant(1, 0.1)),
+            ],
+            DecodeSpec::new(8, LatencyTable::constant(8, 1e-3)),
+        );
+        let report = ServingEngine::new(spec, vec![req(0, 0.0, 1), req(1, 0.0, 1)]).run();
+        assert!((report.timelines[0].ttft_s() - 0.2).abs() < 1e-12);
+        assert!((report.timelines[1].ttft_s() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disaggregated_stages_pipeline() {
+        // Same stages on distinct resources: stage 1 of request 1 overlaps
+        // stage 2 of request 0.
+        let spec = PipelineSpec::new(
+            vec![
+                StageSpec::new("s1", 0, 1, LatencyTable::constant(1, 0.1)),
+                StageSpec::new("s2", 1, 1, LatencyTable::constant(1, 0.1)),
+            ],
+            DecodeSpec::new(8, LatencyTable::constant(8, 1e-3)),
+        );
+        let report = ServingEngine::new(spec, vec![req(0, 0.0, 1), req(1, 0.0, 1)]).run();
+        assert!((report.timelines[0].ttft_s() - 0.2).abs() < 1e-12);
+        assert!((report.timelines[1].ttft_s() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_retrievals_pause_and_resume() {
+        let spec = PipelineSpec::new(
+            Vec::new(),
+            DecodeSpec::new(8, LatencyTable::constant(8, 1e-3)),
+        )
+        .with_iterative(IterativeSpec {
+            retrievals_per_sequence: 2,
+            iterative_batch: 4,
+            retrieval_prefix_latency_s: 0.05,
+            seed: 9,
+        });
+        let report = ServingEngine::new(spec, (0..8).map(|i| req(i, 0.0, 64)).collect()).run();
+        assert!(report.metrics.retrieval_batches >= 4); // 16 retrievals / batch 4
+        assert!(report.metrics.mean_retrieval_batch_fill <= 4.0 + 1e-12);
+        // Pauses necessarily stretch decode beyond the unobstructed time.
+        let unobstructed = 64.0 * 1e-3;
+        assert!(report.metrics.tpot.max_s * 64.0 > unobstructed + 0.05);
+    }
+
+    #[test]
+    fn from_trace_runs_all_requests_under_poisson_load() {
+        let spec = PipelineSpec::new(
+            vec![StageSpec::new(
+                "prefix",
+                0,
+                8,
+                LatencyTable::from_fn(8, |b| 0.01 + 0.002 * f64::from(b)),
+            )],
+            DecodeSpec::new(
+                32,
+                LatencyTable::from_fn(32, |b| 2e-3 + 1e-5 * f64::from(b)),
+            ),
+        );
+        let trace = TraceSpec {
+            num_requests: 200,
+            profile: SequenceProfile::paper_default().with_decode_tokens(16),
+            arrival: ArrivalProcess::Poisson { rate_rps: 50.0 },
+            length_jitter: 0.3,
+            seed: 21,
+        }
+        .generate();
+        let report = ServingEngine::from_trace(spec, &trace).run();
+        assert_eq!(report.metrics.completed, 200);
+        assert!(report.metrics.throughput_rps > 0.0);
+        // Percentiles are ordered.
+        let m = &report.metrics;
+        assert!(m.ttft.p50_s <= m.ttft.p95_s && m.ttft.p95_s <= m.ttft.p99_s);
+        assert!(m.ttft.p99_s <= m.ttft.max_s);
+        assert!(m.tpot.p50_s <= m.tpot.max_s);
+        // Timelines are internally consistent.
+        for t in &report.timelines {
+            assert!(t.first_token_s >= t.arrival_s);
+            assert!(t.completion_s >= t.first_token_s);
+            assert!(t.queueing_s >= -1e-12);
+            assert!(t.queueing_s <= t.latency_s() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn attainment_and_goodput_follow_the_targets() {
+        let spec = one_stage_spec(0.1, 8, 0.01, 8);
+        let report = ServingEngine::new(spec, (0..8).map(|i| req(i, 0.0, 10)).collect()).run();
+        let generous = SloTarget::new(10.0, 1.0);
+        let impossible = SloTarget::new(1e-6, 1e-9);
+        assert!((report.attainment(&generous) - 1.0).abs() < 1e-12);
+        assert!(report.attainment(&impossible).abs() < 1e-12);
+        assert!(report.goodput_rps(&generous) > 0.0);
+        assert!(report.goodput_rps(&impossible).abs() < 1e-12);
+        assert!(report.meets_slo(&generous));
+        assert!(!report.meets_slo(&impossible));
+        assert!((report.goodput_rps(&generous) - report.metrics.throughput_rps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_picks_the_largest_conforming_rate() {
+        let slo = SloTarget::new(1.0, 0.1).with_attainment(0.9);
+        let sweep = [(5.0, 1.0), (10.0, 0.95), (20.0, 0.89), (40.0, 0.2)];
+        assert_eq!(sustained_throughput_knee(&sweep, &slo), Some(10.0));
+        assert_eq!(sustained_throughput_knee(&[], &slo), None);
+    }
+
+    #[test]
+    fn latency_table_saturates() {
+        let t = LatencyTable::from_fn(4, f64::from);
+        assert_eq!(t.latency(1), 1.0);
+        assert_eq!(t.latency(4), 4.0);
+        assert_eq!(t.latency(9), 4.0); // saturates
+        assert_eq!(t.max_fill(), 4);
+    }
+
+    #[test]
+    fn latency_stats_percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+        let empty = LatencyStats::from_samples(&[]);
+        assert_eq!(empty.max_s, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_identical_inputs() {
+        let build = || {
+            let spec = PipelineSpec::new(
+                vec![StageSpec::new(
+                    "prefix",
+                    0,
+                    4,
+                    LatencyTable::constant(4, 0.02),
+                )],
+                DecodeSpec::new(16, LatencyTable::constant(16, 2e-3)),
+            )
+            .with_iterative(IterativeSpec {
+                retrievals_per_sequence: 2,
+                iterative_batch: 4,
+                retrieval_prefix_latency_s: 0.03,
+                seed: 5,
+            });
+            let trace = TraceSpec {
+                num_requests: 64,
+                profile: SequenceProfile::paper_default().with_decode_tokens(32),
+                arrival: ArrivalProcess::Poisson { rate_rps: 100.0 },
+                length_jitter: 0.2,
+                seed: 3,
+            }
+            .generate();
+            ServingEngine::from_trace(spec, &trace).run()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_token_requests_are_rejected() {
+        let _ = ServingEngine::new(one_stage_spec(0.1, 1, 0.01, 1), vec![req(0, 0.0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_step_latency_is_rejected() {
+        let _ = DecodeSpec::new(4, LatencyTable::constant(4, 0.0));
+    }
+}

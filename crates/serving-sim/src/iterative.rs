@@ -105,6 +105,26 @@ impl IterativeDecodeSim {
     }
 
     /// Runs the simulation to completion and returns the aggregate metrics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_serving_sim::iterative::{IterativeDecodeParams, IterativeDecodeSim};
+    ///
+    /// // Without mid-generation retrievals decoding is unobstructed.
+    /// let result = IterativeDecodeSim::new(IterativeDecodeParams {
+    ///     decode_batch: 8,
+    ///     iterative_batch: 4,
+    ///     decode_len: 32,
+    ///     retrievals_per_sequence: 0,
+    ///     step_latency_s: 1e-3,
+    ///     retrieval_prefix_latency_s: 0.05,
+    ///     seed: 0,
+    /// })
+    /// .run();
+    /// assert!((result.normalized_decode_latency - 1.0).abs() < 1e-9);
+    /// assert_eq!(result.retrieval_batches, 0);
+    /// ```
     pub fn run(&self) -> IterativeDecodeResult {
         let p = self.params;
         let mut rng = StdRng::seed_from_u64(p.seed);
@@ -256,7 +276,11 @@ impl IterativeDecodeSim {
 /// Samples `count` distinct retrieval positions uniformly from
 /// `[1, decode_len - 1]`, sorted ascending (retrievals never trigger on the
 /// final token — there is nothing left to generate).
-fn sample_positions(rng: &mut StdRng, decode_len: u32, count: u32) -> Vec<u32> {
+///
+/// Shared with the request-level engine ([`crate::engine`]) so both
+/// simulators draw identical trigger positions from the same seed — the basis
+/// of the degenerate-case equivalence between them.
+pub(crate) fn sample_positions(rng: &mut StdRng, decode_len: u32, count: u32) -> Vec<u32> {
     if count == 0 || decode_len <= 1 {
         return Vec::new();
     }

@@ -1,9 +1,9 @@
 //! Discrete-event simulation of RAG serving pipelines.
 //!
 //! The analytical cost models (`rago-accel-sim`, `rago-retrieval-sim`) give
-//! the steady-state cost of each stage in isolation. Two effects studied by
-//! the RAGO paper are inherently *dynamic* and need simulation on top of
-//! those per-batch costs:
+//! the steady-state cost of each stage in isolation. The effects studied by
+//! the RAGO paper's system-level evaluation are inherently *dynamic* and need
+//! simulation on top of those per-batch costs:
 //!
 //! * **Iterative-retrieval stalls** (§5.3, Figures 9 and 10): when decoding
 //!   pauses to issue mid-generation retrievals, the achieved TPOT depends on
@@ -17,6 +17,16 @@
 //!   disaggregated resources (pipelined) or on one collocated resource
 //!   (time-multiplexed with an execution-order policy).
 //!   [`microbatch`] computes per-request completion times for both policies.
+//! * **Request streams** — the general case subsuming both: [`engine`] is a
+//!   request-level discrete-event engine that drives whole requests through
+//!   the full pipeline (encode → rewrite → retrieve → rerank → prefix →
+//!   decode, with optional iterative retrieval) under any
+//!   [`rago_workloads::ArrivalProcess`], with per-resource queues,
+//!   continuous batching for decode, and per-request timelines. It reports
+//!   TTFT/TPOT distributions, queueing-versus-service breakdown, and SLO
+//!   attainment/goodput against a [`rago_schema::SloTarget`] — and it
+//!   reproduces the two special-case simulators above as degenerate cases
+//!   (`tests/engine_equivalence.rs`).
 //!
 //! # Examples
 //!
@@ -37,12 +47,42 @@
 //! assert!(result.tpot_worst_s >= result.tpot_mean_s);
 //! assert!(result.normalized_decode_latency >= 1.0);
 //! ```
+//!
+//! Driving a Poisson request stream through a two-stage pipeline with the
+//! request-level engine:
+//!
+//! ```
+//! use rago_serving_sim::engine::{DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec};
+//! use rago_workloads::{ArrivalProcess, TraceSpec};
+//! use rago_schema::SequenceProfile;
+//!
+//! let spec = PipelineSpec::new(
+//!     vec![StageSpec::new("prefix", 0, 8, LatencyTable::constant(8, 0.02))],
+//!     DecodeSpec::new(32, LatencyTable::constant(32, 3e-3)),
+//! );
+//! let trace = TraceSpec {
+//!     num_requests: 40,
+//!     profile: SequenceProfile::paper_default().with_decode_tokens(16),
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 30.0 },
+//!     length_jitter: 0.0,
+//!     seed: 1,
+//! }
+//! .generate();
+//! let report = ServingEngine::from_trace(spec, &trace).run();
+//! assert_eq!(report.metrics.completed, 40);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod iterative;
 pub mod microbatch;
 
+pub use engine::{
+    sustained_throughput_knee, DecodeSpec, EngineRequest, IterativeSpec, LatencyStats,
+    LatencyTable, PipelineSpec, RequestTimeline, ServingEngine, ServingMetrics, ServingReport,
+    StageSpec,
+};
 pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
 pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};

@@ -53,6 +53,23 @@ fn split(burst: u32, microbatch: u32) -> Vec<u32> {
 /// `stage_latency[s](b)` must return the latency of stage `s` on a batch of
 /// `b` requests.
 ///
+/// # Examples
+///
+/// ```
+/// use rago_serving_sim::microbatch::simulate_pipelined_burst;
+///
+/// // Two stages, 0.1 s per micro-batch each; 8 requests in micro-batches
+/// // of 4 pipeline across the stages: 0.2 s for the first batch, then one
+/// // more 0.1 s slot for the second.
+/// let s1 = |_b: u32| 0.1;
+/// let s2 = |_b: u32| 0.1;
+/// let stages: Vec<&dyn Fn(u32) -> f64> = vec![&s1, &s2];
+/// let r = simulate_pipelined_burst(&stages, 8, 4);
+/// assert_eq!(r.num_microbatches, 2);
+/// assert!((r.first_completion_s - 0.2).abs() < 1e-12);
+/// assert!((r.makespan_s - 0.3).abs() < 1e-12);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if there are no stages, the burst is empty, or the micro-batch size
@@ -90,6 +107,20 @@ pub fn simulate_pipelined_burst(
 /// jobs the scheduler picks the one belonging to the **latest** stage (and,
 /// within a stage, the earliest micro-batch), which minimizes the average
 /// completion time of the final stage (Figure 14's optimal order).
+///
+/// # Examples
+///
+/// ```
+/// use rago_serving_sim::microbatch::{simulate_collocated_burst, simulate_pipelined_burst};
+///
+/// let s1 = |b: u32| 0.01 * f64::from(b);
+/// let s2 = |b: u32| 0.01 * f64::from(b);
+/// let stages: Vec<&dyn Fn(u32) -> f64> = vec![&s1, &s2];
+/// let collocated = simulate_collocated_burst(&stages, 8, 4);
+/// let pipelined = simulate_pipelined_burst(&stages, 8, 4);
+/// // Sharing one resource can never beat dedicated per-stage resources.
+/// assert!(pipelined.makespan_s <= collocated.makespan_s + 1e-12);
+/// ```
 ///
 /// # Panics
 ///

@@ -1,6 +1,10 @@
 //! Property-based tests for the discrete-event serving simulators.
 
 use proptest::prelude::*;
+use rago_serving_sim::engine::{
+    DecodeSpec, EngineRequest, IterativeSpec, LatencyTable, PipelineSpec, RequestTimeline,
+    ServingEngine, StageSpec,
+};
 use rago_serving_sim::iterative::{IterativeDecodeParams, IterativeDecodeSim};
 use rago_serving_sim::microbatch::{simulate_collocated_burst, simulate_pipelined_burst};
 
@@ -89,6 +93,97 @@ proptest! {
         prop_assert_eq!(pipe.num_microbatches, col.num_microbatches);
         // Number of micro-batches is ceil(burst / microbatch).
         prop_assert_eq!(pipe.num_microbatches, burst.div_ceil(microbatch));
+    }
+
+    /// The request-level engine reproduces `IterativeDecodeSim` for random
+    /// degenerate configurations (no pre-decode stages, simultaneous
+    /// arrivals, decode batch equal to the request count).
+    #[test]
+    fn engine_matches_iterative_sim_on_random_configs(
+        decode_batch in 1u32..48,
+        iterative_batch in 1u32..48,
+        retrievals in 0u32..5,
+        decode_len in 4u32..96,
+        retrieval_latency in 0.0f64..0.1,
+        seed in 0u64..300,
+    ) {
+        let params = IterativeDecodeParams {
+            decode_batch,
+            iterative_batch,
+            decode_len,
+            retrievals_per_sequence: retrievals,
+            step_latency_s: 2e-3,
+            retrieval_prefix_latency_s: retrieval_latency,
+            seed,
+        };
+        let reference = IterativeDecodeSim::new(params).run();
+        let spec = PipelineSpec::new(
+            Vec::new(),
+            DecodeSpec::new(decode_batch, LatencyTable::constant(decode_batch, 2e-3)),
+        )
+        .with_iterative(IterativeSpec {
+            retrievals_per_sequence: retrievals,
+            iterative_batch,
+            retrieval_prefix_latency_s: retrieval_latency,
+            seed,
+        });
+        let requests: Vec<EngineRequest> = (0..decode_batch)
+            .map(|i| EngineRequest { id: u64::from(i), arrival_s: 0.0, decode_tokens: decode_len })
+            .collect();
+        let report = ServingEngine::new(spec, requests).run();
+        prop_assert!((report.metrics.makespan_s - reference.total_time_s).abs() < 1e-9);
+        let tpot_worst = report
+            .timelines
+            .iter()
+            .map(RequestTimeline::tpot_s)
+            .fold(0.0f64, f64::max);
+        prop_assert!((tpot_worst - reference.tpot_worst_s).abs() < 1e-9);
+        prop_assert_eq!(report.metrics.retrieval_batches, reference.retrieval_batches);
+    }
+
+    /// Engine timelines are causally ordered and every request completes,
+    /// for random loads, stage shapes, and decode caps.
+    #[test]
+    fn engine_timelines_are_causal(
+        requests in 1usize..80,
+        stage_batch in 1u32..16,
+        decode_batch in 1u32..32,
+        stage_latency in 1e-4f64..0.05,
+        step_latency in 1e-4f64..0.01,
+        gap in 0.0f64..0.02,
+    ) {
+        let spec = PipelineSpec::new(
+            vec![StageSpec::new(
+                "prefix",
+                0,
+                stage_batch,
+                LatencyTable::constant(stage_batch, stage_latency),
+            )],
+            DecodeSpec::new(decode_batch, LatencyTable::constant(decode_batch, step_latency)),
+        );
+        let reqs: Vec<EngineRequest> = (0..requests)
+            .map(|i| EngineRequest {
+                id: i as u64,
+                arrival_s: gap * i as f64,
+                decode_tokens: 1 + (i as u32 % 17),
+            })
+            .collect();
+        let report = ServingEngine::new(spec, reqs).run();
+        prop_assert_eq!(report.metrics.completed, requests);
+        for t in &report.timelines {
+            prop_assert!(t.first_token_s >= t.arrival_s - 1e-12);
+            prop_assert!(t.decode_join_s >= t.arrival_s - 1e-12);
+            prop_assert!(t.completion_s >= t.first_token_s - 1e-12);
+            prop_assert!(t.queueing_s >= -1e-12);
+            prop_assert!(t.queueing_s <= t.latency_s() + 1e-9);
+            // Decode can't finish faster than one step per token.
+            prop_assert!(
+                t.completion_s - t.decode_join_s
+                    >= step_latency * f64::from(t.decode_tokens) - 1e-9
+            );
+        }
+        prop_assert!(report.metrics.ttft.p50_s <= report.metrics.ttft.p99_s + 1e-12);
+        prop_assert!(report.metrics.throughput_rps > 0.0);
     }
 
     /// The makespan of a pipelined burst is at least the bottleneck stage's

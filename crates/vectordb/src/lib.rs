@@ -7,7 +7,7 @@
 //!
 //! * [`FlatIndex`] — exact brute-force k-nearest-neighbour search (used by the
 //!   paper for the tiny per-request databases of the long-context paradigm);
-//! * [`kmeans`] — Lloyd's k-means used to train coarse quantizers and PQ
+//! * [`mod@kmeans`] — Lloyd's k-means used to train coarse quantizers and PQ
 //!   codebooks;
 //! * [`ProductQuantizer`] — PQ training, encoding, and asymmetric-distance
 //!   (ADC) scanning;

@@ -28,6 +28,22 @@ pub enum ArrivalProcess {
 impl ArrivalProcess {
     /// Generates `n` arrival timestamps (seconds, non-decreasing).
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_workloads::ArrivalProcess;
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let times = ArrivalProcess::Poisson { rate_rps: 100.0 }.sample(500, &mut rng);
+    /// assert_eq!(times.len(), 500);
+    /// assert!(times.windows(2).all(|w| w[1] >= w[0]));
+    ///
+    /// let bursts = ArrivalProcess::Bursts { burst_size: 4, period_s: 1.0 }.sample(8, &mut rng);
+    /// assert_eq!(bursts, vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if a Poisson rate or burst period is not positive, or a burst

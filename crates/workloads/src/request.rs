@@ -133,7 +133,28 @@ pub struct TraceSpec {
 }
 
 impl TraceSpec {
-    /// Generates the trace.
+    /// Generates the trace: arrival timestamps from the arrival process,
+    /// per-request lengths jittered around the profile, deterministic in the
+    /// seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_workloads::{ArrivalProcess, TraceSpec};
+    /// use rago_schema::SequenceProfile;
+    ///
+    /// let spec = TraceSpec {
+    ///     num_requests: 10,
+    ///     profile: SequenceProfile::paper_default(),
+    ///     arrival: ArrivalProcess::Instantaneous,
+    ///     length_jitter: 0.0,
+    ///     seed: 1,
+    /// };
+    /// let trace = spec.generate();
+    /// assert_eq!(trace.requests.len(), 10);
+    /// assert!(trace.requests.iter().all(|r| r.arrival_s == 0.0));
+    /// assert_eq!(spec.generate(), trace); // deterministic
+    /// ```
     pub fn generate(&self) -> Trace {
         let mut arrival_rng = StdRng::seed_from_u64(self.seed);
         let arrivals = self.arrival.sample(self.num_requests, &mut arrival_rng);

@@ -1,0 +1,118 @@
+//! Property-based tests for [`rago_workloads::ArrivalProcess::sample`] —
+//! previously exercised only indirectly through trace generation.
+
+use proptest::prelude::*;
+use rago_workloads::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every arrival process produces non-negative, non-decreasing
+    /// timestamps of exactly the requested length.
+    #[test]
+    fn timestamps_are_nondecreasing(
+        n in 0usize..2_000,
+        rate in 0.1f64..500.0,
+        burst_size in 1u32..64,
+        period in 0.01f64..10.0,
+        seed in 0u64..1_000,
+    ) {
+        let processes = [
+            ArrivalProcess::Poisson { rate_rps: rate },
+            ArrivalProcess::Bursts { burst_size, period_s: period },
+            ArrivalProcess::Instantaneous,
+        ];
+        for process in processes {
+            let times = process.sample(n, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(times.len(), n);
+            prop_assert!(times.iter().all(|t| t.is_finite() && *t >= 0.0));
+            prop_assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        }
+    }
+
+    /// The empirical Poisson rate converges to the configured rate: over
+    /// 4 000 samples the mean inter-arrival gap is within 10 % of `1/rate`.
+    #[test]
+    fn poisson_mean_rate_converges(
+        rate in 1.0f64..200.0,
+        seed in 0u64..500,
+    ) {
+        let n = 4_000usize;
+        let times = ArrivalProcess::Poisson { rate_rps: rate }
+            .sample(n, &mut StdRng::seed_from_u64(seed));
+        let span = *times.last().unwrap();
+        prop_assert!(span > 0.0);
+        let empirical_rate = n as f64 / span;
+        prop_assert!(
+            (empirical_rate - rate).abs() / rate < 0.1,
+            "empirical rate {} vs configured {}",
+            empirical_rate,
+            rate
+        );
+    }
+
+    /// Poisson inter-arrival gaps are strictly positive (the exponential
+    /// draw excludes zero) and their variance is that of an exponential:
+    /// sample variance within 30 % of `1/rate^2` at 4 000 samples.
+    #[test]
+    fn poisson_gaps_look_exponential(
+        rate in 1.0f64..100.0,
+        seed in 0u64..200,
+    ) {
+        let n = 4_000usize;
+        let times = ArrivalProcess::Poisson { rate_rps: rate }
+            .sample(n, &mut StdRng::seed_from_u64(seed));
+        let gaps: Vec<f64> = std::iter::once(times[0])
+            .chain(times.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        prop_assert!(gaps.iter().all(|g| *g > 0.0));
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let expected_var = 1.0 / (rate * rate);
+        prop_assert!(
+            (var - expected_var).abs() / expected_var < 0.3,
+            "variance {} vs exponential {}",
+            var,
+            expected_var
+        );
+    }
+
+    /// Burst arrivals land in groups of exactly `burst_size` at integer
+    /// multiples of `period_s`, in order.
+    #[test]
+    fn burst_timing_matches_period(
+        n in 1usize..1_000,
+        burst_size in 1u32..32,
+        period in 0.01f64..5.0,
+        seed in 0u64..100,
+    ) {
+        let times = ArrivalProcess::Bursts { burst_size, period_s: period }
+            .sample(n, &mut StdRng::seed_from_u64(seed));
+        for (i, &t) in times.iter().enumerate() {
+            let burst_index = (i as u64) / u64::from(burst_size);
+            prop_assert!(
+                (t - burst_index as f64 * period).abs() < 1e-12,
+                "request {} expected at {}, got {}",
+                i,
+                burst_index as f64 * period,
+                t
+            );
+        }
+        // Every full burst contains exactly `burst_size` requests.
+        let full_bursts = n / burst_size as usize;
+        for b in 0..full_bursts {
+            let t = b as f64 * period;
+            let count = times.iter().filter(|&&x| (x - t).abs() < 1e-12).count();
+            prop_assert_eq!(count, burst_size as usize);
+        }
+    }
+
+    /// Instantaneous arrivals are all at time zero.
+    #[test]
+    fn instantaneous_is_all_zero(n in 0usize..500, seed in 0u64..100) {
+        let times = ArrivalProcess::Instantaneous.sample(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(times.iter().all(|&t| t == 0.0));
+    }
+}

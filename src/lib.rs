@@ -8,9 +8,13 @@
 //! * [`vectordb`] — the IVF-PQ vector-search substrate;
 //! * [`accel_sim`] — the operator-roofline inference cost model (§4(a));
 //! * [`retrieval_sim`] — the ScaNN-style retrieval cost model (§4(b));
-//! * [`serving_sim`] — discrete-event serving simulation (§5.3, §6.1);
-//! * [`core`] — the RAGO optimizer itself (§6);
-//! * [`workloads`] — case-study presets and request generators.
+//! * [`serving_sim`] — discrete-event serving simulation (§5.3, §6.1),
+//!   including the request-level engine with continuous batching and SLO
+//!   metrics;
+//! * [`core`] — the RAGO optimizer itself (§6), with static and dynamic
+//!   (request-level) schedule evaluation;
+//! * [`workloads`] — case-study presets, arrival processes, and request
+//!   generators.
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,318 @@
+//! Fleet-level acceptance bench: attainment versus replica count, router
+//! policy comparison, and a capacity-planning cross-check, written to
+//! `BENCH_fleet.json` at the workspace root.
+//!
+//! Three studies over the case-1 (hyperscale retrieval) best-QPS/chip
+//! schedule:
+//!
+//! 1. **Scaling** — SLO attainment across a shared offered-rate grid for
+//!    fleets of 1..N replicas under least-outstanding routing, with the
+//!    sustained-throughput knee per fleet size. Acceptance: the 2-replica
+//!    knee is strictly above the 1-replica knee.
+//! 2. **Routing** — every `RouterPolicy` at one fixed (replicas, rate)
+//!    point: attainment, goodput, TTFT tail, and load imbalance.
+//! 3. **Capacity planning** — `plan_capacity`'s binary search must agree
+//!    with an exhaustive linear scan over the same replica grid.
+//!
+//! Set `RAGO_BENCH_QUICK=1` for a CI-friendly quick mode (smaller grid and
+//! traces, same JSON shape). The bench asserts its acceptance criteria and
+//! refuses to write JSON containing non-finite numbers, so CI can gate on
+//! the file's presence and NaN-freeness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rago_core::{CapacityOptions, Rago, SearchOptions};
+use rago_schema::presets::{self, LlmSize};
+use rago_schema::{FleetConfig, RouterPolicy, SequenceProfile, SloTarget};
+use rago_serving_sim::engine::sustained_throughput_knee;
+use rago_workloads::{ArrivalProcess, TraceSpec};
+
+struct ScalePoint {
+    rate_rps: f64,
+    attainment: f64,
+    goodput_rps: f64,
+}
+
+struct ScaleSeries {
+    replicas: u32,
+    points: Vec<ScalePoint>,
+    knee_rps: Option<f64>,
+}
+
+struct PolicyRow {
+    policy: RouterPolicy,
+    attainment: f64,
+    goodput_rps: f64,
+    ttft_p99_s: f64,
+    imbalance_cv: f64,
+    max_over_mean: f64,
+}
+
+/// Generates a Poisson trace spanning roughly `duration_s` of traffic at
+/// `rate_rps`. Scaling the request count with the rate (instead of fixing
+/// it) is what makes overload visible: a fixed-size trace at a high rate is
+/// just a short burst the system drains within the SLO, whereas a
+/// fixed-duration trace lets queueing accumulate at every overloaded rate.
+fn trace_at(rate_rps: f64, duration_s: f64, profile: SequenceProfile) -> rago_workloads::Trace {
+    TraceSpec {
+        num_requests: (rate_rps * duration_s).ceil().max(1.0) as usize,
+        profile,
+        arrival: ArrivalProcess::Poisson { rate_rps },
+        length_jitter: 0.2,
+        seed: 17,
+    }
+    .generate()
+}
+
+fn fmt_policy(p: RouterPolicy) -> String {
+    p.to_string()
+}
+
+fn bench_fleet_json(_c: &mut Criterion) {
+    let quick = rago_bench::quick_mode();
+    let slo = SloTarget::paper_default();
+    let duration_s = if quick { 4.0 } else { 8.0 };
+    let profile = SequenceProfile::paper_default().with_decode_tokens(64);
+
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        rago_bench::default_cluster(),
+    );
+    let frontier = rago
+        .optimize(&SearchOptions::fast())
+        .expect("static search succeeds");
+    let best = frontier
+        .max_qps_per_chip()
+        .expect("non-empty frontier")
+        .clone();
+    let static_qps = best.performance.qps.max(1e-9);
+
+    // Study 1: attainment vs replica count on a shared absolute rate grid
+    // (so knees are directly comparable across fleet sizes).
+    let fractions: &[f64] = if quick {
+        &[0.5, 1.0, 1.5, 2.0, 3.0]
+    } else {
+        &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0]
+    };
+    let replica_counts: &[u32] = if quick { &[1, 2] } else { &[1, 2, 3, 4] };
+    let mut series = Vec::new();
+    for &replicas in replica_counts {
+        let fleet = FleetConfig::new(replicas, RouterPolicy::LeastOutstanding);
+        let mut points = Vec::new();
+        for &f in fractions {
+            let rate = f * static_qps;
+            let eval = rago
+                .evaluate_fleet(
+                    &best.schedule,
+                    &fleet,
+                    &trace_at(rate, duration_s, profile),
+                    &slo,
+                )
+                .expect("fleet evaluation succeeds");
+            points.push(ScalePoint {
+                rate_rps: rate,
+                attainment: eval.attainment,
+                goodput_rps: eval.goodput_rps,
+            });
+        }
+        let knee_rps = sustained_throughput_knee(
+            &points
+                .iter()
+                .map(|p| (p.rate_rps, p.attainment))
+                .collect::<Vec<_>>(),
+            &slo,
+        );
+        series.push(ScaleSeries {
+            replicas,
+            points,
+            knee_rps,
+        });
+    }
+
+    // Acceptance: a 2-replica fleet under least-outstanding routing
+    // sustains strictly higher SLO-attaining QPS than 1 replica.
+    let knee_1 = series[0].knee_rps.expect("1-replica fleet has a knee");
+    let knee_2 = series[1].knee_rps.expect("2-replica fleet has a knee");
+    assert!(
+        knee_2 > knee_1,
+        "2-replica knee {knee_2:.2} rps must beat the 1-replica knee {knee_1:.2} rps"
+    );
+
+    // Study 2: router policies at a fixed operating point — enough load
+    // that routing matters (beyond one replica's knee, below the fleet's).
+    let policy_replicas: u32 = if quick { 2 } else { 3 };
+    let policy_rate = 0.8 * f64::from(policy_replicas) * static_qps;
+    let policy_trace = trace_at(policy_rate, duration_s, profile);
+    let mut policy_rows = Vec::new();
+    for policy in RouterPolicy::ALL {
+        let eval = rago
+            .evaluate_fleet(
+                &best.schedule,
+                &FleetConfig::new(policy_replicas, policy),
+                &policy_trace,
+                &slo,
+            )
+            .expect("fleet evaluation succeeds");
+        policy_rows.push(PolicyRow {
+            policy,
+            attainment: eval.attainment,
+            goodput_rps: eval.goodput_rps,
+            ttft_p99_s: eval.report.merged.metrics.ttft.p99_s,
+            imbalance_cv: eval.report.imbalance.coefficient_of_variation,
+            max_over_mean: eval.report.imbalance.max_over_mean,
+        });
+    }
+
+    // Study 3: plan_capacity vs an exhaustive linear scan over the same
+    // replica grid, trace, and router.
+    let target_qps = 2.0 * static_qps;
+    let capacity = CapacityOptions {
+        max_replicas: if quick { 4 } else { 6 },
+        num_requests: (target_qps * duration_s).ceil() as usize,
+        profile,
+        ..CapacityOptions::default()
+    };
+    let plan = rago
+        .plan_capacity(&best.schedule, &slo, target_qps, &capacity)
+        .expect("the target rate is plannable within the replica bound");
+    let scan_trace = TraceSpec {
+        num_requests: capacity.num_requests,
+        profile: capacity.profile,
+        arrival: ArrivalProcess::Poisson {
+            rate_rps: target_qps,
+        },
+        length_jitter: capacity.length_jitter,
+        seed: capacity.seed,
+    }
+    .generate();
+    let linear_scan = (1..=capacity.max_replicas)
+        .find(|&n| {
+            rago.evaluate_fleet(
+                &best.schedule,
+                &FleetConfig::new(n, capacity.router),
+                &scan_trace,
+                &slo,
+            )
+            .expect("fleet evaluation succeeds")
+            .meets_slo
+        })
+        .expect("some count within the bound meets the SLO");
+    assert_eq!(
+        plan.replicas, linear_scan,
+        "binary search disagrees with the exhaustive scan"
+    );
+
+    let json = render_json(
+        &slo,
+        &best.schedule.describe(),
+        static_qps,
+        duration_s,
+        &series,
+        policy_replicas,
+        policy_rate,
+        &policy_rows,
+        target_qps,
+        plan.replicas,
+        linear_scan,
+        plan.attainment,
+        plan.total_xpus,
+        knee_1,
+        knee_2,
+    );
+    assert!(
+        !json.to_ascii_lowercase().contains("nan") && !json.contains("inf"),
+        "refusing to write non-finite fleet metrics"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fleet.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    slo: &SloTarget,
+    schedule: &str,
+    static_qps: f64,
+    trace_duration_s: f64,
+    series: &[ScaleSeries],
+    policy_replicas: u32,
+    policy_rate: f64,
+    policy_rows: &[PolicyRow],
+    target_qps: f64,
+    planned_replicas: u32,
+    linear_scan_replicas: u32,
+    plan_attainment: f64,
+    plan_total_xpus: u32,
+    knee_1: f64,
+    knee_2: f64,
+) -> String {
+    let series_json = series
+        .iter()
+        .map(|s| {
+            let points = s
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "        {{\"rate_rps\": {:.3}, \"attainment\": {:.4}, \
+                         \"goodput_rps\": {:.3}}}",
+                        p.rate_rps, p.attainment, p.goodput_rps
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "    {{\"replicas\": {}, \"knee_rps\": {}, \"points\": [\n{}\n    ]}}",
+                s.replicas,
+                s.knee_rps
+                    .map(|k| format!("{k:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+                points
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let policies_json = policy_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"policy\": \"{}\", \"attainment\": {:.4}, \"goodput_rps\": {:.3}, \
+                 \"ttft_p99_s\": {:.6}, \"imbalance_cv\": {:.4}, \"max_over_mean\": {:.4}}}",
+                fmt_policy(r.policy),
+                r.attainment,
+                r.goodput_rps,
+                r.ttft_p99_s,
+                r.imbalance_cv,
+                r.max_over_mean
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"fleet_scaling/cluster\",\n  \"trace_duration_s\": {trace_duration_s:.1},\n  \
+         \"slo\": {{\"ttft_s\": {:.3}, \"tpot_s\": {:.3}, \"attainment\": {:.2}}},\n  \
+         \"schedule\": \"{schedule}\",\n  \"static_qps\": {static_qps:.3},\n  \
+         \"attainment_vs_replicas\": [\n{series_json}\n  ],\n  \
+         \"router_comparison\": {{\n    \"replicas\": {policy_replicas}, \"rate_rps\": {policy_rate:.3},\n    \"policies\": [\n{policies_json}\n    ]\n  }},\n  \
+         \"capacity_plan\": {{\"target_qps\": {target_qps:.3}, \"planned_replicas\": {planned_replicas}, \
+         \"linear_scan_replicas\": {linear_scan_replicas}, \"agrees\": {}, \
+         \"attainment\": {plan_attainment:.4}, \"total_xpus\": {plan_total_xpus}}},\n  \
+         \"acceptance\": {{\"knee_1_replica_rps\": {knee_1:.3}, \"knee_2_replicas_rps\": {knee_2:.3}, \
+         \"two_replicas_beat_one\": {}}}\n}}\n",
+        slo.ttft_s,
+        slo.tpot_s,
+        slo.attainment,
+        planned_replicas == linear_scan_replicas,
+        knee_2 > knee_1,
+    )
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet_json
+}
+criterion_main!(benches);

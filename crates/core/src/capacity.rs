@@ -1,0 +1,460 @@
+//! SLO-driven capacity planning: how many replicas does a schedule need?
+//!
+//! The optimizer answers *which schedule* is best for one pipeline; the
+//! north-star question is *how many copies* of that pipeline a deployment
+//! must provision to serve a target rate within an SLO — the decision
+//! DistServe and Splitwise show dominates per-pipeline tuning at scale.
+//! This module closes that loop on top of the fleet simulation in
+//! `rago-serving-sim::cluster`:
+//!
+//! * [`plan_capacity`] binary-searches the minimum replica count whose
+//!   fleet-level SLO attainment meets the target at a given offered rate;
+//! * [`rank_frontier_by_cost_at_qps`] re-ranks a Pareto frontier by the
+//!   *total chips* each schedule needs to serve that rate — the fleet-level
+//!   analogue of [`crate::dynamic::rank_frontier_by_goodput`]: a schedule
+//!   that looks mediocre per chip may win once replica granularity is
+//!   accounted for, and vice versa.
+//!
+//! Attainment is monotone (non-decreasing) in the replica count in
+//! expectation — more replicas strictly reduce every replica's share of the
+//! load — which is what lets [`plan_capacity`] binary-search instead of
+//! scanning. A finite seeded trace can still dip, so the search finishes
+//! with a downward confirmation walk (see [`plan_capacity_with`]); the
+//! `fleet_scaling` bench cross-checks the result against an exhaustive
+//! linear scan.
+
+use crate::dynamic::pipeline_spec;
+use crate::error::RagoError;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::profiler::StageProfiler;
+use crate::schedule::Schedule;
+use rago_schema::{RouterPolicy, SequenceProfile, SloTarget};
+use rago_serving_sim::cluster::{ClusterEngine, FleetReport};
+use rago_workloads::{ArrivalProcess, TraceSpec};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Knobs of a capacity-planning run: the simulated trace shape and the
+/// search bounds. The defaults suit the paper's QA/chatbot profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityOptions {
+    /// Largest replica count the search will consider.
+    pub max_replicas: u32,
+    /// Routing policy of the simulated fleet.
+    pub router: RouterPolicy,
+    /// Requests in the generated Poisson trace. More requests average out
+    /// arrival noise at the cost of simulation time.
+    pub num_requests: usize,
+    /// Sequence-length profile of the generated requests.
+    pub profile: SequenceProfile,
+    /// Relative length jitter of the generated requests, in `[0, 1)`.
+    pub length_jitter: f64,
+    /// RNG seed of the generated trace.
+    pub seed: u64,
+}
+
+impl Default for CapacityOptions {
+    fn default() -> Self {
+        Self {
+            max_replicas: 16,
+            router: RouterPolicy::default(),
+            num_requests: 240,
+            profile: SequenceProfile::paper_default().with_decode_tokens(64),
+            length_jitter: 0.2,
+            seed: 17,
+        }
+    }
+}
+
+/// The provisioning decision for one schedule at one target rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    /// Minimum replica count meeting the SLO at the target rate.
+    pub replicas: u32,
+    /// Offered rate the plan was sized for, in requests per second.
+    pub target_qps: f64,
+    /// Fleet SLO attainment at the planned replica count.
+    pub attainment: f64,
+    /// Fleet SLO goodput at the planned replica count, in requests per
+    /// second of serving duration.
+    pub goodput_rps: f64,
+    /// Total accelerators across the fleet: the schedule's XPUs times the
+    /// replica count — the cost axis
+    /// [`rank_frontier_by_cost_at_qps`] ranks by.
+    pub total_xpus: u32,
+    /// Total retrieval CPU servers across the fleet.
+    pub total_retrieval_servers: u32,
+    /// Drain tail of the sizing run (time spent completing in-flight work
+    /// after the last arrival); planners can discount it since it is paid
+    /// once per burst, not per unit of sustained traffic.
+    pub drain_tail_s: f64,
+}
+
+/// Finds the minimum replica count of `schedule`'s pipeline whose fleet
+/// attainment meets `slo` at `target_qps`, with default
+/// [`CapacityOptions`]. See [`plan_capacity_with`].
+///
+/// # Errors
+///
+/// See [`plan_capacity_with`].
+pub fn plan_capacity(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    slo: &SloTarget,
+    target_qps: f64,
+) -> Result<CapacityPlan, RagoError> {
+    plan_capacity_with(
+        profiler,
+        schedule,
+        slo,
+        target_qps,
+        &CapacityOptions::default(),
+    )
+}
+
+/// Finds the minimum replica count of `schedule`'s pipeline whose
+/// fleet-level SLO attainment meets `slo` at a Poisson offered rate of
+/// `target_qps`: a binary search over `1..=options.max_replicas` followed
+/// by a downward confirmation walk. Attainment is monotone in the replica
+/// count in expectation (more replicas strictly shrink every replica's
+/// load share), but a finite seeded trace with discrete routing can dip;
+/// the confirmation walk re-checks successively smaller fleets from the
+/// binary-search result (memoized, so the walk is one extra evaluation in
+/// the monotone case) and guarantees the returned count's predecessor
+/// misses the SLO — which makes the result equal to an exhaustive linear
+/// scan whenever the sweep is monotone (cross-checked by the
+/// `fleet_scaling` bench). The pipeline is profiled once and replicated;
+/// every candidate count is evaluated on the same generated trace, so
+/// plans are comparable across schedules.
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] when the target rate is not
+/// positive and finite or the schedule is invalid,
+/// [`RagoError::CostModel`] when the schedule cannot be profiled, and
+/// [`RagoError::NoFeasibleSchedule`] when even `options.max_replicas`
+/// replicas miss the SLO at the target rate.
+pub fn plan_capacity_with(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    slo: &SloTarget,
+    target_qps: f64,
+    options: &CapacityOptions,
+) -> Result<CapacityPlan, RagoError> {
+    if !(target_qps > 0.0 && target_qps.is_finite()) {
+        return Err(RagoError::InvalidConfig {
+            reason: format!("target QPS must be positive and finite, got {target_qps}"),
+        });
+    }
+    if options.max_replicas == 0 {
+        return Err(RagoError::InvalidConfig {
+            reason: "max_replicas must be at least 1".into(),
+        });
+    }
+    if options.num_requests == 0 {
+        // An empty sizing trace would score a vacuous attainment of 1.0 at
+        // any replica count — the same failure mode the dynamic evaluator
+        // rejects for zero-request traces.
+        return Err(RagoError::InvalidConfig {
+            reason: "capacity planning needs at least one request in the sizing trace".into(),
+        });
+    }
+    schedule.validate()?;
+    let spec = pipeline_spec(profiler, schedule)?;
+    let trace = TraceSpec {
+        num_requests: options.num_requests,
+        profile: options.profile,
+        arrival: ArrivalProcess::Poisson {
+            rate_rps: target_qps,
+        },
+        length_jitter: options.length_jitter,
+        seed: options.seed,
+    }
+    .generate();
+    let mut reports: BTreeMap<u32, FleetReport> = BTreeMap::new();
+    let meets = |replicas: u32, reports: &mut BTreeMap<u32, FleetReport>| -> bool {
+        reports
+            .entry(replicas)
+            .or_insert_with(|| {
+                ClusterEngine::homogeneous(spec.clone(), replicas as usize, options.router)
+                    .run_trace(&trace)
+            })
+            .attainment(slo)
+            >= slo.attainment
+    };
+
+    // Establish feasibility at the upper bound, then binary-search the
+    // minimal feasible count in [1, max].
+    if !meets(options.max_replicas, &mut reports) {
+        let top = &reports[&options.max_replicas];
+        return Err(RagoError::NoFeasibleSchedule {
+            reason: format!(
+                "even {} replicas reach only {:.1} % attainment at {target_qps:.1} rps \
+                 (target {:.1} %)",
+                options.max_replicas,
+                top.attainment(slo) * 100.0,
+                slo.attainment * 100.0
+            ),
+        });
+    }
+    let mut lo = 1u32;
+    let mut hi = options.max_replicas;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid, &mut reports) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Downward confirmation: a noisy dip in the sweep can make the binary
+    // search land above the true minimum, so keep stepping down while
+    // smaller fleets still meet the SLO (memoized — one extra evaluation
+    // when the sweep is monotone).
+    let mut replicas = hi;
+    while replicas > 1 && meets(replicas - 1, &mut reports) {
+        replicas -= 1;
+    }
+    let report = reports
+        .remove(&replicas)
+        .expect("the chosen replica count was evaluated");
+    Ok(CapacityPlan {
+        replicas,
+        target_qps,
+        attainment: report.attainment(slo),
+        goodput_rps: report.goodput_rps(slo),
+        total_xpus: schedule.allocation.total_xpus() * replicas,
+        total_retrieval_servers: schedule.allocation.retrieval_servers * replicas,
+        drain_tail_s: report.merged.metrics.drain_tail_s,
+    })
+}
+
+/// Re-ranks a Pareto frontier by the total accelerators needed to serve
+/// `target_qps` within `slo`, cheapest fleet first — the fleet-level
+/// analogue of [`crate::dynamic::rank_frontier_by_goodput`]. Each point is
+/// capacity-planned independently (in parallel across rayon workers);
+/// points that cannot meet the SLO even at `options.max_replicas` replicas
+/// are omitted. Ties on total XPUs break toward fewer replicas, then lower
+/// static TTFT, then the schedule description, so the ranking is
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics when the target rate is not positive and finite or the options
+/// describe an empty search (zero requests or zero replicas). Those inputs
+/// would fail *every* per-point plan, and silently returning an empty
+/// ranking would be indistinguishable from "no schedule can serve this
+/// rate".
+pub fn rank_frontier_by_cost_at_qps(
+    profiler: &StageProfiler,
+    frontier: &ParetoFrontier,
+    slo: &SloTarget,
+    target_qps: f64,
+    options: &CapacityOptions,
+) -> Vec<(ParetoPoint, CapacityPlan)> {
+    assert!(
+        target_qps > 0.0 && target_qps.is_finite(),
+        "target QPS must be positive and finite, got {target_qps}"
+    );
+    assert!(
+        options.max_replicas > 0 && options.num_requests > 0,
+        "capacity options must allow at least one replica and one request"
+    );
+    let mut ranked: Vec<(ParetoPoint, CapacityPlan)> = frontier
+        .iter()
+        .par_bridge()
+        .fold(Vec::new, |mut acc, point| {
+            if let Ok(plan) =
+                plan_capacity_with(profiler, &point.schedule, slo, target_qps, options)
+            {
+                acc.push((point.clone(), plan));
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    ranked.sort_by(|a, b| {
+        a.1.total_xpus
+            .cmp(&b.1.total_xpus)
+            .then(a.1.replicas.cmp(&b.1.replicas))
+            .then(a.0.performance.ttft_s.total_cmp(&b.0.performance.ttft_s))
+            .then_with(|| a.0.schedule.describe().cmp(&b.0.schedule.describe()))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Rago, SearchOptions};
+    use crate::placement::PlacementPlan;
+    use crate::schedule::{BatchingPolicy, ResourceAllocation};
+    use rago_hardware::ClusterSpec;
+    use rago_schema::presets::{self, LlmSize};
+    use rago_schema::Stage;
+
+    fn case1_profiler() -> StageProfiler {
+        StageProfiler::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        )
+    }
+
+    fn case1_schedule() -> Schedule {
+        Schedule {
+            placement: PlacementPlan {
+                predecode_groups: vec![vec![Stage::Prefix]],
+            },
+            allocation: ResourceAllocation {
+                group_xpus: vec![8],
+                decode_xpus: 8,
+                retrieval_servers: 32,
+            },
+            batching: BatchingPolicy::new(8, 64),
+        }
+    }
+
+    fn quick_options() -> CapacityOptions {
+        CapacityOptions {
+            max_replicas: 8,
+            num_requests: 120,
+            ..CapacityOptions::default()
+        }
+    }
+
+    #[test]
+    fn plan_matches_an_exhaustive_linear_scan() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let options = quick_options();
+        // A rate one replica cannot hold but a small fleet can.
+        let single = crate::dynamic::evaluate_fleet_dynamic(
+            &profiler,
+            &schedule,
+            &rago_schema::FleetConfig::new(1, options.router),
+            &TraceSpec {
+                num_requests: options.num_requests,
+                profile: options.profile,
+                arrival: ArrivalProcess::Poisson { rate_rps: 40.0 },
+                length_jitter: options.length_jitter,
+                seed: options.seed,
+            }
+            .generate(),
+            &slo,
+        )
+        .unwrap();
+        let target_qps = 40.0;
+        let plan = plan_capacity_with(&profiler, &schedule, &slo, target_qps, &options).unwrap();
+        // Exhaustive scan over the same candidate counts.
+        let spec = pipeline_spec(&profiler, &schedule).unwrap();
+        let trace = TraceSpec {
+            num_requests: options.num_requests,
+            profile: options.profile,
+            arrival: ArrivalProcess::Poisson {
+                rate_rps: target_qps,
+            },
+            length_jitter: options.length_jitter,
+            seed: options.seed,
+        }
+        .generate();
+        let scan = (1..=options.max_replicas)
+            .find(|&n| {
+                ClusterEngine::homogeneous(spec.clone(), n as usize, options.router)
+                    .run_trace(&trace)
+                    .attainment(&slo)
+                    >= slo.attainment
+            })
+            .expect("some count within the bound meets the SLO");
+        assert_eq!(plan.replicas, scan);
+        assert!(plan.attainment >= slo.attainment);
+        assert_eq!(
+            plan.total_xpus,
+            schedule.allocation.total_xpus() * plan.replicas
+        );
+        // If one replica were already enough the comparison is vacuous;
+        // make sure the chosen rate actually needs a fleet.
+        if single.meets_slo {
+            assert_eq!(plan.replicas, 1);
+        } else {
+            assert!(plan.replicas > 1);
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_are_reported() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        // No replica count can beat a sub-microsecond TPOT target: adding
+        // replicas reduces queueing but never the per-step latency.
+        let slo = SloTarget::new(0.5, 1e-6);
+        let options = CapacityOptions {
+            max_replicas: 2,
+            num_requests: 80,
+            ..CapacityOptions::default()
+        };
+        let err = plan_capacity_with(&profiler, &schedule, &slo, 100.0, &options).unwrap_err();
+        assert!(matches!(err, RagoError::NoFeasibleSchedule { .. }));
+        let slo = SloTarget::new(0.5, 0.05);
+        let err = plan_capacity_with(&profiler, &schedule, &slo, 0.0, &options).unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }));
+        let err = plan_capacity_with(&profiler, &schedule, &slo, f64::NAN, &options).unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }));
+        // A zero-request sizing trace would vacuously meet any SLO.
+        let empty = CapacityOptions {
+            num_requests: 0,
+            ..CapacityOptions::default()
+        };
+        let err = plan_capacity_with(&profiler, &schedule, &slo, 10.0, &empty).unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn light_loads_need_one_replica() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(5.0, 0.2);
+        let plan = plan_capacity_with(&profiler, &schedule, &slo, 1.0, &quick_options()).unwrap();
+        assert_eq!(plan.replicas, 1);
+        assert!(plan.drain_tail_s >= 0.0);
+    }
+
+    #[test]
+    fn frontier_cost_ranking_is_sorted_and_feasible() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let options = SearchOptions {
+            xpu_steps: vec![8, 32],
+            server_steps: vec![32],
+            predecode_batch_steps: vec![1, 16],
+            decode_batch_steps: vec![128],
+            iterative_batch_steps: vec![8],
+            placements: None,
+        };
+        let frontier = rago.optimize(&options).unwrap();
+        let slo = SloTarget::new(2.0, 0.1);
+        let capacity = CapacityOptions {
+            max_replicas: 8,
+            num_requests: 100,
+            ..CapacityOptions::default()
+        };
+        let ranked =
+            rank_frontier_by_cost_at_qps(rago.profiler(), &frontier, &slo, 20.0, &capacity);
+        assert!(!ranked.is_empty());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1.total_xpus <= pair[1].1.total_xpus);
+        }
+        for (point, plan) in &ranked {
+            assert!(plan.attainment >= slo.attainment);
+            assert_eq!(
+                plan.total_xpus,
+                point.schedule.allocation.total_xpus() * plan.replicas
+            );
+        }
+    }
+}

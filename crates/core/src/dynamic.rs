@@ -18,7 +18,8 @@ use crate::error::RagoError;
 use crate::pareto::{ParetoFrontier, ParetoPoint};
 use crate::profiler::StageProfiler;
 use crate::schedule::Schedule;
-use rago_schema::{SloTarget, Stage};
+use rago_schema::{FleetConfig, RouterPolicy, SloTarget, Stage};
+use rago_serving_sim::cluster::{ClusterEngine, FleetReport};
 use rago_serving_sim::engine::{
     DecodeSpec, IterativeSpec, LatencyTable, PipelineSpec, ServingEngine, ServingReport,
 };
@@ -62,8 +63,10 @@ pub struct DynamicEvaluation {
 /// # Errors
 ///
 /// Returns [`RagoError::InvalidConfig`] for structurally invalid schedules
-/// and [`RagoError::CostModel`] when any profiled point is infeasible under
-/// its allocation.
+/// or an empty trace (a zero-request trace has no attainment to measure —
+/// reporting `meets_slo = true` for it would let a misconfigured sweep pass
+/// silently), and [`RagoError::CostModel`] when any profiled point is
+/// infeasible under its allocation.
 pub fn evaluate_schedule_dynamic(
     profiler: &StageProfiler,
     schedule: &Schedule,
@@ -71,6 +74,7 @@ pub fn evaluate_schedule_dynamic(
     slo: &SloTarget,
 ) -> Result<DynamicEvaluation, RagoError> {
     schedule.validate()?;
+    reject_empty_trace(trace)?;
     let spec = pipeline_spec(profiler, schedule)?;
     let report = ServingEngine::from_trace(spec, trace).run();
     // One pass over the timelines covers all three SLO figures.
@@ -79,13 +83,11 @@ pub fn evaluate_schedule_dynamic(
         .iter()
         .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
         .count();
-    let attainment = if report.timelines.is_empty() {
-        1.0
-    } else {
-        met as f64 / report.timelines.len() as f64
-    };
-    let goodput_rps = if report.metrics.makespan_s > 0.0 {
-        met as f64 / report.metrics.makespan_s
+    let attainment = met as f64 / report.timelines.len() as f64;
+    // Goodput over the serving window (first arrival to last completion):
+    // a trace whose first arrival is late must not deflate the rate.
+    let goodput_rps = if report.metrics.serving_duration_s > 0.0 {
+        met as f64 / report.metrics.serving_duration_s
     } else {
         0.0
     };
@@ -98,9 +100,110 @@ pub fn evaluate_schedule_dynamic(
     })
 }
 
+/// Rejects zero-request traces, which would otherwise score a vacuous
+/// `attainment = 1.0`.
+fn reject_empty_trace(trace: &Trace) -> Result<(), RagoError> {
+    if trace.requests.is_empty() {
+        return Err(RagoError::InvalidConfig {
+            reason: "dynamic evaluation needs at least one request; \
+                     a zero-request trace has no SLO attainment to measure"
+                .into(),
+        });
+    }
+    Ok(())
+}
+
+/// The outcome of one fleet-level dynamic evaluation: `replicas` copies of
+/// the schedule's pipeline behind a router, sharing one arrival stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvaluation {
+    /// Merged fleet report with per-replica breakdowns and imbalance stats.
+    pub report: FleetReport,
+    /// Fraction of all requests meeting the SLO's latency targets.
+    pub attainment: f64,
+    /// Requests meeting the SLO per second of fleet serving duration.
+    pub goodput_rps: f64,
+    /// Whether fleet attainment reaches the SLO's required fraction.
+    pub meets_slo: bool,
+}
+
+/// Drives `trace` through a fleet of `fleet.replicas` identical replicas of
+/// `schedule`'s pipeline behind `fleet.router`, and scores the merged
+/// result against `slo`. The fleet-level analogue of
+/// [`evaluate_schedule_dynamic`].
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] for invalid schedules, invalid
+/// fleet configurations, or an empty trace, and [`RagoError::CostModel`]
+/// when any profiled point is infeasible.
+pub fn evaluate_fleet_dynamic(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+) -> Result<FleetEvaluation, RagoError> {
+    schedule.validate()?;
+    fleet.validate().map_err(|e| RagoError::InvalidConfig {
+        reason: e.to_string(),
+    })?;
+    reject_empty_trace(trace)?;
+    let spec = pipeline_spec(profiler, schedule)?;
+    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, fleet.router);
+    Ok(score_fleet(engine.run_trace(trace), slo))
+}
+
+/// A heterogeneous fleet: one (possibly different) schedule per replica —
+/// e.g. serving two Pareto-frontier schedules side by side.
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] when `schedules` is empty, any
+/// schedule is invalid, or the trace is empty, and [`RagoError::CostModel`]
+/// when any profiled point is infeasible.
+pub fn evaluate_heterogeneous_fleet_dynamic(
+    profiler: &StageProfiler,
+    schedules: &[Schedule],
+    router: RouterPolicy,
+    trace: &Trace,
+    slo: &SloTarget,
+) -> Result<FleetEvaluation, RagoError> {
+    if schedules.is_empty() {
+        return Err(RagoError::InvalidConfig {
+            reason: "a heterogeneous fleet needs at least one schedule".into(),
+        });
+    }
+    reject_empty_trace(trace)?;
+    let mut specs = Vec::with_capacity(schedules.len());
+    for schedule in schedules {
+        schedule.validate()?;
+        specs.push(pipeline_spec(profiler, schedule)?);
+    }
+    let engine = ClusterEngine::heterogeneous(specs, router);
+    Ok(score_fleet(engine.run_trace(trace), slo))
+}
+
+/// Scores a finished fleet run against `slo`.
+fn score_fleet(report: FleetReport, slo: &SloTarget) -> FleetEvaluation {
+    let attainment = report.attainment(slo);
+    let goodput_rps = report.goodput_rps(slo);
+    let meets_slo = report.meets_slo(slo);
+    FleetEvaluation {
+        report,
+        attainment,
+        goodput_rps,
+        meets_slo,
+    }
+}
+
 /// Translates a schedule into the engine's pipeline description using the
-/// profiled stage costs.
-fn pipeline_spec(profiler: &StageProfiler, schedule: &Schedule) -> Result<PipelineSpec, RagoError> {
+/// profiled stage costs. Shared with the capacity planner
+/// ([`crate::capacity`]), which builds the spec once and replicates it.
+pub(crate) fn pipeline_spec(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+) -> Result<PipelineSpec, RagoError> {
     let schema = profiler.schema();
     let batch = schedule.batching.predecode_batch;
     let retrieval_resource = schedule.placement.num_groups();
@@ -186,12 +289,24 @@ fn pipeline_spec(profiler: &StageProfiler, schedule: &Schedule) -> Result<Pipeli
 /// search reduces millions of candidates to a frontier, and the dynamic
 /// engine — too expensive to run inside the search loop — re-scores just the
 /// frontier under real arrivals.
+///
+/// # Panics
+///
+/// Panics on a zero-request trace. The per-point evaluation rejects empty
+/// traces, so silently dropping the error here would turn a misconfigured
+/// sweep into an empty ranking indistinguishable from "nothing was
+/// feasible" — the exact failure mode the empty-trace guard exists to
+/// surface.
 pub fn rank_frontier_by_goodput(
     profiler: &StageProfiler,
     frontier: &ParetoFrontier,
     trace: &Trace,
     slo: &SloTarget,
 ) -> Vec<(ParetoPoint, DynamicEvaluation)> {
+    assert!(
+        !trace.requests.is_empty(),
+        "cannot rank a frontier by goodput over a zero-request trace"
+    );
     let mut ranked: Vec<(ParetoPoint, DynamicEvaluation)> = frontier
         .iter()
         .par_bridge()
@@ -364,6 +479,181 @@ mod tests {
             .step_latency_s
             .unwrap();
         assert!(eval.report.metrics.tpot.max_s > step);
+    }
+
+    /// Regression: an empty trace used to score a vacuous `attainment = 1.0`
+    /// and `meets_slo = true`; it must be rejected instead.
+    #[test]
+    fn empty_traces_are_rejected() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let trace = TraceSpec {
+            num_requests: 0,
+            profile: SequenceProfile::paper_default(),
+            arrival: ArrivalProcess::Instantaneous,
+            length_jitter: 0.0,
+            seed: 0,
+        }
+        .generate();
+        let slo = SloTarget::paper_default();
+        let err = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }));
+        let err = evaluate_fleet_dynamic(
+            &profiler,
+            &schedule,
+            &rago_schema::FleetConfig::new(2, RouterPolicy::LeastOutstanding),
+            &trace,
+            &slo,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }));
+    }
+
+    /// An empty trace must not produce an empty ranking that masquerades as
+    /// "nothing was feasible" — it fails loudly instead.
+    #[test]
+    #[should_panic(expected = "zero-request trace")]
+    fn frontier_ranking_rejects_empty_traces() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let frontier = rago
+            .optimize(&SearchOptions {
+                xpu_steps: vec![8],
+                server_steps: vec![32],
+                predecode_batch_steps: vec![8],
+                decode_batch_steps: vec![64],
+                iterative_batch_steps: vec![8],
+                placements: None,
+            })
+            .unwrap();
+        let empty = TraceSpec {
+            num_requests: 0,
+            profile: SequenceProfile::paper_default(),
+            arrival: ArrivalProcess::Instantaneous,
+            length_jitter: 0.0,
+            seed: 0,
+        }
+        .generate();
+        let _ = rago.rank_frontier_by_goodput(&frontier, &empty, &SloTarget::paper_default());
+    }
+
+    /// Regression: goodput used to divide by the makespan measured from
+    /// t = 0, so a trace shifted +100 s silently deflated it. It is now
+    /// measured over the serving window and invariant to the shift.
+    #[test]
+    fn goodput_is_invariant_to_a_shifted_trace() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::paper_default();
+        let trace = TraceSpec {
+            num_requests: 48,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Bursts {
+                burst_size: 8,
+                period_s: 0.5,
+            },
+            length_jitter: 0.0,
+            seed: 7,
+        }
+        .generate();
+        let shifted = trace.with_arrival_offset(100.0);
+        let base = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        let moved = evaluate_schedule_dynamic(&profiler, &schedule, &shifted, &slo).unwrap();
+        assert!(base.goodput_rps > 0.0);
+        assert!(
+            (moved.goodput_rps - base.goodput_rps).abs() < 1e-9,
+            "shifted trace changed goodput: {} vs {}",
+            moved.goodput_rps,
+            base.goodput_rps
+        );
+        assert!(
+            (moved.report.metrics.throughput_rps - base.report.metrics.throughput_rps).abs() < 1e-9
+        );
+        assert!((moved.report.metrics.first_arrival_s - 100.0).abs() < 1e-9);
+        // The drain tail is exposed and identical across the shift.
+        assert!(
+            (moved.report.metrics.drain_tail_s - base.report.metrics.drain_tail_s).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn fleet_evaluation_scales_attainment_with_replicas() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = TraceSpec {
+            num_requests: 120,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: 60.0 },
+            length_jitter: 0.0,
+            seed: 11,
+        }
+        .generate();
+        let fleet = |n: u32| {
+            evaluate_fleet_dynamic(
+                &profiler,
+                &schedule,
+                &rago_schema::FleetConfig::new(n, RouterPolicy::LeastOutstanding),
+                &trace,
+                &slo,
+            )
+            .unwrap()
+        };
+        let one = fleet(1);
+        let four = fleet(4);
+        assert!(four.attainment >= one.attainment);
+        assert_eq!(four.report.per_replica.len(), 4);
+        assert_eq!(
+            four.report
+                .per_replica
+                .iter()
+                .map(|r| r.assigned)
+                .sum::<usize>(),
+            120
+        );
+        // A 1-replica fleet agrees with the single-engine path.
+        let single = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        assert_eq!(one.report.merged, single.report);
+        assert!((one.attainment - single.attainment).abs() < 1e-12);
+        assert!((one.goodput_rps - single.goodput_rps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_runs_distinct_schedules() {
+        let profiler = case1_profiler();
+        let small = case1_schedule();
+        let mut big = case1_schedule();
+        big.allocation.group_xpus = vec![16];
+        big.allocation.decode_xpus = 16;
+        let slo = SloTarget::paper_default();
+        let trace = TraceSpec {
+            num_requests: 60,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: 30.0 },
+            length_jitter: 0.1,
+            seed: 3,
+        }
+        .generate();
+        let eval = evaluate_heterogeneous_fleet_dynamic(
+            &profiler,
+            &[small, big],
+            RouterPolicy::LeastOutstanding,
+            &trace,
+            &slo,
+        )
+        .unwrap();
+        assert_eq!(eval.report.per_replica.len(), 2);
+        assert_eq!(eval.report.merged.metrics.completed, 60);
+        assert!(evaluate_heterogeneous_fleet_dynamic(
+            &profiler,
+            &[],
+            RouterPolicy::RoundRobin,
+            &trace,
+            &slo
+        )
+        .is_err());
     }
 
     #[test]

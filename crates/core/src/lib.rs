@@ -35,6 +35,7 @@
 
 pub mod baseline;
 pub mod breakdown;
+pub mod capacity;
 pub mod dynamic;
 pub mod error;
 pub mod metrics;
@@ -46,7 +47,13 @@ pub mod schedule;
 
 pub use baseline::BaselineSystem;
 pub use breakdown::{stage_breakdown, StageShare};
-pub use dynamic::{evaluate_schedule_dynamic, rank_frontier_by_goodput, DynamicEvaluation};
+pub use capacity::{
+    plan_capacity, plan_capacity_with, rank_frontier_by_cost_at_qps, CapacityOptions, CapacityPlan,
+};
+pub use dynamic::{
+    evaluate_fleet_dynamic, evaluate_heterogeneous_fleet_dynamic, evaluate_schedule_dynamic,
+    rank_frontier_by_goodput, DynamicEvaluation, FleetEvaluation,
+};
 pub use error::RagoError;
 pub use metrics::RagPerformance;
 pub use optimizer::{Rago, ScheduleIter, SearchOptions};

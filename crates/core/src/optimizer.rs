@@ -427,6 +427,80 @@ impl Rago {
         crate::dynamic::rank_frontier_by_goodput(&self.profiler, frontier, trace, slo)
     }
 
+    /// Evaluates one schedule as a *fleet*: `fleet.replicas` copies of its
+    /// pipeline behind `fleet.router`, sharing the trace's arrival stream.
+    /// See [`crate::dynamic::evaluate_fleet_dynamic`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::dynamic::evaluate_fleet_dynamic`] errors.
+    pub fn evaluate_fleet(
+        &self,
+        schedule: &Schedule,
+        fleet: &rago_schema::FleetConfig,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+    ) -> Result<crate::dynamic::FleetEvaluation, RagoError> {
+        crate::dynamic::evaluate_fleet_dynamic(&self.profiler, schedule, fleet, trace, slo)
+    }
+
+    /// Sizes a fleet of `schedule` replicas for `target_qps` within `slo`:
+    /// the minimum replica count whose fleet attainment meets the SLO. See
+    /// [`crate::capacity::plan_capacity_with`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_core::{CapacityOptions, Rago, SearchOptions};
+    /// use rago_hardware::ClusterSpec;
+    /// use rago_schema::{presets, SloTarget};
+    ///
+    /// let rago = Rago::new(
+    ///     presets::case1_hyperscale(presets::LlmSize::B8, 1),
+    ///     ClusterSpec::paper_default(),
+    /// );
+    /// let frontier = rago.optimize(&SearchOptions::fast())?;
+    /// let best = frontier.max_qps_per_chip().unwrap();
+    /// let slo = SloTarget::paper_default();
+    /// let options = CapacityOptions { max_replicas: 4, num_requests: 60, ..Default::default() };
+    /// let plan = rago.plan_capacity(&best.schedule, &slo, 5.0, &options)?;
+    /// assert!(plan.replicas >= 1);
+    /// assert_eq!(plan.total_xpus, best.schedule.allocation.total_xpus() * plan.replicas);
+    /// # Ok::<(), rago_core::RagoError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::capacity::plan_capacity_with`] errors.
+    pub fn plan_capacity(
+        &self,
+        schedule: &Schedule,
+        slo: &rago_schema::SloTarget,
+        target_qps: f64,
+        options: &crate::capacity::CapacityOptions,
+    ) -> Result<crate::capacity::CapacityPlan, RagoError> {
+        crate::capacity::plan_capacity_with(&self.profiler, schedule, slo, target_qps, options)
+    }
+
+    /// Re-ranks a Pareto frontier by the total chips needed to serve
+    /// `target_qps` within `slo`, cheapest fleet first. See
+    /// [`crate::capacity::rank_frontier_by_cost_at_qps`].
+    pub fn rank_frontier_by_cost_at_qps(
+        &self,
+        frontier: &ParetoFrontier,
+        slo: &rago_schema::SloTarget,
+        target_qps: f64,
+        options: &crate::capacity::CapacityOptions,
+    ) -> Vec<(crate::pareto::ParetoPoint, crate::capacity::CapacityPlan)> {
+        crate::capacity::rank_frontier_by_cost_at_qps(
+            &self.profiler,
+            frontier,
+            slo,
+            target_qps,
+            options,
+        )
+    }
+
     /// Streams the candidate schedules implied by `options` (Step 2 of
     /// Algorithm 1): every legal placement × allocation within the budget ×
     /// batching policy, yielded lazily in a stable enumeration order.

@@ -1,0 +1,143 @@
+//! Fleet-level serving configuration: replica counts and request routing.
+//!
+//! One schedule describes one pipeline replica. Serving heavy traffic means
+//! running *N* replicas of that pipeline behind a router — the decisions
+//! studied by the cluster-provisioning literature (DistServe, Splitwise):
+//! how many replicas does an SLO at a target rate require, and which routing
+//! policy spreads the load best? A [`FleetConfig`] captures both knobs so
+//! the cluster simulation in `rago-serving-sim` and the capacity planner in
+//! `rago-core` can share one description.
+
+use crate::error::SchemaError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How arriving requests are routed across the replicas of a fleet.
+///
+/// Policies are evaluated at each request's arrival instant against the live
+/// state of every replica simulation; ties always break toward the
+/// lowest-indexed replica, keeping fleet runs deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Cycle through replicas in index order, ignoring load. The baseline
+    /// policy: perfectly fair in counts, oblivious to request-size skew.
+    RoundRobin,
+    /// Route to the replica with the fewest outstanding requests (arrived
+    /// but not yet fully decoded).
+    #[default]
+    LeastOutstanding,
+    /// Route to the replica with the shortest wait queue (requests queued
+    /// before a pre-decode stage or for decode admission, excluding those in
+    /// service).
+    JoinShortestQueue,
+    /// Route to the replica whose continuous-batching decode has the lowest
+    /// fill fraction (resident sequences over slot capacity), falling back
+    /// to least-outstanding on ties. Decode residency is the long-lived
+    /// resource in LLM serving, so balancing it directly protects TPOT.
+    DecodeFillAware,
+}
+
+impl RouterPolicy {
+    /// Every policy, in a stable order (useful for sweeps and benches).
+    pub const ALL: [RouterPolicy; 4] = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastOutstanding,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::DecodeFillAware,
+    ];
+}
+
+impl fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastOutstanding => "least-outstanding",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::DecodeFillAware => "decode-fill-aware",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fleet of identical pipeline replicas behind a router.
+///
+/// # Examples
+///
+/// ```
+/// use rago_schema::{FleetConfig, RouterPolicy};
+///
+/// let fleet = FleetConfig::new(4, RouterPolicy::LeastOutstanding);
+/// assert_eq!(fleet.replicas, 4);
+/// assert!(fleet.validate().is_ok());
+/// assert!(FleetConfig::new(0, RouterPolicy::RoundRobin).validate().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of pipeline replicas (at least 1).
+    pub replicas: u32,
+    /// Routing policy dispatching arrivals across the replicas.
+    pub router: RouterPolicy,
+}
+
+impl FleetConfig {
+    /// Creates a fleet configuration.
+    pub fn new(replicas: u32, router: RouterPolicy) -> Self {
+        Self { replicas, router }
+    }
+
+    /// A single replica behind the default router — the degenerate fleet
+    /// equivalent to running the engine directly.
+    pub fn single() -> Self {
+        Self::new(1, RouterPolicy::default())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Invalid`] when the fleet has zero replicas.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.replicas == 0 {
+            return Err(SchemaError::Invalid {
+                field: "replicas",
+                reason: "a fleet needs at least one replica".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_empty_fleets() {
+        assert!(FleetConfig::new(0, RouterPolicy::RoundRobin)
+            .validate()
+            .is_err());
+        assert!(FleetConfig::new(1, RouterPolicy::RoundRobin)
+            .validate()
+            .is_ok());
+        assert!(FleetConfig::default().validate().is_ok());
+        assert_eq!(FleetConfig::default().replicas, 1);
+    }
+
+    #[test]
+    fn policies_display_distinctly() {
+        let names: std::collections::HashSet<String> =
+            RouterPolicy::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names.len(), RouterPolicy::ALL.len());
+    }
+
+    #[test]
+    fn default_router_is_least_outstanding() {
+        assert_eq!(RouterPolicy::default(), RouterPolicy::LeastOutstanding);
+    }
+}

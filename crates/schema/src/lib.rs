@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fleet;
 pub mod model;
 pub mod presets;
 pub mod retrieval;
@@ -34,6 +35,7 @@ pub mod slo;
 pub mod stage;
 
 pub use error::SchemaError;
+pub use fleet::{FleetConfig, RouterPolicy};
 pub use model::{LlmArchitecture, ModelConfig, Quantization};
 pub use presets::LlmSize;
 pub use retrieval::{RetrievalConfig, SearchMode};

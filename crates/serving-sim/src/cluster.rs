@@ -1,0 +1,543 @@
+//! Fleet-level serving: N pipeline replicas behind a request router.
+//!
+//! [`crate::engine::ServingEngine`] answers what one pipeline replica does
+//! under a request stream. Serving heavy traffic is a *fleet* question — how
+//! many replicas, and how is the arrival stream spread across them? This
+//! module simulates exactly that: a [`ClusterEngine`] owns one
+//! [`PipelineSpec`] per replica (homogeneous or not), routes a shared
+//! arrival stream across them with a [`RouterPolicy`], and merges the
+//! per-replica runs into one [`FleetReport`].
+//!
+//! Routing is *state-aware*: every replica simulation is advanced to just
+//! before each arrival instant (the engine's composable shared-clock form,
+//! [`crate::engine`]), so policies like least-outstanding or
+//! decode-fill-aware observe live queue depths and decode residency rather
+//! than static splits. A one-replica fleet therefore reproduces
+//! [`ServingEngine::run`](crate::engine::ServingEngine::run) *exactly* —
+//! event order, timelines, and metrics (see
+//! `tests/proptest_cluster.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_serving_sim::cluster::ClusterEngine;
+//! use rago_serving_sim::engine::{DecodeSpec, LatencyTable, PipelineSpec, StageSpec};
+//! use rago_schema::{RouterPolicy, SloTarget};
+//! use rago_schema::SequenceProfile;
+//! use rago_workloads::{ArrivalProcess, TraceSpec};
+//!
+//! let spec = PipelineSpec::new(
+//!     vec![StageSpec::new("prefix", 0, 8, LatencyTable::constant(8, 0.02))],
+//!     DecodeSpec::new(32, LatencyTable::constant(32, 3e-3)),
+//! );
+//! let trace = TraceSpec {
+//!     num_requests: 60,
+//!     profile: SequenceProfile::paper_default().with_decode_tokens(16),
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 120.0 },
+//!     length_jitter: 0.0,
+//!     seed: 3,
+//! }
+//! .generate();
+//! let fleet = ClusterEngine::homogeneous(spec, 2, RouterPolicy::LeastOutstanding)
+//!     .run_trace(&trace);
+//! assert_eq!(fleet.merged.metrics.completed, 60);
+//! assert_eq!(fleet.per_replica.len(), 2);
+//! let assigned: usize = fleet.per_replica.iter().map(|r| r.assigned).sum();
+//! assert_eq!(assigned, 60);
+//! assert!(fleet.attainment(&SloTarget::new(5.0, 1.0)) > 0.0);
+//! ```
+
+use crate::engine::{
+    build_report, EngineRequest, PipelineSpec, ReplicaSim, ServingReport, SimAccumulators,
+};
+use rago_schema::{RouterPolicy, SloTarget};
+use rago_workloads::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One replica's slice of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Replica index within the fleet.
+    pub replica: usize,
+    /// Requests the router assigned to this replica.
+    pub assigned: usize,
+    /// The replica's own serving report (its timelines and metrics, computed
+    /// exactly as a standalone engine run over the routed subset would).
+    pub report: ServingReport,
+}
+
+/// How evenly the router spread requests across replicas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadImbalance {
+    /// Requests assigned to each replica, by replica index.
+    pub assigned_per_replica: Vec<usize>,
+    /// Smallest per-replica assignment.
+    pub min_assigned: usize,
+    /// Largest per-replica assignment.
+    pub max_assigned: usize,
+    /// Mean per-replica assignment.
+    pub mean_assigned: f64,
+    /// Coefficient of variation (population standard deviation over mean) of
+    /// the per-replica assignments; zero for a perfectly even split or an
+    /// empty run.
+    pub coefficient_of_variation: f64,
+    /// Largest assignment divided by the mean (1.0 for a perfectly even
+    /// split; zero for an empty run).
+    pub max_over_mean: f64,
+}
+
+impl LoadImbalance {
+    fn from_counts(assigned: Vec<usize>) -> Self {
+        let n = assigned.len().max(1) as f64;
+        let total: usize = assigned.iter().sum();
+        let mean = total as f64 / n;
+        let min = assigned.iter().copied().min().unwrap_or(0);
+        let max = assigned.iter().copied().max().unwrap_or(0);
+        let variance = assigned
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let (cv, max_over_mean) = if mean > 0.0 {
+            (variance.sqrt() / mean, max as f64 / mean)
+        } else {
+            (0.0, 0.0)
+        };
+        Self {
+            assigned_per_replica: assigned,
+            min_assigned: min,
+            max_assigned: max,
+            mean_assigned: mean,
+            coefficient_of_variation: cv,
+            max_over_mean,
+        }
+    }
+}
+
+/// The merged result of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The fleet-level report: every request's timeline (merged across
+    /// replicas in arrival order) and aggregate [`crate::ServingMetrics`]
+    /// computed over the whole fleet — the same definitions a single-engine
+    /// run uses, so fleet and replica numbers are directly comparable.
+    pub merged: ServingReport,
+    /// Per-replica breakdowns, by replica index.
+    pub per_replica: Vec<ReplicaReport>,
+    /// `(request id, replica index)` for every routed request, in arrival
+    /// order.
+    pub assignments: Vec<(u64, usize)>,
+    /// Router load-balance statistics.
+    pub imbalance: LoadImbalance,
+    /// The routing policy that produced this run.
+    pub router: RouterPolicy,
+}
+
+impl FleetReport {
+    /// Fraction of all requests meeting both latency targets of `slo`.
+    pub fn attainment(&self, slo: &SloTarget) -> f64 {
+        self.merged.attainment(slo)
+    }
+
+    /// Fleet SLO goodput: requests meeting the latency targets divided by
+    /// the fleet serving duration (first arrival to last completion).
+    pub fn goodput_rps(&self, slo: &SloTarget) -> f64 {
+        self.merged.goodput_rps(slo)
+    }
+
+    /// Whether the fleet meets `slo` including its attainment requirement.
+    pub fn meets_slo(&self, slo: &SloTarget) -> bool {
+        self.merged.meets_slo(slo)
+    }
+}
+
+/// A fleet of pipeline replicas behind a router. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ClusterEngine {
+    replicas: Vec<PipelineSpec>,
+    router: RouterPolicy,
+}
+
+impl ClusterEngine {
+    /// A fleet of `replicas` identical copies of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn homogeneous(spec: PipelineSpec, replicas: usize, router: RouterPolicy) -> Self {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        Self {
+            replicas: vec![spec; replicas],
+            router,
+        }
+    }
+
+    /// A fleet with one (possibly different) pipeline per replica — e.g.
+    /// distinct schedules from a Pareto frontier serving side by side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn heterogeneous(replicas: Vec<PipelineSpec>, router: RouterPolicy) -> Self {
+        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
+        Self { replicas, router }
+    }
+
+    /// Number of replicas in the fleet.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The routing policy.
+    pub fn router(&self) -> RouterPolicy {
+        self.router
+    }
+
+    /// Routes every request of a generated trace through the fleet.
+    pub fn run_trace(&self, trace: &Trace) -> FleetReport {
+        self.run(trace.requests.iter().map(EngineRequest::from).collect())
+    }
+
+    /// Runs the fleet over `requests` (sorted by arrival time internally)
+    /// and returns the merged report.
+    ///
+    /// The run interleaves routing with simulation: before each arrival,
+    /// every replica is advanced to just before that instant; the router
+    /// then inspects live replica state and the request is injected into the
+    /// chosen replica. After the last arrival the replicas drain to
+    /// completion independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arrival time is negative or non-finite, or any request
+    /// generates zero tokens.
+    pub fn run(&self, mut requests: Vec<EngineRequest>) -> FleetReport {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        let mut sims: Vec<ReplicaSim> = self
+            .replicas
+            .iter()
+            .map(|spec| ReplicaSim::new(spec.clone()))
+            .collect();
+        let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
+        let mut assigned_counts = vec![0usize; sims.len()];
+        let mut round_robin_next = 0usize;
+        for req in &requests {
+            for sim in &mut sims {
+                sim.advance_before(req.arrival_s);
+            }
+            let replica = self.pick(&sims, &mut round_robin_next);
+            assignments.push((req.id, replica));
+            assigned_counts[replica] += 1;
+            sims[replica].inject(*req);
+        }
+
+        let mut per_replica = Vec::with_capacity(sims.len());
+        let mut merged_timelines = Vec::with_capacity(requests.len());
+        let mut merged_acc = SimAccumulators::default();
+        for (replica, mut sim) in sims.into_iter().enumerate() {
+            sim.run_to_completion();
+            let (timelines, acc) = sim.finish();
+            merged_timelines.extend(timelines.iter().cloned());
+            merged_acc = merged_acc.merge(acc);
+            per_replica.push(ReplicaReport {
+                replica,
+                assigned: assigned_counts[replica],
+                report: build_report(timelines, &acc),
+            });
+        }
+        merged_timelines.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        FleetReport {
+            merged: build_report(merged_timelines, &merged_acc),
+            per_replica,
+            assignments,
+            imbalance: LoadImbalance::from_counts(assigned_counts),
+            router: self.router,
+        }
+    }
+
+    /// Picks the replica for the next arrival. Ties break toward the lowest
+    /// replica index, so routing is deterministic.
+    fn pick(&self, sims: &[ReplicaSim], round_robin_next: &mut usize) -> usize {
+        match self.router {
+            RouterPolicy::RoundRobin => {
+                let r = *round_robin_next % sims.len();
+                *round_robin_next += 1;
+                r
+            }
+            RouterPolicy::LeastOutstanding => argmin_by(sims, |s| (s.outstanding(), 0usize)),
+            RouterPolicy::JoinShortestQueue => argmin_by(sims, |s| (s.queued(), s.outstanding())),
+            RouterPolicy::DecodeFillAware => {
+                // Lowest decode fill fraction first; least-outstanding breaks
+                // fill ties (e.g. several empty replicas at warm-up).
+                let mut best = 0usize;
+                let mut best_key = (f64::INFINITY, usize::MAX);
+                for (i, sim) in sims.iter().enumerate() {
+                    let key = (sim.decode_fill_fraction(), sim.outstanding());
+                    if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
+                        best = i;
+                        best_key = key;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Index of the replica minimizing `key`, first occurrence on ties.
+fn argmin_by(sims: &[ReplicaSim], key: impl Fn(&ReplicaSim) -> (usize, usize)) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (usize::MAX, usize::MAX);
+    for (i, sim) in sims.iter().enumerate() {
+        let k = key(sim);
+        if k < best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DecodeSpec, IterativeSpec, LatencyTable, ServingEngine, StageSpec};
+    use rago_schema::SequenceProfile;
+    use rago_workloads::{ArrivalProcess, TraceSpec};
+
+    fn one_stage_spec(
+        stage_latency: f64,
+        batch: u32,
+        decode_step: f64,
+        decode_batch: u32,
+    ) -> PipelineSpec {
+        PipelineSpec::new(
+            vec![StageSpec::new(
+                "prefix",
+                0,
+                batch,
+                LatencyTable::constant(batch, stage_latency),
+            )],
+            DecodeSpec::new(
+                decode_batch,
+                LatencyTable::constant(decode_batch, decode_step),
+            ),
+        )
+    }
+
+    fn req(id: u64, arrival: f64, tokens: u32) -> EngineRequest {
+        EngineRequest {
+            id,
+            arrival_s: arrival,
+            decode_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_replicas() {
+        let fleet = ClusterEngine::homogeneous(
+            one_stage_spec(0.1, 1, 0.01, 4),
+            2,
+            RouterPolicy::RoundRobin,
+        );
+        let report = fleet.run((0..4).map(|i| req(i, 0.0, 1)).collect());
+        let replicas: Vec<usize> = report.assignments.iter().map(|&(_, r)| r).collect();
+        assert_eq!(replicas, vec![0, 1, 0, 1]);
+        assert_eq!(report.imbalance.max_over_mean, 1.0);
+        assert_eq!(report.imbalance.coefficient_of_variation, 0.0);
+    }
+
+    #[test]
+    fn least_outstanding_avoids_the_busy_replica() {
+        // Request 0 occupies replica 0 for a long time; the two later
+        // arrivals must both land on replica 1 (0 still has 1 outstanding).
+        let fleet = ClusterEngine::homogeneous(
+            one_stage_spec(0.01, 4, 0.1, 4),
+            2,
+            RouterPolicy::LeastOutstanding,
+        );
+        let report = fleet.run(vec![req(0, 0.0, 100), req(1, 0.5, 1), req(2, 0.7, 1)]);
+        let replicas: Vec<usize> = report.assignments.iter().map(|&(_, r)| r).collect();
+        assert_eq!(replicas[0], 0);
+        assert_eq!(replicas[1], 1);
+        // Request 2 arrives at 0.7, when request 1 has already drained on
+        // replica 1 (prefix ends 0.51, its one decode step ends 0.61) while
+        // request 0 still decodes on replica 0 — so replica 1 wins again.
+        assert_eq!(replicas[2], 1);
+    }
+
+    #[test]
+    fn join_shortest_queue_tracks_queued_not_in_service() {
+        // Replica 0 gets a request that decodes for a long time but queues
+        // nothing; JSQ sees zero queue on both and ties to replica 0 again,
+        // whereas least-outstanding would move on.
+        let fleet = ClusterEngine::homogeneous(
+            one_stage_spec(0.01, 4, 0.1, 4),
+            2,
+            RouterPolicy::JoinShortestQueue,
+        );
+        let report = fleet.run(vec![req(0, 0.0, 100), req(1, 0.5, 1)]);
+        let replicas: Vec<usize> = report.assignments.iter().map(|&(_, r)| r).collect();
+        // Queue empty on both (request 0 is *in service*), so the
+        // least-outstanding tiebreak sends request 1 to replica 1.
+        assert_eq!(replicas, vec![0, 1]);
+    }
+
+    #[test]
+    fn decode_fill_aware_balances_decode_residency() {
+        // No pre-decode stages: arrivals go straight to decode. The first
+        // long request fills replica 0's decode batch; the policy routes the
+        // next arrival to the emptier replica 1.
+        let spec = PipelineSpec::new(
+            Vec::new(),
+            DecodeSpec::new(2, LatencyTable::constant(2, 0.05)),
+        );
+        let fleet = ClusterEngine::homogeneous(spec, 2, RouterPolicy::DecodeFillAware);
+        let report = fleet.run(vec![req(0, 0.0, 50), req(1, 0.5, 50), req(2, 1.0, 1)]);
+        let replicas: Vec<usize> = report.assignments.iter().map(|&(_, r)| r).collect();
+        assert_eq!(replicas[0], 0);
+        assert_eq!(replicas[1], 1);
+        // Both replicas now hold one resident sequence (fill 0.5 each);
+        // the least-outstanding tiebreak is also tied, so index order wins.
+        assert_eq!(replicas[2], 0);
+    }
+
+    #[test]
+    fn single_replica_fleet_matches_the_engine_exactly() {
+        let spec = one_stage_spec(0.02, 4, 2e-3, 16);
+        let trace = TraceSpec {
+            num_requests: 64,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: 100.0 },
+            length_jitter: 0.2,
+            seed: 3,
+        }
+        .generate();
+        let engine = ServingEngine::from_trace(spec.clone(), &trace).run();
+        for policy in RouterPolicy::ALL {
+            let fleet = ClusterEngine::homogeneous(spec.clone(), 1, policy).run_trace(&trace);
+            assert_eq!(fleet.merged, engine, "policy {policy} diverged");
+            assert_eq!(fleet.per_replica[0].report, engine);
+        }
+    }
+
+    #[test]
+    fn single_replica_fleet_matches_the_engine_with_iterative_retrieval() {
+        let spec = one_stage_spec(0.02, 4, 2e-3, 16).with_iterative(IterativeSpec {
+            retrievals_per_sequence: 2,
+            iterative_batch: 4,
+            retrieval_prefix_latency_s: 0.03,
+            seed: 5,
+        });
+        let trace = TraceSpec {
+            num_requests: 48,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: 80.0 },
+            length_jitter: 0.2,
+            seed: 9,
+        }
+        .generate();
+        let engine = ServingEngine::from_trace(spec.clone(), &trace).run();
+        let fleet =
+            ClusterEngine::homogeneous(spec, 1, RouterPolicy::LeastOutstanding).run_trace(&trace);
+        assert_eq!(fleet.merged, engine);
+    }
+
+    #[test]
+    fn two_replicas_outperform_one_under_load() {
+        let spec = one_stage_spec(0.05, 2, 5e-3, 8);
+        let trace = TraceSpec {
+            num_requests: 120,
+            profile: SequenceProfile::paper_default().with_decode_tokens(24),
+            arrival: ArrivalProcess::Poisson { rate_rps: 60.0 },
+            length_jitter: 0.0,
+            seed: 11,
+        }
+        .generate();
+        let slo = SloTarget::new(0.5, 0.02);
+        let one = ClusterEngine::homogeneous(spec.clone(), 1, RouterPolicy::LeastOutstanding)
+            .run_trace(&trace);
+        let two =
+            ClusterEngine::homogeneous(spec, 2, RouterPolicy::LeastOutstanding).run_trace(&trace);
+        assert!(two.attainment(&slo) > one.attainment(&slo));
+        assert!(two.merged.metrics.ttft.p95_s < one.merged.metrics.ttft.p95_s);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_shifts_load_to_the_faster_replica() {
+        // Replica 0 is 4x slower at the prefix stage; least-outstanding
+        // should route more requests to replica 1.
+        let slow = one_stage_spec(0.4, 1, 1e-3, 8);
+        let fast = one_stage_spec(0.1, 1, 1e-3, 8);
+        let fleet = ClusterEngine::heterogeneous(vec![slow, fast], RouterPolicy::LeastOutstanding);
+        let trace = TraceSpec {
+            num_requests: 80,
+            profile: SequenceProfile::paper_default().with_decode_tokens(4),
+            arrival: ArrivalProcess::Poisson { rate_rps: 8.0 },
+            length_jitter: 0.0,
+            seed: 2,
+        }
+        .generate();
+        let report = fleet.run_trace(&trace);
+        assert!(
+            report.per_replica[1].assigned > report.per_replica[0].assigned,
+            "fast replica got {} vs slow {}",
+            report.per_replica[1].assigned,
+            report.per_replica[0].assigned
+        );
+        assert!(report.imbalance.max_over_mean > 1.0);
+        assert!(report.imbalance.coefficient_of_variation > 0.0);
+    }
+
+    #[test]
+    fn fleet_metrics_merge_consistently() {
+        let spec = one_stage_spec(0.03, 4, 2e-3, 8);
+        let trace = TraceSpec {
+            num_requests: 90,
+            profile: SequenceProfile::paper_default().with_decode_tokens(16),
+            arrival: ArrivalProcess::Poisson { rate_rps: 70.0 },
+            length_jitter: 0.1,
+            seed: 13,
+        }
+        .generate();
+        let fleet = ClusterEngine::homogeneous(spec, 3, RouterPolicy::RoundRobin).run_trace(&trace);
+        // Conservation: every request appears exactly once across replicas.
+        let per_replica_total: usize = fleet
+            .per_replica
+            .iter()
+            .map(|r| r.report.timelines.len())
+            .sum();
+        assert_eq!(per_replica_total, 90);
+        assert_eq!(fleet.merged.timelines.len(), 90);
+        assert_eq!(fleet.assignments.len(), 90);
+        // The merged serving window spans the replicas'.
+        let makespan = fleet
+            .per_replica
+            .iter()
+            .map(|r| r.report.metrics.makespan_s)
+            .fold(0.0f64, f64::max);
+        assert!((fleet.merged.metrics.makespan_s - makespan).abs() < 1e-12);
+        // Imbalance counts match the reports.
+        for r in &fleet.per_replica {
+            assert_eq!(r.assigned, fleet.imbalance.assigned_per_replica[r.replica]);
+            assert_eq!(r.assigned, r.report.timelines.len());
+        }
+        // Fleet runs are deterministic.
+        let spec = one_stage_spec(0.03, 4, 2e-3, 8);
+        let again = ClusterEngine::homogeneous(spec, 3, RouterPolicy::RoundRobin).run_trace(&trace);
+        assert_eq!(again, fleet);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replica_fleets_are_rejected() {
+        let _ = ClusterEngine::homogeneous(
+            one_stage_spec(0.1, 1, 0.01, 1),
+            0,
+            RouterPolicy::RoundRobin,
+        );
+    }
+}

@@ -406,9 +406,23 @@ pub struct ServingMetrics {
     /// Requests that finished generation (the engine always runs to
     /// completion, so this equals `requests`).
     pub completed: usize,
+    /// Earliest arrival time, in seconds (zero when no requests ran).
+    pub first_arrival_s: f64,
+    /// Latest arrival time, in seconds (zero when no requests ran).
+    pub last_arrival_s: f64,
     /// Time of the last completion, in seconds.
     pub makespan_s: f64,
-    /// Completed requests divided by the makespan.
+    /// Span from the first arrival to the last completion, in seconds — the
+    /// window the system actually served traffic. Rates are measured over
+    /// this window so a trace whose first arrival is late (e.g. a shifted
+    /// burst) does not deflate them.
+    pub serving_duration_s: f64,
+    /// Time spent draining in-flight requests after the last arrival, in
+    /// seconds. Capacity planning can discount this tail: it is paid once
+    /// per trace, not per unit of sustained traffic.
+    pub drain_tail_s: f64,
+    /// Completed requests divided by the serving duration (first arrival to
+    /// last completion).
     pub throughput_rps: f64,
     /// Time-to-first-token distribution.
     pub ttft: LatencyStats,
@@ -453,9 +467,10 @@ impl ServingReport {
     }
 
     /// SLO goodput: requests meeting the latency targets divided by the
-    /// makespan, in requests per second.
+    /// serving duration (first arrival to last completion), in requests per
+    /// second.
     pub fn goodput_rps(&self, slo: &SloTarget) -> f64 {
-        if self.metrics.makespan_s <= 0.0 {
+        if self.metrics.serving_duration_s <= 0.0 {
             return 0.0;
         }
         let met = self
@@ -463,7 +478,7 @@ impl ServingReport {
             .iter()
             .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
             .count();
-        met as f64 / self.metrics.makespan_s
+        met as f64 / self.metrics.serving_duration_s
     }
 
     /// Whether the run meets `slo` including its attainment requirement.
@@ -473,10 +488,17 @@ impl ServingReport {
 }
 
 /// Finds the sustained-throughput knee of a rate sweep: the largest offered
-/// rate whose attainment still meets `slo.attainment`.
+/// rate, **below the first SLO-violating rate**, whose attainment meets
+/// `slo.attainment`.
 ///
 /// `points` are `(offered_rate_rps, attainment)` pairs from independent
-/// engine runs (any order). Returns `None` when no rate meets the target.
+/// engine runs (any order; they are sorted by rate internally). A sweep is
+/// rarely perfectly monotone — measurement noise or burst artifacts can make
+/// an overloaded rate *appear* to recover — so the knee is capped at the
+/// first violation: once any rate misses the attainment target, higher rates
+/// are not trusted even if their measured attainment recovers. Returns
+/// `None` when the smallest swept rate already violates the target (or the
+/// sweep is empty).
 ///
 /// # Examples
 ///
@@ -487,14 +509,23 @@ impl ServingReport {
 /// let slo = SloTarget::new(2.0, 0.05); // 90 % attainment required
 /// let sweep = [(10.0, 1.0), (20.0, 0.97), (40.0, 0.91), (80.0, 0.4)];
 /// assert_eq!(sustained_throughput_knee(&sweep, &slo), Some(40.0));
+/// // A noisy recovery beyond the first violation does not extend the knee.
+/// let noisy = [(10.0, 1.0), (20.0, 0.6), (40.0, 0.95)];
+/// assert_eq!(sustained_throughput_knee(&noisy, &slo), Some(10.0));
 /// assert_eq!(sustained_throughput_knee(&[(10.0, 0.1)], &slo), None);
 /// ```
 pub fn sustained_throughput_knee(points: &[(f64, f64)], slo: &SloTarget) -> Option<f64> {
-    points
-        .iter()
-        .filter(|(_, attainment)| *attainment >= slo.attainment)
-        .map(|(rate, _)| *rate)
-        .max_by(f64::total_cmp)
+    let mut sweep = points.to_vec();
+    sweep.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut knee = None;
+    for (rate, attainment) in sweep {
+        if attainment >= slo.attainment {
+            knee = Some(rate);
+        } else {
+            break;
+        }
+    }
+    knee
 }
 
 /// The request-level discrete-event serving engine. See the module
@@ -538,7 +569,13 @@ impl ServingEngine {
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(&self) -> ServingReport {
-        Sim::new(&self.spec, &self.requests).run()
+        let mut sim = ReplicaSim::new(self.spec.clone());
+        for req in &self.requests {
+            sim.inject(*req);
+        }
+        sim.run_to_completion();
+        let (timelines, acc) = sim.finish();
+        build_report(timelines, &acc)
     }
 }
 
@@ -563,15 +600,23 @@ enum Ev {
     RetrievalDone(Vec<usize>),
 }
 
+/// Ordering class of an event at equal timestamps: arrivals apply before
+/// every other event. When all arrivals are pushed up front (the
+/// [`ServingEngine::run`] path) they hold the smallest sequence numbers, so
+/// this matches the historical `(t, seq)` order exactly; when arrivals are
+/// injected incrementally under a shared clock (the [`crate::cluster`]
+/// path) it keeps the event order — and therefore the simulation — identical
+/// to the batch path.
 struct EventEntry {
     t: f64,
+    class: u8,
     seq: u64,
     ev: Ev,
 }
 
 impl PartialEq for EventEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
+        self.t == other.t && self.class == other.class && self.seq == other.seq
     }
 }
 impl Eq for EventEntry {}
@@ -582,7 +627,10 @@ impl PartialOrd for EventEntry {
 }
 impl Ord for EventEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
+        self.t
+            .total_cmp(&other.t)
+            .then(self.class.cmp(&other.class))
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -603,9 +651,45 @@ struct ReqState {
     paused: bool,
 }
 
-struct Sim<'a> {
-    spec: &'a PipelineSpec,
-    requests: &'a [EngineRequest],
+/// Aggregate accumulators a simulation carries besides its timelines. Kept
+/// separate so fleet-level reports (see [`crate::cluster`]) can sum them
+/// across replicas before building merged [`ServingMetrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SimAccumulators {
+    pub(crate) retrieval_batches: u32,
+    pub(crate) retrieval_fill: u64,
+    pub(crate) fill_weighted_time: f64,
+    pub(crate) stepping_time: f64,
+}
+
+impl SimAccumulators {
+    /// Element-wise sum, used when merging replica runs into a fleet report.
+    pub(crate) fn merge(self, other: Self) -> Self {
+        Self {
+            retrieval_batches: self.retrieval_batches + other.retrieval_batches,
+            retrieval_fill: self.retrieval_fill + other.retrieval_fill,
+            fill_weighted_time: self.fill_weighted_time + other.fill_weighted_time,
+            stepping_time: self.stepping_time + other.stepping_time,
+        }
+    }
+}
+
+/// One pipeline's discrete-event simulation as a steppable state machine.
+///
+/// [`ServingEngine::run`] injects every request up front and runs to
+/// completion; the cluster layer instead drives several replicas from a
+/// shared clock — injecting each routed request at its arrival time after
+/// advancing every replica to just before that instant, so router policies
+/// can observe live queue and decode state. Both paths produce identical
+/// per-replica behaviour: event order is `(time, class, seq)` with arrivals
+/// ordered before same-instant completions, which makes the order
+/// independent of *when* the arrival event was pushed.
+pub(crate) struct ReplicaSim {
+    spec: PipelineSpec,
+    /// RNG for iterative trigger positions, sampled per request at injection
+    /// in arrival order — the exact scheme of `IterativeDecodeSim`.
+    iterative_rng: Option<StdRng>,
+    requests: Vec<EngineRequest>,
     state: Vec<ReqState>,
     stage_queues: Vec<VecDeque<usize>>,
     resource_busy: Vec<bool>,
@@ -615,98 +699,147 @@ struct Sim<'a> {
     stepping: bool,
     retrieval_queue: VecDeque<usize>,
     in_flight_retrievals: usize,
-    retrieval_batches: u32,
-    retrieval_fill: u64,
-    fill_weighted_time: f64,
-    stepping_time: f64,
+    completed: usize,
+    acc: SimAccumulators,
     heap: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
 }
 
-impl<'a> Sim<'a> {
-    fn new(spec: &'a PipelineSpec, requests: &'a [EngineRequest]) -> Self {
-        let num_stages = spec.stages.len();
-        // Iterative trigger positions are sampled per request in arrival
-        // order from one RNG — the exact scheme of `IterativeDecodeSim`.
-        let mut rng = spec
+impl ReplicaSim {
+    /// Creates an idle simulation of `spec` with no requests.
+    pub(crate) fn new(spec: PipelineSpec) -> Self {
+        let iterative_rng = spec
             .iterative
             .as_ref()
             .map(|it| StdRng::seed_from_u64(it.seed));
-        let state = requests
-            .iter()
-            .map(|r| {
-                let positions = match (&spec.iterative, &mut rng) {
-                    (Some(it), Some(rng)) => {
-                        sample_positions(rng, r.decode_tokens, it.retrievals_per_sequence)
-                    }
-                    _ => Vec::new(),
-                };
-                ReqState {
-                    queue_entry_s: 0.0,
-                    stage_starts_s: Vec::with_capacity(num_stages),
-                    stage_ends_s: Vec::with_capacity(num_stages),
-                    prefix_end_s: 0.0,
-                    decode_join_s: 0.0,
-                    first_token_s: None,
-                    completion_s: None,
-                    queueing_s: 0.0,
-                    generated: 0,
-                    retrieval_positions: positions,
-                    next_retrieval: 0,
-                    paused: false,
-                }
-            })
-            .collect();
-        let mut sim = Self {
+        let num_stages = spec.stages.len();
+        let num_resources = spec.num_resources();
+        Self {
             spec,
-            requests,
-            state,
+            iterative_rng,
+            requests: Vec::new(),
+            state: Vec::new(),
             stage_queues: vec![VecDeque::new(); num_stages],
-            resource_busy: vec![false; spec.num_resources()],
+            resource_busy: vec![false; num_resources],
             resident: BTreeSet::new(),
             admission: VecDeque::new(),
             stepping: false,
             retrieval_queue: VecDeque::new(),
             in_flight_retrievals: 0,
-            retrieval_batches: 0,
-            retrieval_fill: 0,
-            fill_weighted_time: 0.0,
-            stepping_time: 0.0,
+            completed: 0,
+            acc: SimAccumulators::default(),
             heap: BinaryHeap::new(),
             seq: 0,
-        };
-        for (idx, r) in requests.iter().enumerate() {
-            sim.push_event(r.arrival_s, Ev::Arrival(idx));
         }
-        sim
+    }
+
+    /// Adds one request to the simulation, scheduling its arrival event.
+    /// Requests must be injected in non-decreasing arrival order, and never
+    /// earlier than the time the simulation has already been advanced to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival time is negative or non-finite, or the request
+    /// generates zero tokens.
+    pub(crate) fn inject(&mut self, req: EngineRequest) {
+        assert!(
+            req.arrival_s.is_finite() && req.arrival_s >= 0.0,
+            "arrival times must be finite and non-negative"
+        );
+        assert!(
+            req.decode_tokens > 0,
+            "every request must generate at least one token"
+        );
+        let positions = match (&self.spec.iterative, &mut self.iterative_rng) {
+            (Some(it), Some(rng)) => {
+                sample_positions(rng, req.decode_tokens, it.retrievals_per_sequence)
+            }
+            _ => Vec::new(),
+        };
+        let num_stages = self.spec.stages.len();
+        self.state.push(ReqState {
+            queue_entry_s: 0.0,
+            stage_starts_s: Vec::with_capacity(num_stages),
+            stage_ends_s: Vec::with_capacity(num_stages),
+            prefix_end_s: 0.0,
+            decode_join_s: 0.0,
+            first_token_s: None,
+            completion_s: None,
+            queueing_s: 0.0,
+            generated: 0,
+            retrieval_positions: positions,
+            next_retrieval: 0,
+            paused: false,
+        });
+        let idx = self.requests.len();
+        self.requests.push(req);
+        self.push_event(req.arrival_s, Ev::Arrival(idx));
     }
 
     fn push_event(&mut self, t: f64, ev: Ev) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(EventEntry { t, seq, ev }));
+        let class = u8::from(!matches!(ev, Ev::Arrival(_)));
+        self.heap.push(Reverse(EventEntry { t, class, seq, ev }));
     }
 
-    fn run(mut self) -> ServingReport {
-        while let Some(Reverse(head)) = self.heap.pop() {
-            let mut now = head.t;
-            self.apply(head.t, head.ev);
-            // Apply every event within the timestamp tolerance before
-            // dispatching, so state changes (resumes, arrivals, routing) at
-            // one instant are all visible to the single dispatch pass.
-            while let Some(Reverse(next)) = self.heap.peek() {
-                if next.t <= now + TIME_EPS {
-                    let Reverse(e) = self.heap.pop().expect("peeked");
-                    now = now.max(e.t);
-                    self.apply(e.t, e.ev);
-                } else {
-                    break;
-                }
+    /// Requests injected but not yet fully decoded.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.requests.len() - self.completed
+    }
+
+    /// Requests waiting in a pre-decode stage queue or for decode admission
+    /// (excludes requests currently in service).
+    pub(crate) fn queued(&self) -> usize {
+        self.stage_queues.iter().map(VecDeque::len).sum::<usize>() + self.admission.len()
+    }
+
+    /// Fraction of decode slots occupied, in `[0, 1]`.
+    pub(crate) fn decode_fill_fraction(&self) -> f64 {
+        self.resident.len() as f64 / f64::from(self.spec.decode.max_batch)
+    }
+
+    /// Processes every event group strictly before `t` (by more than the
+    /// event-grouping tolerance). Events within [`TIME_EPS`] of `t` are left
+    /// on the heap so an arrival injected at `t` joins their group — exactly
+    /// as it would have had the arrival been scheduled up front.
+    pub(crate) fn advance_before(&mut self, t: f64) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.t + TIME_EPS < t {
+                self.process_group();
+            } else {
+                break;
             }
-            self.dispatch_stages(now);
-            self.decode_tick(now);
         }
-        self.report()
+    }
+
+    /// Drains the event heap, completing every injected request.
+    pub(crate) fn run_to_completion(&mut self) {
+        while self.process_group() {}
+    }
+
+    /// Pops one event group — every event within the timestamp tolerance of
+    /// the head — applies it, then runs a single dispatch pass, so state
+    /// changes (resumes, arrivals, routing) at one instant are all visible
+    /// to that pass. Returns `false` when the heap is empty.
+    fn process_group(&mut self) -> bool {
+        let Some(Reverse(head)) = self.heap.pop() else {
+            return false;
+        };
+        let mut now = head.t;
+        self.apply(head.t, head.ev);
+        while let Some(Reverse(next)) = self.heap.peek() {
+            if next.t <= now + TIME_EPS {
+                let Reverse(e) = self.heap.pop().expect("peeked");
+                now = now.max(e.t);
+                self.apply(e.t, e.ev);
+            } else {
+                break;
+            }
+        }
+        self.dispatch_stages(now);
+        self.decode_tick(now);
+        true
     }
 
     /// Pure state mutation for one event; no dispatching.
@@ -762,6 +895,7 @@ impl<'a> Sim<'a> {
                     if st.generated >= tokens {
                         st.completion_s = Some(t);
                         self.resident.remove(&r);
+                        self.completed += 1;
                     }
                 }
             }
@@ -839,8 +973,8 @@ impl<'a> Sim<'a> {
                 }
                 let take = queued.min(it.iterative_batch as usize);
                 let members: Vec<usize> = self.retrieval_queue.drain(..take).collect();
-                self.retrieval_batches += 1;
-                self.retrieval_fill += take as u64;
+                self.acc.retrieval_batches += 1;
+                self.acc.retrieval_fill += take as u64;
                 if it.retrieval_prefix_latency_s <= TIME_EPS {
                     // A zero-latency batch completes within this instant:
                     // resume inline so the members join the very next step,
@@ -869,8 +1003,8 @@ impl<'a> Sim<'a> {
             if !members.is_empty() {
                 let fill = members.len() as u32;
                 let dur = self.spec.decode.step_latency.latency(fill);
-                self.fill_weighted_time += f64::from(fill) * dur;
-                self.stepping_time += dur;
+                self.acc.fill_weighted_time += f64::from(fill) * dur;
+                self.acc.stepping_time += dur;
                 self.stepping = true;
                 self.push_event(now + dur, Ev::StepDone(members));
             }
@@ -884,7 +1018,14 @@ impl<'a> Sim<'a> {
             .count()
     }
 
-    fn report(self) -> ServingReport {
+    /// Consumes the finished simulation into per-request timelines (in
+    /// injection = arrival order) and the aggregate accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has not completed — call
+    /// [`ReplicaSim::run_to_completion`] first.
+    pub(crate) fn finish(self) -> (Vec<RequestTimeline>, SimAccumulators) {
         let timelines: Vec<RequestTimeline> = self
             .requests
             .iter()
@@ -909,57 +1050,82 @@ impl<'a> Sim<'a> {
                 decode_tokens: req.decode_tokens,
             })
             .collect();
-
-        let ttfts: Vec<f64> = timelines.iter().map(RequestTimeline::ttft_s).collect();
-        let tpots: Vec<f64> = timelines.iter().map(RequestTimeline::tpot_s).collect();
-        let latencies: Vec<f64> = timelines.iter().map(RequestTimeline::latency_s).collect();
-        let makespan = timelines
-            .iter()
-            .map(|t| t.completion_s)
-            .fold(0.0f64, f64::max);
-        let n = timelines.len();
-        let queueing_mean = if n == 0 {
-            0.0
-        } else {
-            timelines.iter().map(|t| t.queueing_s).sum::<f64>() / n as f64
-        };
-        let service_mean = if n == 0 {
-            0.0
-        } else {
-            timelines
-                .iter()
-                .map(RequestTimeline::service_s)
-                .sum::<f64>()
-                / n as f64
-        };
-        let metrics = ServingMetrics {
-            requests: n,
-            completed: n,
-            makespan_s: makespan,
-            throughput_rps: if makespan > 0.0 {
-                n as f64 / makespan
-            } else {
-                0.0
-            },
-            ttft: LatencyStats::from_samples(&ttfts),
-            tpot: LatencyStats::from_samples(&tpots),
-            latency: LatencyStats::from_samples(&latencies),
-            queueing_mean_s: queueing_mean,
-            service_mean_s: service_mean,
-            mean_decode_fill: if self.stepping_time > 0.0 {
-                self.fill_weighted_time / self.stepping_time
-            } else {
-                0.0
-            },
-            retrieval_batches: self.retrieval_batches,
-            mean_retrieval_batch_fill: if self.retrieval_batches == 0 {
-                0.0
-            } else {
-                self.retrieval_fill as f64 / f64::from(self.retrieval_batches)
-            },
-        };
-        ServingReport { timelines, metrics }
+        (timelines, self.acc)
     }
+}
+
+/// Builds a [`ServingReport`] from completed timelines and the simulation
+/// accumulators. Shared by [`ServingEngine::run`] and the fleet-level
+/// merge in [`crate::cluster`], so single-engine and fleet metrics are
+/// computed by one definition.
+pub(crate) fn build_report(
+    timelines: Vec<RequestTimeline>,
+    acc: &SimAccumulators,
+) -> ServingReport {
+    let ttfts: Vec<f64> = timelines.iter().map(RequestTimeline::ttft_s).collect();
+    let tpots: Vec<f64> = timelines.iter().map(RequestTimeline::tpot_s).collect();
+    let latencies: Vec<f64> = timelines.iter().map(RequestTimeline::latency_s).collect();
+    let makespan = timelines
+        .iter()
+        .map(|t| t.completion_s)
+        .fold(0.0f64, f64::max);
+    let first_arrival = if timelines.is_empty() {
+        0.0
+    } else {
+        timelines
+            .iter()
+            .map(|t| t.arrival_s)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let last_arrival = timelines.iter().map(|t| t.arrival_s).fold(0.0f64, f64::max);
+    let serving_duration = (makespan - first_arrival).max(0.0);
+    let drain_tail = (makespan - last_arrival).max(0.0);
+    let n = timelines.len();
+    let queueing_mean = if n == 0 {
+        0.0
+    } else {
+        timelines.iter().map(|t| t.queueing_s).sum::<f64>() / n as f64
+    };
+    let service_mean = if n == 0 {
+        0.0
+    } else {
+        timelines
+            .iter()
+            .map(RequestTimeline::service_s)
+            .sum::<f64>()
+            / n as f64
+    };
+    let metrics = ServingMetrics {
+        requests: n,
+        completed: n,
+        first_arrival_s: first_arrival,
+        last_arrival_s: last_arrival,
+        makespan_s: makespan,
+        serving_duration_s: serving_duration,
+        drain_tail_s: drain_tail,
+        throughput_rps: if serving_duration > 0.0 {
+            n as f64 / serving_duration
+        } else {
+            0.0
+        },
+        ttft: LatencyStats::from_samples(&ttfts),
+        tpot: LatencyStats::from_samples(&tpots),
+        latency: LatencyStats::from_samples(&latencies),
+        queueing_mean_s: queueing_mean,
+        service_mean_s: service_mean,
+        mean_decode_fill: if acc.stepping_time > 0.0 {
+            acc.fill_weighted_time / acc.stepping_time
+        } else {
+            0.0
+        },
+        retrieval_batches: acc.retrieval_batches,
+        mean_retrieval_batch_fill: if acc.retrieval_batches == 0 {
+            0.0
+        } else {
+            acc.retrieval_fill as f64 / f64::from(acc.retrieval_batches)
+        },
+    };
+    ServingReport { timelines, metrics }
 }
 
 #[cfg(test)]
@@ -1188,6 +1354,61 @@ mod tests {
         let sweep = [(5.0, 1.0), (10.0, 0.95), (20.0, 0.89), (40.0, 0.2)];
         assert_eq!(sustained_throughput_knee(&sweep, &slo), Some(10.0));
         assert_eq!(sustained_throughput_knee(&[], &slo), None);
+    }
+
+    /// Regression: a non-monotone sweep (noise or burst artifacts making an
+    /// overloaded rate *appear* to recover) must not report a knee beyond
+    /// the first SLO-violating rate. The old implementation took the global
+    /// max conforming rate and returned 40 rps here.
+    #[test]
+    fn knee_stops_at_the_first_violation_in_a_non_monotone_sweep() {
+        let slo = SloTarget::new(1.0, 0.1).with_attainment(0.9);
+        let sweep = [(5.0, 1.0), (10.0, 0.7), (20.0, 0.95), (40.0, 0.93)];
+        assert_eq!(sustained_throughput_knee(&sweep, &slo), Some(5.0));
+        // Order independence: the sweep is sorted internally.
+        let shuffled = [(40.0, 0.93), (5.0, 1.0), (20.0, 0.95), (10.0, 0.7)];
+        assert_eq!(sustained_throughput_knee(&shuffled, &slo), Some(5.0));
+        // First swept rate already violating: no sustained region at all.
+        assert_eq!(
+            sustained_throughput_knee(&[(5.0, 0.5), (10.0, 0.95)], &slo),
+            None
+        );
+    }
+
+    /// Regression: rates are measured over the serving window (first arrival
+    /// to last completion), so a trace shifted +100 s reports the same
+    /// throughput and goodput as the unshifted one, and the drain tail is
+    /// exposed for capacity planning.
+    #[test]
+    fn throughput_is_measured_from_the_first_arrival() {
+        let spec = one_stage_spec(0.1, 4, 0.01, 8);
+        let base: Vec<EngineRequest> = (0..12).map(|i| req(i, 0.05 * i as f64, 10)).collect();
+        let shifted: Vec<EngineRequest> = base
+            .iter()
+            .map(|r| EngineRequest {
+                arrival_s: r.arrival_s + 100.0,
+                ..*r
+            })
+            .collect();
+        let a = ServingEngine::new(spec.clone(), base).run();
+        let b = ServingEngine::new(spec, shifted).run();
+        assert!((b.metrics.first_arrival_s - 100.0).abs() < 1e-12);
+        assert!((b.metrics.serving_duration_s - a.metrics.serving_duration_s).abs() < 1e-9);
+        assert!(
+            (b.metrics.throughput_rps - a.metrics.throughput_rps).abs() < 1e-9,
+            "shifted trace deflated throughput: {} vs {}",
+            b.metrics.throughput_rps,
+            a.metrics.throughput_rps
+        );
+        let slo = SloTarget::new(10.0, 1.0);
+        assert!((b.goodput_rps(&slo) - a.goodput_rps(&slo)).abs() < 1e-9);
+        // The drain tail is the post-last-arrival completion time.
+        assert!(b.metrics.drain_tail_s > 0.0);
+        assert!(
+            (b.metrics.drain_tail_s - (b.metrics.makespan_s - b.metrics.last_arrival_s)).abs()
+                < 1e-12
+        );
+        assert!(b.metrics.serving_duration_s >= b.metrics.drain_tail_s);
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   attainment/goodput against a [`rago_schema::SloTarget`] — and it
 //!   reproduces the two special-case simulators above as degenerate cases
 //!   (`tests/engine_equivalence.rs`).
+//! * **Fleets of replicas** — the scale dimension on top of all three:
+//!   [`cluster::ClusterEngine`] runs N replicas of a pipeline (optionally
+//!   heterogeneous) behind a state-aware router
+//!   ([`rago_schema::RouterPolicy`]), dispatching a shared arrival stream
+//!   and merging the runs into fleet-level metrics with per-replica
+//!   breakdowns and load-imbalance statistics. A one-replica fleet
+//!   reproduces [`engine::ServingEngine::run`] exactly
+//!   (`tests/proptest_cluster.rs`).
 //!
 //! # Examples
 //!
@@ -75,10 +83,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod engine;
 pub mod iterative;
 pub mod microbatch;
 
+pub use cluster::{ClusterEngine, FleetReport, LoadImbalance, ReplicaReport};
 pub use engine::{
     sustained_throughput_knee, DecodeSpec, EngineRequest, IterativeSpec, LatencyStats,
     LatencyTable, PipelineSpec, RequestTimeline, ServingEngine, ServingMetrics, ServingReport,

@@ -62,6 +62,77 @@ impl Trace {
         }
         self.requests.len() as f64 / span
     }
+
+    /// Splits the trace across `replicas` round-robin **without
+    /// re-sampling**: the i-th request (in arrival order) goes to replica
+    /// `i % replicas`, keeping its id, arrival time, and lengths. The union
+    /// of the splits is exactly this trace, so per-replica evaluations stay
+    /// comparable to the fleet-level run (a state-aware router in
+    /// `rago-serving-sim::cluster` does this dynamically; this static split
+    /// is the offline baseline).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_workloads::{ArrivalProcess, TraceSpec};
+    /// use rago_schema::SequenceProfile;
+    ///
+    /// let trace = TraceSpec {
+    ///     num_requests: 10,
+    ///     profile: SequenceProfile::paper_default(),
+    ///     arrival: ArrivalProcess::Poisson { rate_rps: 5.0 },
+    ///     length_jitter: 0.1,
+    ///     seed: 1,
+    /// }
+    /// .generate();
+    /// let splits = trace.split_round_robin(3);
+    /// assert_eq!(splits.iter().map(|t| t.requests.len()).sum::<usize>(), 10);
+    /// // No re-sampling: request 4 is bit-identical wherever it lands.
+    /// assert_eq!(splits[1].requests[1], trace.requests[4]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn split_round_robin(&self, replicas: usize) -> Vec<Trace> {
+        assert!(replicas > 0, "cannot split a trace across zero replicas");
+        let mut splits = vec![
+            Trace {
+                requests: Vec::with_capacity(self.requests.len().div_ceil(replicas)),
+            };
+            replicas
+        ];
+        for (i, r) in self.requests.iter().enumerate() {
+            splits[i % replicas].requests.push(*r);
+        }
+        splits
+    }
+
+    /// Returns the same trace with every arrival shifted by `offset_s`
+    /// seconds — e.g. a burst that lands late. Lengths and ids are
+    /// untouched, so the shifted trace exercises exactly the same work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is non-finite or would make any arrival
+    /// negative.
+    pub fn with_arrival_offset(&self, offset_s: f64) -> Trace {
+        assert!(offset_s.is_finite(), "arrival offset must be finite");
+        let requests: Vec<Request> = self
+            .requests
+            .iter()
+            .map(|r| {
+                let arrival_s = r.arrival_s + offset_s;
+                assert!(
+                    arrival_s >= 0.0,
+                    "offset {offset_s} makes request {} arrive before time zero",
+                    r.id
+                );
+                Request { arrival_s, ..*r }
+            })
+            .collect();
+        Trace { requests }
+    }
 }
 
 /// Generates per-request token lengths around a [`SequenceProfile`].
@@ -241,5 +312,51 @@ mod tests {
     #[should_panic(expected = "length_jitter")]
     fn invalid_jitter_panics() {
         let _ = RequestGenerator::new(SequenceProfile::paper_default(), 1.5, 0);
+    }
+
+    #[test]
+    fn round_robin_split_conserves_every_request() {
+        let trace = spec().generate();
+        let splits = trace.split_round_robin(7);
+        assert_eq!(splits.len(), 7);
+        let mut merged: Vec<Request> = splits.iter().flat_map(|t| t.requests.clone()).collect();
+        merged.sort_by_key(|r| r.id);
+        assert_eq!(merged, trace.requests);
+        // Splits stay sorted by arrival (the trace is arrival-sorted).
+        for split in &splits {
+            assert!(split
+                .requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        }
+        // Near-even counts: sizes differ by at most one.
+        let sizes: Vec<usize> = splits.iter().map(|t| t.requests.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn arrival_offset_shifts_without_resampling() {
+        let trace = spec().generate();
+        let shifted = trace.with_arrival_offset(100.0);
+        assert_eq!(shifted.requests.len(), trace.requests.len());
+        for (a, b) in trace.requests.iter().zip(shifted.requests.iter()) {
+            assert!((b.arrival_s - a.arrival_s - 100.0).abs() < 1e-12);
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.prefix_tokens, b.prefix_tokens);
+            assert_eq!(a.decode_tokens, b.decode_tokens);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn zero_replica_split_panics() {
+        let _ = spec().generate().split_round_robin(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before time zero")]
+    fn negative_arrivals_from_offset_panic() {
+        let _ = spec().generate().with_arrival_offset(-1e9);
     }
 }

@@ -10,9 +10,11 @@
 //! * [`retrieval_sim`] — the ScaNN-style retrieval cost model (§4(b));
 //! * [`serving_sim`] — discrete-event serving simulation (§5.3, §6.1),
 //!   including the request-level engine with continuous batching and SLO
-//!   metrics;
+//!   metrics, and the fleet-level cluster simulation (replicas behind a
+//!   router);
 //! * [`core`] — the RAGO optimizer itself (§6), with static and dynamic
-//!   (request-level) schedule evaluation;
+//!   (request-level) schedule evaluation, fleet evaluation, and SLO-driven
+//!   capacity planning;
 //! * [`workloads`] — case-study presets, arrival processes, and request
 //!   generators.
 //!

@@ -30,7 +30,7 @@ use crate::profiler::StageProfiler;
 use crate::schedule::Schedule;
 use rago_schema::{RouterPolicy, SequenceProfile, SloTarget};
 use rago_serving_sim::cluster::{ClusterEngine, FleetReport};
-use rago_workloads::{ArrivalProcess, TraceSpec};
+use rago_workloads::{ArrivalProcess, RateSegment, TraceSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -286,6 +286,125 @@ pub fn rank_frontier_by_cost_at_qps(
     ranked
 }
 
+/// One interval of a capacity schedule: how many replicas a rate segment
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityInterval {
+    /// Interval start, in seconds from the profile's origin.
+    pub start_s: f64,
+    /// Interval length, in seconds.
+    pub duration_s: f64,
+    /// Offered rate during the interval, in requests per second.
+    pub rate_rps: f64,
+    /// Minimum replica count meeting the SLO at that rate (zero for
+    /// zero-rate intervals).
+    pub replicas: u32,
+    /// Fleet attainment at the planned count (1.0 for zero-rate intervals).
+    pub attainment: f64,
+}
+
+/// A replica *schedule* over a time-varying rate profile, with its cost
+/// relative to statically provisioning the peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityProfile {
+    /// Per-interval plans, in profile order.
+    pub intervals: Vec<CapacityInterval>,
+    /// Largest per-interval replica count — what static provisioning would
+    /// hold for the whole profile.
+    pub peak_replicas: u32,
+    /// Integral of the schedule, in replica-seconds.
+    pub replica_seconds: f64,
+    /// `peak_replicas × total profile duration` — the static-provisioning
+    /// cost over the same window.
+    pub static_replica_seconds: f64,
+    /// `1 − replica_seconds / static_replica_seconds`: the fraction of
+    /// chip-time following the profile saves over provisioning the peak
+    /// (zero when the profile is flat).
+    pub savings_fraction: f64,
+}
+
+/// Plans the minimum replica *schedule* of `schedule`'s pipeline over a
+/// piecewise-constant rate profile: each [`RateSegment`] is sized
+/// independently with [`plan_capacity_with`] at its own rate (zero-rate
+/// segments need zero replicas), so the result is by construction identical
+/// to per-interval static planning — the cross-check the
+/// `capacity_profile_matches_per_interval_planning` test pins. Repeated
+/// rates are planned once and memoized.
+///
+/// This is the provisioning-side answer to time-varying traffic: where the
+/// reactive autoscaler in `rago-serving-sim` *discovers* the capacity a
+/// trace needs, this planner *derives* it from the rate profile ahead of
+/// time, and the spread between `replica_seconds` and
+/// `static_replica_seconds` bounds what any elastic strategy can save.
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] when the profile is empty, a
+/// segment is degenerate (non-positive duration, negative or non-finite
+/// rate), the schedule is invalid, or the options describe an empty search,
+/// and [`RagoError::NoFeasibleSchedule`] when some positive-rate segment
+/// cannot meet the SLO within `options.max_replicas`.
+pub fn plan_capacity_profile(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    slo: &SloTarget,
+    profile: &[RateSegment],
+    options: &CapacityOptions,
+) -> Result<CapacityProfile, RagoError> {
+    if profile.is_empty() {
+        return Err(RagoError::InvalidConfig {
+            reason: "a capacity profile needs at least one rate segment".into(),
+        });
+    }
+    for (i, s) in profile.iter().enumerate() {
+        if let Err(reason) = s.validate() {
+            return Err(RagoError::InvalidConfig {
+                reason: format!("segment {i}: {reason}"),
+            });
+        }
+    }
+    let mut plans: BTreeMap<u64, (u32, f64)> = BTreeMap::new();
+    let mut intervals = Vec::with_capacity(profile.len());
+    let mut start_s = 0.0;
+    let mut replica_seconds = 0.0;
+    for s in profile {
+        let (replicas, attainment) = if s.rate_rps == 0.0 {
+            (0, 1.0)
+        } else {
+            match plans.entry(s.rate_rps.to_bits()) {
+                std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let plan = plan_capacity_with(profiler, schedule, slo, s.rate_rps, options)?;
+                    *e.insert((plan.replicas, plan.attainment))
+                }
+            }
+        };
+        replica_seconds += f64::from(replicas) * s.duration_s;
+        intervals.push(CapacityInterval {
+            start_s,
+            duration_s: s.duration_s,
+            rate_rps: s.rate_rps,
+            replicas,
+            attainment,
+        });
+        start_s += s.duration_s;
+    }
+    let peak_replicas = intervals.iter().map(|i| i.replicas).max().unwrap_or(0);
+    let static_replica_seconds = f64::from(peak_replicas) * start_s;
+    let savings_fraction = if static_replica_seconds > 0.0 {
+        1.0 - replica_seconds / static_replica_seconds
+    } else {
+        0.0
+    };
+    Ok(CapacityProfile {
+        intervals,
+        peak_replicas,
+        replica_seconds,
+        static_replica_seconds,
+        savings_fraction,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +539,91 @@ mod tests {
         let plan = plan_capacity_with(&profiler, &schedule, &slo, 1.0, &quick_options()).unwrap();
         assert_eq!(plan.replicas, 1);
         assert!(plan.drain_tail_s >= 0.0);
+    }
+
+    /// The cross-check the issue pins: the profile planner's per-interval
+    /// replica counts equal independent `plan_capacity_with` calls at each
+    /// interval's rate.
+    #[test]
+    fn capacity_profile_matches_per_interval_planning() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let options = quick_options();
+        let profile = [
+            RateSegment::new(20.0, 5.0),
+            RateSegment::new(10.0, 40.0),
+            RateSegment::new(5.0, 0.0),
+            RateSegment::new(15.0, 40.0), // repeated rate: memoized plan
+        ];
+        let planned =
+            plan_capacity_profile(&profiler, &schedule, &slo, &profile, &options).unwrap();
+        assert_eq!(planned.intervals.len(), 4);
+        for interval in &planned.intervals {
+            if interval.rate_rps == 0.0 {
+                assert_eq!(interval.replicas, 0);
+                assert_eq!(interval.attainment, 1.0);
+                continue;
+            }
+            let single =
+                plan_capacity_with(&profiler, &schedule, &slo, interval.rate_rps, &options)
+                    .unwrap();
+            assert_eq!(
+                interval.replicas, single.replicas,
+                "interval at {} rps diverged from static planning",
+                interval.rate_rps
+            );
+            assert!(interval.attainment >= slo.attainment);
+        }
+        // Identical rates plan identically.
+        assert_eq!(planned.intervals[1].replicas, planned.intervals[3].replicas);
+        // Cost bookkeeping is self-consistent.
+        let expected: f64 = planned
+            .intervals
+            .iter()
+            .map(|i| f64::from(i.replicas) * i.duration_s)
+            .sum();
+        assert!((planned.replica_seconds - expected).abs() < 1e-9);
+        assert_eq!(
+            planned.peak_replicas,
+            planned.intervals.iter().map(|i| i.replicas).max().unwrap()
+        );
+        assert!(
+            (planned.static_replica_seconds - f64::from(planned.peak_replicas) * 50.0).abs() < 1e-9
+        );
+        // The trough and the idle segment make following the profile
+        // strictly cheaper than provisioning the peak throughout.
+        assert!(planned.savings_fraction > 0.0);
+        // Interval start times accumulate.
+        assert_eq!(planned.intervals[0].start_s, 0.0);
+        assert!((planned.intervals[3].start_s - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_capacity_profiles_are_rejected() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let options = quick_options();
+        assert!(matches!(
+            plan_capacity_profile(&profiler, &schedule, &slo, &[], &options),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        let bad = [RateSegment {
+            duration_s: 1.0,
+            rate_rps: f64::NAN,
+        }];
+        assert!(matches!(
+            plan_capacity_profile(&profiler, &schedule, &slo, &bad, &options),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        // A segment no fleet within the bound can hold fails loudly.
+        let impossible_slo = SloTarget::new(0.5, 1e-6);
+        let profile = [RateSegment::new(5.0, 50.0)];
+        assert!(matches!(
+            plan_capacity_profile(&profiler, &schedule, &impossible_slo, &profile, &options),
+            Err(RagoError::NoFeasibleSchedule { .. })
+        ));
     }
 
     #[test]

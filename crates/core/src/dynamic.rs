@@ -101,8 +101,8 @@ pub fn evaluate_schedule_dynamic(
 }
 
 /// Rejects zero-request traces, which would otherwise score a vacuous
-/// `attainment = 1.0`.
-fn reject_empty_trace(trace: &Trace) -> Result<(), RagoError> {
+/// `attainment = 1.0`. Shared with [`crate::timevarying`].
+pub(crate) fn reject_empty_trace(trace: &Trace) -> Result<(), RagoError> {
     if trace.requests.is_empty() {
         return Err(RagoError::InvalidConfig {
             reason: "dynamic evaluation needs at least one request; \

@@ -44,11 +44,13 @@ pub mod pareto;
 pub mod placement;
 pub mod profiler;
 pub mod schedule;
+pub mod timevarying;
 
 pub use baseline::BaselineSystem;
 pub use breakdown::{stage_breakdown, StageShare};
 pub use capacity::{
-    plan_capacity, plan_capacity_with, rank_frontier_by_cost_at_qps, CapacityOptions, CapacityPlan,
+    plan_capacity, plan_capacity_profile, plan_capacity_with, rank_frontier_by_cost_at_qps,
+    CapacityInterval, CapacityOptions, CapacityPlan, CapacityProfile,
 };
 pub use dynamic::{
     evaluate_fleet_dynamic, evaluate_heterogeneous_fleet_dynamic, evaluate_schedule_dynamic,
@@ -61,3 +63,6 @@ pub use pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};
 pub use placement::PlacementPlan;
 pub use profiler::{StagePerf, StageProfiler};
 pub use schedule::{BatchingPolicy, ResourceAllocation, Schedule};
+pub use timevarying::{
+    evaluate_fleet_timevarying, ClassOutcome, ScalingSummary, TimeVaryingEvaluation,
+};

@@ -482,6 +482,50 @@ impl Rago {
         crate::capacity::plan_capacity_with(&self.profiler, schedule, slo, target_qps, options)
     }
 
+    /// Evaluates one schedule as a (possibly autoscaled) fleet under a
+    /// class-tagged, possibly time-varying trace, scoring every tenant
+    /// against its own SLO. See
+    /// [`crate::timevarying::evaluate_fleet_timevarying`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::timevarying::evaluate_fleet_timevarying`]
+    /// errors.
+    pub fn evaluate_fleet_timevarying(
+        &self,
+        schedule: &Schedule,
+        fleet: &rago_schema::FleetConfig,
+        mix: &rago_workloads::WorkloadMix,
+        trace: &rago_workloads::Trace,
+        autoscaler: Option<&rago_serving_sim::autoscaler::AutoscalerPolicy>,
+    ) -> Result<crate::timevarying::TimeVaryingEvaluation, RagoError> {
+        crate::timevarying::evaluate_fleet_timevarying(
+            &self.profiler,
+            schedule,
+            fleet,
+            mix,
+            trace,
+            autoscaler,
+        )
+    }
+
+    /// Plans the minimum replica schedule of `schedule`'s pipeline over a
+    /// piecewise rate profile. See
+    /// [`crate::capacity::plan_capacity_profile`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::capacity::plan_capacity_profile`] errors.
+    pub fn plan_capacity_profile(
+        &self,
+        schedule: &Schedule,
+        slo: &rago_schema::SloTarget,
+        profile: &[rago_workloads::RateSegment],
+        options: &crate::capacity::CapacityOptions,
+    ) -> Result<crate::capacity::CapacityProfile, RagoError> {
+        crate::capacity::plan_capacity_profile(&self.profiler, schedule, slo, profile, options)
+    }
+
     /// Re-ranks a Pareto frontier by the total chips needed to serve
     /// `target_qps` within `slo`, cheapest fleet first. See
     /// [`crate::capacity::rank_frontier_by_cost_at_qps`].

@@ -228,71 +228,101 @@ impl ClusterEngine {
             for sim in &mut sims {
                 sim.advance_before(req.arrival_s);
             }
-            let replica = self.pick(&sims, &mut round_robin_next);
+            let replica = route_pick(self.router, sims.len(), |i| &sims[i], &mut round_robin_next);
             assignments.push((req.id, replica));
             assigned_counts[replica] += 1;
             sims[replica].inject(*req);
         }
 
-        let mut per_replica = Vec::with_capacity(sims.len());
-        let mut merged_timelines = Vec::with_capacity(requests.len());
-        let mut merged_acc = SimAccumulators::default();
-        for (replica, mut sim) in sims.into_iter().enumerate() {
-            sim.run_to_completion();
-            let (timelines, acc) = sim.finish();
-            merged_timelines.extend(timelines.iter().cloned());
-            merged_acc = merged_acc.merge(acc);
-            per_replica.push(ReplicaReport {
-                replica,
-                assigned: assigned_counts[replica],
-                report: build_report(timelines, &acc),
-            });
-        }
-        merged_timelines.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
-        FleetReport {
-            merged: build_report(merged_timelines, &merged_acc),
-            per_replica,
-            assignments,
-            imbalance: LoadImbalance::from_counts(assigned_counts),
-            router: self.router,
-        }
+        merge_finished_replicas(sims, assigned_counts, assignments, self.router)
     }
+}
 
-    /// Picks the replica for the next arrival. Ties break toward the lowest
-    /// replica index, so routing is deterministic.
-    fn pick(&self, sims: &[ReplicaSim], round_robin_next: &mut usize) -> usize {
-        match self.router {
-            RouterPolicy::RoundRobin => {
-                let r = *round_robin_next % sims.len();
-                *round_robin_next += 1;
-                r
-            }
-            RouterPolicy::LeastOutstanding => argmin_by(sims, |s| (s.outstanding(), 0usize)),
-            RouterPolicy::JoinShortestQueue => argmin_by(sims, |s| (s.queued(), s.outstanding())),
-            RouterPolicy::DecodeFillAware => {
-                // Lowest decode fill fraction first; least-outstanding breaks
-                // fill ties (e.g. several empty replicas at warm-up).
-                let mut best = 0usize;
-                let mut best_key = (f64::INFINITY, usize::MAX);
-                for (i, sim) in sims.iter().enumerate() {
-                    let key = (sim.decode_fill_fraction(), sim.outstanding());
-                    if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
-                        best = i;
-                        best_key = key;
-                    }
+/// Drains every replica simulation to completion and merges the runs into a
+/// [`FleetReport`] — the shared tail of [`ClusterEngine::run`] and the
+/// autoscaled run in [`crate::autoscaler`], so fixed and elastic fleets
+/// report by one definition.
+pub(crate) fn merge_finished_replicas(
+    sims: Vec<ReplicaSim>,
+    assigned_counts: Vec<usize>,
+    assignments: Vec<(u64, usize)>,
+    router: RouterPolicy,
+) -> FleetReport {
+    let mut per_replica = Vec::with_capacity(sims.len());
+    let mut merged_timelines = Vec::with_capacity(assignments.len());
+    let mut merged_acc = SimAccumulators::default();
+    for (replica, mut sim) in sims.into_iter().enumerate() {
+        sim.run_to_completion();
+        let (timelines, acc) = sim.finish();
+        merged_timelines.extend(timelines.iter().cloned());
+        merged_acc = merged_acc.merge(acc);
+        per_replica.push(ReplicaReport {
+            replica,
+            assigned: assigned_counts[replica],
+            report: build_report(timelines, &acc),
+        });
+    }
+    merged_timelines.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+    FleetReport {
+        merged: build_report(merged_timelines, &merged_acc),
+        per_replica,
+        assignments,
+        imbalance: LoadImbalance::from_counts(assigned_counts),
+        router,
+    }
+}
+
+/// Picks the replica for the next arrival among the `len` candidates
+/// exposed by `sim_at` (returned index is into that candidate order). Ties
+/// break toward the lowest index, so routing is deterministic. The
+/// accessor form lets the fixed fleet route straight over its replica
+/// slice while [`crate::autoscaler`] routes over the currently-routable
+/// subset of a changing fleet, with no per-arrival candidate allocation in
+/// either.
+pub(crate) fn route_pick<'a>(
+    router: RouterPolicy,
+    len: usize,
+    sim_at: impl Fn(usize) -> &'a ReplicaSim,
+    round_robin_next: &mut usize,
+) -> usize {
+    match router {
+        RouterPolicy::RoundRobin => {
+            let r = *round_robin_next % len;
+            *round_robin_next += 1;
+            r
+        }
+        RouterPolicy::LeastOutstanding => argmin_by(len, &sim_at, |s| (s.outstanding(), 0usize)),
+        RouterPolicy::JoinShortestQueue => {
+            argmin_by(len, &sim_at, |s| (s.queued(), s.outstanding()))
+        }
+        RouterPolicy::DecodeFillAware => {
+            // Lowest decode fill fraction first; least-outstanding breaks
+            // fill ties (e.g. several empty replicas at warm-up).
+            let mut best = 0usize;
+            let mut best_key = (f64::INFINITY, usize::MAX);
+            for i in 0..len {
+                let sim = sim_at(i);
+                let key = (sim.decode_fill_fraction(), sim.outstanding());
+                if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
+                    best = i;
+                    best_key = key;
                 }
-                best
             }
+            best
         }
     }
 }
 
-/// Index of the replica minimizing `key`, first occurrence on ties.
-fn argmin_by(sims: &[ReplicaSim], key: impl Fn(&ReplicaSim) -> (usize, usize)) -> usize {
+/// Index of the candidate minimizing `key`, first occurrence on ties.
+fn argmin_by<'a>(
+    len: usize,
+    sim_at: impl Fn(usize) -> &'a ReplicaSim,
+    key: impl Fn(&ReplicaSim) -> (usize, usize),
+) -> usize {
     let mut best = 0usize;
     let mut best_key = (usize::MAX, usize::MAX);
-    for (i, sim) in sims.iter().enumerate() {
-        let k = key(sim);
+    for i in 0..len {
+        let k = key(sim_at(i));
         if k < best_key {
             best = i;
             best_key = k;
@@ -333,6 +363,7 @@ mod tests {
             id,
             arrival_s: arrival,
             decode_tokens: tokens,
+            class: 0,
         }
     }
 

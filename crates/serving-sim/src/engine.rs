@@ -289,6 +289,9 @@ pub struct EngineRequest {
     pub arrival_s: f64,
     /// Output tokens to generate.
     pub decode_tokens: u32,
+    /// Workload-class tag (0 for untagged traffic), carried through to the
+    /// timeline so reports can break metrics down per tenant class.
+    pub class: u32,
 }
 
 impl From<&Request> for EngineRequest {
@@ -297,6 +300,7 @@ impl From<&Request> for EngineRequest {
             id: r.id,
             arrival_s: r.arrival_s,
             decode_tokens: r.decode_tokens.max(1),
+            class: r.class,
         }
     }
 }
@@ -312,6 +316,8 @@ pub struct RequestTimeline {
     pub stage_starts_s: Vec<f64>,
     /// Completion of each pre-decode stage (pipeline order).
     pub stage_ends_s: Vec<f64>,
+    /// Workload-class tag of the request (0 for untagged traffic).
+    pub class: u32,
     /// Time the request joined the decode batch.
     pub decode_join_s: f64,
     /// Time the first output token was emitted (end of the main prefix, or
@@ -392,9 +398,14 @@ impl LatencyStats {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// The rank is `ceil(p/100 · n)`, computed with a small downward tolerance
+/// so a floating-point product that lands an epsilon *above* an exact
+/// integer does not bump the rank (e.g. `0.2 × 5 = 1.0000000000000002`
+/// must select rank 1, not 2).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -442,6 +453,23 @@ pub struct ServingMetrics {
     pub mean_retrieval_batch_fill: f64,
 }
 
+/// One workload class's slice of a run's metrics.
+///
+/// Request-level quantities (counts, TTFT/TPOT/latency distributions,
+/// queueing, throughput over the class's own serving window) are computed
+/// from the class's timelines alone. Shared-resource quantities
+/// (`mean_decode_fill`, `retrieval_batches`, `mean_retrieval_batch_fill`)
+/// describe the pipeline the classes share and repeat the run-level values
+/// in every row — a tenant does not have a decode fill of its own.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// The workload-class tag.
+    pub class: u32,
+    /// The class's serving metrics (see the struct docs for which fields
+    /// are class-local versus shared).
+    pub metrics: ServingMetrics,
+}
+
 /// The full result of one engine run: per-request timelines plus aggregate
 /// metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -450,6 +478,10 @@ pub struct ServingReport {
     pub timelines: Vec<RequestTimeline>,
     /// Aggregate distributions and throughput.
     pub metrics: ServingMetrics,
+    /// Per-workload-class breakdowns, sorted by class id — one row per
+    /// distinct class tag in the run. For a single-class (or untagged) run
+    /// this is one row whose metrics equal [`Self::metrics`] exactly.
+    pub per_class: Vec<ClassMetrics>,
 }
 
 impl ServingReport {
@@ -464,6 +496,58 @@ impl ServingReport {
             .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
             .count();
         met as f64 / self.timelines.len() as f64
+    }
+
+    /// The distinct workload-class tags of the run, ascending.
+    pub fn classes(&self) -> Vec<u32> {
+        self.per_class.iter().map(|c| c.class).collect()
+    }
+
+    /// Fraction of class `class`'s requests meeting both latency targets of
+    /// `slo` (1.0 when the class has no requests, mirroring
+    /// [`Self::attainment`] on an empty run).
+    pub fn class_attainment(&self, class: u32, slo: &SloTarget) -> f64 {
+        let (met, total) = self.class_slo_counts(class, slo);
+        if total == 0 {
+            return 1.0;
+        }
+        met as f64 / total as f64
+    }
+
+    /// Class `class`'s SLO goodput: its requests meeting `slo` divided by
+    /// the *class's own* serving window (its first arrival to its last
+    /// completion), in requests per second. Zero when the class has no
+    /// requests or a degenerate window.
+    pub fn class_goodput_rps(&self, class: u32, slo: &SloTarget) -> f64 {
+        let duration = self
+            .per_class
+            .iter()
+            .find(|c| c.class == class)
+            .map(|c| c.metrics.serving_duration_s)
+            .unwrap_or(0.0);
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        let (met, _) = self.class_slo_counts(class, slo);
+        met as f64 / duration
+    }
+
+    /// `(met, total)`: how many of class `class`'s requests meet both
+    /// latency targets of `slo`, and how many requests the class has at
+    /// all. The counting primitive behind [`Self::class_attainment`] and
+    /// [`Self::class_goodput_rps`] — public so the multi-tenant scoring in
+    /// `rago-core` shares this single definition of per-class SLO
+    /// accounting.
+    pub fn class_slo_counts(&self, class: u32, slo: &SloTarget) -> (usize, usize) {
+        let mut met = 0;
+        let mut total = 0;
+        for t in self.timelines.iter().filter(|t| t.class == class) {
+            total += 1;
+            if slo.meets(t.ttft_s(), t.tpot_s()) {
+                met += 1;
+            }
+        }
+        (met, total)
     }
 
     /// SLO goodput: requests meeting the latency targets divided by the
@@ -700,6 +784,12 @@ pub(crate) struct ReplicaSim {
     retrieval_queue: VecDeque<usize>,
     in_flight_retrievals: usize,
     completed: usize,
+    /// `(completion_s, ttft_s, tpot_s)` of every completed request, in
+    /// completion order (appended as completions happen, so the log is
+    /// chronological). Lets the autoscaler's attainment trigger consume
+    /// recent outcomes with a cursor instead of rescanning every request
+    /// at every evaluation tick.
+    completion_log: Vec<(f64, f64, f64)>,
     acc: SimAccumulators,
     heap: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
@@ -727,6 +817,7 @@ impl ReplicaSim {
             retrieval_queue: VecDeque::new(),
             in_flight_retrievals: 0,
             completed: 0,
+            completion_log: Vec::new(),
             acc: SimAccumulators::default(),
             heap: BinaryHeap::new(),
             seq: 0,
@@ -894,8 +985,12 @@ impl ReplicaSim {
                     }
                     if st.generated >= tokens {
                         st.completion_s = Some(t);
+                        let ttft = st.first_token_s.expect("first token precedes completion")
+                            - self.requests[r].arrival_s;
+                        let tpot = (t - st.decode_join_s) / f64::from(tokens.max(1));
                         self.resident.remove(&r);
                         self.completed += 1;
+                        self.completion_log.push((t, ttft, tpot));
                     }
                 }
             }
@@ -1018,6 +1113,20 @@ impl ReplicaSim {
             .count()
     }
 
+    /// `(completion, ttft, tpot)` of every request completed at or before
+    /// `to` and not yet consumed through `cursor`; advances the cursor past
+    /// the returned slice. The completion log is chronological, so
+    /// successive calls with the same cursor visit each completion exactly
+    /// once — the autoscaler's attainment trigger walks it per tick in
+    /// O(new completions) instead of rescanning every request.
+    pub(crate) fn completions_up_to(&self, cursor: &mut usize, to: f64) -> &[(f64, f64, f64)] {
+        let start = *cursor;
+        while *cursor < self.completion_log.len() && self.completion_log[*cursor].0 <= to {
+            *cursor += 1;
+        }
+        &self.completion_log[start..*cursor]
+    }
+
     /// Consumes the finished simulation into per-request timelines (in
     /// injection = arrival order) and the aggregate accumulators.
     ///
@@ -1035,6 +1144,7 @@ impl ReplicaSim {
                 arrival_s: req.arrival_s,
                 stage_starts_s: st.stage_starts_s.clone(),
                 stage_ends_s: st.stage_ends_s.clone(),
+                class: req.class,
                 decode_join_s: st.decode_join_s,
                 // The event loop drains the heap only after every request
                 // has generated its final token; a request without a first
@@ -1057,11 +1167,54 @@ impl ReplicaSim {
 /// Builds a [`ServingReport`] from completed timelines and the simulation
 /// accumulators. Shared by [`ServingEngine::run`] and the fleet-level
 /// merge in [`crate::cluster`], so single-engine and fleet metrics are
-/// computed by one definition.
+/// computed by one definition. The per-class rows reuse the same metric
+/// computation over each class's timeline subset; for a run with a single
+/// distinct class the row is the aggregate metrics verbatim, which is what
+/// makes a one-class mix bit-identical to an untagged run.
 pub(crate) fn build_report(
     timelines: Vec<RequestTimeline>,
     acc: &SimAccumulators,
 ) -> ServingReport {
+    let metrics = compute_metrics(&timelines, acc);
+    let mut classes: Vec<u32> = timelines.iter().map(|t| t.class).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let per_class = if classes.len() <= 1 {
+        classes
+            .into_iter()
+            .map(|class| ClassMetrics {
+                class,
+                metrics: metrics.clone(),
+            })
+            .collect()
+    } else {
+        classes
+            .into_iter()
+            .map(|class| {
+                let subset: Vec<RequestTimeline> = timelines
+                    .iter()
+                    .filter(|t| t.class == class)
+                    .cloned()
+                    .collect();
+                ClassMetrics {
+                    class,
+                    metrics: compute_metrics(&subset, acc),
+                }
+            })
+            .collect()
+    };
+    ServingReport {
+        timelines,
+        metrics,
+        per_class,
+    }
+}
+
+/// Computes aggregate [`ServingMetrics`] over a set of timelines. The
+/// accumulator-derived fields (decode fill, iterative-retrieval batching)
+/// describe the shared pipeline, not a timeline subset — per-class rows pass
+/// the run's accumulators through unchanged.
+fn compute_metrics(timelines: &[RequestTimeline], acc: &SimAccumulators) -> ServingMetrics {
     let ttfts: Vec<f64> = timelines.iter().map(RequestTimeline::ttft_s).collect();
     let tpots: Vec<f64> = timelines.iter().map(RequestTimeline::tpot_s).collect();
     let latencies: Vec<f64> = timelines.iter().map(RequestTimeline::latency_s).collect();
@@ -1095,7 +1248,7 @@ pub(crate) fn build_report(
             .sum::<f64>()
             / n as f64
     };
-    let metrics = ServingMetrics {
+    ServingMetrics {
         requests: n,
         completed: n,
         first_arrival_s: first_arrival,
@@ -1124,8 +1277,7 @@ pub(crate) fn build_report(
         } else {
             acc.retrieval_fill as f64 / f64::from(acc.retrieval_batches)
         },
-    };
-    ServingReport { timelines, metrics }
+    }
 }
 
 #[cfg(test)]
@@ -1159,6 +1311,7 @@ mod tests {
             id,
             arrival_s: arrival,
             decode_tokens: tokens,
+            class: 0,
         }
     }
 
@@ -1474,5 +1627,131 @@ mod tests {
     #[should_panic(expected = "strictly positive")]
     fn zero_step_latency_is_rejected() {
         let _ = DecodeSpec::new(4, LatencyTable::constant(4, 0.0));
+    }
+
+    /// Audit pin: every percentile of a single-sample distribution is the
+    /// sample itself (nearest-rank with n = 1 selects rank 1 for any p).
+    #[test]
+    fn single_sample_stats_collapse_to_the_sample() {
+        let s = LatencyStats::from_samples(&[0.125]);
+        assert_eq!(s.mean_s, 0.125);
+        assert_eq!(s.p50_s, 0.125);
+        assert_eq!(s.p95_s, 0.125);
+        assert_eq!(s.p99_s, 0.125);
+        assert_eq!(s.max_s, 0.125);
+    }
+
+    /// Audit pin: duplicate values collapse every percentile to that value,
+    /// and ties never push a rank past the duplicates.
+    #[test]
+    fn duplicate_values_collapse_percentiles() {
+        let s = LatencyStats::from_samples(&[2.0; 7]);
+        assert_eq!((s.p50_s, s.p95_s, s.p99_s, s.max_s), (2.0, 2.0, 2.0, 2.0));
+        // Mixed duplicates: p50 of [1,1,1,9] is rank ceil(2) = 2 → 1.0.
+        let s = LatencyStats::from_samples(&[9.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.p50_s, 1.0);
+        assert_eq!(s.max_s, 9.0);
+    }
+
+    /// Regression for the nearest-rank rounding fix: `0.2 × 5` is
+    /// `1.0000000000000002` in f64, so a naive `ceil` bumped the p20 of five
+    /// samples from rank 1 to rank 2. The tolerance keeps exact-integer
+    /// products at their true rank without disturbing non-integer ones.
+    #[test]
+    fn percentile_rank_survives_float_noise() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 20.0), 1.0);
+        assert_eq!(percentile(&sorted, 40.0), 2.0);
+        assert_eq!(percentile(&sorted, 41.0), 3.0); // ceil(2.05) = 3
+        assert_eq!(percentile(&sorted, 100.0), 5.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0); // clamped to rank 1
+    }
+
+    /// Audit pin: a trace whose requests request *zero* decode tokens is
+    /// clamped to one token per request at the engine boundary, and the
+    /// drain tail stays consistent (`makespan − last arrival`, never
+    /// negative, never exceeding the serving duration).
+    #[test]
+    fn zero_decode_requests_are_clamped_and_drain_tail_holds() {
+        let trace = Trace {
+            requests: (0..5)
+                .map(|i| Request {
+                    id: i,
+                    arrival_s: 0.1 * i as f64,
+                    question_tokens: 16,
+                    prefix_tokens: 64,
+                    decode_tokens: 0,
+                    class: 0,
+                })
+                .collect(),
+        };
+        let spec = one_stage_spec(0.05, 4, 0.01, 8);
+        let report = ServingEngine::from_trace(spec, &trace).run();
+        assert_eq!(report.metrics.completed, 5);
+        assert!(report.timelines.iter().all(|t| t.decode_tokens == 1));
+        let m = &report.metrics;
+        assert!(m.drain_tail_s >= 0.0);
+        assert!((m.drain_tail_s - (m.makespan_s - m.last_arrival_s)).abs() < 1e-12);
+        assert!(m.serving_duration_s >= m.drain_tail_s);
+        // One decode step after the last arrival's prefix: the tail is the
+        // remaining service time, strictly positive here.
+        assert!(m.drain_tail_s > 0.0);
+        // TPOT divides by the clamped token count, so it stays finite.
+        assert!(m.tpot.max_s.is_finite() && m.tpot.max_s > 0.0);
+    }
+
+    #[test]
+    fn per_class_rows_partition_the_run() {
+        let spec = one_stage_spec(0.05, 4, 5e-3, 8);
+        let mut requests: Vec<EngineRequest> = (0..30)
+            .map(|i| EngineRequest {
+                id: i,
+                arrival_s: 0.02 * i as f64,
+                decode_tokens: 8 + (i as u32 % 5),
+                class: (i % 3) as u32,
+            })
+            .collect();
+        requests[0].class = 2; // classes need not start at 0
+        let report = ServingEngine::new(spec, requests).run();
+        assert_eq!(report.classes(), vec![0, 1, 2]);
+        let total: usize = report.per_class.iter().map(|c| c.metrics.requests).sum();
+        assert_eq!(total, 30);
+        for row in &report.per_class {
+            let count = report
+                .timelines
+                .iter()
+                .filter(|t| t.class == row.class)
+                .count();
+            assert_eq!(row.metrics.requests, count);
+            assert_eq!(row.metrics.completed, count);
+            // Shared-resource fields repeat the run-level value.
+            assert_eq!(
+                row.metrics.mean_decode_fill,
+                report.metrics.mean_decode_fill
+            );
+            // Class windows nest inside the run's window.
+            assert!(row.metrics.first_arrival_s >= report.metrics.first_arrival_s);
+            assert!(row.metrics.makespan_s <= report.metrics.makespan_s);
+        }
+        // Attainment per class is a partition of overall attainment.
+        let slo = SloTarget::new(0.5, 0.02);
+        let met_total: f64 = report
+            .per_class
+            .iter()
+            .map(|c| report.class_attainment(c.class, &slo) * c.metrics.requests as f64)
+            .sum();
+        assert!((met_total / 30.0 - report.attainment(&slo)).abs() < 1e-12);
+        // Absent classes behave like empty runs.
+        assert_eq!(report.class_attainment(99, &slo), 1.0);
+        assert_eq!(report.class_goodput_rps(99, &slo), 0.0);
+    }
+
+    #[test]
+    fn single_class_runs_have_one_row_equal_to_the_aggregate() {
+        let spec = one_stage_spec(0.03, 4, 2e-3, 8);
+        let report = ServingEngine::new(spec, (0..12).map(|i| req(i, 0.0, 10)).collect()).run();
+        assert_eq!(report.per_class.len(), 1);
+        assert_eq!(report.per_class[0].class, 0);
+        assert_eq!(report.per_class[0].metrics, report.metrics);
     }
 }

@@ -35,6 +35,16 @@
 //!   breakdowns and load-imbalance statistics. A one-replica fleet
 //!   reproduces [`engine::ServingEngine::run`] exactly
 //!   (`tests/proptest_cluster.rs`).
+//! * **Time-varying traffic and autoscaling** — the fleet size itself as a
+//!   dynamic quantity: [`autoscaler::AutoscaleEngine`] re-evaluates a
+//!   reactive [`autoscaler::AutoscalerPolicy`] while the simulation runs,
+//!   scaling out on queue-depth (or recent-SLO-attainment) triggers,
+//!   scaling in only after a cooldown, and holding new replicas out of the
+//!   router during their warm-up — the provisioning loop a diurnal or spiky
+//!   [`rago_workloads::ArrivalProcess`] exercises. Requests carry
+//!   workload-class tags ([`rago_workloads::WorkloadMix`]), and every
+//!   report breaks metrics down per tenant class
+//!   ([`engine::ClassMetrics`]).
 //!
 //! # Examples
 //!
@@ -83,16 +93,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscaler;
 pub mod cluster;
 pub mod engine;
 pub mod iterative;
 pub mod microbatch;
 
+pub use autoscaler::{
+    AttainmentTrigger, AutoscaleEngine, AutoscaleReport, AutoscalerPolicy, ReplicaLifetime,
+    ScalingAction, ScalingEvent,
+};
 pub use cluster::{ClusterEngine, FleetReport, LoadImbalance, ReplicaReport};
 pub use engine::{
-    sustained_throughput_knee, DecodeSpec, EngineRequest, IterativeSpec, LatencyStats,
-    LatencyTable, PipelineSpec, RequestTimeline, ServingEngine, ServingMetrics, ServingReport,
-    StageSpec,
+    sustained_throughput_knee, ClassMetrics, DecodeSpec, EngineRequest, IterativeSpec,
+    LatencyStats, LatencyTable, PipelineSpec, RequestTimeline, ServingEngine, ServingMetrics,
+    ServingReport, StageSpec,
 };
 pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
 pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};

@@ -41,6 +41,7 @@ fn engine_for(params: IterativeDecodeParams) -> ServingEngine {
             id: u64::from(i),
             arrival_s: 0.0,
             decode_tokens: params.decode_len,
+            class: 0,
         })
         .collect();
     ServingEngine::new(spec, requests)
@@ -171,6 +172,7 @@ fn burst_engine(
             id: u64::from(i),
             arrival_s: 0.0,
             decode_tokens: 1,
+            class: 0,
         })
         .collect();
     ServingEngine::new(spec, requests)

@@ -52,6 +52,7 @@ fn requests(n: usize, gap: f64) -> Vec<EngineRequest> {
             id: i as u64,
             arrival_s: gap * i as f64,
             decode_tokens: 1 + (i as u32 * 7) % 23,
+            class: 0,
         })
         .collect()
 }

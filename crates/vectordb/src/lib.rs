@@ -48,6 +48,7 @@ pub mod distance;
 pub mod error;
 pub mod flat;
 pub mod ivf;
+pub mod ivf_flat;
 pub mod kmeans;
 pub mod pq;
 pub mod recall;
@@ -57,6 +58,7 @@ pub use distance::{cosine_distance, inner_product, l2_distance, l2_distance_squa
 pub use error::VectorDbError;
 pub use flat::{FlatIndex, Neighbor};
 pub use ivf::{IvfPqIndex, IvfPqParams};
+pub use ivf_flat::IvfFlatIndex;
 pub use kmeans::{kmeans, KMeansParams, KMeansResult};
 pub use pq::ProductQuantizer;
 pub use recall::recall_at_k;

@@ -7,8 +7,14 @@
 //!
 //! * [`RequestGenerator`] samples per-request token lengths around a
 //!   [`rago_schema::SequenceProfile`];
-//! * [`ArrivalProcess`] produces arrival timestamps (Poisson or bursty);
+//! * [`ArrivalProcess`] produces arrival timestamps — stationary (Poisson,
+//!   bursty, instantaneous) or time-varying (piecewise-rate, diurnal,
+//!   spike);
 //! * [`TraceSpec`] bundles both into a reproducible request trace;
+//! * [`WorkloadMix`] describes weighted multi-tenant request classes with
+//!   per-class [`rago_schema::SloTarget`]s, and [`MixTraceSpec`] samples a
+//!   class-tagged trace from one ([`Trace::merge_tagged`] composes tagged
+//!   traces from independently generated parts);
 //! * [`case_studies`] re-exports the paper's Table 3 presets together with
 //!   the parameter sweeps used in the evaluation figures.
 //!
@@ -35,8 +41,10 @@
 
 pub mod arrival;
 pub mod case_studies;
+pub mod mix;
 pub mod request;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalProcess, RateSegment};
 pub use case_studies::{case_study_sweeps, CaseStudy};
+pub use mix::{MixTraceSpec, RequestClass, WorkloadMix};
 pub use request::{Request, RequestGenerator, Trace, TraceSpec};

@@ -19,6 +19,11 @@ pub struct Request {
     pub prefix_tokens: u32,
     /// Output (decode) length in tokens.
     pub decode_tokens: u32,
+    /// Workload-class tag: index into the [`crate::WorkloadMix`] the request
+    /// was sampled from (0 for single-class / untagged traces). Carried
+    /// through the serving simulation so reports can break metrics and SLO
+    /// attainment down per tenant class.
+    pub class: u32,
 }
 
 /// A generated request trace.
@@ -108,6 +113,54 @@ impl Trace {
         splits
     }
 
+    /// Merges class-tagged traces into one: every request of `parts[i].1`
+    /// is re-tagged with class `parts[i].0`, the union is sorted by arrival
+    /// time (stable — ties keep part order, then within-part order), and ids
+    /// are re-assigned by merged position so the result is a well-formed
+    /// trace with unique ids. Arrival times and token lengths are untouched,
+    /// so the merged trace exercises exactly the union of the parts' work.
+    ///
+    /// This is how multi-tenant scenarios are composed from independently
+    /// generated per-tenant traces (e.g. a steady tenant plus a spiky one).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_workloads::{ArrivalProcess, Trace, TraceSpec};
+    /// use rago_schema::SequenceProfile;
+    ///
+    /// let spec = TraceSpec {
+    ///     num_requests: 5,
+    ///     profile: SequenceProfile::paper_default(),
+    ///     arrival: ArrivalProcess::Poisson { rate_rps: 10.0 },
+    ///     length_jitter: 0.0,
+    ///     seed: 1,
+    /// };
+    /// let a = spec.clone().generate();
+    /// let b = TraceSpec { seed: 2, ..spec }.generate();
+    /// let merged = Trace::merge_tagged(&[(0, a), (7, b)]);
+    /// assert_eq!(merged.requests.len(), 10);
+    /// assert!(merged.requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    /// assert_eq!(merged.requests.iter().filter(|r| r.class == 7).count(), 5);
+    /// assert!(merged.requests.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    /// ```
+    pub fn merge_tagged(parts: &[(u32, Trace)]) -> Trace {
+        let total = parts.iter().map(|(_, t)| t.requests.len()).sum();
+        let mut requests: Vec<Request> = Vec::with_capacity(total);
+        for (class, part) in parts {
+            requests.extend(part.requests.iter().map(|r| Request {
+                class: *class,
+                ..*r
+            }));
+        }
+        // Stable sort keeps part order, then within-part order, on ties.
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        Trace { requests }
+    }
+
     /// Returns the same trace with every arrival shifted by `offset_s`
     /// seconds — e.g. a burst that lands late. Lengths and ids are
     /// untouched, so the shifted trace exercises exactly the same work.
@@ -174,6 +227,7 @@ impl RequestGenerator {
             question_tokens: question,
             prefix_tokens: prefix.max(question),
             decode_tokens: decode.max(1),
+            class: 0,
         }
     }
 
@@ -189,7 +243,7 @@ impl RequestGenerator {
 }
 
 /// A reproducible trace specification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceSpec {
     /// Number of requests to generate.
     pub num_requests: usize,

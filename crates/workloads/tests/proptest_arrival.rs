@@ -2,7 +2,7 @@
 //! previously exercised only indirectly through trace generation.
 
 use proptest::prelude::*;
-use rago_workloads::ArrivalProcess;
+use rago_workloads::{ArrivalProcess, RateSegment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -114,5 +114,105 @@ proptest! {
     fn instantaneous_is_all_zero(n in 0usize..500, seed in 0u64..100) {
         let times = ArrivalProcess::Instantaneous.sample(n, &mut StdRng::seed_from_u64(seed));
         prop_assert!(times.iter().all(|&t| t == 0.0));
+    }
+
+    /// The time-varying processes also produce non-negative, strictly
+    /// ordered-in-time samples of exactly the requested length.
+    #[test]
+    fn time_varying_timestamps_are_nondecreasing(
+        n in 0usize..1_500,
+        base in 0.5f64..20.0,
+        boost in 1.0f64..100.0,
+        period in 1.0f64..60.0,
+        seed in 0u64..1_000,
+    ) {
+        let processes = [
+            ArrivalProcess::PiecewiseRate {
+                segments: vec![
+                    RateSegment::new(period, base),
+                    RateSegment::new(period * 0.5, base + boost),
+                ],
+            },
+            ArrivalProcess::Diurnal {
+                base_rps: base,
+                peak_rps: base + boost,
+                period_s: period,
+            },
+            ArrivalProcess::Spike {
+                base_rps: base,
+                spike_rps: base + boost,
+                start_s: period * 0.25,
+                duration_s: period * 0.25,
+            },
+        ];
+        for process in processes {
+            let times = process.sample(n, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(times.len(), n);
+            prop_assert!(times.iter().all(|t| t.is_finite() && *t >= 0.0));
+            prop_assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        }
+    }
+
+    /// Thinning is exact for a piecewise-constant intensity: the empirical
+    /// rate inside each segment converges to that segment's configured
+    /// rate (within 20 % over many cycles).
+    #[test]
+    fn piecewise_segment_rates_converge(
+        low in 2.0f64..20.0,
+        boost in 20.0f64..100.0,
+        seed in 0u64..200,
+    ) {
+        let high = low + boost;
+        let process = ArrivalProcess::PiecewiseRate {
+            segments: vec![RateSegment::new(5.0, low), RateSegment::new(5.0, high)],
+        };
+        let n = 6_000usize;
+        let times = process.sample(n, &mut StdRng::seed_from_u64(seed));
+        let span = *times.last().unwrap();
+        let full_cycles = (span / 10.0).floor();
+        prop_assume!(full_cycles >= 3.0);
+        let in_low = times
+            .iter()
+            .filter(|&&t| t < full_cycles * 10.0 && (t % 10.0) < 5.0)
+            .count() as f64;
+        let in_high = times
+            .iter()
+            .filter(|&&t| t < full_cycles * 10.0 && (t % 10.0) >= 5.0)
+            .count() as f64;
+        let low_rate = in_low / (full_cycles * 5.0);
+        let high_rate = in_high / (full_cycles * 5.0);
+        prop_assert!(
+            (low_rate - low).abs() / low < 0.2,
+            "low-segment rate {} vs configured {}", low_rate, low
+        );
+        prop_assert!(
+            (high_rate - high).abs() / high < 0.2,
+            "high-segment rate {} vs configured {}", high_rate, high
+        );
+    }
+
+    /// The overall rate of any thinned process never exceeds its peak: the
+    /// span of `n` samples is at least `n / rate_max` in expectation (checked
+    /// with 20 % slack).
+    #[test]
+    fn thinned_processes_respect_the_peak_rate(
+        base in 1.0f64..10.0,
+        boost in 5.0f64..50.0,
+        period in 2.0f64..20.0,
+        seed in 0u64..200,
+    ) {
+        let peak = base + boost;
+        let n = 3_000usize;
+        let times = ArrivalProcess::Diurnal {
+            base_rps: base,
+            peak_rps: peak,
+            period_s: period,
+        }
+        .sample(n, &mut StdRng::seed_from_u64(seed));
+        let span = *times.last().unwrap();
+        prop_assert!(
+            n as f64 / span < peak * 1.2,
+            "empirical rate {} exceeds peak {}", n as f64 / span, peak
+        );
     }
 }

@@ -1,0 +1,145 @@
+//! Property-based tests for workload mixes and tagged-trace composition.
+
+use proptest::prelude::*;
+use rago_schema::{SequenceProfile, SloTarget};
+use rago_workloads::{ArrivalProcess, MixTraceSpec, RequestClass, Trace, TraceSpec, WorkloadMix};
+
+fn class(name: &str, weight: f64, decode: u32, jitter: f64) -> RequestClass {
+    RequestClass::new(
+        name,
+        weight,
+        SequenceProfile::paper_default().with_decode_tokens(decode),
+        jitter,
+        SloTarget::paper_default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `merge_tagged` conserves every request: the merged trace holds
+    /// exactly the union of the parts (same arrival/length multiset), is
+    /// arrival-sorted with consecutive ids, and tags each request with its
+    /// part's class.
+    #[test]
+    fn merge_tagged_conserves_requests(
+        n_a in 0usize..120,
+        n_b in 0usize..120,
+        rate_a in 1.0f64..80.0,
+        rate_b in 1.0f64..80.0,
+        seed in 0u64..500,
+    ) {
+        let make = |n: usize, rate: f64, seed: u64| TraceSpec {
+            num_requests: n,
+            profile: SequenceProfile::paper_default(),
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            length_jitter: 0.2,
+            seed,
+        }
+        .generate();
+        let a = make(n_a, rate_a, seed);
+        let b = make(n_b, rate_b, seed.wrapping_add(1));
+        let merged = Trace::merge_tagged(&[(3, a.clone()), (8, b.clone())]);
+        prop_assert_eq!(merged.requests.len(), n_a + n_b);
+        prop_assert!(merged
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        prop_assert!(merged
+            .requests
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id == i as u64));
+        prop_assert_eq!(
+            merged.requests.iter().filter(|r| r.class == 3).count(),
+            n_a
+        );
+        prop_assert_eq!(
+            merged.requests.iter().filter(|r| r.class == 8).count(),
+            n_b
+        );
+        // The multiset of (arrival, lengths) survives: compare sorted keys.
+        let key = |r: &rago_workloads::Request| {
+            (
+                r.arrival_s.to_bits(),
+                r.question_tokens,
+                r.prefix_tokens,
+                r.decode_tokens,
+            )
+        };
+        let mut merged_keys: Vec<_> = merged.requests.iter().map(key).collect();
+        let mut part_keys: Vec<_> = a
+            .requests
+            .iter()
+            .chain(b.requests.iter())
+            .map(key)
+            .collect();
+        merged_keys.sort_unstable();
+        part_keys.sort_unstable();
+        prop_assert_eq!(merged_keys, part_keys);
+    }
+
+    /// A one-class mix generates exactly the untagged trace of the same
+    /// profile, jitter, arrival process, and seed — for any of those
+    /// parameters.
+    #[test]
+    fn one_class_mix_is_bit_identical_to_tracespec(
+        n in 1usize..200,
+        rate in 1.0f64..100.0,
+        jitter in 0.0f64..0.5,
+        decode in 8u32..256,
+        seed in 0u64..1_000,
+    ) {
+        let profile = SequenceProfile::paper_default().with_decode_tokens(decode);
+        let tagged = MixTraceSpec {
+            num_requests: n,
+            mix: WorkloadMix::single("only", profile, jitter, SloTarget::paper_default()),
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            seed,
+        }
+        .generate();
+        let plain = TraceSpec {
+            num_requests: n,
+            profile,
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            length_jitter: jitter,
+            seed,
+        }
+        .generate();
+        prop_assert_eq!(tagged, plain);
+    }
+
+    /// Class tags always index into the mix, arrivals stay sorted, and the
+    /// per-class empirical share tracks the weights (within 15 points at
+    /// 600 requests).
+    #[test]
+    fn mix_traces_are_well_formed(
+        w0 in 0.5f64..4.0,
+        w1 in 0.5f64..4.0,
+        seed in 0u64..300,
+    ) {
+        let mix = WorkloadMix::new(vec![
+            class("a", w0, 32, 0.1),
+            class("b", w1, 128, 0.1),
+        ]);
+        let trace = MixTraceSpec {
+            num_requests: 600,
+            mix: mix.clone(),
+            arrival: ArrivalProcess::Poisson { rate_rps: 50.0 },
+            seed,
+        }
+        .generate();
+        prop_assert!(trace.requests.iter().all(|r| r.class < 2));
+        prop_assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        let share0 = trace.requests.iter().filter(|r| r.class == 0).count() as f64 / 600.0;
+        prop_assert!(
+            (share0 - mix.weight_fraction(0)).abs() < 0.15,
+            "class-0 share {} vs weight {}",
+            share0,
+            mix.weight_fraction(0)
+        );
+    }
+}

@@ -10,12 +10,14 @@
 //! * [`retrieval_sim`] — the ScaNN-style retrieval cost model (§4(b));
 //! * [`serving_sim`] — discrete-event serving simulation (§5.3, §6.1),
 //!   including the request-level engine with continuous batching and SLO
-//!   metrics, and the fleet-level cluster simulation (replicas behind a
-//!   router);
+//!   metrics, the fleet-level cluster simulation (replicas behind a
+//!   router), and the reactive fleet autoscaler for time-varying traffic;
 //! * [`core`] — the RAGO optimizer itself (§6), with static and dynamic
-//!   (request-level) schedule evaluation, fleet evaluation, and SLO-driven
-//!   capacity planning;
-//! * [`workloads`] — case-study presets, arrival processes, and request
+//!   (request-level) schedule evaluation, fleet evaluation, multi-tenant
+//!   time-varying evaluation, and SLO-driven capacity planning (single
+//!   rates and rate profiles);
+//! * [`workloads`] — case-study presets, arrival processes (stationary and
+//!   diurnal/spike/piecewise), multi-tenant workload mixes, and request
 //!   generators.
 //!
 //! # Quickstart

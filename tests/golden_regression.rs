@@ -1,0 +1,289 @@
+//! Golden regression harness: pins the numbers behind the repo's headline
+//! results so later refactors cannot silently drift them.
+//!
+//! Each test renders a deterministic computation to a JSON string with
+//! fixed 9-decimal formatting and diffs it against a committed snapshot in
+//! `tests/golden/`. Every input is seeded and every code path is
+//! deterministic (the parallel optimizer is bit-identical to its serial
+//! form; the discrete-event engines are pure functions of their inputs), so
+//! the snapshots are expected to match to the last printed digit.
+//!
+//! Snapshots cover the three earlier PRs' headline surfaces plus the
+//! paper-claims characterization:
+//!
+//! * `optimizer_frontier.json` — the PR 1 static search: every point of the
+//!   case-1 fast-options Pareto frontier (schedule description, TTFT, TPOT,
+//!   QPS, QPS/chip).
+//! * `engine_metrics.json` — the PR 2 request-level engine: the full
+//!   `ServingMetrics` of one seeded Poisson run through a fixed two-stage
+//!   pipeline.
+//! * `fleet_knees.json` — the PR 3 fleet layer: attainment versus offered
+//!   rate for 1- and 2-replica fleets of the case-1 best schedule, and the
+//!   sustained-throughput knee of each sweep.
+//! * `paper_claims.json` — the characterization scalars behind
+//!   `tests/paper_claims.rs` (retrieval share versus scan fraction,
+//!   encoder share versus corpus size), pinned as numbers rather than
+//!   inequalities.
+//!
+//! # Updating
+//!
+//! When a change *intentionally* moves the numbers (a cost-model fix, a new
+//! default), regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_regression
+//! ```
+//!
+//! and commit the diff — the point is that the drift shows up in review.
+
+use rago::core::{Rago, SearchOptions};
+use rago::hardware::ClusterSpec;
+use rago::schema::presets::{self, LlmSize};
+use rago::schema::{FleetConfig, RouterPolicy, SequenceProfile, SloTarget, Stage};
+use rago::serving_sim::engine::{
+    sustained_throughput_knee, DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec,
+};
+use rago::workloads::{ArrivalProcess, TraceSpec};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs `rendered` against the committed snapshot, or rewrites the
+/// snapshot when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered)
+            .unwrap_or_else(|e| panic!("cannot write golden {}: {e}", path.display()));
+        println!("updated golden snapshot {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_regression`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, rendered,
+        "golden snapshot `{name}` drifted. If the change is intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_regression` \
+         and commit the diff."
+    );
+}
+
+fn f(value: f64) -> String {
+    format!("{value:.9}")
+}
+
+#[test]
+fn golden_optimizer_frontier() {
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    let frontier = rago
+        .optimize(&SearchOptions::fast())
+        .expect("static search succeeds");
+    let mut out = String::from("{\n  \"bench\": \"golden/optimizer_frontier\",\n  \"points\": [\n");
+    let rows: Vec<String> = frontier
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"schedule\": \"{}\", \"ttft_s\": {}, \"tpot_s\": {}, \
+                 \"qps\": {}, \"qps_per_chip\": {}, \"total_xpus\": {}}}",
+                p.schedule.describe(),
+                f(p.performance.ttft_s),
+                f(p.performance.tpot_s),
+                f(p.performance.qps),
+                f(p.performance.qps_per_chip),
+                p.performance.total_xpus,
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    check_golden("optimizer_frontier.json", &out);
+}
+
+#[test]
+fn golden_engine_metrics() {
+    // A fixed two-stage pipeline (retrieval on its own resource, prefix on
+    // another) under a seeded Poisson trace — the PR 2 engine end to end.
+    let spec = PipelineSpec::new(
+        vec![
+            StageSpec::new(
+                "retrieval",
+                0,
+                16,
+                LatencyTable::from_fn(16, |b| 0.02 + 1e-4 * f64::from(b)),
+            ),
+            StageSpec::new(
+                "prefix",
+                1,
+                8,
+                LatencyTable::from_fn(8, |b| 0.01 * f64::from(b)),
+            ),
+        ],
+        DecodeSpec::new(
+            32,
+            LatencyTable::from_fn(32, |b| 2e-3 + 1e-5 * f64::from(b)),
+        ),
+    );
+    let trace = TraceSpec {
+        num_requests: 200,
+        profile: SequenceProfile::paper_default().with_decode_tokens(32),
+        arrival: ArrivalProcess::Poisson { rate_rps: 50.0 },
+        length_jitter: 0.2,
+        seed: 7,
+    }
+    .generate();
+    let report = ServingEngine::from_trace(spec, &trace).run();
+    let m = &report.metrics;
+    let slo = SloTarget::paper_default();
+    let mut out = String::from("{\n  \"bench\": \"golden/engine_metrics\",\n");
+    let _ = writeln!(out, "  \"requests\": {},", m.requests);
+    let _ = writeln!(out, "  \"makespan_s\": {},", f(m.makespan_s));
+    let _ = writeln!(
+        out,
+        "  \"serving_duration_s\": {},",
+        f(m.serving_duration_s)
+    );
+    let _ = writeln!(out, "  \"drain_tail_s\": {},", f(m.drain_tail_s));
+    let _ = writeln!(out, "  \"throughput_rps\": {},", f(m.throughput_rps));
+    let _ = writeln!(
+        out,
+        "  \"ttft\": {{\"mean_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.ttft.mean_s), f(m.ttft.p50_s), f(m.ttft.p95_s), f(m.ttft.p99_s), f(m.ttft.max_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"tpot\": {{\"mean_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.tpot.mean_s), f(m.tpot.p50_s), f(m.tpot.p95_s), f(m.tpot.p99_s), f(m.tpot.max_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency\": {{\"mean_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.latency.mean_s), f(m.latency.p50_s), f(m.latency.p95_s), f(m.latency.p99_s),
+        f(m.latency.max_s)
+    );
+    let _ = writeln!(out, "  \"queueing_mean_s\": {},", f(m.queueing_mean_s));
+    let _ = writeln!(out, "  \"service_mean_s\": {},", f(m.service_mean_s));
+    let _ = writeln!(out, "  \"mean_decode_fill\": {},", f(m.mean_decode_fill));
+    let _ = writeln!(out, "  \"attainment\": {},", f(report.attainment(&slo)));
+    let _ = writeln!(out, "  \"goodput_rps\": {}", f(report.goodput_rps(&slo)));
+    out.push_str("}\n");
+    check_golden("engine_metrics.json", &out);
+}
+
+#[test]
+fn golden_fleet_knees() {
+    // The PR 3 fleet layer: attainment vs offered rate for 1- and
+    // 2-replica fleets of the case-1 best-QPS/chip schedule, plus the
+    // sustained-throughput knee of each sweep.
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    let frontier = rago
+        .optimize(&SearchOptions::fast())
+        .expect("static search succeeds");
+    let best = frontier.max_qps_per_chip().expect("non-empty frontier");
+    let static_qps = best.performance.qps;
+    let slo = SloTarget::paper_default();
+    let profile = SequenceProfile::paper_default().with_decode_tokens(32);
+    let duration_s = 3.0;
+    let fractions = [0.5, 1.0, 1.5, 2.0];
+
+    let mut out = String::from("{\n  \"bench\": \"golden/fleet_knees\",\n");
+    let _ = writeln!(out, "  \"schedule\": \"{}\",", best.schedule.describe());
+    let _ = writeln!(out, "  \"static_qps\": {},", f(static_qps));
+    out.push_str("  \"series\": [\n");
+    let mut series_rows = Vec::new();
+    for replicas in [1u32, 2] {
+        let fleet = FleetConfig::new(replicas, RouterPolicy::LeastOutstanding);
+        let mut points = Vec::new();
+        for frac in fractions {
+            let rate = frac * static_qps;
+            let trace = TraceSpec {
+                num_requests: (rate * duration_s).ceil().max(1.0) as usize,
+                profile,
+                arrival: ArrivalProcess::Poisson { rate_rps: rate },
+                length_jitter: 0.2,
+                seed: 17,
+            }
+            .generate();
+            let eval = rago
+                .evaluate_fleet(&best.schedule, &fleet, &trace, &slo)
+                .expect("fleet evaluation succeeds");
+            points.push((rate, eval.attainment));
+        }
+        let knee = sustained_throughput_knee(&points, &slo);
+        let point_rows: Vec<String> = points
+            .iter()
+            .map(|(rate, att)| {
+                format!(
+                    "        {{\"rate_rps\": {}, \"attainment\": {}}}",
+                    f(*rate),
+                    f(*att)
+                )
+            })
+            .collect();
+        series_rows.push(format!(
+            "    {{\"replicas\": {replicas}, \"knee_rps\": {}, \"points\": [\n{}\n    ]}}",
+            knee.map(f).unwrap_or_else(|| "null".into()),
+            point_rows.join(",\n"),
+        ));
+    }
+    out.push_str(&series_rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    check_golden("fleet_knees.json", &out);
+}
+
+#[test]
+fn golden_paper_claims() {
+    // The characterization scalars behind `tests/paper_claims.rs`, pinned
+    // as numbers: retrieval share vs scan fraction (Figure 7b) and encoder
+    // share vs corpus size (Figure 8b).
+    use rago::core::{breakdown, StageProfiler};
+    let cluster = ClusterSpec::paper_default();
+    let mut out = String::from("{\n  \"bench\": \"golden/paper_claims\",\n");
+
+    out.push_str("  \"retrieval_share_by_scan_fraction\": {\n");
+    let mut rows = Vec::new();
+    for scan in [0.0001, 0.001, 0.01] {
+        let mut schema = presets::case1_hyperscale(LlmSize::B8, 1);
+        schema.retrieval = schema.retrieval.map(|r| r.with_scan_fraction(scan));
+        let profiler = StageProfiler::new(schema, cluster.clone());
+        let b = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64]).unwrap();
+        rows.push(format!(
+            "    \"{scan}\": {}",
+            f(breakdown::share_of(&b, Stage::Retrieval))
+        ));
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"encode_share_by_corpus_tokens\": {\n");
+    let mut rows = Vec::new();
+    for ctx in [100_000u64, 1_000_000, 10_000_000] {
+        let profiler = StageProfiler::new(
+            presets::case2_long_context(LlmSize::B70, ctx),
+            cluster.clone(),
+        );
+        let b = breakdown::stage_breakdown(&profiler, &[8, 16, 32, 64], &[1, 16, 64]).unwrap();
+        rows.push(format!(
+            "    \"{ctx}\": {}",
+            f(breakdown::share_of(&b, Stage::DatabaseEncode))
+        ));
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    check_golden("paper_claims.json", &out);
+}

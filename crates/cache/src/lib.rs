@@ -1,0 +1,418 @@
+//! Deterministic cache simulators for RAG serving: prefix-KV reuse and
+//! retrieval-result reuse.
+//!
+//! Real RAG traffic is popularity-skewed: many requests instantiate the same
+//! prompt template (system prompt + few-shot examples) and many ask about
+//! the same hot documents. Two caches exploit that skew:
+//!
+//! * a [`PrefixKvCache`] holds the KV state of shared prompt prefixes,
+//!   **capacity measured in tokens**. A hit means the prefill of a request
+//!   only has to process the *uncached suffix* — the dominant prefill-cost
+//!   lever vLLM's PagedAttention demonstrated for production serving;
+//! * a [`RetrievalResultCache`] memoizes retrieval results by query/document
+//!   key, **capacity measured in entries**. A hit short-circuits the
+//!   retrieve and rerank stages of the pipeline entirely.
+//!
+//! Both are *simulators*: they model occupancy, eviction, and hit/miss
+//! accounting exactly, deterministically, and cheaply, so the discrete-event
+//! serving engine in `rago-serving-sim` can consult them at event time (the
+//! replay API is just [`PrefixKvCache::access`] /
+//! [`RetrievalResultCache::access`], called in event order). No payloads are
+//! stored — only sizes and bookkeeping.
+//!
+//! Determinism: recency is a logical access sequence number, not wall-clock
+//! time (simultaneous events in a discrete-event simulation are ordered by
+//! their deterministic processing order, and the caches inherit exactly that
+//! order). Eviction tie-breaks are total, so two replays of the same access
+//! sequence produce bit-identical states and counters.
+//!
+//! A zero-capacity cache is the *disabled* degenerate case: every access is
+//! a miss, nothing is ever inserted, and — because the serving engine charges
+//! full prefill cost on a miss — a zero-capacity run is bit-identical to a
+//! cache-less one (pinned by equivalence tests in `rago-serving-sim` and
+//! `rago-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rago_cache::{EvictionPolicy, PrefixKvCache, PrefixKvCacheConfig};
+//!
+//! let mut cache = PrefixKvCache::new(PrefixKvCacheConfig::new(1024, EvictionPolicy::Lru));
+//! let miss = cache.access(7, 512);
+//! assert!(!miss.hit && miss.inserted);
+//! let hit = cache.access(7, 512);
+//! assert!(hit.hit);
+//! assert_eq!(hit.hit_tokens, 512);
+//! assert_eq!(cache.counters().hit_rate(), 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prefix;
+pub mod retrieval;
+
+pub use prefix::{PrefixKvCache, PrefixKvCacheConfig, PrefixLookup};
+pub use retrieval::{RetrievalCacheConfig, RetrievalLookup, RetrievalResultCache};
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The replacement policy of a cache simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used entry.
+    #[default]
+    Lru,
+    /// Evict the least-frequently-used entry; ties evict the least recent.
+    Lfu,
+    /// Evict the *largest* entry first (frees the most capacity with the
+    /// fewest evictions), ties evict the least recent. For unit-size entries
+    /// (the retrieval-result cache) this degenerates to LRU.
+    SizeAware,
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::SizeAware => "size-aware",
+        })
+    }
+}
+
+/// Hit/miss/eviction accounting of one cache (or one slice of a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Accesses performed.
+    pub lookups: u64,
+    /// Accesses that found their key resident.
+    pub hits: u64,
+    /// Entries inserted on misses.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Sum of tokens served from cache across all hits (prefix-KV cache
+    /// only; zero for the retrieval-result cache, whose hits save whole
+    /// pipeline stages rather than tokens).
+    pub tokens_saved: u64,
+}
+
+impl CacheCounters {
+    /// Accesses that missed.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Hits over lookups (zero when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups as f64
+    }
+
+    /// Adds `other`'s counts into `self` (merging replica- or class-level
+    /// slices into fleet totals).
+    pub fn absorb(&mut self, other: &CacheCounters) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.tokens_saved += other.tokens_saved;
+    }
+}
+
+/// The cache configuration of one serving deployment: which caches exist and
+/// how big they are. `None` halves are absent entirely (not even looked up),
+/// and [`CacheConfig::disabled`] — the default — is the exact cache-less
+/// serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Prefix-KV cache of the main LLM's prefill stage, or `None`.
+    pub prefix: Option<PrefixKvCacheConfig>,
+    /// Retrieval-result cache short-circuiting retrieve + rerank, or `None`.
+    pub retrieval: Option<RetrievalCacheConfig>,
+}
+
+impl CacheConfig {
+    /// No caches at all — bit-identical to the cache-less serving stack.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether any cache half is configured (a zero-capacity half still
+    /// counts as configured: it looks up and misses).
+    pub fn is_enabled(&self) -> bool {
+        self.prefix.is_some() || self.retrieval.is_some()
+    }
+}
+
+/// One resident entry of a [`Core`] cache.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Occupied capacity units (tokens for the prefix cache, 1 for the
+    /// retrieval cache).
+    size: u64,
+    /// Accesses that touched this entry.
+    freq: u64,
+    /// Logical sequence number of the last touch (unique per access).
+    last_used: u64,
+}
+
+/// The shared occupancy/eviction machinery behind both cache types: a keyed
+/// set of sized entries under a capacity, with deterministic victim
+/// selection. Kept internal; the public types fix the capacity unit and the
+/// lookup result shape.
+#[derive(Debug, Clone)]
+struct Core {
+    policy: EvictionPolicy,
+    capacity: u64,
+    used: u64,
+    seq: u64,
+    entries: BTreeMap<u64, Entry>,
+}
+
+/// Outcome of one [`Core::access`].
+#[derive(Debug, Clone, Copy)]
+struct CoreLookup {
+    hit: bool,
+    /// Units already resident for the key at access time (≤ requested size).
+    hit_size: u64,
+    evictions: u32,
+    inserted: bool,
+}
+
+impl Core {
+    fn new(capacity: u64, policy: EvictionPolicy) -> Self {
+        Self {
+            policy,
+            capacity,
+            used: 0,
+            seq: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Looks up `key`, touching it on a hit and inserting it (size capped at
+    /// the capacity, evicting victims as needed) on a miss. A hit whose
+    /// requested `size` exceeds the resident entry grows the entry — the
+    /// newly computed suffix becomes cached too. A zero-capacity core never
+    /// inserts.
+    fn access(&mut self, key: u64, size: u64) -> CoreLookup {
+        self.seq += 1;
+        let seq = self.seq;
+        let resident = self.entries.get_mut(&key).map(|entry| {
+            entry.freq += 1;
+            entry.last_used = seq;
+            entry.size
+        });
+        if let Some(old_size) = resident {
+            let hit_size = old_size.min(size);
+            let mut evictions = 0;
+            let grown = size.min(self.capacity);
+            if grown > old_size {
+                evictions = self.make_room(grown - old_size, Some(key));
+                self.used += grown - old_size;
+                self.entries
+                    .get_mut(&key)
+                    .expect("a hit entry stays resident through growth")
+                    .size = grown;
+            }
+            return CoreLookup {
+                hit: true,
+                hit_size,
+                evictions,
+                inserted: false,
+            };
+        }
+        // Miss. An entry larger than the whole cache (or any entry, for a
+        // zero-capacity cache) is not insertable.
+        if size > self.capacity || self.capacity == 0 || size == 0 {
+            return CoreLookup {
+                hit: false,
+                hit_size: 0,
+                evictions: 0,
+                inserted: false,
+            };
+        }
+        let evictions = self.make_room(size, None);
+        self.entries.insert(
+            key,
+            Entry {
+                size,
+                freq: 1,
+                last_used: seq,
+            },
+        );
+        self.used += size;
+        CoreLookup {
+            hit: false,
+            hit_size: 0,
+            evictions,
+            inserted: true,
+        }
+    }
+
+    /// Evicts victims (never `exclude`) until `extra` more units fit.
+    /// Callers guarantee fitting is possible. Returns the eviction count.
+    fn make_room(&mut self, extra: u64, exclude: Option<u64>) -> u32 {
+        let mut evictions = 0;
+        while self.used + extra > self.capacity {
+            let victim = self
+                .victim(exclude)
+                .expect("make_room is only called when evicting others suffices");
+            let gone = self
+                .entries
+                .remove(&victim)
+                .expect("victim came from the entry set");
+            self.used -= gone.size;
+            evictions += 1;
+        }
+        evictions
+    }
+
+    /// The next eviction victim under the policy, or `None` when no entry
+    /// other than `exclude` is resident. Tie-breaks are total (ending on the
+    /// unique `last_used` sequence number), so victim selection — and thus
+    /// the whole cache state — is deterministic.
+    fn victim(&self, exclude: Option<u64>) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| Some(**k) != exclude)
+            .min_by_key(|(_, e)| match self.policy {
+                EvictionPolicy::Lru => (0, 0, e.last_used),
+                EvictionPolicy::Lfu => (e.freq, 0, e.last_used),
+                // Largest first: invert the size into the ordering key.
+                EvictionPolicy::SizeAware => (0, u64::MAX - e.size, e.last_used),
+            })
+            .map(|(k, _)| *k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_hit_rate_and_absorb() {
+        let mut a = CacheCounters {
+            lookups: 4,
+            hits: 3,
+            insertions: 1,
+            evictions: 0,
+            tokens_saved: 96,
+        };
+        assert_eq!(a.misses(), 1);
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+        let b = CacheCounters {
+            lookups: 4,
+            hits: 1,
+            insertions: 2,
+            evictions: 1,
+            tokens_saved: 32,
+        };
+        a.absorb(&b);
+        assert_eq!(a.lookups, 8);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.tokens_saved, 128);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn disabled_config_has_no_halves() {
+        let cfg = CacheConfig::disabled();
+        assert!(!cfg.is_enabled());
+        assert!(cfg.prefix.is_none() && cfg.retrieval.is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recent() {
+        let mut core = Core::new(3, EvictionPolicy::Lru);
+        core.access(1, 1);
+        core.access(2, 1);
+        core.access(3, 1);
+        core.access(1, 1); // touch 1; LRU is now 2
+        let out = core.access(4, 1);
+        assert_eq!(out.evictions, 1);
+        assert!(core.contains(1) && core.contains(3) && core.contains(4));
+        assert!(!core.contains(2));
+    }
+
+    #[test]
+    fn lfu_keeps_the_hot_entry() {
+        let mut core = Core::new(2, EvictionPolicy::Lfu);
+        core.access(1, 1);
+        core.access(1, 1);
+        core.access(1, 1); // freq 3
+        core.access(2, 1); // freq 1, more recent
+        core.access(3, 1); // must evict 2, not 1
+        assert!(core.contains(1) && core.contains(3));
+        assert!(!core.contains(2));
+    }
+
+    #[test]
+    fn size_aware_evicts_the_largest() {
+        let mut core = Core::new(10, EvictionPolicy::SizeAware);
+        core.access(1, 6);
+        core.access(2, 3);
+        let out = core.access(3, 5); // needs 4 free: evicts the 6-unit entry
+        assert_eq!(out.evictions, 1);
+        assert!(!core.contains(1));
+        assert!(core.contains(2) && core.contains(3));
+    }
+
+    #[test]
+    fn zero_capacity_never_inserts() {
+        let mut core = Core::new(0, EvictionPolicy::Lru);
+        for key in 0..10 {
+            let out = core.access(key, 1);
+            assert!(!out.hit && !out.inserted);
+            assert_eq!(out.evictions, 0);
+        }
+        assert_eq!(core.used, 0);
+        assert!(core.entries.is_empty());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_insertable() {
+        let mut core = Core::new(4, EvictionPolicy::Lru);
+        let out = core.access(1, 5);
+        assert!(!out.inserted);
+        assert!(!core.contains(1));
+        // A fitting entry still inserts afterwards.
+        assert!(core.access(2, 4).inserted);
+    }
+
+    #[test]
+    fn hits_grow_entries_to_the_larger_request() {
+        let mut core = Core::new(8, EvictionPolicy::Lru);
+        core.access(1, 3);
+        let out = core.access(1, 6);
+        assert!(out.hit);
+        assert_eq!(out.hit_size, 3); // only the resident part was served
+        assert_eq!(core.used, 6); // the suffix is now cached too
+        let again = core.access(1, 6);
+        assert_eq!(again.hit_size, 6);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut core = Core::new(5, EvictionPolicy::Lfu);
+            let keys = [1u64, 2, 3, 1, 4, 2, 5, 1, 6, 3, 2, 7];
+            let mut log = Vec::new();
+            for (i, &k) in keys.iter().enumerate() {
+                let out = core.access(k, 1 + (i as u64 % 3));
+                log.push((out.hit, out.hit_size, out.evictions, out.inserted));
+            }
+            (log, core.used)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,197 @@
+//! The retrieval-result cache: memoized retrieval outcomes, capacity in
+//! entries.
+
+use crate::{CacheCounters, Core, EvictionPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`RetrievalResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrievalCacheConfig {
+    /// Distinct retrieval results the cache can hold. Zero disables the
+    /// cache (every access misses and nothing is ever inserted).
+    pub capacity_entries: u64,
+    /// Replacement policy ([`EvictionPolicy::SizeAware`] degenerates to LRU
+    /// here — every entry has unit size).
+    pub policy: EvictionPolicy,
+}
+
+impl RetrievalCacheConfig {
+    /// Creates a configuration.
+    pub fn new(capacity_entries: u64, policy: EvictionPolicy) -> Self {
+        Self {
+            capacity_entries,
+            policy,
+        }
+    }
+}
+
+/// Outcome of one retrieval-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrievalLookup {
+    /// Whether the document key was resident — a hit lets the serving
+    /// pipeline skip its retrieve and rerank stages for this request.
+    pub hit: bool,
+    /// Entries evicted to make room during this access.
+    pub evictions: u32,
+    /// Whether the access inserted a new entry.
+    pub inserted: bool,
+}
+
+/// A deterministic retrieval-result cache simulator: a memo of "this query
+/// key's retrieval + rerank already ran". The first access to a key misses
+/// and inserts it — an in-flight retrieval counts as present, the same
+/// admission-on-access convention request coalescing gives a production
+/// memo — and subsequent accesses hit until the key is evicted.
+///
+/// # Examples
+///
+/// ```
+/// use rago_cache::{EvictionPolicy, RetrievalCacheConfig, RetrievalResultCache};
+///
+/// let mut cache = RetrievalResultCache::new(RetrievalCacheConfig::new(2, EvictionPolicy::Lru));
+/// assert!(!cache.access(10).hit);
+/// assert!(cache.access(10).hit);
+/// cache.access(11);
+/// cache.access(12); // evicts 10, the least recently touched key
+/// assert!(!cache.contains(10));
+/// assert_eq!(cache.counters().insertions, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetrievalResultCache {
+    config: RetrievalCacheConfig,
+    core: Core,
+    counters: CacheCounters,
+}
+
+impl RetrievalResultCache {
+    /// Creates an empty (cold) cache.
+    pub fn new(config: RetrievalCacheConfig) -> Self {
+        Self {
+            config,
+            core: Core::new(config.capacity_entries, config.policy),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &RetrievalCacheConfig {
+        &self.config
+    }
+
+    /// Accesses the cache for `doc_key`: a hit means the retrieval result is
+    /// already known and the pipeline's retrieve + rerank stages can be
+    /// skipped; a miss inserts the key (evicting under the policy).
+    pub fn access(&mut self, doc_key: u64) -> RetrievalLookup {
+        let out = self.core.access(doc_key, 1);
+        let lookup = RetrievalLookup {
+            hit: out.hit,
+            evictions: out.evictions,
+            inserted: out.inserted,
+        };
+        self.counters.lookups += 1;
+        self.counters.hits += u64::from(lookup.hit);
+        self.counters.insertions += u64::from(lookup.inserted);
+        self.counters.evictions += u64::from(lookup.evictions);
+        lookup
+    }
+
+    /// Whether `doc_key` is currently resident (no counter side effects).
+    pub fn contains(&self, doc_key: u64) -> bool {
+        self.core.contains(doc_key)
+    }
+
+    /// Lifetime hit/miss/eviction counters (`tokens_saved` stays zero —
+    /// retrieval hits save stages, not tokens).
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.core.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.core.entries.is_empty()
+    }
+
+    /// Replays a whole access sequence of document keys against a fresh
+    /// cache of `config` and returns the final counters.
+    pub fn replay(
+        config: RetrievalCacheConfig,
+        accesses: impl IntoIterator<Item = u64>,
+    ) -> CacheCounters {
+        let mut cache = RetrievalResultCache::new(config);
+        for key in accesses {
+            cache.access(key);
+        }
+        cache.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut cache =
+            RetrievalResultCache::new(RetrievalCacheConfig::new(8, EvictionPolicy::Lru));
+        assert!(!cache.access(1).hit);
+        assert!(cache.access(1).hit);
+        assert!(cache.access(1).hit);
+        let c = cache.counters();
+        assert_eq!((c.lookups, c.hits, c.insertions), (3, 2, 1));
+        assert_eq!(c.tokens_saved, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let mut cache =
+            RetrievalResultCache::new(RetrievalCacheConfig::new(2, EvictionPolicy::Lru));
+        cache.access(1);
+        cache.access(2);
+        cache.access(3); // evicts 1
+        assert!(!cache.contains(1));
+        assert!(cache.contains(2) && cache.contains(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let mut cache =
+            RetrievalResultCache::new(RetrievalCacheConfig::new(0, EvictionPolicy::Lru));
+        for _ in 0..4 {
+            assert!(!cache.access(7).hit);
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().insertions, 0);
+    }
+
+    #[test]
+    fn size_aware_degenerates_to_lru_on_unit_entries() {
+        let seq = [1u64, 2, 3, 1, 4, 2, 5, 1, 3];
+        let lru =
+            RetrievalResultCache::replay(RetrievalCacheConfig::new(3, EvictionPolicy::Lru), seq);
+        let sa = RetrievalResultCache::replay(
+            RetrievalCacheConfig::new(3, EvictionPolicy::SizeAware),
+            seq,
+        );
+        assert_eq!(lru, sa);
+    }
+
+    #[test]
+    fn lfu_protects_the_hot_key() {
+        let mut cache =
+            RetrievalResultCache::new(RetrievalCacheConfig::new(2, EvictionPolicy::Lfu));
+        cache.access(1);
+        cache.access(1);
+        cache.access(1);
+        cache.access(2);
+        cache.access(3); // evicts 2 (freq 1) not 1 (freq 3)
+        assert!(cache.contains(1) && cache.contains(3));
+        assert!(!cache.contains(2));
+    }
+}

@@ -1,0 +1,463 @@
+//! Cache-aware schedule evaluation and capacity planning: what the
+//! optimizer's answers look like once prefill and retrieval work can be
+//! *reused* across requests.
+//!
+//! The dynamic evaluators in [`crate::dynamic`] treat every request as
+//! independent. Real RAG traffic is popularity-skewed — shared prompt
+//! templates, repeated queries, hot documents — and the serving stack can
+//! exploit it with the cache simulators of `rago-cache`: a prefix-KV hit
+//! charges prefill only for the uncached suffix, and a retrieval-result hit
+//! skips the retrieve and rerank stages outright. This module threads a
+//! [`CacheConfig`] through the same engine, fleet, frontier-ranking, and
+//! capacity-planning entry points, so the optimizer's chips-per-goodput
+//! answer *changes* when caching is on:
+//!
+//! * [`evaluate_schedule_cached`] / [`evaluate_fleet_cached`] — the cached
+//!   twins of [`crate::dynamic::evaluate_schedule_dynamic`] and
+//!   [`crate::dynamic::evaluate_fleet_dynamic`];
+//! * [`rank_frontier_by_goodput_cached`] — cache-aware frontier re-ranking:
+//!   schedules with large pre-decode batches amortize differently once the
+//!   prefix stage's work becomes hit-rate-dependent;
+//! * [`plan_capacity_cached`] — fleet sizing under a content model: the
+//!   sizing trace carries Zipfian identity from a
+//!   [`rago_workloads::ContentSpec`], and the plan reports the hit rates it
+//!   was sized under (a target hit rate is *achieved* by choosing the
+//!   content model and capacities, then verified in the plan).
+//!
+//! **Degenerate-case discipline** (pinned by tests here and in
+//! `rago-serving-sim`): with [`CacheConfig::disabled`], a zero-capacity
+//! config, or an identity-free trace, every function reproduces its
+//! cache-less twin bit-exactly — timelines, metrics, and per-class rows.
+
+use crate::capacity::{
+    build_plan, search_min_replicas, sizing_trace, validate_capacity_inputs, CapacityOptions,
+    CapacityPlan,
+};
+use crate::dynamic::{
+    pipeline_spec_cached, rank_frontier_with, reject_empty_trace, score_fleet, score_single,
+    DynamicEvaluation, FleetEvaluation,
+};
+use crate::error::RagoError;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::profiler::StageProfiler;
+use crate::schedule::Schedule;
+pub use rago_cache::CacheConfig;
+use rago_schema::{FleetConfig, SloTarget};
+use rago_serving_sim::cluster::ClusterEngine;
+use rago_serving_sim::engine::ServingEngine;
+use rago_workloads::{ContentSpec, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Drives `trace` through `schedule`'s pipeline with per-replica caches
+/// from `cache` and scores the result against `slo` — the cached twin of
+/// [`crate::dynamic::evaluate_schedule_dynamic`]. The report's
+/// [`rago_serving_sim::engine::CacheUsage`] carries hit/miss/eviction
+/// counters, overall and per class.
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] for invalid schedules, empty
+/// traces, or a prefix cache on a schema without a prefix stage, and
+/// [`RagoError::CostModel`] when the schedule cannot be profiled.
+pub fn evaluate_schedule_cached(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    trace: &Trace,
+    slo: &SloTarget,
+    cache: &CacheConfig,
+) -> Result<DynamicEvaluation, RagoError> {
+    schedule.validate()?;
+    reject_empty_trace(trace)?;
+    let spec = pipeline_spec_cached(profiler, schedule, Some(cache))?;
+    Ok(score_single(
+        ServingEngine::from_trace(spec, trace).run(),
+        slo,
+    ))
+}
+
+/// Drives `trace` through a fleet of `fleet.replicas` replicas of
+/// `schedule`'s pipeline, each with its *own cold* caches from `cache`, and
+/// scores the merged result — the cached twin of
+/// [`crate::dynamic::evaluate_fleet_dynamic`]. Pair it with the
+/// content-aware routers ([`rago_schema::RouterPolicy::CacheAffinity`] /
+/// [`rago_schema::RouterPolicy::PrefixHash`]) to keep each template's KV
+/// state on one replica instead of duplicating it everywhere.
+///
+/// # Errors
+///
+/// As [`evaluate_schedule_cached`], plus invalid fleet configurations.
+pub fn evaluate_fleet_cached(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+    cache: &CacheConfig,
+) -> Result<FleetEvaluation, RagoError> {
+    schedule.validate()?;
+    fleet.validate().map_err(|e| RagoError::InvalidConfig {
+        reason: e.to_string(),
+    })?;
+    reject_empty_trace(trace)?;
+    let spec = pipeline_spec_cached(profiler, schedule, Some(cache))?;
+    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, fleet.router);
+    Ok(score_fleet(engine.run_trace(trace), slo))
+}
+
+/// Ranks the points of a Pareto frontier by SLO goodput under a
+/// (content-tagged) trace with caching enabled, best first — the cached
+/// twin of [`crate::dynamic::rank_frontier_by_goodput`]. The static
+/// frontier does not know about reuse, so its best-QPS/chip point can lose
+/// this ranking to a point whose larger pre-decode batch turns the cached
+/// prefix stage into nearly free work.
+///
+/// # Panics
+///
+/// Panics on a zero-request trace, for the reason documented on
+/// [`crate::dynamic::rank_frontier_by_goodput`].
+pub fn rank_frontier_by_goodput_cached(
+    profiler: &StageProfiler,
+    frontier: &ParetoFrontier,
+    trace: &Trace,
+    slo: &SloTarget,
+    cache: &CacheConfig,
+) -> Vec<(ParetoPoint, DynamicEvaluation)> {
+    assert!(
+        !trace.requests.is_empty(),
+        "cannot rank a frontier by goodput over a zero-request trace"
+    );
+    rank_frontier_with(frontier, |schedule| {
+        evaluate_schedule_cached(profiler, schedule, trace, slo, cache)
+    })
+}
+
+/// A capacity plan sized under a content model, with the hit rates the
+/// sizing run achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachedCapacityPlan {
+    /// The provisioning decision (same fields as the cache-less planner's).
+    pub plan: CapacityPlan,
+    /// Prefix-KV hit rate of the sizing run at the chosen replica count.
+    pub prefix_hit_rate: f64,
+    /// Retrieval-result hit rate of the sizing run at the chosen count.
+    pub retrieval_hit_rate: f64,
+    /// Prefill tokens served from cache during the sizing run.
+    pub prefix_tokens_saved: u64,
+}
+
+/// Sizes a fleet of `schedule` replicas for `target_qps` within `slo`
+/// **with caching enabled**: the sizing trace is tagged with `content`'s
+/// Zipfian identity, every candidate fleet runs with per-replica caches
+/// from `cache`, and the returned plan carries the hit rates the chosen
+/// fleet achieved. Because hits shed prefill and retrieval work, the
+/// cached plan needs *at most* as many replicas as
+/// [`crate::capacity::plan_capacity_with`] at the same rate — the
+/// chips-per-goodput answer the tentpole changes.
+///
+/// "Planning under a target hit rate" works by construction: the hit rate
+/// is a deterministic function of the content skew and cache capacities, so
+/// callers pick those, plan, and read the achieved rates off the result
+/// (the `cache_reuse` bench prints exactly this loop).
+///
+/// # Errors
+///
+/// As [`crate::capacity::plan_capacity_with`], plus the cached pipeline's
+/// configuration errors.
+pub fn plan_capacity_cached(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    slo: &SloTarget,
+    target_qps: f64,
+    options: &CapacityOptions,
+    cache: &CacheConfig,
+    content: &ContentSpec,
+) -> Result<CachedCapacityPlan, RagoError> {
+    validate_capacity_inputs(target_qps, options)?;
+    schedule.validate()?;
+    let spec = pipeline_spec_cached(profiler, schedule, Some(cache))?;
+    let trace = content.tag(&sizing_trace(target_qps, options));
+    let (replicas, report) = search_min_replicas(&spec, &trace, slo, target_qps, options)?;
+    let usage = &report.merged.cache;
+    Ok(CachedCapacityPlan {
+        plan: build_plan(schedule, replicas, &report, slo, target_qps),
+        prefix_hit_rate: usage.prefix.hit_rate(),
+        retrieval_hit_rate: usage.retrieval.hit_rate(),
+        prefix_tokens_saved: usage.prefix.tokens_saved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{evaluate_fleet_dynamic, evaluate_schedule_dynamic};
+    use crate::placement::PlacementPlan;
+    use crate::schedule::{BatchingPolicy, ResourceAllocation};
+    use rago_cache::{EvictionPolicy, PrefixKvCacheConfig, RetrievalCacheConfig};
+    use rago_hardware::ClusterSpec;
+    use rago_schema::presets::{self, LlmSize};
+    use rago_schema::{RouterPolicy, SequenceProfile, Stage};
+    use rago_workloads::{ArrivalProcess, PopularityModel, TraceSpec};
+
+    fn case1_profiler() -> StageProfiler {
+        StageProfiler::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        )
+    }
+
+    fn case1_schedule() -> Schedule {
+        Schedule {
+            placement: PlacementPlan {
+                predecode_groups: vec![vec![Stage::Prefix]],
+            },
+            allocation: ResourceAllocation {
+                group_xpus: vec![8],
+                decode_xpus: 8,
+                retrieval_servers: 32,
+            },
+            batching: BatchingPolicy::new(8, 64),
+        }
+    }
+
+    fn hot_cache() -> CacheConfig {
+        CacheConfig {
+            prefix: Some(PrefixKvCacheConfig::new(64 * 1024, EvictionPolicy::Lru)),
+            retrieval: Some(RetrievalCacheConfig::new(256, EvictionPolicy::Lru)),
+        }
+    }
+
+    fn zero_cache() -> CacheConfig {
+        CacheConfig {
+            prefix: Some(PrefixKvCacheConfig::new(0, EvictionPolicy::Lru)),
+            retrieval: Some(RetrievalCacheConfig::new(0, EvictionPolicy::Lru)),
+        }
+    }
+
+    fn content() -> ContentSpec {
+        ContentSpec {
+            prefixes: PopularityModel::zipf(8, 1.1),
+            shared_prefix_fraction: 0.8,
+            docs: PopularityModel::zipf(32, 1.0),
+            seed: 91,
+        }
+    }
+
+    fn poisson_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        TraceSpec {
+            num_requests: n,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            length_jitter: 0.2,
+            seed,
+        }
+        .generate()
+    }
+
+    /// The acceptance-criterion equivalence: zero-capacity caches on a
+    /// tagged trace reproduce the cache-less engine bit-exactly (timelines,
+    /// metrics, per-class rows — the cache counters record the misses).
+    #[test]
+    fn zero_capacity_caches_match_the_dynamic_path_bit_exactly() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = content().tag(&poisson_trace(80, 30.0, 5));
+        let plain = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        let cached =
+            evaluate_schedule_cached(&profiler, &schedule, &trace, &slo, &zero_cache()).unwrap();
+        assert_eq!(cached.report.timelines, plain.report.timelines);
+        assert_eq!(cached.report.metrics, plain.report.metrics);
+        assert_eq!(cached.report.per_class, plain.report.per_class);
+        assert_eq!(cached.attainment, plain.attainment);
+        assert_eq!(cached.goodput_rps, plain.goodput_rps);
+        // The zero-capacity caches looked up and missed every time.
+        assert_eq!(cached.report.cache.prefix.hits, 0);
+        assert_eq!(cached.report.cache.prefix.lookups, 80);
+        assert_eq!(cached.report.cache.retrieval.hits, 0);
+        // The cache-less run never looked anything up.
+        assert_eq!(plain.report.cache.prefix.lookups, 0);
+    }
+
+    /// The other acceptance-criterion equivalence: an identity-free trace
+    /// under real cache capacities never touches the caches and reproduces
+    /// the cache-less path bit-exactly — including all-zero counters.
+    #[test]
+    fn identity_free_traces_match_the_dynamic_path_bit_exactly() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = poisson_trace(80, 30.0, 5); // no content tagging
+        let plain = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        let cached =
+            evaluate_schedule_cached(&profiler, &schedule, &trace, &slo, &hot_cache()).unwrap();
+        assert_eq!(cached.report, plain.report);
+        let fleet = FleetConfig::new(3, RouterPolicy::LeastOutstanding);
+        let plain_fleet =
+            evaluate_fleet_dynamic(&profiler, &schedule, &fleet, &trace, &slo).unwrap();
+        let cached_fleet =
+            evaluate_fleet_cached(&profiler, &schedule, &fleet, &trace, &slo, &hot_cache())
+                .unwrap();
+        assert_eq!(cached_fleet.report, plain_fleet.report);
+    }
+
+    /// A disabled cache config is the dynamic path by construction.
+    #[test]
+    fn disabled_cache_config_matches_bit_exactly() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = content().tag(&poisson_trace(60, 25.0, 9));
+        let plain = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        let cached =
+            evaluate_schedule_cached(&profiler, &schedule, &trace, &slo, &CacheConfig::disabled())
+                .unwrap();
+        assert_eq!(cached.report, plain.report);
+    }
+
+    /// Caching on a skewed trace strictly reduces prefill + retrieval work:
+    /// hit rates are real, TTFT improves, goodput does not degrade.
+    #[test]
+    fn hot_caches_improve_ttft_under_skewed_traffic() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = content().tag(&poisson_trace(150, 60.0, 13));
+        let plain = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        let cached =
+            evaluate_schedule_cached(&profiler, &schedule, &trace, &slo, &hot_cache()).unwrap();
+        let usage = &cached.report.cache;
+        assert!(
+            usage.prefix.hit_rate() > 0.5,
+            "prefix hit rate {}",
+            usage.prefix.hit_rate()
+        );
+        assert!(
+            usage.retrieval.hit_rate() > 0.5,
+            "retrieval hit rate {}",
+            usage.retrieval.hit_rate()
+        );
+        assert!(usage.prefix.tokens_saved > 0);
+        assert!(
+            cached.report.metrics.ttft.mean_s < plain.report.metrics.ttft.mean_s,
+            "cached mean TTFT {} vs plain {}",
+            cached.report.metrics.ttft.mean_s,
+            plain.report.metrics.ttft.mean_s
+        );
+        assert!(cached.attainment >= plain.attainment);
+    }
+
+    /// Cache-aware frontier re-ranking runs every point and sorts by
+    /// goodput.
+    #[test]
+    fn cached_frontier_ranking_is_sorted() {
+        use crate::optimizer::{Rago, SearchOptions};
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        );
+        let frontier = rago
+            .optimize(&SearchOptions {
+                xpu_steps: vec![8, 32],
+                server_steps: vec![32],
+                predecode_batch_steps: vec![1, 16],
+                decode_batch_steps: vec![128],
+                iterative_batch_steps: vec![8],
+                placements: None,
+            })
+            .unwrap();
+        let slo = SloTarget::new(2.0, 0.1);
+        let trace = content().tag(&poisson_trace(60, 20.0, 5));
+        let ranked =
+            rank_frontier_by_goodput_cached(rago.profiler(), &frontier, &trace, &slo, &hot_cache());
+        assert_eq!(ranked.len(), frontier.len());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1.goodput_rps >= pair[1].1.goodput_rps);
+        }
+        assert!(ranked
+            .iter()
+            .all(|(_, e)| e.report.cache.prefix.lookups > 0));
+    }
+
+    /// The tentpole's capacity claim: at a rate where the cache-less plan
+    /// needs a fleet, the cached plan needs no more replicas — and reports
+    /// the hit rates it was sized under.
+    #[test]
+    fn cached_capacity_plan_needs_no_more_replicas() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let options = CapacityOptions {
+            max_replicas: 8,
+            num_requests: 120,
+            ..CapacityOptions::default()
+        };
+        let target = 40.0;
+        let plain =
+            crate::capacity::plan_capacity_with(&profiler, &schedule, &slo, target, &options)
+                .unwrap();
+        let cached = plan_capacity_cached(
+            &profiler,
+            &schedule,
+            &slo,
+            target,
+            &options,
+            &hot_cache(),
+            &content(),
+        )
+        .unwrap();
+        assert!(
+            cached.plan.replicas <= plain.replicas,
+            "caching increased the fleet: {} vs {}",
+            cached.plan.replicas,
+            plain.replicas
+        );
+        assert!(cached.prefix_hit_rate > 0.0);
+        assert!(cached.retrieval_hit_rate > 0.0);
+        assert!(cached.plan.attainment >= slo.attainment);
+        assert_eq!(
+            cached.plan.total_xpus,
+            schedule.allocation.total_xpus() * cached.plan.replicas
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let empty = Trace { requests: vec![] };
+        assert!(matches!(
+            evaluate_schedule_cached(&profiler, &schedule, &empty, &slo, &hot_cache()),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        let options = CapacityOptions::default();
+        assert!(matches!(
+            plan_capacity_cached(
+                &profiler,
+                &schedule,
+                &slo,
+                f64::NAN,
+                &options,
+                &hot_cache(),
+                &content()
+            ),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        let no_requests = CapacityOptions {
+            num_requests: 0,
+            ..options
+        };
+        assert!(matches!(
+            plan_capacity_cached(
+                &profiler,
+                &schedule,
+                &slo,
+                10.0,
+                &no_requests,
+                &hot_cache(),
+                &content()
+            ),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+    }
+}

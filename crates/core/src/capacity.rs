@@ -30,6 +30,7 @@ use crate::profiler::StageProfiler;
 use crate::schedule::Schedule;
 use rago_schema::{RouterPolicy, SequenceProfile, SloTarget};
 use rago_serving_sim::cluster::{ClusterEngine, FleetReport};
+use rago_serving_sim::engine::PipelineSpec;
 use rago_workloads::{ArrivalProcess, RateSegment, TraceSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -142,6 +143,20 @@ pub fn plan_capacity_with(
     target_qps: f64,
     options: &CapacityOptions,
 ) -> Result<CapacityPlan, RagoError> {
+    validate_capacity_inputs(target_qps, options)?;
+    schedule.validate()?;
+    let spec = pipeline_spec(profiler, schedule)?;
+    let trace = sizing_trace(target_qps, options);
+    let (replicas, report) = search_min_replicas(&spec, &trace, slo, target_qps, options)?;
+    Ok(build_plan(schedule, replicas, &report, slo, target_qps))
+}
+
+/// Input validation shared by [`plan_capacity_with`] and the cache-aware
+/// planner in [`crate::cached`] — one set of error messages for both.
+pub(crate) fn validate_capacity_inputs(
+    target_qps: f64,
+    options: &CapacityOptions,
+) -> Result<(), RagoError> {
     if !(target_qps > 0.0 && target_qps.is_finite()) {
         return Err(RagoError::InvalidConfig {
             reason: format!("target QPS must be positive and finite, got {target_qps}"),
@@ -160,9 +175,14 @@ pub fn plan_capacity_with(
             reason: "capacity planning needs at least one request in the sizing trace".into(),
         });
     }
-    schedule.validate()?;
-    let spec = pipeline_spec(profiler, schedule)?;
-    let trace = TraceSpec {
+    Ok(())
+}
+
+/// The Poisson sizing trace every capacity plan is evaluated on, shared
+/// with [`crate::cached::plan_capacity_cached`] (which content-tags it) so
+/// cached and cache-less plans at the same rate are directly comparable.
+pub(crate) fn sizing_trace(target_qps: f64, options: &CapacityOptions) -> rago_workloads::Trace {
+    TraceSpec {
         num_requests: options.num_requests,
         profile: options.profile,
         arrival: ArrivalProcess::Poisson {
@@ -171,14 +191,50 @@ pub fn plan_capacity_with(
         length_jitter: options.length_jitter,
         seed: options.seed,
     }
-    .generate();
+    .generate()
+}
+
+/// Assembles the [`CapacityPlan`] of a finished search — the single
+/// definition of the plan's derived fields, shared with the cache-aware
+/// planner.
+pub(crate) fn build_plan(
+    schedule: &Schedule,
+    replicas: u32,
+    report: &FleetReport,
+    slo: &SloTarget,
+    target_qps: f64,
+) -> CapacityPlan {
+    CapacityPlan {
+        replicas,
+        target_qps,
+        attainment: report.attainment(slo),
+        goodput_rps: report.goodput_rps(slo),
+        total_xpus: schedule.allocation.total_xpus() * replicas,
+        total_retrieval_servers: schedule.allocation.retrieval_servers * replicas,
+        drain_tail_s: report.merged.metrics.drain_tail_s,
+    }
+}
+
+/// The search core of [`plan_capacity_with`]: the minimum replica count of
+/// `spec` whose fleet attainment over `trace` meets `slo` (binary search
+/// plus a downward confirmation walk, every candidate memoized on the same
+/// trace). Returns the count together with its fleet report. Shared with
+/// the cache-aware planner in [`crate::cached`], which supplies a cached
+/// spec and a content-tagged trace.
+pub(crate) fn search_min_replicas(
+    spec: &PipelineSpec,
+    trace: &rago_workloads::Trace,
+    slo: &SloTarget,
+    target_qps: f64,
+    options: &CapacityOptions,
+) -> Result<(u32, FleetReport), RagoError> {
     let mut reports: BTreeMap<u32, FleetReport> = BTreeMap::new();
     let meets = |replicas: u32, reports: &mut BTreeMap<u32, FleetReport>| -> bool {
         reports
             .entry(replicas)
             .or_insert_with(|| {
                 ClusterEngine::homogeneous(spec.clone(), replicas as usize, options.router)
-                    .run_trace(&trace)
+                    .run_trace(trace)
             })
             .attainment(slo)
             >= slo.attainment
@@ -219,15 +275,7 @@ pub fn plan_capacity_with(
     let report = reports
         .remove(&replicas)
         .expect("the chosen replica count was evaluated");
-    Ok(CapacityPlan {
-        replicas,
-        target_qps,
-        attainment: report.attainment(slo),
-        goodput_rps: report.goodput_rps(slo),
-        total_xpus: schedule.allocation.total_xpus() * replicas,
-        total_retrieval_servers: schedule.allocation.retrieval_servers * replicas,
-        drain_tail_s: report.merged.metrics.drain_tail_s,
-    })
+    Ok((replicas, report))
 }
 
 /// Re-ranks a Pareto frontier by the total accelerators needed to serve

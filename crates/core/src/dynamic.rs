@@ -76,7 +76,16 @@ pub fn evaluate_schedule_dynamic(
     schedule.validate()?;
     reject_empty_trace(trace)?;
     let spec = pipeline_spec(profiler, schedule)?;
-    let report = ServingEngine::from_trace(spec, trace).run();
+    Ok(score_single(
+        ServingEngine::from_trace(spec, trace).run(),
+        slo,
+    ))
+}
+
+/// Scores a finished single-engine run against `slo`. Shared with the
+/// cache-aware evaluation in [`crate::cached`], so cached and cache-less
+/// paths score by one definition.
+pub(crate) fn score_single(report: ServingReport, slo: &SloTarget) -> DynamicEvaluation {
     // One pass over the timelines covers all three SLO figures.
     let met = report
         .timelines
@@ -92,12 +101,12 @@ pub fn evaluate_schedule_dynamic(
         0.0
     };
     let meets_slo = attainment >= slo.attainment;
-    Ok(DynamicEvaluation {
+    DynamicEvaluation {
         report,
         attainment,
         goodput_rps,
         meets_slo,
-    })
+    }
 }
 
 /// Rejects zero-request traces, which would otherwise score a vacuous
@@ -184,8 +193,9 @@ pub fn evaluate_heterogeneous_fleet_dynamic(
     Ok(score_fleet(engine.run_trace(trace), slo))
 }
 
-/// Scores a finished fleet run against `slo`.
-fn score_fleet(report: FleetReport, slo: &SloTarget) -> FleetEvaluation {
+/// Scores a finished fleet run against `slo`. Shared with
+/// [`crate::cached`].
+pub(crate) fn score_fleet(report: FleetReport, slo: &SloTarget) -> FleetEvaluation {
     let attainment = report.attainment(slo);
     let goodput_rps = report.goodput_rps(slo);
     let meets_slo = report.meets_slo(slo);
@@ -204,14 +214,35 @@ pub(crate) fn pipeline_spec(
     profiler: &StageProfiler,
     schedule: &Schedule,
 ) -> Result<PipelineSpec, RagoError> {
+    pipeline_spec_cached(profiler, schedule, None)
+}
+
+/// [`pipeline_spec`] with an optional cache configuration attached: the
+/// prefix-KV cache binds to the [`Stage::Prefix`] stage, and a
+/// retrieval-result hit skips the [`Stage::Retrieval`] and [`Stage::Rerank`]
+/// stages. With `cache = None` the spec is byte-for-byte the cache-less
+/// pipeline, which is what makes the cached evaluators' degenerate cases
+/// bit-exact.
+pub(crate) fn pipeline_spec_cached(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    cache: Option<&rago_cache::CacheConfig>,
+) -> Result<PipelineSpec, RagoError> {
     let schema = profiler.schema();
     let batch = schedule.batching.predecode_batch;
     let retrieval_resource = schedule.placement.num_groups();
 
+    let mut prefix_stage = None;
+    let mut retrieval_stages = Vec::new();
     let mut stages = Vec::new();
     for stage in schema.pipeline() {
         if stage == Stage::Decode {
             continue;
+        }
+        match stage {
+            Stage::Retrieval | Stage::Rerank => retrieval_stages.push(stages.len()),
+            Stage::Prefix => prefix_stage = Some(stages.len()),
+            _ => {}
         }
         let (resource, chips) = if stage == Stage::Retrieval {
             (retrieval_resource, schedule.allocation.retrieval_servers)
@@ -272,6 +303,29 @@ pub(crate) fn pipeline_spec(
             seed: ITERATIVE_SEED,
         });
     }
+
+    if let Some(config) = cache {
+        if config.prefix.is_some() && prefix_stage.is_none() {
+            return Err(RagoError::InvalidConfig {
+                reason: "a prefix-KV cache was configured but the schema's pipeline \
+                         has no prefix stage to act on"
+                    .into(),
+            });
+        }
+        if config.retrieval.is_some() && retrieval_stages.is_empty() {
+            return Err(RagoError::InvalidConfig {
+                reason: "a retrieval-result cache was configured but the schema's \
+                         pipeline has no retrieval or rerank stage to skip — its hit \
+                         rate would measure nothing"
+                    .into(),
+            });
+        }
+        spec = spec.with_cache(rago_serving_sim::engine::CachePlan {
+            config: *config,
+            prefix_stage,
+            retrieval_stages,
+        });
+    }
     Ok(spec)
 }
 
@@ -307,11 +361,26 @@ pub fn rank_frontier_by_goodput(
         !trace.requests.is_empty(),
         "cannot rank a frontier by goodput over a zero-request trace"
     );
+    rank_frontier_with(frontier, |schedule| {
+        evaluate_schedule_dynamic(profiler, schedule, trace, slo)
+    })
+}
+
+/// The shared rank-and-sort machinery of [`rank_frontier_by_goodput`] and
+/// [`crate::cached::rank_frontier_by_goodput_cached`]: evaluates every
+/// frontier point with `evaluate` across rayon workers (points whose
+/// evaluation fails are omitted), then sorts best-goodput-first with the
+/// deterministic three-key tie-break (goodput, static TTFT, schedule
+/// description) so the ranking never depends on thread scheduling.
+pub(crate) fn rank_frontier_with(
+    frontier: &ParetoFrontier,
+    evaluate: impl Fn(&Schedule) -> Result<DynamicEvaluation, RagoError> + Sync,
+) -> Vec<(ParetoPoint, DynamicEvaluation)> {
     let mut ranked: Vec<(ParetoPoint, DynamicEvaluation)> = frontier
         .iter()
         .par_bridge()
         .fold(Vec::new, |mut acc, point| {
-            if let Ok(eval) = evaluate_schedule_dynamic(profiler, &point.schedule, trace, slo) {
+            if let Ok(eval) = evaluate(&point.schedule) {
                 acc.push((point.clone(), eval));
             }
             acc

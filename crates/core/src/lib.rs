@@ -35,6 +35,7 @@
 
 pub mod baseline;
 pub mod breakdown;
+pub mod cached;
 pub mod capacity;
 pub mod dynamic;
 pub mod error;
@@ -48,6 +49,10 @@ pub mod timevarying;
 
 pub use baseline::BaselineSystem;
 pub use breakdown::{stage_breakdown, StageShare};
+pub use cached::{
+    evaluate_fleet_cached, evaluate_schedule_cached, plan_capacity_cached,
+    rank_frontier_by_goodput_cached, CacheConfig, CachedCapacityPlan,
+};
 pub use capacity::{
     plan_capacity, plan_capacity_profile, plan_capacity_with, rank_frontier_by_cost_at_qps,
     CapacityInterval, CapacityOptions, CapacityPlan, CapacityProfile,

@@ -509,6 +509,84 @@ impl Rago {
         )
     }
 
+    /// Evaluates one schedule dynamically **with caching enabled**:
+    /// per-replica prefix-KV and retrieval-result caches exploit the
+    /// trace's content identity. See
+    /// [`crate::cached::evaluate_schedule_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::cached::evaluate_schedule_cached`] errors.
+    pub fn evaluate_cached(
+        &self,
+        schedule: &Schedule,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+        cache: &rago_cache::CacheConfig,
+    ) -> Result<crate::dynamic::DynamicEvaluation, RagoError> {
+        crate::cached::evaluate_schedule_cached(&self.profiler, schedule, trace, slo, cache)
+    }
+
+    /// Evaluates one schedule as a fleet with per-replica caches. See
+    /// [`crate::cached::evaluate_fleet_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::cached::evaluate_fleet_cached`] errors.
+    pub fn evaluate_fleet_cached(
+        &self,
+        schedule: &Schedule,
+        fleet: &rago_schema::FleetConfig,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+        cache: &rago_cache::CacheConfig,
+    ) -> Result<crate::dynamic::FleetEvaluation, RagoError> {
+        crate::cached::evaluate_fleet_cached(&self.profiler, schedule, fleet, trace, slo, cache)
+    }
+
+    /// Re-ranks a Pareto frontier by SLO goodput with caching enabled. See
+    /// [`crate::cached::rank_frontier_by_goodput_cached`].
+    pub fn rank_frontier_by_goodput_cached(
+        &self,
+        frontier: &ParetoFrontier,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+        cache: &rago_cache::CacheConfig,
+    ) -> Vec<(
+        crate::pareto::ParetoPoint,
+        crate::dynamic::DynamicEvaluation,
+    )> {
+        crate::cached::rank_frontier_by_goodput_cached(&self.profiler, frontier, trace, slo, cache)
+    }
+
+    /// Sizes a fleet for `target_qps` within `slo` with caching enabled,
+    /// under the content model `content`. See
+    /// [`crate::cached::plan_capacity_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::cached::plan_capacity_cached`] errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_capacity_cached(
+        &self,
+        schedule: &Schedule,
+        slo: &rago_schema::SloTarget,
+        target_qps: f64,
+        options: &crate::capacity::CapacityOptions,
+        cache: &rago_cache::CacheConfig,
+        content: &rago_workloads::ContentSpec,
+    ) -> Result<crate::cached::CachedCapacityPlan, RagoError> {
+        crate::cached::plan_capacity_cached(
+            &self.profiler,
+            schedule,
+            slo,
+            target_qps,
+            options,
+            cache,
+            content,
+        )
+    }
+
     /// Plans the minimum replica schedule of `schedule`'s pipeline over a
     /// piecewise rate profile. See
     /// [`crate::capacity::plan_capacity_profile`].

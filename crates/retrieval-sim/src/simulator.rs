@@ -163,7 +163,15 @@ impl RetrievalSimulator {
             SearchMode::IvfPq { tree_levels } => {
                 let levels = tree_levels.max(1);
                 let n = config.num_vectors as f64 / shard;
-                let fanout = config.tree_fanout().unwrap_or(1.0);
+                // Invariant (unwrap audit): `tree_fanout` returns `Some`
+                // for every `IvfPq` config by construction — `None` is the
+                // brute-force arm, which this match arm cannot see. The old
+                // `unwrap_or(1.0)` silently degraded the cost model to a
+                // flat tree if that invariant ever broke; fail loudly
+                // instead.
+                let fanout = config
+                    .tree_fanout()
+                    .expect("IvfPq search mode always has a tree fanout");
                 let mut bytes = Vec::with_capacity(levels as usize);
                 // Intermediate levels store full-precision centroids; the
                 // query scans every node of level 1 and a narrowing subset of

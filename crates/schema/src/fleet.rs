@@ -35,15 +35,33 @@ pub enum RouterPolicy {
     /// to least-outstanding on ties. Decode residency is the long-lived
     /// resource in LLM serving, so balancing it directly protects TPOT.
     DecodeFillAware,
+    /// Route by the request's shared-prefix/template id via rendezvous
+    /// hashing over the replicas' *stable* slot ids — a static partition
+    /// of the template space, so each template's prefix-KV state
+    /// concentrates on one replica, and an autoscaler scale event re-homes
+    /// only the templates touching the added/removed replica. Identity-free
+    /// requests fall back to least-outstanding. Oblivious to load: a hot
+    /// template hot-spots its home replica.
+    PrefixHash,
+    /// Route to the replica whose *live* prefix-KV cache currently owns the
+    /// request's template (least-outstanding among several owners); when no
+    /// replica owns it, fall back to the template's hash home so residency
+    /// builds in one place. Identity-free requests fall back to
+    /// least-outstanding. This is the state-aware refinement of
+    /// [`RouterPolicy::PrefixHash`]: it follows evictions and newly warmed
+    /// replicas instead of a fixed partition.
+    CacheAffinity,
 }
 
 impl RouterPolicy {
     /// Every policy, in a stable order (useful for sweeps and benches).
-    pub const ALL: [RouterPolicy; 4] = [
+    pub const ALL: [RouterPolicy; 6] = [
         RouterPolicy::RoundRobin,
         RouterPolicy::LeastOutstanding,
         RouterPolicy::JoinShortestQueue,
         RouterPolicy::DecodeFillAware,
+        RouterPolicy::PrefixHash,
+        RouterPolicy::CacheAffinity,
     ];
 }
 
@@ -54,6 +72,8 @@ impl fmt::Display for RouterPolicy {
             RouterPolicy::LeastOutstanding => "least-outstanding",
             RouterPolicy::JoinShortestQueue => "join-shortest-queue",
             RouterPolicy::DecodeFillAware => "decode-fill-aware",
+            RouterPolicy::PrefixHash => "prefix-hash",
+            RouterPolicy::CacheAffinity => "cache-affinity",
         };
         f.write_str(name)
     }

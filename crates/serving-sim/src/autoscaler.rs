@@ -423,7 +423,12 @@ impl AutoscaleEngine {
                     self.router,
                     routable.len(),
                     |i| &slots[routable[i]].sim,
+                    // Hash homes key on the stable slot index, not the
+                    // position in the routable subset, so scale events do
+                    // not re-home every template.
+                    |i| routable[i],
                     &mut round_robin_next,
+                    &req,
                 );
                 let replica = routable[pick];
                 assignments.push((req.id, replica));

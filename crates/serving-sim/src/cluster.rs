@@ -228,7 +228,14 @@ impl ClusterEngine {
             for sim in &mut sims {
                 sim.advance_before(req.arrival_s);
             }
-            let replica = route_pick(self.router, sims.len(), |i| &sims[i], &mut round_robin_next);
+            let replica = route_pick(
+                self.router,
+                sims.len(),
+                |i| &sims[i],
+                |i| i,
+                &mut round_robin_next,
+                req,
+            );
             assignments.push((req.id, replica));
             assigned_counts[replica] += 1;
             sims[replica].inject(*req);
@@ -255,7 +262,7 @@ pub(crate) fn merge_finished_replicas(
         sim.run_to_completion();
         let (timelines, acc) = sim.finish();
         merged_timelines.extend(timelines.iter().cloned());
-        merged_acc = merged_acc.merge(acc);
+        merged_acc.merge_from(&acc);
         per_replica.push(ReplicaReport {
             replica,
             assigned: assigned_counts[replica],
@@ -278,12 +285,18 @@ pub(crate) fn merge_finished_replicas(
 /// accessor form lets the fixed fleet route straight over its replica
 /// slice while [`crate::autoscaler`] routes over the currently-routable
 /// subset of a changing fleet, with no per-arrival candidate allocation in
-/// either.
+/// either. The request itself is consulted only by the content-aware
+/// policies (`PrefixHash`, `CacheAffinity`), which hash over `slot_of` —
+/// the candidate's *stable* replica slot id, not its position in the
+/// candidate order — so a template's hash home does not shift every time
+/// the autoscaler changes which replicas are routable.
 pub(crate) fn route_pick<'a>(
     router: RouterPolicy,
     len: usize,
     sim_at: impl Fn(usize) -> &'a ReplicaSim,
+    slot_of: impl Fn(usize) -> usize,
     round_robin_next: &mut usize,
+    req: &EngineRequest,
 ) -> usize {
     match router {
         RouterPolicy::RoundRobin => {
@@ -310,7 +323,64 @@ pub(crate) fn route_pick<'a>(
             }
             best
         }
+        RouterPolicy::PrefixHash => match req.identity {
+            Some(identity) => hash_home(len, &slot_of, identity.prefix_id),
+            None => argmin_by(len, &sim_at, |s| (s.outstanding(), 0usize)),
+        },
+        RouterPolicy::CacheAffinity => match req.identity {
+            Some(identity) => {
+                // Prefer the replica whose live prefix cache owns the
+                // template (least outstanding among several owners); fall
+                // back to the template's hash home so repeated misses of a
+                // template build residency in one place instead of
+                // scattering it.
+                let mut owner: Option<(usize, usize)> = None;
+                for i in 0..len {
+                    let sim = sim_at(i);
+                    if sim.owns_prefix(identity.prefix_id) {
+                        let key = sim.outstanding();
+                        if owner.map_or(true, |(_, best)| key < best) {
+                            owner = Some((i, key));
+                        }
+                    }
+                }
+                match owner {
+                    Some((i, _)) => i,
+                    None => hash_home(len, &slot_of, identity.prefix_id),
+                }
+            }
+            None => argmin_by(len, &sim_at, |s| (s.outstanding(), 0usize)),
+        },
     }
+}
+
+/// The hash home of a template among the candidates: rendezvous
+/// (highest-random-weight) hashing over each candidate's *stable* slot id.
+/// Stable while the candidate set is unchanged, and minimally disruptive
+/// when it changes — only templates homed on a removed replica move, and a
+/// new replica steals only its own share. A plain `prefix_id % len` over
+/// candidate *positions* would re-home almost every template at every
+/// autoscaler scale event, scattering KV state across the fleet.
+fn hash_home(len: usize, slot_of: impl Fn(usize) -> usize, prefix_id: u64) -> usize {
+    let mut best = 0usize;
+    let mut best_weight = 0u64;
+    for i in 0..len {
+        let weight = mix64((slot_of(i) as u64) ^ prefix_id.rotate_left(32));
+        if i == 0 || weight > best_weight {
+            best = i;
+            best_weight = weight;
+        }
+    }
+    best
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for rendezvous
+/// weights.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Index of the candidate minimizing `key`, first occurrence on ties.
@@ -362,8 +432,10 @@ mod tests {
         EngineRequest {
             id,
             arrival_s: arrival,
+            prefix_tokens: 0,
             decode_tokens: tokens,
             class: 0,
+            identity: None,
         }
     }
 
@@ -560,6 +632,43 @@ mod tests {
         let spec = one_stage_spec(0.03, 4, 2e-3, 8);
         let again = ClusterEngine::homogeneous(spec, 3, RouterPolicy::RoundRobin).run_trace(&trace);
         assert_eq!(again, fleet);
+    }
+
+    /// Regression for the content-aware routers under autoscaling: the
+    /// hash home keys on *stable slot ids* via rendezvous hashing, so a
+    /// template whose home replica survives a membership change keeps that
+    /// home, and an added replica steals only its own share. The original
+    /// `prefix_id % len` over candidate positions re-homed almost every
+    /// template at every scale event.
+    #[test]
+    fn hash_home_is_stable_under_membership_changes() {
+        // Removing slot 0 (a scale-in): every template whose home was slot
+        // 1 or 2 must keep it.
+        for id in 0..200u64 {
+            let full = hash_home(3, |i| i, id);
+            let reduced_slot = hash_home(2, |i| i + 1, id) + 1;
+            if full != 0 {
+                assert_eq!(
+                    reduced_slot, full,
+                    "template {id} re-homed although its home replica survived"
+                );
+            }
+        }
+        // Adding slot 3 (a scale-out): only the templates the new replica
+        // steals move — and they all move *to* it.
+        let mut moved = 0;
+        for id in 0..200u64 {
+            let before = hash_home(3, |i| i, id);
+            let after = hash_home(4, |i| i, id);
+            if after != before {
+                assert_eq!(after, 3, "template {id} moved to a non-new replica");
+                moved += 1;
+            }
+        }
+        assert!(
+            moved > 10 && moved < 120,
+            "expected roughly a quarter of 200 templates to move, got {moved}"
+        );
     }
 
     #[test]

@@ -66,13 +66,16 @@
 //! ```
 
 use crate::iterative::sample_positions;
+use rago_cache::{
+    CacheConfig, CacheCounters, PrefixKvCache, PrefixLookup, RetrievalLookup, RetrievalResultCache,
+};
 use rago_schema::SloTarget;
-use rago_workloads::{Request, Trace};
+use rago_workloads::{ContentIdentity, Request, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// Tolerance used when comparing event timestamps, matching the resume
 /// tolerance of [`crate::iterative::IterativeDecodeSim`].
@@ -227,8 +230,29 @@ pub struct IterativeSpec {
     pub seed: u64,
 }
 
+/// How the caches of `rago-cache` attach to a pipeline: which capacities to
+/// provision per replica, and which stage indices they act on.
+///
+/// Every replica built from a spec with a cache plan owns *its own* cache
+/// state, created cold — a freshly provisioned autoscaler replica therefore
+/// pays cache warm-up on top of its provisioning warm-up window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePlan {
+    /// The cache capacities and policies (a zero-capacity half always
+    /// misses, reproducing the cache-less run bit-exactly).
+    pub config: CacheConfig,
+    /// Index of the main-prefix stage in [`PipelineSpec::stages`]: a
+    /// prefix-KV hit charges this stage's latency only for the uncached
+    /// token suffix of the micro-batch. Required when
+    /// [`CacheConfig::prefix`] is configured.
+    pub prefix_stage: Option<usize>,
+    /// Stage indices a retrieval-result hit skips entirely (retrieve +
+    /// rerank), strictly ascending.
+    pub retrieval_stages: Vec<usize>,
+}
+
 /// A complete serving pipeline: the ordered pre-decode stages, the decode
-/// stage, and optional iterative retrieval.
+/// stage, optional iterative retrieval, and optional caches.
 #[derive(Debug, Clone)]
 pub struct PipelineSpec {
     /// Pre-decode stages in pipeline order (may be empty for decode-only
@@ -238,16 +262,64 @@ pub struct PipelineSpec {
     pub decode: DecodeSpec,
     /// Iterative retrieval, or `None` when decoding never pauses.
     pub iterative: Option<IterativeSpec>,
+    /// Cache plan, or `None` for the cache-less pipeline.
+    pub cache: Option<CachePlan>,
 }
 
 impl PipelineSpec {
-    /// Creates a pipeline without iterative retrieval.
+    /// Creates a pipeline without iterative retrieval or caches.
     pub fn new(stages: Vec<StageSpec>, decode: DecodeSpec) -> Self {
         Self {
             stages,
             decode,
             iterative: None,
+            cache: None,
         }
+    }
+
+    /// Attaches a cache plan. Each replica simulation instantiates its own
+    /// cold caches from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced stage index is out of range, the retrieval
+    /// stages are not strictly ascending, the prefix stage is also listed as
+    /// a retrieval stage, or a prefix cache is configured without naming a
+    /// prefix stage.
+    pub fn with_cache(mut self, plan: CachePlan) -> Self {
+        if let Some(stage) = plan.prefix_stage {
+            assert!(
+                stage < self.stages.len(),
+                "prefix stage {stage} is out of range for {} stages",
+                self.stages.len()
+            );
+        }
+        assert!(
+            plan.config.prefix.is_none() || plan.prefix_stage.is_some(),
+            "a prefix-KV cache needs a prefix stage to act on"
+        );
+        assert!(
+            plan.config.retrieval.is_none() || !plan.retrieval_stages.is_empty(),
+            "a retrieval-result cache needs at least one retrieval stage to skip \
+             (otherwise it would report hits that save no work)"
+        );
+        assert!(
+            plan.retrieval_stages.windows(2).all(|w| w[0] < w[1]),
+            "retrieval stages must be strictly ascending"
+        );
+        for &stage in &plan.retrieval_stages {
+            assert!(
+                stage < self.stages.len(),
+                "retrieval stage {stage} is out of range for {} stages",
+                self.stages.len()
+            );
+            assert!(
+                plan.prefix_stage != Some(stage),
+                "stage {stage} cannot be both the prefix stage and a skipped retrieval stage"
+            );
+        }
+        self.cache = Some(plan);
+        self
     }
 
     /// Adds iterative mid-generation retrieval.
@@ -287,11 +359,20 @@ pub struct EngineRequest {
     pub id: u64,
     /// Arrival time in seconds.
     pub arrival_s: f64,
+    /// Prompt-prefix length in tokens. Only consulted by the prefix-KV
+    /// cache (to apportion prefill cost between cached prefix and uncached
+    /// suffix); cache-less pipelines ignore it entirely, so untagged test
+    /// requests may leave it zero.
+    pub prefix_tokens: u32,
     /// Output tokens to generate.
     pub decode_tokens: u32,
     /// Workload-class tag (0 for untagged traffic), carried through to the
     /// timeline so reports can break metrics down per tenant class.
     pub class: u32,
+    /// Content identity (shared-prefix template and retrieval key), or
+    /// `None` for identity-free requests, which never touch any cache and
+    /// behave exactly as before caching existed.
+    pub identity: Option<ContentIdentity>,
 }
 
 impl From<&Request> for EngineRequest {
@@ -299,8 +380,10 @@ impl From<&Request> for EngineRequest {
         Self {
             id: r.id,
             arrival_s: r.arrival_s,
+            prefix_tokens: r.prefix_tokens,
             decode_tokens: r.decode_tokens.max(1),
             class: r.class,
+            identity: r.identity,
         }
     }
 }
@@ -470,6 +553,32 @@ pub struct ClassMetrics {
     pub metrics: ServingMetrics,
 }
 
+/// One workload class's cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCacheUsage {
+    /// The workload-class tag.
+    pub class: u32,
+    /// Prefix-KV cache counters of this class's accesses.
+    pub prefix: CacheCounters,
+    /// Retrieval-result cache counters of this class's accesses.
+    pub retrieval: CacheCounters,
+}
+
+/// Cache accounting of one run (all-zero for cache-less runs). Like the
+/// iterative-retrieval counters, these describe the shared pipeline: a
+/// fleet report sums them across replicas, and the per-class rows slice the
+/// same accesses by the requesting tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheUsage {
+    /// Prefix-KV cache counters (hits save prefill tokens).
+    pub prefix: CacheCounters,
+    /// Retrieval-result cache counters (hits skip retrieve + rerank).
+    pub retrieval: CacheCounters,
+    /// Per-class slices, ascending by class id — only classes that
+    /// performed at least one lookup appear.
+    pub per_class: Vec<ClassCacheUsage>,
+}
+
 /// The full result of one engine run: per-request timelines plus aggregate
 /// metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -482,6 +591,9 @@ pub struct ServingReport {
     /// distinct class tag in the run. For a single-class (or untagged) run
     /// this is one row whose metrics equal [`Self::metrics`] exactly.
     pub per_class: Vec<ClassMetrics>,
+    /// Cache hit/miss/eviction accounting (all-zero when the pipeline has
+    /// no cache plan).
+    pub cache: CacheUsage,
 }
 
 impl ServingReport {
@@ -733,28 +845,94 @@ struct ReqState {
     retrieval_positions: Vec<u32>,
     next_retrieval: usize,
     paused: bool,
+    /// The request's retrieval result was cached at arrival, so the plan's
+    /// retrieval stages are skipped as zero-duration pass-throughs.
+    skip_retrieval: bool,
+}
+
+/// Cache accounting a simulation accumulates as it consults its caches:
+/// run-level counters plus per-class slices (the engine attributes each
+/// access to the requesting class; the caches themselves only count
+/// totals).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CacheAcc {
+    prefix: CacheCounters,
+    retrieval: CacheCounters,
+    per_class: BTreeMap<u32, (CacheCounters, CacheCounters)>,
+}
+
+impl CacheAcc {
+    fn record_prefix(&mut self, class: u32, lookup: &PrefixLookup) {
+        let delta = CacheCounters {
+            lookups: 1,
+            hits: u64::from(lookup.hit),
+            insertions: u64::from(lookup.inserted),
+            evictions: u64::from(lookup.evictions),
+            tokens_saved: u64::from(lookup.hit_tokens),
+        };
+        self.prefix.absorb(&delta);
+        self.per_class.entry(class).or_default().0.absorb(&delta);
+    }
+
+    fn record_retrieval(&mut self, class: u32, lookup: &RetrievalLookup) {
+        let delta = CacheCounters {
+            lookups: 1,
+            hits: u64::from(lookup.hit),
+            insertions: u64::from(lookup.inserted),
+            evictions: u64::from(lookup.evictions),
+            tokens_saved: 0,
+        };
+        self.retrieval.absorb(&delta);
+        self.per_class.entry(class).or_default().1.absorb(&delta);
+    }
+
+    fn merge_from(&mut self, other: &CacheAcc) {
+        self.prefix.absorb(&other.prefix);
+        self.retrieval.absorb(&other.retrieval);
+        for (class, (p, r)) in &other.per_class {
+            let slot = self.per_class.entry(*class).or_default();
+            slot.0.absorb(p);
+            slot.1.absorb(r);
+        }
+    }
+
+    fn to_usage(&self) -> CacheUsage {
+        CacheUsage {
+            prefix: self.prefix,
+            retrieval: self.retrieval,
+            per_class: self
+                .per_class
+                .iter()
+                .map(|(class, (prefix, retrieval))| ClassCacheUsage {
+                    class: *class,
+                    prefix: *prefix,
+                    retrieval: *retrieval,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Aggregate accumulators a simulation carries besides its timelines. Kept
 /// separate so fleet-level reports (see [`crate::cluster`]) can sum them
 /// across replicas before building merged [`ServingMetrics`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct SimAccumulators {
     pub(crate) retrieval_batches: u32,
     pub(crate) retrieval_fill: u64,
     pub(crate) fill_weighted_time: f64,
     pub(crate) stepping_time: f64,
+    pub(crate) cache: CacheAcc,
 }
 
 impl SimAccumulators {
     /// Element-wise sum, used when merging replica runs into a fleet report.
-    pub(crate) fn merge(self, other: Self) -> Self {
-        Self {
-            retrieval_batches: self.retrieval_batches + other.retrieval_batches,
-            retrieval_fill: self.retrieval_fill + other.retrieval_fill,
-            fill_weighted_time: self.fill_weighted_time + other.fill_weighted_time,
-            stepping_time: self.stepping_time + other.stepping_time,
-        }
+    pub(crate) fn merge_from(&mut self, other: &Self) {
+        self.retrieval_batches += other.retrieval_batches;
+        self.retrieval_fill += other.retrieval_fill;
+        self.fill_weighted_time += other.fill_weighted_time;
+        self.stepping_time += other.stepping_time;
+        self.cache.merge_from(&other.cache);
     }
 }
 
@@ -790,6 +968,11 @@ pub(crate) struct ReplicaSim {
     /// recent outcomes with a cursor instead of rescanning every request
     /// at every evaluation tick.
     completion_log: Vec<(f64, f64, f64)>,
+    /// Replica-local prefix-KV cache, created cold from the spec's cache
+    /// plan (a scaled-out replica starts with nothing resident).
+    prefix_cache: Option<PrefixKvCache>,
+    /// Replica-local retrieval-result cache, created cold likewise.
+    retrieval_cache: Option<RetrievalResultCache>,
     acc: SimAccumulators,
     heap: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
@@ -804,6 +987,16 @@ impl ReplicaSim {
             .map(|it| StdRng::seed_from_u64(it.seed));
         let num_stages = spec.stages.len();
         let num_resources = spec.num_resources();
+        let prefix_cache = spec
+            .cache
+            .as_ref()
+            .and_then(|plan| plan.config.prefix)
+            .map(PrefixKvCache::new);
+        let retrieval_cache = spec
+            .cache
+            .as_ref()
+            .and_then(|plan| plan.config.retrieval)
+            .map(RetrievalResultCache::new);
         Self {
             spec,
             iterative_rng,
@@ -818,6 +1011,8 @@ impl ReplicaSim {
             in_flight_retrievals: 0,
             completed: 0,
             completion_log: Vec::new(),
+            prefix_cache,
+            retrieval_cache,
             acc: SimAccumulators::default(),
             heap: BinaryHeap::new(),
             seq: 0,
@@ -861,6 +1056,7 @@ impl ReplicaSim {
             retrieval_positions: positions,
             next_retrieval: 0,
             paused: false,
+            skip_retrieval: false,
         });
         let idx = self.requests.len();
         self.requests.push(req);
@@ -888,6 +1084,15 @@ impl ReplicaSim {
     /// Fraction of decode slots occupied, in `[0, 1]`.
     pub(crate) fn decode_fill_fraction(&self) -> f64 {
         self.resident.len() as f64 / f64::from(self.spec.decode.max_batch)
+    }
+
+    /// Whether this replica's prefix-KV cache currently holds `prefix_id` —
+    /// the signal cache-affinity routing probes (false when the replica has
+    /// no prefix cache).
+    pub(crate) fn owns_prefix(&self, prefix_id: u64) -> bool {
+        self.prefix_cache
+            .as_ref()
+            .is_some_and(|c| c.contains(prefix_id))
     }
 
     /// Processes every event group strictly before `t` (by more than the
@@ -933,18 +1138,64 @@ impl ReplicaSim {
         true
     }
 
+    /// Consults the retrieval-result cache for request `r` at its arrival.
+    /// A hit marks the plan's retrieval stages for zero-duration
+    /// pass-through; identity-free requests (or cache-less pipelines) are
+    /// untouched.
+    fn lookup_retrieval_cache(&mut self, r: usize) {
+        let Some(cache) = self.retrieval_cache.as_mut() else {
+            return;
+        };
+        let Some(identity) = self.requests[r].identity else {
+            return;
+        };
+        let lookup = cache.access(identity.doc_key);
+        self.acc
+            .cache
+            .record_retrieval(self.requests[r].class, &lookup);
+        if lookup.hit {
+            self.state[r].skip_retrieval = true;
+        }
+    }
+
+    /// Routes request `r` toward stage `from` at time `t`: stages marked
+    /// skippable (a retrieval-cache hit) are recorded as zero-duration
+    /// pass-throughs, and the request lands in the first remaining stage
+    /// queue — or in decode admission when none remain. A request whose
+    /// *last* pipeline stage actually executes gets its first token there
+    /// (the `StageDone` path); one that skips past the end behaves like a
+    /// no-pre-decode request, emitting its first token at its first decode
+    /// step.
+    fn route_to_stage(&mut self, r: usize, from: usize, t: f64) {
+        let num_stages = self.spec.stages.len();
+        let mut stage = from;
+        if self.state[r].skip_retrieval {
+            let plan = self
+                .spec
+                .cache
+                .as_ref()
+                .expect("skip_retrieval is only set when a cache plan exists");
+            while stage < num_stages && plan.retrieval_stages.contains(&stage) {
+                self.state[r].stage_starts_s.push(t);
+                self.state[r].stage_ends_s.push(t);
+                stage += 1;
+            }
+        }
+        self.state[r].queue_entry_s = t;
+        if stage < num_stages {
+            self.stage_queues[stage].push_back(r);
+        } else {
+            self.state[r].prefix_end_s = t;
+            self.admission.push_back(r);
+        }
+    }
+
     /// Pure state mutation for one event; no dispatching.
     fn apply(&mut self, t: f64, ev: Ev) {
         match ev {
             Ev::Arrival(r) => {
-                if self.spec.stages.is_empty() {
-                    self.state[r].prefix_end_s = t;
-                    self.state[r].queue_entry_s = t;
-                    self.admission.push_back(r);
-                } else {
-                    self.state[r].queue_entry_s = t;
-                    self.stage_queues[0].push_back(r);
-                }
+                self.lookup_retrieval_cache(r);
+                self.route_to_stage(r, 0, t);
             }
             Ev::StageDone {
                 resource,
@@ -955,14 +1206,14 @@ impl ReplicaSim {
                 let last_stage = stage + 1 == self.spec.stages.len();
                 for r in members {
                     self.state[r].stage_ends_s.push(t);
-                    self.state[r].queue_entry_s = t;
                     if last_stage {
                         // The main prefix emits the first output token.
+                        self.state[r].queue_entry_s = t;
                         self.state[r].prefix_end_s = t;
                         self.state[r].first_token_s = Some(t);
                         self.admission.push_back(r);
                     } else {
-                        self.stage_queues[stage + 1].push_back(r);
+                        self.route_to_stage(r, stage + 1, t);
                     }
                 }
             }
@@ -1024,7 +1275,8 @@ impl ReplicaSim {
                 self.state[r].stage_starts_s.push(now);
                 self.state[r].queueing_s += now - self.state[r].queue_entry_s;
             }
-            let latency = self.spec.stages[stage].latency.latency(take as u32);
+            let full = self.spec.stages[stage].latency.latency(take as u32);
+            let latency = self.charge_prefix_cache(stage, &members, full);
             self.resource_busy[resource] = true;
             self.push_event(
                 now + latency,
@@ -1035,6 +1287,41 @@ impl ReplicaSim {
                 },
             );
         }
+    }
+
+    /// Consults the prefix-KV cache for a micro-batch dispatched to the
+    /// plan's prefix stage, and returns the latency actually charged:
+    /// prefill cost is proportional to the tokens processed, so the batch
+    /// latency scales by the uncached share of its members' prefix tokens.
+    /// Members access the cache in batch order — the first instance of a
+    /// template misses and inserts it, and later same-batch instances hit
+    /// (they share the KV being computed). Returns `base` untouched when no
+    /// tokens were served from cache, keeping identity-free and
+    /// zero-capacity runs bit-identical to the cache-less path.
+    fn charge_prefix_cache(&mut self, stage: usize, members: &[usize], base: f64) -> f64 {
+        let prefix_stage = self.spec.cache.as_ref().and_then(|plan| plan.prefix_stage);
+        if prefix_stage != Some(stage) {
+            return base;
+        }
+        let Some(cache) = self.prefix_cache.as_mut() else {
+            return base;
+        };
+        let mut total_tokens: u64 = 0;
+        let mut saved_tokens: u64 = 0;
+        for &r in members {
+            let req = &self.requests[r];
+            total_tokens += u64::from(req.prefix_tokens);
+            if let Some(identity) = req.identity {
+                let shared = identity.shared_prefix_tokens.min(req.prefix_tokens);
+                let lookup = cache.access(identity.prefix_id, shared);
+                saved_tokens += u64::from(lookup.hit_tokens);
+                self.acc.cache.record_prefix(req.class, &lookup);
+            }
+        }
+        if saved_tokens == 0 {
+            return base;
+        }
+        base * ((total_tokens - saved_tokens) as f64 / total_tokens as f64)
     }
 
     /// Decode bookkeeping at one instant: admit, dispatch iterative
@@ -1207,6 +1494,7 @@ pub(crate) fn build_report(
         timelines,
         metrics,
         per_class,
+        cache: acc.cache.to_usage(),
     }
 }
 
@@ -1310,8 +1598,10 @@ mod tests {
         EngineRequest {
             id,
             arrival_s: arrival,
+            prefix_tokens: 0,
             decode_tokens: tokens,
             class: 0,
+            identity: None,
         }
     }
 
@@ -1682,6 +1972,7 @@ mod tests {
                     prefix_tokens: 64,
                     decode_tokens: 0,
                     class: 0,
+                    identity: None,
                 })
                 .collect(),
         };
@@ -1707,8 +1998,10 @@ mod tests {
             .map(|i| EngineRequest {
                 id: i,
                 arrival_s: 0.02 * i as f64,
+                prefix_tokens: 0,
                 decode_tokens: 8 + (i as u32 % 5),
                 class: (i % 3) as u32,
+                identity: None,
             })
             .collect();
         requests[0].class = 2; // classes need not start at 0

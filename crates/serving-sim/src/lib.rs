@@ -45,6 +45,16 @@
 //!   workload-class tags ([`rago_workloads::WorkloadMix`]), and every
 //!   report breaks metrics down per tenant class
 //!   ([`engine::ClassMetrics`]).
+//! * **Caching** — the content-reuse dimension on top of everything: a
+//!   [`engine::CachePlan`] attaches the deterministic cache simulators of
+//!   `rago-cache` to a pipeline. Each replica owns cold, replica-local
+//!   cache state: a prefix-KV hit charges the prefix stage only for the
+//!   uncached token suffix, a retrieval-result hit skips the retrieve and
+//!   rerank stages outright, and the content-aware router policies
+//!   (`PrefixHash`, `CacheAffinity`) steer requests toward the replica
+//!   owning their template. Reports carry hit/miss/eviction counters
+//!   ([`engine::CacheUsage`]), and identity-free or zero-capacity runs are
+//!   bit-identical to the cache-less engine.
 //!
 //! # Examples
 //!
@@ -105,9 +115,9 @@ pub use autoscaler::{
 };
 pub use cluster::{ClusterEngine, FleetReport, LoadImbalance, ReplicaReport};
 pub use engine::{
-    sustained_throughput_knee, ClassMetrics, DecodeSpec, EngineRequest, IterativeSpec,
-    LatencyStats, LatencyTable, PipelineSpec, RequestTimeline, ServingEngine, ServingMetrics,
-    ServingReport, StageSpec,
+    sustained_throughput_knee, CachePlan, CacheUsage, ClassCacheUsage, ClassMetrics, DecodeSpec,
+    EngineRequest, IterativeSpec, LatencyStats, LatencyTable, PipelineSpec, RequestTimeline,
+    ServingEngine, ServingMetrics, ServingReport, StageSpec,
 };
 pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
 pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};

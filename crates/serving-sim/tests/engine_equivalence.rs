@@ -40,8 +40,10 @@ fn engine_for(params: IterativeDecodeParams) -> ServingEngine {
         .map(|i| EngineRequest {
             id: u64::from(i),
             arrival_s: 0.0,
+            prefix_tokens: 0,
             decode_tokens: params.decode_len,
             class: 0,
+            identity: None,
         })
         .collect();
     ServingEngine::new(spec, requests)
@@ -171,8 +173,10 @@ fn burst_engine(
         .map(|i| EngineRequest {
             id: u64::from(i),
             arrival_s: 0.0,
+            prefix_tokens: 0,
             decode_tokens: 1,
             class: 0,
+            identity: None,
         })
         .collect();
     ServingEngine::new(spec, requests)

@@ -51,8 +51,10 @@ fn requests(n: usize, gap: f64) -> Vec<EngineRequest> {
         .map(|i| EngineRequest {
             id: i as u64,
             arrival_s: gap * i as f64,
+            prefix_tokens: 0,
             decode_tokens: 1 + (i as u32 * 7) % 23,
             class: 0,
+            identity: None,
         })
         .collect()
 }

@@ -128,7 +128,7 @@ proptest! {
             seed,
         });
         let requests: Vec<EngineRequest> = (0..decode_batch)
-            .map(|i| EngineRequest { id: u64::from(i), arrival_s: 0.0, decode_tokens: decode_len, class: 0 })
+            .map(|i| EngineRequest { id: u64::from(i), arrival_s: 0.0, prefix_tokens: 0, decode_tokens: decode_len, class: 0, identity: None })
             .collect();
         let report = ServingEngine::new(spec, requests).run();
         prop_assert!((report.metrics.makespan_s - reference.total_time_s).abs() < 1e-9);
@@ -165,8 +165,10 @@ proptest! {
             .map(|i| EngineRequest {
                 id: i as u64,
                 arrival_s: gap * i as f64,
+                prefix_tokens: 0,
                 decode_tokens: 1 + (i as u32 % 17),
                 class: 0,
+                identity: None,
             })
             .collect();
         let report = ServingEngine::new(spec, reqs).run();

@@ -95,6 +95,14 @@ pub fn kmeans(
             got: bad.len(),
         });
     }
+    // Non-finite coordinates would poison every distance comparison below
+    // (the unwrap audit's one genuinely fallible path): reject them up
+    // front with a proper error instead of clustering garbage.
+    if data.iter().any(|v| v.iter().any(|x| !x.is_finite())) {
+        return Err(VectorDbError::InvalidInput {
+            reason: "training vectors must be finite (found NaN or infinity)".into(),
+        });
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut indices: Vec<usize> = (0..data.len()).collect();
@@ -131,12 +139,15 @@ pub fn kmeans(
         for (c, centroid) in centroids.iter_mut().enumerate() {
             if counts[c] == 0 {
                 // Re-seed an empty cluster from the point furthest from its
-                // assigned centroid.
+                // assigned centroid. Distances are finite here (inputs are
+                // validated above), so `total_cmp` is a true total order —
+                // the old `partial_cmp(..).unwrap_or(Equal)` silently
+                // treated incomparable (NaN) pairs as ties.
                 if let Some((far_idx, _)) = data
                     .iter()
                     .enumerate()
                     .map(|(i, v)| (i, l2_distance_squared(v, &centroid[..])))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
                 {
                     *centroid = data[far_idx].clone();
                 }
@@ -251,6 +262,25 @@ mod tests {
         let b = kmeans(&data, KMeansParams::default(), 33).unwrap();
         assert_eq!(a.centroids, b.centroids);
         assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn rejects_non_finite_training_vectors() {
+        let mut data = SyntheticDataset::uniform(10, 4, 0).vectors;
+        data[3][1] = f32::NAN;
+        assert!(matches!(
+            kmeans(
+                &data,
+                KMeansParams {
+                    k: 2,
+                    ..Default::default()
+                },
+                0
+            ),
+            Err(VectorDbError::InvalidInput { .. })
+        ));
+        data[3][1] = f32::INFINITY;
+        assert!(kmeans(&data, KMeansParams::default(), 0).is_err());
     }
 
     #[test]

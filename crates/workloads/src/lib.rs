@@ -15,6 +15,10 @@
 //!   per-class [`rago_schema::SloTarget`]s, and [`MixTraceSpec`] samples a
 //!   class-tagged trace from one ([`Trace::merge_tagged`] composes tagged
 //!   traces from independently generated parts);
+//! * [`ContentSpec`] assigns *content identity* to a generated trace —
+//!   shared-prefix/template ids and retrieval keys drawn from seeded
+//!   Zipfian [`PopularityModel`]s — which is what the cache simulators in
+//!   `rago-cache` key on (identity-free traces behave exactly as before);
 //! * [`case_studies`] re-exports the paper's Table 3 presets together with
 //!   the parameter sweeps used in the evaluation figures.
 //!
@@ -41,10 +45,12 @@
 
 pub mod arrival;
 pub mod case_studies;
+pub mod content;
 pub mod mix;
 pub mod request;
 
 pub use arrival::{ArrivalProcess, RateSegment};
 pub use case_studies::{case_study_sweeps, CaseStudy};
+pub use content::{ContentIdentity, ContentSpec, PopularityModel, PopularitySampler};
 pub use mix::{MixTraceSpec, RequestClass, WorkloadMix};
 pub use request::{Request, RequestGenerator, Trace, TraceSpec};

@@ -24,6 +24,13 @@ pub struct Request {
     /// through the serving simulation so reports can break metrics and SLO
     /// attainment down per tenant class.
     pub class: u32,
+    /// Content identity (shared-prefix template and retrieval key), or
+    /// `None` for identity-free requests, which behave exactly as before
+    /// caching existed. Assigned by [`crate::ContentSpec::tag`] and carried
+    /// through every trace composition
+    /// ([`Trace::split_round_robin`]/[`Trace::merge_tagged`]/
+    /// [`Trace::with_arrival_offset`]).
+    pub identity: Option<crate::ContentIdentity>,
 }
 
 /// A generated request trace.
@@ -228,6 +235,7 @@ impl RequestGenerator {
             prefix_tokens: prefix.max(question),
             decode_tokens: decode.max(1),
             class: 0,
+            identity: None,
         }
     }
 

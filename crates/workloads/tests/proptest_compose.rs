@@ -1,0 +1,178 @@
+//! Trace-composition properties: class tags and content-identity fields
+//! survive every composition path (`merge_tagged`, `with_arrival_offset`,
+//! `split_round_robin`, and their chains), and per-class request counts are
+//! conserved throughout.
+
+use proptest::prelude::*;
+use rago_schema::SequenceProfile;
+use rago_workloads::{ArrivalProcess, ContentSpec, PopularityModel, Request, Trace, TraceSpec};
+
+fn base_trace(n: usize, seed: u64) -> Trace {
+    TraceSpec {
+        num_requests: n,
+        profile: SequenceProfile::paper_default(),
+        arrival: ArrivalProcess::Poisson { rate_rps: 25.0 },
+        length_jitter: 0.2,
+        seed,
+    }
+    .generate()
+}
+
+fn content(seed: u64) -> ContentSpec {
+    ContentSpec {
+        prefixes: PopularityModel::zipf(6, 1.0),
+        shared_prefix_fraction: 0.75,
+        docs: PopularityModel::zipf(24, 0.9),
+        seed,
+    }
+}
+
+/// A request's payload minus its position (id and arrival are rewritten by
+/// composition; everything else must survive verbatim). Sortable so
+/// multiset comparisons are order-independent.
+type Payload = (u32, u32, u32, u32, (u64, u32, u64));
+
+fn payload(r: &Request) -> Payload {
+    let identity = r
+        .identity
+        .map(|i| (i.prefix_id, i.shared_prefix_tokens, i.doc_key))
+        .unwrap_or((u64::MAX, u32::MAX, u64::MAX));
+    (
+        r.class,
+        r.question_tokens,
+        r.prefix_tokens,
+        r.decode_tokens,
+        identity,
+    )
+}
+
+fn payload_multiset(requests: &[Request]) -> Vec<Payload> {
+    let mut all: Vec<Payload> = requests.iter().map(payload).collect();
+    all.sort();
+    all
+}
+
+fn class_count(trace: &Trace, class: u32) -> usize {
+    trace.requests.iter().filter(|r| r.class == class).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full composition chain: tag content → merge two tenants →
+    /// shift → split. At every step the per-request payload (class,
+    /// lengths, identity) is conserved as a multiset, and per-class counts
+    /// partition correctly.
+    #[test]
+    fn composition_preserves_class_tags_and_identity(
+        n_a in 5usize..40,
+        n_b in 5usize..40,
+        seed in 0u64..512,
+        class_a in 0u32..4,
+        class_b in 4u32..8,
+        replicas in 1usize..5,
+        offset in 0.0f64..50.0,
+    ) {
+        let a = content(seed).tag(&base_trace(n_a, seed));
+        let b = content(seed.wrapping_add(77)).tag(&base_trace(n_b, seed.wrapping_add(1)));
+
+        // merge_tagged re-tags classes and re-assigns ids, nothing else.
+        let merged = Trace::merge_tagged(&[(class_a, a.clone()), (class_b, b.clone())]);
+        prop_assert_eq!(merged.requests.len(), n_a + n_b);
+        prop_assert_eq!(class_count(&merged, class_a), n_a);
+        prop_assert_eq!(class_count(&merged, class_b), n_b);
+        let mut expected: Vec<Payload> = a
+            .requests
+            .iter()
+            .map(|r| {
+                let mut retagged = *r;
+                retagged.class = class_a;
+                payload(&retagged)
+            })
+            .chain(b.requests.iter().map(|r| {
+                let mut retagged = *r;
+                retagged.class = class_b;
+                payload(&retagged)
+            }))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(payload_multiset(&merged.requests), expected.clone());
+        // Every merged request still carries identity.
+        prop_assert!(merged.requests.iter().all(|r| r.identity.is_some()));
+
+        // with_arrival_offset is a pure time shift: payloads (and even ids)
+        // are untouched per request.
+        let shifted = merged.with_arrival_offset(offset);
+        for (x, y) in merged.requests.iter().zip(shifted.requests.iter()) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.class, y.class);
+            prop_assert_eq!(x.identity, y.identity);
+            prop_assert!((y.arrival_s - x.arrival_s - offset).abs() < 1e-9);
+        }
+
+        // split_round_robin partitions requests bit-exactly: the union of
+        // the splits is the input, so payloads and per-class counts are
+        // conserved and identity survives.
+        let splits = shifted.split_round_robin(replicas);
+        let mut reunited: Vec<Request> =
+            splits.iter().flat_map(|t| t.requests.clone()).collect();
+        reunited.sort_by_key(|r| r.id);
+        prop_assert_eq!(&reunited, &shifted.requests);
+        for class in [class_a, class_b] {
+            let split_total: usize =
+                splits.iter().map(|t| class_count(t, class)).sum();
+            prop_assert_eq!(split_total, class_count(&shifted, class));
+        }
+        prop_assert_eq!(payload_multiset(&reunited), expected);
+    }
+
+    /// Merging tagged splits back (with their own classes preserved)
+    /// conserves the identity multiset — the round-trip path a fleet
+    /// baseline uses.
+    #[test]
+    fn split_then_merge_round_trips_identity(
+        n in 8usize..60,
+        seed in 0u64..512,
+        replicas in 2usize..5,
+    ) {
+        let tagged = content(seed).tag(&base_trace(n, seed));
+        let splits = tagged.split_round_robin(replicas);
+        // Re-merge with class 0 everywhere (the original is untagged /
+        // class 0 too, so the payload multiset must round-trip exactly).
+        let parts: Vec<(u32, Trace)> = splits.into_iter().map(|t| (0, t)).collect();
+        let merged = Trace::merge_tagged(&parts);
+        prop_assert_eq!(merged.requests.len(), n);
+        prop_assert_eq!(
+            payload_multiset(&merged.requests),
+            payload_multiset(&tagged.requests)
+        );
+        // Ids are re-assigned densely and arrivals stay sorted.
+        prop_assert!(merged
+            .requests
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id == i as u64));
+        prop_assert!(merged
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+
+    /// Identity-free traces stay identity-free through every composition
+    /// path — the degenerate case the cache-less equivalences rely on.
+    #[test]
+    fn identity_free_traces_stay_identity_free(
+        n in 5usize..40,
+        seed in 0u64..512,
+        replicas in 1usize..4,
+    ) {
+        let plain = base_trace(n, seed);
+        let merged = Trace::merge_tagged(&[(1, plain.clone()), (2, plain.clone())]);
+        prop_assert!(merged.requests.iter().all(|r| r.identity.is_none()));
+        let shifted = merged.with_arrival_offset(3.0);
+        prop_assert!(shifted.requests.iter().all(|r| r.identity.is_none()));
+        for split in shifted.split_round_robin(replicas) {
+            prop_assert!(split.requests.iter().all(|r| r.identity.is_none()));
+        }
+    }
+}

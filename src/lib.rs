@@ -6,6 +6,10 @@
 //! * [`schema`] — the RAGSchema workload abstraction (§3 of the paper);
 //! * [`hardware`] — XPU / CPU / cluster models (Table 2, §4);
 //! * [`vectordb`] — the IVF-PQ vector-search substrate;
+//! * [`cache`] — deterministic prefix-KV and retrieval-result cache
+//!   simulators (capacity in tokens / entries, LRU/LFU/size-aware
+//!   eviction), driven by popularity-skewed content identity from
+//!   [`workloads`];
 //! * [`accel_sim`] — the operator-roofline inference cost model (§4(a));
 //! * [`retrieval_sim`] — the ScaNN-style retrieval cost model (§4(b));
 //! * [`serving_sim`] — discrete-event serving simulation (§5.3, §6.1),
@@ -35,6 +39,7 @@
 //! ```
 
 pub use rago_accel_sim as accel_sim;
+pub use rago_cache as cache;
 pub use rago_core as core;
 pub use rago_hardware as hardware;
 pub use rago_retrieval_sim as retrieval_sim;

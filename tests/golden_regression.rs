@@ -24,6 +24,13 @@
 //!   `tests/paper_claims.rs` (retrieval share versus scan fraction,
 //!   encoder share versus corpus size), pinned as numbers rather than
 //!   inequalities.
+//! * `timevarying.json` — the PR 4 time-varying path (pinned optimizer /
+//!   engine / fleet / paper-claims left this one open): a seeded two-tenant
+//!   diurnal trace through `evaluate_fleet_timevarying`, static and
+//!   autoscaled, with per-tenant outcomes and the provisioning cost.
+//! * `cache_run.json` — the PR 5 cache subsystem: a seeded Zipfian
+//!   content-tagged trace through `evaluate_schedule_cached`, pinning the
+//!   hit/miss/eviction counters, tokens saved, and the cached TTFT.
 //!
 //! # Updating
 //!
@@ -36,14 +43,19 @@
 //!
 //! and commit the diff — the point is that the drift shows up in review.
 
+use rago::cache::{CacheConfig, EvictionPolicy, PrefixKvCacheConfig, RetrievalCacheConfig};
 use rago::core::{Rago, SearchOptions};
 use rago::hardware::ClusterSpec;
 use rago::schema::presets::{self, LlmSize};
 use rago::schema::{FleetConfig, RouterPolicy, SequenceProfile, SloTarget, Stage};
+use rago::serving_sim::autoscaler::AutoscalerPolicy;
 use rago::serving_sim::engine::{
     sustained_throughput_knee, DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec,
 };
-use rago::workloads::{ArrivalProcess, TraceSpec};
+use rago::workloads::{
+    ArrivalProcess, ContentSpec, MixTraceSpec, PopularityModel, RequestClass, TraceSpec,
+    WorkloadMix,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -244,6 +256,194 @@ fn golden_fleet_knees() {
     out.push_str(&series_rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
     check_golden("fleet_knees.json", &out);
+}
+
+#[test]
+fn golden_timevarying() {
+    // The PR 4 time-varying path: a two-tenant diurnal trace through
+    // `evaluate_fleet_timevarying`, statically provisioned and autoscaled.
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    let frontier = rago
+        .optimize(&SearchOptions::fast())
+        .expect("static search succeeds");
+    let best = frontier.max_qps_per_chip().expect("non-empty frontier");
+    let mix = WorkloadMix::new(vec![
+        RequestClass::new(
+            "chat",
+            3.0,
+            SequenceProfile::paper_default().with_decode_tokens(32),
+            0.1,
+            SloTarget::new(2.0, 0.05),
+        ),
+        RequestClass::new(
+            "report",
+            1.0,
+            SequenceProfile::paper_default().with_decode_tokens(128),
+            0.1,
+            SloTarget::new(10.0, 0.2),
+        ),
+    ]);
+    let qps = best.performance.qps;
+    let trace = MixTraceSpec {
+        num_requests: 400,
+        mix: mix.clone(),
+        arrival: ArrivalProcess::Diurnal {
+            base_rps: 0.3 * qps,
+            peak_rps: 2.0 * qps,
+            period_s: 16.0,
+        },
+        seed: 29,
+    }
+    .generate();
+    let fleet = FleetConfig::new(3, RouterPolicy::LeastOutstanding);
+    let policy = AutoscalerPolicy::new(1, 3)
+        .with_evaluation_interval(0.25)
+        .with_scale_out_queue_depth(2.0)
+        .with_scale_in_outstanding(10.0)
+        .with_cooldown(1.0)
+        .with_warmup(0.5);
+
+    let mut out = String::from("{\n  \"bench\": \"golden/timevarying\",\n");
+    let _ = writeln!(out, "  \"schedule\": \"{}\",", best.schedule.describe());
+    let mut variant_rows = Vec::new();
+    for (name, autoscaler) in [("static", None), ("autoscaled", Some(&policy))] {
+        let eval = rago
+            .evaluate_fleet_timevarying(&best.schedule, &fleet, &mix, &trace, autoscaler)
+            .expect("time-varying evaluation succeeds");
+        let class_rows: Vec<String> = eval
+            .per_class
+            .iter()
+            .map(|c| {
+                format!(
+                    "        {{\"class\": {}, \"name\": \"{}\", \"requests\": {}, \
+                     \"attainment\": {}, \"goodput_rps\": {}, \"meets_slo\": {}}}",
+                    c.class,
+                    c.name,
+                    c.requests,
+                    f(c.attainment),
+                    f(c.goodput_rps),
+                    c.meets_slo,
+                )
+            })
+            .collect();
+        let scaling = match &eval.scaling {
+            None => "null".to_string(),
+            Some(s) => format!(
+                "{{\"peak_provisioned\": {}, \"min_provisioned\": {}, \
+                 \"mean_provisioned\": {}, \"events\": {}}}",
+                s.peak_provisioned,
+                s.min_provisioned,
+                f(s.mean_provisioned),
+                s.events.len(),
+            ),
+        };
+        variant_rows.push(format!(
+            "    {{\"variant\": \"{name}\", \"attainment\": {}, \"goodput_rps\": {}, \
+             \"meets_slo\": {}, \"replica_seconds\": {}, \"chip_seconds\": {}, \
+             \"scaling\": {scaling}, \"per_class\": [\n{}\n    ]}}",
+            f(eval.attainment),
+            f(eval.goodput_rps),
+            eval.meets_slo,
+            f(eval.replica_seconds),
+            f(eval.chip_seconds),
+            class_rows.join(",\n"),
+        ));
+    }
+    out.push_str("  \"variants\": [\n");
+    out.push_str(&variant_rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    check_golden("timevarying.json", &out);
+}
+
+#[test]
+fn golden_cache_run() {
+    // The cache subsystem end to end: a seeded Zipfian content-tagged trace
+    // through `evaluate_schedule_cached`, with every cache counter pinned.
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    let frontier = rago
+        .optimize(&SearchOptions::fast())
+        .expect("static search succeeds");
+    let best = frontier.max_qps_per_chip().expect("non-empty frontier");
+    let content = ContentSpec {
+        prefixes: PopularityModel::zipf(12, 1.0),
+        shared_prefix_fraction: 0.8,
+        docs: PopularityModel::zipf(48, 1.0),
+        seed: 37,
+    };
+    let trace = content.tag(
+        &TraceSpec {
+            num_requests: 300,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson {
+                rate_rps: 1.5 * best.performance.qps,
+            },
+            length_jitter: 0.2,
+            seed: 7,
+        }
+        .generate(),
+    );
+    let cache = CacheConfig {
+        prefix: Some(PrefixKvCacheConfig::new(
+            6 * u64::from(SequenceProfile::paper_default().prefix_tokens()),
+            EvictionPolicy::Lru,
+        )),
+        retrieval: Some(RetrievalCacheConfig::new(48, EvictionPolicy::Lru)),
+    };
+    let slo = SloTarget::new(1.0, 0.1);
+    let eval = rago
+        .evaluate_cached(&best.schedule, &trace, &slo, &cache)
+        .expect("cached evaluation succeeds");
+    let counters = |c: &rago::cache::CacheCounters| {
+        format!(
+            "{{\"lookups\": {}, \"hits\": {}, \"insertions\": {}, \"evictions\": {}, \
+             \"tokens_saved\": {}, \"hit_rate\": {}}}",
+            c.lookups,
+            c.hits,
+            c.insertions,
+            c.evictions,
+            c.tokens_saved,
+            f(c.hit_rate()),
+        )
+    };
+    let usage = &eval.report.cache;
+    let mut out = String::from("{\n  \"bench\": \"golden/cache_run\",\n");
+    let _ = writeln!(out, "  \"schedule\": \"{}\",", best.schedule.describe());
+    let _ = writeln!(out, "  \"attainment\": {},", f(eval.attainment));
+    let _ = writeln!(out, "  \"goodput_rps\": {},", f(eval.goodput_rps));
+    let _ = writeln!(
+        out,
+        "  \"ttft_mean_s\": {},",
+        f(eval.report.metrics.ttft.mean_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"ttft_p95_s\": {},",
+        f(eval.report.metrics.ttft.p95_s)
+    );
+    let _ = writeln!(out, "  \"prefix\": {},", counters(&usage.prefix));
+    let _ = writeln!(out, "  \"retrieval\": {},", counters(&usage.retrieval));
+    let class_rows: Vec<String> = usage
+        .per_class
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"class\": {}, \"prefix\": {}, \"retrieval\": {}}}",
+                c.class,
+                counters(&c.prefix),
+                counters(&c.retrieval)
+            )
+        })
+        .collect();
+    out.push_str("  \"per_class\": [\n");
+    out.push_str(&class_rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    check_golden("cache_run.json", &out);
 }
 
 #[test]

@@ -1,0 +1,466 @@
+//! Million-request DES stress bench: events/sec and retained memory of the
+//! optimized engine versus the vendored pre-optimization loop, written to
+//! `BENCH_scale.json` at the workspace root.
+//!
+//! One synthetic open-loop workload (deterministic arrivals at a fixed
+//! rate, two pre-decode stages, continuous-batching decode) is replayed at
+//! increasing request tiers:
+//!
+//! * **100k** — always run; the CI smoke tier (`RAGO_BENCH_QUICK=1`).
+//! * **1M** — full mode; the acceptance tier: the streaming engine must
+//!   process events at least 5x faster than the vendored baseline.
+//! * **10M** — full mode, streaming-only (an exact run would retain tens of
+//!   millions of timeline allocations for no extra information).
+//!
+//! At every tier that runs both engines, the bench asserts the optimized
+//! exact run reproduces the baseline's timelines **bit for bit** — speed
+//! must not buy drift. Where exact and streaming both run, every reported
+//! percentile must agree within one histogram bucket width. A separate
+//! equality study pins serial-versus-parallel replica advancement (fleet
+//! and autoscaler, exact and streaming) to identical reports with
+//! `RAYON_NUM_THREADS` forced above one.
+//!
+//! The JSON refuses to serialize non-finite numbers, so CI can gate on the
+//! file's presence, NaN-freeness, and the equality flags being `true`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rago_bench::baseline::run_baseline;
+use rago_schema::{HistogramSpec, RouterPolicy};
+use rago_serving_sim::autoscaler::{AutoscaleEngine, AutoscalerPolicy};
+use rago_serving_sim::cluster::ClusterEngine;
+use rago_serving_sim::engine::{
+    DecodeSpec, EngineRequest, LatencyStats, LatencyTable, PipelineSpec, ServingEngine,
+    ServingReport, StageSpec,
+};
+use rago_serving_sim::{MetricsMode, StreamingConfig};
+use std::time::Instant;
+
+/// Offered rate of the open-loop workload, just under the pipeline's
+/// bottleneck (the prefix stage) so queues stay bounded and the event count
+/// scales linearly with the tier.
+const RATE_RPS: f64 = 1000.0;
+
+/// The stress pipeline: hyperscale-retrieval shape (retrieval + prefix +
+/// decode) with latency tables cheap enough that the bench measures the
+/// event loop, not the cost model.
+fn stress_spec() -> PipelineSpec {
+    PipelineSpec::new(
+        vec![
+            StageSpec::new(
+                "retrieval",
+                0,
+                16,
+                LatencyTable::from_fn(16, |b| 0.002 + 0.0002 * f64::from(b)),
+            ),
+            StageSpec::new(
+                "prefix",
+                1,
+                16,
+                LatencyTable::from_fn(16, |b| 0.005 + 0.0005 * f64::from(b)),
+            ),
+        ],
+        DecodeSpec::new(
+            128,
+            LatencyTable::from_fn(128, |b| 0.001 + 0.00002 * f64::from(b)),
+        ),
+    )
+}
+
+/// Deterministic open-loop arrivals: request `i` arrives at `i / rate`,
+/// with a small repeating spread of decode lengths. No RNG — every tier is
+/// exactly reproducible, and the 10M tier costs no generation entropy.
+fn open_loop_requests(n: u64, rate_rps: f64) -> Vec<EngineRequest> {
+    (0..n)
+        .map(|i| EngineRequest {
+            id: i,
+            arrival_s: i as f64 / rate_rps,
+            prefix_tokens: 0,
+            decode_tokens: 8 + (i % 5) as u32,
+            class: 0,
+            identity: None,
+        })
+        .collect()
+}
+
+struct EngineFigures {
+    wall_s: f64,
+    events_per_s: f64,
+    retained_bytes: usize,
+}
+
+struct TierResult {
+    requests: u64,
+    events: u64,
+    baseline: Option<EngineFigures>,
+    exact: Option<EngineFigures>,
+    streaming: EngineFigures,
+    baseline_matches_exact: Option<bool>,
+    percentile_delta_within_bucket: Option<bool>,
+}
+
+fn figures(wall_s: f64, events: u64, retained_bytes: usize) -> EngineFigures {
+    EngineFigures {
+        wall_s,
+        events_per_s: events as f64 / wall_s.max(1e-9),
+        retained_bytes,
+    }
+}
+
+/// Largest absolute difference between the streaming and exact reports over
+/// the percentile fields the histogram estimates (means and maxima are
+/// exact in both modes and compared for bit-equality instead).
+fn max_percentile_delta(streaming: &ServingReport, exact: &ServingReport) -> f64 {
+    let pairs = [
+        (&streaming.metrics.ttft, &exact.metrics.ttft),
+        (&streaming.metrics.tpot, &exact.metrics.tpot),
+        (&streaming.metrics.latency, &exact.metrics.latency),
+    ];
+    pairs
+        .iter()
+        .flat_map(|(s, e)| {
+            [
+                (s.p50_s - e.p50_s).abs(),
+                (s.p95_s - e.p95_s).abs(),
+                (s.p99_s - e.p99_s).abs(),
+            ]
+        })
+        .fold(0.0_f64, f64::max)
+}
+
+/// Runs one tier through baseline / exact / streaming as requested and
+/// cross-checks the runs against each other.
+///
+/// Engine construction (validation + sort) happens outside every timer, and
+/// an untimed streaming warmup run precedes the measurements: on hosts with
+/// expensive first-touch paging (lazily materialized VM memory), the first
+/// pass over a tier's working set pays microseconds per page, which would
+/// otherwise be billed to whichever engine happens to run first. Combined
+/// with the allocator retention configured in `bench_scale_json`, the timed
+/// runs then measure the simulation loops, not the host's memory plumbing.
+fn run_tier(spec: &PipelineSpec, n: u64, with_baseline: bool, with_exact: bool) -> TierResult {
+    let requests = open_loop_requests(n, RATE_RPS);
+    let streaming_mode = MetricsMode::Streaming(StreamingConfig::new(HistogramSpec::default()));
+    let engine = ServingEngine::new(spec.clone(), requests.clone());
+
+    std::hint::black_box(engine.run_with_mode(&streaming_mode));
+
+    let t0 = Instant::now();
+    let streaming_report = engine.run_with_mode(&streaming_mode);
+    let streaming_wall = t0.elapsed().as_secs_f64();
+    let events = streaming_report.metrics.events_processed;
+    let streaming = figures(streaming_wall, events, streaming_report.retained_bytes());
+
+    let exact_report = with_exact.then(|| {
+        let t0 = Instant::now();
+        let report = engine.run();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            report.metrics.events_processed, events,
+            "exact and streaming runs must apply the same events"
+        );
+        (figures(wall, events, report.retained_bytes()), report)
+    });
+
+    let baseline = with_baseline.then(|| {
+        // The baseline's wall time includes the old metrics path — cloning
+        // each distribution out of the timelines and sorting it — because
+        // that is what the pre-optimization `run()` paid.
+        let t0 = Instant::now();
+        let run = run_baseline(spec, &requests);
+        for samples in [
+            run.timelines.iter().map(|t| t.ttft_s()).collect::<Vec<_>>(),
+            run.timelines.iter().map(|t| t.tpot_s()).collect(),
+            run.timelines.iter().map(|t| t.latency_s()).collect(),
+            run.timelines.iter().map(|t| t.queueing_s).collect(),
+            run.timelines.iter().map(|t| t.service_s()).collect(),
+        ] {
+            std::hint::black_box(LatencyStats::from_samples(&samples));
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            run.events, events,
+            "the vendored loop must apply the same events as the optimized engine"
+        );
+        (figures(wall, run.events, 0), run)
+    });
+
+    let baseline_matches_exact = match (&baseline, &exact_report) {
+        (Some((_, base)), Some((_, exact))) => {
+            assert_eq!(
+                base.timelines, exact.timelines,
+                "vendored baseline diverged from the optimized exact engine at n={n}"
+            );
+            Some(true)
+        }
+        _ => None,
+    };
+
+    let percentile_delta_within_bucket = exact_report.as_ref().map(|(_, exact)| {
+        let delta = max_percentile_delta(&streaming_report, exact);
+        let width = HistogramSpec::default().bucket_width_s;
+        assert!(
+            delta <= width * (1.0 + 1e-9),
+            "streaming percentile strayed {delta} beyond one bucket width {width} at n={n}"
+        );
+        // Maxima are tracked exactly by the streaming sink; means agree up
+        // to summation order (the exact path sums sorted samples, the sink
+        // sums in arrival order).
+        assert!(
+            (exact.metrics.ttft.mean_s - streaming_report.metrics.ttft.mean_s).abs()
+                <= 1e-9 * exact.metrics.ttft.mean_s.abs().max(1.0)
+        );
+        assert_eq!(
+            exact.metrics.ttft.max_s,
+            streaming_report.metrics.ttft.max_s
+        );
+        assert_eq!(
+            exact.metrics.makespan_s,
+            streaming_report.metrics.makespan_s
+        );
+        true
+    });
+
+    TierResult {
+        requests: n,
+        events,
+        baseline: baseline.map(|(f, _)| f),
+        exact: exact_report.map(|(f, _)| f),
+        streaming,
+        baseline_matches_exact,
+        percentile_delta_within_bucket,
+    }
+}
+
+struct EqualityFlags {
+    fleet_exact: bool,
+    fleet_streaming: bool,
+    autoscale_exact: bool,
+    autoscale_streaming: bool,
+}
+
+/// Pins serial and parallel replica advancement to identical reports, with
+/// the shim's thread count forced above one so the parallel path really
+/// interleaves.
+fn check_serial_parallel_equality(spec: &PipelineSpec) -> EqualityFlags {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let replicas = 4;
+    let requests = open_loop_requests(50_000, 4.0 * RATE_RPS);
+    let router = RouterPolicy::LeastOutstanding;
+    let streaming_mode = MetricsMode::Streaming(StreamingConfig::new(HistogramSpec::default()));
+
+    let serial = ClusterEngine::homogeneous(spec.clone(), replicas, router);
+    let parallel =
+        ClusterEngine::homogeneous(spec.clone(), replicas, router).with_parallel_advance(true);
+    let fleet_exact = serial.run(requests.clone()) == parallel.run(requests.clone());
+    let fleet_streaming = serial.run_with_mode(requests.clone(), &streaming_mode)
+        == parallel.run_with_mode(requests.clone(), &streaming_mode);
+
+    let policy = AutoscalerPolicy::new(1, replicas as u32)
+        .with_evaluation_interval(0.5)
+        .with_scale_out_queue_depth(8.0)
+        .with_scale_in_outstanding(2.0)
+        .with_cooldown(2.0);
+    let serial = AutoscaleEngine::new(spec.clone(), router, policy);
+    let parallel = AutoscaleEngine::new(spec.clone(), router, policy).with_parallel_advance(true);
+    let autoscale_exact = serial.run(requests.clone()) == parallel.run(requests.clone());
+    let autoscale_streaming = serial.run_with_mode(requests.clone(), &streaming_mode)
+        == parallel.run_with_mode(requests, &streaming_mode);
+
+    EqualityFlags {
+        fleet_exact,
+        fleet_streaming,
+        autoscale_exact,
+        autoscale_streaming,
+    }
+}
+
+extern "C" {
+    fn mallopt(param: i32, value: i32) -> i32;
+}
+
+/// glibc mallopt parameter: maximum number of mmap'd allocations.
+const M_MMAP_MAX: i32 = -4;
+/// glibc mallopt parameter: heap trim threshold.
+const M_TRIM_THRESHOLD: i32 = -1;
+
+fn bench_scale_json(_c: &mut Criterion) {
+    // Keep freed memory inside the process: no mmap for large blocks (their
+    // pages would be returned to the OS on free and re-faulted by the next
+    // tier) and no heap trimming. The warmup pass in `run_tier` then really
+    // warms — on hosts with lazily materialized memory, re-faulting pages
+    // costs microseconds each and would drown the event-loop measurement.
+    unsafe {
+        mallopt(M_MMAP_MAX, 0);
+        mallopt(M_TRIM_THRESHOLD, i32::MAX);
+    }
+    let quick = rago_bench::quick_mode();
+    let spec = stress_spec();
+
+    // Tier plan: (requests, run baseline, run exact). The 10M tier is
+    // streaming-only — its exact twin would retain tens of millions of
+    // timeline allocations without adding information the 1M tier lacks.
+    let plan: &[(u64, bool, bool)] = if quick {
+        &[(100_000, true, true)]
+    } else {
+        &[
+            (100_000, true, true),
+            (1_000_000, true, true),
+            (10_000_000, false, false),
+        ]
+    };
+    let tiers: Vec<TierResult> = plan
+        .iter()
+        .map(|&(n, with_baseline, with_exact)| {
+            let tier = run_tier(&spec, n, with_baseline, with_exact);
+            println!(
+                "tier {n}: {} events, streaming {:.2}M ev/s",
+                tier.events,
+                tier.streaming.events_per_s / 1e6
+            );
+            tier
+        })
+        .collect();
+
+    let equality = check_serial_parallel_equality(&spec);
+    assert!(equality.fleet_exact, "parallel fleet advance diverged");
+    assert!(
+        equality.fleet_streaming,
+        "parallel streaming fleet advance diverged"
+    );
+    assert!(
+        equality.autoscale_exact,
+        "parallel autoscale advance diverged"
+    );
+    assert!(
+        equality.autoscale_streaming,
+        "parallel streaming autoscale advance diverged"
+    );
+
+    // Acceptance 1 (full mode): streaming events/sec at the 1M tier beats
+    // the vendored baseline by at least 5x.
+    const SPEEDUP_TARGET: f64 = 5.0;
+    let speedup_at_1m = tiers
+        .iter()
+        .find(|t| t.requests == 1_000_000)
+        .and_then(|t| {
+            t.baseline
+                .as_ref()
+                .map(|b| t.streaming.events_per_s / b.events_per_s)
+        });
+    if let Some(speedup) = speedup_at_1m {
+        assert!(
+            speedup >= SPEEDUP_TARGET,
+            "streaming engine reached only {speedup:.2}x the baseline at 1M requests \
+             (target {SPEEDUP_TARGET}x)"
+        );
+    }
+
+    // Acceptance 2: streaming retained memory is sub-linear in the tier
+    // size — the histogram state must not grow with the request count.
+    let first = tiers.first().expect("at least one tier");
+    let last = tiers.last().expect("at least one tier");
+    let retained_growth =
+        last.streaming.retained_bytes as f64 / first.streaming.retained_bytes.max(1) as f64;
+    let request_growth = last.requests as f64 / first.requests as f64;
+    assert!(
+        retained_growth <= request_growth.sqrt().max(2.0),
+        "streaming retained bytes grew {retained_growth:.1}x over a {request_growth:.0}x \
+         request increase — not sub-linear"
+    );
+
+    let json = render_json(
+        quick,
+        &tiers,
+        &equality,
+        speedup_at_1m,
+        SPEEDUP_TARGET,
+        retained_growth,
+    );
+    assert!(
+        !json.to_ascii_lowercase().contains("nan") && !json.contains("inf"),
+        "refusing to write non-finite scale metrics"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scale.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}
+
+fn fmt_opt_bool(v: Option<bool>) -> String {
+    v.map_or_else(|| "null".into(), |b| b.to_string())
+}
+
+fn fmt_engine(f: Option<&EngineFigures>) -> String {
+    f.map_or_else(
+        || "null".into(),
+        |f| {
+            format!(
+                "{{\"wall_s\": {:.4}, \"events_per_s\": {:.0}, \"retained_bytes\": {}}}",
+                f.wall_s, f.events_per_s, f.retained_bytes
+            )
+        },
+    )
+}
+
+fn render_json(
+    quick: bool,
+    tiers: &[TierResult],
+    equality: &EqualityFlags,
+    speedup_at_1m: Option<f64>,
+    speedup_target: f64,
+    retained_growth: f64,
+) -> String {
+    let tiers_json = tiers
+        .iter()
+        .map(|t| {
+            let speedup = t
+                .baseline
+                .as_ref()
+                .map(|b| t.streaming.events_per_s / b.events_per_s);
+            format!(
+                "    {{\"requests\": {}, \"events\": {},\n      \"baseline\": {},\n      \
+                 \"exact\": {},\n      \"streaming\": {},\n      \
+                 \"speedup_streaming_vs_baseline\": {},\n      \
+                 \"baseline_matches_exact\": {},\n      \
+                 \"percentile_delta_within_bucket\": {}}}",
+                t.requests,
+                t.events,
+                fmt_engine(t.baseline.as_ref()),
+                fmt_engine(t.exact.as_ref()),
+                fmt_engine(Some(&t.streaming)),
+                speedup.map_or_else(|| "null".into(), |s| format!("{s:.2}")),
+                fmt_opt_bool(t.baseline_matches_exact),
+                fmt_opt_bool(t.percentile_delta_within_bucket),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"scale_stress/des\",\n  \"quick\": {quick},\n  \
+         \"rate_rps\": {RATE_RPS:.0},\n  \
+         \"histogram_bucket_width_s\": {},\n  \"tiers\": [\n{tiers_json}\n  ],\n  \
+         \"serial_parallel_equality\": {{\"fleet_exact\": {}, \"fleet_streaming\": {}, \
+         \"autoscale_exact\": {}, \"autoscale_streaming\": {}}},\n  \
+         \"acceptance\": {{\"speedup_streaming_vs_baseline_1m\": {}, \
+         \"speedup_target\": {speedup_target:.1}, \"meets_speedup\": {}, \
+         \"streaming_retained_growth\": {retained_growth:.2}, \
+         \"sublinear_retained_growth\": true}}\n}}\n",
+        HistogramSpec::default().bucket_width_s,
+        equality.fleet_exact,
+        equality.fleet_streaming,
+        equality.autoscale_exact,
+        equality.autoscale_streaming,
+        speedup_at_1m.map_or_else(|| "null".into(), |s| format!("{s:.2}")),
+        speedup_at_1m.map_or_else(|| "null".into(), |s| (s >= speedup_target).to_string()),
+    )
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scale_json
+}
+criterion_main!(benches);

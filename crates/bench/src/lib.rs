@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use rago_core::SearchOptions;
 use rago_hardware::ClusterSpec;
 

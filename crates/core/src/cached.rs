@@ -34,8 +34,8 @@ use crate::capacity::{
     CapacityPlan,
 };
 use crate::dynamic::{
-    pipeline_spec_cached, rank_frontier_with, reject_empty_trace, score_fleet, score_single,
-    DynamicEvaluation, FleetEvaluation,
+    check_mode_slo, pipeline_spec_cached, rank_frontier_with, reject_empty_trace, score_fleet,
+    score_single, DynamicEvaluation, FleetEvaluation,
 };
 use crate::error::RagoError;
 use crate::pareto::{ParetoFrontier, ParetoPoint};
@@ -45,6 +45,7 @@ pub use rago_cache::CacheConfig;
 use rago_schema::{FleetConfig, SloTarget};
 use rago_serving_sim::cluster::ClusterEngine;
 use rago_serving_sim::engine::ServingEngine;
+use rago_serving_sim::MetricsMode;
 use rago_workloads::{ContentSpec, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -66,11 +67,33 @@ pub fn evaluate_schedule_cached(
     slo: &SloTarget,
     cache: &CacheConfig,
 ) -> Result<DynamicEvaluation, RagoError> {
+    evaluate_schedule_cached_with(profiler, schedule, trace, slo, cache, &MetricsMode::Exact)
+}
+
+/// [`evaluate_schedule_cached`] with an explicit metrics mode (see
+/// [`crate::dynamic::evaluate_schedule_dynamic_with`] for the mode
+/// semantics). Cache hit/miss counters are exact in both modes — the cache
+/// simulators run inside the engine regardless of how latency samples are
+/// aggregated.
+///
+/// # Errors
+///
+/// As [`evaluate_schedule_cached`], plus [`RagoError::InvalidConfig`] when
+/// a streaming mode's configured SLO differs from `slo`.
+pub fn evaluate_schedule_cached_with(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    trace: &Trace,
+    slo: &SloTarget,
+    cache: &CacheConfig,
+    mode: &MetricsMode,
+) -> Result<DynamicEvaluation, RagoError> {
     schedule.validate()?;
     reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
     let spec = pipeline_spec_cached(profiler, schedule, Some(cache))?;
     Ok(score_single(
-        ServingEngine::from_trace(spec, trace).run(),
+        ServingEngine::from_trace(spec, trace).run_with_mode(mode),
         slo,
     ))
 }
@@ -94,14 +117,43 @@ pub fn evaluate_fleet_cached(
     slo: &SloTarget,
     cache: &CacheConfig,
 ) -> Result<FleetEvaluation, RagoError> {
+    evaluate_fleet_cached_with(
+        profiler,
+        schedule,
+        fleet,
+        trace,
+        slo,
+        cache,
+        &MetricsMode::Exact,
+    )
+}
+
+/// [`evaluate_fleet_cached`] with an explicit metrics mode (see
+/// [`crate::dynamic::evaluate_schedule_dynamic_with`] for the mode
+/// semantics).
+///
+/// # Errors
+///
+/// As [`evaluate_fleet_cached`], plus [`RagoError::InvalidConfig`] when a
+/// streaming mode's configured SLO differs from `slo`.
+pub fn evaluate_fleet_cached_with(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+    cache: &CacheConfig,
+    mode: &MetricsMode,
+) -> Result<FleetEvaluation, RagoError> {
     schedule.validate()?;
     fleet.validate().map_err(|e| RagoError::InvalidConfig {
         reason: e.to_string(),
     })?;
     reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
     let spec = pipeline_spec_cached(profiler, schedule, Some(cache))?;
     let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, fleet.router);
-    Ok(score_fleet(engine.run_trace(trace), slo))
+    Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
 }
 
 /// Ranks the points of a Pareto frontier by SLO goodput under a

@@ -23,6 +23,7 @@ use rago_serving_sim::cluster::{ClusterEngine, FleetReport};
 use rago_serving_sim::engine::{
     DecodeSpec, IterativeSpec, LatencyTable, PipelineSpec, ServingEngine, ServingReport,
 };
+use rago_serving_sim::MetricsMode;
 use rago_workloads::Trace;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -73,19 +74,75 @@ pub fn evaluate_schedule_dynamic(
     trace: &Trace,
     slo: &SloTarget,
 ) -> Result<DynamicEvaluation, RagoError> {
+    evaluate_schedule_dynamic_with(profiler, schedule, trace, slo, &MetricsMode::Exact)
+}
+
+/// [`evaluate_schedule_dynamic`] with an explicit metrics mode: `Exact`
+/// reproduces the default evaluation bit-for-bit (timelines and all), while
+/// `Streaming` keeps only `O(histogram buckets)` state per run — the mode
+/// the million-request `scale_stress` bench drives. A streaming mode must
+/// name `slo` in its [`rago_serving_sim::StreamingConfig`], because SLO
+/// attainment is counted online during the run.
+///
+/// # Errors
+///
+/// As [`evaluate_schedule_dynamic`], plus [`RagoError::InvalidConfig`] when
+/// a streaming mode's configured SLO differs from `slo`.
+pub fn evaluate_schedule_dynamic_with(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    trace: &Trace,
+    slo: &SloTarget,
+    mode: &MetricsMode,
+) -> Result<DynamicEvaluation, RagoError> {
     schedule.validate()?;
     reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
     let spec = pipeline_spec(profiler, schedule)?;
     Ok(score_single(
-        ServingEngine::from_trace(spec, trace).run(),
+        ServingEngine::from_trace(spec, trace).run_with_mode(mode),
         slo,
     ))
+}
+
+/// Rejects a streaming mode whose configured run-level SLO differs from the
+/// SLO the evaluation scores against. The histogram sink counts attainment
+/// *during* the run; querying a different SLO afterwards is unanswerable
+/// (and the report accessors would panic), so the mismatch is surfaced as a
+/// configuration error up front. Shared with [`crate::cached`].
+pub(crate) fn check_mode_slo(mode: &MetricsMode, slo: &SloTarget) -> Result<(), RagoError> {
+    if let MetricsMode::Streaming(config) = mode {
+        if config.slo.as_ref() != Some(slo) {
+            return Err(RagoError::InvalidConfig {
+                reason: format!(
+                    "streaming evaluation scores against {slo:?}, but the streaming \
+                     configuration names {:?}; set StreamingConfig::with_slo to the \
+                     scored SLO before the run",
+                    config.slo
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Scores a finished single-engine run against `slo`. Shared with the
 /// cache-aware evaluation in [`crate::cached`], so cached and cache-less
 /// paths score by one definition.
 pub(crate) fn score_single(report: ServingReport, slo: &SloTarget) -> DynamicEvaluation {
+    if report.streamed.is_some() {
+        // A streaming run kept no timelines; the report answers from the
+        // SLO counts the sink accumulated online.
+        let attainment = report.attainment(slo);
+        let goodput_rps = report.goodput_rps(slo);
+        let meets_slo = attainment >= slo.attainment;
+        return DynamicEvaluation {
+            report,
+            attainment,
+            goodput_rps,
+            meets_slo,
+        };
+    }
     // One pass over the timelines covers all three SLO figures.
     let met = report
         .timelines
@@ -153,14 +210,33 @@ pub fn evaluate_fleet_dynamic(
     trace: &Trace,
     slo: &SloTarget,
 ) -> Result<FleetEvaluation, RagoError> {
+    evaluate_fleet_dynamic_with(profiler, schedule, fleet, trace, slo, &MetricsMode::Exact)
+}
+
+/// [`evaluate_fleet_dynamic`] with an explicit metrics mode (see
+/// [`evaluate_schedule_dynamic_with`] for the mode semantics).
+///
+/// # Errors
+///
+/// As [`evaluate_fleet_dynamic`], plus [`RagoError::InvalidConfig`] when a
+/// streaming mode's configured SLO differs from `slo`.
+pub fn evaluate_fleet_dynamic_with(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+    mode: &MetricsMode,
+) -> Result<FleetEvaluation, RagoError> {
     schedule.validate()?;
     fleet.validate().map_err(|e| RagoError::InvalidConfig {
         reason: e.to_string(),
     })?;
     reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
     let spec = pipeline_spec(profiler, schedule)?;
     let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, fleet.router);
-    Ok(score_fleet(engine.run_trace(trace), slo))
+    Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
 }
 
 /// A heterogeneous fleet: one (possibly different) schedule per replica —
@@ -178,19 +254,46 @@ pub fn evaluate_heterogeneous_fleet_dynamic(
     trace: &Trace,
     slo: &SloTarget,
 ) -> Result<FleetEvaluation, RagoError> {
+    evaluate_heterogeneous_fleet_dynamic_with(
+        profiler,
+        schedules,
+        router,
+        trace,
+        slo,
+        &MetricsMode::Exact,
+    )
+}
+
+/// [`evaluate_heterogeneous_fleet_dynamic`] with an explicit metrics mode
+/// (see [`evaluate_schedule_dynamic_with`] for the mode semantics).
+///
+/// # Errors
+///
+/// As [`evaluate_heterogeneous_fleet_dynamic`], plus
+/// [`RagoError::InvalidConfig`] when a streaming mode's configured SLO
+/// differs from `slo`.
+pub fn evaluate_heterogeneous_fleet_dynamic_with(
+    profiler: &StageProfiler,
+    schedules: &[Schedule],
+    router: RouterPolicy,
+    trace: &Trace,
+    slo: &SloTarget,
+    mode: &MetricsMode,
+) -> Result<FleetEvaluation, RagoError> {
     if schedules.is_empty() {
         return Err(RagoError::InvalidConfig {
             reason: "a heterogeneous fleet needs at least one schedule".into(),
         });
     }
     reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
     let mut specs = Vec::with_capacity(schedules.len());
     for schedule in schedules {
         schedule.validate()?;
         specs.push(pipeline_spec(profiler, schedule)?);
     }
     let engine = ClusterEngine::heterogeneous(specs, router);
-    Ok(score_fleet(engine.run_trace(trace), slo))
+    Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
 }
 
 /// Scores a finished fleet run against `slo`. Shared with
@@ -773,5 +876,99 @@ mod tests {
         for pair in ranked.windows(2) {
             assert!(pair[0].1.goodput_rps >= pair[1].1.goodput_rps);
         }
+    }
+
+    /// SLO counting is exact in streaming mode (only latency *percentiles*
+    /// are histogram-approximated), so the streaming evaluation's scores
+    /// must equal the exact evaluation's bit for bit — with no timelines
+    /// retained.
+    #[test]
+    fn streaming_evaluation_scores_match_exact() {
+        use rago_schema::HistogramSpec;
+        use rago_serving_sim::StreamingConfig;
+
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(2.0, 0.1);
+        let trace = TraceSpec {
+            num_requests: 80,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: 30.0 },
+            length_jitter: 0.2,
+            seed: 11,
+        }
+        .generate();
+        let exact = evaluate_schedule_dynamic(&profiler, &schedule, &trace, &slo).unwrap();
+        let mode =
+            MetricsMode::Streaming(StreamingConfig::new(HistogramSpec::default()).with_slo(slo));
+        let streamed =
+            evaluate_schedule_dynamic_with(&profiler, &schedule, &trace, &slo, &mode).unwrap();
+
+        assert_eq!(streamed.attainment, exact.attainment);
+        assert_eq!(streamed.goodput_rps, exact.goodput_rps);
+        assert_eq!(streamed.meets_slo, exact.meets_slo);
+        assert!(streamed.report.timelines.is_empty());
+        assert_eq!(streamed.report.metrics.requests, 80);
+        // Percentile estimates land within one bucket width of the exact
+        // order statistics.
+        let w = HistogramSpec::default().bucket_width_s;
+        for (est, true_v) in [
+            (
+                streamed.report.metrics.ttft.p99_s,
+                exact.report.metrics.ttft.p99_s,
+            ),
+            (
+                streamed.report.metrics.latency.p50_s,
+                exact.report.metrics.latency.p50_s,
+            ),
+        ] {
+            assert!(
+                (est - true_v).abs() <= w * (1.0 + 1e-9),
+                "estimate {est} strayed beyond one bucket width from {true_v}"
+            );
+        }
+        // The streaming report retains orders of magnitude less memory than
+        // the per-request timelines.
+        assert!(streamed.report.retained_bytes() < exact.report.retained_bytes());
+
+        // The fleet evaluator agrees through the same sink plumbing.
+        let fleet = FleetConfig::new(2, RouterPolicy::LeastOutstanding);
+        let exact_fleet =
+            evaluate_fleet_dynamic(&profiler, &schedule, &fleet, &trace, &slo).unwrap();
+        let streamed_fleet =
+            evaluate_fleet_dynamic_with(&profiler, &schedule, &fleet, &trace, &slo, &mode).unwrap();
+        assert_eq!(streamed_fleet.attainment, exact_fleet.attainment);
+        assert_eq!(streamed_fleet.goodput_rps, exact_fleet.goodput_rps);
+        assert!(streamed_fleet.report.merged.timelines.is_empty());
+    }
+
+    /// A streaming mode that does not name the scored SLO is rejected with
+    /// a configuration error, not a mid-run panic.
+    #[test]
+    fn streaming_mode_must_name_the_scored_slo() {
+        use rago_schema::HistogramSpec;
+        use rago_serving_sim::StreamingConfig;
+
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let trace = TraceSpec {
+            num_requests: 5,
+            profile: SequenceProfile::paper_default(),
+            arrival: ArrivalProcess::Instantaneous,
+            length_jitter: 0.0,
+            seed: 0,
+        }
+        .generate();
+        let unconfigured = MetricsMode::Streaming(StreamingConfig::new(HistogramSpec::default()));
+        assert!(matches!(
+            evaluate_schedule_dynamic_with(
+                &profiler,
+                &schedule,
+                &trace,
+                &SloTarget::paper_default(),
+                &unconfigured
+            ),
+            Err(RagoError::InvalidConfig { .. })
+        ));
     }
 }

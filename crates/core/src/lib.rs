@@ -50,16 +50,18 @@ pub mod timevarying;
 pub use baseline::BaselineSystem;
 pub use breakdown::{stage_breakdown, StageShare};
 pub use cached::{
-    evaluate_fleet_cached, evaluate_schedule_cached, plan_capacity_cached,
-    rank_frontier_by_goodput_cached, CacheConfig, CachedCapacityPlan,
+    evaluate_fleet_cached, evaluate_fleet_cached_with, evaluate_schedule_cached,
+    evaluate_schedule_cached_with, plan_capacity_cached, rank_frontier_by_goodput_cached,
+    CacheConfig, CachedCapacityPlan,
 };
 pub use capacity::{
     plan_capacity, plan_capacity_profile, plan_capacity_with, rank_frontier_by_cost_at_qps,
     CapacityInterval, CapacityOptions, CapacityPlan, CapacityProfile,
 };
 pub use dynamic::{
-    evaluate_fleet_dynamic, evaluate_heterogeneous_fleet_dynamic, evaluate_schedule_dynamic,
-    rank_frontier_by_goodput, DynamicEvaluation, FleetEvaluation,
+    evaluate_fleet_dynamic, evaluate_fleet_dynamic_with, evaluate_heterogeneous_fleet_dynamic,
+    evaluate_heterogeneous_fleet_dynamic_with, evaluate_schedule_dynamic,
+    evaluate_schedule_dynamic_with, rank_frontier_by_goodput, DynamicEvaluation, FleetEvaluation,
 };
 pub use error::RagoError;
 pub use metrics::RagPerformance;
@@ -67,7 +69,9 @@ pub use optimizer::{Rago, ScheduleIter, SearchOptions};
 pub use pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};
 pub use placement::PlacementPlan;
 pub use profiler::{StagePerf, StageProfiler};
+pub use rago_serving_sim::{MetricsMode, StreamingConfig};
 pub use schedule::{BatchingPolicy, ResourceAllocation, Schedule};
 pub use timevarying::{
-    evaluate_fleet_timevarying, ClassOutcome, ScalingSummary, TimeVaryingEvaluation,
+    evaluate_fleet_timevarying, evaluate_fleet_timevarying_with, ClassOutcome, ScalingSummary,
+    TimeVaryingEvaluation,
 };

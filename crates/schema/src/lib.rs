@@ -26,6 +26,7 @@
 
 pub mod error;
 pub mod fleet;
+pub mod metrics;
 pub mod model;
 pub mod presets;
 pub mod retrieval;
@@ -36,6 +37,7 @@ pub mod stage;
 
 pub use error::SchemaError;
 pub use fleet::{FleetConfig, RouterPolicy};
+pub use metrics::HistogramSpec;
 pub use model::{LlmArchitecture, ModelConfig, Quantization};
 pub use presets::LlmSize;
 pub use retrieval::{RetrievalConfig, SearchMode};

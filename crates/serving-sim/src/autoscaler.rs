@@ -63,8 +63,12 @@
 //! assert!(report.replica_seconds > 0.0);
 //! ```
 
-use crate::cluster::{merge_finished_replicas, route_pick, FleetReport};
+use crate::cluster::{
+    advance_all, merge_finished_replicas, merge_finished_replicas_streaming, route_pick,
+    FleetReport,
+};
 use crate::engine::{EngineRequest, PipelineSpec, ReplicaSim};
+use crate::sink::MetricsMode;
 use rago_schema::{RouterPolicy, SloTarget};
 use rago_workloads::Trace;
 use serde::{Deserialize, Serialize};
@@ -311,6 +315,7 @@ pub struct AutoscaleEngine {
     spec: PipelineSpec,
     router: RouterPolicy,
     policy: AutoscalerPolicy,
+    parallel_advance: bool,
 }
 
 impl AutoscaleEngine {
@@ -327,7 +332,19 @@ impl AutoscaleEngine {
             spec,
             router,
             policy,
+            parallel_advance: false,
         }
+    }
+
+    /// Advances replicas in parallel between routing points and policy
+    /// ticks (off by default) — same determinism argument as
+    /// [`crate::cluster::ClusterEngine::with_parallel_advance`]: replicas
+    /// are independent between clock points, so the report is bit-identical
+    /// to the serial run.
+    #[must_use]
+    pub fn with_parallel_advance(mut self, parallel: bool) -> Self {
+        self.parallel_advance = parallel;
+        self
     }
 
     /// The policy driving the fleet size.
@@ -335,9 +352,27 @@ impl AutoscaleEngine {
         &self.policy
     }
 
+    /// A fresh replica simulation for one slot. Completion logging is
+    /// enabled only when the policy actually has an attainment trigger —
+    /// it is the log's only consumer, and an untracked run should not
+    /// retain per-request completion tuples.
+    fn new_sim(&self) -> ReplicaSim {
+        let mut sim = ReplicaSim::new(self.spec.clone());
+        sim.track_completions = self.policy.attainment_trigger.is_some();
+        sim
+    }
+
     /// Routes every request of a generated trace through the elastic fleet.
     pub fn run_trace(&self, trace: &Trace) -> AutoscaleReport {
         self.run(trace.requests.iter().map(EngineRequest::from).collect())
+    }
+
+    /// [`Self::run_trace`] with an explicit metrics pipeline.
+    pub fn run_trace_with_mode(&self, trace: &Trace, mode: &MetricsMode) -> AutoscaleReport {
+        self.run_with_mode(
+            trace.requests.iter().map(EngineRequest::from).collect(),
+            mode,
+        )
     }
 
     /// Runs the elastic fleet over `requests` (sorted by arrival time
@@ -359,12 +394,26 @@ impl AutoscaleEngine {
     ///
     /// Panics if any arrival time is negative or non-finite, or any request
     /// generates zero tokens.
-    pub fn run(&self, mut requests: Vec<EngineRequest>) -> AutoscaleReport {
-        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+    pub fn run(&self, requests: Vec<EngineRequest>) -> AutoscaleReport {
+        self.run_with_mode(requests, &MetricsMode::Exact)
+    }
+
+    /// [`Self::run`] with an explicit metrics pipeline. Streaming mode
+    /// keeps `O(buckets)` metric state per replica: the fleet report holds
+    /// no timelines and no per-request assignment log (the scaling history
+    /// and lifetimes are retained either way — they are `O(scale events +
+    /// replicas)`).
+    pub fn run_with_mode(
+        &self,
+        mut requests: Vec<EngineRequest>,
+        mode: &MetricsMode,
+    ) -> AutoscaleReport {
+        crate::engine::sort_by_arrival(&mut requests);
+        let log_assignments = matches!(mode, MetricsMode::Exact);
         let policy = &self.policy;
         let mut slots: Vec<Slot> = (0..policy.min_replicas)
             .map(|_| Slot {
-                sim: ReplicaSim::new(self.spec.clone()),
+                sim: self.new_sim(),
                 provisioned_s: 0.0,
                 routable_s: 0.0,
                 decommissioned_s: None,
@@ -373,7 +422,11 @@ impl AutoscaleEngine {
             })
             .collect();
         let mut events: Vec<ScalingEvent> = Vec::new();
-        let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
+        let mut assignments: Vec<(u64, usize)> = if log_assignments {
+            Vec::with_capacity(requests.len())
+        } else {
+            Vec::new()
+        };
         let mut round_robin_next = 0usize;
         let mut last_action_s = f64::NEG_INFINITY;
         let mut peak_provisioned = policy.min_replicas;
@@ -392,9 +445,7 @@ impl AutoscaleEngine {
             if tick_due {
                 let now = next_tick;
                 next_tick += interval;
-                for slot in &mut slots {
-                    slot.sim.advance_before(now);
-                }
+                advance_all(&mut slots, |s| &mut s.sim, now, self.parallel_advance);
                 self.evaluate_policy(
                     now,
                     &mut slots,
@@ -406,9 +457,12 @@ impl AutoscaleEngine {
             } else {
                 let req = requests[next_req];
                 next_req += 1;
-                for slot in &mut slots {
-                    slot.sim.advance_before(req.arrival_s);
-                }
+                advance_all(
+                    &mut slots,
+                    |s| &mut s.sim,
+                    req.arrival_s,
+                    self.parallel_advance,
+                );
                 let routable: Vec<usize> = slots
                     .iter()
                     .enumerate()
@@ -431,7 +485,9 @@ impl AutoscaleEngine {
                     &req,
                 );
                 let replica = routable[pick];
-                assignments.push((req.id, replica));
+                if log_assignments {
+                    assignments.push((req.id, replica));
+                }
                 slots[replica].assigned += 1;
                 slots[replica].sim.inject(req);
             }
@@ -444,7 +500,14 @@ impl AutoscaleEngine {
             .map(|s| (s.provisioned_s, s.routable_s, s.decommissioned_s))
             .collect();
         let sims: Vec<ReplicaSim> = slots.into_iter().map(|s| s.sim).collect();
-        let fleet = merge_finished_replicas(sims, assigned_counts, assignments, self.router);
+        let fleet = match mode {
+            MetricsMode::Exact => {
+                merge_finished_replicas(sims, assigned_counts, assignments, self.router)
+            }
+            MetricsMode::Streaming(config) => {
+                merge_finished_replicas_streaming(sims, assigned_counts, self.router, config)
+            }
+        };
 
         // Cost accounting: a never-decommissioned replica is paid until the
         // end of the run; a decommissioned one until its drain finishes.
@@ -455,11 +518,10 @@ impl AutoscaleEngine {
             lifetimes_partial.drain(..).enumerate()
         {
             let report = &fleet.per_replica[replica].report;
-            let last_completion = report
-                .timelines
-                .iter()
-                .map(|t| t.completion_s)
-                .fold(provisioned_s, f64::max);
+            // The replica's last completion is its makespan (both metric
+            // pipelines track it); an idle replica's is its provisioning
+            // instant.
+            let last_completion = report.metrics.makespan_s.max(provisioned_s);
             let retired_s = match decommissioned_s {
                 Some(d) => d.max(last_completion),
                 None => makespan.max(provisioned_s),
@@ -548,7 +610,7 @@ impl AutoscaleEngine {
         if (queue_trigger || attainment_trigger) && provisioned < policy.max_replicas {
             let replica = slots.len();
             slots.push(Slot {
-                sim: ReplicaSim::new(self.spec.clone()),
+                sim: self.new_sim(),
                 provisioned_s: now,
                 routable_s: now + policy.warmup_s,
                 decommissioned_s: None,

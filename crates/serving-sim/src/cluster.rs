@@ -48,10 +48,13 @@
 //! ```
 
 use crate::engine::{
-    build_report, EngineRequest, PipelineSpec, ReplicaSim, ServingReport, SimAccumulators,
+    build_report, EngineRequest, PipelineSpec, ReplicaSim, RequestTimeline, ServingReport,
+    SimAccumulators,
 };
+use crate::sink::{HistogramSink, MetricsMode, StreamingConfig};
 use rago_schema::{RouterPolicy, SloTarget};
 use rago_workloads::Trace;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One replica's slice of a fleet run.
@@ -159,6 +162,7 @@ impl FleetReport {
 pub struct ClusterEngine {
     replicas: Vec<PipelineSpec>,
     router: RouterPolicy,
+    parallel_advance: bool,
 }
 
 impl ClusterEngine {
@@ -172,6 +176,7 @@ impl ClusterEngine {
         Self {
             replicas: vec![spec; replicas],
             router,
+            parallel_advance: false,
         }
     }
 
@@ -183,7 +188,24 @@ impl ClusterEngine {
     /// Panics if `replicas` is empty.
     pub fn heterogeneous(replicas: Vec<PipelineSpec>, router: RouterPolicy) -> Self {
         assert!(!replicas.is_empty(), "a fleet needs at least one replica");
-        Self { replicas, router }
+        Self {
+            replicas,
+            router,
+            parallel_advance: false,
+        }
+    }
+
+    /// Advances replicas in parallel between routing points (off by
+    /// default). Each replica simulation is independent between arrivals,
+    /// so the per-replica state after a parallel advance is identical to a
+    /// serial advance regardless of thread interleaving — routing still
+    /// inspects the replicas serially, and the resulting [`FleetReport`] is
+    /// bit-identical to the serial run (the `scale_stress` bench asserts
+    /// this on every run).
+    #[must_use]
+    pub fn with_parallel_advance(mut self, parallel: bool) -> Self {
+        self.parallel_advance = parallel;
+        self
     }
 
     /// Number of replicas in the fleet.
@@ -201,6 +223,14 @@ impl ClusterEngine {
         self.run(trace.requests.iter().map(EngineRequest::from).collect())
     }
 
+    /// [`Self::run_trace`] with an explicit metrics pipeline.
+    pub fn run_trace_with_mode(&self, trace: &Trace, mode: &MetricsMode) -> FleetReport {
+        self.run_with_mode(
+            trace.requests.iter().map(EngineRequest::from).collect(),
+            mode,
+        )
+    }
+
     /// Runs the fleet over `requests` (sorted by arrival time internally)
     /// and returns the merged report.
     ///
@@ -214,8 +244,36 @@ impl ClusterEngine {
     ///
     /// Panics if any arrival time is negative or non-finite, or any request
     /// generates zero tokens.
-    pub fn run(&self, mut requests: Vec<EngineRequest>) -> FleetReport {
-        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+    pub fn run(&self, requests: Vec<EngineRequest>) -> FleetReport {
+        let (sims, assigned_counts, assignments) = self.route_all(requests);
+        merge_finished_replicas(sims, assigned_counts, assignments, self.router)
+    }
+
+    /// [`Self::run`] with an explicit metrics pipeline.
+    ///
+    /// In streaming mode the fleet report holds no timelines and no
+    /// per-request assignment log — per-replica and merged metrics come
+    /// from histogram sinks merged in replica-index order (deterministic,
+    /// but the merged floating-point sums may differ in the last bits from
+    /// the exact path's arrival-order accumulation).
+    pub fn run_with_mode(&self, requests: Vec<EngineRequest>, mode: &MetricsMode) -> FleetReport {
+        match mode {
+            MetricsMode::Exact => self.run(requests),
+            MetricsMode::Streaming(config) => {
+                let (sims, assigned_counts, _) = self.route_all(requests);
+                merge_finished_replicas_streaming(sims, assigned_counts, self.router, config)
+            }
+        }
+    }
+
+    /// The routing loop shared by every run mode: advances all replicas to
+    /// each arrival (serially, or in parallel when
+    /// [`Self::with_parallel_advance`] is set), routes, and injects.
+    fn route_all(
+        &self,
+        mut requests: Vec<EngineRequest>,
+    ) -> (Vec<ReplicaSim>, Vec<usize>, Vec<(u64, usize)>) {
+        crate::engine::sort_by_arrival(&mut requests);
         let mut sims: Vec<ReplicaSim> = self
             .replicas
             .iter()
@@ -225,9 +283,7 @@ impl ClusterEngine {
         let mut assigned_counts = vec![0usize; sims.len()];
         let mut round_robin_next = 0usize;
         for req in &requests {
-            for sim in &mut sims {
-                sim.advance_before(req.arrival_s);
-            }
+            advance_all(&mut sims, |s| s, req.arrival_s, self.parallel_advance);
             let replica = route_pick(
                 self.router,
                 sims.len(),
@@ -240,8 +296,35 @@ impl ClusterEngine {
             assigned_counts[replica] += 1;
             sims[replica].inject(*req);
         }
+        (sims, assigned_counts, assignments)
+    }
+}
 
-        merge_finished_replicas(sims, assigned_counts, assignments, self.router)
+/// Advances every replica to just before `arrival_s`. The replicas share no
+/// state between routing points, so the parallel form leaves each replica
+/// bit-identical to the serial loop — shared by the fixed fleet and the
+/// autoscaler (whose replicas live inside slot structs, hence the
+/// accessor).
+pub(crate) fn advance_all<T, F>(items: &mut [T], sim_of: F, arrival_s: f64, parallel: bool)
+where
+    T: Send,
+    F: for<'a> Fn(&'a mut T) -> &'a mut ReplicaSim + Sync,
+{
+    if parallel && items.len() > 1 {
+        items
+            .iter_mut()
+            .par_bridge()
+            .fold(
+                || (),
+                |(), item| {
+                    sim_of(item).advance_before(arrival_s);
+                },
+            )
+            .reduce(|| (), |(), ()| ());
+    } else {
+        for item in items.iter_mut() {
+            sim_of(item).advance_before(arrival_s);
+        }
     }
 }
 
@@ -255,12 +338,16 @@ pub(crate) fn merge_finished_replicas(
     assignments: Vec<(u64, usize)>,
     router: RouterPolicy,
 ) -> FleetReport {
-    let mut per_replica = Vec::with_capacity(sims.len());
+    // The drain is the expensive leg (each replica runs its remaining
+    // events to completion with no further routing interaction), so it runs
+    // in parallel and the results are re-ordered by replica index before
+    // merging — every later step sees exactly the serial order, keeping the
+    // report bit-identical to a serial drain.
+    let drained = drain_replicas(sims);
+    let mut per_replica = Vec::with_capacity(drained.len());
     let mut merged_timelines = Vec::with_capacity(assignments.len());
     let mut merged_acc = SimAccumulators::default();
-    for (replica, mut sim) in sims.into_iter().enumerate() {
-        sim.run_to_completion();
-        let (timelines, acc) = sim.finish();
+    for (replica, timelines, acc) in drained {
         merged_timelines.extend(timelines.iter().cloned());
         merged_acc.merge_from(&acc);
         per_replica.push(ReplicaReport {
@@ -274,6 +361,86 @@ pub(crate) fn merge_finished_replicas(
         merged: build_report(merged_timelines, &merged_acc),
         per_replica,
         assignments,
+        imbalance: LoadImbalance::from_counts(assigned_counts),
+        router,
+    }
+}
+
+/// Runs every replica to completion and returns `(replica index, timelines,
+/// accumulators)` sorted by replica index — in parallel for a multi-replica
+/// fleet, serially otherwise.
+fn drain_replicas(sims: Vec<ReplicaSim>) -> Vec<(usize, Vec<RequestTimeline>, SimAccumulators)> {
+    let drain = |(replica, mut sim): (usize, ReplicaSim)| {
+        sim.run_to_completion();
+        let (timelines, acc) = sim.finish();
+        (replica, timelines, acc)
+    };
+    let mut drained: Vec<_> = if sims.len() > 1 {
+        sims.into_iter()
+            .enumerate()
+            .par_bridge()
+            .fold(Vec::new, |mut acc, item| {
+                acc.push(drain(item));
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    } else {
+        sims.into_iter().enumerate().map(drain).collect()
+    };
+    drained.sort_by_key(|(replica, ..)| *replica);
+    drained
+}
+
+/// The streaming counterpart of [`merge_finished_replicas`]: each replica
+/// drains into its own [`HistogramSink`], and the sinks merge in
+/// replica-index order into the fleet report. `O(buckets)` retained state
+/// per replica; no timelines, no assignment log.
+pub(crate) fn merge_finished_replicas_streaming(
+    sims: Vec<ReplicaSim>,
+    assigned_counts: Vec<usize>,
+    router: RouterPolicy,
+    config: &StreamingConfig,
+) -> FleetReport {
+    let drain = |(replica, mut sim): (usize, ReplicaSim)| {
+        sim.run_to_completion();
+        let mut sink = HistogramSink::new(config);
+        sim.drain_outcomes(&mut sink);
+        sink.acc = sim.into_accumulators();
+        (replica, sink)
+    };
+    let mut drained: Vec<(usize, HistogramSink)> = if sims.len() > 1 {
+        sims.into_iter()
+            .enumerate()
+            .par_bridge()
+            .fold(Vec::new, |mut acc, item| {
+                acc.push(drain(item));
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    } else {
+        sims.into_iter().enumerate().map(drain).collect()
+    };
+    drained.sort_by_key(|(replica, _)| *replica);
+    let mut merged = HistogramSink::new(config);
+    let mut per_replica = Vec::with_capacity(drained.len());
+    for (replica, sink) in drained {
+        merged.merge_from(&sink);
+        per_replica.push(ReplicaReport {
+            replica,
+            assigned: assigned_counts[replica],
+            report: sink.into_report(),
+        });
+    }
+    FleetReport {
+        merged: merged.into_report(),
+        per_replica,
+        assignments: Vec::new(),
         imbalance: LoadImbalance::from_counts(assigned_counts),
         router,
     }

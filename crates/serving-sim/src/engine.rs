@@ -65,6 +65,7 @@
 //! assert!(report.attainment(&slo) > 0.0);
 //! ```
 
+use crate::equeue::EventQueue;
 use crate::iterative::sample_positions;
 use rago_cache::{
     CacheConfig, CacheCounters, PrefixKvCache, PrefixLookup, RetrievalLookup, RetrievalResultCache,
@@ -74,8 +75,7 @@ use rago_workloads::{ContentIdentity, Request, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Tolerance used when comparing event timestamps, matching the resume
 /// tolerance of [`crate::iterative::IterativeDecodeSim`].
@@ -469,12 +469,34 @@ impl LatencyStats {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
+        Self::from_sorted(&sorted)
+    }
+
+    /// Computes the stats of an already ascending-sorted sample buffer
+    /// without copying it. The mean is summed over the *sorted* order —
+    /// the same order [`Self::from_samples`] has always summed in — so the
+    /// two constructors are bit-identical on equal sample sets.
+    ///
+    /// The engine sorts each sample buffer once in place at report time and
+    /// slices it here for p50/p95/p99, instead of cloning the buffer per
+    /// metric family.
+    pub fn from_sorted(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return Self {
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         Self {
             mean_s: mean,
-            p50_s: percentile(&sorted, 50.0),
-            p95_s: percentile(&sorted, 95.0),
-            p99_s: percentile(&sorted, 99.0),
+            p50_s: percentile(sorted, 50.0),
+            p95_s: percentile(sorted, 95.0),
+            p99_s: percentile(sorted, 99.0),
             max_s: *sorted.last().expect("non-empty"),
         }
     }
@@ -534,6 +556,12 @@ pub struct ServingMetrics {
     pub retrieval_batches: u32,
     /// Mean fill of dispatched iterative retrieval batches.
     pub mean_retrieval_batch_fill: f64,
+    /// Discrete events the simulation processed (arrivals, stage and step
+    /// completions, retrieval completions). Like the retrieval counters this
+    /// describes the shared pipeline: fleet reports sum it across replicas
+    /// and per-class rows repeat the run-level value. The `scale_stress`
+    /// bench divides it by wall-clock time for its events/sec figure.
+    pub events_processed: u64,
 }
 
 /// One workload class's slice of a run's metrics.
@@ -594,11 +622,40 @@ pub struct ServingReport {
     /// Cache hit/miss/eviction accounting (all-zero when the pipeline has
     /// no cache plan).
     pub cache: CacheUsage,
+    /// Online SLO scores when the run used the streaming metrics pipeline
+    /// ([`crate::sink::MetricsMode::Streaming`]); `None` for exact runs,
+    /// whose timelines answer any SLO query after the fact. When set,
+    /// [`Self::timelines`] is empty and the SLO accessors answer from
+    /// these counts instead.
+    pub streamed: Option<crate::sink::StreamedScores>,
 }
 
 impl ServingReport {
+    /// Builds the report of an exact (timeline-retaining) run — the
+    /// identity path, bit-identical to [`ServingEngine::run`].
+    pub fn from_exact_sink(sink: crate::sink::ExactSink) -> Self {
+        build_report(sink.timelines, &sink.acc)
+    }
+
+    /// Builds the `O(buckets)` report of a streaming run: no timelines,
+    /// histogram-derived percentiles, and online SLO scores.
+    pub fn from_histogram_sink(sink: crate::sink::HistogramSink) -> Self {
+        sink.into_report()
+    }
+
     /// Fraction of requests meeting both latency targets of `slo`.
+    ///
+    /// # Panics
+    ///
+    /// For a streaming report, panics unless `slo` is the SLO that was
+    /// configured in the run's [`crate::sink::StreamingConfig`].
     pub fn attainment(&self, slo: &SloTarget) -> f64 {
+        if let Some(streamed) = &self.streamed {
+            if self.metrics.requests == 0 {
+                return 1.0;
+            }
+            return streamed.run_met(slo) as f64 / self.metrics.requests as f64;
+        }
         if self.timelines.is_empty() {
             return 1.0;
         }
@@ -650,7 +707,24 @@ impl ServingReport {
     /// [`Self::class_goodput_rps`] — public so the multi-tenant scoring in
     /// `rago-core` shares this single definition of per-class SLO
     /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// For a streaming report, panics unless `slo` is the SLO the class was
+    /// counted against (its [`crate::sink::StreamingConfig`] override, else
+    /// the run-level SLO).
     pub fn class_slo_counts(&self, class: u32, slo: &SloTarget) -> (usize, usize) {
+        if let Some(streamed) = &self.streamed {
+            let total = self
+                .per_class
+                .iter()
+                .find(|c| c.class == class)
+                .map_or(0, |c| c.metrics.requests);
+            if total == 0 {
+                return (0, 0);
+            }
+            return (streamed.class_met(class, slo) as usize, total);
+        }
         let mut met = 0;
         let mut total = 0;
         for t in self.timelines.iter().filter(|t| t.class == class) {
@@ -665,21 +739,52 @@ impl ServingReport {
     /// SLO goodput: requests meeting the latency targets divided by the
     /// serving duration (first arrival to last completion), in requests per
     /// second.
+    ///
+    /// # Panics
+    ///
+    /// For a streaming report, panics unless `slo` is the SLO that was
+    /// configured in the run's [`crate::sink::StreamingConfig`].
     pub fn goodput_rps(&self, slo: &SloTarget) -> f64 {
         if self.metrics.serving_duration_s <= 0.0 {
             return 0.0;
         }
-        let met = self
-            .timelines
-            .iter()
-            .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
-            .count();
+        let met = if let Some(streamed) = &self.streamed {
+            streamed.run_met(slo) as usize
+        } else {
+            self.timelines
+                .iter()
+                .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
+                .count()
+        };
         met as f64 / self.metrics.serving_duration_s
     }
 
     /// Whether the run meets `slo` including its attainment requirement.
     pub fn meets_slo(&self, slo: &SloTarget) -> bool {
         self.attainment(slo) >= slo.attainment
+    }
+
+    /// An estimate of the bytes this report retains after the run — the
+    /// quantity the `scale_stress` bench tracks as its peak-memory proxy.
+    /// Exact reports grow `O(requests)` (one [`RequestTimeline`] plus its
+    /// stage vectors per request); streaming reports stay `O(classes)`.
+    pub fn retained_bytes(&self) -> usize {
+        let timelines = std::mem::size_of::<RequestTimeline>() * self.timelines.capacity()
+            + self
+                .timelines
+                .iter()
+                .map(|t| {
+                    (t.stage_starts_s.capacity() + t.stage_ends_s.capacity())
+                        * std::mem::size_of::<f64>()
+                })
+                .sum::<usize>();
+        std::mem::size_of::<Self>()
+            + timelines
+            + self.per_class.capacity() * std::mem::size_of::<ClassMetrics>()
+            + self
+                .streamed
+                .as_ref()
+                .map_or(0, crate::sink::StreamedScores::retained_bytes)
     }
 }
 
@@ -724,6 +829,26 @@ pub fn sustained_throughput_knee(points: &[(f64, f64)], slo: &SloTarget) -> Opti
     knee
 }
 
+/// Sorts requests into the engine's canonical injection order — ascending
+/// `(arrival_s, id)` — with a fast path for the common case: traces from
+/// `rago-workloads` generators and re-submitted engine requests are already
+/// sorted, and checking that is one linear pass instead of an
+/// `O(n log n)` re-sort of a million-entry vector.
+pub(crate) fn sort_by_arrival(requests: &mut [EngineRequest]) {
+    let sorted = requests.windows(2).all(|w| arrival_key_le(&w[0], &w[1]));
+    if !sorted {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+    }
+    debug_assert!(requests.windows(2).all(|w| arrival_key_le(&w[0], &w[1])));
+}
+
+fn arrival_key_le(a: &EngineRequest, b: &EngineRequest) -> bool {
+    a.arrival_s
+        .total_cmp(&b.arrival_s)
+        .then(a.id.cmp(&b.id))
+        .is_le()
+}
+
 /// The request-level discrete-event serving engine. See the module
 /// documentation for the model.
 #[derive(Debug, Clone)]
@@ -751,7 +876,7 @@ impl ServingEngine {
             requests.iter().all(|r| r.decode_tokens > 0),
             "every request must generate at least one token"
         );
-        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        sort_by_arrival(&mut requests);
         Self { spec, requests }
     }
 
@@ -766,12 +891,35 @@ impl ServingEngine {
     /// Runs the simulation to completion and returns the report.
     pub fn run(&self) -> ServingReport {
         let mut sim = ReplicaSim::new(self.spec.clone());
-        for req in &self.requests {
-            sim.inject(*req);
-        }
+        sim.inject_bulk(&self.requests);
         sim.run_to_completion();
         let (timelines, acc) = sim.finish();
         build_report(timelines, &acc)
+    }
+
+    /// Runs the simulation with an explicit metrics pipeline.
+    /// [`crate::sink::MetricsMode::Exact`] reproduces [`Self::run`] bit for
+    /// bit (via [`crate::sink::ExactSink`]);
+    /// [`crate::sink::MetricsMode::Streaming`] folds outcomes into
+    /// histograms and returns an `O(buckets)` report with no timelines.
+    pub fn run_with_mode(&self, mode: &crate::sink::MetricsMode) -> ServingReport {
+        let mut sim = ReplicaSim::new(self.spec.clone());
+        sim.inject_bulk(&self.requests);
+        sim.run_to_completion();
+        match mode {
+            crate::sink::MetricsMode::Exact => {
+                let mut sink = crate::sink::ExactSink::new();
+                sim.drain_outcomes(&mut sink);
+                sink.acc = sim.into_accumulators();
+                ServingReport::from_exact_sink(sink)
+            }
+            crate::sink::MetricsMode::Streaming(config) => {
+                let mut sink = crate::sink::HistogramSink::new(config);
+                sim.drain_outcomes(&mut sink);
+                sink.acc = sim.into_accumulators();
+                ServingReport::from_histogram_sink(sink)
+            }
+        }
     }
 }
 
@@ -779,75 +927,198 @@ impl ServingEngine {
 /// then one dispatch pass), so a retrieval completing exactly at a step
 /// boundary resumes before the next step forms — mirroring the loop order of
 /// [`crate::iterative::IterativeDecodeSim`].
-#[derive(Debug)]
+///
+/// Events carry no member lists: the requests an event covers live in
+/// reusable buffers on the simulation ([`ReplicaSim::stage_batches`] per
+/// resource, [`ReplicaSim::step_members`], the retrieval-batch pool), so the
+/// inner loop schedules and applies events without allocating. Ordering at
+/// equal timestamps is `(time, arrival-class, seq)` — arrivals apply before
+/// every other event — enforced structurally by the two-lane
+/// [`EventQueue`]; see `crate::equeue` for why the lanes reproduce the
+/// historical global-heap order bit for bit.
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Request `r` arrives and joins the first stage queue (or decode
     /// admission when the pipeline has no pre-decode stages).
-    Arrival(usize),
-    /// A micro-batch finishes stage `stage` on resource `resource`.
-    StageDone {
-        resource: usize,
-        stage: usize,
-        members: Vec<usize>,
-    },
-    /// One decode step ends for `members`.
-    StepDone(Vec<usize>),
-    /// An iterative retrieval batch completes; `members` resume decoding.
-    RetrievalDone(Vec<usize>),
+    Arrival(u32),
+    /// The micro-batch running on `resource` finishes; its stage and
+    /// members are in the resource's [`StageBatch`] buffer.
+    StageDone { resource: u32 },
+    /// One decode step ends for the members in
+    /// [`ReplicaSim::step_members`].
+    StepDone,
+    /// The iterative retrieval batch in pool slot `slot` completes; its
+    /// members resume decoding.
+    RetrievalDone(u32),
 }
 
-/// Ordering class of an event at equal timestamps: arrivals apply before
-/// every other event. When all arrivals are pushed up front (the
-/// [`ServingEngine::run`] path) they hold the smallest sequence numbers, so
-/// this matches the historical `(t, seq)` order exactly; when arrivals are
-/// injected incrementally under a shared clock (the [`crate::cluster`]
-/// path) it keeps the event order — and therefore the simulation — identical
-/// to the batch path.
-struct EventEntry {
-    t: f64,
-    class: u8,
-    seq: u64,
-    ev: Ev,
+/// The micro-batch in flight on one resource: which stage it runs and the
+/// request slots it contains. One buffer per resource, reused across
+/// dispatches — `resource_busy` guarantees at most one batch in flight per
+/// resource, so the buffer is free whenever a new batch forms.
+#[derive(Debug, Clone, Default)]
+struct StageBatch {
+    stage: u32,
+    members: Vec<u32>,
 }
 
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.class == other.class && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then(self.class.cmp(&other.class))
-            .then(self.seq.cmp(&other.seq))
-    }
-}
+/// Sentinel for "not yet recorded" timestamps in the arena. All simulated
+/// times are finite and non-negative, so a negative sentinel is
+/// unambiguous.
+const UNSET: f64 = f64::NEG_INFINITY;
 
-/// Per-request simulation state.
-#[derive(Debug, Clone)]
-struct ReqState {
-    queue_entry_s: f64,
-    stage_starts_s: Vec<f64>,
-    stage_ends_s: Vec<f64>,
-    prefix_end_s: f64,
-    decode_join_s: f64,
-    first_token_s: Option<f64>,
-    completion_s: Option<f64>,
-    queueing_s: f64,
-    generated: u32,
-    retrieval_positions: Vec<u32>,
-    next_retrieval: usize,
-    paused: bool,
+/// Per-request simulation state in struct-of-arrays layout: one dense slot
+/// per injected request (its injection index), each field a parallel `Vec`.
+/// The hot loop touches narrow field groups per event — admission writes
+/// `decode_join_s`/`queueing_s`, a step touches `generated`/`paused` — so
+/// splitting the fields keeps those writes on dense cache lines, and slot
+/// creation is a handful of `Vec` pushes instead of a per-request struct
+/// with three heap-allocated vectors.
+///
+/// Slots are never recycled: a slot index is the request's injection (=
+/// arrival) order, which is what makes member iteration, retrieval-queue
+/// order and the finished timelines reproduce the original engine exactly.
+#[derive(Debug, Clone, Default)]
+struct ReqArena {
+    /// Pre-decode stage count of the pipeline (stage slices are
+    /// `num_stages` wide per request).
+    num_stages: usize,
+    queue_entry_s: Vec<f64>,
+    decode_join_s: Vec<f64>,
+    first_token_s: Vec<f64>,
+    completion_s: Vec<f64>,
+    queueing_s: Vec<f64>,
+    generated: Vec<u32>,
+    /// Dense copy of each request's `decode_tokens` — the step loop reads
+    /// only this field of the request, and the dense copy keeps that read
+    /// off the 48-byte `EngineRequest` stride.
+    tokens: Vec<u32>,
+    next_retrieval: Vec<u32>,
+    paused: Vec<bool>,
     /// The request's retrieval result was cached at arrival, so the plan's
     /// retrieval stages are skipped as zero-duration pass-throughs.
-    skip_retrieval: bool,
+    skip_retrieval: Vec<bool>,
+    /// Flat `num_stages`-strided stage service start times; only the first
+    /// `stage_starts_len[r]` entries of request `r`'s slice are recorded.
+    stage_starts_s: Vec<f64>,
+    stage_starts_len: Vec<u32>,
+    /// Flat `num_stages`-strided stage completion times, like the starts.
+    stage_ends_s: Vec<f64>,
+    stage_ends_len: Vec<u32>,
+    /// Flat pool of iterative-retrieval trigger positions; request `r` owns
+    /// `retrieval_pos[retrieval_pos_off[r] .. retrieval_pos_off[r + 1]]`.
+    retrieval_pos: Vec<u32>,
+    retrieval_pos_off: Vec<u32>,
+}
+
+impl ReqArena {
+    fn new(num_stages: usize) -> Self {
+        Self {
+            num_stages,
+            retrieval_pos_off: vec![0],
+            ..Self::default()
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue_entry_s.len()
+    }
+
+    /// Reserves capacity for `additional` more slots across every column,
+    /// so bulk injection grows each `Vec` once instead of doubling.
+    fn reserve(&mut self, additional: usize) {
+        self.queue_entry_s.reserve(additional);
+        self.decode_join_s.reserve(additional);
+        self.first_token_s.reserve(additional);
+        self.completion_s.reserve(additional);
+        self.queueing_s.reserve(additional);
+        self.generated.reserve(additional);
+        self.tokens.reserve(additional);
+        self.next_retrieval.reserve(additional);
+        self.paused.reserve(additional);
+        self.skip_retrieval.reserve(additional);
+        self.stage_starts_s.reserve(additional * self.num_stages);
+        self.stage_starts_len.reserve(additional);
+        self.stage_ends_s.reserve(additional * self.num_stages);
+        self.stage_ends_len.reserve(additional);
+        self.retrieval_pos_off.reserve(additional);
+    }
+
+    /// Appends `reqs.len()` slots at once with bulk column fills (`resize`
+    /// compiles to a memset, not per-request pushes). Only valid when no
+    /// request carries iterative trigger positions.
+    fn push_slots_bulk(&mut self, reqs: &[EngineRequest]) {
+        let new_len = self.len() + reqs.len();
+        assert!(new_len < u32::MAX as usize, "request arena is full");
+        self.queue_entry_s.resize(new_len, 0.0);
+        self.decode_join_s.resize(new_len, 0.0);
+        self.first_token_s.resize(new_len, UNSET);
+        self.completion_s.resize(new_len, UNSET);
+        self.queueing_s.resize(new_len, 0.0);
+        self.generated.resize(new_len, 0);
+        self.tokens.extend(reqs.iter().map(|r| r.decode_tokens));
+        self.next_retrieval.resize(new_len, 0);
+        self.paused.resize(new_len, false);
+        self.skip_retrieval.resize(new_len, false);
+        self.stage_starts_s.resize(new_len * self.num_stages, 0.0);
+        self.stage_starts_len.resize(new_len, 0);
+        self.stage_ends_s.resize(new_len * self.num_stages, 0.0);
+        self.stage_ends_len.resize(new_len, 0);
+        let off = self.retrieval_pos.len() as u32;
+        self.retrieval_pos_off
+            .resize(self.retrieval_pos_off.len() + reqs.len(), off);
+    }
+
+    /// Appends one request slot, returning its index.
+    fn push_slot(&mut self, tokens: u32, positions: &[u32]) -> u32 {
+        let slot = self.len();
+        assert!(slot < u32::MAX as usize, "request arena is full");
+        self.queue_entry_s.push(0.0);
+        self.decode_join_s.push(0.0);
+        self.first_token_s.push(UNSET);
+        self.completion_s.push(UNSET);
+        self.queueing_s.push(0.0);
+        self.generated.push(0);
+        self.tokens.push(tokens);
+        self.next_retrieval.push(0);
+        self.paused.push(false);
+        self.skip_retrieval.push(false);
+        self.stage_starts_s
+            .resize(self.stage_starts_s.len() + self.num_stages, 0.0);
+        self.stage_starts_len.push(0);
+        self.stage_ends_s
+            .resize(self.stage_ends_s.len() + self.num_stages, 0.0);
+        self.stage_ends_len.push(0);
+        self.retrieval_pos.extend_from_slice(positions);
+        self.retrieval_pos_off.push(self.retrieval_pos.len() as u32);
+        slot as u32
+    }
+
+    /// Records a stage service start for request `r`.
+    fn push_stage_start(&mut self, r: usize, t: f64) {
+        let n = self.stage_starts_len[r] as usize;
+        debug_assert!(n < self.num_stages, "more stage starts than stages");
+        self.stage_starts_s[r * self.num_stages + n] = t;
+        self.stage_starts_len[r] = (n + 1) as u32;
+    }
+
+    /// Records a stage completion for request `r`.
+    fn push_stage_end(&mut self, r: usize, t: f64) {
+        let n = self.stage_ends_len[r] as usize;
+        debug_assert!(n < self.num_stages, "more stage ends than stages");
+        self.stage_ends_s[r * self.num_stages + n] = t;
+        self.stage_ends_len[r] = (n + 1) as u32;
+    }
+
+    fn stage_starts(&self, r: usize) -> &[f64] {
+        let base = r * self.num_stages;
+        &self.stage_starts_s[base..base + self.stage_starts_len[r] as usize]
+    }
+
+    fn stage_ends(&self, r: usize) -> &[f64] {
+        let base = r * self.num_stages;
+        &self.stage_ends_s[base..base + self.stage_ends_len[r] as usize]
+    }
 }
 
 /// Cache accounting a simulation accumulates as it consults its caches:
@@ -896,7 +1167,7 @@ impl CacheAcc {
         }
     }
 
-    fn to_usage(&self) -> CacheUsage {
+    pub(crate) fn to_usage(&self) -> CacheUsage {
         CacheUsage {
             prefix: self.prefix,
             retrieval: self.retrieval,
@@ -922,6 +1193,9 @@ pub(crate) struct SimAccumulators {
     pub(crate) retrieval_fill: u64,
     pub(crate) fill_weighted_time: f64,
     pub(crate) stepping_time: f64,
+    /// Discrete events applied by the simulation loop — the unit the
+    /// `scale_stress` bench divides by wall time for its events/sec figure.
+    pub(crate) events: u64,
     pub(crate) cache: CacheAcc,
 }
 
@@ -932,6 +1206,7 @@ impl SimAccumulators {
         self.retrieval_fill += other.retrieval_fill;
         self.fill_weighted_time += other.fill_weighted_time;
         self.stepping_time += other.stepping_time;
+        self.events += other.events;
         self.cache.merge_from(&other.cache);
     }
 }
@@ -952,21 +1227,40 @@ pub(crate) struct ReplicaSim {
     /// in arrival order — the exact scheme of `IterativeDecodeSim`.
     iterative_rng: Option<StdRng>,
     requests: Vec<EngineRequest>,
-    state: Vec<ReqState>,
-    stage_queues: Vec<VecDeque<usize>>,
+    arena: ReqArena,
+    stage_queues: Vec<VecDeque<u32>>,
     resource_busy: Vec<bool>,
-    /// Requests resident in the decode batch (active or paused).
-    resident: BTreeSet<usize>,
-    admission: VecDeque<usize>,
+    /// The micro-batch in flight on each resource, valid while the
+    /// resource is busy; the buffers are reused across dispatches.
+    stage_batches: Vec<StageBatch>,
+    /// Requests resident in the decode batch (active or paused), kept
+    /// sorted ascending — the same iteration order as the `BTreeSet` it
+    /// replaces, as one contiguous `O(max_batch)` scan.
+    resident: Vec<u32>,
+    admission: VecDeque<u32>,
     stepping: bool,
-    retrieval_queue: VecDeque<usize>,
+    /// Members of the in-flight decode step, valid while `stepping`;
+    /// reused across steps.
+    step_members: Vec<u32>,
+    retrieval_queue: VecDeque<u32>,
+    /// Member buffers of in-flight iterative-retrieval batches, indexed by
+    /// the pool slot carried in [`Ev::RetrievalDone`]. `retrieval_free`
+    /// recycles drained slots, so the pool stays as small as the peak
+    /// number of concurrent retrieval batches.
+    retrieval_pool: Vec<Vec<u32>>,
+    retrieval_free: Vec<u32>,
     in_flight_retrievals: usize,
     completed: usize,
+    /// Whether completions are appended to `completion_log`. Off by
+    /// default: only the autoscaler's attainment trigger reads the log, and
+    /// a million-request run should not retain 24 bytes per request for a
+    /// consumer that is not there.
+    pub(crate) track_completions: bool,
     /// `(completion_s, ttft_s, tpot_s)` of every completed request, in
     /// completion order (appended as completions happen, so the log is
     /// chronological). Lets the autoscaler's attainment trigger consume
     /// recent outcomes with a cursor instead of rescanning every request
-    /// at every evaluation tick.
+    /// at every evaluation tick. Empty unless `track_completions` is set.
     completion_log: Vec<(f64, f64, f64)>,
     /// Replica-local prefix-KV cache, created cold from the spec's cache
     /// plan (a scaled-out replica starts with nothing resident).
@@ -974,8 +1268,7 @@ pub(crate) struct ReplicaSim {
     /// Replica-local retrieval-result cache, created cold likewise.
     retrieval_cache: Option<RetrievalResultCache>,
     acc: SimAccumulators,
-    heap: BinaryHeap<Reverse<EventEntry>>,
-    seq: u64,
+    queue: EventQueue<Ev>,
 }
 
 impl ReplicaSim {
@@ -1001,21 +1294,72 @@ impl ReplicaSim {
             spec,
             iterative_rng,
             requests: Vec::new(),
-            state: Vec::new(),
+            arena: ReqArena::new(num_stages),
             stage_queues: vec![VecDeque::new(); num_stages],
             resource_busy: vec![false; num_resources],
-            resident: BTreeSet::new(),
+            stage_batches: vec![StageBatch::default(); num_resources],
+            resident: Vec::new(),
             admission: VecDeque::new(),
             stepping: false,
+            step_members: Vec::new(),
             retrieval_queue: VecDeque::new(),
+            retrieval_pool: Vec::new(),
+            retrieval_free: Vec::new(),
             in_flight_retrievals: 0,
             completed: 0,
+            track_completions: false,
             completion_log: Vec::new(),
             prefix_cache,
             retrieval_cache,
             acc: SimAccumulators::default(),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Reserves capacity for `additional` more requests across the request
+    /// list, the arena's columns and the arrival lane — bulk injection (a
+    /// whole trace up front) then grows each backing `Vec` exactly once.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.requests.reserve(additional);
+        self.arena.reserve(additional);
+        self.queue.reserve_arrivals(additional);
+    }
+
+    /// Injects a whole sorted batch of requests at once. Equivalent to
+    /// calling [`Self::inject`] per request, but fills the arena columns
+    /// with bulk `resize`/`extend` operations — on a million-request trace
+    /// this is a handful of memsets instead of fifteen million `Vec`
+    /// pushes. Iterative pipelines fall back to the per-request path, which
+    /// samples trigger positions in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::inject`] on non-finite/negative arrivals or
+    /// zero-token requests.
+    pub(crate) fn inject_bulk(&mut self, reqs: &[EngineRequest]) {
+        if self.spec.iterative.is_some() {
+            self.reserve(reqs.len());
+            for req in reqs {
+                self.inject(*req);
+            }
+            return;
+        }
+        assert!(
+            reqs.iter()
+                .all(|r| r.arrival_s.is_finite() && r.arrival_s >= 0.0),
+            "arrival times must be finite and non-negative"
+        );
+        assert!(
+            reqs.iter().all(|r| r.decode_tokens > 0),
+            "every request must generate at least one token"
+        );
+        self.reserve(reqs.len());
+        let base = self.requests.len();
+        self.arena.push_slots_bulk(reqs);
+        self.requests.extend_from_slice(reqs);
+        for (i, req) in reqs.iter().enumerate() {
+            self.queue
+                .push_arrival(req.arrival_s, Ev::Arrival((base + i) as u32));
         }
     }
 
@@ -1042,32 +1386,10 @@ impl ReplicaSim {
             }
             _ => Vec::new(),
         };
-        let num_stages = self.spec.stages.len();
-        self.state.push(ReqState {
-            queue_entry_s: 0.0,
-            stage_starts_s: Vec::with_capacity(num_stages),
-            stage_ends_s: Vec::with_capacity(num_stages),
-            prefix_end_s: 0.0,
-            decode_join_s: 0.0,
-            first_token_s: None,
-            completion_s: None,
-            queueing_s: 0.0,
-            generated: 0,
-            retrieval_positions: positions,
-            next_retrieval: 0,
-            paused: false,
-            skip_retrieval: false,
-        });
-        let idx = self.requests.len();
+        let slot = self.arena.push_slot(req.decode_tokens, &positions);
+        debug_assert_eq!(slot as usize, self.requests.len());
         self.requests.push(req);
-        self.push_event(req.arrival_s, Ev::Arrival(idx));
-    }
-
-    fn push_event(&mut self, t: f64, ev: Ev) {
-        let seq = self.seq;
-        self.seq += 1;
-        let class = u8::from(!matches!(ev, Ev::Arrival(_)));
-        self.heap.push(Reverse(EventEntry { t, class, seq, ev }));
+        self.queue.push_arrival(req.arrival_s, Ev::Arrival(slot));
     }
 
     /// Requests injected but not yet fully decoded.
@@ -1097,11 +1419,11 @@ impl ReplicaSim {
 
     /// Processes every event group strictly before `t` (by more than the
     /// event-grouping tolerance). Events within [`TIME_EPS`] of `t` are left
-    /// on the heap so an arrival injected at `t` joins their group — exactly
-    /// as it would have had the arrival been scheduled up front.
+    /// queued so an arrival injected at `t` joins their group — exactly as
+    /// it would have had the arrival been scheduled up front.
     pub(crate) fn advance_before(&mut self, t: f64) {
-        while let Some(Reverse(head)) = self.heap.peek() {
-            if head.t + TIME_EPS < t {
+        while let Some(head_t) = self.queue.peek_time() {
+            if head_t + TIME_EPS < t {
                 self.process_group();
             } else {
                 break;
@@ -1109,7 +1431,7 @@ impl ReplicaSim {
         }
     }
 
-    /// Drains the event heap, completing every injected request.
+    /// Drains the event queue, completing every injected request.
     pub(crate) fn run_to_completion(&mut self) {
         while self.process_group() {}
     }
@@ -1117,18 +1439,20 @@ impl ReplicaSim {
     /// Pops one event group — every event within the timestamp tolerance of
     /// the head — applies it, then runs a single dispatch pass, so state
     /// changes (resumes, arrivals, routing) at one instant are all visible
-    /// to that pass. Returns `false` when the heap is empty.
+    /// to that pass. Returns `false` when the queue is empty.
     fn process_group(&mut self) -> bool {
-        let Some(Reverse(head)) = self.heap.pop() else {
+        let Some((head_t, head_ev)) = self.queue.pop() else {
             return false;
         };
-        let mut now = head.t;
-        self.apply(head.t, head.ev);
-        while let Some(Reverse(next)) = self.heap.peek() {
-            if next.t <= now + TIME_EPS {
-                let Reverse(e) = self.heap.pop().expect("peeked");
-                now = now.max(e.t);
-                self.apply(e.t, e.ev);
+        let mut now = head_t;
+        self.apply(head_t, head_ev);
+        while let Some(next_t) = self.queue.peek_time() {
+            if next_t <= now + TIME_EPS {
+                let Some((t, ev)) = self.queue.pop() else {
+                    break;
+                };
+                now = now.max(t);
+                self.apply(t, ev);
             } else {
                 break;
             }
@@ -1154,7 +1478,7 @@ impl ReplicaSim {
             .cache
             .record_retrieval(self.requests[r].class, &lookup);
         if lookup.hit {
-            self.state[r].skip_retrieval = true;
+            self.arena.skip_retrieval[r] = true;
         }
     }
 
@@ -1169,87 +1493,111 @@ impl ReplicaSim {
     fn route_to_stage(&mut self, r: usize, from: usize, t: f64) {
         let num_stages = self.spec.stages.len();
         let mut stage = from;
-        if self.state[r].skip_retrieval {
+        if self.arena.skip_retrieval[r] {
             let plan = self
                 .spec
                 .cache
                 .as_ref()
                 .expect("skip_retrieval is only set when a cache plan exists");
             while stage < num_stages && plan.retrieval_stages.contains(&stage) {
-                self.state[r].stage_starts_s.push(t);
-                self.state[r].stage_ends_s.push(t);
+                self.arena.push_stage_start(r, t);
+                self.arena.push_stage_end(r, t);
                 stage += 1;
             }
         }
-        self.state[r].queue_entry_s = t;
+        self.arena.queue_entry_s[r] = t;
         if stage < num_stages {
-            self.stage_queues[stage].push_back(r);
+            self.stage_queues[stage].push_back(r as u32);
         } else {
-            self.state[r].prefix_end_s = t;
-            self.admission.push_back(r);
+            self.admission.push_back(r as u32);
         }
     }
 
-    /// Pure state mutation for one event; no dispatching.
+    /// Pure state mutation for one event; no dispatching. Events that cover
+    /// a member set (`StageDone`, `StepDone`, `RetrievalDone`) temporarily
+    /// take their member buffer out of `self`, walk it, then clear and
+    /// restore it — the buffers are guaranteed idle once their event fires
+    /// (`resource_busy` / `stepping` / the pool free-list), so no
+    /// allocation happens per event.
     fn apply(&mut self, t: f64, ev: Ev) {
+        self.acc.events += 1;
         match ev {
             Ev::Arrival(r) => {
+                let r = r as usize;
                 self.lookup_retrieval_cache(r);
                 self.route_to_stage(r, 0, t);
             }
-            Ev::StageDone {
-                resource,
-                stage,
-                members,
-            } => {
+            Ev::StageDone { resource } => {
+                let resource = resource as usize;
                 self.resource_busy[resource] = false;
+                let members = std::mem::take(&mut self.stage_batches[resource].members);
+                let stage = self.stage_batches[resource].stage as usize;
                 let last_stage = stage + 1 == self.spec.stages.len();
-                for r in members {
-                    self.state[r].stage_ends_s.push(t);
+                for &r in &members {
+                    let r = r as usize;
+                    self.arena.push_stage_end(r, t);
                     if last_stage {
                         // The main prefix emits the first output token.
-                        self.state[r].queue_entry_s = t;
-                        self.state[r].prefix_end_s = t;
-                        self.state[r].first_token_s = Some(t);
-                        self.admission.push_back(r);
+                        self.arena.queue_entry_s[r] = t;
+                        self.arena.first_token_s[r] = t;
+                        self.admission.push_back(r as u32);
                     } else {
                         self.route_to_stage(r, stage + 1, t);
                     }
                 }
+                let mut members = members;
+                members.clear();
+                self.stage_batches[resource].members = members;
             }
-            Ev::StepDone(members) => {
+            Ev::StepDone => {
                 self.stepping = false;
-                for r in members {
-                    let tokens = self.requests[r].decode_tokens;
-                    let st = &mut self.state[r];
-                    st.generated += 1;
-                    if st.first_token_s.is_none() {
-                        st.first_token_s = Some(t);
+                let mut members = std::mem::take(&mut self.step_members);
+                for &r in &members {
+                    let ri = r as usize;
+                    let tokens = self.arena.tokens[ri];
+                    self.arena.generated[ri] += 1;
+                    let generated = self.arena.generated[ri];
+                    if self.arena.first_token_s[ri] == UNSET {
+                        self.arena.first_token_s[ri] = t;
                     }
-                    if st.next_retrieval < st.retrieval_positions.len()
-                        && st.generated == st.retrieval_positions[st.next_retrieval]
-                        && st.generated < tokens
+                    let pos_cursor = self.arena.retrieval_pos_off[ri] as usize
+                        + self.arena.next_retrieval[ri] as usize;
+                    if pos_cursor < self.arena.retrieval_pos_off[ri + 1] as usize
+                        && generated == self.arena.retrieval_pos[pos_cursor]
+                        && generated < tokens
                     {
-                        st.next_retrieval += 1;
-                        st.paused = true;
+                        self.arena.next_retrieval[ri] += 1;
+                        self.arena.paused[ri] = true;
                         self.retrieval_queue.push_back(r);
                     }
-                    if st.generated >= tokens {
-                        st.completion_s = Some(t);
-                        let ttft = st.first_token_s.expect("first token precedes completion")
-                            - self.requests[r].arrival_s;
-                        let tpot = (t - st.decode_join_s) / f64::from(tokens.max(1));
-                        self.resident.remove(&r);
+                    if generated >= tokens {
+                        self.arena.completion_s[ri] = t;
+                        if let Ok(pos) = self.resident.binary_search(&r) {
+                            self.resident.remove(pos);
+                        }
                         self.completed += 1;
-                        self.completion_log.push((t, ttft, tpot));
+                        if self.track_completions {
+                            let first = self.arena.first_token_s[ri];
+                            debug_assert!(first != UNSET, "first token precedes completion");
+                            let ttft = first - self.requests[ri].arrival_s;
+                            let tpot =
+                                (t - self.arena.decode_join_s[ri]) / f64::from(tokens.max(1));
+                            self.completion_log.push((t, ttft, tpot));
+                        }
                     }
                 }
+                members.clear();
+                self.step_members = members;
             }
-            Ev::RetrievalDone(members) => {
+            Ev::RetrievalDone(slot) => {
                 self.in_flight_retrievals -= 1;
-                for r in members {
-                    self.state[r].paused = false;
+                let mut members = std::mem::take(&mut self.retrieval_pool[slot as usize]);
+                for &r in &members {
+                    self.arena.paused[r as usize] = false;
                 }
+                members.clear();
+                self.retrieval_pool[slot as usize] = members;
+                self.retrieval_free.push(slot);
             }
         }
     }
@@ -1270,20 +1618,23 @@ impl ReplicaSim {
             };
             let cap = self.spec.stages[stage].batch as usize;
             let take = self.stage_queues[stage].len().min(cap);
-            let members: Vec<usize> = self.stage_queues[stage].drain(..take).collect();
+            let mut members = std::mem::take(&mut self.stage_batches[resource].members);
+            debug_assert!(members.is_empty(), "free resource has a live batch buffer");
+            members.extend(self.stage_queues[stage].drain(..take));
             for &r in &members {
-                self.state[r].stage_starts_s.push(now);
-                self.state[r].queueing_s += now - self.state[r].queue_entry_s;
+                let r = r as usize;
+                self.arena.push_stage_start(r, now);
+                self.arena.queueing_s[r] += now - self.arena.queue_entry_s[r];
             }
             let full = self.spec.stages[stage].latency.latency(take as u32);
             let latency = self.charge_prefix_cache(stage, &members, full);
             self.resource_busy[resource] = true;
-            self.push_event(
+            self.stage_batches[resource].stage = stage as u32;
+            self.stage_batches[resource].members = members;
+            self.queue.push_scheduled(
                 now + latency,
                 Ev::StageDone {
-                    resource,
-                    stage,
-                    members,
+                    resource: resource as u32,
                 },
             );
         }
@@ -1298,7 +1649,7 @@ impl ReplicaSim {
     /// (they share the KV being computed). Returns `base` untouched when no
     /// tokens were served from cache, keeping identity-free and
     /// zero-capacity runs bit-identical to the cache-less path.
-    fn charge_prefix_cache(&mut self, stage: usize, members: &[usize], base: f64) -> f64 {
+    fn charge_prefix_cache(&mut self, stage: usize, members: &[u32], base: f64) -> f64 {
         let prefix_stage = self.spec.cache.as_ref().and_then(|plan| plan.prefix_stage);
         if prefix_stage != Some(stage) {
             return base;
@@ -1309,7 +1660,7 @@ impl ReplicaSim {
         let mut total_tokens: u64 = 0;
         let mut saved_tokens: u64 = 0;
         for &r in members {
-            let req = &self.requests[r];
+            let req = &self.requests[r as usize];
             total_tokens += u64::from(req.prefix_tokens);
             if let Some(identity) = req.identity {
                 let shared = identity.shared_prefix_tokens.min(req.prefix_tokens);
@@ -1333,9 +1684,13 @@ impl ReplicaSim {
             let Some(r) = self.admission.pop_front() else {
                 break;
             };
-            self.state[r].decode_join_s = now;
-            self.state[r].queueing_s += now - self.state[r].queue_entry_s;
-            self.resident.insert(r);
+            let ri = r as usize;
+            self.arena.decode_join_s[ri] = now;
+            self.arena.queueing_s[ri] += now - self.arena.queue_entry_s[ri];
+            let pos = match self.resident.binary_search(&r) {
+                Ok(pos) | Err(pos) => pos,
+            };
+            self.resident.insert(pos, r);
         }
 
         // Dispatch the iterative retrieval queue: when full, or when decode
@@ -1354,21 +1709,33 @@ impl ReplicaSim {
                     break;
                 }
                 let take = queued.min(it.iterative_batch as usize);
-                let members: Vec<usize> = self.retrieval_queue.drain(..take).collect();
                 self.acc.retrieval_batches += 1;
                 self.acc.retrieval_fill += take as u64;
                 if it.retrieval_prefix_latency_s <= TIME_EPS {
                     // A zero-latency batch completes within this instant:
                     // resume inline so the members join the very next step,
                     // exactly as the reference simulator's loop does.
-                    for r in members {
-                        self.state[r].paused = false;
+                    for _ in 0..take {
+                        let Some(r) = self.retrieval_queue.pop_front() else {
+                            break;
+                        };
+                        self.arena.paused[r as usize] = false;
                     }
                 } else {
                     self.in_flight_retrievals += 1;
-                    self.push_event(
+                    let slot = match self.retrieval_free.pop() {
+                        Some(slot) => slot,
+                        None => {
+                            self.retrieval_pool.push(Vec::new());
+                            (self.retrieval_pool.len() - 1) as u32
+                        }
+                    };
+                    let buf = &mut self.retrieval_pool[slot as usize];
+                    debug_assert!(buf.is_empty(), "recycled retrieval slot not drained");
+                    buf.extend(self.retrieval_queue.drain(..take));
+                    self.queue.push_scheduled(
                         now + it.retrieval_prefix_latency_s,
-                        Ev::RetrievalDone(members),
+                        Ev::RetrievalDone(slot),
                     );
                 }
             }
@@ -1376,19 +1743,26 @@ impl ReplicaSim {
 
         // Start the next decode step over the currently active sequences.
         if !self.stepping {
-            let members: Vec<usize> = self
-                .resident
-                .iter()
-                .copied()
-                .filter(|&r| !self.state[r].paused)
-                .collect();
-            if !members.is_empty() {
-                let fill = members.len() as u32;
+            debug_assert!(self.step_members.is_empty(), "idle step buffer not drained");
+            let Self {
+                step_members,
+                resident,
+                arena,
+                ..
+            } = &mut *self;
+            step_members.extend(
+                resident
+                    .iter()
+                    .copied()
+                    .filter(|&r| !arena.paused[r as usize]),
+            );
+            let fill = self.step_members.len() as u32;
+            if fill > 0 {
                 let dur = self.spec.decode.step_latency.latency(fill);
                 self.acc.fill_weighted_time += f64::from(fill) * dur;
                 self.acc.stepping_time += dur;
                 self.stepping = true;
-                self.push_event(now + dur, Ev::StepDone(members));
+                self.queue.push_scheduled(now + dur, Ev::StepDone);
             }
         }
     }
@@ -1396,7 +1770,7 @@ impl ReplicaSim {
     fn active_count(&self) -> usize {
         self.resident
             .iter()
-            .filter(|&&r| !self.state[r].paused)
+            .filter(|&&r| !self.arena.paused[r as usize])
             .count()
     }
 
@@ -1414,6 +1788,53 @@ impl ReplicaSim {
         &self.completion_log[start..*cursor]
     }
 
+    /// Feeds every completed request to `sink`, once each, in injection
+    /// (= arrival) order. Outcomes borrow the arena's stage slices, so the
+    /// walk allocates nothing; what the sink retains is its own choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has not completed — call
+    /// [`ReplicaSim::run_to_completion`] first.
+    pub(crate) fn drain_outcomes<S: crate::sink::MetricsSink + ?Sized>(&self, sink: &mut S) {
+        debug_assert!(
+            self.queue.is_empty(),
+            "drain_outcomes() requires the event queue to be drained"
+        );
+        let arena = &self.arena;
+        for (r, req) in self.requests.iter().enumerate() {
+            let first_token_s = arena.first_token_s[r];
+            let completion_s = arena.completion_s[r];
+            assert!(
+                first_token_s != UNSET,
+                "every request emits a first token before the engine finishes"
+            );
+            assert!(
+                completion_s != UNSET,
+                "every request completes before the engine finishes"
+            );
+            sink.record(&crate::sink::RequestOutcome {
+                id: req.id,
+                class: req.class,
+                arrival_s: req.arrival_s,
+                stage_starts_s: arena.stage_starts(r),
+                stage_ends_s: arena.stage_ends(r),
+                decode_join_s: arena.decode_join_s[r],
+                first_token_s,
+                completion_s,
+                queueing_s: arena.queueing_s[r],
+                decode_tokens: req.decode_tokens,
+            });
+        }
+    }
+
+    /// Consumes the finished simulation into its accumulators — the
+    /// companion of [`ReplicaSim::drain_outcomes`], which streams the
+    /// per-request side.
+    pub(crate) fn into_accumulators(self) -> SimAccumulators {
+        self.acc
+    }
+
     /// Consumes the finished simulation into per-request timelines (in
     /// injection = arrival order) and the aggregate accumulators.
     ///
@@ -1422,29 +1843,42 @@ impl ReplicaSim {
     /// Panics if any request has not completed — call
     /// [`ReplicaSim::run_to_completion`] first.
     pub(crate) fn finish(self) -> (Vec<RequestTimeline>, SimAccumulators) {
+        debug_assert!(
+            self.queue.is_empty(),
+            "finish() requires the event queue to be drained"
+        );
+        let arena = &self.arena;
         let timelines: Vec<RequestTimeline> = self
             .requests
             .iter()
-            .zip(self.state.iter())
-            .map(|(req, st)| RequestTimeline {
-                id: req.id,
-                arrival_s: req.arrival_s,
-                stage_starts_s: st.stage_starts_s.clone(),
-                stage_ends_s: st.stage_ends_s.clone(),
-                class: req.class,
-                decode_join_s: st.decode_join_s,
-                // The event loop drains the heap only after every request
+            .enumerate()
+            .map(|(r, req)| {
+                // The event loop drains the queue only after every request
                 // has generated its final token; a request without a first
                 // token or completion would be an engine bug, so fail loudly
                 // rather than emit a silently wrong report.
-                first_token_s: st
-                    .first_token_s
-                    .expect("every request emits a first token before the engine finishes"),
-                completion_s: st
-                    .completion_s
-                    .expect("every request completes before the engine finishes"),
-                queueing_s: st.queueing_s,
-                decode_tokens: req.decode_tokens,
+                let first_token_s = arena.first_token_s[r];
+                let completion_s = arena.completion_s[r];
+                assert!(
+                    first_token_s != UNSET,
+                    "every request emits a first token before the engine finishes"
+                );
+                assert!(
+                    completion_s != UNSET,
+                    "every request completes before the engine finishes"
+                );
+                RequestTimeline {
+                    id: req.id,
+                    arrival_s: req.arrival_s,
+                    stage_starts_s: arena.stage_starts(r).to_vec(),
+                    stage_ends_s: arena.stage_ends(r).to_vec(),
+                    class: req.class,
+                    decode_join_s: arena.decode_join_s[r],
+                    first_token_s,
+                    completion_s,
+                    queueing_s: arena.queueing_s[r],
+                    decode_tokens: req.decode_tokens,
+                }
             })
             .collect();
         (timelines, self.acc)
@@ -1477,16 +1911,9 @@ pub(crate) fn build_report(
     } else {
         classes
             .into_iter()
-            .map(|class| {
-                let subset: Vec<RequestTimeline> = timelines
-                    .iter()
-                    .filter(|t| t.class == class)
-                    .cloned()
-                    .collect();
-                ClassMetrics {
-                    class,
-                    metrics: compute_metrics(&subset, acc),
-                }
+            .map(|class| ClassMetrics {
+                class,
+                metrics: compute_metrics_for(&timelines, Some(class), acc),
             })
             .collect()
     };
@@ -1495,6 +1922,7 @@ pub(crate) fn build_report(
         metrics,
         per_class,
         cache: acc.cache.to_usage(),
+        streamed: None,
     }
 }
 
@@ -1503,35 +1931,78 @@ pub(crate) fn build_report(
 /// describe the shared pipeline, not a timeline subset — per-class rows pass
 /// the run's accumulators through unchanged.
 fn compute_metrics(timelines: &[RequestTimeline], acc: &SimAccumulators) -> ServingMetrics {
-    let ttfts: Vec<f64> = timelines.iter().map(RequestTimeline::ttft_s).collect();
-    let tpots: Vec<f64> = timelines.iter().map(RequestTimeline::tpot_s).collect();
-    let latencies: Vec<f64> = timelines.iter().map(RequestTimeline::latency_s).collect();
+    compute_metrics_for(timelines, None, acc)
+}
+
+/// [`compute_metrics`] restricted to one class (`None` = every request).
+/// Per-class rows are computed by filtering in place rather than cloning
+/// each class's timeline subset into a scratch vector; the filter preserves
+/// timeline order, so the resulting metrics are identical to the
+/// clone-the-subset formulation. Sample buffers are sorted once in place
+/// and sliced for the percentile fields ([`LatencyStats::from_sorted`])
+/// instead of being re-copied per metric family.
+fn compute_metrics_for(
+    timelines: &[RequestTimeline],
+    class: Option<u32>,
+    acc: &SimAccumulators,
+) -> ServingMetrics {
+    let sel = move |t: &&RequestTimeline| class.map_or(true, |c| t.class == c);
+    let mut ttfts: Vec<f64> = timelines
+        .iter()
+        .filter(sel)
+        .map(RequestTimeline::ttft_s)
+        .collect();
+    let mut tpots: Vec<f64> = timelines
+        .iter()
+        .filter(sel)
+        .map(RequestTimeline::tpot_s)
+        .collect();
+    let mut latencies: Vec<f64> = timelines
+        .iter()
+        .filter(sel)
+        .map(RequestTimeline::latency_s)
+        .collect();
+    ttfts.sort_by(f64::total_cmp);
+    tpots.sort_by(f64::total_cmp);
+    latencies.sort_by(f64::total_cmp);
     let makespan = timelines
         .iter()
+        .filter(sel)
         .map(|t| t.completion_s)
         .fold(0.0f64, f64::max);
-    let first_arrival = if timelines.is_empty() {
+    let n = ttfts.len();
+    let first_arrival = if n == 0 {
         0.0
     } else {
         timelines
             .iter()
+            .filter(sel)
             .map(|t| t.arrival_s)
             .fold(f64::INFINITY, f64::min)
     };
-    let last_arrival = timelines.iter().map(|t| t.arrival_s).fold(0.0f64, f64::max);
+    let last_arrival = timelines
+        .iter()
+        .filter(sel)
+        .map(|t| t.arrival_s)
+        .fold(0.0f64, f64::max);
     let serving_duration = (makespan - first_arrival).max(0.0);
     let drain_tail = (makespan - last_arrival).max(0.0);
-    let n = timelines.len();
     let queueing_mean = if n == 0 {
         0.0
     } else {
-        timelines.iter().map(|t| t.queueing_s).sum::<f64>() / n as f64
+        timelines
+            .iter()
+            .filter(sel)
+            .map(|t| t.queueing_s)
+            .sum::<f64>()
+            / n as f64
     };
     let service_mean = if n == 0 {
         0.0
     } else {
         timelines
             .iter()
+            .filter(sel)
             .map(RequestTimeline::service_s)
             .sum::<f64>()
             / n as f64
@@ -1549,9 +2020,9 @@ fn compute_metrics(timelines: &[RequestTimeline], acc: &SimAccumulators) -> Serv
         } else {
             0.0
         },
-        ttft: LatencyStats::from_samples(&ttfts),
-        tpot: LatencyStats::from_samples(&tpots),
-        latency: LatencyStats::from_samples(&latencies),
+        ttft: LatencyStats::from_sorted(&ttfts),
+        tpot: LatencyStats::from_sorted(&tpots),
+        latency: LatencyStats::from_sorted(&latencies),
         queueing_mean_s: queueing_mean,
         service_mean_s: service_mean,
         mean_decode_fill: if acc.stepping_time > 0.0 {
@@ -1565,6 +2036,7 @@ fn compute_metrics(timelines: &[RequestTimeline], acc: &SimAccumulators) -> Serv
         } else {
             acc.retrieval_fill as f64 / f64::from(acc.retrieval_batches)
         },
+        events_processed: acc.events,
     }
 }
 

@@ -106,8 +106,10 @@
 pub mod autoscaler;
 pub mod cluster;
 pub mod engine;
+mod equeue;
 pub mod iterative;
 pub mod microbatch;
+pub mod sink;
 
 pub use autoscaler::{
     AttainmentTrigger, AutoscaleEngine, AutoscaleReport, AutoscalerPolicy, ReplicaLifetime,
@@ -121,3 +123,7 @@ pub use engine::{
 };
 pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
 pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};
+pub use sink::{
+    ClassSloScore, ExactSink, HistogramSink, LatencyHistogram, MetricsMode, MetricsSink,
+    RequestOutcome, StreamedScores, StreamingConfig,
+};

@@ -17,6 +17,11 @@
 //! the calling thread. Peak memory is `O(threads × chunk)` items plus the
 //! accumulators — the source is never materialized.
 //!
+//! The chunk size adapts to the source's `size_hint`: a short source (e.g.
+//! a fleet of a few dozen replica simulations) is split into roughly
+//! `2 × threads` chunks so every worker gets work, while an unsized or long
+//! source falls back to a fixed chunk that amortizes lock traffic.
+//!
 //! Unlike real rayon there is no work stealing, no global thread pool
 //! (threads are scoped per call), and `fold(..)` is not itself a lazy
 //! parallel iterator: it must be finished with `reduce(..)`. The subset is
@@ -108,6 +113,16 @@ pub mod iter {
             R: Fn(T, T) -> T,
         {
             let threads = current_num_threads();
+            // A fixed 64-item chunk starves workers when the whole source is
+            // shorter than one chunk (a fleet rarely has more than a few
+            // dozen replicas): split a sized source into ~2 chunks per
+            // thread instead, so every worker pulls something.
+            let remaining = self.iter.size_hint().0;
+            let chunk_size = if remaining == 0 {
+                CHUNK
+            } else {
+                remaining.div_ceil(threads * 2).clamp(1, CHUNK)
+            };
             let source = Mutex::new(self.iter);
             let fold_op = &self.fold_op;
             let make_acc = &self.identity;
@@ -117,11 +132,11 @@ pub mod iter {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut acc = make_acc();
-                            let mut chunk: Vec<I::Item> = Vec::with_capacity(CHUNK);
+                            let mut chunk: Vec<I::Item> = Vec::with_capacity(chunk_size);
                             loop {
                                 {
                                     let mut it = source.lock().expect("source iterator poisoned");
-                                    chunk.extend(it.by_ref().take(CHUNK));
+                                    chunk.extend(it.by_ref().take(chunk_size));
                                 }
                                 if chunk.is_empty() {
                                     return acc;
@@ -170,6 +185,26 @@ mod tests {
             .fold(|| 7u64, |acc, _| acc)
             .reduce(|| 7, |a, b| a.min(b));
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn short_sized_sources_are_split_across_workers() {
+        // 8 items over however many threads: every item must still be
+        // consumed exactly once even when the adaptive chunk is smaller
+        // than the fixed 64-item chunk.
+        let seen: Vec<u32> = (0u32..8)
+            .par_bridge()
+            .fold(Vec::new, |mut acc, x| {
+                acc.push(x);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        let mut seen = seen;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

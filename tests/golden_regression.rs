@@ -52,6 +52,7 @@ use rago::serving_sim::autoscaler::AutoscalerPolicy;
 use rago::serving_sim::engine::{
     sustained_throughput_knee, DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec,
 };
+use rago::serving_sim::MetricsMode;
 use rago::workloads::{
     ArrivalProcess, ContentSpec, MixTraceSpec, PopularityModel, RequestClass, TraceSpec,
     WorkloadMix,
@@ -124,10 +125,10 @@ fn golden_optimizer_frontier() {
     check_golden("optimizer_frontier.json", &out);
 }
 
-#[test]
-fn golden_engine_metrics() {
-    // A fixed two-stage pipeline (retrieval on its own resource, prefix on
-    // another) under a seeded Poisson trace — the PR 2 engine end to end.
+/// The seeded PR 2 engine scenario behind `engine_metrics.json`: a fixed
+/// two-stage pipeline (retrieval on its own resource, prefix on another)
+/// under a seeded Poisson trace.
+fn engine_metrics_scenario() -> ServingEngine {
     let spec = PipelineSpec::new(
         vec![
             StageSpec::new(
@@ -156,7 +157,10 @@ fn golden_engine_metrics() {
         seed: 7,
     }
     .generate();
-    let report = ServingEngine::from_trace(spec, &trace).run();
+    ServingEngine::from_trace(spec, &trace)
+}
+
+fn render_engine_metrics(report: &rago::serving_sim::engine::ServingReport) -> String {
     let m = &report.metrics;
     let slo = SloTarget::paper_default();
     let mut out = String::from("{\n  \"bench\": \"golden/engine_metrics\",\n");
@@ -191,7 +195,24 @@ fn golden_engine_metrics() {
     let _ = writeln!(out, "  \"attainment\": {},", f(report.attainment(&slo)));
     let _ = writeln!(out, "  \"goodput_rps\": {}", f(report.goodput_rps(&slo)));
     out.push_str("}\n");
-    check_golden("engine_metrics.json", &out);
+    out
+}
+
+#[test]
+fn golden_engine_metrics() {
+    let report = engine_metrics_scenario().run();
+    check_golden("engine_metrics.json", &render_engine_metrics(&report));
+}
+
+/// The exact metrics sink is the identity path: running the same scenario
+/// through `run_with_mode(MetricsMode::Exact)` must reproduce the committed
+/// golden byte for byte — timelines, aggregates, attainment, goodput.
+#[test]
+fn golden_engine_metrics_via_exact_sink() {
+    let engine = engine_metrics_scenario();
+    let via_sink = engine.run_with_mode(&MetricsMode::Exact);
+    assert_eq!(engine.run(), via_sink, "exact sink diverged from run()");
+    check_golden("engine_metrics.json", &render_engine_metrics(&via_sink));
 }
 
 #[test]

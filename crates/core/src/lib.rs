@@ -39,6 +39,7 @@ pub mod cached;
 pub mod capacity;
 pub mod dynamic;
 pub mod error;
+pub mod faulted;
 pub mod metrics;
 pub mod optimizer;
 pub mod pareto;
@@ -64,6 +65,10 @@ pub use dynamic::{
     evaluate_schedule_dynamic_with, rank_frontier_by_goodput, DynamicEvaluation, FleetEvaluation,
 };
 pub use error::RagoError;
+pub use faulted::{
+    evaluate_fleet_faulted, scaling_plan_from_profile, FaultScenario, FaultedClassOutcome,
+    FaultedEvaluation,
+};
 pub use metrics::RagPerformance;
 pub use optimizer::{Rago, ScheduleIter, SearchOptions};
 pub use pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};

@@ -509,6 +509,34 @@ impl Rago {
         )
     }
 
+    /// Evaluates one schedule as a fleet while a fault scenario plays
+    /// against it: replica crashes, stragglers, and preemptions from a
+    /// [`rago_serving_sim::faults::FaultSchedule`], priority-aware
+    /// admission control, and static/reactive/predictive scaling, scored
+    /// on *offered* attainment with per-disruption recovery metrics. See
+    /// [`crate::faulted::evaluate_fleet_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::faulted::evaluate_fleet_faulted`] errors.
+    pub fn evaluate_fleet_faulted(
+        &self,
+        schedule: &Schedule,
+        router: rago_schema::RouterPolicy,
+        mix: &rago_workloads::WorkloadMix,
+        trace: &rago_workloads::Trace,
+        scenario: &crate::faulted::FaultScenario,
+    ) -> Result<crate::faulted::FaultedEvaluation, RagoError> {
+        crate::faulted::evaluate_fleet_faulted(
+            &self.profiler,
+            schedule,
+            router,
+            mix,
+            trace,
+            scenario,
+        )
+    }
+
     /// Evaluates one schedule dynamically **with caching enabled**:
     /// per-replica prefix-KV and retrieval-result caches exploit the
     /// trace's content identity. See

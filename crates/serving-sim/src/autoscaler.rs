@@ -167,7 +167,7 @@ impl AutoscalerPolicy {
     }
 
     /// Panics unless the policy is well-formed.
-    fn assert_valid(&self) {
+    pub(crate) fn assert_valid(&self) {
         assert!(self.min_replicas >= 1, "min_replicas must be at least 1");
         assert!(
             self.max_replicas >= self.min_replicas,

@@ -90,7 +90,7 @@ pub struct LoadImbalance {
 }
 
 impl LoadImbalance {
-    fn from_counts(assigned: Vec<usize>) -> Self {
+    pub(crate) fn from_counts(assigned: Vec<usize>) -> Self {
         let n = assigned.len().max(1) as f64;
         let total: usize = assigned.iter().sum();
         let mean = total as f64 / n;

@@ -562,6 +562,13 @@ pub struct ServingMetrics {
     /// and per-class rows repeat the run-level value. The `scale_stress`
     /// bench divides it by wall-clock time for its events/sec figure.
     pub events_processed: u64,
+    /// Requests shed by fleet-level admission control before reaching a
+    /// replica. Always zero for plain engine and cluster runs; the chaos
+    /// path ([`crate::faults`]) patches it into merged and per-class rows.
+    /// Shed requests are excluded from `requests`/`completed` and from every
+    /// latency distribution — they never executed.
+    #[serde(default)]
+    pub shed: usize,
 }
 
 /// One workload class's slice of a run's metrics.
@@ -950,6 +957,11 @@ enum Ev {
     /// The iterative retrieval batch in pool slot `slot` completes; its
     /// members resume decoding.
     RetrievalDone(u32),
+    /// Fault-lane event: the replica's service-time slowdown factor becomes
+    /// `f64::from_bits(factor_bits)` (straggler onset sets it above 1, the
+    /// recovery resets it to exactly 1). Carried as bits so `Ev` stays
+    /// `Copy + Debug` without an `Eq`-hostile float field.
+    SlowdownChange { factor_bits: u64 },
 }
 
 /// The micro-batch in flight on one resource: which stage it runs and the
@@ -1267,6 +1279,11 @@ pub(crate) struct ReplicaSim {
     prefix_cache: Option<PrefixKvCache>,
     /// Replica-local retrieval-result cache, created cold likewise.
     retrieval_cache: Option<RetrievalResultCache>,
+    /// Service-time multiplier applied to every newly scheduled stage batch
+    /// and decode step. Exactly `1.0` on a healthy replica — the scaling is
+    /// skipped entirely then, keeping fault-free runs bit-identical —
+    /// and above `1.0` while the chaos layer marks the replica a straggler.
+    slowdown: f64,
     acc: SimAccumulators,
     queue: EventQueue<Ev>,
 }
@@ -1311,6 +1328,7 @@ impl ReplicaSim {
             completion_log: Vec::new(),
             prefix_cache,
             retrieval_cache,
+            slowdown: 1.0,
             acc: SimAccumulators::default(),
             queue: EventQueue::new(),
         }
@@ -1599,6 +1617,12 @@ impl ReplicaSim {
                 self.retrieval_pool[slot as usize] = members;
                 self.retrieval_free.push(slot);
             }
+            Ev::SlowdownChange { factor_bits } => {
+                // Work already in flight keeps its scheduled completion;
+                // only batches and steps dispatched after this instant see
+                // the new factor.
+                self.slowdown = f64::from_bits(factor_bits);
+            }
         }
     }
 
@@ -1627,7 +1651,8 @@ impl ReplicaSim {
                 self.arena.queueing_s[r] += now - self.arena.queue_entry_s[r];
             }
             let full = self.spec.stages[stage].latency.latency(take as u32);
-            let latency = self.charge_prefix_cache(stage, &members, full);
+            let charged = self.charge_prefix_cache(stage, &members, full);
+            let latency = self.scaled(charged);
             self.resource_busy[resource] = true;
             self.stage_batches[resource].stage = stage as u32;
             self.stage_batches[resource].members = members;
@@ -1758,7 +1783,7 @@ impl ReplicaSim {
             );
             let fill = self.step_members.len() as u32;
             if fill > 0 {
-                let dur = self.spec.decode.step_latency.latency(fill);
+                let dur = self.scaled(self.spec.decode.step_latency.latency(fill));
                 self.acc.fill_weighted_time += f64::from(fill) * dur;
                 self.acc.stepping_time += dur;
                 self.stepping = true;
@@ -1772,6 +1797,96 @@ impl ReplicaSim {
             .iter()
             .filter(|&&r| !self.arena.paused[r as usize])
             .count()
+    }
+
+    /// Applies the straggler slowdown to a service duration. The healthy
+    /// factor of exactly `1.0` returns `d` untouched — not `d * 1.0`, whose
+    /// rounding is also exact but whose branch would still perturb nothing;
+    /// the early return documents the bit-identity contract explicitly.
+    fn scaled(&self, d: f64) -> f64 {
+        if self.slowdown == 1.0 {
+            d
+        } else {
+            d * self.slowdown
+        }
+    }
+
+    /// Schedules a future slowdown change at `t` on the fault lane, which
+    /// orders before same-instant arrivals (see `crate::equeue`): a
+    /// degradation landing exactly at an arrival instant is in force before
+    /// that request is processed. Changes must be scheduled in
+    /// non-decreasing time order.
+    pub(crate) fn schedule_slowdown(&mut self, t: f64, factor: f64) {
+        debug_assert!(factor.is_finite() && factor > 0.0);
+        self.queue.push_fault(
+            t,
+            Ev::SlowdownChange {
+                factor_bits: factor.to_bits(),
+            },
+        );
+    }
+
+    /// Injects a request whose arrival event fires at `now` rather than at
+    /// its recorded `arrival_s` — the re-queue path after a replica crash.
+    /// The stored request keeps its original arrival time, so TTFT and
+    /// end-to-end latency include the time lost to the crash; only the
+    /// event that hands it to the pipeline is deferred.
+    pub(crate) fn inject_delayed(&mut self, req: EngineRequest, now: f64) {
+        assert!(
+            now.is_finite() && now >= 0.0 && now >= req.arrival_s,
+            "delayed injection must not precede the request's arrival"
+        );
+        assert!(
+            req.decode_tokens > 0,
+            "every request must generate at least one token"
+        );
+        let positions = match (&self.spec.iterative, &mut self.iterative_rng) {
+            (Some(it), Some(rng)) => {
+                sample_positions(rng, req.decode_tokens, it.retrievals_per_sequence)
+            }
+            _ => Vec::new(),
+        };
+        let slot = self.arena.push_slot(req.decode_tokens, &positions);
+        debug_assert_eq!(slot as usize, self.requests.len());
+        self.requests.push(req);
+        self.queue.push_arrival(now, Ev::Arrival(slot));
+    }
+
+    /// Tears down a crashed or preempted replica at its current instant:
+    /// every request that already completed becomes a timeline (exactly as
+    /// [`ReplicaSim::finish`] would emit it), every request still in flight
+    /// or queued is returned as its original [`EngineRequest`] for the
+    /// caller to re-queue or fail, and the accumulators keep the work the
+    /// replica did perform. Unprocessed events die with the replica —
+    /// including work that would have completed at the very crash instant,
+    /// which [`ReplicaSim::advance_before`] leaves unprocessed; the crash
+    /// wins that tie by construction, and the chaos goldens pin it.
+    pub(crate) fn dismantle(self) -> (Vec<RequestTimeline>, Vec<EngineRequest>, SimAccumulators) {
+        let arena = &self.arena;
+        let mut timelines = Vec::new();
+        let mut in_flight = Vec::new();
+        for (r, req) in self.requests.iter().enumerate() {
+            let completion_s = arena.completion_s[r];
+            if completion_s == UNSET {
+                in_flight.push(*req);
+                continue;
+            }
+            let first_token_s = arena.first_token_s[r];
+            debug_assert!(first_token_s != UNSET, "completed without a first token");
+            timelines.push(RequestTimeline {
+                id: req.id,
+                arrival_s: req.arrival_s,
+                stage_starts_s: arena.stage_starts(r).to_vec(),
+                stage_ends_s: arena.stage_ends(r).to_vec(),
+                class: req.class,
+                decode_join_s: arena.decode_join_s[r],
+                first_token_s,
+                completion_s,
+                queueing_s: arena.queueing_s[r],
+                decode_tokens: req.decode_tokens,
+            });
+        }
+        (timelines, in_flight, self.acc)
     }
 
     /// `(completion, ttft, tpot)` of every request completed at or before
@@ -1941,7 +2056,7 @@ fn compute_metrics(timelines: &[RequestTimeline], acc: &SimAccumulators) -> Serv
 /// clone-the-subset formulation. Sample buffers are sorted once in place
 /// and sliced for the percentile fields ([`LatencyStats::from_sorted`])
 /// instead of being re-copied per metric family.
-fn compute_metrics_for(
+pub(crate) fn compute_metrics_for(
     timelines: &[RequestTimeline],
     class: Option<u32>,
     acc: &SimAccumulators,
@@ -2037,6 +2152,7 @@ fn compute_metrics_for(
             acc.retrieval_fill as f64 / f64::from(acc.retrieval_batches)
         },
         events_processed: acc.events,
+        shed: 0,
     }
 }
 

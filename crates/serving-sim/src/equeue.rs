@@ -16,11 +16,18 @@
 //!   resource, one decode step, and the outstanding retrieval batches — so
 //!   its live occupancy is tiny and pops are `O(1)` amortized.
 //!
-//! [`EventQueue::pop`] merges the two lanes with exactly the historical
+//! [`EventQueue::pop`] merges the lanes with exactly the historical
 //! ordering: earlier time first (`f64::total_cmp`), arrivals before
 //! same-instant scheduled events (class 0 < class 1), and FIFO/sequence
 //! order within a lane. Because each lane is itself emitted in sorted order,
-//! the two-way merge reproduces the global heap order bit for bit.
+//! the merge reproduces the global heap order bit for bit.
+//!
+//! A third **fault lane** carries externally injected control events
+//! (straggler slowdown changes and the like). Faults order *before*
+//! same-instant arrivals — effectively class −1 — so a degradation that
+//! lands at the same instant as a request arrival is in force before that
+//! request is processed. The tie-break is pinned by unit test below and is
+//! part of the chaos-scenario golden contract.
 
 use std::cmp::Ordering;
 use std::collections::VecDeque;
@@ -269,6 +276,9 @@ fn key_cmp(t_a: f64, seq_a: u64, t_b: f64, seq_b: u64) -> Ordering {
 /// ordering contract.
 #[derive(Debug, Clone)]
 pub(crate) struct EventQueue<E> {
+    /// `(t, payload)` fault-lane events in non-decreasing `t`, FIFO.
+    /// Class −1: faults beat same-instant arrivals and scheduled events.
+    faults: VecDeque<(f64, E)>,
     /// `(t, payload)` arrivals in non-decreasing `t`, FIFO.
     arrivals: VecDeque<(f64, E)>,
     calendar: Calendar<E>,
@@ -281,6 +291,7 @@ pub(crate) struct EventQueue<E> {
 impl<E: Copy> EventQueue<E> {
     pub(crate) fn new() -> Self {
         Self {
+            faults: VecDeque::new(),
             arrivals: VecDeque::new(),
             calendar: Calendar::new(),
             seq: 0,
@@ -310,24 +321,41 @@ impl<E: Copy> EventQueue<E> {
         self.calendar.push(t, seq, ev);
     }
 
+    /// Enqueues a fault-lane event (class −1). Like arrivals, fault events
+    /// must be pushed in non-decreasing time order — fault schedules are
+    /// sorted before injection, and the debug assertion holds them to that.
+    pub(crate) fn push_fault(&mut self, t: f64, ev: E) {
+        debug_assert!(
+            self.faults.back().map_or(true, |&(back, _)| back <= t),
+            "fault events must be enqueued in non-decreasing time order"
+        );
+        self.faults.push_back((t, ev));
+    }
+
     /// Time of the next event without removing it.
     pub(crate) fn peek_time(&mut self) -> Option<f64> {
-        match (
-            self.arrivals.front().map(|&(t, _)| t),
-            self.calendar.peek_time(),
-        ) {
-            (Some(ta), Some(ts)) => Some(if ta.total_cmp(&ts) != Ordering::Greater {
-                ta
+        let merged = self.peek_rest();
+        match (self.faults.front().map(|&(t, _)| t), merged) {
+            // Faults (class −1) win ties against every other lane.
+            (Some(tf), Some(tm)) => Some(if tf.total_cmp(&tm) != Ordering::Greater {
+                tf
             } else {
-                ts
+                tm
             }),
-            (Some(ta), None) => Some(ta),
-            (None, ts) => ts,
+            (Some(tf), None) => Some(tf),
+            (None, tm) => tm,
         }
     }
 
     /// Removes and returns the next event in `(time, class, seq)` order.
     pub(crate) fn pop(&mut self) -> Option<(f64, E)> {
+        if let Some(&(tf, _)) = self.faults.front() {
+            // Faults (class −1) win ties against every other lane.
+            let rest = self.peek_rest();
+            if rest.map_or(true, |tr| tf.total_cmp(&tr) != Ordering::Greater) {
+                return self.faults.pop_front();
+            }
+        }
         let take_arrival = match (self.arrivals.front(), self.calendar.is_empty()) {
             (Some(_), true) => true,
             (None, _) => false,
@@ -347,8 +375,24 @@ impl<E: Copy> EventQueue<E> {
         }
     }
 
+    /// Earliest time across the arrival and calendar lanes only.
+    fn peek_rest(&mut self) -> Option<f64> {
+        match (
+            self.arrivals.front().map(|&(t, _)| t),
+            self.calendar.peek_time(),
+        ) {
+            (Some(ta), Some(ts)) => Some(if ta.total_cmp(&ts) != Ordering::Greater {
+                ta
+            } else {
+                ts
+            }),
+            (Some(ta), None) => Some(ta),
+            (None, ts) => ts,
+        }
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
-        self.arrivals.is_empty() && self.calendar.is_empty()
+        self.faults.is_empty() && self.arrivals.is_empty() && self.calendar.is_empty()
     }
 }
 
@@ -400,6 +444,27 @@ mod tests {
         assert_eq!(q.pop(), Some((0.5, 20)));
         assert_eq!(q.pop(), Some((1.0, 1)));
         assert_eq!(q.pop(), Some((1.0, 10)));
+        assert!(q.is_empty());
+    }
+
+    /// Pins the fault-lane tie-break: at one instant, fault events drain
+    /// first (FIFO), then arrivals, then scheduled completions. Chaos
+    /// scenario goldens depend on this order.
+    #[test]
+    fn fault_events_beat_same_instant_arrivals_and_scheduled_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push_scheduled(1.0, 30);
+        q.push_arrival(1.0, 20);
+        q.push_fault(1.0, 10);
+        q.push_fault(1.0, 11);
+        q.push_fault(2.0, 12);
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop(), Some((1.0, 10)));
+        assert_eq!(q.pop(), Some((1.0, 11)));
+        assert_eq!(q.pop(), Some((1.0, 20)));
+        assert_eq!(q.pop(), Some((1.0, 30)));
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((2.0, 12)));
         assert!(q.is_empty());
     }
 

@@ -1,0 +1,2506 @@
+//! Fault injection, SLO-aware admission control, and plan-driven scaling.
+//!
+//! The fleet engines in [`crate::cluster`] and [`crate::autoscaler`] assume
+//! replicas never fail. Real fleets lose replicas mid-peak — crashes, slow
+//! nodes, spot preemptions — and the serving literature the roadmap tracks
+//! (DistServe's SLO-attained goodput, Splitwise's provisioning headroom)
+//! presumes the fleet degrades *proportionally* when that happens. This
+//! module makes that claim testable:
+//!
+//! * **[`FaultSchedule`]** — a deterministic list of [`FaultEvent`]s
+//!   (explicit or seeded): replica crashes (in-flight requests re-queued or
+//!   failed per [`CrashPolicy`], restart after a configurable delay with
+//!   **cold caches**), straggler onset/recovery (all stage and decode
+//!   latencies scaled by a factor), and spot preemption with advance notice
+//!   (the replica drains during the notice window, then dies).
+//! * **[`AdmissionConfig`]** — fleet-level load shedding with per-class
+//!   priorities: when the mean queue depth per routable replica exceeds a
+//!   class's threshold, the arrival is shed instead of routed. Higher
+//!   priority ⇒ higher threshold ⇒ shed later, so best-effort traffic
+//!   absorbs the degradation. Shed counts are threaded into the merged
+//!   [`crate::ServingMetrics::shed`] and the per-class rows.
+//! * **[`ScaleDriver`]** — how capacity follows the trace: a fixed fleet, the
+//!   reactive [`AutoscalerPolicy`], or a **predictive** [`ScalingPlan`]
+//!   (e.g. derived from `plan_capacity_profile`'s rate-profile schedule in
+//!   `rago-core`) that provisions capacity *before* the load arrives.
+//! * **[`ChaosReport`]** — the ordinary fleet report plus a [`FaultReport`]
+//!   (requests lost/shed/retried, disruption log) and recovery metrics:
+//!   windowed attainment timelines, time-to-reattainment, and goodput-dip
+//!   area per disruption.
+//!
+//! Fault events ride a dedicated lane of the event queue
+//! (`crate::equeue`) that orders **before** same-instant arrivals and
+//! scheduled completions, so a fault landing exactly at an arrival instant
+//! is in force before that request is processed — the tie-break is pinned
+//! by `tests/golden/fault_*.json`.
+//!
+//! With an empty schedule, no admission control, and the reactive driver,
+//! [`ChaosEngine`] is **bit-identical** to [`crate::AutoscaleEngine`] (and
+//! with a static driver, to [`crate::ClusterEngine`]) — the degenerate pins
+//! in `tests/golden_regression.rs` hold this exact.
+//!
+//! # Examples
+//!
+//! Crash one replica of a three-replica fleet mid-trace and inspect the
+//! recovery:
+//!
+//! ```
+//! use rago_serving_sim::faults::{ChaosEngine, FaultEvent, FaultSchedule, ScaleDriver};
+//! use rago_serving_sim::engine::{DecodeSpec, LatencyTable, PipelineSpec, StageSpec};
+//! use rago_schema::{RouterPolicy, SloTarget};
+//! use rago_schema::SequenceProfile;
+//! use rago_workloads::{ArrivalProcess, TraceSpec};
+//!
+//! let spec = PipelineSpec::new(
+//!     vec![StageSpec::new("prefix", 0, 4, LatencyTable::constant(4, 0.02))],
+//!     DecodeSpec::new(16, LatencyTable::constant(16, 2e-3)),
+//! );
+//! let trace = TraceSpec {
+//!     num_requests: 120,
+//!     profile: SequenceProfile::paper_default().with_decode_tokens(16),
+//!     arrival: ArrivalProcess::Poisson { rate_rps: 40.0 },
+//!     length_jitter: 0.0,
+//!     seed: 7,
+//! }
+//! .generate();
+//! let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+//!     replica: 0,
+//!     at_s: 1.0,
+//!     restart_delay_s: 0.5,
+//! }]);
+//! let report = ChaosEngine::new(spec, RouterPolicy::LeastOutstanding,
+//!     ScaleDriver::Static { replicas: 3 })
+//!     .with_faults(faults)
+//!     .run_trace(&trace);
+//! // Every injected request is accounted for exactly once.
+//! assert_eq!(report.fault.injected, 120);
+//! assert_eq!(
+//!     report.fault.completed + report.fault.shed + report.fault.failed,
+//!     120,
+//! );
+//! assert_eq!(report.fault.disruptions.len(), 1);
+//! let slo = SloTarget::new(5.0, 1.0);
+//! assert!(report.offered_attainment(&slo) > 0.0);
+//! ```
+
+use crate::autoscaler::{AutoscalerPolicy, ReplicaLifetime, ScalingAction, ScalingEvent};
+use crate::cluster::{advance_all, route_pick, FleetReport, LoadImbalance, ReplicaReport};
+use crate::engine::{
+    build_report, compute_metrics_for, sort_by_arrival, ClassMetrics, EngineRequest, PipelineSpec,
+    ReplicaSim, RequestTimeline, SimAccumulators,
+};
+use rago_schema::{RouterPolicy, SloTarget};
+use rago_workloads::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One injected fault. Replica indices refer to fleet slots in provisioning
+/// order: the initial fleet is `0..initial`, and every later provisioning
+/// (scale-out, plan step, restart) appends the next index. A fault whose
+/// target slot does not exist — or is already dead — at the fault instant
+/// is skipped (counted in [`FaultReport::faults_skipped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The replica dies instantly at `at_s`: its caches and queued work are
+    /// lost, in-flight requests are re-queued or failed per [`CrashPolicy`],
+    /// and — unless `restart_delay_s` is infinite — a **cold** replacement
+    /// replica is provisioned `restart_delay_s` later, taking the same
+    /// warm-up path as a scale-out.
+    Crash {
+        /// Target fleet slot.
+        replica: usize,
+        /// Crash instant, in seconds.
+        at_s: f64,
+        /// Delay until the cold replacement is provisioned;
+        /// `f64::INFINITY` means the replica never restarts.
+        restart_delay_s: f64,
+    },
+    /// The replica degrades at `at_s`: every stage and decode latency is
+    /// multiplied by `slowdown` until a matching [`FaultEvent::StragglerEnd`].
+    StragglerStart {
+        /// Target fleet slot.
+        replica: usize,
+        /// Onset instant, in seconds.
+        at_s: f64,
+        /// Latency multiplier (finite, `> 0`; `> 1` slows the replica down).
+        slowdown: f64,
+    },
+    /// The replica recovers to full speed at `at_s`.
+    StragglerEnd {
+        /// Target fleet slot.
+        replica: usize,
+        /// Recovery instant, in seconds.
+        at_s: f64,
+    },
+    /// Spot preemption with advance notice: at `at_s` the replica stops
+    /// taking new traffic and drains; `notice_s` later it dies, and whatever
+    /// is still in flight is re-queued or failed per [`CrashPolicy`]. A
+    /// preempted replica never restarts.
+    Preempt {
+        /// Target fleet slot.
+        replica: usize,
+        /// Notice instant, in seconds.
+        at_s: f64,
+        /// Drain window between the notice and the kill, in seconds.
+        notice_s: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The fault's injection instant.
+    pub fn at_s(&self) -> f64 {
+        match *self {
+            FaultEvent::Crash { at_s, .. }
+            | FaultEvent::StragglerStart { at_s, .. }
+            | FaultEvent::StragglerEnd { at_s, .. }
+            | FaultEvent::Preempt { at_s, .. } => at_s,
+        }
+    }
+
+    /// The targeted fleet slot.
+    pub fn replica(&self) -> usize {
+        match *self {
+            FaultEvent::Crash { replica, .. }
+            | FaultEvent::StragglerStart { replica, .. }
+            | FaultEvent::StragglerEnd { replica, .. }
+            | FaultEvent::Preempt { replica, .. } => replica,
+        }
+    }
+
+    fn assert_valid(&self) {
+        let at = self.at_s();
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "fault times must be finite and non-negative"
+        );
+        match *self {
+            FaultEvent::Crash {
+                restart_delay_s, ..
+            } => assert!(
+                restart_delay_s >= 0.0 && !restart_delay_s.is_nan(),
+                "restart delays must be non-negative (infinity = never)"
+            ),
+            FaultEvent::StragglerStart { slowdown, .. } => assert!(
+                slowdown.is_finite() && slowdown > 0.0,
+                "straggler slowdown factors must be finite and positive"
+            ),
+            FaultEvent::StragglerEnd { .. } => {}
+            FaultEvent::Preempt { notice_s, .. } => assert!(
+                notice_s.is_finite() && notice_s >= 0.0,
+                "preemption notice must be finite and non-negative"
+            ),
+        }
+    }
+}
+
+/// A deterministic fault injection schedule: an explicit event list or a
+/// seeded crash process. Events are stably sorted by time, so same-instant
+/// events keep their list order — the replay is exactly reproducible and
+/// golden-pinnable.
+///
+/// # Examples
+///
+/// ```
+/// use rago_serving_sim::faults::{FaultEvent, FaultSchedule};
+///
+/// // Explicit: replica 1 straggles at 4x between t=2 and t=5.
+/// let schedule = FaultSchedule::new(vec![
+///     FaultEvent::StragglerEnd { replica: 1, at_s: 5.0 },
+///     FaultEvent::StragglerStart { replica: 1, at_s: 2.0, slowdown: 4.0 },
+/// ]);
+/// assert_eq!(schedule.len(), 2);
+/// assert_eq!(schedule.events()[0].at_s(), 2.0); // sorted by time
+///
+/// // Seeded: exponential crash inter-arrivals, reproducible per seed.
+/// let a = FaultSchedule::seeded(13, 4, 20.0, 60.0, 5.0);
+/// let b = FaultSchedule::seeded(13, 4, 20.0, 60.0, 5.0);
+/// assert_eq!(a, b);
+/// assert!(!a.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule of the given events, stably sorted by fault time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is malformed (negative or non-finite time,
+    /// non-positive slowdown, negative notice or restart delay).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        for e in &events {
+            e.assert_valid();
+        }
+        events.sort_by(|a, b| a.at_s().total_cmp(&b.at_s()));
+        Self { events }
+    }
+
+    /// The empty schedule: no faults are ever injected, and the run is
+    /// bit-identical to the fault-free engines.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A seeded crash process over `replicas` fleet slots: crash
+    /// inter-arrival times are exponential with mean `mtbf_s` (mean time
+    /// between failures), targets are uniform over the slots, and every
+    /// crash restarts after `restart_delay_s`. Generation stops at
+    /// `horizon_s`. Identical seeds produce identical schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or `mtbf_s`/`horizon_s` are not
+    /// positive and finite.
+    pub fn seeded(
+        seed: u64,
+        replicas: usize,
+        mtbf_s: f64,
+        horizon_s: f64,
+        restart_delay_s: f64,
+    ) -> Self {
+        assert!(replicas > 0, "a seeded schedule needs at least one replica");
+        assert!(
+            mtbf_s.is_finite() && mtbf_s > 0.0,
+            "the mean time between failures must be positive and finite"
+        );
+        assert!(
+            horizon_s.is_finite() && horizon_s > 0.0,
+            "the schedule horizon must be positive and finite"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_5EED);
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen();
+            t += -mtbf_s * (1.0 - u).ln();
+            if t > horizon_s {
+                break;
+            }
+            let replica = rng.gen_range(0..replicas);
+            events.push(FaultEvent::Crash {
+                replica,
+                at_s: t,
+                restart_delay_s,
+            });
+        }
+        Self::new(events)
+    }
+
+    /// The events, ascending by fault time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// What happens to a dying replica's in-flight requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CrashPolicy {
+    /// Re-queue them into the surviving fleet at the crash instant (their
+    /// original arrival times are kept, so TTFT includes the lost time).
+    /// Re-queued requests bypass admission control — they were admitted
+    /// once. If no replica is routable they wait for the next one.
+    #[default]
+    Requeue,
+    /// Fail them outright; they count in [`FaultReport::failed`].
+    Fail,
+}
+
+/// Fleet-level, priority-aware admission control. At each arrival the
+/// engine measures the mean queue depth per routable replica; the arrival
+/// is **shed** when that depth exceeds its class's threshold
+///
+/// ```text
+/// threshold(class) = shed_queue_depth + depth_per_priority × priority(class)
+/// ```
+///
+/// so a higher-priority class tolerates a deeper backlog before shedding —
+/// the shed decision is monotone in priority by construction
+/// (`tests/proptest_faults.rs` holds this under arbitrary load).
+///
+/// # Examples
+///
+/// ```
+/// use rago_serving_sim::faults::AdmissionConfig;
+///
+/// // Shed best-effort traffic above 2 queued per replica; each priority
+/// // level buys 4 more.
+/// let admission = AdmissionConfig::new(2.0, 4.0)
+///     .with_class_priority(1, 2); // class 1 is high priority
+/// assert_eq!(admission.priority_of(0), 0);
+/// assert_eq!(admission.priority_of(1), 2);
+/// assert_eq!(admission.threshold_for(0), 2.0);
+/// assert_eq!(admission.threshold_for(2), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Mean queued requests per routable replica above which priority-0
+    /// (best-effort) traffic is shed.
+    pub shed_queue_depth: f64,
+    /// Additional queue depth each priority level tolerates before
+    /// shedding.
+    pub depth_per_priority: f64,
+    /// Priority per workload class, indexed by class id; classes beyond the
+    /// table are priority 0. Matches
+    /// `rago_workloads::RequestClass::priority` when built from a mix.
+    pub class_priorities: Vec<u32>,
+}
+
+impl AdmissionConfig {
+    /// An admission policy with the given base threshold and per-priority
+    /// headroom; every class starts at priority 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either threshold is negative or non-finite.
+    pub fn new(shed_queue_depth: f64, depth_per_priority: f64) -> Self {
+        assert!(
+            shed_queue_depth.is_finite() && shed_queue_depth >= 0.0,
+            "the shed queue depth must be non-negative and finite"
+        );
+        assert!(
+            depth_per_priority.is_finite() && depth_per_priority >= 0.0,
+            "the per-priority depth must be non-negative and finite"
+        );
+        Self {
+            shed_queue_depth,
+            depth_per_priority,
+            class_priorities: Vec::new(),
+        }
+    }
+
+    /// Sets one class's priority (growing the table as needed).
+    #[must_use]
+    pub fn with_class_priority(mut self, class: u32, priority: u32) -> Self {
+        let idx = class as usize;
+        if self.class_priorities.len() <= idx {
+            self.class_priorities.resize(idx + 1, 0);
+        }
+        self.class_priorities[idx] = priority;
+        self
+    }
+
+    /// The priority of `class` (0 for classes beyond the table).
+    pub fn priority_of(&self, class: u32) -> u32 {
+        self.class_priorities
+            .get(class as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The mean-queue-depth threshold above which priority `priority`
+    /// traffic is shed.
+    pub fn threshold_for(&self, priority: u32) -> f64 {
+        self.shed_queue_depth + self.depth_per_priority * f64::from(priority)
+    }
+}
+
+/// One shed arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedEvent {
+    /// When the arrival was shed, in seconds.
+    pub time_s: f64,
+    /// The request id.
+    pub id: u64,
+    /// The request's workload class.
+    pub class: u32,
+    /// The class's priority at the time.
+    pub priority: u32,
+    /// The observed mean queue depth per routable replica.
+    pub mean_queue_depth: f64,
+}
+
+/// One step of a [`ScalingPlan`]: from `at_s` on, the fleet targets
+/// `replicas` provisioned replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// When the step takes effect, in seconds.
+    pub at_s: f64,
+    /// The provisioned-replica target from then on (at least 1).
+    pub replicas: u32,
+}
+
+/// A feed-forward capacity schedule: the fleet starts at `initial` replicas
+/// and re-targets at each step, provisioning *ahead* of predicted load
+/// instead of reacting to queue build-up. `rago-core` derives one from
+/// `plan_capacity_profile`'s per-window replica counts.
+///
+/// # Examples
+///
+/// ```
+/// use rago_serving_sim::faults::{PlanStep, ScalingPlan};
+///
+/// let plan = ScalingPlan::new(1, vec![
+///     PlanStep { at_s: 4.0, replicas: 3 },
+///     PlanStep { at_s: 10.0, replicas: 1 },
+/// ]);
+/// assert_eq!(plan.target_at(0.0), 1);
+/// assert_eq!(plan.target_at(4.0), 3);
+/// assert_eq!(plan.target_at(11.0), 1);
+/// // A flat plan is a static fleet.
+/// assert_eq!(ScalingPlan::flat(2).target_at(123.0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPlan {
+    /// Replicas provisioned at the start of the run (at least 1).
+    pub initial: u32,
+    /// Re-target steps, strictly increasing in time.
+    pub steps: Vec<PlanStep>,
+}
+
+impl ScalingPlan {
+    /// A plan with the given initial size and steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` or any step target is zero, any step time is
+    /// negative or non-finite, or step times are not strictly increasing.
+    pub fn new(initial: u32, steps: Vec<PlanStep>) -> Self {
+        assert!(initial >= 1, "a plan must start with at least one replica");
+        for step in &steps {
+            assert!(
+                step.at_s.is_finite() && step.at_s >= 0.0,
+                "plan step times must be finite and non-negative"
+            );
+            assert!(step.replicas >= 1, "plan targets must be at least 1");
+        }
+        assert!(
+            steps.windows(2).all(|w| w[0].at_s < w[1].at_s),
+            "plan step times must be strictly increasing"
+        );
+        Self { initial, steps }
+    }
+
+    /// A constant plan: `replicas` for the whole run. A predictive driver
+    /// with a flat plan is bit-identical to a static fleet of the same
+    /// size (`tests/proptest_faults.rs`).
+    pub fn flat(replicas: u32) -> Self {
+        Self::new(replicas, Vec::new())
+    }
+
+    /// The provisioned-replica target in force at time `t`.
+    pub fn target_at(&self, t: f64) -> u32 {
+        let mut target = self.initial;
+        for step in &self.steps {
+            if step.at_s <= t {
+                target = step.replicas;
+            } else {
+                break;
+            }
+        }
+        target
+    }
+}
+
+/// The predictive autoscaler: a [`ScalingPlan`] plus the warm-up delay each
+/// newly provisioned replica pays before taking traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictivePolicy {
+    /// The capacity schedule to feed forward.
+    pub plan: ScalingPlan,
+    /// Seconds a newly provisioned replica warms up before it is routable.
+    pub warmup_s: f64,
+}
+
+impl PredictivePolicy {
+    /// A predictive policy over `plan` with the given warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warm-up is negative or non-finite.
+    pub fn new(plan: ScalingPlan, warmup_s: f64) -> Self {
+        assert!(
+            warmup_s.is_finite() && warmup_s >= 0.0,
+            "the warm-up delay must be non-negative and finite"
+        );
+        Self { plan, warmup_s }
+    }
+}
+
+/// How the chaos engine sizes the fleet while the trace plays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScaleDriver {
+    /// A fixed fleet (no ticks, no scaling; restarts are immediate since a
+    /// static fleet has no warm-up concept).
+    Static {
+        /// Fleet size (at least 1).
+        replicas: u32,
+    },
+    /// The reactive policy of [`crate::AutoscaleEngine`], evaluated at its
+    /// interval — with an empty fault schedule and no admission control the
+    /// run is bit-identical to that engine.
+    Reactive(AutoscalerPolicy),
+    /// A feed-forward [`ScalingPlan`]: capacity changes at the plan's step
+    /// times regardless of observed load.
+    Predictive(PredictivePolicy),
+}
+
+impl ScaleDriver {
+    fn assert_valid(&self) {
+        match self {
+            ScaleDriver::Static { replicas } => {
+                assert!(*replicas >= 1, "a static fleet needs at least one replica");
+            }
+            ScaleDriver::Reactive(policy) => policy.assert_valid(),
+            ScaleDriver::Predictive(_) => {} // validated at construction
+        }
+    }
+
+    fn initial_replicas(&self) -> u32 {
+        match self {
+            ScaleDriver::Static { replicas } => *replicas,
+            ScaleDriver::Reactive(policy) => policy.min_replicas,
+            ScaleDriver::Predictive(p) => p.plan.initial,
+        }
+    }
+
+    /// The warm-up a provisioned replica pays — scale-out and restart take
+    /// the same path.
+    fn warmup_s(&self) -> f64 {
+        match self {
+            ScaleDriver::Static { .. } => 0.0,
+            ScaleDriver::Reactive(policy) => policy.warmup_s,
+            ScaleDriver::Predictive(p) => p.warmup_s,
+        }
+    }
+
+    fn track_completions(&self) -> bool {
+        matches!(self, ScaleDriver::Reactive(p) if p.attainment_trigger.is_some())
+    }
+}
+
+/// The kind of one capacity disruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A crash (instant death).
+    Crash,
+    /// A spot preemption (death after the notice window).
+    Preemption,
+}
+
+/// One capacity loss, as recorded for recovery analysis. Preemptions are
+/// logged at the *notice* instant — capacity stops there even though the
+/// replica drains on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disruption {
+    /// When the fleet lost the capacity, in seconds.
+    pub time_s: f64,
+    /// The fleet slot that died.
+    pub replica: usize,
+    /// Crash or preemption.
+    pub kind: FaultKind,
+}
+
+/// One class's shed count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassShed {
+    /// The workload class.
+    pub class: u32,
+    /// Arrivals of this class shed by admission control.
+    pub shed: usize,
+}
+
+/// Fault-path accounting of one chaos run. Request conservation holds
+/// exactly: `injected == completed + shed + failed`
+/// (`tests/proptest_faults.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Requests offered to the fleet.
+    pub injected: usize,
+    /// Requests that finished generation.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests lost to crashes/preemptions under [`CrashPolicy::Fail`],
+    /// plus requests still waiting for a routable replica when the run
+    /// ended.
+    pub failed: usize,
+    /// Re-queue occurrences: each time an in-flight request was recovered
+    /// from a dying replica and re-queued (a request crashed twice counts
+    /// twice).
+    pub retried: usize,
+    /// Fault events that found their target alive and were applied.
+    pub faults_applied: usize,
+    /// Fault events whose target slot did not exist or was already dead.
+    pub faults_skipped: usize,
+    /// Shed counts per class, ascending by class id.
+    pub shed_by_class: Vec<ClassShed>,
+    /// Every shed arrival, in time order.
+    pub shed_log: Vec<ShedEvent>,
+    /// Every capacity loss, in time order.
+    pub disruptions: Vec<Disruption>,
+}
+
+/// One window of the attainment timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttainmentWindow {
+    /// Window start, in seconds.
+    pub start_s: f64,
+    /// Window end, in seconds.
+    pub end_s: f64,
+    /// Requests completing inside the window.
+    pub completed: usize,
+    /// Of those, requests meeting the SLO.
+    pub met: usize,
+    /// `met / completed`; **zero** for an empty window — a fleet completing
+    /// nothing is attaining nothing, which is exactly the dip the recovery
+    /// metrics integrate.
+    pub attainment: f64,
+}
+
+/// Per-disruption recovery metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryMetrics {
+    /// The disruption instant, in seconds.
+    pub fault_s: f64,
+    /// The fleet slot that died.
+    pub replica: usize,
+    /// Crash or preemption.
+    pub kind: FaultKind,
+    /// Seconds from the disruption until the start of the first window at
+    /// or above the SLO's attainment target *after the dip*: the scan
+    /// starts at the disruption, waits for the first window that falls
+    /// below target (queued work often keeps the fleet healthy for a few
+    /// windows after a crash), and then measures to the first recovered
+    /// window. `Some(0.0)` when attainment never dipped at all; `None`
+    /// when it dipped and never recovered within the run.
+    pub reattainment_s: Option<f64>,
+    /// Integral of the attainment shortfall (target minus windowed
+    /// attainment, clamped at zero) from the disruption to reattainment —
+    /// or to the end of the run if attainment never recovered. Seconds of
+    /// full outage contribute `target × window` each; zero when attainment
+    /// never dipped.
+    pub dip_area: f64,
+}
+
+/// The result of one chaos run: the ordinary fleet report and scaling
+/// history, plus fault accounting and recovery analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// The merged fleet report — same definitions as
+    /// [`crate::ClusterEngine`] / [`crate::AutoscaleEngine`] runs, with one
+    /// row per fleet slot ever provisioned (dead slots report what they
+    /// completed before dying). [`crate::ServingMetrics::shed`] carries the
+    /// admission-control counts in the merged and per-class rows.
+    pub fleet: FleetReport,
+    /// Every *policy* scaling decision, in time order (restarts appear in
+    /// [`Self::lifetimes`], not here).
+    pub events: Vec<ScalingEvent>,
+    /// Per-slot provisioning windows, by slot index. A crashed slot retires
+    /// at its death; its cold replacement is a new slot.
+    pub lifetimes: Vec<ReplicaLifetime>,
+    /// Largest number of provisioned replicas at any instant.
+    pub peak_provisioned: u32,
+    /// Smallest number of provisioned replicas at any instant (crashes
+    /// count: a fleet reduced to zero reads zero here).
+    pub min_provisioned: u32,
+    /// Integral of provisioned replicas over time, in replica-seconds —
+    /// dead time between a crash and its restart is *not* paid.
+    pub replica_seconds: f64,
+    /// Fault accounting.
+    pub fault: FaultReport,
+}
+
+impl ChaosReport {
+    /// Mean provisioned replicas over the run (`replica_seconds` divided
+    /// by the makespan; zero for an empty run).
+    pub fn mean_provisioned(&self) -> f64 {
+        let makespan = self.fleet.merged.metrics.makespan_s;
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.replica_seconds / makespan
+    }
+
+    /// Attainment against everything *offered*: requests meeting `slo`
+    /// divided by all injected requests, so shed and failed requests count
+    /// against the fleet (1.0 when nothing was injected). The plain
+    /// [`FleetReport::attainment`] scores completions only.
+    pub fn offered_attainment(&self, slo: &SloTarget) -> f64 {
+        if self.fault.injected == 0 {
+            return 1.0;
+        }
+        let met = self
+            .fleet
+            .merged
+            .timelines
+            .iter()
+            .filter(|t| slo.meets(t.ttft_s(), t.tpot_s()))
+            .count();
+        met as f64 / self.fault.injected as f64
+    }
+
+    /// The windowed attainment timeline: completions bucketed by completion
+    /// time into `window_s`-wide windows from `t = 0` to the run's
+    /// makespan. Empty windows read zero attainment (see
+    /// [`AttainmentWindow::attainment`]). Returns an empty vector for an
+    /// empty run or a non-positive window.
+    pub fn attainment_timeline(&self, slo: &SloTarget, window_s: f64) -> Vec<AttainmentWindow> {
+        if !window_s.is_finite() || window_s <= 0.0 || self.fleet.merged.timelines.is_empty() {
+            return Vec::new();
+        }
+        let makespan = self.fleet.merged.metrics.makespan_s;
+        let n = (makespan / window_s).floor() as usize + 1;
+        let mut windows: Vec<AttainmentWindow> = (0..n)
+            .map(|k| AttainmentWindow {
+                start_s: k as f64 * window_s,
+                end_s: (k + 1) as f64 * window_s,
+                completed: 0,
+                met: 0,
+                attainment: 0.0,
+            })
+            .collect();
+        for t in &self.fleet.merged.timelines {
+            let k = ((t.completion_s / window_s).floor() as usize).min(n - 1);
+            windows[k].completed += 1;
+            if slo.meets(t.ttft_s(), t.tpot_s()) {
+                windows[k].met += 1;
+            }
+        }
+        for w in &mut windows {
+            if w.completed > 0 {
+                w.attainment = w.met as f64 / w.completed as f64;
+            }
+        }
+        windows
+    }
+
+    /// Recovery metrics per disruption: time-to-reattainment and the
+    /// goodput-dip area, measured on the `window_s`-wide attainment
+    /// timeline against `slo` (whose `attainment` field is the recovery
+    /// target).
+    ///
+    /// The dip is detected, not assumed: in-flight and queued work often
+    /// keeps windowed attainment at target for a while after a crash, so
+    /// the scan runs from the disruption to the *first window below
+    /// target*, and measures reattainment from the disruption to the first
+    /// at-target window after that. A disruption the fleet absorbs without
+    /// ever dipping reports `reattainment_s = Some(0.0)` and a zero dip.
+    pub fn recovery(&self, slo: &SloTarget, window_s: f64) -> Vec<RecoveryMetrics> {
+        let timeline = self.attainment_timeline(slo, window_s);
+        self.fault
+            .disruptions
+            .iter()
+            .map(|d| {
+                let mut dip = 0.0;
+                let mut dipped = false;
+                let mut reattainment = None;
+                for w in timeline.iter().filter(|w| w.start_s >= d.time_s) {
+                    let at_target = w.completed > 0 && w.attainment >= slo.attainment;
+                    if !dipped {
+                        if at_target {
+                            continue;
+                        }
+                        dipped = true;
+                    } else if at_target {
+                        reattainment = Some(w.start_s - d.time_s);
+                        break;
+                    }
+                    dip += (slo.attainment - w.attainment).max(0.0) * window_s;
+                }
+                if !dipped {
+                    reattainment = Some(0.0);
+                }
+                RecoveryMetrics {
+                    fault_s: d.time_s,
+                    replica: d.replica,
+                    kind: d.kind,
+                    reattainment_s: reattainment,
+                    dip_area: dip,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One fleet slot of the chaos engine. `sim` is `None` once the replica is
+/// dead (crashed or killed); its pre-death results are parked until the
+/// merge.
+struct ChaosSlot {
+    sim: Option<ReplicaSim>,
+    provisioned_s: f64,
+    routable_s: f64,
+    decommissioned_s: Option<f64>,
+    /// Death instant of a crashed/preempted slot — its chips are released
+    /// here, unlike a decommissioned-but-draining slot.
+    retired_at: Option<f64>,
+    assigned: usize,
+    completion_cursor: usize,
+}
+
+impl ChaosSlot {
+    fn fresh(sim: ReplicaSim, provisioned_s: f64, routable_s: f64) -> Self {
+        Self {
+            sim: Some(sim),
+            provisioned_s,
+            routable_s,
+            decommissioned_s: None,
+            retired_at: None,
+            assigned: 0,
+            completion_cursor: 0,
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.sim.is_some()
+    }
+
+    fn routable_at(&self, t: f64) -> bool {
+        self.alive() && self.routable_s <= t && self.decommissioned_s.is_none()
+    }
+}
+
+/// One pending fault-lane action of the run's agenda.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Crash { slot: usize, restart_delay_s: f64 },
+    Slowdown { slot: usize, factor: f64 },
+    PreemptNotice { slot: usize, notice_s: f64 },
+    Kill { slot: usize },
+    Restart,
+}
+
+struct Agendum {
+    t: f64,
+    seq: u64,
+    action: Action,
+}
+
+/// The chaos-ready fleet engine: replicas of one pipeline behind a router,
+/// sized by a [`ScaleDriver`], degraded by a [`FaultSchedule`], and guarded
+/// by optional [`AdmissionConfig`] load shedding. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    spec: PipelineSpec,
+    router: RouterPolicy,
+    driver: ScaleDriver,
+    faults: FaultSchedule,
+    crash_policy: CrashPolicy,
+    admission: Option<AdmissionConfig>,
+    parallel_advance: bool,
+}
+
+impl ChaosEngine {
+    /// A chaos engine with no faults and no admission control — in that
+    /// configuration the run is bit-identical to the fault-free engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver is malformed (zero replicas, invalid reactive
+    /// policy).
+    pub fn new(spec: PipelineSpec, router: RouterPolicy, driver: ScaleDriver) -> Self {
+        driver.assert_valid();
+        Self {
+            spec,
+            router,
+            driver,
+            faults: FaultSchedule::empty(),
+            crash_policy: CrashPolicy::default(),
+            admission: None,
+            parallel_advance: false,
+        }
+    }
+
+    /// Injects a fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the in-flight policy for dying replicas (default
+    /// [`CrashPolicy::Requeue`]).
+    #[must_use]
+    pub fn with_crash_policy(mut self, policy: CrashPolicy) -> Self {
+        self.crash_policy = policy;
+        self
+    }
+
+    /// Enables priority-aware admission control.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Advances replicas in parallel between clock points (off by default);
+    /// bit-identical to the serial run, as for
+    /// [`crate::ClusterEngine::with_parallel_advance`].
+    #[must_use]
+    pub fn with_parallel_advance(mut self, parallel: bool) -> Self {
+        self.parallel_advance = parallel;
+        self
+    }
+
+    /// The scale driver.
+    pub fn driver(&self) -> &ScaleDriver {
+        &self.driver
+    }
+
+    fn new_sim(&self) -> ReplicaSim {
+        let mut sim = ReplicaSim::new(self.spec.clone());
+        sim.track_completions = self.driver.track_completions();
+        sim
+    }
+
+    /// Runs a generated trace through the chaos fleet.
+    pub fn run_trace(&self, trace: &Trace) -> ChaosReport {
+        self.run(trace.requests.iter().map(EngineRequest::from).collect())
+    }
+
+    /// Runs the fleet over `requests` (sorted by arrival time internally).
+    ///
+    /// The run interleaves four chronological streams under one clock, with
+    /// a pinned tie-break at equal instants: **fault actions** first, then
+    /// **pending-request flushes** (requests that arrived while no replica
+    /// was routable), then **policy ticks / plan steps**, then **arrivals**
+    /// — a fault or scaling decision at an arrival's instant is in force
+    /// before that arrival is routed, exactly as in
+    /// [`crate::AutoscaleEngine::run`]. No policy scaling happens after the
+    /// last arrival, but faults (and restarts) keep firing through the
+    /// drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arrival time is negative or non-finite, or any request
+    /// generates zero tokens.
+    pub fn run(&self, mut requests: Vec<EngineRequest>) -> ChaosReport {
+        sort_by_arrival(&mut requests);
+        let injected = requests.len();
+        let initial = self.driver.initial_replicas();
+        let mut slots: Vec<ChaosSlot> = (0..initial)
+            .map(|_| ChaosSlot::fresh(self.new_sim(), 0.0, 0.0))
+            .collect();
+        let mut events: Vec<ScalingEvent> = Vec::new();
+        let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
+        let mut round_robin_next = 0usize;
+        let mut last_action_s = f64::NEG_INFINITY;
+        let mut peak_provisioned = initial;
+        let mut min_provisioned = initial;
+
+        // Fault-lane state.
+        let mut agenda: Vec<Agendum> = self
+            .faults
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Agendum {
+                t: e.at_s(),
+                seq: i as u64,
+                action: match *e {
+                    FaultEvent::Crash {
+                        replica,
+                        restart_delay_s,
+                        ..
+                    } => Action::Crash {
+                        slot: replica,
+                        restart_delay_s,
+                    },
+                    FaultEvent::StragglerStart {
+                        replica, slowdown, ..
+                    } => Action::Slowdown {
+                        slot: replica,
+                        factor: slowdown,
+                    },
+                    FaultEvent::StragglerEnd { replica, .. } => Action::Slowdown {
+                        slot: replica,
+                        factor: 1.0,
+                    },
+                    FaultEvent::Preempt {
+                        replica, notice_s, ..
+                    } => Action::PreemptNotice {
+                        slot: replica,
+                        notice_s,
+                    },
+                },
+            })
+            .collect();
+        let mut next_seq = agenda.len() as u64;
+        let mut pending: VecDeque<EngineRequest> = VecDeque::new();
+        let mut dead: BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)> = BTreeMap::new();
+        let mut shed_total = 0usize;
+        let mut shed_by_class: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut shed_log: Vec<ShedEvent> = Vec::new();
+        let mut failed = 0usize;
+        let mut retried = 0usize;
+        let mut faults_applied = 0usize;
+        let mut faults_skipped = 0usize;
+        let mut disruptions: Vec<Disruption> = Vec::new();
+
+        let last_arrival = requests.last().map(|r| r.arrival_s).unwrap_or(0.0);
+        let mut next_req = 0usize;
+        // Reactive tick state / predictive step cursor.
+        let mut next_tick = match &self.driver {
+            ScaleDriver::Reactive(policy) => policy.evaluation_interval_s,
+            _ => f64::INFINITY,
+        };
+        let mut next_step = 0usize;
+
+        loop {
+            let arrival_t = requests.get(next_req).map(|r| r.arrival_s);
+            let agenda_pick = agenda
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.t.total_cmp(&b.t).then(a.seq.cmp(&b.seq)))
+                .map(|(i, a)| (i, a.t));
+            let flush_t = if pending.is_empty() {
+                None
+            } else {
+                slots
+                    .iter()
+                    .filter(|s| s.alive() && s.decommissioned_s.is_none())
+                    .map(|s| s.routable_s)
+                    .min_by(f64::total_cmp)
+            };
+            let tick_t: Option<f64> = match &self.driver {
+                ScaleDriver::Reactive(_) => (next_tick <= last_arrival).then_some(next_tick),
+                ScaleDriver::Predictive(p) => p
+                    .plan
+                    .steps
+                    .get(next_step)
+                    .map(|s| s.at_s)
+                    .filter(|&t| t <= last_arrival),
+                ScaleDriver::Static { .. } => None,
+            };
+
+            // Earliest wins; ties break fault < flush < tick < arrival.
+            let agenda_t = agenda_pick.map(|(_, t)| t);
+            let best = [agenda_t, flush_t, tick_t, arrival_t]
+                .iter()
+                .enumerate()
+                .filter_map(|(lane, t)| t.map(|t| (lane, t)))
+                .min_by(|(la, ta), (lb, tb)| ta.total_cmp(tb).then(la.cmp(lb)));
+            let Some((lane, now)) = best else {
+                break;
+            };
+
+            match lane {
+                0 => {
+                    let (idx, _) = agenda_pick.expect("lane 0 implies an agenda entry");
+                    let Agendum { action, .. } = agenda.remove(idx);
+                    self.apply_action(
+                        action,
+                        now,
+                        &mut slots,
+                        &mut agenda,
+                        &mut next_seq,
+                        &mut dead,
+                        &mut pending,
+                        &mut assignments,
+                        &mut round_robin_next,
+                        &mut peak_provisioned,
+                        &mut min_provisioned,
+                        &mut failed,
+                        &mut retried,
+                        &mut faults_applied,
+                        &mut faults_skipped,
+                        &mut disruptions,
+                    );
+                }
+                1 => {
+                    // Flush: a replica just became routable; drain pending
+                    // arrivals through admission + routing at this instant.
+                    advance_live(&mut slots, now, self.parallel_advance);
+                    while let Some(req) = pending.pop_front() {
+                        let routable = routable_indices(&slots, now);
+                        if routable.is_empty() {
+                            // The candidate replica died in this same
+                            // instant: put the request back and wait again.
+                            pending.push_front(req);
+                            break;
+                        }
+                        if self.shed_check(
+                            &req,
+                            now,
+                            &slots,
+                            &routable,
+                            &mut shed_total,
+                            &mut shed_by_class,
+                            &mut shed_log,
+                        ) {
+                            continue;
+                        }
+                        let replica =
+                            self.route_into(&req, &routable, &slots, &mut round_robin_next);
+                        assignments.push((req.id, replica));
+                        slots[replica].assigned += 1;
+                        slots[replica]
+                            .sim
+                            .as_mut()
+                            .expect("routable slots are alive")
+                            .inject_delayed(req, now);
+                    }
+                }
+                2 => match &self.driver {
+                    ScaleDriver::Reactive(policy) => {
+                        next_tick += policy.evaluation_interval_s;
+                        advance_live(&mut slots, now, self.parallel_advance);
+                        self.evaluate_reactive(
+                            policy,
+                            now,
+                            &mut slots,
+                            &mut events,
+                            &mut last_action_s,
+                            &mut peak_provisioned,
+                            &mut min_provisioned,
+                        );
+                    }
+                    ScaleDriver::Predictive(p) => {
+                        let target = p.plan.steps[next_step].replicas;
+                        next_step += 1;
+                        advance_live(&mut slots, now, self.parallel_advance);
+                        self.apply_plan_target(
+                            target,
+                            p.warmup_s,
+                            now,
+                            &mut slots,
+                            &mut events,
+                            &mut peak_provisioned,
+                            &mut min_provisioned,
+                        );
+                    }
+                    ScaleDriver::Static { .. } => unreachable!("static drivers have no ticks"),
+                },
+                _ => {
+                    let req = requests[next_req];
+                    next_req += 1;
+                    advance_live(&mut slots, req.arrival_s, self.parallel_advance);
+                    let routable = routable_indices(&slots, req.arrival_s);
+                    if routable.is_empty() {
+                        pending.push_back(req);
+                    } else if !self.shed_check(
+                        &req,
+                        req.arrival_s,
+                        &slots,
+                        &routable,
+                        &mut shed_total,
+                        &mut shed_by_class,
+                        &mut shed_log,
+                    ) {
+                        let replica =
+                            self.route_into(&req, &routable, &slots, &mut round_robin_next);
+                        assignments.push((req.id, replica));
+                        slots[replica].assigned += 1;
+                        slots[replica]
+                            .sim
+                            .as_mut()
+                            .expect("routable slots are alive")
+                            .inject(req);
+                    }
+                }
+            }
+        }
+
+        // Requests that never found a routable replica fail.
+        failed += pending.len();
+        pending.clear();
+
+        self.finish_run(
+            slots,
+            dead,
+            assignments,
+            events,
+            peak_provisioned,
+            min_provisioned,
+            FaultTally {
+                injected,
+                shed_total,
+                shed_by_class,
+                shed_log,
+                failed,
+                retried,
+                faults_applied,
+                faults_skipped,
+                disruptions,
+            },
+        )
+    }
+}
+
+/// Advances every live replica to just before `t`.
+fn advance_live(slots: &mut [ChaosSlot], t: f64, parallel: bool) {
+    let mut live: Vec<&mut ReplicaSim> = slots.iter_mut().filter_map(|s| s.sim.as_mut()).collect();
+    advance_all(&mut live, |s| &mut **s, t, parallel);
+}
+
+/// Slot indices routable at `t`, ascending.
+fn routable_indices(slots: &[ChaosSlot], t: f64) -> Vec<usize> {
+    slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.routable_at(t))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Mean queued requests per routable replica.
+fn mean_queue_depth(slots: &[ChaosSlot], routable: &[usize]) -> f64 {
+    routable
+        .iter()
+        .map(|&i| {
+            slots[i]
+                .sim
+                .as_ref()
+                .expect("routable slots are alive")
+                .queued()
+        })
+        .sum::<usize>() as f64
+        / routable.len() as f64
+}
+
+struct FaultTally {
+    injected: usize,
+    shed_total: usize,
+    shed_by_class: BTreeMap<u32, usize>,
+    shed_log: Vec<ShedEvent>,
+    failed: usize,
+    retried: usize,
+    faults_applied: usize,
+    faults_skipped: usize,
+    disruptions: Vec<Disruption>,
+}
+
+impl ChaosEngine {
+    /// Returns `true` (and records the shed) when admission control rejects
+    /// `req` at `t` given the routable fleet state.
+    #[allow(clippy::too_many_arguments)]
+    fn shed_check(
+        &self,
+        req: &EngineRequest,
+        t: f64,
+        slots: &[ChaosSlot],
+        routable: &[usize],
+        shed_total: &mut usize,
+        shed_by_class: &mut BTreeMap<u32, usize>,
+        shed_log: &mut Vec<ShedEvent>,
+    ) -> bool {
+        let Some(admission) = &self.admission else {
+            return false;
+        };
+        let depth = mean_queue_depth(slots, routable);
+        let priority = admission.priority_of(req.class);
+        if depth > admission.threshold_for(priority) {
+            *shed_total += 1;
+            *shed_by_class.entry(req.class).or_insert(0) += 1;
+            shed_log.push(ShedEvent {
+                time_s: t,
+                id: req.id,
+                class: req.class,
+                priority,
+                mean_queue_depth: depth,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Routes `req` over the routable candidates, returning the chosen slot
+    /// index.
+    fn route_into(
+        &self,
+        req: &EngineRequest,
+        routable: &[usize],
+        slots: &[ChaosSlot],
+        round_robin_next: &mut usize,
+    ) -> usize {
+        let pick = route_pick(
+            self.router,
+            routable.len(),
+            |i| {
+                slots[routable[i]]
+                    .sim
+                    .as_ref()
+                    .expect("routable slots are alive")
+            },
+            |i| routable[i],
+            round_robin_next,
+            req,
+        );
+        routable[pick]
+    }
+
+    /// Applies one fault-lane action at time `now`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_action(
+        &self,
+        action: Action,
+        now: f64,
+        slots: &mut Vec<ChaosSlot>,
+        agenda: &mut Vec<Agendum>,
+        next_seq: &mut u64,
+        dead: &mut BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)>,
+        pending: &mut VecDeque<EngineRequest>,
+        assignments: &mut Vec<(u64, usize)>,
+        round_robin_next: &mut usize,
+        peak_provisioned: &mut u32,
+        min_provisioned: &mut u32,
+        failed: &mut usize,
+        retried: &mut usize,
+        faults_applied: &mut usize,
+        faults_skipped: &mut usize,
+        disruptions: &mut Vec<Disruption>,
+    ) {
+        match action {
+            Action::Slowdown { slot, factor } => {
+                match slots.get_mut(slot).and_then(|s| s.sim.as_mut()) {
+                    Some(sim) => {
+                        // Rides the sim's own fault lane: in force before
+                        // any same-instant arrival is processed.
+                        sim.schedule_slowdown(now, factor);
+                        *faults_applied += 1;
+                    }
+                    None => *faults_skipped += 1,
+                }
+            }
+            Action::Crash {
+                slot,
+                restart_delay_s,
+            } => {
+                if slots.get(slot).map_or(true, |s| !s.alive()) {
+                    *faults_skipped += 1;
+                    return;
+                }
+                *faults_applied += 1;
+                self.kill_slot(
+                    slot,
+                    now,
+                    FaultKind::Crash,
+                    slots,
+                    dead,
+                    pending,
+                    assignments,
+                    round_robin_next,
+                    min_provisioned,
+                    failed,
+                    retried,
+                );
+                disruptions.push(Disruption {
+                    time_s: now,
+                    replica: slot,
+                    kind: FaultKind::Crash,
+                });
+                if restart_delay_s.is_finite() {
+                    agenda.push(Agendum {
+                        t: now + restart_delay_s,
+                        seq: *next_seq,
+                        action: Action::Restart,
+                    });
+                    *next_seq += 1;
+                }
+            }
+            Action::PreemptNotice { slot, notice_s } => {
+                if slots.get(slot).map_or(true, |s| !s.alive()) {
+                    *faults_skipped += 1;
+                    return;
+                }
+                *faults_applied += 1;
+                // Capacity stops at the notice: the replica drains, the
+                // router excludes it, and the disruption clock starts now.
+                if slots[slot].decommissioned_s.is_none() {
+                    slots[slot].decommissioned_s = Some(now);
+                }
+                let provisioned = provisioned_count(slots);
+                *min_provisioned = (*min_provisioned).min(provisioned);
+                disruptions.push(Disruption {
+                    time_s: now,
+                    replica: slot,
+                    kind: FaultKind::Preemption,
+                });
+                agenda.push(Agendum {
+                    t: now + notice_s,
+                    seq: *next_seq,
+                    action: Action::Kill { slot },
+                });
+                *next_seq += 1;
+            }
+            Action::Kill { slot } => {
+                // The preemption deadline; skip silently if the replica
+                // already crashed during the notice window.
+                if slots.get(slot).map_or(true, |s| !s.alive()) {
+                    return;
+                }
+                self.kill_slot(
+                    slot,
+                    now,
+                    FaultKind::Preemption,
+                    slots,
+                    dead,
+                    pending,
+                    assignments,
+                    round_robin_next,
+                    min_provisioned,
+                    failed,
+                    retried,
+                );
+            }
+            Action::Restart => {
+                // A cold replacement replica: same provisioning path as a
+                // scale-out (fresh caches, full warm-up).
+                slots.push(ChaosSlot::fresh(
+                    self.new_sim(),
+                    now,
+                    now + self.driver.warmup_s(),
+                ));
+                let provisioned = provisioned_count(slots);
+                *peak_provisioned = (*peak_provisioned).max(provisioned);
+            }
+        }
+    }
+
+    /// Tears one replica down at `now`: its completed work is parked for
+    /// the merge, its in-flight requests are re-queued or failed, and its
+    /// chips are released.
+    #[allow(clippy::too_many_arguments)]
+    fn kill_slot(
+        &self,
+        slot: usize,
+        now: f64,
+        _kind: FaultKind,
+        slots: &mut [ChaosSlot],
+        dead: &mut BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)>,
+        pending: &mut VecDeque<EngineRequest>,
+        assignments: &mut Vec<(u64, usize)>,
+        round_robin_next: &mut usize,
+        min_provisioned: &mut u32,
+        failed: &mut usize,
+        retried: &mut usize,
+    ) {
+        // Work completing strictly before the death instant survives; work
+        // completing exactly at it is lost with the replica (the pinned
+        // `advance_before` semantics).
+        advance_live(slots, now, self.parallel_advance);
+        let sim = slots[slot]
+            .sim
+            .take()
+            .expect("kill_slot targets live slots");
+        let (timelines, in_flight, acc) = sim.dismantle();
+        dead.insert(slot, (timelines, acc));
+        if slots[slot].decommissioned_s.is_none() {
+            slots[slot].decommissioned_s = Some(now);
+        }
+        slots[slot].retired_at = Some(now);
+        let provisioned = provisioned_count(slots);
+        *min_provisioned = (*min_provisioned).min(provisioned);
+        match self.crash_policy {
+            CrashPolicy::Fail => *failed += in_flight.len(),
+            CrashPolicy::Requeue => {
+                for req in in_flight {
+                    *retried += 1;
+                    let routable = routable_indices(slots, now);
+                    if routable.is_empty() {
+                        pending.push_back(req);
+                    } else {
+                        // Retries bypass admission — they were admitted
+                        // once; TTFT keeps accruing from the original
+                        // arrival.
+                        let replica = self.route_into(&req, &routable, slots, round_robin_next);
+                        assignments.push((req.id, replica));
+                        slots[replica].assigned += 1;
+                        slots[replica]
+                            .sim
+                            .as_mut()
+                            .expect("routable slots are alive")
+                            .inject_delayed(req, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One reactive policy evaluation — the exact decision procedure of
+    /// [`crate::AutoscaleEngine`], over the live subset of the chaos fleet.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_reactive(
+        &self,
+        policy: &AutoscalerPolicy,
+        now: f64,
+        slots: &mut Vec<ChaosSlot>,
+        events: &mut Vec<ScalingEvent>,
+        last_action_s: &mut f64,
+        peak_provisioned: &mut u32,
+        min_provisioned: &mut u32,
+    ) {
+        let routable = routable_indices(slots, now);
+        let provisioned = provisioned_count(slots);
+        if routable.is_empty() {
+            return;
+        }
+        let n = routable.len() as f64;
+        let mean_queue_depth = routable
+            .iter()
+            .map(|&i| {
+                slots[i]
+                    .sim
+                    .as_ref()
+                    .expect("routable slots are alive")
+                    .queued()
+            })
+            .sum::<usize>() as f64
+            / n;
+        let mean_outstanding = routable
+            .iter()
+            .map(|&i| {
+                slots[i]
+                    .sim
+                    .as_ref()
+                    .expect("routable slots are alive")
+                    .outstanding()
+            })
+            .sum::<usize>() as f64
+            / n;
+
+        let queue_trigger = mean_queue_depth > policy.scale_out_queue_depth;
+        let attainment_trigger = if let Some(t) = &policy.attainment_trigger {
+            let mut met = 0usize;
+            let mut total = 0usize;
+            for slot in slots.iter_mut() {
+                let Some(sim) = slot.sim.as_ref() else {
+                    continue;
+                };
+                for &(_, ttft, tpot) in sim.completions_up_to(&mut slot.completion_cursor, now) {
+                    total += 1;
+                    if t.slo.meets(ttft, tpot) {
+                        met += 1;
+                    }
+                }
+            }
+            total > 0 && (met as f64 / total as f64) < t.floor
+        } else {
+            false
+        };
+
+        if (queue_trigger || attainment_trigger) && provisioned < policy.max_replicas {
+            let replica = slots.len();
+            slots.push(ChaosSlot::fresh(self.new_sim(), now, now + policy.warmup_s));
+            *last_action_s = now;
+            *peak_provisioned = (*peak_provisioned).max(provisioned + 1);
+            events.push(ScalingEvent {
+                time_s: now,
+                action: ScalingAction::ScaleOut,
+                replica,
+                provisioned_after: provisioned + 1,
+                routable_after: routable.len() as u32 + u32::from(policy.warmup_s <= 0.0),
+                mean_queue_depth,
+                mean_outstanding,
+            });
+        } else if mean_outstanding < policy.scale_in_outstanding
+            && routable.len() as u32 > policy.min_replicas
+            && now - *last_action_s >= policy.cooldown_s
+        {
+            let victim = routable
+                .iter()
+                .copied()
+                .min_by_key(|&i| {
+                    (
+                        slots[i]
+                            .sim
+                            .as_ref()
+                            .expect("routable slots are alive")
+                            .outstanding(),
+                        usize::MAX - i,
+                    )
+                })
+                .expect("routable is non-empty");
+            slots[victim].decommissioned_s = Some(now);
+            *last_action_s = now;
+            *min_provisioned = (*min_provisioned).min(provisioned - 1);
+            events.push(ScalingEvent {
+                time_s: now,
+                action: ScalingAction::ScaleIn,
+                replica: victim,
+                provisioned_after: provisioned - 1,
+                routable_after: routable.len() as u32 - 1,
+                mean_queue_depth,
+                mean_outstanding,
+            });
+        }
+    }
+
+    /// One predictive plan step: provision or decommission until the live
+    /// fleet matches `target`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_plan_target(
+        &self,
+        target: u32,
+        warmup_s: f64,
+        now: f64,
+        slots: &mut Vec<ChaosSlot>,
+        events: &mut Vec<ScalingEvent>,
+        peak_provisioned: &mut u32,
+        min_provisioned: &mut u32,
+    ) {
+        let routable = routable_indices(slots, now);
+        let mean_queue_depth = if routable.is_empty() {
+            0.0
+        } else {
+            routable
+                .iter()
+                .map(|&i| {
+                    slots[i]
+                        .sim
+                        .as_ref()
+                        .expect("routable slots are alive")
+                        .queued()
+                })
+                .sum::<usize>() as f64
+                / routable.len() as f64
+        };
+        let mean_outstanding = if routable.is_empty() {
+            0.0
+        } else {
+            routable
+                .iter()
+                .map(|&i| {
+                    slots[i]
+                        .sim
+                        .as_ref()
+                        .expect("routable slots are alive")
+                        .outstanding()
+                })
+                .sum::<usize>() as f64
+                / routable.len() as f64
+        };
+
+        let mut provisioned = provisioned_count(slots);
+        let mut routable_now = routable.len() as u32;
+        while provisioned < target {
+            let replica = slots.len();
+            slots.push(ChaosSlot::fresh(self.new_sim(), now, now + warmup_s));
+            provisioned += 1;
+            if warmup_s <= 0.0 {
+                routable_now += 1;
+            }
+            *peak_provisioned = (*peak_provisioned).max(provisioned);
+            events.push(ScalingEvent {
+                time_s: now,
+                action: ScalingAction::ScaleOut,
+                replica,
+                provisioned_after: provisioned,
+                routable_after: routable_now,
+                mean_queue_depth,
+                mean_outstanding,
+            });
+        }
+        while provisioned > target {
+            // Decommission the emptiest routable replica; never take the
+            // last one (warming replicas cannot drain the backlog).
+            let victims = routable_indices(slots, now);
+            if victims.len() <= 1 {
+                break;
+            }
+            let victim = victims
+                .iter()
+                .copied()
+                .min_by_key(|&i| {
+                    (
+                        slots[i]
+                            .sim
+                            .as_ref()
+                            .expect("routable slots are alive")
+                            .outstanding(),
+                        usize::MAX - i,
+                    )
+                })
+                .expect("victims is non-empty");
+            slots[victim].decommissioned_s = Some(now);
+            provisioned -= 1;
+            routable_now = routable_now.saturating_sub(1);
+            *min_provisioned = (*min_provisioned).min(provisioned);
+            events.push(ScalingEvent {
+                time_s: now,
+                action: ScalingAction::ScaleIn,
+                replica: victim,
+                provisioned_after: provisioned,
+                routable_after: routable_now,
+                mean_queue_depth,
+                mean_outstanding,
+            });
+        }
+    }
+
+    /// Drains the surviving replicas, merges them with the dead replicas'
+    /// parked results, patches shed counts into the metrics, and assembles
+    /// the report — the chaos counterpart of the cluster merge, and
+    /// bit-identical to it when no replica ever died and nothing was shed.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_run(
+        &self,
+        mut slots: Vec<ChaosSlot>,
+        dead: BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)>,
+        assignments: Vec<(u64, usize)>,
+        events: Vec<ScalingEvent>,
+        peak_provisioned: u32,
+        min_provisioned: u32,
+        tally: FaultTally,
+    ) -> ChaosReport {
+        let assigned_counts: Vec<usize> = slots.iter().map(|s| s.assigned).collect();
+        let alive: Vec<(usize, ReplicaSim)> = slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.sim.take().map(|sim| (i, sim)))
+            .collect();
+        let drain = |(replica, mut sim): (usize, ReplicaSim)| {
+            sim.run_to_completion();
+            let (timelines, acc) = sim.finish();
+            (replica, timelines, acc)
+        };
+        let mut drained: Vec<(usize, Vec<RequestTimeline>, SimAccumulators)> = if alive.len() > 1 {
+            alive
+                .into_iter()
+                .par_bridge()
+                .fold(Vec::new, |mut acc, item| {
+                    acc.push(drain(item));
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+        } else {
+            alive.into_iter().map(drain).collect()
+        };
+        for (replica, (timelines, acc)) in dead {
+            drained.push((replica, timelines, acc));
+        }
+        drained.sort_by_key(|(replica, ..)| *replica);
+
+        let mut per_replica = Vec::with_capacity(drained.len());
+        let mut merged_timelines = Vec::with_capacity(assignments.len());
+        let mut merged_acc = SimAccumulators::default();
+        for (replica, timelines, acc) in drained {
+            merged_timelines.extend(timelines.iter().cloned());
+            merged_acc.merge_from(&acc);
+            per_replica.push(ReplicaReport {
+                replica,
+                assigned: assigned_counts[replica],
+                report: build_report(timelines, &acc),
+            });
+        }
+        merged_timelines.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        let mut merged = build_report(merged_timelines, &merged_acc);
+
+        // Thread the shed counts into the merged and per-class rows —
+        // untouched when nothing was shed, preserving bit-identity.
+        if tally.shed_total > 0 {
+            merged.metrics.shed = tally.shed_total;
+            for row in &mut merged.per_class {
+                row.metrics.shed = tally.shed_by_class.get(&row.class).copied().unwrap_or(0);
+            }
+            for (&class, &count) in &tally.shed_by_class {
+                if !merged.per_class.iter().any(|r| r.class == class) {
+                    // A class shed in its entirety still gets a row: zero
+                    // completions, its shed count, shared-resource fields
+                    // repeating the run-level values like every class row.
+                    let mut metrics = compute_metrics_for(&[], Some(class), &merged_acc);
+                    metrics.shed = count;
+                    merged.per_class.push(ClassMetrics { class, metrics });
+                }
+            }
+            merged.per_class.sort_by_key(|r| r.class);
+        }
+
+        let completed = merged.metrics.completed;
+        debug_assert_eq!(
+            tally.injected,
+            completed + tally.shed_total + tally.failed,
+            "request conservation must hold"
+        );
+
+        let fleet = FleetReport {
+            merged,
+            per_replica,
+            assignments,
+            imbalance: LoadImbalance::from_counts(assigned_counts),
+            router: self.router,
+        };
+
+        // Cost accounting: dead replicas release their chips at death;
+        // surviving ones follow the autoscaler's retirement rules.
+        let makespan = fleet.merged.metrics.makespan_s;
+        let mut lifetimes = Vec::with_capacity(slots.len());
+        let mut replica_seconds = 0.0;
+        for (replica, slot) in slots.iter().enumerate() {
+            let report = &fleet.per_replica[replica].report;
+            let last_completion = report.metrics.makespan_s.max(slot.provisioned_s);
+            let retired_s = match slot.retired_at {
+                Some(death) => death,
+                None => match slot.decommissioned_s {
+                    Some(d) => d.max(last_completion),
+                    None => makespan.max(slot.provisioned_s),
+                },
+            };
+            replica_seconds += retired_s - slot.provisioned_s;
+            lifetimes.push(ReplicaLifetime {
+                replica,
+                provisioned_s: slot.provisioned_s,
+                routable_s: slot.routable_s,
+                decommissioned_s: slot.decommissioned_s,
+                retired_s,
+                assigned: fleet.per_replica[replica].assigned,
+            });
+        }
+
+        ChaosReport {
+            fleet,
+            events,
+            lifetimes,
+            peak_provisioned,
+            min_provisioned,
+            replica_seconds,
+            fault: FaultReport {
+                injected: tally.injected,
+                completed,
+                shed: tally.shed_total,
+                failed: tally.failed,
+                retried: tally.retried,
+                faults_applied: tally.faults_applied,
+                faults_skipped: tally.faults_skipped,
+                shed_by_class: tally
+                    .shed_by_class
+                    .iter()
+                    .map(|(&class, &shed)| ClassShed { class, shed })
+                    .collect(),
+                shed_log: tally.shed_log,
+                disruptions: tally.disruptions,
+            },
+        }
+    }
+}
+
+/// Live, non-decommissioned replicas — the autoscaler's "provisioned"
+/// count, with dead slots excluded.
+fn provisioned_count(slots: &[ChaosSlot]) -> u32 {
+    slots
+        .iter()
+        .filter(|s| s.alive() && s.decommissioned_s.is_none())
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscaler::AutoscaleEngine;
+    use crate::cluster::ClusterEngine;
+    use crate::engine::{DecodeSpec, LatencyTable, StageSpec};
+    use rago_schema::SequenceProfile;
+    use rago_workloads::{ArrivalProcess, TraceSpec};
+
+    fn one_stage_spec(stage_latency: f64, batch: u32) -> PipelineSpec {
+        PipelineSpec::new(
+            vec![StageSpec::new(
+                "prefix",
+                0,
+                batch,
+                LatencyTable::constant(batch, stage_latency),
+            )],
+            DecodeSpec::new(8, LatencyTable::constant(8, 2e-3)),
+        )
+    }
+
+    fn poisson_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        TraceSpec {
+            num_requests: n,
+            profile: SequenceProfile::paper_default().with_decode_tokens(16),
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            length_jitter: 0.0,
+            seed,
+        }
+        .generate()
+    }
+
+    fn spike_trace(n: usize) -> Trace {
+        TraceSpec {
+            num_requests: n,
+            profile: SequenceProfile::paper_default().with_decode_tokens(16),
+            arrival: ArrivalProcess::Spike {
+                base_rps: 2.0,
+                spike_rps: 80.0,
+                start_s: 3.0,
+                duration_s: 3.0,
+            },
+            length_jitter: 0.0,
+            seed: 5,
+        }
+        .generate()
+    }
+
+    fn req(id: u64, arrival: f64, class: u32, tokens: u32) -> EngineRequest {
+        EngineRequest {
+            id,
+            arrival_s: arrival,
+            prefix_tokens: 0,
+            decode_tokens: tokens,
+            class,
+            identity: None,
+        }
+    }
+
+    /// The degenerate pin behind the golden suite: no faults, no admission,
+    /// reactive driver ⇒ bit-identical to the autoscaler, field by field.
+    #[test]
+    fn degenerate_reactive_matches_the_autoscaler_exactly() {
+        let spec = one_stage_spec(0.04, 2);
+        let trace = spike_trace(220);
+        let policy = AutoscalerPolicy::new(1, 6)
+            .with_evaluation_interval(0.25)
+            .with_scale_out_queue_depth(1.5)
+            .with_scale_in_outstanding(1.0)
+            .with_cooldown(1.0)
+            .with_warmup(0.5);
+        for router in [RouterPolicy::LeastOutstanding, RouterPolicy::PrefixHash] {
+            let baseline = AutoscaleEngine::new(spec.clone(), router, policy).run_trace(&trace);
+            let chaos = ChaosEngine::new(spec.clone(), router, ScaleDriver::Reactive(policy))
+                .run_trace(&trace);
+            assert_eq!(
+                chaos.fleet, baseline.fleet,
+                "router {router} fleet diverged"
+            );
+            assert_eq!(chaos.events, baseline.events);
+            assert_eq!(chaos.lifetimes, baseline.lifetimes);
+            assert_eq!(chaos.peak_provisioned, baseline.peak_provisioned);
+            assert_eq!(chaos.min_provisioned, baseline.min_provisioned);
+            assert_eq!(chaos.replica_seconds, baseline.replica_seconds);
+            assert_eq!(chaos.fault.shed, 0);
+            assert_eq!(chaos.fault.failed, 0);
+            assert_eq!(chaos.fault.retried, 0);
+        }
+    }
+
+    /// Same pin with the attainment trigger on (exercises the completion
+    /// cursors through the chaos slot wrappers).
+    #[test]
+    fn degenerate_reactive_matches_with_attainment_trigger() {
+        let spec = one_stage_spec(0.04, 2);
+        let trace = spike_trace(180);
+        let policy = AutoscalerPolicy::new(1, 5)
+            .with_evaluation_interval(0.5)
+            .with_scale_out_queue_depth(100.0)
+            .with_attainment_trigger(SloTarget::new(0.5, 0.01), 0.9);
+        let baseline = AutoscaleEngine::new(spec.clone(), RouterPolicy::LeastOutstanding, policy)
+            .run_trace(&trace);
+        let chaos = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Reactive(policy),
+        )
+        .run_trace(&trace);
+        assert_eq!(chaos.fleet, baseline.fleet);
+        assert_eq!(chaos.events, baseline.events);
+    }
+
+    /// Static driver, no faults ⇒ bit-identical to the fixed fleet.
+    #[test]
+    fn degenerate_static_matches_the_cluster_exactly() {
+        let spec = one_stage_spec(0.03, 4);
+        let trace = poisson_trace(150, 60.0, 11);
+        for router in RouterPolicy::ALL {
+            let baseline = ClusterEngine::homogeneous(spec.clone(), 3, router).run_trace(&trace);
+            let chaos = ChaosEngine::new(spec.clone(), router, ScaleDriver::Static { replicas: 3 })
+                .run_trace(&trace);
+            assert_eq!(chaos.fleet, baseline, "router {router} diverged");
+            assert!(chaos.events.is_empty());
+        }
+    }
+
+    /// A predictive driver with a flat plan is a static fleet, bit-exact.
+    #[test]
+    fn predictive_flat_plan_matches_static_exactly() {
+        let spec = one_stage_spec(0.03, 2);
+        let trace = poisson_trace(140, 50.0, 23);
+        let baseline = ChaosEngine::new(
+            spec.clone(),
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .run_trace(&trace);
+        let predictive = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Predictive(PredictivePolicy::new(ScalingPlan::flat(2), 0.5)),
+        )
+        .run_trace(&trace);
+        assert_eq!(predictive.fleet, baseline.fleet);
+        assert_eq!(predictive.replica_seconds, baseline.replica_seconds);
+        assert!(predictive.events.is_empty());
+    }
+
+    #[test]
+    fn crash_requeues_in_flight_and_restarts_cold() {
+        let spec = one_stage_spec(0.05, 2);
+        let trace = poisson_trace(120, 40.0, 7);
+        let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: 1.0,
+            restart_delay_s: 0.5,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        // Conservation: everything completes (requeue policy, surviving
+        // replica plus restart).
+        assert_eq!(report.fault.injected, 120);
+        assert_eq!(report.fault.completed, 120);
+        assert_eq!(report.fault.failed, 0);
+        assert!(report.fault.retried > 0, "the crash held no in-flight work");
+        assert_eq!(report.fault.faults_applied, 1);
+        assert_eq!(report.fault.disruptions.len(), 1);
+        // The replacement slot exists, provisioned at crash + delay, cold.
+        assert_eq!(report.lifetimes.len(), 3);
+        let dead = &report.lifetimes[0];
+        assert_eq!(dead.retired_s, 1.0);
+        assert_eq!(dead.decommissioned_s, Some(1.0));
+        let replacement = &report.lifetimes[2];
+        assert!((replacement.provisioned_s - 1.5).abs() < 1e-12);
+        // Static driver: restart is immediately routable (no warm-up).
+        assert_eq!(replacement.routable_s, replacement.provisioned_s);
+        // Chips: the dead replica is paid only until the crash.
+        assert!(report.replica_seconds < 3.0 * report.fleet.merged.metrics.makespan_s);
+        // Requests re-queued kept their original arrival: TTFT of retried
+        // requests spans the crash.
+        assert!(report.fleet.merged.metrics.ttft.max_s >= 0.0);
+    }
+
+    #[test]
+    fn crash_fail_policy_fails_in_flight() {
+        let spec = one_stage_spec(0.05, 2);
+        let trace = poisson_trace(120, 40.0, 7);
+        let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: 1.0,
+            restart_delay_s: f64::INFINITY,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .with_faults(faults)
+        .with_crash_policy(CrashPolicy::Fail)
+        .run_trace(&trace);
+        assert!(report.fault.failed > 0, "the crash held no in-flight work");
+        assert_eq!(report.fault.retried, 0);
+        assert_eq!(
+            report.fault.completed + report.fault.failed,
+            report.fault.injected
+        );
+        // No restart: only the two initial slots exist.
+        assert_eq!(report.lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn straggler_slows_completions_then_recovers() {
+        let spec = one_stage_spec(0.02, 4);
+        let trace = poisson_trace(200, 50.0, 3);
+        let healthy = ChaosEngine::new(
+            spec.clone(),
+            RouterPolicy::RoundRobin,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .run_trace(&trace);
+        let faults = FaultSchedule::new(vec![
+            FaultEvent::StragglerStart {
+                replica: 0,
+                at_s: 0.5,
+                slowdown: 8.0,
+            },
+            FaultEvent::StragglerEnd {
+                replica: 0,
+                at_s: 2.5,
+            },
+        ]);
+        let degraded = ChaosEngine::new(
+            spec,
+            RouterPolicy::RoundRobin,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        assert_eq!(degraded.fault.faults_applied, 2);
+        assert_eq!(degraded.fault.completed, 200);
+        // The straggler window shows up as worse tail latency.
+        assert!(
+            degraded.fleet.merged.metrics.latency.p99_s
+                > healthy.fleet.merged.metrics.latency.p99_s
+        );
+        // Recovery: the run still ends, and the post-recovery completions
+        // are as fast as the healthy run's steady state.
+        assert!(
+            degraded.fleet.merged.metrics.makespan_s >= healthy.fleet.merged.metrics.makespan_s
+        );
+    }
+
+    #[test]
+    fn admission_sheds_low_priority_first() {
+        let spec = one_stage_spec(0.2, 1); // slow: queues build fast
+                                           // Two classes, same arrivals: class 1 is high priority.
+        let mut requests = Vec::new();
+        for i in 0..40u64 {
+            let t = i as f64 * 0.01;
+            requests.push(req(2 * i, t, 0, 8));
+            requests.push(req(2 * i + 1, t, 1, 8));
+        }
+        let admission = AdmissionConfig::new(1.0, 100.0).with_class_priority(1, 1);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 1 },
+        )
+        .with_admission(admission)
+        .run(requests);
+        assert!(report.fault.shed > 0, "overload never shed");
+        // Only the best-effort class was shed (class 1's threshold is far
+        // higher).
+        for s in &report.fault.shed_log {
+            assert_eq!(s.class, 0, "high-priority request {} was shed", s.id);
+        }
+        // Shed counts are threaded into the metrics.
+        assert_eq!(report.fleet.merged.metrics.shed, report.fault.shed);
+        let class0 = report
+            .fleet
+            .merged
+            .per_class
+            .iter()
+            .find(|r| r.class == 0)
+            .expect("class 0 row");
+        assert_eq!(class0.metrics.shed, report.fault.shed);
+        let class1 = report
+            .fleet
+            .merged
+            .per_class
+            .iter()
+            .find(|r| r.class == 1)
+            .expect("class 1 row");
+        assert_eq!(class1.metrics.shed, 0);
+        // Conservation.
+        assert_eq!(
+            report.fault.completed + report.fault.shed + report.fault.failed,
+            report.fault.injected
+        );
+    }
+
+    /// The warm-up regression the restart path exposed: a replica
+    /// provisioned by a *restart* must take the same warm-up path as a
+    /// scale-out — crash one replica right after a scale-out event and
+    /// check both replacements pay the identical warm-up window.
+    #[test]
+    fn restart_takes_the_same_warmup_path_as_scale_out() {
+        let spec = one_stage_spec(0.05, 1);
+        let trace = spike_trace(200);
+        let policy = AutoscalerPolicy::new(2, 6)
+            .with_evaluation_interval(0.25)
+            .with_scale_out_queue_depth(1.0)
+            .with_warmup(0.75);
+        let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: 3.6, // right after the spike's first scale-out ticks
+            restart_delay_s: 0.25,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Reactive(policy),
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| e.action == ScalingAction::ScaleOut && e.time_s < 3.6),
+            "the spike never scaled out before the crash"
+        );
+        // Every non-initial slot — scale-outs AND the restart replacement —
+        // pays exactly the policy warm-up.
+        let late: Vec<_> = report
+            .lifetimes
+            .iter()
+            .filter(|l| l.provisioned_s > 0.0)
+            .collect();
+        assert!(late.len() >= 2, "need both a scale-out and a restart");
+        for l in late {
+            assert!(
+                (l.routable_s - l.provisioned_s - 0.75).abs() < 1e-12,
+                "slot {} warm-up window is {} not 0.75",
+                l.replica,
+                l.routable_s - l.provisioned_s
+            );
+            // And no request reached it before it became routable.
+            let r = &report.fleet.per_replica[l.replica].report;
+            assert!(r.timelines.iter().all(|t| t.arrival_s >= 0.0));
+        }
+        assert_eq!(report.fault.completed, 200);
+    }
+
+    #[test]
+    fn preemption_drains_during_the_notice_window() {
+        let spec = one_stage_spec(0.05, 2);
+        let trace = poisson_trace(120, 40.0, 9);
+        let faults = FaultSchedule::new(vec![FaultEvent::Preempt {
+            replica: 0,
+            at_s: 1.0,
+            notice_s: 0.5,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        assert_eq!(report.fault.disruptions.len(), 1);
+        assert_eq!(report.fault.disruptions[0].kind, FaultKind::Preemption);
+        assert_eq!(report.fault.disruptions[0].time_s, 1.0);
+        // The preempted slot stopped taking traffic at the notice and died
+        // at the deadline.
+        let preempted = &report.lifetimes[0];
+        assert_eq!(preempted.decommissioned_s, Some(1.0));
+        assert_eq!(preempted.retired_s, 1.5);
+        // No request was routed to it after the notice.
+        let r = &report.fleet.per_replica[0].report;
+        assert!(r.timelines.iter().all(|t| t.arrival_s <= 1.0 + 1e-12));
+        assert_eq!(
+            report.fault.completed + report.fault.failed,
+            report.fault.injected
+        );
+    }
+
+    #[test]
+    fn predictive_plan_steps_resize_the_fleet() {
+        let spec = one_stage_spec(0.04, 2);
+        let trace = poisson_trace(200, 40.0, 13);
+        let plan = ScalingPlan::new(
+            1,
+            vec![
+                PlanStep {
+                    at_s: 1.0,
+                    replicas: 3,
+                },
+                PlanStep {
+                    at_s: 3.0,
+                    replicas: 1,
+                },
+            ],
+        );
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Predictive(PredictivePolicy::new(plan, 0.25)),
+        )
+        .run_trace(&trace);
+        assert_eq!(report.peak_provisioned, 3);
+        let outs = report
+            .events
+            .iter()
+            .filter(|e| e.action == ScalingAction::ScaleOut)
+            .count();
+        let ins = report
+            .events
+            .iter()
+            .filter(|e| e.action == ScalingAction::ScaleIn)
+            .count();
+        assert_eq!(outs, 2, "step to 3 provisions two replicas");
+        assert_eq!(ins, 2, "step back to 1 decommissions two");
+        assert!(report
+            .events
+            .iter()
+            .all(|e| e.time_s == 1.0 || e.time_s == 3.0));
+        assert_eq!(report.fault.completed, 200);
+    }
+
+    #[test]
+    fn recovery_metrics_see_the_dip_and_the_reattainment() {
+        let spec = one_stage_spec(0.03, 4);
+        let trace = poisson_trace(400, 50.0, 17);
+        let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: 2.0,
+            restart_delay_s: 1.0,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        let slo = SloTarget::new(0.5, 0.02).with_attainment(0.9);
+        let recovery = report.recovery(&slo, 0.5);
+        assert_eq!(recovery.len(), 1);
+        let r = &recovery[0];
+        assert_eq!(r.fault_s, 2.0);
+        assert_eq!(r.kind, FaultKind::Crash);
+        assert!(r.dip_area >= 0.0);
+        // The timeline covers the run and windows sum to the completions.
+        let timeline = report.attainment_timeline(&slo, 0.5);
+        assert!(!timeline.is_empty());
+        let total: usize = timeline.iter().map(|w| w.completed).sum();
+        assert_eq!(total, report.fault.completed);
+        for w in &timeline {
+            assert!(w.met <= w.completed);
+            assert!((0.0..=1.0).contains(&w.attainment));
+        }
+    }
+
+    #[test]
+    fn crash_at_time_zero_with_restart_still_serves() {
+        let spec = one_stage_spec(0.03, 2);
+        let trace = poisson_trace(60, 20.0, 19);
+        let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: 0.0,
+            restart_delay_s: 0.5,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 1 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        // Arrivals before the restart wait (pending) and are flushed once
+        // the replacement is routable; everything completes.
+        assert_eq!(report.fault.completed, 60);
+        assert_eq!(report.fault.failed, 0);
+        assert_eq!(report.min_provisioned, 0);
+        // The pre-restart arrivals were served no earlier than the restart.
+        let replacement = &report.fleet.per_replica[1].report;
+        assert!(replacement.timelines.iter().all(|t| t.first_token_s >= 0.5));
+    }
+
+    #[test]
+    fn crash_without_restart_fails_unroutable_pending() {
+        let spec = one_stage_spec(0.03, 2);
+        let trace = poisson_trace(60, 20.0, 19);
+        let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: 0.0,
+            restart_delay_s: f64::INFINITY,
+        }]);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::LeastOutstanding,
+            ScaleDriver::Static { replicas: 1 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        assert_eq!(report.fault.completed, 0);
+        assert_eq!(report.fault.failed, 60);
+        assert_eq!(report.fault.injected, 60);
+    }
+
+    #[test]
+    fn faults_on_missing_replicas_are_skipped() {
+        let spec = one_stage_spec(0.03, 2);
+        let trace = poisson_trace(40, 20.0, 21);
+        let faults = FaultSchedule::new(vec![
+            FaultEvent::Crash {
+                replica: 7, // never exists
+                at_s: 0.5,
+                restart_delay_s: 0.1,
+            },
+            FaultEvent::StragglerStart {
+                replica: 9,
+                at_s: 0.6,
+                slowdown: 2.0,
+            },
+        ]);
+        let baseline = ChaosEngine::new(
+            spec.clone(),
+            RouterPolicy::RoundRobin,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .run_trace(&trace);
+        let report = ChaosEngine::new(
+            spec,
+            RouterPolicy::RoundRobin,
+            ScaleDriver::Static { replicas: 2 },
+        )
+        .with_faults(faults)
+        .run_trace(&trace);
+        assert_eq!(report.fault.faults_skipped, 2);
+        assert_eq!(report.fault.faults_applied, 0);
+        // Skipped faults leave the run bit-identical.
+        assert_eq!(report.fleet, baseline.fleet);
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible_and_bounded() {
+        let a = FaultSchedule::seeded(42, 3, 5.0, 30.0, 1.0);
+        let b = FaultSchedule::seeded(42, 3, 5.0, 30.0, 1.0);
+        assert_eq!(a, b);
+        let c = FaultSchedule::seeded(43, 3, 5.0, 30.0, 1.0);
+        assert_ne!(a, c, "different seeds should differ");
+        for e in a.events() {
+            assert!(e.at_s() <= 30.0);
+            assert!(e.replica() < 3);
+            assert!(matches!(e, FaultEvent::Crash { .. }));
+        }
+        assert!(a.events().windows(2).all(|w| w[0].at_s() <= w[1].at_s()));
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = || {
+            ChaosEngine::new(
+                one_stage_spec(0.04, 2),
+                RouterPolicy::LeastOutstanding,
+                ScaleDriver::Reactive(
+                    AutoscalerPolicy::new(1, 4)
+                        .with_evaluation_interval(0.3)
+                        .with_scale_out_queue_depth(1.0),
+                ),
+            )
+            .with_faults(FaultSchedule::seeded(7, 4, 2.0, 8.0, 0.5))
+            .with_admission(AdmissionConfig::new(6.0, 4.0))
+            .run_trace(&spike_trace(180))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_plans_are_rejected() {
+        let _ = ScalingPlan::new(
+            1,
+            vec![
+                PlanStep {
+                    at_s: 2.0,
+                    replicas: 2,
+                },
+                PlanStep {
+                    at_s: 2.0,
+                    replicas: 3,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn malformed_fault_times_are_rejected() {
+        let _ = FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: 0,
+            at_s: f64::NAN,
+            restart_delay_s: 1.0,
+        }]);
+    }
+}

@@ -45,6 +45,19 @@
 //!   workload-class tags ([`rago_workloads::WorkloadMix`]), and every
 //!   report breaks metrics down per tenant class
 //!   ([`engine::ClassMetrics`]).
+//! * **Faults, admission control, and planned scaling** — the chaos
+//!   dimension: [`faults::ChaosEngine`] wraps the same replica fleet with a
+//!   deterministic [`faults::FaultSchedule`] (replica crashes with cold
+//!   restarts, stragglers, spot preemptions with advance notice), SLO-aware
+//!   admission control that sheds excess load in priority order
+//!   ([`faults::AdmissionConfig`]), and a third scaling driver — a
+//!   [`faults::PredictivePolicy`] that executes a precomputed
+//!   [`faults::ScalingPlan`] instead of reacting to queue depth. Reports
+//!   add a fault ledger, per-class shed counts, windowed attainment
+//!   timelines, and per-disruption recovery metrics
+//!   ([`faults::RecoveryMetrics`]). With no faults and no admission
+//!   config, the chaos engine is bit-identical to the engines it wraps
+//!   (`tests/proptest_faults.rs`, `tests/golden_regression.rs`).
 //! * **Caching** — the content-reuse dimension on top of everything: a
 //!   [`engine::CachePlan`] attaches the deterministic cache simulators of
 //!   `rago-cache` to a pipeline. Each replica owns cold, replica-local
@@ -107,6 +120,7 @@ pub mod autoscaler;
 pub mod cluster;
 pub mod engine;
 mod equeue;
+pub mod faults;
 pub mod iterative;
 pub mod microbatch;
 pub mod sink;
@@ -120,6 +134,11 @@ pub use engine::{
     sustained_throughput_knee, CachePlan, CacheUsage, ClassCacheUsage, ClassMetrics, DecodeSpec,
     EngineRequest, IterativeSpec, LatencyStats, LatencyTable, PipelineSpec, RequestTimeline,
     ServingEngine, ServingMetrics, ServingReport, StageSpec,
+};
+pub use faults::{
+    AdmissionConfig, AttainmentWindow, ChaosEngine, ChaosReport, ClassShed, CrashPolicy,
+    Disruption, FaultEvent, FaultKind, FaultReport, FaultSchedule, PlanStep, PredictivePolicy,
+    RecoveryMetrics, ScaleDriver, ScalingPlan, ShedEvent,
 };
 pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
 pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};

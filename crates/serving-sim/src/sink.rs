@@ -407,6 +407,7 @@ impl StreamAgg {
             retrieval_batches: 0,
             mean_retrieval_batch_fill: 0.0,
             events_processed: 0,
+            shed: 0,
         }
     }
 }

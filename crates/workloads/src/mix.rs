@@ -42,10 +42,16 @@ pub struct RequestClass {
     pub length_jitter: f64,
     /// The latency SLO this tenant is scored against.
     pub slo: SloTarget,
+    /// Admission priority under load shedding: higher keeps traffic longer
+    /// when the fleet is degraded (0 = best-effort, shed first). Ignored
+    /// everywhere except the chaos/admission path in `rago-serving-sim`,
+    /// so existing mixes (priority 0 throughout) behave exactly as before.
+    #[serde(default)]
+    pub priority: u32,
 }
 
 impl RequestClass {
-    /// Creates a class.
+    /// Creates a class with best-effort admission priority (0).
     pub fn new(
         name: impl Into<String>,
         weight: f64,
@@ -59,7 +65,27 @@ impl RequestClass {
             profile,
             length_jitter,
             slo,
+            priority: 0,
         }
+    }
+
+    /// Sets the admission priority (higher = shed later).
+    ///
+    /// ```
+    /// use rago_workloads::RequestClass;
+    /// use rago_schema::{SequenceProfile, SloTarget};
+    ///
+    /// let premium = RequestClass::new(
+    ///     "premium", 1.0, SequenceProfile::paper_default(), 0.1,
+    ///     SloTarget::new(2.0, 0.05),
+    /// )
+    /// .with_priority(2);
+    /// assert_eq!(premium.priority, 2);
+    /// ```
+    #[must_use]
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
     }
 }
 

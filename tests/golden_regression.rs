@@ -31,6 +31,17 @@
 //! * `cache_run.json` — the PR 5 cache subsystem: a seeded Zipfian
 //!   content-tagged trace through `evaluate_schedule_cached`, pinning the
 //!   hit/miss/eviction counters, tokens saved, and the cached TTFT.
+//! * `fault_crash.json` / `fault_straggler.json` — the PR 7 chaos layer:
+//!   the engine-metrics scenario rerun under a replica crash (cold
+//!   restart) and under a straggler window, pinning the fault ledger,
+//!   replica lifetimes, windowed attainment, and recovery metrics.
+//! * `admission_shed.json` — PR 7 admission control: a two-class
+//!   overload trace shed in priority order, pinning per-class shed counts
+//!   and the surviving latency distribution. Two further tests pin the
+//!   degenerate chaos configuration *against the existing snapshots*
+//!   (`engine_metrics.json` byte-for-byte, and the autoscaled
+//!   `timevarying.json` scenario through the public facade), so the chaos
+//!   wrapper cannot drift the engines it wraps.
 //!
 //! # Updating
 //!
@@ -51,6 +62,9 @@ use rago::schema::{FleetConfig, RouterPolicy, SequenceProfile, SloTarget, Stage}
 use rago::serving_sim::autoscaler::AutoscalerPolicy;
 use rago::serving_sim::engine::{
     sustained_throughput_knee, DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec,
+};
+use rago::serving_sim::faults::{
+    AdmissionConfig, ChaosEngine, ChaosReport, FaultEvent, FaultSchedule, ScaleDriver,
 };
 use rago::serving_sim::MetricsMode;
 use rago::workloads::{
@@ -128,8 +142,8 @@ fn golden_optimizer_frontier() {
 /// The seeded PR 2 engine scenario behind `engine_metrics.json`: a fixed
 /// two-stage pipeline (retrieval on its own resource, prefix on another)
 /// under a seeded Poisson trace.
-fn engine_metrics_scenario() -> ServingEngine {
-    let spec = PipelineSpec::new(
+fn engine_metrics_spec() -> PipelineSpec {
+    PipelineSpec::new(
         vec![
             StageSpec::new(
                 "retrieval",
@@ -148,16 +162,22 @@ fn engine_metrics_scenario() -> ServingEngine {
             32,
             LatencyTable::from_fn(32, |b| 2e-3 + 1e-5 * f64::from(b)),
         ),
-    );
-    let trace = TraceSpec {
+    )
+}
+
+fn engine_metrics_trace() -> rago::workloads::Trace {
+    TraceSpec {
         num_requests: 200,
         profile: SequenceProfile::paper_default().with_decode_tokens(32),
         arrival: ArrivalProcess::Poisson { rate_rps: 50.0 },
         length_jitter: 0.2,
         seed: 7,
     }
-    .generate();
-    ServingEngine::from_trace(spec, &trace)
+    .generate()
+}
+
+fn engine_metrics_scenario() -> ServingEngine {
+    ServingEngine::from_trace(engine_metrics_spec(), &engine_metrics_trace())
 }
 
 fn render_engine_metrics(report: &rago::serving_sim::engine::ServingReport) -> String {
@@ -507,4 +527,303 @@ fn golden_paper_claims() {
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  }\n}\n");
     check_golden("paper_claims.json", &out);
+}
+
+/// Renders the fault-facing surface of a chaos run: the fault ledger,
+/// merged fleet metrics, per-class shed counts, replica lifetimes, and the
+/// windowed recovery picture.
+fn render_chaos(name: &str, report: &ChaosReport, slo: &SloTarget, window_s: f64) -> String {
+    let m = &report.fleet.merged.metrics;
+    let fault = &report.fault;
+    let mut out = format!("{{\n  \"bench\": \"golden/{name}\",\n");
+    let _ = writeln!(
+        out,
+        "  \"fault\": {{\"injected\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}, \
+         \"retried\": {}, \"applied\": {}, \"skipped\": {}}},",
+        fault.injected,
+        fault.completed,
+        fault.shed,
+        fault.failed,
+        fault.retried,
+        fault.faults_applied,
+        fault.faults_skipped,
+    );
+    let disruption_rows: Vec<String> = fault
+        .disruptions
+        .iter()
+        .map(|d| {
+            format!(
+                "    {{\"time_s\": {}, \"replica\": {}, \"kind\": \"{:?}\"}}",
+                f(d.time_s),
+                d.replica,
+                d.kind
+            )
+        })
+        .collect();
+    out.push_str("  \"disruptions\": [\n");
+    out.push_str(&disruption_rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    let _ = writeln!(out, "  \"makespan_s\": {},", f(m.makespan_s));
+    let _ = writeln!(
+        out,
+        "  \"ttft\": {{\"mean_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.ttft.mean_s),
+        f(m.ttft.p99_s),
+        f(m.ttft.max_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency\": {{\"mean_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.latency.mean_s),
+        f(m.latency.p99_s),
+        f(m.latency.max_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"offered_attainment\": {},",
+        f(report.offered_attainment(slo))
+    );
+    let class_rows: Vec<String> = report
+        .fleet
+        .merged
+        .per_class
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"class\": {}, \"completed\": {}, \"shed\": {}, \"latency_p99_s\": {}}}",
+                c.class,
+                c.metrics.completed,
+                c.metrics.shed,
+                f(c.metrics.latency.p99_s)
+            )
+        })
+        .collect();
+    out.push_str("  \"per_class\": [\n");
+    out.push_str(&class_rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    let lifetime_rows: Vec<String> = report
+        .lifetimes
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"replica\": {}, \"provisioned_s\": {}, \"routable_s\": {}, \
+                 \"decommissioned_s\": {}, \"retired_s\": {}, \"assigned\": {}}}",
+                l.replica,
+                f(l.provisioned_s),
+                f(l.routable_s),
+                l.decommissioned_s.map_or_else(|| "null".to_string(), f),
+                f(l.retired_s),
+                l.assigned
+            )
+        })
+        .collect();
+    out.push_str("  \"lifetimes\": [\n");
+    out.push_str(&lifetime_rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    let _ = writeln!(out, "  \"replica_seconds\": {},", f(report.replica_seconds));
+    let recovery_rows: Vec<String> = report
+        .recovery(slo, window_s)
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"fault_s\": {}, \"replica\": {}, \"reattainment_s\": {}, \"dip_area\": {}}}",
+                f(r.fault_s),
+                r.replica,
+                r.reattainment_s.map_or_else(|| "null".to_string(), f),
+                f(r.dip_area)
+            )
+        })
+        .collect();
+    out.push_str("  \"recovery\": [\n");
+    out.push_str(&recovery_rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[test]
+fn golden_fault_crash() {
+    // The PR 7 fault path: the engine-metrics pipeline as a two-replica
+    // fleet losing replica 0 mid-run, in-flight work re-queued, replacement
+    // provisioned cold after half a second.
+    let faults = FaultSchedule::new(vec![FaultEvent::Crash {
+        replica: 0,
+        at_s: 1.0,
+        restart_delay_s: 0.5,
+    }]);
+    let report = ChaosEngine::new(
+        engine_metrics_spec(),
+        RouterPolicy::LeastOutstanding,
+        ScaleDriver::Static { replicas: 2 },
+    )
+    .with_faults(faults)
+    .run_trace(&engine_metrics_trace());
+    let slo = SloTarget::paper_default();
+    check_golden(
+        "fault_crash.json",
+        &render_chaos("fault_crash", &report, &slo, 0.5),
+    );
+}
+
+#[test]
+fn golden_fault_straggler() {
+    // A straggler window: replica 0 runs 6x slow from t=0.5 to t=2.5, then
+    // recovers. Round-robin routing keeps sending it work, so the window
+    // shows up in the tail latencies.
+    let faults = FaultSchedule::new(vec![
+        FaultEvent::StragglerStart {
+            replica: 0,
+            at_s: 0.5,
+            slowdown: 6.0,
+        },
+        FaultEvent::StragglerEnd {
+            replica: 0,
+            at_s: 2.5,
+        },
+    ]);
+    let report = ChaosEngine::new(
+        engine_metrics_spec(),
+        RouterPolicy::RoundRobin,
+        ScaleDriver::Static { replicas: 2 },
+    )
+    .with_faults(faults)
+    .run_trace(&engine_metrics_trace());
+    let slo = SloTarget::paper_default();
+    check_golden(
+        "fault_straggler.json",
+        &render_chaos("fault_straggler", &report, &slo, 0.5),
+    );
+}
+
+#[test]
+fn golden_admission_shed() {
+    // Priority-aware load shedding: a two-class overload against one
+    // replica, the chat class holding a priority-2 admission threshold.
+    let mix = WorkloadMix::new(vec![
+        RequestClass::new(
+            "batch",
+            1.0,
+            SequenceProfile::paper_default().with_decode_tokens(64),
+            0.1,
+            SloTarget::new(10.0, 0.2),
+        ),
+        RequestClass::new(
+            "chat",
+            2.0,
+            SequenceProfile::paper_default().with_decode_tokens(32),
+            0.1,
+            SloTarget::new(2.0, 0.05),
+        )
+        .with_priority(2),
+    ]);
+    let trace = MixTraceSpec {
+        num_requests: 300,
+        mix,
+        arrival: ArrivalProcess::Poisson { rate_rps: 120.0 },
+        seed: 17,
+    }
+    .generate();
+    let admission = AdmissionConfig::new(8.0, 16.0).with_class_priority(1, 2);
+    let report = ChaosEngine::new(
+        engine_metrics_spec(),
+        RouterPolicy::LeastOutstanding,
+        ScaleDriver::Static { replicas: 1 },
+    )
+    .with_admission(admission)
+    .run_trace(&trace);
+    let slo = SloTarget::new(2.0, 0.05);
+    check_golden(
+        "admission_shed.json",
+        &render_chaos("admission_shed", &report, &slo, 0.5),
+    );
+}
+
+/// The degenerate pin: a one-replica chaos fleet with an empty fault
+/// schedule, no admission control, and a static driver must reproduce the
+/// committed `engine_metrics.json` golden **byte for byte** — the chaos
+/// engine with everything turned off is the PR 2 engine.
+#[test]
+fn golden_chaos_degenerate_reproduces_engine_metrics() {
+    let report = ChaosEngine::new(
+        engine_metrics_spec(),
+        RouterPolicy::RoundRobin,
+        ScaleDriver::Static { replicas: 1 },
+    )
+    .run_trace(&engine_metrics_trace());
+    assert_eq!(report.fault.shed, 0);
+    assert_eq!(report.fault.failed, 0);
+    check_golden(
+        "engine_metrics.json",
+        &render_engine_metrics(&report.fleet.merged),
+    );
+}
+
+/// The elastic degenerate pin: the faultless reactive chaos evaluation
+/// under the `timevarying.json` scenario is bit-identical to the
+/// autoscaled time-varying evaluation the golden was rendered from.
+#[test]
+fn golden_chaos_degenerate_matches_autoscaler_scenario() {
+    use rago::core::faulted::FaultScenario;
+    use rago::serving_sim::faults::ScaleDriver as Driver;
+    let rago = Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    );
+    let frontier = rago
+        .optimize(&SearchOptions::fast())
+        .expect("static search succeeds");
+    let best = frontier.max_qps_per_chip().expect("non-empty frontier");
+    let mix = WorkloadMix::new(vec![
+        RequestClass::new(
+            "chat",
+            3.0,
+            SequenceProfile::paper_default().with_decode_tokens(32),
+            0.1,
+            SloTarget::new(2.0, 0.05),
+        ),
+        RequestClass::new(
+            "report",
+            1.0,
+            SequenceProfile::paper_default().with_decode_tokens(128),
+            0.1,
+            SloTarget::new(10.0, 0.2),
+        ),
+    ]);
+    let qps = best.performance.qps;
+    let trace = MixTraceSpec {
+        num_requests: 400,
+        mix: mix.clone(),
+        arrival: ArrivalProcess::Diurnal {
+            base_rps: 0.3 * qps,
+            peak_rps: 2.0 * qps,
+            period_s: 16.0,
+        },
+        seed: 29,
+    }
+    .generate();
+    let policy = AutoscalerPolicy::new(1, 3)
+        .with_evaluation_interval(0.25)
+        .with_scale_out_queue_depth(2.0)
+        .with_scale_in_outstanding(10.0)
+        .with_cooldown(1.0)
+        .with_warmup(0.5);
+    let fleet = FleetConfig::new(3, RouterPolicy::LeastOutstanding);
+    let baseline = rago
+        .evaluate_fleet_timevarying(&best.schedule, &fleet, &mix, &trace, Some(&policy))
+        .expect("time-varying evaluation succeeds");
+    let chaos = rago
+        .evaluate_fleet_faulted(
+            &best.schedule,
+            RouterPolicy::LeastOutstanding,
+            &mix,
+            &trace,
+            &FaultScenario::new(Driver::Reactive(policy)),
+        )
+        .expect("faulted evaluation succeeds");
+    assert_eq!(chaos.chaos.fleet, baseline.report);
+    assert_eq!(chaos.replica_seconds, baseline.replica_seconds);
+    assert_eq!(chaos.attainment, baseline.attainment);
+    assert_eq!(chaos.goodput_rps, baseline.goodput_rps);
+    let scaling = baseline.scaling.expect("autoscaled run has history");
+    assert_eq!(chaos.scaling.events, scaling.events);
+    assert_eq!(chaos.scaling.lifetimes, scaling.lifetimes);
 }

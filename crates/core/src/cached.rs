@@ -132,10 +132,17 @@ pub fn evaluate_fleet_cached(
 /// [`crate::dynamic::evaluate_schedule_dynamic_with`] for the mode
 /// semantics).
 ///
+/// Disaggregated `[Prefill, Decode]` pool fleets dispatch to
+/// [`crate::disagg::evaluate_fleet_disagg_cached`] — the caches live on the
+/// prefill pool, where the prefix and retrieval stages run — and require
+/// [`MetricsMode::Exact`]. A fleet declaring a single `[Monolithic]` pool
+/// runs the flat path with the pool's router.
+///
 /// # Errors
 ///
 /// As [`evaluate_fleet_cached`], plus [`RagoError::InvalidConfig`] when a
-/// streaming mode's configured SLO differs from `slo`.
+/// streaming mode's configured SLO differs from `slo`, or when a streaming
+/// mode is combined with a disaggregated pool fleet.
 pub fn evaluate_fleet_cached_with(
     profiler: &StageProfiler,
     schedule: &Schedule,
@@ -151,8 +158,24 @@ pub fn evaluate_fleet_cached_with(
     })?;
     reject_empty_trace(trace)?;
     check_mode_slo(mode, slo)?;
+    if fleet.is_disaggregated() {
+        if !matches!(mode, MetricsMode::Exact) {
+            return Err(RagoError::InvalidConfig {
+                reason: "streaming metrics are not supported for disaggregated pool fleets; \
+                         score the exact merged report instead"
+                    .into(),
+            });
+        }
+        let report = crate::disagg::run_disagg(profiler, schedule, fleet, trace, Some(cache), &[])?;
+        let eval = crate::disagg::score_disagg(report, schedule, slo);
+        return Ok(crate::disagg::to_fleet_evaluation(&eval));
+    }
+    let router = match fleet.pools.as_slice() {
+        [only] => only.router,
+        _ => fleet.router,
+    };
     let spec = pipeline_spec_cached(profiler, schedule, Some(cache))?;
-    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, fleet.router);
+    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, router);
     Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
 }
 

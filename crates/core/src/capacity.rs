@@ -28,9 +28,10 @@ use crate::error::RagoError;
 use crate::pareto::{ParetoFrontier, ParetoPoint};
 use crate::profiler::StageProfiler;
 use crate::schedule::Schedule;
-use rago_schema::{RouterPolicy, SequenceProfile, SloTarget};
+use rago_schema::{KvTransferModel, RouterPolicy, SequenceProfile, SloTarget};
 use rago_serving_sim::cluster::{ClusterEngine, FleetReport};
 use rago_serving_sim::engine::PipelineSpec;
+use rago_serving_sim::pools::{DisaggEngine, DisaggReport};
 use rago_workloads::{ArrivalProcess, RateSegment, TraceSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -276,6 +277,161 @@ pub(crate) fn search_min_replicas(
         .remove(&replicas)
         .expect("the chosen replica count was evaluated");
     Ok((replicas, report))
+}
+
+/// The provisioning decision for one schedule at one target rate under
+/// disaggregated prefill/decode pools — the two-pool analogue of
+/// [`CapacityPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolCapacityPlan {
+    /// Replicas of the prefill pool (pre-decode stages only).
+    pub prefill_replicas: u32,
+    /// Replicas of the decode pool (continuous-batching decode only).
+    pub decode_replicas: u32,
+    /// Offered rate the plan was sized for, in requests per second.
+    pub target_qps: f64,
+    /// Fleet SLO attainment at the planned split.
+    pub attainment: f64,
+    /// Fleet SLO goodput at the planned split, in requests per second of
+    /// serving duration.
+    pub goodput_rps: f64,
+    /// Total accelerators: `prefill_replicas × prefill XPUs +
+    /// decode_replicas × decode XPUs` — the objective the joint search
+    /// minimizes, and the number to hold against [`CapacityPlan::total_xpus`]
+    /// to decide whether disaggregation pays at this rate and SLO.
+    pub total_xpus: u32,
+    /// Total retrieval CPU servers (retrieval runs pre-decode, so only the
+    /// prefill pool carries them).
+    pub total_retrieval_servers: u32,
+    /// Drain tail of the sizing run.
+    pub drain_tail_s: f64,
+}
+
+/// Finds the cheapest disaggregated `(prefill, decode)` split of
+/// `schedule`'s pipeline whose fleet attainment meets `slo` at a Poisson
+/// offered rate of `target_qps` — the joint-search extension of
+/// [`plan_capacity_with`], with every KV handoff priced by `transfer`.
+///
+/// The objective is total accelerators, which the pools price
+/// *asymmetrically*: a prefill replica occupies only the schedule's
+/// pre-decode groups, a decode replica only its decode XPUs. The search
+/// walks prefill counts `p = 1..=max_replicas`; for each feasible `p` it
+/// binary-searches the minimal decode count (same memoized
+/// search-plus-confirmation discipline as [`plan_capacity_with`], on the
+/// same sizing trace), and prunes the cross product by cost: once even a
+/// one-decode-replica split at the current `p` cannot beat the best cost
+/// found, no larger `p` can either, and the walk stops. Every candidate is
+/// evaluated on the identical trace, so the returned plan is directly
+/// comparable to the collocated plan at the same rate.
+///
+/// # Errors
+///
+/// As [`plan_capacity_with`] (including [`RagoError::NoFeasibleSchedule`]
+/// when even a `max_replicas + max_replicas` split misses the SLO), plus
+/// [`RagoError::InvalidConfig`] for an invalid transfer model or a schedule
+/// without a pre-decode stage to disaggregate.
+pub fn plan_capacity_pools(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    slo: &SloTarget,
+    target_qps: f64,
+    transfer: &KvTransferModel,
+    options: &CapacityOptions,
+) -> Result<PoolCapacityPlan, RagoError> {
+    validate_capacity_inputs(target_qps, options)?;
+    schedule.validate()?;
+    transfer.validate().map_err(|e| RagoError::InvalidConfig {
+        reason: e.to_string(),
+    })?;
+    let (prefill_spec, decode_spec) = crate::disagg::split_pipeline_spec(profiler, schedule, None)?;
+    let trace = sizing_trace(target_qps, options);
+    let max = options.max_replicas;
+
+    let mut reports: BTreeMap<(u32, u32), DisaggReport> = BTreeMap::new();
+    let meets = |p: u32, d: u32, reports: &mut BTreeMap<(u32, u32), DisaggReport>| -> bool {
+        reports
+            .entry((p, d))
+            .or_insert_with(|| {
+                DisaggEngine::new(
+                    prefill_spec.clone(),
+                    p as usize,
+                    options.router,
+                    decode_spec.clone(),
+                    d as usize,
+                    options.router,
+                    *transfer,
+                )
+                .run_trace(&trace)
+            })
+            .merged
+            .attainment(slo)
+            >= slo.attainment
+    };
+
+    // Feasibility at the joint upper bound, mirroring the flat planner.
+    if !meets(max, max, &mut reports) {
+        let top = &reports[&(max, max)];
+        return Err(RagoError::NoFeasibleSchedule {
+            reason: format!(
+                "even a {max} + {max} prefill/decode split reaches only {:.1} % attainment \
+                 at {target_qps:.1} rps (target {:.1} %)",
+                top.merged.attainment(slo) * 100.0,
+                slo.attainment * 100.0
+            ),
+        });
+    }
+
+    let chips_prefill = crate::disagg::prefill_xpus(schedule);
+    let chips_decode = crate::disagg::decode_xpus(schedule);
+    let mut best: Option<(u32, u32, u32)> = None; // (p, d, cost)
+    for p in 1..=max {
+        // Cost pruning: decode counts only add cost, so `(p, 1)` is the
+        // cheapest split any larger `p` could offer.
+        let floor = p * chips_prefill + chips_decode;
+        if best.is_some_and(|(.., cost)| floor > cost) {
+            break;
+        }
+        if !meets(p, max, &mut reports) {
+            continue;
+        }
+        let mut lo = 1u32;
+        let mut hi = max;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if meets(p, mid, &mut reports) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let mut d = hi;
+        while d > 1 && meets(p, d - 1, &mut reports) {
+            d -= 1;
+        }
+        let cost = p * chips_prefill + d * chips_decode;
+        let better = match best {
+            None => true,
+            Some((bp, bd, bcost)) => cost < bcost || (cost == bcost && p + d < bp + bd),
+        };
+        if better {
+            best = Some((p, d, cost));
+        }
+    }
+
+    let (p, d, cost) = best.expect("the (max, max) split was confirmed feasible");
+    let report = reports
+        .remove(&(p, d))
+        .expect("the chosen split was evaluated");
+    Ok(PoolCapacityPlan {
+        prefill_replicas: p,
+        decode_replicas: d,
+        target_qps,
+        attainment: report.merged.attainment(slo),
+        goodput_rps: report.merged.goodput_rps(slo),
+        total_xpus: cost,
+        total_retrieval_servers: schedule.allocation.retrieval_servers * p,
+        drain_tail_s: report.merged.metrics.drain_tail_s,
+    })
 }
 
 /// Re-ranks a Pareto frontier by the total accelerators needed to serve
@@ -549,6 +705,100 @@ mod tests {
         } else {
             assert!(plan.replicas > 1);
         }
+    }
+
+    /// The joint pool search returns the cheapest feasible split found by a
+    /// full cross-product scan over the same (memoizable) evaluations, and
+    /// the pools price chips asymmetrically.
+    #[test]
+    fn pool_plan_matches_an_exhaustive_cross_product_scan() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let options = CapacityOptions {
+            max_replicas: 4,
+            num_requests: 120,
+            ..CapacityOptions::default()
+        };
+        let target_qps = 40.0;
+        let transfer = KvTransferModel::new(131_072.0, 100e9, 5e-6);
+        let plan = plan_capacity_pools(&profiler, &schedule, &slo, target_qps, &transfer, &options)
+            .unwrap();
+
+        // Exhaustive scan over every (p, d) in the same bounds.
+        let (prefill_spec, decode_spec) =
+            crate::disagg::split_pipeline_spec(&profiler, &schedule, None).unwrap();
+        let trace = sizing_trace(target_qps, &options);
+        let chips_prefill = crate::disagg::prefill_xpus(&schedule);
+        let chips_decode = crate::disagg::decode_xpus(&schedule);
+        let mut best: Option<(u32, u32, u32)> = None;
+        for p in 1..=options.max_replicas {
+            for d in 1..=options.max_replicas {
+                let report = DisaggEngine::new(
+                    prefill_spec.clone(),
+                    p as usize,
+                    options.router,
+                    decode_spec.clone(),
+                    d as usize,
+                    options.router,
+                    transfer,
+                )
+                .run_trace(&trace);
+                if report.merged.attainment(&slo) < slo.attainment {
+                    continue;
+                }
+                let cost = p * chips_prefill + d * chips_decode;
+                let better = match best {
+                    None => true,
+                    Some((bp, bd, bcost)) => cost < bcost || (cost == bcost && p + d < bp + bd),
+                };
+                if better {
+                    best = Some((p, d, cost));
+                }
+            }
+        }
+        let (p, d, cost) = best.expect("the scan found a feasible split");
+        assert_eq!((plan.prefill_replicas, plan.decode_replicas), (p, d));
+        assert_eq!(plan.total_xpus, cost);
+        assert!(plan.attainment >= slo.attainment);
+        assert_eq!(
+            plan.total_retrieval_servers,
+            schedule.allocation.retrieval_servers * plan.prefill_replicas
+        );
+        // Asymmetric accounting: the split is never billed for full
+        // monolithic replicas.
+        assert_eq!(
+            plan.total_xpus,
+            plan.prefill_replicas * chips_prefill + plan.decode_replicas * chips_decode
+        );
+    }
+
+    #[test]
+    fn unreachable_pool_targets_are_reported() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(0.5, 1e-6);
+        let options = CapacityOptions {
+            max_replicas: 2,
+            num_requests: 60,
+            ..CapacityOptions::default()
+        };
+        let err = plan_capacity_pools(
+            &profiler,
+            &schedule,
+            &slo,
+            100.0,
+            &KvTransferModel::zero(),
+            &options,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RagoError::NoFeasibleSchedule { .. }));
+        // An invalid transfer model is rejected before any simulation.
+        let bad = KvTransferModel::new(-1.0, 1e9, 0.0);
+        assert!(matches!(
+            plan_capacity_pools(&profiler, &schedule, &slo, 10.0, &bad, &options),
+            Err(RagoError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,620 @@
+//! Disaggregated prefill/decode fleet evaluation and the joint
+//! (prefill pool, decode pool, interconnect) search.
+//!
+//! The flat evaluators in [`crate::dynamic`] lock prefill and decode
+//! capacity 1:1 — every replica carries the pre-decode accelerator groups
+//! *and* the decode XPUs, so a prefill-bound workload pays for idle decode
+//! chips and vice versa. Splitwise and DistServe break that coupling: a
+//! *Prefill* pool sized for TTFT feeds a *Decode* pool sized for TPOT, and
+//! each request's KV state crosses an interconnect between the phases. This
+//! module closes the optimizer loop over that placement dimension:
+//!
+//! * [`evaluate_fleet_disagg`] / [`evaluate_fleet_disagg_cached`] — drive a
+//!   trace through a disaggregated [`FleetConfig`] (a `[Prefill, Decode]`
+//!   pool pair plus its [`KvTransferModel`]) via
+//!   [`rago_serving_sim::pools::DisaggEngine`], and score the stitched
+//!   result per chip. The flat evaluators dispatch pool fleets here, so
+//!   `evaluate_fleet_dynamic` *accepts* pool configs unchanged.
+//! * [`transfer_model_from_interconnect`] — prices the handoff from first
+//!   principles: the generative model's KV bytes per token over an
+//!   [`InterconnectSpec`]'s link bandwidth plus its per-message overhead.
+//! * [`rank_frontier_by_goodput_disagg`] — the joint search: every Pareto
+//!   point × every (prefill, decode) split × every candidate interconnect,
+//!   ranked by goodput per chip. At tight TTFT+TPOT SLOs this sweep
+//!   discovers the DistServe result — a disaggregated split beating the
+//!   best collocated fleet per chip — and at loose SLOs it correctly
+//!   prefers collocation (no transfer tax, no idle pool).
+//!
+//! Chip accounting is per pool: a prefill replica occupies only the
+//! schedule's pre-decode accelerator groups ([`prefill_xpus`]), a decode
+//! replica only its decode XPUs ([`decode_xpus`]) — that asymmetry is the
+//! entire economic case for disaggregation.
+
+use crate::dynamic::{pipeline_spec_cached, reject_empty_trace, FleetEvaluation};
+use crate::error::RagoError;
+use crate::pareto::{ParetoFrontier, ParetoPoint};
+use crate::profiler::StageProfiler;
+use crate::schedule::Schedule;
+use rago_cache::CacheConfig;
+use rago_hardware::InterconnectSpec;
+use rago_schema::{FleetConfig, KvTransferModel, PoolRole, RagSchema, SloTarget};
+use rago_serving_sim::engine::PipelineSpec;
+use rago_serving_sim::pools::{DisaggEngine, DisaggReport, PoolCrash};
+use rago_workloads::Trace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one disaggregated fleet evaluation: the two-pool report
+/// plus SLO scores and the per-chip figure the joint search ranks by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggEvaluation {
+    /// The stitched two-pool report (merged metrics, per-pool breakdowns,
+    /// KV-transfer statistics).
+    pub report: DisaggReport,
+    /// Fraction of requests meeting the SLO's latency targets.
+    pub attainment: f64,
+    /// Requests meeting the SLO per second of fleet serving duration.
+    pub goodput_rps: f64,
+    /// Whether attainment reaches the SLO's required fraction.
+    pub meets_slo: bool,
+    /// Total accelerators across both pools:
+    /// `prefill replicas × prefill_xpus + decode replicas × decode_xpus`.
+    pub total_xpus: u32,
+    /// `goodput_rps / total_xpus` — the axis on which disaggregation beats
+    /// collocation at tight SLOs.
+    pub goodput_per_chip: f64,
+}
+
+/// Accelerators one prefill-pool replica occupies: the schedule's
+/// pre-decode groups (retrieval CPU servers are accounted separately, as in
+/// [`crate::capacity::CapacityPlan`]).
+pub fn prefill_xpus(schedule: &Schedule) -> u32 {
+    schedule.allocation.group_xpus.iter().sum()
+}
+
+/// Accelerators one decode-pool replica occupies.
+pub fn decode_xpus(schedule: &Schedule) -> u32 {
+    schedule.allocation.decode_xpus
+}
+
+/// Total accelerators of a `prefill + decode` split of `schedule`.
+pub fn split_xpus(schedule: &Schedule, prefill_replicas: u32, decode_replicas: u32) -> u32 {
+    prefill_replicas * prefill_xpus(schedule) + decode_replicas * decode_xpus(schedule)
+}
+
+/// Prices the prefill→decode KV handoff from hardware first principles: the
+/// generative LLM's KV-cache bytes per token moved over one link of
+/// `interconnect`, plus its fixed per-message overhead — the same pricing as
+/// [`InterconnectSpec::transfer_latency_s`] per transferred prefix.
+///
+/// # Examples
+///
+/// ```
+/// use rago_core::disagg::transfer_model_from_interconnect;
+/// use rago_hardware::InterconnectSpec;
+/// use rago_schema::presets::{self, LlmSize};
+///
+/// let schema = presets::case1_hyperscale(LlmSize::B8, 1);
+/// let dcn = InterconnectSpec::datacenter_network();
+/// let model = transfer_model_from_interconnect(&schema, &dcn);
+/// assert_eq!(model.kv_bytes_per_token, schema.generative_llm.kv_cache_bytes_per_token());
+/// // A 1000-token prefix prices identically through both APIs.
+/// let bytes = model.bytes_for(1000);
+/// assert!((model.latency_s(1000) - dcn.transfer_latency_s(bytes)).abs() < 1e-15);
+/// ```
+pub fn transfer_model_from_interconnect(
+    schema: &RagSchema,
+    interconnect: &InterconnectSpec,
+) -> KvTransferModel {
+    KvTransferModel::new(
+        schema.generative_llm.kv_cache_bytes_per_token(),
+        interconnect.link_bandwidth(),
+        interconnect.base_latency_s,
+    )
+}
+
+/// Splits `schedule`'s profiled pipeline into its pool halves: the prefill
+/// spec keeps every pre-decode stage (and the cache plan, when present) and
+/// is marked for KV handoff; the decode spec is decode-only and carries the
+/// iterative-retrieval configuration (a decode-phase feature). Shared by
+/// every disaggregated entry point so both halves always come from one
+/// profiling pass.
+pub(crate) fn split_pipeline_spec(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    cache: Option<&CacheConfig>,
+) -> Result<(PipelineSpec, PipelineSpec), RagoError> {
+    let full = pipeline_spec_cached(profiler, schedule, cache)?;
+    if full.stages.is_empty() {
+        return Err(RagoError::InvalidConfig {
+            reason: "disaggregation needs at least one pre-decode stage to prefill".into(),
+        });
+    }
+    let decode_spec = PipelineSpec::decode_only(full.decode.clone(), full.iterative);
+    let prefill_spec = PipelineSpec {
+        iterative: None,
+        ..full
+    }
+    .with_handoff();
+    Ok((prefill_spec, decode_spec))
+}
+
+/// Validates that `fleet` is a disaggregated `[Prefill, Decode]` pool pair
+/// and that every crash targets a real replica of one of its pools.
+fn check_disagg_fleet(fleet: &FleetConfig, crashes: &[PoolCrash]) -> Result<(), RagoError> {
+    fleet.validate().map_err(|e| RagoError::InvalidConfig {
+        reason: e.to_string(),
+    })?;
+    let Some((prefill, decode)) = fleet.prefill_decode() else {
+        return Err(RagoError::InvalidConfig {
+            reason: "disaggregated evaluation needs a [Prefill, Decode] pool pair; \
+                     flat fleets go through evaluate_fleet_dynamic"
+                .into(),
+        });
+    };
+    for c in crashes {
+        let pool_len = match c.pool {
+            PoolRole::Prefill => prefill.replicas,
+            PoolRole::Decode => decode.replicas,
+            PoolRole::Monolithic => {
+                return Err(RagoError::InvalidConfig {
+                    reason: "pool crashes target the Prefill or Decode pool".into(),
+                })
+            }
+        };
+        if c.replica as u64 >= u64::from(pool_len) {
+            return Err(RagoError::InvalidConfig {
+                reason: format!(
+                    "crash at {:.3}s targets replica {} of a {}-replica {} pool",
+                    c.at_s, c.replica, pool_len, c.pool
+                ),
+            });
+        }
+        if !(c.at_s.is_finite() && c.at_s >= 0.0) {
+            return Err(RagoError::InvalidConfig {
+                reason: format!(
+                    "crash times must be finite and non-negative, got {}",
+                    c.at_s
+                ),
+            });
+        }
+        if let Some(d) = c.restart_delay_s {
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(RagoError::InvalidConfig {
+                    reason: format!("restart delays must be finite and non-negative, got {d}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The shared run core: split the spec, build the engine, play the crashes,
+/// return the stitched report.
+pub(crate) fn run_disagg(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    cache: Option<&CacheConfig>,
+    crashes: &[PoolCrash],
+) -> Result<DisaggReport, RagoError> {
+    schedule.validate()?;
+    check_disagg_fleet(fleet, crashes)?;
+    reject_empty_trace(trace)?;
+    let (prefill_spec, decode_spec) = split_pipeline_spec(profiler, schedule, cache)?;
+    let mut engine = DisaggEngine::from_fleet(prefill_spec, decode_spec, fleet, fleet.transfer)
+        .expect("check_disagg_fleet verified the pool pair");
+    if !crashes.is_empty() {
+        engine = engine.with_faults(crashes.to_vec());
+    }
+    Ok(engine.run_trace(trace))
+}
+
+/// Scores a finished disaggregated run against `slo` with per-chip
+/// accounting for the given split.
+pub(crate) fn score_disagg(
+    report: DisaggReport,
+    schedule: &Schedule,
+    slo: &SloTarget,
+) -> DisaggEvaluation {
+    let attainment = report.merged.attainment(slo);
+    let goodput_rps = report.merged.goodput_rps(slo);
+    let meets_slo = report.merged.meets_slo(slo);
+    let total_xpus = split_xpus(
+        schedule,
+        report.prefill.per_replica.len() as u32,
+        report.decode.per_replica.len() as u32,
+    );
+    DisaggEvaluation {
+        report,
+        attainment,
+        goodput_rps,
+        meets_slo,
+        total_xpus,
+        goodput_per_chip: if total_xpus > 0 {
+            goodput_rps / f64::from(total_xpus)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Drives `trace` through the disaggregated `fleet` — its Prefill pool runs
+/// `schedule`'s pre-decode stages, its Decode pool the continuous-batching
+/// decode, with every handoff priced by `fleet.transfer` — and scores the
+/// stitched result against `slo`.
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] for invalid schedules, fleets that
+/// are not a `[Prefill, Decode]` pool pair, schedules without a pre-decode
+/// stage, or an empty trace, and [`RagoError::CostModel`] when the schedule
+/// cannot be profiled.
+pub fn evaluate_fleet_disagg(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+) -> Result<DisaggEvaluation, RagoError> {
+    let report = run_disagg(profiler, schedule, fleet, trace, None, &[])?;
+    Ok(score_disagg(report, schedule, slo))
+}
+
+/// [`evaluate_fleet_disagg`] with per-replica caches from `cache` on the
+/// *prefill* pool (prefix-KV and retrieval-result reuse are pre-decode
+/// phenomena; the decode pool receives already-prefilled state). Content-
+/// aware pool routers steer requests toward the prefill replica owning
+/// their template, exactly as in [`crate::cached::evaluate_fleet_cached`].
+///
+/// # Errors
+///
+/// As [`evaluate_fleet_disagg`], plus the cached pipeline's configuration
+/// errors (e.g. a prefix cache on a schema without a prefix stage).
+pub fn evaluate_fleet_disagg_cached(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+    cache: &CacheConfig,
+) -> Result<DisaggEvaluation, RagoError> {
+    let report = run_disagg(profiler, schedule, fleet, trace, Some(cache), &[])?;
+    Ok(score_disagg(report, schedule, slo))
+}
+
+/// Converts a disaggregated evaluation into the [`FleetEvaluation`] shape
+/// the flat evaluators return (via
+/// [`DisaggReport::to_fleet_report`]). Used by the dispatch in
+/// [`crate::dynamic::evaluate_fleet_dynamic_with`] so callers holding a
+/// [`FleetConfig`] get one result type regardless of pool shape.
+pub(crate) fn to_fleet_evaluation(eval: &DisaggEvaluation) -> FleetEvaluation {
+    FleetEvaluation {
+        report: eval.report.to_fleet_report(),
+        attainment: eval.attainment,
+        goodput_rps: eval.goodput_rps,
+        meets_slo: eval.meets_slo,
+    }
+}
+
+/// One candidate of the joint disaggregation search: a pool split priced
+/// over one interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggChoice {
+    /// Prefill-pool replica count.
+    pub prefill_replicas: u32,
+    /// Decode-pool replica count.
+    pub decode_replicas: u32,
+    /// Name of the interconnect pricing the KV handoff.
+    pub interconnect: String,
+    /// The derived transfer model (bytes per token × link bandwidth +
+    /// overhead).
+    pub transfer: KvTransferModel,
+}
+
+/// The joint (schedule, prefill pool, decode pool, interconnect) search:
+/// evaluates every Pareto point under every `(prefill, decode)` split and
+/// every candidate interconnect, and ranks the survivors by **goodput per
+/// chip**, best first — the disaggregated extension of
+/// [`crate::dynamic::rank_frontier_by_goodput`]. Candidates whose
+/// evaluation fails (e.g. a stage-free schedule) are omitted. Ties break
+/// toward fewer total XPUs, then lower static TTFT, then the schedule
+/// description and choice fields, so the ranking is deterministic across
+/// rayon workers.
+///
+/// Compare the winner's `goodput_per_chip` against
+/// [`crate::dynamic::rank_frontier_by_goodput`]'s best at
+/// `goodput / (replicas × total_xpus)` to decide *whether* to disaggregate
+/// at all — at tight TTFT+TPOT SLOs the split wins (the DistServe result),
+/// at loose SLOs collocation does.
+///
+/// # Panics
+///
+/// Panics on a zero-request trace, an empty split list, or an empty
+/// interconnect list — each would silently rank nothing.
+pub fn rank_frontier_by_goodput_disagg(
+    profiler: &StageProfiler,
+    frontier: &ParetoFrontier,
+    trace: &Trace,
+    slo: &SloTarget,
+    splits: &[(u32, u32)],
+    interconnects: &[InterconnectSpec],
+) -> Vec<(ParetoPoint, DisaggChoice, DisaggEvaluation)> {
+    assert!(
+        !trace.requests.is_empty(),
+        "cannot rank a frontier by goodput over a zero-request trace"
+    );
+    assert!(
+        !splits.is_empty(),
+        "the joint search needs at least one (prefill, decode) split"
+    );
+    assert!(
+        !interconnects.is_empty(),
+        "the joint search needs at least one candidate interconnect"
+    );
+    let schema = profiler.schema();
+    let candidates: Vec<(&ParetoPoint, DisaggChoice)> = frontier
+        .iter()
+        .flat_map(|point| {
+            splits.iter().flat_map(move |&(p, d)| {
+                interconnects.iter().map(move |ic| {
+                    (
+                        point,
+                        DisaggChoice {
+                            prefill_replicas: p,
+                            decode_replicas: d,
+                            interconnect: ic.name.clone(),
+                            transfer: transfer_model_from_interconnect(schema, ic),
+                        },
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut ranked: Vec<(ParetoPoint, DisaggChoice, DisaggEvaluation)> = candidates
+        .into_iter()
+        .par_bridge()
+        .fold(Vec::new, |mut acc, (point, choice)| {
+            let fleet = FleetConfig::split(
+                choice.prefill_replicas,
+                choice.decode_replicas,
+                rago_schema::RouterPolicy::default(),
+            )
+            .with_transfer(choice.transfer);
+            if let Ok(eval) = evaluate_fleet_disagg(profiler, &point.schedule, &fleet, trace, slo) {
+                acc.push((point.clone(), choice, eval));
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    ranked.sort_by(|a, b| {
+        b.2.goodput_per_chip
+            .total_cmp(&a.2.goodput_per_chip)
+            .then(a.2.total_xpus.cmp(&b.2.total_xpus))
+            .then(a.0.performance.ttft_s.total_cmp(&b.0.performance.ttft_s))
+            .then_with(|| a.0.schedule.describe().cmp(&b.0.schedule.describe()))
+            .then(a.1.prefill_replicas.cmp(&b.1.prefill_replicas))
+            .then(a.1.decode_replicas.cmp(&b.1.decode_replicas))
+            .then_with(|| a.1.interconnect.cmp(&b.1.interconnect))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{evaluate_fleet_dynamic, evaluate_fleet_dynamic_with};
+    use crate::placement::PlacementPlan;
+    use crate::schedule::{BatchingPolicy, ResourceAllocation};
+    use rago_hardware::ClusterSpec;
+    use rago_schema::presets::{self, LlmSize};
+    use rago_schema::{RouterPolicy, SequenceProfile, Stage};
+    use rago_workloads::{ArrivalProcess, TraceSpec};
+
+    fn case1_profiler() -> StageProfiler {
+        StageProfiler::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        )
+    }
+
+    fn case1_schedule() -> Schedule {
+        Schedule {
+            placement: PlacementPlan {
+                predecode_groups: vec![vec![Stage::Prefix]],
+            },
+            allocation: ResourceAllocation {
+                group_xpus: vec![8],
+                decode_xpus: 8,
+                retrieval_servers: 32,
+            },
+            batching: BatchingPolicy::new(8, 64),
+        }
+    }
+
+    fn poisson_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        TraceSpec {
+            num_requests: n,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: rate },
+            length_jitter: 0.2,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn disagg_evaluation_completes_and_prices_transfers() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let trace = poisson_trace(80, 40.0, 5);
+        let slo = SloTarget::new(1.0, 0.1);
+        let ic = InterconnectSpec::torus_3d();
+        let fleet = FleetConfig::split(1, 1, RouterPolicy::LeastOutstanding)
+            .with_transfer(transfer_model_from_interconnect(profiler.schema(), &ic));
+        let eval = evaluate_fleet_disagg(&profiler, &schedule, &fleet, &trace, &slo).unwrap();
+        assert_eq!(eval.report.merged.metrics.completed, 80);
+        assert_eq!(eval.report.transfers.transfers, 80);
+        assert!(eval.report.transfers.bytes_total > 0.0);
+        assert_eq!(eval.total_xpus, split_xpus(&schedule, 1, 1));
+        assert_eq!(eval.total_xpus, 16);
+        assert!(eval.goodput_per_chip <= eval.goodput_rps);
+    }
+
+    /// The degenerate pin: a zero-cost 1+1 split scores the same attainment
+    /// and goodput as the flat single-replica fleet (per-request timings
+    /// agree to the engine's event-grouping tolerance, so the counted SLO
+    /// hits are identical).
+    #[test]
+    fn zero_cost_split_matches_flat_fleet_scores() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let trace = poisson_trace(100, 30.0, 11);
+        let slo = SloTarget::new(1.0, 0.1);
+        let flat = evaluate_fleet_dynamic(
+            &profiler,
+            &schedule,
+            &FleetConfig::new(1, RouterPolicy::LeastOutstanding),
+            &trace,
+            &slo,
+        )
+        .unwrap();
+        let split = FleetConfig::split(1, 1, RouterPolicy::LeastOutstanding);
+        assert!(split.transfer.is_zero_cost());
+        let disagg = evaluate_fleet_disagg(&profiler, &schedule, &split, &trace, &slo).unwrap();
+        assert_eq!(disagg.attainment, flat.attainment);
+        assert!((disagg.goodput_rps - flat.goodput_rps).abs() < 1e-9);
+        assert_eq!(disagg.meets_slo, flat.meets_slo);
+    }
+
+    /// Pool configs flow through the flat entry point: a disaggregated
+    /// `FleetConfig` dispatches to the pool engine and comes back in the
+    /// standard fleet shape.
+    #[test]
+    fn fleet_dynamic_accepts_pool_configs() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let trace = poisson_trace(60, 40.0, 3);
+        let slo = SloTarget::new(1.0, 0.1);
+        let fleet = FleetConfig::split(1, 2, RouterPolicy::LeastOutstanding)
+            .with_transfer(KvTransferModel::new(131_072.0, 25e9, 20e-6));
+        let eval = evaluate_fleet_dynamic(&profiler, &schedule, &fleet, &trace, &slo).unwrap();
+        assert_eq!(eval.report.merged.metrics.completed, 60);
+        // Replicas renumbered prefill-first: 1 prefill + 2 decode.
+        assert_eq!(eval.report.per_replica.len(), 3);
+        // Two dispatches per request: arrival + transfer completion.
+        assert_eq!(eval.report.assignments.len(), 120);
+        let direct = evaluate_fleet_disagg(&profiler, &schedule, &fleet, &trace, &slo).unwrap();
+        assert_eq!(eval.report.merged, direct.report.merged);
+        assert_eq!(eval.attainment, direct.attainment);
+
+        // Streaming metrics are a flat-fleet feature.
+        let streaming = rago_serving_sim::MetricsMode::Streaming(
+            rago_serving_sim::StreamingConfig::new(rago_schema::HistogramSpec::default())
+                .with_slo(slo),
+        );
+        let err =
+            evaluate_fleet_dynamic_with(&profiler, &schedule, &fleet, &trace, &slo, &streaming)
+                .unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn non_pool_fleets_are_rejected_by_the_direct_entry_point() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let trace = poisson_trace(10, 10.0, 1);
+        let slo = SloTarget::new(1.0, 0.1);
+        let flat = FleetConfig::new(2, RouterPolicy::RoundRobin);
+        assert!(matches!(
+            evaluate_fleet_disagg(&profiler, &schedule, &flat, &trace, &slo),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        // Invalid crash targets surface as errors, not panics.
+        let fleet = FleetConfig::split(1, 1, RouterPolicy::RoundRobin);
+        let bad_crash = PoolCrash {
+            pool: PoolRole::Prefill,
+            replica: 5,
+            at_s: 0.1,
+            restart_delay_s: None,
+        };
+        assert!(matches!(
+            run_disagg(&profiler, &schedule, &fleet, &trace, None, &[bad_crash]),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+    }
+
+    /// The DistServe discovery: at a tight TTFT+TPOT SLO, the joint search
+    /// finds a disaggregated split whose goodput per chip beats the best
+    /// *collocated* fleet serving the same trace — because the split buys
+    /// prefill capacity without paying for idle decode chips.
+    #[test]
+    fn tight_slo_sweep_discovers_disaggregation() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        // Prefill-heavy traffic: a rate past one replica's prefill knee
+        // (one collocated replica's TTFT attainment collapses at the tight
+        // target) with short decodes, so a second full replica buys mostly
+        // idle decode chips while a (2, 1) split buys exactly the prefill
+        // capacity the SLO needs.
+        let trace = TraceSpec {
+            num_requests: 150,
+            profile: SequenceProfile::paper_default().with_decode_tokens(4),
+            arrival: ArrivalProcess::Poisson { rate_rps: 160.0 },
+            length_jitter: 0.2,
+            seed: 17,
+        }
+        .generate();
+        let tight = SloTarget::new(0.4, 0.05);
+
+        // Best collocated goodput per chip across 1..=3 flat replicas.
+        let mut best_flat = 0.0f64;
+        for n in 1..=3u32 {
+            let eval = evaluate_fleet_dynamic(
+                &profiler,
+                &schedule,
+                &FleetConfig::new(n, RouterPolicy::LeastOutstanding),
+                &trace,
+                &tight,
+            )
+            .unwrap();
+            let chips = schedule.allocation.total_xpus() * n;
+            best_flat = best_flat.max(eval.goodput_rps / f64::from(chips));
+        }
+
+        // The joint sweep over splits and interconnects.
+        let splits: Vec<(u32, u32)> = vec![(1, 1), (2, 1), (2, 2), (3, 1)];
+        let ics = vec![
+            InterconnectSpec::torus_3d(),
+            InterconnectSpec::datacenter_network(),
+        ];
+        let frontier = ParetoFrontier {
+            points: vec![ParetoPoint {
+                schedule: schedule.clone(),
+                performance: schedule.evaluate(&profiler).unwrap(),
+            }],
+            evaluated_schedules: 1,
+        };
+        let ranked =
+            rank_frontier_by_goodput_disagg(&profiler, &frontier, &trace, &tight, &splits, &ics);
+        assert_eq!(ranked.len(), splits.len() * ics.len());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].2.goodput_per_chip >= pair[1].2.goodput_per_chip);
+        }
+        let (_, choice, best) = &ranked[0];
+        assert!(
+            best.goodput_per_chip > best_flat,
+            "disaggregation should win per chip at the tight SLO: \
+             split ({}, {}) over {} reaches {:.6}/chip vs collocated {:.6}/chip",
+            choice.prefill_replicas,
+            choice.decode_replicas,
+            choice.interconnect,
+            best.goodput_per_chip,
+            best_flat
+        );
+    }
+}

@@ -216,10 +216,17 @@ pub fn evaluate_fleet_dynamic(
 /// [`evaluate_fleet_dynamic`] with an explicit metrics mode (see
 /// [`evaluate_schedule_dynamic_with`] for the mode semantics).
 ///
+/// Disaggregated `[Prefill, Decode]` pool fleets dispatch to
+/// [`crate::disagg::evaluate_fleet_disagg`] and come back converted into the
+/// flat [`FleetEvaluation`] shape (replicas renumbered prefill-first); they
+/// require [`MetricsMode::Exact`]. A fleet declaring a single `[Monolithic]`
+/// pool runs the flat path with the pool's router.
+///
 /// # Errors
 ///
 /// As [`evaluate_fleet_dynamic`], plus [`RagoError::InvalidConfig`] when a
-/// streaming mode's configured SLO differs from `slo`.
+/// streaming mode's configured SLO differs from `slo`, or when a streaming
+/// mode is combined with a disaggregated pool fleet.
 pub fn evaluate_fleet_dynamic_with(
     profiler: &StageProfiler,
     schedule: &Schedule,
@@ -234,8 +241,26 @@ pub fn evaluate_fleet_dynamic_with(
     })?;
     reject_empty_trace(trace)?;
     check_mode_slo(mode, slo)?;
+    if fleet.is_disaggregated() {
+        if !matches!(mode, MetricsMode::Exact) {
+            return Err(RagoError::InvalidConfig {
+                reason: "streaming metrics are not supported for disaggregated pool fleets; \
+                         score the exact merged report instead"
+                    .into(),
+            });
+        }
+        let report = crate::disagg::run_disagg(profiler, schedule, fleet, trace, None, &[])?;
+        let eval = crate::disagg::score_disagg(report, schedule, slo);
+        return Ok(crate::disagg::to_fleet_evaluation(&eval));
+    }
+    // A single declared Monolithic pool is the flat fleet spelled in pool
+    // form — honour the pool's router (`validate` pinned the totals).
+    let router = match fleet.pools.as_slice() {
+        [only] => only.router,
+        _ => fleet.router,
+    };
     let spec = pipeline_spec(profiler, schedule)?;
-    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, fleet.router);
+    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, router);
     Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
 }
 
@@ -790,6 +815,49 @@ mod tests {
         assert_eq!(one.report.merged, single.report);
         assert!((one.attainment - single.attainment).abs() < 1e-12);
         assert!((one.goodput_rps - single.goodput_rps).abs() < 1e-12);
+    }
+
+    /// The degenerate pool shape: a fleet declaring one explicit Monolithic
+    /// pool is **bit-identical** to the flat fleet it spells out — same
+    /// engine, same router, same replica count, byte-for-byte equal report.
+    #[test]
+    fn single_monolithic_pool_is_bit_identical_to_flat_fleet() {
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = TraceSpec {
+            num_requests: 90,
+            profile: SequenceProfile::paper_default().with_decode_tokens(32),
+            arrival: ArrivalProcess::Poisson { rate_rps: 50.0 },
+            length_jitter: 0.2,
+            seed: 7,
+        }
+        .generate();
+        for router in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastOutstanding,
+            RouterPolicy::JoinShortestQueue,
+        ] {
+            let flat = rago_schema::FleetConfig::new(3, router);
+            let pooled = rago_schema::FleetConfig {
+                replicas: 3,
+                // A deliberately different top-level router: the declared
+                // pool's router must win for the [Monolithic] shape.
+                router: RouterPolicy::RoundRobin,
+                pools: vec![rago_schema::PoolSpec::new(
+                    rago_schema::PoolRole::Monolithic,
+                    3,
+                    router,
+                )],
+                transfer: rago_schema::KvTransferModel::zero(),
+            };
+            let a = evaluate_fleet_dynamic(&profiler, &schedule, &flat, &trace, &slo).unwrap();
+            let b = evaluate_fleet_dynamic(&profiler, &schedule, &pooled, &trace, &slo).unwrap();
+            assert_eq!(a.report, b.report, "router {router:?}");
+            assert_eq!(a.attainment, b.attainment);
+            assert_eq!(a.goodput_rps, b.goodput_rps);
+            assert_eq!(a.meets_slo, b.meets_slo);
+        }
     }
 
     #[test]

@@ -455,6 +455,34 @@ pub fn evaluate_fleet_faulted(
     })
 }
 
+/// The disaggregated analogue of [`evaluate_fleet_faulted`]: plays a
+/// schedule of per-pool crashes ([`rago_serving_sim::pools::PoolCrash`])
+/// against a `[Prefill, Decode]` pool fleet while it serves `trace`, and
+/// scores the stitched result against `slo`.
+///
+/// Crash semantics are pool-typed: a prefill-replica crash re-queues its
+/// un-prefilled and un-transferred work onto prefill *survivors* only; a
+/// decode-replica crash sends its in-flight decodes back through the
+/// transfer lane to surviving decode replicas. The requeue counters land in
+/// [`rago_serving_sim::pools::TransferStats`] on the returned report.
+///
+/// # Errors
+///
+/// As [`crate::disagg::evaluate_fleet_disagg`], plus
+/// [`RagoError::InvalidConfig`] for crashes targeting the Monolithic pool,
+/// an out-of-range replica, or carrying non-finite timings.
+pub fn evaluate_fleet_faulted_pools(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &rago_schema::FleetConfig,
+    crashes: &[rago_serving_sim::pools::PoolCrash],
+    trace: &Trace,
+    slo: &SloTarget,
+) -> Result<crate::disagg::DisaggEvaluation, RagoError> {
+    let report = crate::disagg::run_disagg(profiler, schedule, fleet, trace, None, crashes)?;
+    Ok(crate::disagg::score_disagg(report, schedule, slo))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,6 +786,55 @@ mod tests {
                 &trace,
                 &scenario
             ),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+    }
+
+    /// A prefill-pool crash mid-run degrades (never improves) the split's
+    /// attainment, conserves every request onto the survivors, and invalid
+    /// crash targets error instead of panicking.
+    #[test]
+    fn pool_crashes_requeue_to_survivors_and_degrade_attainment() {
+        use rago_schema::{FleetConfig, PoolRole, SloTarget};
+        use rago_serving_sim::pools::PoolCrash;
+        use rago_workloads::{ArrivalProcess, TraceSpec};
+
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let trace = TraceSpec {
+            num_requests: 120,
+            profile: rago_schema::SequenceProfile::paper_default().with_decode_tokens(16),
+            arrival: ArrivalProcess::Poisson { rate_rps: 120.0 },
+            length_jitter: 0.2,
+            seed: 23,
+        }
+        .generate();
+        let fleet = FleetConfig::split(2, 1, RouterPolicy::LeastOutstanding);
+        let healthy =
+            crate::disagg::evaluate_fleet_disagg(&profiler, &schedule, &fleet, &trace, &slo)
+                .unwrap();
+        let crash = PoolCrash {
+            pool: PoolRole::Prefill,
+            replica: 0,
+            at_s: 0.2,
+            restart_delay_s: None,
+        };
+        let crashed =
+            evaluate_fleet_faulted_pools(&profiler, &schedule, &fleet, &[crash], &trace, &slo)
+                .unwrap();
+        // Conservation: every request still completes on the survivors.
+        assert_eq!(crashed.report.merged.metrics.completed, 120);
+        assert!(crashed.attainment <= healthy.attainment);
+        // Crashing the Monolithic pool is a configuration error.
+        let bad = PoolCrash {
+            pool: PoolRole::Monolithic,
+            replica: 0,
+            at_s: 0.1,
+            restart_delay_s: None,
+        };
+        assert!(matches!(
+            evaluate_fleet_faulted_pools(&profiler, &schedule, &fleet, &[bad], &trace, &slo),
             Err(RagoError::InvalidConfig { .. })
         ));
     }

@@ -37,6 +37,7 @@ pub mod baseline;
 pub mod breakdown;
 pub mod cached;
 pub mod capacity;
+pub mod disagg;
 pub mod dynamic;
 pub mod error;
 pub mod faulted;
@@ -56,8 +57,13 @@ pub use cached::{
     CacheConfig, CachedCapacityPlan,
 };
 pub use capacity::{
-    plan_capacity, plan_capacity_profile, plan_capacity_with, rank_frontier_by_cost_at_qps,
-    CapacityInterval, CapacityOptions, CapacityPlan, CapacityProfile,
+    plan_capacity, plan_capacity_pools, plan_capacity_profile, plan_capacity_with,
+    rank_frontier_by_cost_at_qps, CapacityInterval, CapacityOptions, CapacityPlan, CapacityProfile,
+    PoolCapacityPlan,
+};
+pub use disagg::{
+    evaluate_fleet_disagg, evaluate_fleet_disagg_cached, rank_frontier_by_goodput_disagg,
+    transfer_model_from_interconnect, DisaggChoice, DisaggEvaluation,
 };
 pub use dynamic::{
     evaluate_fleet_dynamic, evaluate_fleet_dynamic_with, evaluate_heterogeneous_fleet_dynamic,
@@ -66,8 +72,8 @@ pub use dynamic::{
 };
 pub use error::RagoError;
 pub use faulted::{
-    evaluate_fleet_faulted, scaling_plan_from_profile, FaultScenario, FaultedClassOutcome,
-    FaultedEvaluation,
+    evaluate_fleet_faulted, evaluate_fleet_faulted_pools, scaling_plan_from_profile, FaultScenario,
+    FaultedClassOutcome, FaultedEvaluation,
 };
 pub use metrics::RagPerformance;
 pub use optimizer::{Rago, ScheduleIter, SearchOptions};

@@ -482,6 +482,73 @@ impl Rago {
         crate::capacity::plan_capacity_with(&self.profiler, schedule, slo, target_qps, options)
     }
 
+    /// Evaluates one schedule as a *disaggregated* fleet: its pre-decode
+    /// stages on a Prefill pool, its decode on a Decode pool, every KV
+    /// handoff priced by `fleet.transfer`, scored per chip. See
+    /// [`crate::disagg::evaluate_fleet_disagg`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::disagg::evaluate_fleet_disagg`] errors.
+    pub fn evaluate_fleet_disagg(
+        &self,
+        schedule: &Schedule,
+        fleet: &rago_schema::FleetConfig,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+    ) -> Result<crate::disagg::DisaggEvaluation, RagoError> {
+        crate::disagg::evaluate_fleet_disagg(&self.profiler, schedule, fleet, trace, slo)
+    }
+
+    /// Sizes the cheapest disaggregated `(prefill, decode)` split of
+    /// `schedule` for `target_qps` within `slo` — the joint pool-size
+    /// search. See [`crate::capacity::plan_capacity_pools`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::capacity::plan_capacity_pools`] errors.
+    pub fn plan_capacity_pools(
+        &self,
+        schedule: &Schedule,
+        slo: &rago_schema::SloTarget,
+        target_qps: f64,
+        transfer: &rago_schema::KvTransferModel,
+        options: &crate::capacity::CapacityOptions,
+    ) -> Result<crate::capacity::PoolCapacityPlan, RagoError> {
+        crate::capacity::plan_capacity_pools(
+            &self.profiler,
+            schedule,
+            slo,
+            target_qps,
+            transfer,
+            options,
+        )
+    }
+
+    /// The joint (schedule, pool split, interconnect) ranking by goodput
+    /// per chip. See [`crate::disagg::rank_frontier_by_goodput_disagg`].
+    pub fn rank_frontier_by_goodput_disagg(
+        &self,
+        frontier: &ParetoFrontier,
+        trace: &rago_workloads::Trace,
+        slo: &rago_schema::SloTarget,
+        splits: &[(u32, u32)],
+        interconnects: &[rago_hardware::InterconnectSpec],
+    ) -> Vec<(
+        crate::pareto::ParetoPoint,
+        crate::disagg::DisaggChoice,
+        crate::disagg::DisaggEvaluation,
+    )> {
+        crate::disagg::rank_frontier_by_goodput_disagg(
+            &self.profiler,
+            frontier,
+            trace,
+            slo,
+            splits,
+            interconnects,
+        )
+    }
+
     /// Evaluates one schedule as a (possibly autoscaled) fleet under a
     /// class-tagged, possibly time-varying trace, scoring every tenant
     /// against its own SLO. See

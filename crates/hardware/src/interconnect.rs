@@ -131,6 +131,32 @@ impl InterconnectSpec {
         self.base_latency_s + bytes / self.link_bandwidth()
     }
 
+    /// Latency in seconds of a one-shot transfer of `bytes` over a single
+    /// link: the fixed per-message overhead plus bytes over the per-link
+    /// bandwidth. This is the canonical pricing for disaggregated
+    /// prefill→decode KV-cache handoffs — construct a
+    /// `rago_schema::KvTransferModel` from `link_bandwidth()` and
+    /// `base_latency_s` rather than re-deriving the bandwidth math in the
+    /// serving simulator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rago_hardware::InterconnectSpec;
+    ///
+    /// let dcn = InterconnectSpec::datacenter_network();
+    /// // ~131 MB of KV state over a 25 GB/s link: 20 µs overhead + wire time.
+    /// let t = dcn.transfer_latency_s(131_072_000.0);
+    /// assert!((t - (20e-6 + 131_072_000.0 / 25e9)).abs() < 1e-12);
+    /// // Zero bytes still pay the per-message overhead.
+    /// assert_eq!(dcn.transfer_latency_s(0.0), dcn.base_latency_s);
+    /// // Identical to the generic single-link `transfer_time`.
+    /// assert_eq!(t, dcn.transfer_time(131_072_000.0));
+    /// ```
+    pub fn transfer_latency_s(&self, bytes: f64) -> f64 {
+        self.transfer_time(bytes)
+    }
+
     /// Time to move `bytes` using every link on the chip concurrently (e.g. a
     /// sharded all-gather where traffic is spread over the torus dimensions).
     pub fn transfer_time_aggregate(&self, bytes: f64) -> f64 {

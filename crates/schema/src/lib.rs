@@ -36,7 +36,7 @@ pub mod slo;
 pub mod stage;
 
 pub use error::SchemaError;
-pub use fleet::{FleetConfig, RouterPolicy};
+pub use fleet::{FleetConfig, KvTransferModel, PoolRole, PoolSpec, RouterPolicy};
 pub use metrics::HistogramSpec;
 pub use model::{LlmArchitecture, ModelConfig, Quantization};
 pub use presets::LlmSize;

@@ -264,6 +264,12 @@ pub struct PipelineSpec {
     pub iterative: Option<IterativeSpec>,
     /// Cache plan, or `None` for the cache-less pipeline.
     pub cache: Option<CachePlan>,
+    /// `true` for a prefill-pool replica in a disaggregated fleet: a
+    /// request *completes* at the end of its last pre-decode stage —
+    /// emitting its first token and a KV-handoff record for the cross-pool
+    /// transfer — instead of joining decode admission. The decode spec is
+    /// carried but never exercised.
+    pub handoff: bool,
 }
 
 impl PipelineSpec {
@@ -274,6 +280,40 @@ impl PipelineSpec {
             decode,
             iterative: None,
             cache: None,
+            handoff: false,
+        }
+    }
+
+    /// Marks the pipeline as a prefill-pool replica (see
+    /// [`PipelineSpec::handoff`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pipeline has no pre-decode stages (nothing to
+    /// prefill) or carries iterative retrieval (a decode-phase feature).
+    #[must_use]
+    pub fn with_handoff(mut self) -> Self {
+        assert!(
+            !self.stages.is_empty(),
+            "a prefill-pool replica needs at least one pre-decode stage"
+        );
+        assert!(
+            self.iterative.is_none(),
+            "iterative retrieval is a decode-phase feature; a prefill-pool \
+             replica cannot carry it"
+        );
+        self.handoff = true;
+        self
+    }
+
+    /// The decode-only counterpart of a prefill-pool replica: no pre-decode
+    /// stages, so every arriving request (a completed KV transfer) goes
+    /// straight to decode admission.
+    pub fn decode_only(decode: DecodeSpec, iterative: Option<IterativeSpec>) -> Self {
+        let base = Self::new(Vec::new(), decode);
+        match iterative {
+            Some(it) => base.with_iterative(it),
+            None => base,
         }
     }
 
@@ -1274,6 +1314,12 @@ pub(crate) struct ReplicaSim {
     /// recent outcomes with a cursor instead of rescanning every request
     /// at every evaluation tick. Empty unless `track_completions` is set.
     completion_log: Vec<(f64, f64, f64)>,
+    /// `(ready_s, slot)` of every prefill handoff, in completion order —
+    /// only a handoff-mode replica ([`PipelineSpec::handoff`]) records any.
+    /// The pool engine drains it with [`ReplicaSim::take_handoffs`].
+    handoff_log: Vec<(f64, u32)>,
+    /// First `handoff_log` entry not yet drained by `take_handoffs`.
+    handoff_cursor: usize,
     /// Replica-local prefix-KV cache, created cold from the spec's cache
     /// plan (a scaled-out replica starts with nothing resident).
     prefix_cache: Option<PrefixKvCache>,
@@ -1326,6 +1372,8 @@ impl ReplicaSim {
             completed: 0,
             track_completions: false,
             completion_log: Vec::new(),
+            handoff_log: Vec::new(),
+            handoff_cursor: 0,
             prefix_cache,
             retrieval_cache,
             slowdown: 1.0,
@@ -1526,6 +1574,19 @@ impl ReplicaSim {
         self.arena.queue_entry_s[r] = t;
         if stage < num_stages {
             self.stage_queues[stage].push_back(r as u32);
+        } else if self.spec.handoff {
+            // Every remaining stage was skipped by a cache hit: the prefill
+            // state is already resident, so the handoff is ready at once
+            // (zero-work prefill, first token at the handoff instant).
+            self.arena.first_token_s[r] = t;
+            self.arena.decode_join_s[r] = t;
+            self.arena.completion_s[r] = t;
+            self.completed += 1;
+            self.handoff_log.push((t, r as u32));
+            if self.track_completions {
+                let ttft = t - self.requests[r].arrival_s;
+                self.completion_log.push((t, ttft, 0.0));
+            }
         } else {
             self.admission.push_back(r as u32);
         }
@@ -1558,7 +1619,21 @@ impl ReplicaSim {
                         // The main prefix emits the first output token.
                         self.arena.queue_entry_s[r] = t;
                         self.arena.first_token_s[r] = t;
-                        self.admission.push_back(r as u32);
+                        if self.spec.handoff {
+                            // Prefill-pool replica: the request is done here;
+                            // its KV state becomes ready for the cross-pool
+                            // transfer instead of joining decode admission.
+                            self.arena.decode_join_s[r] = t;
+                            self.arena.completion_s[r] = t;
+                            self.completed += 1;
+                            self.handoff_log.push((t, r as u32));
+                            if self.track_completions {
+                                let ttft = t - self.requests[r].arrival_s;
+                                self.completion_log.push((t, ttft, 0.0));
+                            }
+                        } else {
+                            self.admission.push_back(r as u32);
+                        }
                     } else {
                         self.route_to_stage(r, stage + 1, t);
                     }
@@ -1887,6 +1962,20 @@ impl ReplicaSim {
             });
         }
         (timelines, in_flight, self.acc)
+    }
+
+    /// Drains the prefill-handoff records accumulated since the last call:
+    /// `(ready_s, request)` pairs in handoff-completion order. Only a
+    /// handoff-mode replica ([`PipelineSpec::handoff`]) ever records any.
+    /// The returned requests are the original injected [`EngineRequest`]s —
+    /// ids, arrival times, classes, and content identity all preserved for
+    /// re-injection into a decode-pool replica.
+    pub(crate) fn take_handoffs(&mut self, out: &mut Vec<(f64, EngineRequest)>) {
+        while self.handoff_cursor < self.handoff_log.len() {
+            let (ready_s, slot) = self.handoff_log[self.handoff_cursor];
+            self.handoff_cursor += 1;
+            out.push((ready_s, self.requests[slot as usize]));
+        }
     }
 
     /// `(completion, ttft, tpot)` of every request completed at or before

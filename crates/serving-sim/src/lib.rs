@@ -58,6 +58,16 @@
 //!   ([`faults::RecoveryMetrics`]). With no faults and no admission
 //!   config, the chaos engine is bit-identical to the engines it wraps
 //!   (`tests/proptest_faults.rs`, `tests/golden_regression.rs`).
+//! * **Disaggregated prefill/decode pools** — the placement dimension:
+//!   [`pools::DisaggEngine`] splits the fleet into a typed Prefill pool and
+//!   a Decode pool (Splitwise/DistServe style). A request finishing its
+//!   pre-decode stages on a prefill replica emits its first token there and
+//!   hands its KV state across the interconnect — priced by a
+//!   [`rago_schema::KvTransferModel`] — before a phase-aware
+//!   [`pools::PoolRouter`] re-injects it into a decode replica. Crashes are
+//!   per pool: un-transferred work re-queues to prefill survivors only. A
+//!   1+1 split at zero transfer cost reproduces the monolithic engine's
+//!   per-request timings exactly (`tests/proptest_pools.rs`).
 //! * **Caching** — the content-reuse dimension on top of everything: a
 //!   [`engine::CachePlan`] attaches the deterministic cache simulators of
 //!   `rago-cache` to a pipeline. Each replica owns cold, replica-local
@@ -123,6 +133,7 @@ mod equeue;
 pub mod faults;
 pub mod iterative;
 pub mod microbatch;
+pub mod pools;
 pub mod sink;
 
 pub use autoscaler::{
@@ -142,6 +153,7 @@ pub use faults::{
 };
 pub use iterative::{IterativeDecodeParams, IterativeDecodeResult, IterativeDecodeSim};
 pub use microbatch::{simulate_collocated_burst, simulate_pipelined_burst, BurstResult};
+pub use pools::{DisaggEngine, DisaggReport, PoolCrash, PoolReport, PoolRouter, TransferStats};
 pub use sink::{
     ClassSloScore, ExactSink, HistogramSink, LatencyHistogram, MetricsMode, MetricsSink,
     RequestOutcome, StreamedScores, StreamingConfig,

@@ -42,6 +42,14 @@
 //!   (`engine_metrics.json` byte-for-byte, and the autoscaled
 //!   `timevarying.json` scenario through the public facade), so the chaos
 //!   wrapper cannot drift the engines it wraps.
+//! * `disagg_run.json` — the PR 8 disaggregated pools: the engine-metrics
+//!   pipeline cut into a 2-prefill + 1-decode split with a priced KV
+//!   handoff, pinning the merged metrics, both pools' per-replica
+//!   breakdowns, and every transfer counter. A companion degenerate test
+//!   pins the single-Monolithic-pool fleet shape *against the committed
+//!   `engine_metrics.json`* byte-for-byte: a fleet that declares one
+//!   Monolithic pool routes through the unchanged flat cluster path with
+//!   the pool's router, so the pool refactor cannot drift the flat stack.
 //!
 //! # Updating
 //!
@@ -58,7 +66,10 @@ use rago::cache::{CacheConfig, EvictionPolicy, PrefixKvCacheConfig, RetrievalCac
 use rago::core::{Rago, SearchOptions};
 use rago::hardware::ClusterSpec;
 use rago::schema::presets::{self, LlmSize};
-use rago::schema::{FleetConfig, RouterPolicy, SequenceProfile, SloTarget, Stage};
+use rago::schema::{
+    FleetConfig, KvTransferModel, PoolRole, PoolSpec, RouterPolicy, SequenceProfile, SloTarget,
+    Stage,
+};
 use rago::serving_sim::autoscaler::AutoscalerPolicy;
 use rago::serving_sim::engine::{
     sustained_throughput_knee, DecodeSpec, LatencyTable, PipelineSpec, ServingEngine, StageSpec,
@@ -66,7 +77,8 @@ use rago::serving_sim::engine::{
 use rago::serving_sim::faults::{
     AdmissionConfig, ChaosEngine, ChaosReport, FaultEvent, FaultSchedule, ScaleDriver,
 };
-use rago::serving_sim::MetricsMode;
+use rago::serving_sim::pools::{DisaggEngine, PoolReport};
+use rago::serving_sim::{ClusterEngine, MetricsMode};
 use rago::workloads::{
     ArrivalProcess, ContentSpec, MixTraceSpec, PopularityModel, RequestClass, TraceSpec,
     WorkloadMix,
@@ -826,4 +838,143 @@ fn golden_chaos_degenerate_matches_autoscaler_scenario() {
     let scaling = baseline.scaling.expect("autoscaled run has history");
     assert_eq!(chaos.scaling.events, scaling.events);
     assert_eq!(chaos.scaling.lifetimes, scaling.lifetimes);
+}
+
+/// Renders one pool's side of a disaggregated run: router, load imbalance,
+/// and the per-replica dispatch/completion counts.
+fn render_pool(pool: &PoolReport) -> String {
+    let replica_rows: Vec<String> = pool
+        .per_replica
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"replica\": {}, \"assigned\": {}, \"completed\": {}, \
+                 \"makespan_s\": {}}}",
+                r.replica,
+                r.assigned,
+                r.report.metrics.completed,
+                f(r.report.metrics.makespan_s),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"role\": \"{:?}\", \"router\": \"{:?}\", \
+         \"imbalance\": {{\"min_assigned\": {}, \"max_assigned\": {}, \"cv\": {}, \
+         \"max_over_mean\": {}}}, \"per_replica\": [\n{}\n    ]}}",
+        pool.role,
+        pool.router,
+        pool.imbalance.min_assigned,
+        pool.imbalance.max_assigned,
+        f(pool.imbalance.coefficient_of_variation),
+        f(pool.imbalance.max_over_mean),
+        replica_rows.join(",\n"),
+    )
+}
+
+#[test]
+fn golden_disagg_run() {
+    // The PR 8 disaggregated pools: the engine-metrics pipeline cut at the
+    // decode boundary into a 2-prefill + 1-decode split, the KV handoff
+    // priced at 128 KiB/token over a 100 GB/s link with 5 us of fixed
+    // overhead, under the same seeded Poisson trace as the flat golden.
+    let full = engine_metrics_spec();
+    let prefill_spec = full.clone().with_handoff();
+    let decode_spec = PipelineSpec::decode_only(full.decode.clone(), None);
+    let transfer = KvTransferModel::new(131_072.0, 100e9, 5e-6);
+    let report = DisaggEngine::new(
+        prefill_spec,
+        2,
+        RouterPolicy::LeastOutstanding,
+        decode_spec,
+        1,
+        RouterPolicy::LeastOutstanding,
+        transfer,
+    )
+    .run_trace(&engine_metrics_trace());
+
+    let m = &report.merged.metrics;
+    let slo = SloTarget::paper_default();
+    let t = &report.transfers;
+    let mut out = String::from("{\n  \"bench\": \"golden/disagg_run\",\n");
+    let _ = writeln!(out, "  \"requests\": {},", m.requests);
+    let _ = writeln!(out, "  \"makespan_s\": {},", f(m.makespan_s));
+    let _ = writeln!(out, "  \"throughput_rps\": {},", f(m.throughput_rps));
+    let _ = writeln!(
+        out,
+        "  \"ttft\": {{\"mean_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.ttft.mean_s), f(m.ttft.p50_s), f(m.ttft.p95_s), f(m.ttft.p99_s), f(m.ttft.max_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"tpot\": {{\"mean_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.tpot.mean_s), f(m.tpot.p50_s), f(m.tpot.p95_s), f(m.tpot.p99_s), f(m.tpot.max_s)
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency\": {{\"mean_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},",
+        f(m.latency.mean_s), f(m.latency.p50_s), f(m.latency.p95_s), f(m.latency.p99_s),
+        f(m.latency.max_s)
+    );
+    let _ = writeln!(out, "  \"queueing_mean_s\": {},", f(m.queueing_mean_s));
+    let _ = writeln!(out, "  \"service_mean_s\": {},", f(m.service_mean_s));
+    let _ = writeln!(out, "  \"mean_decode_fill\": {},", f(m.mean_decode_fill));
+    let _ = writeln!(
+        out,
+        "  \"attainment\": {},",
+        f(report.merged.attainment(&slo))
+    );
+    let _ = writeln!(
+        out,
+        "  \"goodput_rps\": {},",
+        f(report.merged.goodput_rps(&slo))
+    );
+    let _ = writeln!(
+        out,
+        "  \"transfers\": {{\"transfers\": {}, \"bytes_total\": {}, \"latency_total_s\": {}, \
+         \"latency_max_s\": {}, \"requeued_prefill\": {}, \"requeued_decode\": {}}},",
+        t.transfers,
+        f(t.bytes_total),
+        f(t.latency_total_s),
+        f(t.latency_max_s),
+        t.requeued_prefill,
+        t.requeued_decode,
+    );
+    let _ = writeln!(out, "  \"prefill\": {},", render_pool(&report.prefill));
+    let _ = writeln!(out, "  \"decode\": {}", render_pool(&report.decode));
+    out.push_str("}\n");
+    check_golden("disagg_run.json", &out);
+}
+
+/// The pool degenerate pin: a fleet declaring one Monolithic pool is not
+/// disaggregated — it routes through the unchanged flat cluster path with
+/// the *pool's* replica count and router — so a single-replica Monolithic
+/// pool must reproduce the committed `engine_metrics.json` **byte for
+/// byte**. This is the same dispatch the core evaluators perform, pinned
+/// here at the engine level against the snapshot.
+#[test]
+fn golden_single_monolithic_pool_reproduces_engine_metrics() {
+    let fleet = FleetConfig {
+        replicas: 1,
+        // Deliberately different from the pool router: the pool's policy,
+        // not the flat field, must drive the dispatch.
+        router: RouterPolicy::LeastOutstanding,
+        pools: vec![PoolSpec::new(
+            PoolRole::Monolithic,
+            1,
+            RouterPolicy::RoundRobin,
+        )],
+        transfer: KvTransferModel::zero(),
+    };
+    fleet.validate().expect("single-pool fleet is valid");
+    assert!(!fleet.is_disaggregated());
+    let [pool] = fleet.pools.as_slice() else {
+        panic!("fleet declares exactly one pool");
+    };
+    let report =
+        ClusterEngine::homogeneous(engine_metrics_spec(), pool.replicas as usize, pool.router)
+            .run_trace(&engine_metrics_trace());
+    check_golden(
+        "engine_metrics.json",
+        &render_engine_metrics(&report.merged),
+    );
 }

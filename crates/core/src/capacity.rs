@@ -152,6 +152,26 @@ pub fn plan_capacity_with(
     Ok(build_plan(schedule, replicas, &report, slo, target_qps))
 }
 
+/// Upper bound on [`CapacityOptions::max_replicas`] accepted by the
+/// planners. The sizing engines materialize one pipeline replica per count,
+/// and the feasibility probe simulates the *upper bound* first — so an
+/// unchecked huge count (say `u32::MAX` from a config file) would attempt
+/// an absurd allocation before the binary search ever narrowed it. 4096
+/// replicas of even the smallest paper schedule already exceed any cluster
+/// the cost model describes. The bound also makes every internal
+/// `u32 → usize` replica-count conversion provably lossless, on any
+/// platform width.
+pub const MAX_PLANNER_REPLICAS: u32 = 4096;
+
+/// Checked `u32 → usize` conversion for replica counts. Counts reaching
+/// the engines were bounded by [`MAX_PLANNER_REPLICAS`] in
+/// [`validate_capacity_inputs`], so failure here is a planner bug, not a
+/// user error — hence a panic rather than a silent wrap (the old
+/// `as usize` cast would truncate on a 16-bit target).
+pub(crate) fn replicas_usize(replicas: u32) -> usize {
+    usize::try_from(replicas).expect("replica count was bounded by MAX_PLANNER_REPLICAS")
+}
+
 /// Input validation shared by [`plan_capacity_with`] and the cache-aware
 /// planner in [`crate::cached`] — one set of error messages for both.
 pub(crate) fn validate_capacity_inputs(
@@ -166,6 +186,16 @@ pub(crate) fn validate_capacity_inputs(
     if options.max_replicas == 0 {
         return Err(RagoError::InvalidConfig {
             reason: "max_replicas must be at least 1".into(),
+        });
+    }
+    if options.max_replicas > MAX_PLANNER_REPLICAS {
+        return Err(RagoError::InvalidConfig {
+            reason: format!(
+                "max_replicas {} exceeds the planner bound of {MAX_PLANNER_REPLICAS}; \
+                 sizing a larger fleet would simulate the upper bound first and is \
+                 almost certainly a misconfiguration",
+                options.max_replicas
+            ),
         });
     }
     if options.num_requests == 0 {
@@ -234,7 +264,7 @@ pub(crate) fn search_min_replicas(
         reports
             .entry(replicas)
             .or_insert_with(|| {
-                ClusterEngine::homogeneous(spec.clone(), replicas as usize, options.router)
+                ClusterEngine::homogeneous(spec.clone(), replicas_usize(replicas), options.router)
                     .run_trace(trace)
             })
             .attainment(slo)
@@ -354,10 +384,10 @@ pub fn plan_capacity_pools(
             .or_insert_with(|| {
                 DisaggEngine::new(
                     prefill_spec.clone(),
-                    p as usize,
+                    replicas_usize(p),
                     options.router,
                     decode_spec.clone(),
-                    d as usize,
+                    replicas_usize(d),
                     options.router,
                     *transfer,
                 )
@@ -567,6 +597,18 @@ pub fn plan_capacity_profile(
             });
         }
     }
+    if profile.iter().all(|s| s.rate_rps == 0.0) {
+        // Without this check an all-idle profile would plan a zero-replica
+        // fleet with vacuous attainment 1.0 everywhere and a "free"
+        // replica-seconds bill — a degenerate answer that upstream
+        // consumers (autoscaler sizing, cost ranking) would take at face
+        // value.
+        return Err(RagoError::InvalidConfig {
+            reason: "a capacity profile needs at least one segment with a positive rate; \
+                     an all-idle profile sizes a zero-replica fleet with vacuous attainment"
+                .into(),
+        });
+    }
     let mut plans: BTreeMap<u64, (u32, f64)> = BTreeMap::new();
     let mut intervals = Vec::with_capacity(profile.len());
     let mut start_s = 0.0;
@@ -593,7 +635,11 @@ pub fn plan_capacity_profile(
         });
         start_s += s.duration_s;
     }
-    let peak_replicas = intervals.iter().map(|i| i.replicas).max().unwrap_or(0);
+    let peak_replicas = intervals
+        .iter()
+        .map(|i| i.replicas)
+        .max()
+        .expect("profile was validated non-empty");
     let static_replica_seconds = f64::from(peak_replicas) * start_s;
     let savings_fraction = if static_replica_seconds > 0.0 {
         1.0 - replica_seconds / static_replica_seconds
@@ -686,7 +732,7 @@ mod tests {
         .generate();
         let scan = (1..=options.max_replicas)
             .find(|&n| {
-                ClusterEngine::homogeneous(spec.clone(), n as usize, options.router)
+                ClusterEngine::homogeneous(spec.clone(), replicas_usize(n), options.router)
                     .run_trace(&trace)
                     .attainment(&slo)
                     >= slo.attainment
@@ -736,10 +782,10 @@ mod tests {
             for d in 1..=options.max_replicas {
                 let report = DisaggEngine::new(
                     prefill_spec.clone(),
-                    p as usize,
+                    replicas_usize(p),
                     options.router,
                     decode_spec.clone(),
-                    d as usize,
+                    replicas_usize(d),
                     options.router,
                     transfer,
                 )
@@ -915,12 +961,64 @@ mod tests {
             plan_capacity_profile(&profiler, &schedule, &slo, &bad, &options),
             Err(RagoError::InvalidConfig { .. })
         ));
+        // An all-idle profile used to plan a zero-replica fleet with
+        // vacuous attainment 1.0 and a "free" replica-seconds bill; it must
+        // be rejected, while the same idle segments mixed with real load
+        // (covered above) stay legal.
+        let idle = [RateSegment::new(60.0, 0.0), RateSegment::new(30.0, 0.0)];
+        let err = plan_capacity_profile(&profiler, &schedule, &slo, &idle, &options).unwrap_err();
+        assert!(matches!(err, RagoError::InvalidConfig { .. }), "{err}");
         // A segment no fleet within the bound can hold fails loudly.
         let impossible_slo = SloTarget::new(0.5, 1e-6);
         let profile = [RateSegment::new(5.0, 50.0)];
         assert!(matches!(
             plan_capacity_profile(&profiler, &schedule, &impossible_slo, &profile, &options),
             Err(RagoError::NoFeasibleSchedule { .. })
+        ));
+    }
+
+    /// Boundary regression for the planner replica bound: `max_replicas`
+    /// at the bound validates, one past it is rejected with
+    /// [`RagoError::InvalidConfig`] — before any simulation runs (an
+    /// unchecked `u32::MAX` here used to reach the engines as a fleet
+    /// size).
+    #[test]
+    fn replica_bound_is_enforced_at_the_boundary() {
+        let at_bound = CapacityOptions {
+            max_replicas: MAX_PLANNER_REPLICAS,
+            ..quick_options()
+        };
+        assert!(validate_capacity_inputs(10.0, &at_bound).is_ok());
+        let past_bound = CapacityOptions {
+            max_replicas: MAX_PLANNER_REPLICAS + 1,
+            ..quick_options()
+        };
+        assert!(matches!(
+            validate_capacity_inputs(10.0, &past_bound),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        // The public planners surface the same rejection.
+        let profiler = case1_profiler();
+        let schedule = case1_schedule();
+        let slo = SloTarget::new(1.0, 0.1);
+        let absurd = CapacityOptions {
+            max_replicas: u32::MAX,
+            ..quick_options()
+        };
+        assert!(matches!(
+            plan_capacity_with(&profiler, &schedule, &slo, 10.0, &absurd),
+            Err(RagoError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            plan_capacity_pools(
+                &profiler,
+                &schedule,
+                &slo,
+                10.0,
+                &KvTransferModel::zero(),
+                &absurd
+            ),
+            Err(RagoError::InvalidConfig { .. })
         ));
     }
 

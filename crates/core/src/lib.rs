@@ -47,6 +47,7 @@ pub mod pareto;
 pub mod placement;
 pub mod profiler;
 pub mod schedule;
+pub mod search;
 pub mod timevarying;
 
 pub use baseline::BaselineSystem;
@@ -59,7 +60,7 @@ pub use cached::{
 pub use capacity::{
     plan_capacity, plan_capacity_pools, plan_capacity_profile, plan_capacity_with,
     rank_frontier_by_cost_at_qps, CapacityInterval, CapacityOptions, CapacityPlan, CapacityProfile,
-    PoolCapacityPlan,
+    PoolCapacityPlan, MAX_PLANNER_REPLICAS,
 };
 pub use disagg::{
     evaluate_fleet_disagg, evaluate_fleet_disagg_cached, rank_frontier_by_goodput_disagg,
@@ -82,6 +83,10 @@ pub use placement::PlacementPlan;
 pub use profiler::{StagePerf, StageProfiler};
 pub use rago_serving_sim::{MetricsMode, StreamingConfig};
 pub use schedule::{BatchingPolicy, ResourceAllocation, Schedule};
+pub use search::{
+    AnytimeSample, BeamEntry, BestSamples, ScheduleSpace, SearchMode, StochasticConfig,
+    StochasticSearchReport,
+};
 pub use timevarying::{
     evaluate_fleet_timevarying, evaluate_fleet_timevarying_with, ClassOutcome, ScalingSummary,
     TimeVaryingEvaluation,

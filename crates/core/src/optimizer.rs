@@ -36,9 +36,14 @@
 //!
 //! The parallel path is frontier-identical to the serial reference
 //! ([`Rago::optimize_serial`]): performance ties between schedules are
-//! broken by enumeration index, making the result independent of thread
-//! scheduling. This is covered by the `streaming_matches_serial_reference`
-//! tests in `tests/determinism.rs`.
+//! broken by the schedule's identity key ([`Schedule::identity_key`]),
+//! making the result independent of thread scheduling and of the order
+//! candidates arrive in. This is covered by the
+//! `streaming_matches_serial_reference` tests in `tests/determinism.rs`.
+//!
+//! For grids too large to enumerate, [`Rago::optimize_with_mode`] selects
+//! the anytime stochastic search ([`crate::search`]) behind the same
+//! frontier interface.
 
 use crate::error::RagoError;
 use crate::pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};
@@ -113,6 +118,21 @@ impl Default for SearchOptions {
     fn default() -> Self {
         SearchOptions::fast()
     }
+}
+
+/// The budget-filtered axes of one search grid: every placement block and
+/// every admissible step list, as produced by `Rago::search_axes`. The
+/// exhaustive odometer and the stochastic codec are two views of this one
+/// struct.
+#[derive(Debug, Clone)]
+pub(crate) struct SearchAxes {
+    pub placements: Vec<PlacementPlan>,
+    pub xpu_steps: Vec<u32>,
+    pub server_steps: Vec<u32>,
+    pub predecode_batches: Vec<u32>,
+    pub decode_batches: Vec<u32>,
+    pub iterative_batches: Vec<Option<u32>>,
+    pub max_total_xpus: u32,
 }
 
 /// Lazy enumeration of the candidate schedules implied by a search grid: an
@@ -718,10 +738,12 @@ impl Rago {
         )
     }
 
-    /// Streams the candidate schedules implied by `options` (Step 2 of
-    /// Algorithm 1): every legal placement × allocation within the budget ×
-    /// batching policy, yielded lazily in a stable enumeration order.
-    pub fn schedule_iter(&self, options: &SearchOptions) -> ScheduleIter {
+    /// The budget-filtered axes of the search grid implied by `options` —
+    /// shared by the exhaustive odometer ([`Rago::schedule_iter`]) and the
+    /// stochastic sampler's random-access codec
+    /// ([`crate::search::ScheduleSpace`]), so both views agree on exactly
+    /// which candidates exist.
+    pub(crate) fn search_axes(&self, options: &SearchOptions) -> SearchAxes {
         let schema = self.profiler.schema();
         let placements = options
             .placements
@@ -736,16 +758,85 @@ impl Rago {
         } else {
             vec![None]
         };
-        ScheduleIter::new(
+        SearchAxes {
             placements,
-            self.budget.admissible_xpu_steps(&options.xpu_steps),
-            self.budget
+            xpu_steps: self.budget.admissible_xpu_steps(&options.xpu_steps),
+            server_steps: self
+                .budget
                 .admissible_server_steps(&self.server_steps(options)),
-            options.predecode_batch_steps.clone(),
-            options.decode_batch_steps.clone(),
+            predecode_batches: options.predecode_batch_steps.clone(),
+            decode_batches: options.decode_batch_steps.clone(),
             iterative_batches,
-            self.budget.max_xpus,
+            max_total_xpus: self.budget.max_xpus,
+        }
+    }
+
+    /// Streams the candidate schedules implied by `options` (Step 2 of
+    /// Algorithm 1): every legal placement × allocation within the budget ×
+    /// batching policy, yielded lazily in a stable enumeration order.
+    pub fn schedule_iter(&self, options: &SearchOptions) -> ScheduleIter {
+        let axes = self.search_axes(options);
+        ScheduleIter::new(
+            axes.placements,
+            axes.xpu_steps,
+            axes.server_steps,
+            axes.predecode_batches,
+            axes.decode_batches,
+            axes.iterative_batches,
+            axes.max_total_xpus,
         )
+    }
+
+    /// The random-access view of the same candidate space
+    /// [`Rago::schedule_iter`] streams: placement blocks × mixed-radix
+    /// digits, decodable at any index. This is what the stochastic search
+    /// samples from. See [`crate::search::ScheduleSpace`].
+    pub fn schedule_space(&self, options: &SearchOptions) -> crate::search::ScheduleSpace {
+        crate::search::ScheduleSpace::new(self.search_axes(options))
+    }
+
+    /// Runs the search in the requested mode: [`crate::search::SearchMode::Exhaustive`]
+    /// enumerates every candidate ([`Rago::optimize`]);
+    /// [`crate::search::SearchMode::Stochastic`] runs the seeded anytime search
+    /// ([`Rago::optimize_stochastic`]) and returns its frontier. Both modes
+    /// produce a [`ParetoFrontier`], so every frontier consumer
+    /// (`rank_frontier_by_goodput{,_disagg,_cached}`,
+    /// `rank_frontier_by_cost_at_qps`, …) works with either.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::NoFeasibleSchedule`] when no candidate schedule
+    /// is feasible within the budget, and [`RagoError::InvalidConfig`] for a
+    /// malformed [`crate::search::StochasticConfig`].
+    pub fn optimize_with_mode(
+        &self,
+        options: &SearchOptions,
+        mode: &crate::search::SearchMode,
+    ) -> Result<ParetoFrontier, RagoError> {
+        match mode {
+            crate::search::SearchMode::Exhaustive => self.optimize(options),
+            crate::search::SearchMode::Stochastic(cfg) => {
+                Ok(self.optimize_stochastic(options, cfg)?.frontier)
+            }
+        }
+    }
+
+    /// Runs the seeded, time-budgeted anytime stochastic search over the
+    /// same candidate space as [`Rago::optimize`] and returns the full
+    /// report (frontier + anytime timeline + telemetry). See
+    /// [`crate::search`] for the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::InvalidConfig`] for a malformed config and
+    /// [`RagoError::NoFeasibleSchedule`] when no feasible candidate was
+    /// found within the budget.
+    pub fn optimize_stochastic(
+        &self,
+        options: &SearchOptions,
+        config: &crate::search::StochasticConfig,
+    ) -> Result<crate::search::StochasticSearchReport, RagoError> {
+        crate::search::run_stochastic(self, &self.schedule_space(options), config)
     }
 
     /// Collects the candidate stream of [`Rago::schedule_iter`] into a
@@ -759,29 +850,17 @@ impl Rago {
     /// (infeasible ones — e.g. out-of-memory allocations — are skipped), in
     /// enumeration order.
     pub fn evaluate_all(&self, options: &SearchOptions) -> Vec<ParetoPoint> {
-        self.evaluated_points(options).map(|(_, p)| p).collect()
-    }
-
-    /// The streaming evaluation pipeline: candidates tagged with their
-    /// enumeration index, evaluated against the (memoized) profiler,
-    /// infeasible ones dropped.
-    fn evaluated_points<'a>(
-        &'a self,
-        options: &SearchOptions,
-    ) -> impl Iterator<Item = (usize, ParetoPoint)> + 'a {
         self.schedule_iter(options)
-            .enumerate()
-            .filter_map(move |(index, schedule)| {
-                schedule.evaluate(&self.profiler).ok().map(|performance| {
-                    (
-                        index,
-                        ParetoPoint {
-                            schedule,
-                            performance,
-                        },
-                    )
-                })
+            .filter_map(move |schedule| {
+                schedule
+                    .evaluate(&self.profiler)
+                    .ok()
+                    .map(|performance| ParetoPoint {
+                        schedule,
+                        performance,
+                    })
             })
+            .collect()
     }
 
     /// Runs the full search (Algorithm 1) and returns the performance Pareto
@@ -799,17 +878,13 @@ impl Rago {
     pub fn optimize(&self, options: &SearchOptions) -> Result<ParetoFrontier, RagoError> {
         let accumulator = self
             .schedule_iter(options)
-            .enumerate()
             .par_bridge()
-            .fold(ParetoAccumulator::new, |mut acc, (index, schedule)| {
+            .fold(ParetoAccumulator::new, |mut acc, schedule| {
                 if let Ok(performance) = schedule.evaluate(&self.profiler) {
-                    acc.push(
-                        index,
-                        ParetoPoint {
-                            schedule,
-                            performance,
-                        },
-                    );
+                    acc.push(ParetoPoint {
+                        schedule,
+                        performance,
+                    });
                 }
                 acc
             })
@@ -838,7 +913,7 @@ impl Rago {
         Ok(ParetoFrontier::from_points(points))
     }
 
-    fn no_feasible_schedule(&self) -> RagoError {
+    pub(crate) fn no_feasible_schedule(&self) -> RagoError {
         RagoError::NoFeasibleSchedule {
             reason: format!(
                 "no feasible schedule for workload `{}` within {} XPUs / {} servers",
@@ -863,21 +938,17 @@ impl Rago {
         type PlanKey = (PlacementPlan, ResourceAllocation);
         let by_plan: HashMap<PlanKey, ParetoAccumulator> = self
             .schedule_iter(options)
-            .enumerate()
             .par_bridge()
             .fold(
                 HashMap::new,
-                |mut map: HashMap<PlanKey, ParetoAccumulator>, (index, schedule)| {
+                |mut map: HashMap<PlanKey, ParetoAccumulator>, schedule| {
                     if let Ok(performance) = schedule.evaluate(&self.profiler) {
                         map.entry((schedule.placement.clone(), schedule.allocation.clone()))
                             .or_default()
-                            .push(
-                                index,
-                                ParetoPoint {
-                                    schedule,
-                                    performance,
-                                },
-                            );
+                            .push(ParetoPoint {
+                                schedule,
+                                performance,
+                            });
                     }
                     map
                 },

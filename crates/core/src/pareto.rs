@@ -11,11 +11,11 @@
 //!   end.
 //!
 //! Ties (two schedules with bit-identical TTFT *and* QPS/chip) are broken by
-//! the candidate's enumeration index — the earliest-enumerated schedule
-//! wins. This mirrors the batch path, where the stable sort keeps the first
-//! occurrence, and is what makes the parallel search deterministic: the
-//! result depends only on the *set* of evaluated points, not on thread
-//! interleaving.
+//! the schedule's own identity ([`Schedule::identity_key`]) — the
+//! lexicographically smallest schedule wins. The result therefore depends
+//! only on the *set* of evaluated points: not on thread interleaving, not on
+//! insertion order, and not on any enumeration index — which sampled
+//! candidates (the stochastic search) don't have in the first place.
 
 use crate::metrics::RagPerformance;
 use crate::schedule::Schedule;
@@ -45,14 +45,20 @@ impl ParetoFrontier {
     /// Builds the frontier from an arbitrary collection of evaluated points.
     pub fn from_points(mut candidates: Vec<ParetoPoint>) -> Self {
         let evaluated = candidates.len();
-        // Sort by TTFT ascending, then QPS/chip descending so a single sweep
-        // keeps exactly the non-dominated points.
+        // Sort by TTFT ascending, then QPS/chip descending, breaking exact
+        // performance ties by schedule identity so a single sweep keeps
+        // exactly the non-dominated points and the survivor of a tie does
+        // not depend on input order.
         candidates.sort_by(|a, b| {
-            a.performance.ttft_s.total_cmp(&b.performance.ttft_s).then(
-                b.performance
-                    .qps_per_chip
-                    .total_cmp(&a.performance.qps_per_chip),
-            )
+            a.performance
+                .ttft_s
+                .total_cmp(&b.performance.ttft_s)
+                .then(
+                    b.performance
+                        .qps_per_chip
+                        .total_cmp(&a.performance.qps_per_chip),
+                )
+                .then_with(|| a.schedule.identity_key().cmp(&b.schedule.identity_key()))
         });
         let mut points: Vec<ParetoPoint> = Vec::new();
         let mut best_qps = f64::NEG_INFINITY;
@@ -92,6 +98,33 @@ impl ParetoFrontier {
     pub fn iter(&self) -> std::slice::Iter<'_, ParetoPoint> {
         self.points.iter()
     }
+
+    /// The 2-D hypervolume indicator: the area of the objective region
+    /// dominated by this frontier, clipped to the box whose worst corner is
+    /// the reference point `(ttft_ref, qps_ref)` (TTFT is minimized,
+    /// QPS/chip maximized). Points at or beyond the reference contribute
+    /// nothing.
+    ///
+    /// For a fixed reference, the hypervolume is monotone: a frontier that
+    /// dominates at least the same region never scores lower. This is the
+    /// anytime-quality metric of the stochastic search — see
+    /// [`crate::search`].
+    pub fn hypervolume(&self, ttft_ref: f64, qps_ref: f64) -> f64 {
+        let mut area = 0.0;
+        let mut qps_floor = qps_ref;
+        // Points arrive sorted by increasing TTFT and increasing QPS/chip,
+        // so each adds the strip between the previous QPS level and its own.
+        for p in &self.points {
+            let ttft = p.performance.ttft_s;
+            let qps = p.performance.qps_per_chip;
+            if ttft >= ttft_ref || qps <= qps_floor {
+                continue;
+            }
+            area += (ttft_ref - ttft) * (qps - qps_floor);
+            qps_floor = qps;
+        }
+        area
+    }
 }
 
 /// Streaming Pareto-frontier builder with online dominance pruning.
@@ -105,10 +138,9 @@ impl ParetoFrontier {
 /// including `evaluated_schedules` — regardless of how the stream was split.
 #[derive(Debug, Clone, Default)]
 pub struct ParetoAccumulator {
-    /// Non-dominated `(enumeration index, point)` entries, sorted by
-    /// strictly increasing TTFT and (equivalently) strictly increasing
-    /// QPS/chip.
-    entries: Vec<(usize, ParetoPoint)>,
+    /// Non-dominated points, sorted by strictly increasing TTFT and
+    /// (equivalently) strictly increasing QPS/chip.
+    entries: Vec<ParetoPoint>,
     /// Number of points pushed (the `evaluated_schedules` of the result).
     evaluated: usize,
 }
@@ -134,20 +166,20 @@ impl ParetoAccumulator {
         self.evaluated
     }
 
-    /// Folds one evaluated candidate into the frontier. `index` is the
-    /// candidate's position in the enumeration stream; it only matters for
-    /// breaking exact performance ties deterministically.
-    pub fn push(&mut self, index: usize, point: ParetoPoint) {
+    /// Folds one evaluated candidate into the frontier. Exact performance
+    /// ties are resolved by [`Schedule::identity_key`], so the outcome is
+    /// independent of the order points arrive in.
+    pub fn push(&mut self, point: ParetoPoint) {
         self.evaluated += 1;
-        self.insert(index, point);
+        self.insert(point);
     }
 
-    /// Merges two accumulators (associative and — thanks to the index
+    /// Merges two accumulators (associative and — thanks to the identity
     /// tie-break — order-insensitive).
     pub fn merge(mut self, other: Self) -> Self {
         self.evaluated += other.evaluated;
-        for (index, point) in other.entries {
-            self.insert(index, point);
+        for point in other.entries {
+            self.insert(point);
         }
         self
     }
@@ -155,12 +187,12 @@ impl ParetoAccumulator {
     /// Finalizes into a [`ParetoFrontier`].
     pub fn into_frontier(self) -> ParetoFrontier {
         ParetoFrontier {
-            points: self.entries.into_iter().map(|(_, p)| p).collect(),
+            points: self.entries,
             evaluated_schedules: self.evaluated,
         }
     }
 
-    fn insert(&mut self, index: usize, point: ParetoPoint) {
+    fn insert(&mut self, point: ParetoPoint) {
         use std::cmp::Ordering;
 
         let ttft = point.performance.ttft_s;
@@ -168,13 +200,12 @@ impl ParetoAccumulator {
         // First entry whose TTFT is not below the candidate's.
         let pos = self
             .entries
-            .partition_point(|(_, e)| e.performance.ttft_s.total_cmp(&ttft) == Ordering::Less);
+            .partition_point(|e| e.performance.ttft_s.total_cmp(&ttft) == Ordering::Less);
 
         // A strictly-faster predecessor with at-least-equal QPS/chip
         // dominates the candidate.
         if pos > 0
             && self.entries[pos - 1]
-                .1
                 .performance
                 .qps_per_chip
                 .total_cmp(&qps)
@@ -184,14 +215,14 @@ impl ParetoAccumulator {
         }
 
         // An entry with exactly the candidate's TTFT: resolve by QPS/chip,
-        // then by enumeration index.
-        if let Some((existing_index, existing)) = self.entries.get_mut(pos) {
+        // then by schedule identity (keys are computed lazily — exact ties
+        // are the rare case).
+        if let Some(existing) = self.entries.get_mut(pos) {
             if existing.performance.ttft_s.total_cmp(&ttft) == Ordering::Equal {
                 match existing.performance.qps_per_chip.total_cmp(&qps) {
                     Ordering::Greater => return,
                     Ordering::Equal => {
-                        if index < *existing_index {
-                            *existing_index = index;
+                        if point.schedule.identity_key() < existing.schedule.identity_key() {
                             *existing = point;
                         }
                         return;
@@ -204,11 +235,10 @@ impl ParetoAccumulator {
         // The candidate survives: evict the contiguous run of now-dominated
         // entries (TTFT at or above the candidate's, QPS/chip at or below).
         let end = pos
-            + self.entries[pos..].partition_point(|(_, e)| {
+            + self.entries[pos..].partition_point(|e| {
                 e.performance.qps_per_chip.total_cmp(&qps) != Ordering::Greater
             });
-        self.entries
-            .splice(pos..end, std::iter::once((index, point)));
+        self.entries.splice(pos..end, std::iter::once(point));
     }
 }
 
@@ -229,6 +259,14 @@ mod tests {
                 retrieval_servers: 4,
             },
         }
+    }
+
+    /// Like [`point`], but with a distinguishable schedule so identity
+    /// tie-breaks have something to choose between.
+    fn point_on(decode_xpus: u32, ttft: f64, qpc: f64) -> ParetoPoint {
+        let mut p = point(ttft, qpc);
+        p.schedule.allocation.decode_xpus = decode_xpus;
+        p
     }
 
     #[test]
@@ -277,8 +315,8 @@ mod tests {
 
     fn accumulate(points: &[ParetoPoint]) -> ParetoFrontier {
         let mut acc = ParetoAccumulator::new();
-        for (i, p) in points.iter().enumerate() {
-            acc.push(i, p.clone());
+        for p in points {
+            acc.push(p.clone());
         }
         acc.into_frontier()
     }
@@ -304,7 +342,8 @@ mod tests {
     fn accumulator_merge_is_split_invariant() {
         let points: Vec<ParetoPoint> = (0..40)
             .map(|i| {
-                point(
+                point_on(
+                    i + 1,
                     0.05 * f64::from((i * 7) % 13),
                     0.3 * f64::from((i * 11) % 17),
                 )
@@ -316,12 +355,12 @@ mod tests {
             let mut right = ParetoAccumulator::new();
             for (i, p) in points.iter().enumerate() {
                 if i < split {
-                    left.push(i, p.clone());
+                    left.push(p.clone());
                 } else {
-                    right.push(i, p.clone());
+                    right.push(p.clone());
                 }
             }
-            // Merge in both orders: the index tie-break makes the result
+            // Merge in both orders: the identity tie-break makes the result
             // independent of which thread's accumulator comes first.
             let ab = left.clone().merge(right.clone()).into_frontier();
             let ba = right.merge(left).into_frontier();
@@ -333,10 +372,10 @@ mod tests {
     #[test]
     fn accumulator_prunes_dominated_points_online() {
         let mut acc = ParetoAccumulator::new();
-        acc.push(0, point(0.2, 1.0));
-        acc.push(1, point(0.3, 0.5)); // dominated on arrival
+        acc.push(point(0.2, 1.0));
+        acc.push(point(0.3, 0.5)); // dominated on arrival
         assert_eq!(acc.len(), 1);
-        acc.push(2, point(0.1, 2.0)); // dominates the survivor
+        acc.push(point(0.1, 2.0)); // dominates the survivor
         assert_eq!(acc.len(), 1);
         assert_eq!(acc.evaluated(), 3);
         let frontier = acc.into_frontier();
@@ -346,13 +385,46 @@ mod tests {
     }
 
     #[test]
-    fn accumulator_tie_break_keeps_earliest_index() {
-        let mut late_first = ParetoAccumulator::new();
-        late_first.push(5, point(0.1, 1.0));
-        late_first.push(2, point(0.1, 1.0));
-        let mut early_first = ParetoAccumulator::new();
-        early_first.push(2, point(0.1, 1.0));
-        early_first.push(5, point(0.1, 1.0));
-        assert_eq!(late_first.into_frontier(), early_first.into_frontier());
+    fn tie_break_is_insertion_order_independent() {
+        // Two distinct schedules with bit-identical performance: whichever
+        // order they arrive in — and whichever path builds the frontier —
+        // the schedule with the smaller identity key survives.
+        let a = point_on(2, 0.1, 1.0);
+        let b = point_on(16, 0.1, 1.0);
+        assert_ne!(a.schedule.identity_key(), b.schedule.identity_key());
+        let winner = if a.schedule.identity_key() < b.schedule.identity_key() {
+            &a.schedule
+        } else {
+            &b.schedule
+        };
+
+        let streamed_ab = accumulate(&[a.clone(), b.clone()]);
+        let streamed_ba = accumulate(&[b.clone(), a.clone()]);
+        let batch_ab = ParetoFrontier::from_points(vec![a.clone(), b.clone()]);
+        let batch_ba = ParetoFrontier::from_points(vec![b.clone(), a.clone()]);
+        for frontier in [&streamed_ab, &streamed_ba, &batch_ab, &batch_ba] {
+            assert_eq!(frontier.len(), 1);
+            assert_eq!(&frontier.points[0].schedule, winner);
+        }
+    }
+
+    #[test]
+    fn hypervolume_of_simple_frontiers() {
+        let empty = ParetoFrontier::from_points(vec![]);
+        assert_eq!(empty.hypervolume(1.0, 0.0), 0.0);
+
+        // One point: a rectangle.
+        let single = ParetoFrontier::from_points(vec![point(0.2, 2.0)]);
+        assert!((single.hypervolume(1.0, 0.0) - 0.8 * 2.0).abs() < 1e-12);
+        // Points at or beyond the reference contribute nothing.
+        assert_eq!(single.hypervolume(0.2, 0.0), 0.0);
+        assert_eq!(single.hypervolume(1.0, 2.0), 0.0);
+
+        // Two points: union of two rectangles.
+        let double = ParetoFrontier::from_points(vec![point(0.2, 2.0), point(0.5, 3.0)]);
+        let expected = 0.8 * 2.0 + 0.5 * 1.0;
+        assert!((double.hypervolume(1.0, 0.0) - expected).abs() < 1e-12);
+        // Growing the frontier never shrinks the hypervolume.
+        assert!(double.hypervolume(1.0, 0.0) >= single.hypervolume(1.0, 0.0));
     }
 }

@@ -254,6 +254,19 @@ impl Schedule {
         }
     }
 
+    /// A stable identity key: two schedules produce equal keys exactly when
+    /// they encode the same scheduling decision. Used to break exact
+    /// performance ties deterministically in [`crate::pareto`] and to
+    /// deduplicate sampled candidates in [`crate::search`] — unlike an
+    /// enumeration index, the key exists for every schedule regardless of
+    /// where (or whether) it appears in an enumeration order.
+    pub fn identity_key(&self) -> String {
+        // `describe` prints every axis of the decision (placement groups are
+        // bracket-delimited, all allocations and batch sizes appear
+        // verbatim), so it is injective over any one workload's space.
+        self.describe()
+    }
+
     /// A one-line description of the schedule for reports.
     pub fn describe(&self) -> String {
         format!(

@@ -1,0 +1,1137 @@
+//! Anytime stochastic schedule search: sample → beam → coordinate descent →
+//! worker exchange.
+//!
+//! The exhaustive odometer ([`crate::optimizer::ScheduleIter`]) is the right
+//! tool for paper-sized grids (thousands of candidates), but the spaces the
+//! repo now models — disaggregated pools × chip types × cache configs —
+//! are combinatorially large. This module searches the *same* candidate
+//! space (identical budget-filtered axes, shared via
+//! `Rago::search_axes`) without enumerating it:
+//!
+//! 1. **Sample.** Each round draws a deterministic batch of novel
+//!    candidates: *uniform* draws over the whole space (via the
+//!    [`ScheduleSpace`] mixed-radix codec, which decodes any index to its
+//!    schedule in O(axes)), and *focussed* draws that perturb one axis of a
+//!    current beam survivor. When uniform draws keep hitting already-seen
+//!    candidates, generation falls back to a deterministic cursor scan of
+//!    the remaining unseen indices — so with enough budget the search
+//!    provably visits **every** candidate and the frontier equals the
+//!    exhaustive one exactly.
+//! 2. **Beam.** Every feasible evaluation reports into a deduplicated
+//!    [`BestSamples`] beam keyed on [`Schedule::identity_key`] — *not* on an
+//!    enumeration index, which sampled candidates don't have — scored by
+//!    QPS/chip (the goodput-per-chip objective the exhaustive path also
+//!    optimizes), while a [`ParetoAccumulator`] collects the full
+//!    (TTFT, QPS/chip) frontier from every evaluation.
+//! 3. **Coordinate descent.** Beam survivors are refined by hill-climbing
+//!    along one placement/parallelism axis at a time (each group's XPU
+//!    count, the decode allocation, the server count, each batch axis),
+//!    against a snapshot of the scores known at the round start.
+//! 4. **Worker exchange.** Within a round, the batch is split across
+//!    `workers` threads that evaluate independently; their results merge at
+//!    the round boundary — a fixed evaluation-count checkpoint — into the
+//!    shared beam and frontier, which the next round's sampling and descent
+//!    read. Because the work list is generated sequentially up front, every
+//!    merge is order-insensitive (identity tie-breaks), and descent only
+//!    consults the frozen snapshot, **seeded runs are bit-reproducible
+//!    regardless of worker count or thread timing.**
+//!
+//! The only reproducibility trade-off is the optional wall-clock budget
+//! ([`StochasticConfig::time_budget_s`]): it is checked at round boundaries
+//! only, so a time-capped run still never splits a round, but *which* round
+//! it stops after depends on the machine. Leave it `None` (budgeting by
+//! `max_evaluations` alone) for bit-reproducible results.
+//!
+//! The design follows the sparrow placement-search exemplars (SNIPPETS.md
+//! 1–2): a capacity-bounded deduplicated best-sample set, focussed + uniform
+//! samplers, coordinate-descent refinement, and parallel workers with
+//! periodic best-solution exchange under a strict budget.
+
+use crate::error::RagoError;
+use crate::metrics::RagPerformance;
+use crate::optimizer::{Rago, SearchAxes};
+use crate::pareto::{ParetoAccumulator, ParetoFrontier, ParetoPoint};
+use crate::placement::PlacementPlan;
+use crate::profiler::StageProfiler;
+use crate::schedule::{BatchingPolicy, ResourceAllocation, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// How [`Rago::optimize_with_mode`] searches the schedule space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SearchMode {
+    /// Enumerate and evaluate every candidate (exact; the default).
+    #[default]
+    Exhaustive,
+    /// The seeded anytime stochastic search of this module.
+    Stochastic(StochasticConfig),
+}
+
+/// Tuning knobs of the stochastic search. [`StochasticConfig::default`] is
+/// sized for exploratory runs; [`StochasticConfig::with_budget`] is the knob
+/// that matters most (how many novel candidate evaluations to spend).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StochasticConfig {
+    /// RNG seed. Two runs with the same seed, budget, and grid produce
+    /// bit-identical reports (modulo wall-clock fields).
+    pub seed: u64,
+    /// Worker threads evaluating each round's batch. The result is
+    /// independent of this value — it only changes wall-clock time.
+    pub workers: usize,
+    /// Budget: total novel candidate evaluations across all rounds. The
+    /// search stops at the first round boundary at or beyond it (a round's
+    /// coordinate-descent phase may overshoot by at most
+    /// `beam_width × descent_evaluations`).
+    pub max_evaluations: usize,
+    /// Optional wall-clock budget in seconds, checked at round boundaries
+    /// only. **Setting this trades bit-reproducibility across machines for
+    /// an anytime cap** — see the module docs.
+    pub time_budget_s: Option<f64>,
+    /// Best-sample beam capacity (survivors refined and exchanged).
+    pub beam_width: usize,
+    /// Novel evaluations per sampling round (the exchange checkpoint
+    /// interval).
+    pub round_evaluations: usize,
+    /// Fraction of each round's samples drawn uniformly from the whole
+    /// space; the rest focus around beam survivors. Clamped to `[0, 1]`.
+    pub uniform_fraction: f64,
+    /// Maximum full axis sweeps per survivor in one descent phase.
+    pub descent_sweeps: usize,
+    /// Maximum novel evaluations one survivor's descent may spend per
+    /// round. `0` disables coordinate descent.
+    pub descent_evaluations: usize,
+}
+
+impl Default for StochasticConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED,
+            workers: rayon::current_num_threads().max(1),
+            max_evaluations: 4096,
+            time_budget_s: None,
+            beam_width: 8,
+            round_evaluations: 256,
+            uniform_fraction: 0.5,
+            descent_sweeps: 4,
+            descent_evaluations: 96,
+        }
+    }
+}
+
+impl StochasticConfig {
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (result-invariant; speed only).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the evaluation budget.
+    pub fn with_budget(mut self, max_evaluations: usize) -> Self {
+        self.max_evaluations = max_evaluations;
+        self
+    }
+
+    /// Sets the wall-clock budget (see [`StochasticConfig::time_budget_s`]).
+    pub fn with_time_budget(mut self, seconds: f64) -> Self {
+        self.time_budget_s = Some(seconds);
+        self
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RagoError::InvalidConfig`] on a zero worker count, beam
+    /// width, round size, or budget, a non-finite uniform fraction, or a
+    /// non-positive time budget.
+    pub fn validate(&self) -> Result<(), RagoError> {
+        let reject = |reason: String| Err(RagoError::InvalidConfig { reason });
+        if self.workers == 0 {
+            return reject("stochastic search needs at least one worker".into());
+        }
+        if self.beam_width == 0 {
+            return reject("stochastic search needs a beam of at least one survivor".into());
+        }
+        if self.round_evaluations == 0 {
+            return reject("stochastic search needs at least one evaluation per round".into());
+        }
+        if self.max_evaluations == 0 {
+            return reject("stochastic search needs a non-zero evaluation budget".into());
+        }
+        if !self.uniform_fraction.is_finite() {
+            return reject(format!(
+                "uniform_fraction must be finite, got {}",
+                self.uniform_fraction
+            ));
+        }
+        if let Some(t) = self.time_budget_s {
+            if t <= 0.0 || t.is_nan() {
+                return reject(format!("time budget must be positive, got {t}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One placement's block of the candidate space: a contiguous index range
+/// whose digits are the per-group XPU steps, the decode step, the server
+/// step, and the batch steps.
+#[derive(Debug, Clone)]
+struct PlacementBlock {
+    placement: PlacementPlan,
+    offset: u128,
+    size: u128,
+}
+
+/// Random-access mixed-radix codec over the candidate schedule space: the
+/// same placements × budget-filtered allocation steps × batching axes the
+/// exhaustive [`crate::optimizer::ScheduleIter`] streams, addressable by a
+/// dense index in `0..size()`. Decoding is O(axes); no candidate is ever
+/// materialized eagerly.
+///
+/// Indices enumerate *allocations within the XPU budget or not* — the
+/// odometer skips over-budget allocations while streaming, whereas the
+/// codec reports them via [`ScheduleSpace::feasible`] so samplers can
+/// reject and redraw. Both views contain exactly the same feasible
+/// candidates.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    blocks: Vec<PlacementBlock>,
+    xpu_steps: Vec<u32>,
+    server_steps: Vec<u32>,
+    predecode_batches: Vec<u32>,
+    decode_batches: Vec<u32>,
+    iterative_batches: Vec<Option<u32>>,
+    max_total_xpus: u32,
+    size: u128,
+}
+
+/// The digit vector of one candidate: its placement block and one index
+/// into every axis. The coordinate-descent refinement steps these digits
+/// one at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Digits {
+    block: usize,
+    groups: Vec<usize>,
+    decode: usize,
+    server: usize,
+    predecode: usize,
+    decode_batch: usize,
+    iterative: usize,
+}
+
+impl ScheduleSpace {
+    pub(crate) fn new(axes: SearchAxes) -> Self {
+        let SearchAxes {
+            placements,
+            xpu_steps,
+            server_steps,
+            predecode_batches,
+            decode_batches,
+            iterative_batches,
+            max_total_xpus,
+        } = axes;
+        let degenerate = xpu_steps.is_empty()
+            || server_steps.is_empty()
+            || predecode_batches.is_empty()
+            || decode_batches.is_empty()
+            || iterative_batches.is_empty();
+        let mut blocks = Vec::with_capacity(placements.len());
+        let mut offset: u128 = 0;
+        if !degenerate {
+            let inner = (xpu_steps.len()
+                * server_steps.len()
+                * predecode_batches.len()
+                * decode_batches.len()
+                * iterative_batches.len()) as u128;
+            for placement in placements {
+                let groups = placement.num_groups() as u32;
+                let size = inner * (xpu_steps.len() as u128).pow(groups);
+                blocks.push(PlacementBlock {
+                    placement,
+                    offset,
+                    size,
+                });
+                offset += size;
+            }
+        }
+        Self {
+            blocks,
+            xpu_steps,
+            server_steps,
+            predecode_batches,
+            decode_batches,
+            iterative_batches,
+            max_total_xpus,
+            size: offset,
+        }
+    }
+
+    /// Total number of addressable candidates (including allocations over
+    /// the XPU budget, which [`ScheduleSpace::feasible`] rejects).
+    pub fn size(&self) -> u128 {
+        self.size
+    }
+
+    /// The schedule at `index`, or `None` past the end of the space.
+    pub fn decode(&self, index: u128) -> Option<Schedule> {
+        self.digits_of(index).map(|d| self.schedule_at(&d))
+    }
+
+    /// Whether the candidate at `index` fits the XPU budget. (Budget-wise
+    /// inadmissible *steps* were already filtered from the axes; this
+    /// rejects admissible steps whose *sum* exceeds the budget.)
+    pub fn feasible(&self, index: u128) -> bool {
+        self.digits_of(index)
+            .map(|d| self.digits_feasible(&d))
+            .unwrap_or(false)
+    }
+
+    fn digits_feasible(&self, d: &Digits) -> bool {
+        let groups: u32 = d.groups.iter().map(|&i| self.xpu_steps[i]).sum();
+        groups + self.xpu_steps[d.decode] <= self.max_total_xpus
+    }
+
+    fn digits_of(&self, index: u128) -> Option<Digits> {
+        if index >= self.size {
+            return None;
+        }
+        let block = self
+            .blocks
+            .partition_point(|b| b.offset + b.size <= index)
+            .min(self.blocks.len() - 1);
+        let mut rem = index - self.blocks[block].offset;
+        let mut take = |len: usize| {
+            let digit = (rem % len as u128) as usize;
+            rem /= len as u128;
+            digit
+        };
+        let iterative = take(self.iterative_batches.len());
+        let decode_batch = take(self.decode_batches.len());
+        let predecode = take(self.predecode_batches.len());
+        let server = take(self.server_steps.len());
+        let decode = take(self.xpu_steps.len());
+        let groups: Vec<usize> = (0..self.blocks[block].placement.num_groups())
+            .map(|_| take(self.xpu_steps.len()))
+            .collect();
+        Some(Digits {
+            block,
+            groups,
+            decode,
+            server,
+            predecode,
+            decode_batch,
+            iterative,
+        })
+    }
+
+    fn encode(&self, d: &Digits) -> u128 {
+        let mut v: u128 = 0;
+        for &g in d.groups.iter().rev() {
+            v = v * self.xpu_steps.len() as u128 + g as u128;
+        }
+        v = v * self.xpu_steps.len() as u128 + d.decode as u128;
+        v = v * self.server_steps.len() as u128 + d.server as u128;
+        v = v * self.predecode_batches.len() as u128 + d.predecode as u128;
+        v = v * self.decode_batches.len() as u128 + d.decode_batch as u128;
+        v = v * self.iterative_batches.len() as u128 + d.iterative as u128;
+        self.blocks[d.block].offset + v
+    }
+
+    fn schedule_at(&self, d: &Digits) -> Schedule {
+        let placement = self.blocks[d.block].placement.clone();
+        let group_xpus: Vec<u32> = d.groups.iter().map(|&i| self.xpu_steps[i]).collect();
+        let mut batching = BatchingPolicy::new(
+            self.predecode_batches[d.predecode],
+            self.decode_batches[d.decode_batch],
+        );
+        batching.iterative_batch = self.iterative_batches[d.iterative];
+        Schedule {
+            placement,
+            allocation: ResourceAllocation {
+                group_xpus,
+                decode_xpus: self.xpu_steps[d.decode],
+                retrieval_servers: self.server_steps[d.server],
+            },
+            batching,
+        }
+    }
+
+    /// Number of steppable axes for a candidate in `block`: one per
+    /// placement group, plus decode allocation, server count, pre-decode
+    /// batch, decode batch, and iterative batch.
+    fn num_axes(&self, block: usize) -> usize {
+        self.blocks[block].placement.num_groups() + 5
+    }
+
+    fn axis_len(&self, block: usize, axis: usize) -> usize {
+        let groups = self.blocks[block].placement.num_groups();
+        if axis < groups {
+            return self.xpu_steps.len();
+        }
+        match axis - groups {
+            0 => self.xpu_steps.len(),
+            1 => self.server_steps.len(),
+            2 => self.predecode_batches.len(),
+            3 => self.decode_batches.len(),
+            _ => self.iterative_batches.len(),
+        }
+    }
+
+    fn axis_digit(d: &Digits, axis: usize) -> usize {
+        if axis < d.groups.len() {
+            return d.groups[axis];
+        }
+        match axis - d.groups.len() {
+            0 => d.decode,
+            1 => d.server,
+            2 => d.predecode,
+            3 => d.decode_batch,
+            _ => d.iterative,
+        }
+    }
+
+    fn set_axis_digit(d: &mut Digits, axis: usize, value: usize) {
+        if axis < d.groups.len() {
+            d.groups[axis] = value;
+            return;
+        }
+        match axis - d.groups.len() {
+            0 => d.decode = value,
+            1 => d.server = value,
+            2 => d.predecode = value,
+            3 => d.decode_batch = value,
+            _ => d.iterative = value,
+        }
+    }
+
+    /// One coordinate step: the neighbour of `d` along `axis` in direction
+    /// `dir` (±1), or `None` at the axis boundary.
+    fn step(&self, d: &Digits, axis: usize, dir: i64) -> Option<Digits> {
+        let len = self.axis_len(d.block, axis) as i64;
+        let next = Self::axis_digit(d, axis) as i64 + dir;
+        if next < 0 || next >= len {
+            return None;
+        }
+        let mut out = d.clone();
+        Self::set_axis_digit(&mut out, axis, next as usize);
+        Some(out)
+    }
+}
+
+/// One survivor of the [`BestSamples`] beam.
+#[derive(Debug, Clone)]
+pub struct BeamEntry {
+    /// The candidate's index in its [`ScheduleSpace`].
+    pub index: u128,
+    /// The beam objective: QPS/chip.
+    pub score: f64,
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// Cached [`Schedule::identity_key`] (the dedup/tie-break key).
+    key: String,
+}
+
+/// A capacity-bounded, deduplicated set of the best samples seen so far,
+/// ordered by score (QPS/chip) descending. Dedup and tie-breaks use
+/// [`Schedule::identity_key`], so reporting the same candidates in any
+/// order — from any number of workers — yields the same beam.
+#[derive(Debug, Clone)]
+pub struct BestSamples {
+    capacity: usize,
+    entries: Vec<BeamEntry>,
+}
+
+impl BestSamples {
+    /// Creates an empty beam holding at most `capacity` survivors.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Number of survivors currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the beam holds no survivor yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The survivors, best score first (ties by identity key ascending).
+    pub fn entries(&self) -> &[BeamEntry] {
+        &self.entries
+    }
+
+    /// Reports one scored sample. Returns `true` if it entered the beam.
+    pub fn report(&mut self, index: u128, score: f64, schedule: Schedule) -> bool {
+        let key = schedule.identity_key();
+        if self.entries.iter().any(|e| e.key == key) {
+            // A candidate's score is a pure function of its schedule, so a
+            // duplicate can neither improve nor displace anything.
+            return false;
+        }
+        let pos = self.entries.partition_point(|e| {
+            e.score.total_cmp(&score) == std::cmp::Ordering::Greater
+                || (e.score.total_cmp(&score) == std::cmp::Ordering::Equal && e.key < key)
+        });
+        if pos >= self.capacity {
+            return false;
+        }
+        self.entries.insert(
+            pos,
+            BeamEntry {
+                index,
+                score,
+                schedule,
+                key,
+            },
+        );
+        self.entries.truncate(self.capacity);
+        true
+    }
+}
+
+/// One anytime checkpoint: the frontier as of a round boundary.
+#[derive(Debug, Clone)]
+pub struct AnytimeSample {
+    /// Novel evaluations spent up to this checkpoint.
+    pub evaluations: usize,
+    /// Wall-clock seconds elapsed at this checkpoint (informational; not
+    /// part of the reproducible surface).
+    pub elapsed_s: f64,
+    /// The frontier over everything evaluated so far.
+    pub frontier: ParetoFrontier,
+}
+
+/// The result of one stochastic search run.
+#[derive(Debug, Clone)]
+pub struct StochasticSearchReport {
+    /// The Pareto frontier over every evaluated candidate.
+    pub frontier: ParetoFrontier,
+    /// Novel candidate evaluations spent (feasible or not).
+    pub evaluations: usize,
+    /// How many of those evaluated successfully (structurally feasible and
+    /// within every stage's cost model).
+    pub feasible_evaluations: usize,
+    /// Sampling rounds completed (= exchange checkpoints).
+    pub rounds: usize,
+    /// Total addressable candidates in the space.
+    pub space_size: u128,
+    /// Whether the search visited every candidate (at which point the
+    /// frontier is exactly the exhaustive one).
+    pub exhausted: bool,
+    /// Wall-clock seconds for the whole run (informational).
+    pub elapsed_s: f64,
+    /// The frontier at every round boundary, oldest first. With a fixed
+    /// reference point, `frontier.hypervolume(..)` over this timeline is
+    /// non-decreasing.
+    pub timeline: Vec<AnytimeSample>,
+}
+
+/// Splits a `u64` seed into an independent per-(round, stream) RNG.
+fn stream_rng(seed: u64, round: usize, stream: u64) -> StdRng {
+    let mixed = seed
+        ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ stream.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    StdRng::seed_from_u64(mixed)
+}
+
+/// A uniform index into `0..size`.
+fn draw_index<R: RngCore>(rng: &mut R, size: u128) -> u128 {
+    if size <= u64::MAX as u128 {
+        return u128::from(rng.gen_range(0..size as u64));
+    }
+    // Compose two draws for astronomically large grids; the modulo bias is
+    // ~2^-64 and irrelevant for sampling quality.
+    let hi = u128::from(rng.gen::<u64>());
+    let lo = u128::from(rng.gen::<u64>());
+    ((hi << 64) | lo) % size
+}
+
+/// Evaluation outcome of one candidate, in work-list order.
+type Evaluated = (u128, Schedule, Option<RagPerformance>);
+
+/// Evaluates `batch` across `workers` threads, returning results in batch
+/// order regardless of thread timing (each worker owns a contiguous chunk;
+/// chunks are concatenated in order).
+fn evaluate_batch(
+    profiler: &StageProfiler,
+    batch: Vec<(u128, Schedule)>,
+    workers: usize,
+) -> Vec<Evaluated> {
+    let eval_one = |(index, schedule): (u128, Schedule)| -> Evaluated {
+        let perf = schedule.evaluate(profiler).ok();
+        (index, schedule, perf)
+    };
+    if workers <= 1 || batch.len() <= 1 {
+        return batch.into_iter().map(eval_one).collect();
+    }
+    let chunk = batch.len().div_ceil(workers);
+    let chunks: Vec<Vec<(u128, Schedule)>> = batch.chunks(chunk).map(|c| c.to_vec()).collect();
+    let mut results: Vec<Vec<Evaluated>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(eval_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("search evaluation worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// The frozen knowledge a descent worker may consult: everything evaluated
+/// before the current round's descent phase.
+struct Snapshot<'a> {
+    seen: &'a HashSet<u128>,
+    scores: &'a HashMap<u128, f64>,
+}
+
+/// Hill-climbs one survivor along one axis at a time against the frozen
+/// snapshot, evaluating at most `eval_cap` novel candidates. Returns the
+/// ordered list of evaluations performed (the caller merges them; nothing
+/// global is mutated here, which is what keeps the phase deterministic
+/// under any worker count).
+fn coordinate_descent(
+    space: &ScheduleSpace,
+    profiler: &StageProfiler,
+    snapshot: &Snapshot<'_>,
+    entry: &BeamEntry,
+    sweeps: usize,
+    eval_cap: usize,
+) -> Vec<Evaluated> {
+    let Some(mut digits) = space.digits_of(entry.index) else {
+        return Vec::new();
+    };
+    let mut best = entry.score;
+    let mut evals: Vec<Evaluated> = Vec::new();
+    let mut local: HashMap<u128, Option<f64>> = HashMap::new();
+    let mut budget_left = eval_cap;
+
+    'sweeps: for _ in 0..sweeps {
+        let mut improved = false;
+        for axis in 0..space.num_axes(digits.block) {
+            for dir in [1i64, -1] {
+                // Walk this direction while it keeps strictly improving.
+                while let Some(next) = space.step(&digits, axis, dir) {
+                    let index = space.encode(&next);
+                    let score = if let Some(&s) = snapshot.scores.get(&index) {
+                        Some(s)
+                    } else if snapshot.seen.contains(&index) {
+                        // Known infeasible (or cost-model-rejected).
+                        None
+                    } else if let Some(&s) = local.get(&index) {
+                        s
+                    } else {
+                        if budget_left == 0 {
+                            break 'sweeps;
+                        }
+                        budget_left -= 1;
+                        let (schedule, perf) = if space.digits_feasible(&next) {
+                            let schedule = space.schedule_at(&next);
+                            let perf = schedule.evaluate(profiler).ok();
+                            (schedule, perf)
+                        } else {
+                            (space.schedule_at(&next), None)
+                        };
+                        let s = perf.as_ref().map(|p| p.qps_per_chip);
+                        local.insert(index, s);
+                        evals.push((index, schedule, perf));
+                        s
+                    };
+                    match score {
+                        Some(s) if s > best => {
+                            best = s;
+                            digits = next;
+                            improved = true;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    evals
+}
+
+/// Runs the stochastic search over `space` for `rago`'s workload. Prefer
+/// the façade [`Rago::optimize_stochastic`].
+///
+/// # Errors
+///
+/// Returns [`RagoError::InvalidConfig`] for a malformed `config` and
+/// [`RagoError::NoFeasibleSchedule`] when the budget ran out before any
+/// feasible candidate was found (or the space holds none).
+pub fn run_stochastic(
+    rago: &Rago,
+    space: &ScheduleSpace,
+    config: &StochasticConfig,
+) -> Result<StochasticSearchReport, RagoError> {
+    config.validate()?;
+    let start = Instant::now();
+    let profiler = rago.profiler();
+    let uniform_fraction = config.uniform_fraction.clamp(0.0, 1.0);
+
+    let mut seen: HashSet<u128> = HashSet::new();
+    let mut scores: HashMap<u128, f64> = HashMap::new();
+    let mut accumulator = ParetoAccumulator::new();
+    let mut beam = BestSamples::new(config.beam_width);
+    let mut evaluations = 0usize;
+    let mut feasible_evaluations = 0usize;
+    let mut rounds = 0usize;
+    let mut scan_cursor: u128 = 0;
+    let mut scanned: u128 = 0; // indices the fallback scan has consumed
+    let mut timeline: Vec<AnytimeSample> = Vec::new();
+    let mut exhausted = space.size() == 0;
+
+    while !exhausted && evaluations < config.max_evaluations {
+        rounds += 1;
+        let remaining = config.max_evaluations - evaluations;
+        let target = config.round_evaluations.min(remaining);
+
+        // ---- Generation (sequential, deterministic): the round's work
+        // list of novel candidates, reserved in `seen` up front. ----
+        let mut batch: Vec<(u128, Schedule)> = Vec::with_capacity(target);
+        let uniform_quota = if beam.is_empty() {
+            target
+        } else {
+            ((target as f64) * uniform_fraction).round() as usize
+        };
+
+        // Uniform draws; on sustained novelty misses, fall back to a
+        // deterministic cursor scan so coverage is guaranteed.
+        let mut rng = stream_rng(config.seed, rounds, 0xA11C_E5EE);
+        let miss_limit = 4 * uniform_quota + 64;
+        let mut misses = 0usize;
+        while batch.len() < uniform_quota && misses < miss_limit {
+            let index = draw_index(&mut rng, space.size());
+            if seen.contains(&index) {
+                misses += 1;
+                continue;
+            }
+            seen.insert(index);
+            let digits = space.digits_of(index).expect("index in range");
+            if !space.digits_feasible(&digits) {
+                misses += 1;
+                continue;
+            }
+            batch.push((index, space.schedule_at(&digits)));
+        }
+        if batch.len() < uniform_quota {
+            // Saturated: sweep the cursor over the remaining unseen indices.
+            while batch.len() < uniform_quota && scanned < space.size() {
+                let index = scan_cursor;
+                scan_cursor = (scan_cursor + 1) % space.size();
+                scanned += 1;
+                if seen.contains(&index) {
+                    continue;
+                }
+                seen.insert(index);
+                let digits = space.digits_of(index).expect("index in range");
+                if space.digits_feasible(&digits) {
+                    batch.push((index, space.schedule_at(&digits)));
+                }
+            }
+            if scanned >= space.size() {
+                // Every index is now reserved; whatever is in flight this
+                // round is the last of the space.
+                exhausted = true;
+            }
+        }
+
+        // Focussed draws: perturb one axis of a beam survivor (or jump to a
+        // fresh placement block), one RNG stream per survivor slot.
+        let survivors: Vec<BeamEntry> = beam.entries().to_vec();
+        if !survivors.is_empty() {
+            let focussed_quota = target.saturating_sub(batch.len());
+            let share = focussed_quota.div_ceil(survivors.len());
+            for (slot, survivor) in survivors.iter().enumerate() {
+                let quota = share.min(target.saturating_sub(batch.len()));
+                if quota == 0 {
+                    break;
+                }
+                let mut rng = stream_rng(config.seed, rounds, 0xF0C0_5000 + slot as u64);
+                let Some(base) = space.digits_of(survivor.index) else {
+                    continue;
+                };
+                let axes = space.num_axes(base.block);
+                let mut drawn = 0usize;
+                let mut attempts = 0usize;
+                while drawn < quota && attempts < 8 * quota + 16 {
+                    attempts += 1;
+                    // Axis `axes` is the "jump" move: a fresh uniform index
+                    // (possibly another placement), keeping the sampler
+                    // ergodic across blocks.
+                    let axis = rng.gen_range(0..=axes);
+                    let index = if axis == axes {
+                        draw_index(&mut rng, space.size())
+                    } else {
+                        let mut d = base.clone();
+                        let len = space.axis_len(d.block, axis);
+                        ScheduleSpace::set_axis_digit(&mut d, axis, rng.gen_range(0..len));
+                        space.encode(&d)
+                    };
+                    if seen.contains(&index) {
+                        continue;
+                    }
+                    seen.insert(index);
+                    let digits = space.digits_of(index).expect("index in range");
+                    if !space.digits_feasible(&digits) {
+                        continue;
+                    }
+                    batch.push((index, space.schedule_at(&digits)));
+                    drawn += 1;
+                }
+            }
+        }
+
+        // ---- Parallel evaluation; merge in work-list order. ----
+        let descent_enabled =
+            config.descent_sweeps > 0 && config.descent_evaluations > 0 && !survivors.is_empty();
+        let had_batch = !batch.is_empty();
+        for (index, schedule, perf) in evaluate_batch(profiler, batch, config.workers) {
+            evaluations += 1;
+            if let Some(perf) = perf {
+                feasible_evaluations += 1;
+                scores.insert(index, perf.qps_per_chip);
+                beam.report(index, perf.qps_per_chip, schedule.clone());
+                accumulator.push(ParetoPoint {
+                    schedule,
+                    performance: perf,
+                });
+            }
+        }
+
+        // ---- Coordinate descent on the round-start survivors, against the
+        // frozen snapshot; results merge in survivor order. ----
+        let mut descent_progress = false;
+        if descent_enabled {
+            let snapshot_seen = seen.clone();
+            let snapshot = Snapshot {
+                seen: &snapshot_seen,
+                scores: &scores,
+            };
+            let descent_results: Vec<Vec<Evaluated>> =
+                if config.workers <= 1 || survivors.len() <= 1 {
+                    survivors
+                        .iter()
+                        .map(|e| {
+                            coordinate_descent(
+                                space,
+                                profiler,
+                                &snapshot,
+                                e,
+                                config.descent_sweeps,
+                                config.descent_evaluations,
+                            )
+                        })
+                        .collect()
+                } else {
+                    let chunk = survivors.len().div_ceil(config.workers);
+                    let mut out: Vec<Vec<Vec<Evaluated>>> = Vec::new();
+                    std::thread::scope(|scope| {
+                        let snapshot = &snapshot;
+                        let handles: Vec<_> = survivors
+                            .chunks(chunk)
+                            .map(|c| {
+                                scope.spawn(move || {
+                                    c.iter()
+                                        .map(|e| {
+                                            coordinate_descent(
+                                                space,
+                                                profiler,
+                                                snapshot,
+                                                e,
+                                                config.descent_sweeps,
+                                                config.descent_evaluations,
+                                            )
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            out.push(h.join().expect("search descent worker panicked"));
+                        }
+                    });
+                    out.into_iter().flatten().collect()
+                };
+            for (index, schedule, perf) in descent_results.into_iter().flatten() {
+                if !seen.insert(index) {
+                    // Two survivors explored the same neighbour; charge and
+                    // record it once (the first, in survivor order).
+                    continue;
+                }
+                descent_progress = true;
+                evaluations += 1;
+                if let Some(perf) = perf {
+                    feasible_evaluations += 1;
+                    scores.insert(index, perf.qps_per_chip);
+                    beam.report(index, perf.qps_per_chip, schedule.clone());
+                    accumulator.push(ParetoPoint {
+                        schedule,
+                        performance: perf,
+                    });
+                }
+            }
+        }
+
+        // ---- Exchange checkpoint: everything learned this round is now in
+        // the shared beam + frontier for the next round's workers. ----
+        timeline.push(AnytimeSample {
+            evaluations,
+            elapsed_s: start.elapsed().as_secs_f64(),
+            frontier: accumulator.clone().into_frontier(),
+        });
+        if !had_batch && !descent_progress {
+            // Nothing novel can be generated any more.
+            exhausted = true;
+        }
+        if let Some(budget) = config.time_budget_s {
+            if start.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+    }
+
+    if accumulator.is_empty() {
+        return Err(rago.no_feasible_schedule());
+    }
+    Ok(StochasticSearchReport {
+        frontier: accumulator.into_frontier(),
+        evaluations,
+        feasible_evaluations,
+        rounds,
+        space_size: space.size(),
+        exhausted,
+        elapsed_s: start.elapsed().as_secs_f64(),
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::SearchOptions;
+    use rago_hardware::ClusterSpec;
+    use rago_schema::presets::{self, LlmSize};
+
+    fn case1() -> Rago {
+        Rago::new(
+            presets::case1_hyperscale(LlmSize::B8, 1),
+            ClusterSpec::paper_default(),
+        )
+    }
+
+    fn tiny_options() -> SearchOptions {
+        SearchOptions {
+            xpu_steps: vec![8, 32],
+            server_steps: vec![32],
+            predecode_batch_steps: vec![1, 16],
+            decode_batch_steps: vec![128],
+            iterative_batch_steps: vec![8],
+            placements: None,
+        }
+    }
+
+    #[test]
+    fn space_size_matches_axis_product() {
+        let rago = case1();
+        let space = rago.schedule_space(&tiny_options());
+        // Case 1 has one collocatable stage → one placement with one group:
+        // 2 (group) × 2 (decode) × 1 (server) × 2 (pre) × 1 (decode batch).
+        assert_eq!(space.size(), 8);
+    }
+
+    #[test]
+    fn decode_covers_exactly_the_odometer_stream() {
+        let rago = case1();
+        let options = tiny_options();
+        let space = rago.schedule_space(&options);
+        let streamed: Vec<Schedule> = rago.schedule_iter(&options).collect();
+        let mut decoded: Vec<Schedule> = Vec::new();
+        for index in 0..space.size() {
+            let schedule = space.decode(index).expect("index in range");
+            assert_eq!(
+                space.feasible(index),
+                schedule.allocation.total_xpus() <= rago.budget().max_xpus
+            );
+            if space.feasible(index) {
+                decoded.push(schedule);
+            }
+        }
+        // Same candidates (the codec enumerates in a different digit order
+        // than the odometer, so compare as sets of identity keys).
+        let mut streamed_keys: Vec<String> = streamed.iter().map(Schedule::identity_key).collect();
+        let mut decoded_keys: Vec<String> = decoded.iter().map(Schedule::identity_key).collect();
+        streamed_keys.sort();
+        decoded_keys.sort();
+        assert_eq!(streamed_keys, decoded_keys);
+    }
+
+    #[test]
+    fn encode_round_trips_every_index() {
+        let rago = Rago::new(
+            presets::case4_rewriter_reranker(LlmSize::B8),
+            ClusterSpec::paper_default(),
+        );
+        let options = SearchOptions {
+            xpu_steps: vec![4, 16],
+            server_steps: vec![16, 32],
+            predecode_batch_steps: vec![4, 8],
+            decode_batch_steps: vec![128],
+            iterative_batch_steps: vec![8],
+            placements: None,
+        };
+        let space = rago.schedule_space(&options);
+        assert!(space.size() > 0);
+        for index in 0..space.size() {
+            let digits = space.digits_of(index).expect("index in range");
+            assert_eq!(space.encode(&digits), index);
+        }
+        assert!(space.decode(space.size()).is_none());
+    }
+
+    #[test]
+    fn beam_dedups_and_keeps_best() {
+        let mut beam = BestSamples::new(2);
+        let schedule_scoring = |xpus: u32| {
+            let mut s = Schedule::test_dummy();
+            s.allocation.decode_xpus = xpus;
+            s
+        };
+        assert!(beam.report(0, 1.0, schedule_scoring(1)));
+        assert!(!beam.report(0, 1.0, schedule_scoring(1)), "duplicate key");
+        assert!(beam.report(1, 3.0, schedule_scoring(2)));
+        assert!(beam.report(2, 2.0, schedule_scoring(3)), "evicts the 1.0");
+        assert_eq!(beam.len(), 2);
+        assert_eq!(beam.entries()[0].score, 3.0);
+        assert_eq!(beam.entries()[1].score, 2.0);
+        assert!(!beam.report(3, 0.5, schedule_scoring(4)), "below the beam");
+    }
+
+    #[test]
+    fn beam_is_report_order_independent() {
+        let entries: Vec<(u128, f64, u32)> = (0..12)
+            .map(|i| (u128::from(i), f64::from((i * 7) % 5), 100 + i))
+            .collect();
+        let build = |order: &[usize]| {
+            let mut beam = BestSamples::new(4);
+            for &i in order {
+                let (index, score, xpus) = entries[i];
+                let mut s = Schedule::test_dummy();
+                s.allocation.decode_xpus = xpus;
+                beam.report(index, score, s);
+            }
+            beam.entries()
+                .iter()
+                .map(|e| (e.index, e.key.clone()))
+                .collect::<Vec<_>>()
+        };
+        let forward: Vec<usize> = (0..entries.len()).collect();
+        let reverse: Vec<usize> = (0..entries.len()).rev().collect();
+        assert_eq!(build(&forward), build(&reverse));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let ok = StochasticConfig::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            StochasticConfig {
+                workers: 0,
+                ..ok.clone()
+            },
+            StochasticConfig {
+                beam_width: 0,
+                ..ok.clone()
+            },
+            StochasticConfig {
+                round_evaluations: 0,
+                ..ok.clone()
+            },
+            StochasticConfig {
+                max_evaluations: 0,
+                ..ok.clone()
+            },
+            StochasticConfig {
+                uniform_fraction: f64::NAN,
+                ..ok.clone()
+            },
+            StochasticConfig {
+                time_budget_s: Some(0.0),
+                ..ok.clone()
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(RagoError::InvalidConfig { .. })),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_with_full_budget_recovers_tiny_grid_exactly() {
+        let rago = case1();
+        let options = tiny_options();
+        let exhaustive = rago.optimize(&options).unwrap();
+        let config = StochasticConfig::default()
+            .with_seed(7)
+            .with_budget(64)
+            .with_workers(2);
+        let report = rago.optimize_stochastic(&options, &config).unwrap();
+        assert!(report.exhausted, "8-candidate space must be exhausted");
+        assert_eq!(report.frontier.points, exhaustive.points);
+    }
+
+    #[test]
+    fn no_feasible_schedule_is_reported() {
+        let rago = Rago::new(
+            presets::case1_hyperscale(LlmSize::B405, 1),
+            ClusterSpec::paper_default(),
+        )
+        .with_budget(rago_hardware::ResourceBudget::new(2, 32));
+        let options = SearchOptions {
+            xpu_steps: vec![1],
+            ..tiny_options()
+        };
+        let err = rago
+            .optimize_stochastic(&options, &StochasticConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, RagoError::NoFeasibleSchedule { .. }));
+    }
+
+    #[test]
+    fn optimize_with_mode_dispatches_both_paths() {
+        let rago = case1();
+        let options = tiny_options();
+        let exhaustive = rago
+            .optimize_with_mode(&options, &SearchMode::Exhaustive)
+            .unwrap();
+        assert_eq!(exhaustive, rago.optimize(&options).unwrap());
+        let stochastic = rago
+            .optimize_with_mode(
+                &options,
+                &SearchMode::Stochastic(StochasticConfig::default().with_budget(64)),
+            )
+            .unwrap();
+        assert_eq!(stochastic.points, exhaustive.points);
+    }
+}

@@ -1,0 +1,165 @@
+//! Equivalence and reproducibility suite for the anytime stochastic search.
+//!
+//! On a grid the budget can exhaust, the stochastic search must recover the
+//! exhaustive Pareto frontier **bit-identically** — same points, same
+//! schedules, same tie representatives — for any worker count and any seed
+//! (the deterministic fallback scan guarantees full coverage; the
+//! identity-key tie-break makes the frontier a function of the candidate
+//! *set* alone). And for one seed, two runs must produce bit-identical
+//! reports regardless of thread timing.
+
+use rago_core::{Rago, SearchMode, SearchOptions, StochasticConfig, StochasticSearchReport};
+use rago_hardware::ClusterSpec;
+use rago_schema::presets::{self, LlmSize};
+
+fn paper_rago() -> Rago {
+    Rago::new(
+        presets::case1_hyperscale(LlmSize::B8, 1),
+        ClusterSpec::paper_default(),
+    )
+}
+
+/// The paper's case-1 grid (`SearchOptions::paper_default()`) is small
+/// enough to exhaust in tests.
+fn paper_grid_config(seed: u64, workers: usize) -> StochasticConfig {
+    StochasticConfig::default()
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_budget(8192)
+}
+
+/// Everything in a report except the wall-clock fields, so two runs can be
+/// compared bit-for-bit on the reproducible surface.
+type ReproducibleSurface<'a> = (
+    &'a rago_core::ParetoFrontier,
+    usize,
+    usize,
+    usize,
+    u128,
+    bool,
+    Vec<(usize, &'a rago_core::ParetoFrontier)>,
+);
+
+fn reproducible_surface(report: &StochasticSearchReport) -> ReproducibleSurface<'_> {
+    (
+        &report.frontier,
+        report.evaluations,
+        report.feasible_evaluations,
+        report.rounds,
+        report.space_size,
+        report.exhausted,
+        report
+            .timeline
+            .iter()
+            .map(|s| (s.evaluations, &s.frontier))
+            .collect(),
+    )
+}
+
+#[test]
+fn recovers_exhaustive_frontier_across_workers_and_seeds() {
+    let rago = paper_rago();
+    let options = SearchOptions::paper_default();
+    let exhaustive = rago.optimize(&options).unwrap();
+    let space = rago.schedule_space(&options);
+    assert!(
+        space.size() <= 8192,
+        "budget must cover the grid for the exhaustion guarantee ({})",
+        space.size()
+    );
+    for workers in [1usize, 2, 4] {
+        for seed in [1u64, 2, 3] {
+            let report = rago
+                .optimize_stochastic(&options, &paper_grid_config(seed, workers))
+                .unwrap();
+            assert!(
+                report.exhausted,
+                "seed {seed} workers {workers}: grid not exhausted after {} evaluations",
+                report.evaluations
+            );
+            // Bit-identical frontier: same (ttft, qps) points AND the same
+            // schedule representing every exact performance tie.
+            assert_eq!(
+                report.frontier.points, exhaustive.points,
+                "seed {seed} workers {workers} diverged from the exhaustive frontier"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_is_bit_reproducible_for_any_worker_count() {
+    let rago = paper_rago();
+    let options = SearchOptions::paper_default();
+    let baseline = rago
+        .optimize_stochastic(&options, &paper_grid_config(42, 1))
+        .unwrap();
+    for workers in [1usize, 2, 4] {
+        let run = rago
+            .optimize_stochastic(&options, &paper_grid_config(42, workers))
+            .unwrap();
+        assert_eq!(
+            reproducible_surface(&run),
+            reproducible_surface(&baseline),
+            "workers {workers} changed the reproducible surface"
+        );
+    }
+}
+
+#[test]
+fn truncated_budgets_are_anytime_and_monotone() {
+    let rago = paper_rago();
+    let options = SearchOptions::paper_default();
+    let exhaustive = rago.optimize(&options).unwrap();
+    // A budget far below the grid still yields a usable frontier and a
+    // monotone anytime timeline.
+    let config = StochasticConfig::default()
+        .with_seed(9)
+        .with_workers(2)
+        .with_budget(600);
+    let report = rago.optimize_stochastic(&options, &config).unwrap();
+    assert!(!report.exhausted);
+    assert!(report.evaluations <= 600 + config.beam_width * config.descent_evaluations);
+    assert!(!report.frontier.points.is_empty());
+    assert!(!report.timeline.is_empty());
+    // The last checkpoint is the returned frontier.
+    assert_eq!(
+        report.timeline.last().unwrap().frontier.points,
+        report.frontier.points
+    );
+    // Hypervolume against a fixed reference never decreases along the
+    // timeline: later checkpoints know a superset of the candidates.
+    let ttft_ref = 2.0
+        * exhaustive
+            .points
+            .iter()
+            .map(|p| p.performance.ttft_s)
+            .fold(0.0f64, f64::max);
+    let mut last_hv = 0.0;
+    for sample in &report.timeline {
+        let hv = sample.frontier.hypervolume(ttft_ref, 0.0);
+        assert!(
+            hv >= last_hv - 1e-12,
+            "hypervolume regressed along the timeline: {hv} < {last_hv}"
+        );
+        last_hv = hv;
+    }
+    // And the exhausted run's hypervolume is the ceiling.
+    assert!(last_hv <= exhaustive.hypervolume(ttft_ref, 0.0) + 1e-12);
+}
+
+#[test]
+fn search_mode_facade_matches_direct_calls() {
+    let rago = paper_rago();
+    let options = SearchOptions::paper_default();
+    let exhaustive = rago
+        .optimize_with_mode(&options, &SearchMode::Exhaustive)
+        .unwrap();
+    assert_eq!(exhaustive, rago.optimize(&options).unwrap());
+    let stochastic = rago
+        .optimize_with_mode(&options, &SearchMode::Stochastic(paper_grid_config(5, 2)))
+        .unwrap();
+    // Frontier-only comparison: the report's `evaluated_schedules` counts
+    // differ between modes (the exhaustive path streams the whole grid).
+    assert_eq!(stochastic.points, exhaustive.points);
+}

@@ -199,16 +199,49 @@ pub(crate) fn run_disagg(
     cache: Option<&CacheConfig>,
     crashes: &[PoolCrash],
 ) -> Result<DisaggReport, RagoError> {
+    run_disagg_recorded(
+        profiler,
+        schedule,
+        fleet,
+        trace,
+        cache,
+        crashes,
+        &rago_telemetry::TelemetryConfig::disabled(),
+        &mut rago_telemetry::NullRecorder,
+    )
+}
+
+/// [`run_disagg`] recording a trace into `rec` (bit-identical outcome for
+/// any recorder; `telemetry` only sets the derived-gauge cadence).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_disagg_recorded<R: rago_telemetry::Recorder>(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    cache: Option<&CacheConfig>,
+    crashes: &[PoolCrash],
+    telemetry: &rago_telemetry::TelemetryConfig,
+    rec: &mut R,
+) -> Result<DisaggReport, RagoError> {
     schedule.validate()?;
     check_disagg_fleet(fleet, crashes)?;
     reject_empty_trace(trace)?;
     let (prefill_spec, decode_spec) = split_pipeline_spec(profiler, schedule, cache)?;
     let mut engine = DisaggEngine::from_fleet(prefill_spec, decode_spec, fleet, fleet.transfer)
-        .expect("check_disagg_fleet verified the pool pair");
+        .expect("check_disagg_fleet verified the pool pair")
+        .with_telemetry(telemetry.clone());
     if !crashes.is_empty() {
         engine = engine.with_faults(crashes.to_vec());
     }
-    Ok(engine.run_trace(trace))
+    Ok(engine.run_traced(
+        trace
+            .requests
+            .iter()
+            .map(rago_serving_sim::engine::EngineRequest::from)
+            .collect(),
+        rec,
+    ))
 }
 
 /// Scores a finished disaggregated run against `slo` with per-chip

@@ -105,6 +105,67 @@ pub fn evaluate_schedule_dynamic_with(
     ))
 }
 
+/// [`evaluate_schedule_dynamic_with`] recording a telemetry trace into
+/// `rec`: the engine run is bit-identical to the untraced path for any
+/// recorder (with [`rago_telemetry::NullRecorder`] the hooks compile to
+/// nothing), and the profiler's memoization counters are appended as
+/// Profile-lane counters after the run. `telemetry` only sets the derived
+/// gauge cadence — event *filtering* is the recorder's concern.
+///
+/// # Errors
+///
+/// As [`evaluate_schedule_dynamic_with`].
+pub fn evaluate_schedule_dynamic_traced<R: rago_telemetry::Recorder>(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    trace: &Trace,
+    slo: &SloTarget,
+    mode: &MetricsMode,
+    telemetry: &rago_telemetry::TelemetryConfig,
+    rec: &mut R,
+) -> Result<DynamicEvaluation, RagoError> {
+    schedule.validate()?;
+    reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
+    let spec = pipeline_spec(profiler, schedule)?;
+    let engine = ServingEngine::from_trace(spec, trace).with_telemetry(telemetry.clone());
+    let eval = score_single(engine.run_traced(mode, rec), slo);
+    record_profiler_memo(profiler, rec, eval.report.metrics.makespan_s);
+    Ok(eval)
+}
+
+/// Appends the profiler's lifetime memoization counters to a trace as
+/// Profile-lane counters on the fleet track, using the same `sim.*` names
+/// as [`rago_telemetry::SimProfile`]. Compiles to nothing for a
+/// [`rago_telemetry::NullRecorder`].
+pub fn record_profiler_memo<R: rago_telemetry::Recorder>(
+    profiler: &StageProfiler,
+    rec: &mut R,
+    time_s: f64,
+) {
+    if !R::ENABLED {
+        return;
+    }
+    use rago_telemetry::{Lane, TraceEvent, FLEET_TRACK};
+    let (hits, misses) = profiler.memo_stats();
+    let total = hits + misses;
+    if total == 0 {
+        return;
+    }
+    let mut emit = |name: &str, value: f64| {
+        rec.record(TraceEvent::counter(
+            time_s,
+            FLEET_TRACK,
+            Lane::Profile,
+            name,
+            value,
+        ));
+    };
+    emit("sim.profiler_memo_hits", hits as f64);
+    emit("sim.profiler_memo_misses", misses as f64);
+    emit("sim.profiler_memo_hit_rate", hits as f64 / total as f64);
+}
+
 /// Rejects a streaming mode whose configured run-level SLO differs from the
 /// SLO the evaluation scores against. The histogram sink counts attainment
 /// *during* the run; querying a different SLO afterwards is unanswerable
@@ -264,6 +325,71 @@ pub fn evaluate_fleet_dynamic_with(
     Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
 }
 
+/// [`evaluate_fleet_dynamic_with`] recording a telemetry trace into `rec`
+/// (see [`evaluate_schedule_dynamic_traced`] for the tracing semantics).
+/// Disaggregated pool fleets trace through
+/// [`rago_serving_sim::pools::DisaggEngine`] with prefill replicas on
+/// tracks `0..P` and decode replicas on `P..P+D`.
+///
+/// # Errors
+///
+/// As [`evaluate_fleet_dynamic_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_fleet_dynamic_traced<R: rago_telemetry::Recorder>(
+    profiler: &StageProfiler,
+    schedule: &Schedule,
+    fleet: &FleetConfig,
+    trace: &Trace,
+    slo: &SloTarget,
+    mode: &MetricsMode,
+    telemetry: &rago_telemetry::TelemetryConfig,
+    rec: &mut R,
+) -> Result<FleetEvaluation, RagoError> {
+    schedule.validate()?;
+    fleet.validate().map_err(|e| RagoError::InvalidConfig {
+        reason: e.to_string(),
+    })?;
+    reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
+    if fleet.is_disaggregated() {
+        if !matches!(mode, MetricsMode::Exact) {
+            return Err(RagoError::InvalidConfig {
+                reason: "streaming metrics are not supported for disaggregated pool fleets; \
+                         score the exact merged report instead"
+                    .into(),
+            });
+        }
+        let report = crate::disagg::run_disagg_recorded(
+            profiler,
+            schedule,
+            fleet,
+            trace,
+            None,
+            &[],
+            telemetry,
+            rec,
+        )?;
+        let eval = crate::disagg::score_disagg(report, schedule, slo);
+        record_profiler_memo(profiler, rec, eval.report.merged.metrics.makespan_s);
+        return Ok(crate::disagg::to_fleet_evaluation(&eval));
+    }
+    let router = match fleet.pools.as_slice() {
+        [only] => only.router,
+        _ => fleet.router,
+    };
+    let spec = pipeline_spec(profiler, schedule)?;
+    let engine = ClusterEngine::homogeneous(spec, fleet.replicas as usize, router)
+        .with_telemetry(telemetry.clone());
+    let requests = trace
+        .requests
+        .iter()
+        .map(rago_serving_sim::engine::EngineRequest::from)
+        .collect();
+    let eval = score_fleet(engine.run_traced(requests, mode, rec), slo);
+    record_profiler_memo(profiler, rec, eval.report.merged.metrics.makespan_s);
+    Ok(eval)
+}
+
 /// A heterogeneous fleet: one (possibly different) schedule per replica —
 /// e.g. serving two Pareto-frontier schedules side by side.
 ///
@@ -319,6 +445,47 @@ pub fn evaluate_heterogeneous_fleet_dynamic_with(
     }
     let engine = ClusterEngine::heterogeneous(specs, router);
     Ok(score_fleet(engine.run_trace_with_mode(trace, mode), slo))
+}
+
+/// [`evaluate_heterogeneous_fleet_dynamic_with`] recording a telemetry
+/// trace into `rec` (see [`evaluate_schedule_dynamic_traced`] for the
+/// tracing semantics).
+///
+/// # Errors
+///
+/// As [`evaluate_heterogeneous_fleet_dynamic_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_heterogeneous_fleet_dynamic_traced<R: rago_telemetry::Recorder>(
+    profiler: &StageProfiler,
+    schedules: &[Schedule],
+    router: RouterPolicy,
+    trace: &Trace,
+    slo: &SloTarget,
+    mode: &MetricsMode,
+    telemetry: &rago_telemetry::TelemetryConfig,
+    rec: &mut R,
+) -> Result<FleetEvaluation, RagoError> {
+    if schedules.is_empty() {
+        return Err(RagoError::InvalidConfig {
+            reason: "a heterogeneous fleet needs at least one schedule".into(),
+        });
+    }
+    reject_empty_trace(trace)?;
+    check_mode_slo(mode, slo)?;
+    let mut specs = Vec::with_capacity(schedules.len());
+    for schedule in schedules {
+        schedule.validate()?;
+        specs.push(pipeline_spec(profiler, schedule)?);
+    }
+    let engine = ClusterEngine::heterogeneous(specs, router).with_telemetry(telemetry.clone());
+    let requests = trace
+        .requests
+        .iter()
+        .map(rago_serving_sim::engine::EngineRequest::from)
+        .collect();
+    let eval = score_fleet(engine.run_traced(requests, mode, rec), slo);
+    record_profiler_memo(profiler, rec, eval.report.merged.metrics.makespan_s);
+    Ok(eval)
 }
 
 /// Scores a finished fleet run against `slo`. Shared with

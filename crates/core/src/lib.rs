@@ -67,9 +67,11 @@ pub use disagg::{
     transfer_model_from_interconnect, DisaggChoice, DisaggEvaluation,
 };
 pub use dynamic::{
-    evaluate_fleet_dynamic, evaluate_fleet_dynamic_with, evaluate_heterogeneous_fleet_dynamic,
+    evaluate_fleet_dynamic, evaluate_fleet_dynamic_traced, evaluate_fleet_dynamic_with,
+    evaluate_heterogeneous_fleet_dynamic, evaluate_heterogeneous_fleet_dynamic_traced,
     evaluate_heterogeneous_fleet_dynamic_with, evaluate_schedule_dynamic,
-    evaluate_schedule_dynamic_with, rank_frontier_by_goodput, DynamicEvaluation, FleetEvaluation,
+    evaluate_schedule_dynamic_traced, evaluate_schedule_dynamic_with, rank_frontier_by_goodput,
+    record_profiler_memo, DynamicEvaluation, FleetEvaluation,
 };
 pub use error::RagoError;
 pub use faulted::{

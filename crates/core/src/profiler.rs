@@ -25,6 +25,7 @@ use rago_retrieval_sim::RetrievalSimulator;
 use rago_schema::{RagSchema, Stage};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// The profiled performance of one stage under a specific resource count and
@@ -65,6 +66,8 @@ pub struct StageProfiler {
     retrieval: RetrievalSimulator,
     cache: ProfileCache,
     memoize: bool,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
 }
 
 impl Clone for StageProfiler {
@@ -76,6 +79,8 @@ impl Clone for StageProfiler {
             retrieval: self.retrieval.clone(),
             cache: RwLock::new(self.cache.read().expect("profiler cache poisoned").clone()),
             memoize: self.memoize,
+            memo_hits: AtomicU64::new(self.memo_hits.load(Ordering::Relaxed)),
+            memo_misses: AtomicU64::new(self.memo_misses.load(Ordering::Relaxed)),
         }
     }
 }
@@ -91,6 +96,8 @@ impl StageProfiler {
             retrieval,
             cache: RwLock::new(HashMap::new()),
             memoize: true,
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +116,18 @@ impl StageProfiler {
     /// leverage.
     pub fn cached_profiles(&self) -> usize {
         self.cache.read().expect("profiler cache poisoned").len()
+    }
+
+    /// Lifetime memoization counters: `(hits, misses)`. A hit answers a
+    /// [`Self::profile`] call from the cache; a miss pays a cold cost-model
+    /// evaluation (with memoization disabled every call counts as a miss).
+    /// Counters are relaxed atomics — exact totals once the search threads
+    /// have joined, which is when the self-profiling report reads them.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The workload being profiled.
@@ -147,6 +166,7 @@ impl StageProfiler {
         batch: u32,
     ) -> Result<StagePerf, RagoError> {
         if !self.memoize {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
             return self.profile_uncached(stage, resources, batch);
         }
         if let Some(hit) = self
@@ -155,8 +175,10 @@ impl StageProfiler {
             .expect("profiler cache poisoned")
             .get(&(stage, resources, batch))
         {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
         let result = self.profile_uncached(stage, resources, batch);
         self.cache
             .write()

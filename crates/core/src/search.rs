@@ -539,6 +539,28 @@ pub struct StochasticSearchReport {
     /// reference point, `frontier.hypervolume(..)` over this timeline is
     /// non-decreasing.
     pub timeline: Vec<AnytimeSample>,
+    /// Novel candidate evaluations charged in each round, oldest first
+    /// (uniform + focussed + descent). Sums to `evaluations`.
+    pub round_evals: Vec<u64>,
+    /// Beam admissions in each round, oldest first: how many evaluated
+    /// candidates entered the survivor beam (displacing a weaker entry or
+    /// filling a free slot). A settling search trends toward zero churn.
+    pub beam_churn: Vec<u64>,
+}
+
+impl StochasticSearchReport {
+    /// The search's self-profiling counters in [`rago_telemetry::SimProfile`]
+    /// form: rounds completed, novel evaluations per round, and beam churn
+    /// per round (every other field is zero — merge with an engine-produced
+    /// profile via [`rago_telemetry::SimProfile::merge_from`] if desired).
+    pub fn sim_profile(&self) -> rago_telemetry::SimProfile {
+        rago_telemetry::SimProfile {
+            search_rounds: self.rounds as u64,
+            search_round_evals: self.round_evals.clone(),
+            search_beam_churn: self.beam_churn.clone(),
+            ..Default::default()
+        }
+    }
 }
 
 /// Splits a `u64` seed into an independent per-(round, stream) RNG.
@@ -699,10 +721,14 @@ pub fn run_stochastic(
     let mut scan_cursor: u128 = 0;
     let mut scanned: u128 = 0; // indices the fallback scan has consumed
     let mut timeline: Vec<AnytimeSample> = Vec::new();
+    let mut round_evals: Vec<u64> = Vec::new();
+    let mut beam_churn: Vec<u64> = Vec::new();
     let mut exhausted = space.size() == 0;
 
     while !exhausted && evaluations < config.max_evaluations {
         rounds += 1;
+        let round_start_evals = evaluations;
+        let mut round_churn = 0u64;
         let remaining = config.max_evaluations - evaluations;
         let target = config.round_evaluations.min(remaining);
 
@@ -811,7 +837,9 @@ pub fn run_stochastic(
             if let Some(perf) = perf {
                 feasible_evaluations += 1;
                 scores.insert(index, perf.qps_per_chip);
-                beam.report(index, perf.qps_per_chip, schedule.clone());
+                if beam.report(index, perf.qps_per_chip, schedule.clone()) {
+                    round_churn += 1;
+                }
                 accumulator.push(ParetoPoint {
                     schedule,
                     performance: perf,
@@ -884,7 +912,9 @@ pub fn run_stochastic(
                 if let Some(perf) = perf {
                     feasible_evaluations += 1;
                     scores.insert(index, perf.qps_per_chip);
-                    beam.report(index, perf.qps_per_chip, schedule.clone());
+                    if beam.report(index, perf.qps_per_chip, schedule.clone()) {
+                        round_churn += 1;
+                    }
                     accumulator.push(ParetoPoint {
                         schedule,
                         performance: perf,
@@ -900,6 +930,8 @@ pub fn run_stochastic(
             elapsed_s: start.elapsed().as_secs_f64(),
             frontier: accumulator.clone().into_frontier(),
         });
+        round_evals.push((evaluations - round_start_evals) as u64);
+        beam_churn.push(round_churn);
         if !had_batch && !descent_progress {
             // Nothing novel can be generated any more.
             exhausted = true;
@@ -923,6 +955,8 @@ pub fn run_stochastic(
         exhausted,
         elapsed_s: start.elapsed().as_secs_f64(),
         timeline,
+        round_evals,
+        beam_churn,
     })
 }
 

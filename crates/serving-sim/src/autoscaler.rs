@@ -64,8 +64,8 @@
 //! ```
 
 use crate::cluster::{
-    advance_all, merge_finished_replicas, merge_finished_replicas_streaming, route_pick,
-    FleetReport,
+    advance_all, merge_finished_replicas, merge_finished_replicas_streaming,
+    record_fleet_observability, route_pick, FleetReport, ReplicaObs,
 };
 use crate::engine::{EngineRequest, PipelineSpec, ReplicaSim};
 use crate::sink::MetricsMode;
@@ -316,6 +316,7 @@ pub struct AutoscaleEngine {
     router: RouterPolicy,
     policy: AutoscalerPolicy,
     parallel_advance: bool,
+    telemetry: rago_telemetry::TelemetryConfig,
 }
 
 impl AutoscaleEngine {
@@ -333,7 +334,17 @@ impl AutoscaleEngine {
             router,
             policy,
             parallel_advance: false,
+            telemetry: rago_telemetry::TelemetryConfig::disabled(),
         }
+    }
+
+    /// Sets the telemetry config used by [`Self::run_telemetry`] (and by
+    /// [`Self::run_traced`] for its gauge cadence). The untraced run paths
+    /// never consult it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: rago_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Advances replicas in parallel between routing points and policy
@@ -356,9 +367,10 @@ impl AutoscaleEngine {
     /// enabled only when the policy actually has an attainment trigger —
     /// it is the log's only consumer, and an untracked run should not
     /// retain per-request completion tuples.
-    fn new_sim(&self) -> ReplicaSim {
+    fn new_sim(&self, track_probes: bool) -> ReplicaSim {
         let mut sim = ReplicaSim::new(self.spec.clone());
         sim.track_completions = self.policy.attainment_trigger.is_some();
+        sim.track_probes = track_probes;
         sim
     }
 
@@ -405,15 +417,70 @@ impl AutoscaleEngine {
     /// replicas)`).
     pub fn run_with_mode(
         &self,
-        mut requests: Vec<EngineRequest>,
+        requests: Vec<EngineRequest>,
         mode: &MetricsMode,
     ) -> AutoscaleReport {
+        self.run_recorded(requests, mode, &mut rago_telemetry::NullRecorder)
+            .0
+    }
+
+    /// [`Self::run_with_mode`] recording a trace into `rec`: router picks
+    /// live during routing; scaling decisions (with the triggering metric
+    /// value), replica lifecycle instants, a routable-replica gauge, and
+    /// all the per-replica fleet observability of
+    /// [`crate::cluster::ClusterEngine::run_traced`] derived post-hoc. A
+    /// [`rago_telemetry::NullRecorder`] makes this exactly
+    /// [`Self::run_with_mode`].
+    pub fn run_traced<R: rago_telemetry::Recorder>(
+        &self,
+        requests: Vec<EngineRequest>,
+        mode: &MetricsMode,
+        rec: &mut R,
+    ) -> AutoscaleReport {
+        let (report, obs) = self.run_recorded(requests, mode, rec);
+        if R::ENABLED {
+            let end_s = report.fleet.merged.metrics.makespan_s;
+            record_fleet_observability(rec, &report.fleet, &obs, self.telemetry.gauge_cadence_s);
+            crate::telemetry::record_scaling_events(rec, &report.events);
+            crate::telemetry::record_replica_lifetimes(rec, &report.lifetimes);
+            crate::telemetry::record_routable_gauge(
+                rec,
+                &report.lifetimes,
+                self.telemetry.gauge_cadence_s,
+                end_s,
+            );
+        }
+        report
+    }
+
+    /// Convenience wrapper: [`Self::run_traced`] with a
+    /// [`rago_telemetry::TraceRecorder`] built from the engine's
+    /// [`Self::with_telemetry`] config.
+    pub fn run_telemetry(
+        &self,
+        requests: Vec<EngineRequest>,
+        mode: &MetricsMode,
+    ) -> (AutoscaleReport, rago_telemetry::TraceRecorder) {
+        let mut rec = rago_telemetry::TraceRecorder::new(self.telemetry.clone());
+        let report = self.run_traced(requests, mode, &mut rec);
+        (report, rec)
+    }
+
+    /// The shared elastic-fleet run body: routes, ticks the policy, drains,
+    /// and merges; the recorder sees router picks only (everything else is
+    /// derived from the returned ledgers).
+    fn run_recorded<R: rago_telemetry::Recorder>(
+        &self,
+        mut requests: Vec<EngineRequest>,
+        mode: &MetricsMode,
+        rec: &mut R,
+    ) -> (AutoscaleReport, Vec<ReplicaObs>) {
         crate::engine::sort_by_arrival(&mut requests);
         let log_assignments = matches!(mode, MetricsMode::Exact);
         let policy = &self.policy;
         let mut slots: Vec<Slot> = (0..policy.min_replicas)
             .map(|_| Slot {
-                sim: self.new_sim(),
+                sim: self.new_sim(R::ENABLED),
                 provisioned_s: 0.0,
                 routable_s: 0.0,
                 decommissioned_s: None,
@@ -453,6 +520,7 @@ impl AutoscaleEngine {
                     &mut last_action_s,
                     &mut peak_provisioned,
                     &mut min_provisioned,
+                    R::ENABLED,
                 );
             } else {
                 let req = requests[next_req];
@@ -485,6 +553,16 @@ impl AutoscaleEngine {
                     &req,
                 );
                 let replica = routable[pick];
+                if R::ENABLED {
+                    crate::telemetry::record_route_pick(
+                        rec,
+                        req.arrival_s,
+                        self.router,
+                        replica,
+                        &req,
+                        &slots[replica].sim,
+                    );
+                }
                 if log_assignments {
                     assignments.push((req.id, replica));
                 }
@@ -500,7 +578,7 @@ impl AutoscaleEngine {
             .map(|s| (s.provisioned_s, s.routable_s, s.decommissioned_s))
             .collect();
         let sims: Vec<ReplicaSim> = slots.into_iter().map(|s| s.sim).collect();
-        let fleet = match mode {
+        let (fleet, obs) = match mode {
             MetricsMode::Exact => {
                 merge_finished_replicas(sims, assigned_counts, assignments, self.router)
             }
@@ -537,14 +615,15 @@ impl AutoscaleEngine {
             });
         }
 
-        AutoscaleReport {
+        let report = AutoscaleReport {
             fleet,
             events,
             lifetimes,
             peak_provisioned,
             min_provisioned,
             replica_seconds,
-        }
+        };
+        (report, obs)
     }
 
     /// One policy evaluation at tick `now`: observe the routable replicas,
@@ -558,6 +637,7 @@ impl AutoscaleEngine {
         last_action_s: &mut f64,
         peak_provisioned: &mut u32,
         min_provisioned: &mut u32,
+        track_probes: bool,
     ) {
         let policy = &self.policy;
         let routable: Vec<usize> = slots
@@ -610,7 +690,7 @@ impl AutoscaleEngine {
         if (queue_trigger || attainment_trigger) && provisioned < policy.max_replicas {
             let replica = slots.len();
             slots.push(Slot {
-                sim: self.new_sim(),
+                sim: self.new_sim(track_probes),
                 provisioned_s: now,
                 routable_s: now + policy.warmup_s,
                 decommissioned_s: None,

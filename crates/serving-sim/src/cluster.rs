@@ -48,9 +48,10 @@
 //! ```
 
 use crate::engine::{
-    build_report, EngineRequest, PipelineSpec, ReplicaSim, RequestTimeline, ServingReport,
-    SimAccumulators,
+    build_report, CacheProbe, EngineRequest, PipelineSpec, ReplicaSim, RequestTimeline,
+    ServingReport, SimAccumulators,
 };
+use crate::equeue::EventQueueStats;
 use crate::sink::{HistogramSink, MetricsMode, StreamingConfig};
 use rago_schema::{RouterPolicy, SloTarget};
 use rago_workloads::Trace;
@@ -157,12 +158,24 @@ impl FleetReport {
     }
 }
 
+/// Observability state harvested from one drained replica: its cache-probe
+/// log and event-queue counters, captured just before the simulation is
+/// consumed. Zero-cost when tracing is off — probes are only collected
+/// when the replica's `track_probes` flag was set.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReplicaObs {
+    pub(crate) replica: usize,
+    pub(crate) probes: Vec<CacheProbe>,
+    pub(crate) equeue: EventQueueStats,
+}
+
 /// A fleet of pipeline replicas behind a router. See the module docs.
 #[derive(Debug, Clone)]
 pub struct ClusterEngine {
     replicas: Vec<PipelineSpec>,
     router: RouterPolicy,
     parallel_advance: bool,
+    telemetry: rago_telemetry::TelemetryConfig,
 }
 
 impl ClusterEngine {
@@ -177,6 +190,7 @@ impl ClusterEngine {
             replicas: vec![spec; replicas],
             router,
             parallel_advance: false,
+            telemetry: rago_telemetry::TelemetryConfig::disabled(),
         }
     }
 
@@ -192,7 +206,17 @@ impl ClusterEngine {
             replicas,
             router,
             parallel_advance: false,
+            telemetry: rago_telemetry::TelemetryConfig::disabled(),
         }
+    }
+
+    /// Sets the telemetry config used by [`Self::run_telemetry`] (and by
+    /// [`Self::run_traced`] for its gauge cadence). The untraced run paths
+    /// never consult it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: rago_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Advances replicas in parallel between routing points (off by
@@ -245,8 +269,9 @@ impl ClusterEngine {
     /// Panics if any arrival time is negative or non-finite, or any request
     /// generates zero tokens.
     pub fn run(&self, requests: Vec<EngineRequest>) -> FleetReport {
-        let (sims, assigned_counts, assignments) = self.route_all(requests);
-        merge_finished_replicas(sims, assigned_counts, assignments, self.router)
+        let (sims, assigned_counts, assignments) =
+            self.route_all(requests, &mut rago_telemetry::NullRecorder);
+        merge_finished_replicas(sims, assigned_counts, assignments, self.router).0
     }
 
     /// [`Self::run`] with an explicit metrics pipeline.
@@ -260,24 +285,73 @@ impl ClusterEngine {
         match mode {
             MetricsMode::Exact => self.run(requests),
             MetricsMode::Streaming(config) => {
-                let (sims, assigned_counts, _) = self.route_all(requests);
-                merge_finished_replicas_streaming(sims, assigned_counts, self.router, config)
+                let (sims, assigned_counts, _) =
+                    self.route_all(requests, &mut rago_telemetry::NullRecorder);
+                merge_finished_replicas_streaming(sims, assigned_counts, self.router, config).0
             }
         }
     }
 
+    /// [`Self::run_with_mode`] recording a trace into `rec`: router picks
+    /// (with the chosen replica's load as the "why") live during routing,
+    /// and per-replica request spans, cache probes, load gauges (at the
+    /// [`Self::with_telemetry`] cadence) and self-profiling counters
+    /// derived post-hoc in replica order. A
+    /// [`rago_telemetry::NullRecorder`] makes this exactly
+    /// [`Self::run_with_mode`].
+    pub fn run_traced<R: rago_telemetry::Recorder>(
+        &self,
+        requests: Vec<EngineRequest>,
+        mode: &MetricsMode,
+        rec: &mut R,
+    ) -> FleetReport {
+        let (sims, assigned_counts, assignments) = self.route_all(requests, rec);
+        let (report, obs) = match mode {
+            MetricsMode::Exact => {
+                merge_finished_replicas(sims, assigned_counts, assignments, self.router)
+            }
+            MetricsMode::Streaming(config) => {
+                merge_finished_replicas_streaming(sims, assigned_counts, self.router, config)
+            }
+        };
+        if R::ENABLED {
+            record_fleet_observability(rec, &report, &obs, self.telemetry.gauge_cadence_s);
+        }
+        report
+    }
+
+    /// Convenience wrapper: [`Self::run_traced`] with a
+    /// [`rago_telemetry::TraceRecorder`] built from the engine's
+    /// [`Self::with_telemetry`] config.
+    pub fn run_telemetry(
+        &self,
+        requests: Vec<EngineRequest>,
+        mode: &MetricsMode,
+    ) -> (FleetReport, rago_telemetry::TraceRecorder) {
+        let mut rec = rago_telemetry::TraceRecorder::new(self.telemetry.clone());
+        let report = self.run_traced(requests, mode, &mut rec);
+        (report, rec)
+    }
+
     /// The routing loop shared by every run mode: advances all replicas to
     /// each arrival (serially, or in parallel when
-    /// [`Self::with_parallel_advance`] is set), routes, and injects.
-    fn route_all(
+    /// [`Self::with_parallel_advance`] is set), routes, and injects. The
+    /// recorder sees one decision event per pick; it never influences the
+    /// pick.
+    fn route_all<R: rago_telemetry::Recorder>(
         &self,
         mut requests: Vec<EngineRequest>,
+        rec: &mut R,
     ) -> (Vec<ReplicaSim>, Vec<usize>, Vec<(u64, usize)>) {
         crate::engine::sort_by_arrival(&mut requests);
         let mut sims: Vec<ReplicaSim> = self
             .replicas
             .iter()
-            .map(|spec| ReplicaSim::new(spec.clone()))
+            .map(|spec| {
+                let mut sim = ReplicaSim::new(spec.clone());
+                sim.track_probes = R::ENABLED;
+                sim
+            })
             .collect();
         let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
         let mut assigned_counts = vec![0usize; sims.len()];
@@ -292,12 +366,60 @@ impl ClusterEngine {
                 &mut round_robin_next,
                 req,
             );
+            if R::ENABLED {
+                crate::telemetry::record_route_pick(
+                    rec,
+                    req.arrival_s,
+                    self.router,
+                    replica,
+                    req,
+                    &sims[replica],
+                );
+            }
             assignments.push((req.id, replica));
             assigned_counts[replica] += 1;
             sims[replica].inject(*req);
         }
         (sims, assigned_counts, assignments)
     }
+}
+
+/// Shared post-hoc derivation over a finished fleet: per-replica spans,
+/// probes, gauges and profile counters, walked in replica-index order so
+/// the event stream is deterministic on any worker count.
+pub(crate) fn record_fleet_observability<R: rago_telemetry::Recorder>(
+    rec: &mut R,
+    report: &FleetReport,
+    obs: &[ReplicaObs],
+    gauge_cadence_s: f64,
+) {
+    if !R::ENABLED {
+        return;
+    }
+    let end_s = report.merged.metrics.makespan_s;
+    for rr in &report.per_replica {
+        let track = rr.replica as u32;
+        crate::telemetry::record_request_spans(rec, track, &rr.report.timelines);
+        crate::telemetry::record_load_gauges(
+            rec,
+            track,
+            &rr.report.timelines,
+            gauge_cadence_s,
+            end_s,
+        );
+    }
+    let mut profile = rago_telemetry::SimProfile::default();
+    for (i, ob) in obs.iter().enumerate() {
+        crate::telemetry::record_cache_probes(rec, ob.replica as u32, &ob.probes);
+        let events = report
+            .per_replica
+            .get(i)
+            .map_or(0, |rr| rr.report.metrics.events_processed);
+        profile.merge_from(&crate::telemetry::profile_from_stats(
+            &ob.equeue, events, end_s,
+        ));
+    }
+    profile.record_into(rec, end_s, rago_telemetry::FLEET_TRACK);
 }
 
 /// Advances every replica to just before `arrival_s`. The replicas share no
@@ -337,7 +459,7 @@ pub(crate) fn merge_finished_replicas(
     assigned_counts: Vec<usize>,
     assignments: Vec<(u64, usize)>,
     router: RouterPolicy,
-) -> FleetReport {
+) -> (FleetReport, Vec<ReplicaObs>) {
     // The drain is the expensive leg (each replica runs its remaining
     // events to completion with no further routing interaction), so it runs
     // in parallel and the results are re-ordered by replica index before
@@ -345,9 +467,10 @@ pub(crate) fn merge_finished_replicas(
     // report bit-identical to a serial drain.
     let drained = drain_replicas(sims);
     let mut per_replica = Vec::with_capacity(drained.len());
+    let mut obs = Vec::with_capacity(drained.len());
     let mut merged_timelines = Vec::with_capacity(assignments.len());
     let mut merged_acc = SimAccumulators::default();
-    for (replica, timelines, acc) in drained {
+    for (replica, timelines, acc, ob) in drained {
         merged_timelines.extend(timelines.iter().cloned());
         merged_acc.merge_from(&acc);
         per_replica.push(ReplicaReport {
@@ -355,25 +478,34 @@ pub(crate) fn merge_finished_replicas(
             assigned: assigned_counts[replica],
             report: build_report(timelines, &acc),
         });
+        obs.push(ob);
     }
     merged_timelines.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
-    FleetReport {
+    let report = FleetReport {
         merged: build_report(merged_timelines, &merged_acc),
         per_replica,
         assignments,
         imbalance: LoadImbalance::from_counts(assigned_counts),
         router,
-    }
+    };
+    (report, obs)
 }
 
 /// Runs every replica to completion and returns `(replica index, timelines,
-/// accumulators)` sorted by replica index — in parallel for a multi-replica
-/// fleet, serially otherwise.
-fn drain_replicas(sims: Vec<ReplicaSim>) -> Vec<(usize, Vec<RequestTimeline>, SimAccumulators)> {
+/// accumulators, observability)` sorted by replica index — in parallel for
+/// a multi-replica fleet, serially otherwise.
+fn drain_replicas(
+    sims: Vec<ReplicaSim>,
+) -> Vec<(usize, Vec<RequestTimeline>, SimAccumulators, ReplicaObs)> {
     let drain = |(replica, mut sim): (usize, ReplicaSim)| {
         sim.run_to_completion();
+        let ob = ReplicaObs {
+            replica,
+            probes: sim.drain_probe_log(),
+            equeue: sim.equeue_stats(),
+        };
         let (timelines, acc) = sim.finish();
-        (replica, timelines, acc)
+        (replica, timelines, acc, ob)
     };
     let mut drained: Vec<_> = if sims.len() > 1 {
         sims.into_iter()
@@ -403,15 +535,20 @@ pub(crate) fn merge_finished_replicas_streaming(
     assigned_counts: Vec<usize>,
     router: RouterPolicy,
     config: &StreamingConfig,
-) -> FleetReport {
+) -> (FleetReport, Vec<ReplicaObs>) {
     let drain = |(replica, mut sim): (usize, ReplicaSim)| {
         sim.run_to_completion();
+        let ob = ReplicaObs {
+            replica,
+            probes: sim.drain_probe_log(),
+            equeue: sim.equeue_stats(),
+        };
         let mut sink = HistogramSink::new(config);
         sim.drain_outcomes(&mut sink);
         sink.acc = sim.into_accumulators();
-        (replica, sink)
+        (replica, sink, ob)
     };
-    let mut drained: Vec<(usize, HistogramSink)> = if sims.len() > 1 {
+    let mut drained: Vec<(usize, HistogramSink, ReplicaObs)> = if sims.len() > 1 {
         sims.into_iter()
             .enumerate()
             .par_bridge()
@@ -426,24 +563,27 @@ pub(crate) fn merge_finished_replicas_streaming(
     } else {
         sims.into_iter().enumerate().map(drain).collect()
     };
-    drained.sort_by_key(|(replica, _)| *replica);
+    drained.sort_by_key(|(replica, ..)| *replica);
     let mut merged = HistogramSink::new(config);
     let mut per_replica = Vec::with_capacity(drained.len());
-    for (replica, sink) in drained {
+    let mut obs = Vec::with_capacity(drained.len());
+    for (replica, sink, ob) in drained {
         merged.merge_from(&sink);
         per_replica.push(ReplicaReport {
             replica,
             assigned: assigned_counts[replica],
             report: sink.into_report(),
         });
+        obs.push(ob);
     }
-    FleetReport {
+    let report = FleetReport {
         merged: merged.into_report(),
         per_replica,
         assignments: Vec::new(),
         imbalance: LoadImbalance::from_counts(assigned_counts),
         router,
-    }
+    };
+    (report, obs)
 }
 
 /// Picks the replica for the next arrival among the `len` candidates

@@ -896,12 +896,35 @@ fn arrival_key_le(a: &EngineRequest, b: &EngineRequest) -> bool {
         .is_le()
 }
 
+/// One cache probe observed during a traced run: a retrieval-result
+/// lookup at request arrival, or a per-member prefix-KV access at
+/// micro-batch dispatch. Recorded only when probe tracking is enabled
+/// (traced runs); reading a cache never depends on the log, so traced and
+/// untraced runs stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheProbe {
+    /// When the probe happened (arrival time for retrieval probes,
+    /// dispatch time for prefix probes), in seconds.
+    pub time_s: f64,
+    /// The request id.
+    pub id: u64,
+    /// The request's workload class.
+    pub class: u32,
+    /// `true` for a prefix-KV probe, `false` for a retrieval-result probe.
+    pub prefix: bool,
+    /// Whether the probe hit.
+    pub hit: bool,
+    /// Prefix tokens served from cache (always 0 for retrieval probes).
+    pub hit_tokens: u32,
+}
+
 /// The request-level discrete-event serving engine. See the module
 /// documentation for the model.
 #[derive(Debug, Clone)]
 pub struct ServingEngine {
     spec: PipelineSpec,
     requests: Vec<EngineRequest>,
+    telemetry: rago_telemetry::TelemetryConfig,
 }
 
 impl ServingEngine {
@@ -924,7 +947,19 @@ impl ServingEngine {
             "every request must generate at least one token"
         );
         sort_by_arrival(&mut requests);
-        Self { spec, requests }
+        Self {
+            spec,
+            requests,
+            telemetry: rago_telemetry::TelemetryConfig::disabled(),
+        }
+    }
+
+    /// Sets the telemetry config consulted by the traced run paths
+    /// ([`Self::run_telemetry`], [`Self::run_traced`]). The untraced
+    /// [`Self::run`] / [`Self::run_with_mode`] never look at it.
+    pub fn with_telemetry(mut self, telemetry: rago_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Creates an engine driving every request of a generated trace.
@@ -967,6 +1002,70 @@ impl ServingEngine {
                 ServingReport::from_histogram_sink(sink)
             }
         }
+    }
+
+    /// Runs the simulation like [`Self::run_with_mode`], recording a trace
+    /// into `rec`. With a [`rago_telemetry::NullRecorder`] every hook is
+    /// statically dead and the run is the recorder-free run; with a live
+    /// recorder, per-request spans, cache probes, gauges (at the engine's
+    /// [`Self::with_telemetry`] cadence) and self-profiling counters are
+    /// derived from the run's ledgers in deterministic order. Spans and
+    /// gauges need retained timelines, so streaming-mode traces carry only
+    /// the probe instants and profile counters.
+    pub fn run_traced<R: rago_telemetry::Recorder>(
+        &self,
+        mode: &crate::sink::MetricsMode,
+        rec: &mut R,
+    ) -> ServingReport {
+        let mut sim = ReplicaSim::new(self.spec.clone());
+        sim.track_probes = R::ENABLED;
+        sim.inject_bulk(&self.requests);
+        sim.run_to_completion();
+        let probes = sim.drain_probe_log();
+        let equeue = sim.equeue_stats();
+        let report = match mode {
+            crate::sink::MetricsMode::Exact => {
+                let mut sink = crate::sink::ExactSink::new();
+                sim.drain_outcomes(&mut sink);
+                sink.acc = sim.into_accumulators();
+                ServingReport::from_exact_sink(sink)
+            }
+            crate::sink::MetricsMode::Streaming(config) => {
+                let mut sink = crate::sink::HistogramSink::new(config);
+                sim.drain_outcomes(&mut sink);
+                sink.acc = sim.into_accumulators();
+                ServingReport::from_histogram_sink(sink)
+            }
+        };
+        if R::ENABLED {
+            let end_s = report.metrics.makespan_s;
+            crate::telemetry::record_request_spans(rec, 0, &report.timelines);
+            crate::telemetry::record_cache_probes(rec, 0, &probes);
+            crate::telemetry::record_load_gauges(
+                rec,
+                0,
+                &report.timelines,
+                self.telemetry.gauge_cadence_s,
+                end_s,
+            );
+            crate::telemetry::profile_from_stats(&equeue, report.metrics.events_processed, end_s)
+                .record_into(rec, end_s, 0);
+        }
+        report
+    }
+
+    /// Convenience wrapper: runs with a [`rago_telemetry::TraceRecorder`]
+    /// built from the engine's [`Self::with_telemetry`] config and returns
+    /// it alongside the report, ready for
+    /// [`rago_telemetry::export_chrome_trace`] /
+    /// [`rago_telemetry::export_jsonl`].
+    pub fn run_telemetry(
+        &self,
+        mode: &crate::sink::MetricsMode,
+    ) -> (ServingReport, rago_telemetry::TraceRecorder) {
+        let mut rec = rago_telemetry::TraceRecorder::new(self.telemetry.clone());
+        let report = self.run_traced(mode, &mut rec);
+        (report, rec)
     }
 }
 
@@ -1314,6 +1413,16 @@ pub(crate) struct ReplicaSim {
     /// recent outcomes with a cursor instead of rescanning every request
     /// at every evaluation tick. Empty unless `track_completions` is set.
     completion_log: Vec<(f64, f64, f64)>,
+    /// Whether cache probes are appended to `probe_log`. Off by default —
+    /// same zero-cost-when-off contract as `track_completions`: only
+    /// traced runs pay for the log, and reading a cache never depends on
+    /// whether the probe was logged, so traced and untraced runs stay
+    /// bit-identical.
+    pub(crate) track_probes: bool,
+    /// Every cache probe in simulation order (retrieval-result probes at
+    /// arrival, prefix-KV probes at micro-batch dispatch). Empty unless
+    /// `track_probes` is set.
+    probe_log: Vec<CacheProbe>,
     /// `(ready_s, slot)` of every prefill handoff, in completion order —
     /// only a handoff-mode replica ([`PipelineSpec::handoff`]) records any.
     /// The pool engine drains it with [`ReplicaSim::take_handoffs`].
@@ -1372,6 +1481,8 @@ impl ReplicaSim {
             completed: 0,
             track_completions: false,
             completion_log: Vec::new(),
+            track_probes: false,
+            probe_log: Vec::new(),
             handoff_log: Vec::new(),
             handoff_cursor: 0,
             prefix_cache,
@@ -1463,6 +1574,18 @@ impl ReplicaSim {
         self.requests.len() - self.completed
     }
 
+    /// Snapshot of the event queue's internal work counters (for
+    /// [`crate::EventQueueStats`]-based self-profiling).
+    pub(crate) fn equeue_stats(&self) -> crate::equeue::EventQueueStats {
+        self.queue.stats()
+    }
+
+    /// Takes the cache-probe log recorded so far (empty unless
+    /// `track_probes` was set before the run).
+    pub(crate) fn drain_probe_log(&mut self) -> Vec<CacheProbe> {
+        std::mem::take(&mut self.probe_log)
+    }
+
     /// Requests waiting in a pre-decode stage queue or for decode admission
     /// (excludes requests currently in service).
     pub(crate) fn queued(&self) -> usize {
@@ -1532,7 +1655,7 @@ impl ReplicaSim {
     /// A hit marks the plan's retrieval stages for zero-duration
     /// pass-through; identity-free requests (or cache-less pipelines) are
     /// untouched.
-    fn lookup_retrieval_cache(&mut self, r: usize) {
+    fn lookup_retrieval_cache(&mut self, r: usize, t: f64) {
         let Some(cache) = self.retrieval_cache.as_mut() else {
             return;
         };
@@ -1543,6 +1666,16 @@ impl ReplicaSim {
         self.acc
             .cache
             .record_retrieval(self.requests[r].class, &lookup);
+        if self.track_probes {
+            self.probe_log.push(CacheProbe {
+                time_s: t,
+                id: self.requests[r].id,
+                class: self.requests[r].class,
+                prefix: false,
+                hit: lookup.hit,
+                hit_tokens: 0,
+            });
+        }
         if lookup.hit {
             self.arena.skip_retrieval[r] = true;
         }
@@ -1603,7 +1736,7 @@ impl ReplicaSim {
         match ev {
             Ev::Arrival(r) => {
                 let r = r as usize;
-                self.lookup_retrieval_cache(r);
+                self.lookup_retrieval_cache(r, t);
                 self.route_to_stage(r, 0, t);
             }
             Ev::StageDone { resource } => {
@@ -1726,7 +1859,7 @@ impl ReplicaSim {
                 self.arena.queueing_s[r] += now - self.arena.queue_entry_s[r];
             }
             let full = self.spec.stages[stage].latency.latency(take as u32);
-            let charged = self.charge_prefix_cache(stage, &members, full);
+            let charged = self.charge_prefix_cache(stage, &members, full, now);
             let latency = self.scaled(charged);
             self.resource_busy[resource] = true;
             self.stage_batches[resource].stage = stage as u32;
@@ -1749,7 +1882,7 @@ impl ReplicaSim {
     /// (they share the KV being computed). Returns `base` untouched when no
     /// tokens were served from cache, keeping identity-free and
     /// zero-capacity runs bit-identical to the cache-less path.
-    fn charge_prefix_cache(&mut self, stage: usize, members: &[u32], base: f64) -> f64 {
+    fn charge_prefix_cache(&mut self, stage: usize, members: &[u32], base: f64, now: f64) -> f64 {
         let prefix_stage = self.spec.cache.as_ref().and_then(|plan| plan.prefix_stage);
         if prefix_stage != Some(stage) {
             return base;
@@ -1767,6 +1900,16 @@ impl ReplicaSim {
                 let lookup = cache.access(identity.prefix_id, shared);
                 saved_tokens += u64::from(lookup.hit_tokens);
                 self.acc.cache.record_prefix(req.class, &lookup);
+                if self.track_probes {
+                    self.probe_log.push(CacheProbe {
+                        time_s: now,
+                        id: req.id,
+                        class: req.class,
+                        prefix: true,
+                        hit: lookup.hit,
+                        hit_tokens: lookup.hit_tokens,
+                    });
+                }
             }
         }
         if saved_tokens == 0 {

@@ -78,6 +78,12 @@ struct Calendar<E> {
     /// appends never move existing entries); invalidated by pops and
     /// rebuilds.
     cached_min: Option<(f64, u64, usize, usize)>,
+    /// Lifetime count of [`Calendar::rebuild`] calls (growth or width
+    /// re-estimation). Observability only — never read by the simulation.
+    rebuilds: u64,
+    /// Lifetime count of full-scan fallbacks in [`Calendar::ensure_min`]
+    /// (one empty revolution found nothing in-year). Observability only.
+    fallback_scans: u64,
 }
 
 impl<E: Copy> Calendar<E> {
@@ -89,6 +95,8 @@ impl<E: Copy> Calendar<E> {
             cur_top: 1.0,
             len: 0,
             cached_min: None,
+            rebuilds: 0,
+            fallback_scans: 0,
         }
     }
 
@@ -145,6 +153,7 @@ impl<E: Copy> Calendar<E> {
     /// Redistributes every entry over `new_buckets` slots with a width
     /// re-estimated from the live key span.
     fn rebuild(&mut self, new_buckets: usize) {
+        self.rebuilds += 1;
         let entries: Vec<Scheduled<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -249,6 +258,7 @@ impl<E: Copy> Calendar<E> {
         // One full revolution found nothing in-year: the live entries are
         // sparse and far ahead. Fall back to a direct scan for the global
         // minimum and jump the sweep there.
+        self.fallback_scans += 1;
         let mut best: Option<(f64, u64, usize, usize)> = None;
         for (b, bucket) in self.buckets.iter().enumerate() {
             for (pos, e) in bucket.iter().enumerate() {
@@ -271,6 +281,42 @@ fn key_cmp(t_a: f64, seq_a: u64, t_b: f64, seq_b: u64) -> Ordering {
     t_a.total_cmp(&t_b).then(seq_a.cmp(&seq_b))
 }
 
+/// Observability snapshot of one [`EventQueue`]'s internal work: per-lane
+/// pop counts, calendar maintenance counts, and the final calendar
+/// geometry. Pure counters — reading them never perturbs the simulation,
+/// so traced and untraced runs stay bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventQueueStats {
+    /// Events popped from the fault lane (class −1).
+    pub fault_pops: u64,
+    /// Events popped from the FIFO arrival lane (class 0).
+    pub arrival_pops: u64,
+    /// Events popped from the bucketed calendar lane (class 1).
+    pub scheduled_pops: u64,
+    /// Calendar bucket-array rebuilds (growth or width re-estimation).
+    pub rebuilds: u64,
+    /// Full-scan fallbacks after an empty calendar revolution.
+    pub fallback_scans: u64,
+    /// Current calendar bucket count.
+    pub buckets: u64,
+    /// Current calendar bucket width, in seconds.
+    pub width_s: f64,
+}
+
+impl EventQueueStats {
+    /// Accumulates another queue's stats (pop and maintenance counts add;
+    /// geometry keeps the maximum).
+    pub fn merge_from(&mut self, other: &EventQueueStats) {
+        self.fault_pops += other.fault_pops;
+        self.arrival_pops += other.arrival_pops;
+        self.scheduled_pops += other.scheduled_pops;
+        self.rebuilds += other.rebuilds;
+        self.fallback_scans += other.fallback_scans;
+        self.buckets = self.buckets.max(other.buckets);
+        self.width_s = self.width_s.max(other.width_s);
+    }
+}
+
 /// The engine's two-lane event queue: a FIFO arrival lane merged against a
 /// [`Calendar`] of scheduled completions. See the module docs for the
 /// ordering contract.
@@ -286,6 +332,10 @@ pub(crate) struct EventQueue<E> {
     /// position; the two lanes never compare sequence numbers against each
     /// other because the class decides same-instant ties).
     seq: u64,
+    /// Per-lane pop counters, for [`EventQueueStats`].
+    fault_pops: u64,
+    arrival_pops: u64,
+    scheduled_pops: u64,
 }
 
 impl<E: Copy> EventQueue<E> {
@@ -295,6 +345,22 @@ impl<E: Copy> EventQueue<E> {
             arrivals: VecDeque::new(),
             calendar: Calendar::new(),
             seq: 0,
+            fault_pops: 0,
+            arrival_pops: 0,
+            scheduled_pops: 0,
+        }
+    }
+
+    /// Snapshot of the queue's lifetime work counters.
+    pub(crate) fn stats(&self) -> EventQueueStats {
+        EventQueueStats {
+            fault_pops: self.fault_pops,
+            arrival_pops: self.arrival_pops,
+            scheduled_pops: self.scheduled_pops,
+            rebuilds: self.calendar.rebuilds,
+            fallback_scans: self.calendar.fallback_scans,
+            buckets: self.calendar.buckets.len() as u64,
+            width_s: self.calendar.width,
         }
     }
 
@@ -353,6 +419,7 @@ impl<E: Copy> EventQueue<E> {
             // Faults (class −1) win ties against every other lane.
             let rest = self.peek_rest();
             if rest.map_or(true, |tr| tf.total_cmp(&tr) != Ordering::Greater) {
+                self.fault_pops += 1;
                 return self.faults.pop_front();
             }
         }
@@ -368,11 +435,19 @@ impl<E: Copy> EventQueue<E> {
                 ta.total_cmp(&ts) != Ordering::Greater
             }
         };
-        if take_arrival {
+        let out = if take_arrival {
             self.arrivals.pop_front()
         } else {
             self.calendar.pop_min()
+        };
+        if out.is_some() {
+            if take_arrival {
+                self.arrival_pops += 1;
+            } else {
+                self.scheduled_pops += 1;
+            }
         }
+        out
     }
 
     /// Earliest time across the arrival and calendar lanes only.

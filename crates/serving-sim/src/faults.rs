@@ -892,6 +892,7 @@ pub struct ChaosEngine {
     crash_policy: CrashPolicy,
     admission: Option<AdmissionConfig>,
     parallel_advance: bool,
+    telemetry: rago_telemetry::TelemetryConfig,
 }
 
 impl ChaosEngine {
@@ -912,7 +913,17 @@ impl ChaosEngine {
             crash_policy: CrashPolicy::default(),
             admission: None,
             parallel_advance: false,
+            telemetry: rago_telemetry::TelemetryConfig::disabled(),
         }
+    }
+
+    /// Sets the telemetry config used by [`Self::run_telemetry`] (and by
+    /// [`Self::run_traced`] for its gauge cadence). The untraced run paths
+    /// never consult it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: rago_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Injects a fault schedule.
@@ -951,9 +962,10 @@ impl ChaosEngine {
         &self.driver
     }
 
-    fn new_sim(&self) -> ReplicaSim {
+    fn new_sim(&self, track_probes: bool) -> ReplicaSim {
         let mut sim = ReplicaSim::new(self.spec.clone());
         sim.track_completions = self.driver.track_completions();
+        sim.track_probes = track_probes;
         sim
     }
 
@@ -978,12 +990,69 @@ impl ChaosEngine {
     ///
     /// Panics if any arrival time is negative or non-finite, or any request
     /// generates zero tokens.
-    pub fn run(&self, mut requests: Vec<EngineRequest>) -> ChaosReport {
+    pub fn run(&self, requests: Vec<EngineRequest>) -> ChaosReport {
+        self.run_recorded(requests, &mut rago_telemetry::NullRecorder)
+            .0
+    }
+
+    /// [`Self::run`] recording a trace into `rec`: router picks (including
+    /// crash-requeue re-picks) live during routing; admission sheds, fault
+    /// disruptions, scaling decisions, replica lifecycle instants, and the
+    /// per-replica fleet observability derived post-hoc from the ledgers
+    /// the report already carries. A [`rago_telemetry::NullRecorder`]
+    /// makes this exactly [`Self::run`].
+    pub fn run_traced<R: rago_telemetry::Recorder>(
+        &self,
+        requests: Vec<EngineRequest>,
+        rec: &mut R,
+    ) -> ChaosReport {
+        let (report, obs) = self.run_recorded(requests, rec);
+        if R::ENABLED {
+            let end_s = report.fleet.merged.metrics.makespan_s;
+            crate::cluster::record_fleet_observability(
+                rec,
+                &report.fleet,
+                &obs,
+                self.telemetry.gauge_cadence_s,
+            );
+            crate::telemetry::record_scaling_events(rec, &report.events);
+            crate::telemetry::record_replica_lifetimes(rec, &report.lifetimes);
+            crate::telemetry::record_routable_gauge(
+                rec,
+                &report.lifetimes,
+                self.telemetry.gauge_cadence_s,
+                end_s,
+            );
+            crate::telemetry::record_shed_events(rec, &report.fault.shed_log);
+            crate::telemetry::record_disruptions(rec, &report.fault.disruptions);
+        }
+        report
+    }
+
+    /// Convenience wrapper: [`Self::run_traced`] with a
+    /// [`rago_telemetry::TraceRecorder`] built from the engine's
+    /// [`Self::with_telemetry`] config.
+    pub fn run_telemetry(
+        &self,
+        requests: Vec<EngineRequest>,
+    ) -> (ChaosReport, rago_telemetry::TraceRecorder) {
+        let mut rec = rago_telemetry::TraceRecorder::new(self.telemetry.clone());
+        let report = self.run_traced(requests, &mut rec);
+        (report, rec)
+    }
+
+    /// The shared chaos run body; the recorder sees router picks only
+    /// (everything else is derived from the returned ledgers).
+    fn run_recorded<R: rago_telemetry::Recorder>(
+        &self,
+        mut requests: Vec<EngineRequest>,
+        rec: &mut R,
+    ) -> (ChaosReport, Vec<crate::cluster::ReplicaObs>) {
         sort_by_arrival(&mut requests);
         let injected = requests.len();
         let initial = self.driver.initial_replicas();
         let mut slots: Vec<ChaosSlot> = (0..initial)
-            .map(|_| ChaosSlot::fresh(self.new_sim(), 0.0, 0.0))
+            .map(|_| ChaosSlot::fresh(self.new_sim(R::ENABLED), 0.0, 0.0))
             .collect();
         let mut events: Vec<ScalingEvent> = Vec::new();
         let mut assignments: Vec<(u64, usize)> = Vec::with_capacity(requests.len());
@@ -1031,7 +1100,7 @@ impl ChaosEngine {
             .collect();
         let mut next_seq = agenda.len() as u64;
         let mut pending: VecDeque<EngineRequest> = VecDeque::new();
-        let mut dead: BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)> = BTreeMap::new();
+        let mut dead: BTreeMap<usize, DeadReplica> = BTreeMap::new();
         let mut shed_total = 0usize;
         let mut shed_by_class: BTreeMap<u32, usize> = BTreeMap::new();
         let mut shed_log: Vec<ShedEvent> = Vec::new();
@@ -1109,6 +1178,7 @@ impl ChaosEngine {
                         &mut faults_applied,
                         &mut faults_skipped,
                         &mut disruptions,
+                        rec,
                     );
                 }
                 1 => {
@@ -1134,8 +1204,14 @@ impl ChaosEngine {
                         ) {
                             continue;
                         }
-                        let replica =
-                            self.route_into(&req, &routable, &slots, &mut round_robin_next);
+                        let replica = self.route_into(
+                            &req,
+                            now,
+                            &routable,
+                            &slots,
+                            &mut round_robin_next,
+                            rec,
+                        );
                         assignments.push((req.id, replica));
                         slots[replica].assigned += 1;
                         slots[replica]
@@ -1157,6 +1233,7 @@ impl ChaosEngine {
                             &mut last_action_s,
                             &mut peak_provisioned,
                             &mut min_provisioned,
+                            R::ENABLED,
                         );
                     }
                     ScaleDriver::Predictive(p) => {
@@ -1171,6 +1248,7 @@ impl ChaosEngine {
                             &mut events,
                             &mut peak_provisioned,
                             &mut min_provisioned,
+                            R::ENABLED,
                         );
                     }
                     ScaleDriver::Static { .. } => unreachable!("static drivers have no ticks"),
@@ -1191,8 +1269,14 @@ impl ChaosEngine {
                         &mut shed_by_class,
                         &mut shed_log,
                     ) {
-                        let replica =
-                            self.route_into(&req, &routable, &slots, &mut round_robin_next);
+                        let replica = self.route_into(
+                            &req,
+                            req.arrival_s,
+                            &routable,
+                            &slots,
+                            &mut round_robin_next,
+                            rec,
+                        );
                         assignments.push((req.id, replica));
                         slots[replica].assigned += 1;
                         slots[replica]
@@ -1262,6 +1346,14 @@ fn mean_queue_depth(slots: &[ChaosSlot], routable: &[usize]) -> f64 {
         / routable.len() as f64
 }
 
+/// A dead replica's parked results plus the observability harvested at its
+/// death instant.
+struct DeadReplica {
+    timelines: Vec<RequestTimeline>,
+    acc: SimAccumulators,
+    obs: crate::cluster::ReplicaObs,
+}
+
 struct FaultTally {
     injected: usize,
     shed_total: usize,
@@ -1310,13 +1402,16 @@ impl ChaosEngine {
     }
 
     /// Routes `req` over the routable candidates, returning the chosen slot
-    /// index.
-    fn route_into(
+    /// index. The recorder sees one decision event per pick; it never
+    /// influences the pick.
+    fn route_into<R: rago_telemetry::Recorder>(
         &self,
         req: &EngineRequest,
+        t: f64,
         routable: &[usize],
         slots: &[ChaosSlot],
         round_robin_next: &mut usize,
+        rec: &mut R,
     ) -> usize {
         let pick = route_pick(
             self.router,
@@ -1331,19 +1426,33 @@ impl ChaosEngine {
             round_robin_next,
             req,
         );
-        routable[pick]
+        let replica = routable[pick];
+        if R::ENABLED {
+            crate::telemetry::record_route_pick(
+                rec,
+                t,
+                self.router,
+                replica,
+                req,
+                slots[replica]
+                    .sim
+                    .as_ref()
+                    .expect("routable slots are alive"),
+            );
+        }
+        replica
     }
 
     /// Applies one fault-lane action at time `now`.
     #[allow(clippy::too_many_arguments)]
-    fn apply_action(
+    fn apply_action<R: rago_telemetry::Recorder>(
         &self,
         action: Action,
         now: f64,
         slots: &mut Vec<ChaosSlot>,
         agenda: &mut Vec<Agendum>,
         next_seq: &mut u64,
-        dead: &mut BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)>,
+        dead: &mut BTreeMap<usize, DeadReplica>,
         pending: &mut VecDeque<EngineRequest>,
         assignments: &mut Vec<(u64, usize)>,
         round_robin_next: &mut usize,
@@ -1354,6 +1463,7 @@ impl ChaosEngine {
         faults_applied: &mut usize,
         faults_skipped: &mut usize,
         disruptions: &mut Vec<Disruption>,
+        rec: &mut R,
     ) {
         match action {
             Action::Slowdown { slot, factor } => {
@@ -1388,6 +1498,7 @@ impl ChaosEngine {
                     min_provisioned,
                     failed,
                     retried,
+                    rec,
                 );
                 disruptions.push(Disruption {
                     time_s: now,
@@ -1446,13 +1557,14 @@ impl ChaosEngine {
                     min_provisioned,
                     failed,
                     retried,
+                    rec,
                 );
             }
             Action::Restart => {
                 // A cold replacement replica: same provisioning path as a
                 // scale-out (fresh caches, full warm-up).
                 slots.push(ChaosSlot::fresh(
-                    self.new_sim(),
+                    self.new_sim(R::ENABLED),
                     now,
                     now + self.driver.warmup_s(),
                 ));
@@ -1466,30 +1578,43 @@ impl ChaosEngine {
     /// the merge, its in-flight requests are re-queued or failed, and its
     /// chips are released.
     #[allow(clippy::too_many_arguments)]
-    fn kill_slot(
+    fn kill_slot<R: rago_telemetry::Recorder>(
         &self,
         slot: usize,
         now: f64,
         _kind: FaultKind,
         slots: &mut [ChaosSlot],
-        dead: &mut BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)>,
+        dead: &mut BTreeMap<usize, DeadReplica>,
         pending: &mut VecDeque<EngineRequest>,
         assignments: &mut Vec<(u64, usize)>,
         round_robin_next: &mut usize,
         min_provisioned: &mut u32,
         failed: &mut usize,
         retried: &mut usize,
+        rec: &mut R,
     ) {
         // Work completing strictly before the death instant survives; work
         // completing exactly at it is lost with the replica (the pinned
         // `advance_before` semantics).
         advance_live(slots, now, self.parallel_advance);
-        let sim = slots[slot]
+        let mut sim = slots[slot]
             .sim
             .take()
             .expect("kill_slot targets live slots");
+        let obs = crate::cluster::ReplicaObs {
+            replica: slot,
+            probes: sim.drain_probe_log(),
+            equeue: sim.equeue_stats(),
+        };
         let (timelines, in_flight, acc) = sim.dismantle();
-        dead.insert(slot, (timelines, acc));
+        dead.insert(
+            slot,
+            DeadReplica {
+                timelines,
+                acc,
+                obs,
+            },
+        );
         if slots[slot].decommissioned_s.is_none() {
             slots[slot].decommissioned_s = Some(now);
         }
@@ -1508,7 +1633,8 @@ impl ChaosEngine {
                         // Retries bypass admission — they were admitted
                         // once; TTFT keeps accruing from the original
                         // arrival.
-                        let replica = self.route_into(&req, &routable, slots, round_robin_next);
+                        let replica =
+                            self.route_into(&req, now, &routable, slots, round_robin_next, rec);
                         assignments.push((req.id, replica));
                         slots[replica].assigned += 1;
                         slots[replica]
@@ -1534,6 +1660,7 @@ impl ChaosEngine {
         last_action_s: &mut f64,
         peak_provisioned: &mut u32,
         min_provisioned: &mut u32,
+        track_probes: bool,
     ) {
         let routable = routable_indices(slots, now);
         let provisioned = provisioned_count(slots);
@@ -1586,7 +1713,11 @@ impl ChaosEngine {
 
         if (queue_trigger || attainment_trigger) && provisioned < policy.max_replicas {
             let replica = slots.len();
-            slots.push(ChaosSlot::fresh(self.new_sim(), now, now + policy.warmup_s));
+            slots.push(ChaosSlot::fresh(
+                self.new_sim(track_probes),
+                now,
+                now + policy.warmup_s,
+            ));
             *last_action_s = now;
             *peak_provisioned = (*peak_provisioned).max(provisioned + 1);
             events.push(ScalingEvent {
@@ -1643,6 +1774,7 @@ impl ChaosEngine {
         events: &mut Vec<ScalingEvent>,
         peak_provisioned: &mut u32,
         min_provisioned: &mut u32,
+        track_probes: bool,
     ) {
         let routable = routable_indices(slots, now);
         let mean_queue_depth = if routable.is_empty() {
@@ -1680,7 +1812,11 @@ impl ChaosEngine {
         let mut routable_now = routable.len() as u32;
         while provisioned < target {
             let replica = slots.len();
-            slots.push(ChaosSlot::fresh(self.new_sim(), now, now + warmup_s));
+            slots.push(ChaosSlot::fresh(
+                self.new_sim(track_probes),
+                now,
+                now + warmup_s,
+            ));
             provisioned += 1;
             if warmup_s <= 0.0 {
                 routable_now += 1;
@@ -1741,13 +1877,13 @@ impl ChaosEngine {
     fn finish_run(
         &self,
         mut slots: Vec<ChaosSlot>,
-        dead: BTreeMap<usize, (Vec<RequestTimeline>, SimAccumulators)>,
+        dead: BTreeMap<usize, DeadReplica>,
         assignments: Vec<(u64, usize)>,
         events: Vec<ScalingEvent>,
         peak_provisioned: u32,
         min_provisioned: u32,
         tally: FaultTally,
-    ) -> ChaosReport {
+    ) -> (ChaosReport, Vec<crate::cluster::ReplicaObs>) {
         let assigned_counts: Vec<usize> = slots.iter().map(|s| s.assigned).collect();
         let alive: Vec<(usize, ReplicaSim)> = slots
             .iter_mut()
@@ -1756,10 +1892,21 @@ impl ChaosEngine {
             .collect();
         let drain = |(replica, mut sim): (usize, ReplicaSim)| {
             sim.run_to_completion();
+            let obs = crate::cluster::ReplicaObs {
+                replica,
+                probes: sim.drain_probe_log(),
+                equeue: sim.equeue_stats(),
+            };
             let (timelines, acc) = sim.finish();
-            (replica, timelines, acc)
+            (replica, timelines, acc, obs)
         };
-        let mut drained: Vec<(usize, Vec<RequestTimeline>, SimAccumulators)> = if alive.len() > 1 {
+        type Drained = (
+            usize,
+            Vec<RequestTimeline>,
+            SimAccumulators,
+            crate::cluster::ReplicaObs,
+        );
+        let mut drained: Vec<Drained> = if alive.len() > 1 {
             alive
                 .into_iter()
                 .par_bridge()
@@ -1774,15 +1921,16 @@ impl ChaosEngine {
         } else {
             alive.into_iter().map(drain).collect()
         };
-        for (replica, (timelines, acc)) in dead {
-            drained.push((replica, timelines, acc));
+        for (replica, d) in dead {
+            drained.push((replica, d.timelines, d.acc, d.obs));
         }
         drained.sort_by_key(|(replica, ..)| *replica);
 
         let mut per_replica = Vec::with_capacity(drained.len());
+        let mut obs_out = Vec::with_capacity(drained.len());
         let mut merged_timelines = Vec::with_capacity(assignments.len());
         let mut merged_acc = SimAccumulators::default();
-        for (replica, timelines, acc) in drained {
+        for (replica, timelines, acc, obs) in drained {
             merged_timelines.extend(timelines.iter().cloned());
             merged_acc.merge_from(&acc);
             per_replica.push(ReplicaReport {
@@ -1790,6 +1938,7 @@ impl ChaosEngine {
                 assigned: assigned_counts[replica],
                 report: build_report(timelines, &acc),
             });
+            obs_out.push(obs);
         }
         merged_timelines.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
         let mut merged = build_report(merged_timelines, &merged_acc);
@@ -1855,7 +2004,7 @@ impl ChaosEngine {
             });
         }
 
-        ChaosReport {
+        let report = ChaosReport {
             fleet,
             events,
             lifetimes,
@@ -1878,7 +2027,8 @@ impl ChaosEngine {
                 shed_log: tally.shed_log,
                 disruptions: tally.disruptions,
             },
-        }
+        };
+        (report, obs_out)
     }
 }
 

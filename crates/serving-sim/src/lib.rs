@@ -135,6 +135,7 @@ pub mod iterative;
 pub mod microbatch;
 pub mod pools;
 pub mod sink;
+pub mod telemetry;
 
 pub use autoscaler::{
     AttainmentTrigger, AutoscaleEngine, AutoscaleReport, AutoscalerPolicy, ReplicaLifetime,
@@ -142,10 +143,11 @@ pub use autoscaler::{
 };
 pub use cluster::{ClusterEngine, FleetReport, LoadImbalance, ReplicaReport};
 pub use engine::{
-    sustained_throughput_knee, CachePlan, CacheUsage, ClassCacheUsage, ClassMetrics, DecodeSpec,
-    EngineRequest, IterativeSpec, LatencyStats, LatencyTable, PipelineSpec, RequestTimeline,
-    ServingEngine, ServingMetrics, ServingReport, StageSpec,
+    sustained_throughput_knee, CachePlan, CacheProbe, CacheUsage, ClassCacheUsage, ClassMetrics,
+    DecodeSpec, EngineRequest, IterativeSpec, LatencyStats, LatencyTable, PipelineSpec,
+    RequestTimeline, ServingEngine, ServingMetrics, ServingReport, StageSpec,
 };
+pub use equeue::EventQueueStats;
 pub use faults::{
     AdmissionConfig, AttainmentWindow, ChaosEngine, ChaosReport, ClassShed, CrashPolicy,
     Disruption, FaultEvent, FaultKind, FaultReport, FaultSchedule, PlanStep, PredictivePolicy,
@@ -157,4 +159,7 @@ pub use pools::{DisaggEngine, DisaggReport, PoolCrash, PoolReport, PoolRouter, T
 pub use sink::{
     ClassSloScore, ExactSink, HistogramSink, LatencyHistogram, MetricsMode, MetricsSink,
     RequestOutcome, StreamedScores, StreamingConfig,
+};
+pub use telemetry::{
+    profile_from_stats, record_cache_probes, record_load_gauges, record_request_spans,
 };

@@ -272,15 +272,23 @@ struct PoolSlot {
     /// slot's report at the end.
     retired_timelines: Vec<RequestTimeline>,
     retired_acc: SimAccumulators,
+    /// Cache probes and event-queue counters of crashed incarnations,
+    /// harvested at each death instant (empty when tracing is off).
+    retired_probes: Vec<crate::engine::CacheProbe>,
+    retired_equeue: crate::equeue::EventQueueStats,
     assigned: usize,
 }
 
 impl PoolSlot {
-    fn new(spec: &PipelineSpec) -> Self {
+    fn new(spec: &PipelineSpec, track_probes: bool) -> Self {
+        let mut sim = ReplicaSim::new(spec.clone());
+        sim.track_probes = track_probes;
         Self {
-            sim: Some(ReplicaSim::new(spec.clone())),
+            sim: Some(sim),
             retired_timelines: Vec::new(),
             retired_acc: SimAccumulators::default(),
+            retired_probes: Vec::new(),
+            retired_equeue: crate::equeue::EventQueueStats::default(),
             assigned: 0,
         }
     }
@@ -311,6 +319,7 @@ pub struct DisaggEngine {
     transfer: KvTransferModel,
     parallel_advance: bool,
     faults: Vec<PoolCrash>,
+    telemetry: rago_telemetry::TelemetryConfig,
 }
 
 impl DisaggEngine {
@@ -353,7 +362,17 @@ impl DisaggEngine {
             transfer,
             parallel_advance: false,
             faults: Vec::new(),
+            telemetry: rago_telemetry::TelemetryConfig::disabled(),
         }
+    }
+
+    /// Sets the telemetry config used by [`Self::run_telemetry`] (and by
+    /// [`Self::run_traced`] for its gauge cadence). The untraced run paths
+    /// never consult it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: rago_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Creates the engine from a disaggregated [`FleetConfig`], or `None`
@@ -442,13 +461,90 @@ impl DisaggEngine {
     /// Panics if any arrival time is negative or non-finite, any request
     /// generates zero tokens, request ids are not unique, or a crash leaves
     /// a pool with work but no survivor to re-queue it to.
-    pub fn run(&self, mut requests: Vec<EngineRequest>) -> DisaggReport {
+    pub fn run(&self, requests: Vec<EngineRequest>) -> DisaggReport {
+        self.run_recorded(requests, &mut rago_telemetry::NullRecorder)
+            .0
+    }
+
+    /// Runs the fleet like [`Self::run`] while recording a trace into `rec`,
+    /// then derives per-replica spans, gauges, cache probes, and profile
+    /// counters post-hoc. Prefill replicas own tracks `0..P`; decode
+    /// replicas own tracks `P..P+D`. The simulated outcome is bit-identical
+    /// to the untraced run for any recorder.
+    pub fn run_traced<R: rago_telemetry::Recorder>(
+        &self,
+        requests: Vec<EngineRequest>,
+        rec: &mut R,
+    ) -> DisaggReport {
+        let (report, obs) = self.run_recorded(requests, rec);
+        if R::ENABLED {
+            let end_s = report.merged.metrics.makespan_s;
+            let cadence = self.telemetry.gauge_cadence_s;
+            for (base, pool) in [
+                (0, &report.prefill),
+                (self.prefill_replicas, &report.decode),
+            ] {
+                for rr in &pool.per_replica {
+                    let track = (base + rr.replica) as u32;
+                    crate::telemetry::record_request_spans(rec, track, &rr.report.timelines);
+                    crate::telemetry::record_load_gauges(
+                        rec,
+                        track,
+                        &rr.report.timelines,
+                        cadence,
+                        end_s,
+                    );
+                }
+            }
+            let mut profile = rago_telemetry::SimProfile::default();
+            let events_by_track: std::collections::HashMap<usize, u64> = report
+                .prefill
+                .per_replica
+                .iter()
+                .map(|rr| (rr.replica, rr.report.metrics.events_processed))
+                .chain(report.decode.per_replica.iter().map(|rr| {
+                    (
+                        self.prefill_replicas + rr.replica,
+                        rr.report.metrics.events_processed,
+                    )
+                }))
+                .collect();
+            for ob in &obs {
+                crate::telemetry::record_cache_probes(rec, ob.replica as u32, &ob.probes);
+                let events = events_by_track.get(&ob.replica).copied().unwrap_or(0);
+                profile.merge_from(&crate::telemetry::profile_from_stats(
+                    &ob.equeue, events, end_s,
+                ));
+            }
+            profile.record_into(rec, end_s, rago_telemetry::FLEET_TRACK);
+        }
+        report
+    }
+
+    /// Runs with a [`rago_telemetry::TraceRecorder`] configured from the
+    /// engine's [`TelemetryConfig`](rago_telemetry::TelemetryConfig) and
+    /// returns the report together with the recorder holding the captured
+    /// events.
+    pub fn run_telemetry(
+        &self,
+        requests: Vec<EngineRequest>,
+    ) -> (DisaggReport, rago_telemetry::TraceRecorder) {
+        let mut rec = rago_telemetry::TraceRecorder::new(self.telemetry.clone());
+        let report = self.run_traced(requests, &mut rec);
+        (report, rec)
+    }
+
+    fn run_recorded<R: rago_telemetry::Recorder>(
+        &self,
+        mut requests: Vec<EngineRequest>,
+        rec: &mut R,
+    ) -> (DisaggReport, Vec<crate::cluster::ReplicaObs>) {
         sort_by_arrival(&mut requests);
         let mut prefill: Vec<PoolSlot> = (0..self.prefill_replicas)
-            .map(|_| PoolSlot::new(&self.prefill_spec))
+            .map(|_| PoolSlot::new(&self.prefill_spec, R::ENABLED))
             .collect();
         let mut decode: Vec<PoolSlot> = (0..self.decode_replicas)
-            .map(|_| PoolSlot::new(&self.decode_spec))
+            .map(|_| PoolSlot::new(&self.decode_spec, R::ENABLED))
             .collect();
         let mut router = PoolRouter::new(self.prefill_router, self.decode_router);
         let mut stats = TransferStats::default();
@@ -536,6 +632,7 @@ impl DisaggEngine {
                     &mut live_buf,
                     &mut stats,
                     &mut decode_asg,
+                    rec,
                 );
                 continue;
             }
@@ -563,6 +660,7 @@ impl DisaggEngine {
                         &mut stats,
                         &mut prefill_asg,
                         &mut decode_asg,
+                        rec,
                     );
                 }
                 (_, Some(ta)) => {
@@ -581,6 +679,16 @@ impl DisaggEngine {
                     );
                     let pick = router.pick(PoolRole::Prefill, &prefill, &live_buf, &req);
                     let slot = live_buf[pick];
+                    if R::ENABLED {
+                        crate::telemetry::record_route_pick(
+                            rec,
+                            ta,
+                            self.prefill_router,
+                            slot,
+                            &req,
+                            prefill[slot].sim.as_ref().expect("picked slot is live"),
+                        );
+                    }
                     prefill[slot].assigned += 1;
                     prefill_asg.push((req.id, slot));
                     prefill[slot]
@@ -617,6 +725,7 @@ impl DisaggEngine {
                         &mut live_buf,
                         &mut stats,
                         &mut decode_asg,
+                        rec,
                     );
                 }
             }
@@ -633,7 +742,7 @@ impl DisaggEngine {
 
     /// Routes one completed KV transfer into the decode pool at `tc`.
     #[allow(clippy::too_many_arguments)]
-    fn deliver_transfer(
+    fn deliver_transfer<R: rago_telemetry::Recorder>(
         &self,
         tc: f64,
         rec: &TransferRec,
@@ -642,6 +751,7 @@ impl DisaggEngine {
         live_buf: &mut Vec<usize>,
         stats: &mut TransferStats,
         decode_asg: &mut Vec<(u64, usize)>,
+        trace: &mut R,
     ) {
         advance_pool(decode, tc, false);
         live_slots(decode, live_buf);
@@ -651,6 +761,25 @@ impl DisaggEngine {
         );
         let pick = router.pick(PoolRole::Decode, decode, live_buf, &rec.req);
         let slot = live_buf[pick];
+        if R::ENABLED {
+            let track = self.prefill_replicas + slot;
+            crate::telemetry::record_route_pick(
+                trace,
+                tc,
+                self.decode_router,
+                track,
+                &rec.req,
+                decode[slot].sim.as_ref().expect("picked slot is live"),
+            );
+            crate::telemetry::record_kv_transfer(
+                trace,
+                track as u32,
+                tc,
+                rec.latency_s,
+                rec.bytes,
+                &rec.req,
+            );
+        }
         decode[slot].assigned += 1;
         decode_asg.push((rec.req.id, slot));
         decode[slot]
@@ -667,7 +796,7 @@ impl DisaggEngine {
     /// Applies one agenda action at `t`: kill a replica (re-queueing its
     /// in-flight work to same-pool survivors) or cold-restart a slot.
     #[allow(clippy::too_many_arguments)]
-    fn apply_action(
+    fn apply_action<R: rago_telemetry::Recorder>(
         &self,
         t: f64,
         action: PoolAction,
@@ -678,22 +807,30 @@ impl DisaggEngine {
         stats: &mut TransferStats,
         prefill_asg: &mut Vec<(u64, usize)>,
         decode_asg: &mut Vec<(u64, usize)>,
+        rec: &mut R,
     ) {
         match action {
             PoolAction::Crash { pool, replica } => {
-                let slots: &mut Vec<PoolSlot> = match pool {
-                    PoolRole::Prefill => prefill,
-                    PoolRole::Decode => decode,
-                    PoolRole::Monolithic => unreachable!("validated in with_faults"),
-                };
+                let (slots, track_base, policy): (&mut Vec<PoolSlot>, usize, RouterPolicy) =
+                    match pool {
+                        PoolRole::Prefill => (prefill, 0, self.prefill_router),
+                        PoolRole::Decode => (decode, self.prefill_replicas, self.decode_router),
+                        PoolRole::Monolithic => unreachable!("validated in with_faults"),
+                    };
                 // The prefill pool is already advanced (and harvested) to
                 // the fault instant by the main loop; the decode pool is
                 // advanced here. Either way the victim stops just before
                 // `t` — the crash wins the tie against its own work.
                 advance_pool(slots, t, false);
-                let Some(sim) = slots[replica].sim.take() else {
+                let Some(mut sim) = slots[replica].sim.take() else {
                     panic!("crash at {t:.6}s targets replica {replica} which is already down");
                 };
+                if R::ENABLED {
+                    slots[replica].retired_probes.extend(sim.drain_probe_log());
+                    slots[replica]
+                        .retired_equeue
+                        .merge_from(&sim.equeue_stats());
+                }
                 let (timelines, in_flight, acc) = sim.dismantle();
                 slots[replica].retired_timelines.extend(timelines);
                 slots[replica].retired_acc.merge_from(&acc);
@@ -716,6 +853,16 @@ impl DisaggEngine {
                 for req in in_flight {
                     let pick = router.pick(pool, slots, live_buf, &req);
                     let slot = live_buf[pick];
+                    if R::ENABLED {
+                        crate::telemetry::record_route_pick(
+                            rec,
+                            t,
+                            policy,
+                            track_base + slot,
+                            &req,
+                            slots[slot].sim.as_ref().expect("picked slot is live"),
+                        );
+                    }
                     slots[slot].assigned += 1;
                     asg.push((req.id, slot));
                     slots[slot]
@@ -735,7 +882,9 @@ impl DisaggEngine {
                     slots[replica].sim.is_none(),
                     "restart at {t:.6}s targets replica {replica} which is already up"
                 );
-                slots[replica].sim = Some(ReplicaSim::new(spec.clone()));
+                let mut sim = ReplicaSim::new(spec.clone());
+                sim.track_probes = R::ENABLED;
+                slots[replica].sim = Some(sim);
             }
         }
     }
@@ -749,11 +898,22 @@ impl DisaggEngine {
         stats: TransferStats,
         prefill_asg: Vec<(u64, usize)>,
         decode_asg: Vec<(u64, usize)>,
-    ) -> DisaggReport {
-        let (prefill_report, prefill_legs, prefill_acc) =
-            finish_pool(prefill, PoolRole::Prefill, self.prefill_router, prefill_asg);
-        let (decode_report, decode_legs, decode_acc) =
-            finish_pool(decode, PoolRole::Decode, self.decode_router, decode_asg);
+    ) -> (DisaggReport, Vec<crate::cluster::ReplicaObs>) {
+        let (prefill_report, prefill_legs, prefill_acc, mut obs) = finish_pool(
+            prefill,
+            PoolRole::Prefill,
+            self.prefill_router,
+            prefill_asg,
+            0,
+        );
+        let (decode_report, decode_legs, decode_acc, decode_obs) = finish_pool(
+            decode,
+            PoolRole::Decode,
+            self.decode_router,
+            decode_asg,
+            self.prefill_replicas,
+        );
+        obs.extend(decode_obs);
 
         // Stitch by request id: arrival + pre-decode stages + first token
         // from the prefill leg, decode join + completion from the decode
@@ -802,13 +962,16 @@ impl DisaggEngine {
         merged_acc.merge_from(&prefill_acc);
         merged_acc.merge_from(&decode_acc);
 
-        DisaggReport {
-            merged: build_report(merged_timelines, &merged_acc),
-            prefill: prefill_report,
-            decode: decode_report,
-            transfers: stats,
-            transfer_model: self.transfer,
-        }
+        (
+            DisaggReport {
+                merged: build_report(merged_timelines, &merged_acc),
+                prefill: prefill_report,
+                decode: decode_report,
+                transfers: stats,
+                transfer_model: self.transfer,
+            },
+            obs,
+        )
     }
 }
 
@@ -842,22 +1005,34 @@ fn live_slots(slots: &[PoolSlot], out: &mut Vec<usize>) {
 }
 
 /// Finishes a pool: per-slot reports (current incarnation's work merged
-/// with retired incarnations'), the pool's merged request legs, and its
-/// summed accumulators.
+/// with retired incarnations'), the pool's merged request legs, its summed
+/// accumulators, and per-slot observability (probes + event-queue stats,
+/// tracked at `track_base + slot` in the fleet-wide numbering).
 fn finish_pool(
     slots: Vec<PoolSlot>,
     role: PoolRole,
     router: RouterPolicy,
     assignments: Vec<(u64, usize)>,
-) -> (PoolReport, Vec<RequestTimeline>, SimAccumulators) {
+    track_base: usize,
+) -> (
+    PoolReport,
+    Vec<RequestTimeline>,
+    SimAccumulators,
+    Vec<crate::cluster::ReplicaObs>,
+) {
     let mut per_replica = Vec::with_capacity(slots.len());
     let mut legs: Vec<RequestTimeline> = Vec::new();
     let mut pool_acc = SimAccumulators::default();
     let mut assigned_counts = Vec::with_capacity(slots.len());
+    let mut obs = Vec::with_capacity(slots.len());
     for (replica, slot) in slots.into_iter().enumerate() {
         let mut timelines = slot.retired_timelines;
         let mut acc = slot.retired_acc;
-        if let Some(sim) = slot.sim {
+        let mut probes = slot.retired_probes;
+        let mut equeue = slot.retired_equeue;
+        if let Some(mut sim) = slot.sim {
+            probes.extend(sim.drain_probe_log());
+            equeue.merge_from(&sim.equeue_stats());
             let (live_timelines, live_acc) = sim.finish();
             timelines.extend(live_timelines);
             acc.merge_from(&live_acc);
@@ -866,6 +1041,11 @@ fn finish_pool(
         legs.extend(timelines.iter().cloned());
         pool_acc.merge_from(&acc);
         assigned_counts.push(slot.assigned);
+        obs.push(crate::cluster::ReplicaObs {
+            replica: track_base + replica,
+            probes,
+            equeue,
+        });
         per_replica.push(ReplicaReport {
             replica,
             assigned: slot.assigned,
@@ -882,6 +1062,7 @@ fn finish_pool(
         },
         legs,
         pool_acc,
+        obs,
     )
 }
 

@@ -1,0 +1,234 @@
+//! Trace exporters: Chrome-trace/Perfetto JSON and JSONL.
+//!
+//! Both exporters first sort a copy of the events into the canonical
+//! `(time_s, seq)` order, then render with fixed-precision `format!` so a
+//! seeded run exports byte-identical text on every platform and worker
+//! count. All JSON is rendered by hand (the workspace `serde` is a no-op
+//! shim); `crate::json::validate_json` proves it parses.
+
+use crate::event::{sort_events, Lane, Phase, TraceEvent};
+use crate::json::escape_json;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Microseconds with a fixed 3-decimal render (Chrome-trace `ts` unit).
+fn ts_us(time_s: f64) -> String {
+    format!("{:.3}", time_s * 1e6)
+}
+
+/// Fixed 9-decimal render for seconds and metric values — matches the
+/// golden-snapshot convention used across the repo.
+fn f9(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+/// Human label for a track id.
+fn track_label(track: u32) -> String {
+    if track == crate::event::FLEET_TRACK {
+        "fleet".to_string()
+    } else {
+        format!("replica {track}")
+    }
+}
+
+/// Renders events as a Chrome-trace / Perfetto-loadable JSON document
+/// (`{"displayTimeUnit":"ms","traceEvents":[...]}`): spans as `B`/`E`
+/// pairs, instants as `i`, counters as `C`, plus `M` metadata naming each
+/// track and lane. Load it at <https://ui.perfetto.dev> or
+/// `chrome://tracing`.
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut sorted = events.to_vec();
+    sort_events(&mut sorted);
+
+    let mut out = String::with_capacity(128 + 160 * sorted.len());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&line);
+    };
+
+    // Metadata: name every (track, lane) pair present so Perfetto shows
+    // "replica 0 / request" instead of raw pid/tid integers.
+    let mut pairs: BTreeSet<(u32, Lane)> = BTreeSet::new();
+    for ev in &sorted {
+        pairs.insert((ev.track, ev.lane));
+    }
+    let tracks: BTreeSet<u32> = pairs.iter().map(|&(t, _)| t).collect();
+    for &track in &tracks {
+        emit(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{track},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(&track_label(track))
+            ),
+            &mut out,
+        );
+    }
+    for &(track, lane) in &pairs {
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{track},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane.name(),
+                tid = lane.id()
+            ),
+            &mut out,
+        );
+    }
+
+    for ev in &sorted {
+        let mut args = String::new();
+        if let Some(req) = ev.req {
+            let _ = write!(args, "\"req\":{req}");
+        }
+        if let Some(class) = ev.class {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(args, "\"class\":{class}");
+        }
+        if let Some(value) = ev.value {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(args, "\"value\":{}", f9(value));
+        }
+        if !ev.detail.is_empty() {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(args, "\"detail\":\"{}\"", escape_json(&ev.detail));
+        }
+
+        // Request-scoped spans become *async* events (`b`/`e` keyed by the
+        // request id): unlike synchronous `B`/`E` pairs they need no stack
+        // discipline per thread, so overlapping per-request spans render
+        // correctly in Perfetto.
+        let ph = match (ev.phase, ev.req) {
+            (Phase::Begin, Some(_)) => "b",
+            (Phase::End, Some(_)) => "e",
+            (phase, _) => phase.letter(),
+        };
+        let mut line = format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\
+             \"pid\":{pid},\"tid\":{tid}",
+            name = escape_json(&ev.name),
+            cat = ev.lane.name(),
+            ts = ts_us(ev.time_s),
+            pid = ev.track,
+            tid = ev.lane.id(),
+        );
+        if let (Phase::Begin | Phase::End, Some(req)) = (ev.phase, ev.req) {
+            let _ = write!(line, ",\"id\":{req}");
+        }
+        if ev.phase == Phase::Instant {
+            line.push_str(",\"s\":\"t\"");
+        }
+        if !args.is_empty() {
+            let _ = write!(line, ",\"args\":{{{args}}}");
+        }
+        line.push('}');
+        emit(line, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders events as newline-delimited JSON, one event per line, in
+/// canonical `(time_s, seq)` order. Optional fields (`req`, `class`,
+/// `value`, `detail`) are omitted when absent.
+pub fn export_jsonl(events: &[TraceEvent]) -> String {
+    let mut sorted = events.to_vec();
+    sort_events(&mut sorted);
+
+    let mut out = String::with_capacity(120 * sorted.len());
+    for ev in &sorted {
+        let _ = write!(
+            out,
+            "{{\"t\":{t},\"seq\":{seq},\"track\":{track},\"lane\":\"{lane}\",\
+             \"phase\":\"{phase}\",\"name\":\"{name}\"",
+            t = f9(ev.time_s),
+            seq = ev.seq,
+            track = ev.track,
+            lane = ev.lane.name(),
+            phase = ev.phase.name(),
+            name = escape_json(&ev.name),
+        );
+        if let Some(req) = ev.req {
+            let _ = write!(out, ",\"req\":{req}");
+        }
+        if let Some(class) = ev.class {
+            let _ = write!(out, ",\"class\":{class}");
+        }
+        if let Some(value) = ev.value {
+            let _ = write!(out, ",\"value\":{}", f9(value));
+        }
+        if !ev.detail.is_empty() {
+            let _ = write!(out, ",\"detail\":\"{}\"", escape_json(&ev.detail));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{validate_json, validate_jsonl};
+
+    fn sample() -> Vec<TraceEvent> {
+        let mut evs = vec![
+            TraceEvent::begin(0.5, 0, Lane::Request, "queue")
+                .with_req(1)
+                .with_class(0),
+            TraceEvent::end(1.0, 0, Lane::Request, "queue")
+                .with_req(1)
+                .with_class(0),
+            TraceEvent::instant(0.75, 1, Lane::Decision, "route")
+                .with_req(1)
+                .with_detail("policy=LeastOutstanding -> r1 \"quoted\""),
+            TraceEvent::counter(1.0, 1, Lane::Gauge, "queue_depth", 3.0),
+        ];
+        for (i, ev) in evs.iter_mut().enumerate() {
+            ev.seq = i as u64;
+        }
+        evs
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_is_sorted() {
+        let text = export_chrome_trace(&sample());
+        validate_json(&text).expect("chrome trace must parse");
+        // Request-scoped spans export as async `b`/`e` keyed by the id.
+        let b = text.find("\"ph\":\"b\"").unwrap();
+        let i = text.find("\"ph\":\"i\"").unwrap();
+        let e = text.find("\"ph\":\"e\"").unwrap();
+        assert!(b < i && i < e, "events must be time-ordered");
+        assert!(
+            text.contains("\"id\":1"),
+            "async spans carry the request id"
+        );
+    }
+
+    #[test]
+    fn jsonl_parses_line_by_line() {
+        let text = export_jsonl(&sample());
+        validate_jsonl(&text).expect("jsonl must parse");
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().next().unwrap().contains("\"name\":\"queue\""));
+    }
+
+    #[test]
+    fn export_is_deterministic_under_input_order() {
+        let evs = sample();
+        let mut reversed = evs.clone();
+        reversed.reverse();
+        assert_eq!(export_chrome_trace(&evs), export_chrome_trace(&reversed));
+        assert_eq!(export_jsonl(&evs), export_jsonl(&reversed));
+    }
+}

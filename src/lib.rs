@@ -16,6 +16,9 @@
 //!   including the request-level engine with continuous batching and SLO
 //!   metrics, the fleet-level cluster simulation (replicas behind a
 //!   router), and the reactive fleet autoscaler for time-varying traffic;
+//! * [`telemetry`] — the zero-cost-when-off tracing layer: statically
+//!   dispatched recorders, span/gauge/decision/profile events, Perfetto
+//!   (Chrome trace) and JSONL exporters, and trace summaries;
 //! * [`core`] — the RAGO optimizer itself (§6), with static and dynamic
 //!   (request-level) schedule evaluation, fleet evaluation, multi-tenant
 //!   time-varying evaluation, and SLO-driven capacity planning (single
@@ -45,5 +48,6 @@ pub use rago_hardware as hardware;
 pub use rago_retrieval_sim as retrieval_sim;
 pub use rago_schema as schema;
 pub use rago_serving_sim as serving_sim;
+pub use rago_telemetry as telemetry;
 pub use rago_vectordb as vectordb;
 pub use rago_workloads as workloads;
